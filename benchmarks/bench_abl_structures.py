@@ -1,0 +1,117 @@
+"""ABL2 — Ablation: does the Theta(sqrt(n)) latency shape hold across
+real SCU data structures, not just the counter?
+
+Treiber stack, Michael-Scott queue and the universal construction under
+the uniform stochastic scheduler, sweeping n.  The paper analyses the
+pattern; this checks the pattern's instances.
+"""
+
+import numpy as np
+
+from repro.algorithms.msqueue import (
+    MSQueueWorkload,
+    make_queue_memory,
+    ms_queue_workload,
+)
+from repro.algorithms.treiber import (
+    TreiberWorkload,
+    make_stack_memory,
+    treiber_workload,
+)
+from repro.algorithms.universal import sequential_counter, universal_workload
+from repro.bench.harness import Experiment
+from repro.core.latency import measure_latencies
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.stats.estimators import fit_power_law
+
+N_VALUES = [4, 9, 16, 36, 64]
+STEPS = 150_000
+
+
+def latency_sweep(make_factory, make_memory, seed_base):
+    out = []
+    for n in N_VALUES:
+        m = measure_latencies(
+            make_factory(),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            steps=STEPS,
+            memory=make_memory(),
+            rng=seed_base + n,
+        )
+        out.append(m.system_latency)
+    return out
+
+
+def reproduce_structures():
+    stack = latency_sweep(
+        lambda: treiber_workload(TreiberWorkload(push_fraction=0.6, seed=1)),
+        make_stack_memory,
+        100,
+    )
+    queue = latency_sweep(
+        lambda: ms_queue_workload(MSQueueWorkload(enqueue_fraction=0.6, seed=1)),
+        make_queue_memory,
+        200,
+    )
+    obj = sequential_counter()
+    universal = latency_sweep(
+        lambda: universal_workload(obj, lambda pid, k: "inc"),
+        obj.make_memory,
+        300,
+    )
+    from repro.algorithms.harris_set import (
+        SetWorkload,
+        harris_set_workload,
+        make_set_memory,
+    )
+
+    ordered_set = latency_sweep(
+        lambda: harris_set_workload(SetWorkload(key_range=64, seed=1)),
+        make_set_memory,
+        400,
+    )
+    return stack, queue, universal, ordered_set
+
+
+def test_abl2_structure_generality(run_once, benchmark):
+    stack, queue, universal, ordered_set = run_once(
+        benchmark, reproduce_structures
+    )
+
+    experiment = Experiment(
+        exp_id="ABL2",
+        title="Latency shape across SCU-style data structures",
+        paper_claim="(extension) the class analysis should cover its "
+        "instances: stacks [21], queues [17], universal objects [9]",
+    )
+    experiment.headers = [
+        "n",
+        "Treiber stack W",
+        "MS queue W",
+        "universal W",
+        "Harris set W",
+    ]
+    for i, n in enumerate(N_VALUES):
+        experiment.add_row(n, stack[i], queue[i], universal[i], ordered_set[i])
+    exps = {}
+    for name, series in [
+        ("stack", stack),
+        ("queue", queue),
+        ("universal", universal),
+        ("set", ordered_set),
+    ]:
+        exponent, coeff = fit_power_law(N_VALUES, series)
+        exps[name] = exponent
+        experiment.add_note(f"{name}: W ~ {coeff:.2f} * n^{exponent:.3f}")
+    experiment.add_note(
+        "the MS queue and Harris set are not strictly in SCU (multiple "
+        "CAS targets + helping) — disjoint-access parallelism flattens "
+        "their scaling below the single-hot-spot sqrt(n)"
+    )
+    experiment.report()
+
+    assert 0.3 < exps["stack"] < 0.65
+    assert 0.3 < exps["universal"] < 0.65
+    assert 0.1 < exps["queue"] < 0.8
+    assert exps["set"] < 0.3  # disjoint keys: far flatter than the hot spot

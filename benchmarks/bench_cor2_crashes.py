@@ -1,0 +1,64 @@
+"""COR2 — Corollary 2: with only k correct processes, latencies are
+governed by k.
+
+We crash n - k of n processes early and compare the post-crash
+stationary latency with the k-process exact value.
+"""
+
+import numpy as np
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.bench.harness import Experiment
+from repro.chains.scu import scu_system_latency_exact
+from repro.core.latency import system_latency
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.sim.executor import Simulator
+
+N = 32
+K_VALUES = [4, 8, 16, 32]
+STEPS = 250_000
+CRASH_AT = 2_000
+
+
+def reproduce_corollary2():
+    rows = []
+    for k in K_VALUES:
+        crash_times = {pid: CRASH_AT for pid in range(k, N)}
+        sim = Simulator(
+            cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=N,
+            memory=make_counter_memory(),
+            crash_times=crash_times,
+            rng=k,
+        )
+        result = sim.run(STEPS)
+        measured = system_latency(result.recorder, burn_in=CRASH_AT * 10)
+        rows.append((N, k, measured, scu_system_latency_exact(k)))
+    return rows
+
+
+def test_cor2_crash_latency(run_once, benchmark):
+    rows = run_once(benchmark, reproduce_corollary2)
+
+    experiment = Experiment(
+        exp_id="COR2",
+        title="Latency with k correct processes out of n",
+        paper_claim="system latency O(q + s sqrt(k)): at infinity only the "
+        "correct processes matter",
+    )
+    experiment.headers = [
+        "n",
+        "k correct",
+        "measured W after crashes",
+        "exact W for k processes",
+    ]
+    for row in rows:
+        experiment.add_row(*row)
+    experiment.report()
+
+    for _, k, measured, exact in rows:
+        assert abs(measured - exact) / exact < 0.08
+    # Monotone in k: fewer survivors, faster completions.
+    latencies = [row[2] for row in rows]
+    assert latencies == sorted(latencies)

@@ -1,0 +1,68 @@
+"""FIG1 — Figure 1: the individual and system chains for two processes.
+
+The paper's figure draws both chains for n = 2 and clusters the
+individual chain's states into the system chain's.  We rebuild both
+exactly, print the transition structure, and verify the clustering is
+the lifting of Lemma 5.
+"""
+
+import pytest
+
+from repro.bench.harness import Experiment
+from repro.chains.scu import (
+    scu_individual_chain,
+    scu_lifting,
+    scu_lifting_map,
+    scu_system_chain,
+)
+
+
+def reproduce_figure1():
+    individual = scu_individual_chain(2)
+    system = scu_system_chain(2)
+    report = scu_lifting(2).verify()
+    return individual, system, report
+
+
+def test_fig1_two_process_chains(run_once, benchmark):
+    individual, system, report = run_once(benchmark, reproduce_figure1)
+
+    experiment = Experiment(
+        exp_id="FIG1",
+        title="Individual and system chains for two processes",
+        paper_claim="the system chain is obtained by clustering symmetric "
+        "individual-chain states; each transition has probability 1/2",
+    )
+    experiment.headers = ["chain", "from", "to", "probability"]
+    for state in individual.states:
+        for target, p in sorted(individual.successors(state).items()):
+            experiment.add_row("individual", str(state), str(target), p)
+    for state in system.states:
+        for target, p in sorted(system.successors(state).items()):
+            experiment.add_row("system", str(state), str(target), p)
+    experiment.add_note(
+        f"lifting verified: flow error {report.max_flow_error:.2e}, "
+        f"stationary error {report.max_stationary_error:.2e}"
+    )
+    experiment.report()
+
+    assert individual.n_states == 3**2 - 1
+    assert report.is_lifting
+    # Every individual transition has probability 1/2 (n = 2).
+    for state in individual.states:
+        for p in individual.successors(state).values():
+            assert p == pytest.approx(0.5)
+    # The clusters in the figure: preimage sizes sum to 8.
+    sizes = {
+        s: len(scu_lifting(2).preimage(s)) for s in system.states
+    }
+    assert sum(sizes.values()) == 8
+
+
+def test_fig1_chain_construction_kernel(benchmark):
+    """Micro-benchmark: building + solving the n=6 pair of chains."""
+
+    def kernel():
+        return scu_lifting(6).verify().is_lifting
+
+    assert benchmark(kernel)

@@ -1,0 +1,71 @@
+"""LEM11 — Lemma 11: parallel code has system latency exactly q and
+individual latency exactly nq.
+
+Exact chain computation plus simulation across a (q, n) grid.
+"""
+
+import numpy as np
+
+from repro.algorithms.parallel import parallel_code
+from repro.bench.harness import Experiment
+from repro.chains.parallel import (
+    parallel_individual_latency_exact,
+    parallel_system_latency_exact,
+)
+from repro.core.latency import measure_latencies
+from repro.core.scheduler import UniformStochasticScheduler
+
+GRID = [(2, 3), (4, 3), (3, 5), (6, 4)]
+STEPS = 120_000
+
+
+def reproduce_lemma11():
+    rows = []
+    for q, n in GRID:
+        exact_w = parallel_system_latency_exact(n, q)
+        exact_wi = parallel_individual_latency_exact(n, q)
+        m = measure_latencies(
+            parallel_code(q),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            steps=STEPS,
+            rng=(q, n),
+        )
+        rows.append(
+            (q, n, exact_w, m.system_latency, exact_wi, m.mean_individual_latency)
+        )
+    return rows
+
+
+def test_lem11_parallel_code(run_once, benchmark):
+    rows = run_once(benchmark, reproduce_lemma11)
+
+    experiment = Experiment(
+        exp_id="LEM11",
+        title="Parallel code: W = q and W_i = n q, exactly",
+        paper_claim="the individual chain is doubly stochastic, so its "
+        "stationary distribution is uniform; latencies follow exactly",
+    )
+    experiment.headers = [
+        "q",
+        "n",
+        "exact W",
+        "simulated W",
+        "exact W_i",
+        "simulated W_i",
+    ]
+    for row in rows:
+        experiment.add_row(*row)
+    experiment.report()
+
+    for q, n, exact_w, sim_w, exact_wi, sim_wi in rows:
+        assert exact_w == np.clip(exact_w, q - 1e-9, q + 1e-9)
+        assert exact_wi == np.clip(exact_wi, n * q - 1e-6, n * q + 1e-6)
+        assert abs(sim_w - q) / q < 0.02
+        assert abs(sim_wi - n * q) / (n * q) < 0.05
+
+
+def test_lem11_exact_kernel(benchmark):
+    """Micro-benchmark: exact latencies for q=5, n=4."""
+    result = benchmark(parallel_system_latency_exact, 4, 5)
+    assert result == np.clip(result, 4.999, 5.001)

@@ -1,0 +1,83 @@
+"""LEM12 — Lemma 12 / Corollary 3: the augmented-CAS counter.
+
+The expected return time of the winning state is W = Z(n-1), bounded by
+2 sqrt(n) and equal to Ramanujan's Q(n) ~ sqrt(pi n / 2); the individual
+latency is n W = O(n sqrt(n)).  Exact chain, recurrence, asymptotic and
+simulation, side by side.
+"""
+
+import numpy as np
+
+from repro.algorithms.augmented_counter import (
+    augmented_cas_counter,
+    make_augmented_counter_memory,
+)
+from repro.bench.harness import Experiment
+from repro.chains.counter import counter_system_latency_exact
+from repro.core.latency import measure_latencies
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.stats.ramanujan import counter_return_times, ramanujan_q_asymptotic
+
+N_VALUES = [2, 4, 8, 16, 32, 64]
+SIM_N = {4, 16, 64}
+STEPS = 150_000
+
+
+def reproduce_lemma12():
+    rows = []
+    for n in N_VALUES:
+        chain_w = counter_system_latency_exact(n)
+        recurrence_w = counter_return_times(n)[-1]
+        asymptotic = ramanujan_q_asymptotic(n)
+        simulated = float("nan")
+        if n in SIM_N:
+            m = measure_latencies(
+                augmented_cas_counter(),
+                UniformStochasticScheduler(),
+                n_processes=n,
+                steps=STEPS,
+                memory=make_augmented_counter_memory(),
+                rng=n,
+            )
+            simulated = m.system_latency
+        rows.append(
+            (n, chain_w, recurrence_w, asymptotic, 2 * np.sqrt(n), simulated)
+        )
+    return rows
+
+
+def test_lem12_counter_return_times(run_once, benchmark):
+    rows = run_once(benchmark, reproduce_lemma12)
+
+    experiment = Experiment(
+        exp_id="LEM12",
+        title="Augmented-CAS counter: W = Z(n-1) = Q(n) <= 2 sqrt(n)",
+        paper_claim="the return time of the win state is the Ramanujan "
+        "Q-function, asymptotically sqrt(pi n / 2); individual latency "
+        "is n W (Corollary 3)",
+    )
+    experiment.headers = [
+        "n",
+        "chain W",
+        "Z(n-1)",
+        "Q asymptotic",
+        "2 sqrt(n)",
+        "simulated W",
+    ]
+    for row in rows:
+        experiment.add_row(*row)
+    experiment.report()
+
+    for n, chain_w, recurrence_w, asymptotic, bound, simulated in rows:
+        assert abs(chain_w - recurrence_w) < 1e-9
+        assert chain_w <= bound
+        if n >= 16:
+            assert abs(asymptotic - chain_w) / chain_w < 0.02
+        if not np.isnan(simulated):
+            assert abs(simulated - chain_w) / chain_w < 0.05
+
+
+def test_lem12_recurrence_kernel(benchmark):
+    """Micro-benchmark: the Z recurrence for n = 10^6."""
+    z = benchmark(counter_return_times, 1_000_000)
+    assert z[-1] <= 2 * np.sqrt(1_000_000)

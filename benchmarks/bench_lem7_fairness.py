@@ -1,0 +1,76 @@
+"""LEM7 — Lemma 7 / Lemma 14: individual latency = n x system latency.
+
+Exact computation on both chain families (scan-validate and augmented
+counter) plus a simulated confirmation: under the uniform stochastic
+scheduler, no process is luckier than any other.
+"""
+
+import numpy as np
+
+from repro.algorithms.augmented_counter import (
+    augmented_cas_counter,
+    make_augmented_counter_memory,
+)
+from repro.bench.harness import Experiment
+from repro.chains.counter import (
+    counter_individual_latency_exact,
+    counter_system_latency_exact,
+)
+from repro.chains.scu import (
+    scu_individual_latency_exact,
+    scu_system_latency_exact,
+)
+from repro.core.latency import measure_latencies
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.core.scu import SCU
+
+N_VALUES = [2, 4, 6, 8]
+
+
+def reproduce_fairness():
+    rows = []
+    for n in N_VALUES:
+        w = scu_system_latency_exact(n)
+        wi = scu_individual_latency_exact(n)
+        rows.append(("scan-validate", n, w, wi, wi / (n * w)))
+    for n in N_VALUES:
+        w = counter_system_latency_exact(n)
+        wi = counter_individual_latency_exact(n)
+        rows.append(("augmented counter", n, w, wi, wi / (n * w)))
+    simulated = []
+    m = SCU(0, 1).measure(8, 400_000, rng=0)
+    simulated.append(("scan-validate (sim)", 8, m.system_latency,
+                      m.mean_individual_latency,
+                      m.mean_individual_latency / (8 * m.system_latency)))
+    m = measure_latencies(
+        augmented_cas_counter(),
+        UniformStochasticScheduler(),
+        n_processes=8,
+        steps=400_000,
+        memory=make_augmented_counter_memory(),
+        rng=1,
+    )
+    simulated.append(("augmented counter (sim)", 8, m.system_latency,
+                      m.mean_individual_latency,
+                      m.mean_individual_latency / (8 * m.system_latency)))
+    return rows, simulated
+
+
+def test_lem7_fairness(run_once, benchmark):
+    rows, simulated = run_once(benchmark, reproduce_fairness)
+
+    experiment = Experiment(
+        exp_id="LEM7",
+        title="Individual latency is exactly n times the system latency",
+        paper_claim="W_i = n W for every process (Lemmas 7 and 14): the "
+        "expected steps between completions is the same for all processes",
+    )
+    experiment.headers = ["family", "n", "W", "W_i", "W_i / (n W)"]
+    for row in rows + simulated:
+        experiment.add_row(*row)
+    experiment.report()
+
+    for _, _, _, _, ratio in rows:
+        assert ratio == np.clip(ratio, 1 - 1e-9, 1 + 1e-9)
+    for _, _, _, _, ratio in simulated:
+        assert abs(ratio - 1.0) < 0.1

@@ -1,0 +1,83 @@
+"""LEM8 — Lemmas 8-9: phase lengths of the iterated balls-into-bins game.
+
+For each start configuration a_i (bins with one ball) we sample phase
+lengths and compare with Lemma 8's bound
+min(2 alpha n / sqrt(a), 3 alpha n / b^(1/3)); Lemma 9's range dynamics
+are summarised by the stationary range occupancy.
+"""
+
+import numpy as np
+
+from repro.ballsbins.phases import (
+    conditional_phase_lengths,
+    phase_length_bound,
+    run_phases,
+    summarize_phases,
+)
+from repro.bench.harness import Experiment
+
+N = 100
+A_VALUES = [4, 16, 36, 64, 100]
+SAMPLES = 4_000
+
+
+def reproduce_lemma8():
+    rows = []
+    for a in A_VALUES:
+        lengths = conditional_phase_lengths(N, a, SAMPLES, rng=a)
+        rows.append(
+            (
+                a,
+                N - a,
+                float(lengths.mean()),
+                phase_length_bound(N, a, N - a),
+                float(np.percentile(lengths, 99)),
+            )
+        )
+    stationary = summarize_phases(run_phases(N, 20_000, rng=0), N)
+    return rows, stationary
+
+
+def test_lem8_phase_lengths(run_once, benchmark):
+    rows, stationary = run_once(benchmark, reproduce_lemma8)
+
+    experiment = Experiment(
+        exp_id="LEM8",
+        title="Iterated balls-into-bins: phase lengths vs Lemma 8's bound",
+        paper_claim="E[phase length | a_i, b_i] <= min(2an/sqrt(a_i), "
+        "3an/b_i^(1/3)) with alpha >= 4; phases in the third range "
+        "(a_i < n/c) are vanishingly rare (Lemma 9)",
+    )
+    experiment.headers = [
+        "a_i",
+        "b_i",
+        "mean length",
+        "Lemma 8 bound",
+        "p99 length",
+    ]
+    for row in rows:
+        experiment.add_row(*row)
+    experiment.add_note(
+        f"stationary range occupancy (c=10): range1 "
+        f"{stationary.range_fractions[1]:.3f}, range2 "
+        f"{stationary.range_fractions[2]:.4f}, range3 "
+        f"{stationary.range_fractions[3]:.5f}"
+    )
+    experiment.add_note(
+        f"stationary mean phase length {stationary.mean_length:.3f} = the "
+        "scan-validate system latency for n=100"
+    )
+    experiment.report()
+
+    for a, b, mean, bound, p99 in rows:
+        assert mean <= bound
+    assert stationary.range_fractions[3] < 0.01
+    assert stationary.bound_violations / stationary.phases < 0.01
+
+
+def test_lem8_phase_kernel(benchmark):
+    """Micro-benchmark: one phase of the n=100 game."""
+    from repro.ballsbins.game import BallsGame
+
+    game = BallsGame(N, rng=0)
+    benchmark(game.run_phase)

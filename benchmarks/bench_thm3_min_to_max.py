@@ -1,0 +1,111 @@
+"""THM3 — Theorem 3: under any stochastic scheduler, bounded minimal
+progress becomes maximal progress with probability 1.
+
+We run the bounded lock-free CAS counter under schedulers with
+decreasing thresholds theta and record, for each, the worst observed
+per-invocation completion time (the empirical maximal-progress bound);
+an adversary (theta = 0) is the control showing the hypothesis is
+needed.
+"""
+
+import numpy as np
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.bench.harness import Experiment
+from repro.core.analysis import min_to_max_progress_bound
+from repro.core.progress import progress_report
+from repro.core.scheduler import (
+    AdversarialScheduler,
+    SkewedStochasticScheduler,
+    UniformStochasticScheduler,
+)
+from repro.sim.executor import Simulator
+
+N = 8
+STEPS = 120_000
+
+
+def run_with(scheduler, seed=0):
+    sim = Simulator(
+        cas_counter(),
+        scheduler,
+        n_processes=N,
+        memory=make_counter_memory(),
+        record_history=True,
+        rng=seed,
+    )
+    result = sim.run(STEPS)
+    report = progress_report(
+        result.history, result.steps_executed, starvation_window=STEPS // 2
+    )
+    return result, report
+
+
+def reproduce_theorem3():
+    rows = []
+    schedulers = [
+        ("uniform (theta=1/n)", UniformStochasticScheduler(), 1.0 / N),
+        (
+            "skewed 2:1",
+            SkewedStochasticScheduler([2.0] * (N - 1) + [1.0]),
+            1.0 / (2 * (N - 1) + 1),
+        ),
+        (
+            "skewed 3:1",
+            SkewedStochasticScheduler([3.0] * (N - 1) + [1.0]),
+            1.0 / (3 * (N - 1) + 1),
+        ),
+        ("starvation adversary (theta=0)", AdversarialScheduler.starve(0), 0.0),
+    ]
+    for name, scheduler, theta in schedulers:
+        result, report = run_with(scheduler)
+        rows.append(
+            (
+                name,
+                theta,
+                report.made_maximal_progress,
+                report.maximal_bound,
+                len(report.starved),
+            )
+        )
+    return rows
+
+
+def test_thm3_min_to_max(run_once, benchmark):
+    rows = run_once(benchmark, reproduce_theorem3)
+
+    experiment = Experiment(
+        exp_id="THM3",
+        title="Minimal progress -> maximal progress under stochastic schedulers",
+        paper_claim="any theta > 0 scheduler turns the bounded lock-free "
+        "counter wait-free w.p. 1 (expected bound (1/theta)^T); theta = 0 "
+        "admits starvation",
+    )
+    experiment.headers = [
+        "scheduler",
+        "theta",
+        "maximal progress",
+        "worst completion time",
+        "starved processes",
+    ]
+    for row in rows:
+        experiment.add_row(*row)
+    theorem = min_to_max_progress_bound(1.0 / N, 2 * N)
+    experiment.add_note(
+        f"Theorem 3's bound for the uniform case is (1/theta)^T = n^(2n) "
+        f"= {theorem:.2e}; the observed bound is dramatically smaller — "
+        "the gap Section 6 closes"
+    )
+    experiment.add_note(
+        "stronger skews (10:1 and beyond) keep theta > 0 but push the slow "
+        "process's expected completion time beyond any practical horizon — "
+        "consistent with the exponential (1/theta)^T bound; see ABL1"
+    )
+    experiment.report()
+
+    stochastic = [r for r in rows if r[1] > 0]
+    adversarial = [r for r in rows if r[1] == 0]
+    assert all(r[2] for r in stochastic)
+    assert all(not r[2] for r in adversarial)
+    assert all(r[4] == 0 for r in stochastic)
+    assert rows[0][3] < theorem

@@ -1,0 +1,21 @@
+"""Shared benchmark configuration.
+
+Each benchmark module reproduces one paper artifact (figure or theorem —
+see DESIGN.md's per-experiment index).  The convention: the expensive
+reproduction runs ONCE via ``benchmark.pedantic(..., rounds=1)`` and
+prints an :class:`repro.bench.Experiment` record with the series/rows the
+paper reports; micro-kernels (chain solves, single phases) benchmark
+normally.
+"""
+
+import pytest
+
+
+def once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+@pytest.fixture
+def run_once():
+    return once

@@ -1,0 +1,65 @@
+"""Reproduce Figure 5: completion rate of a lock-free counter vs the
+Theta(1/sqrt(n)) model prediction vs the 1/n worst case.
+
+Prints the three series (plus the exact chain answer the paper could
+not compute for its hardware) and a small ASCII chart.
+
+Run:  python examples/counter_completion_rate.py
+"""
+
+import numpy as np
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.bench.formats import format_table
+from repro.chains.scu import scu_system_latency_exact
+from repro.core.analysis import (
+    completion_rate_prediction,
+    worst_case_completion_rate,
+)
+from repro.core.latency import measure_latencies
+from repro.core.scheduler import UniformStochasticScheduler
+
+THREADS = [2, 4, 8, 12, 16, 24, 32]
+STEPS = 100_000
+
+
+def main() -> None:
+    print("Measuring the CAS counter's completion rate "
+          f"({STEPS} steps per point)...\n")
+    measured = []
+    for n in THREADS:
+        m = measure_latencies(
+            cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            steps=STEPS,
+            memory=make_counter_memory(),
+            rng=n,
+        )
+        measured.append(m.completion_rate)
+    measured = np.array(measured)
+    predicted = completion_rate_prediction(THREADS, measured_first=measured[0])
+    worst = worst_case_completion_rate(THREADS)
+    exact = np.array([1 / scu_system_latency_exact(n) for n in THREADS])
+
+    rows = list(zip(THREADS, measured, predicted, exact, worst))
+    print(format_table(
+        ["threads", "measured", "scaled 1/sqrt(n)", "exact chain", "worst 1/n"],
+        rows,
+        precision=4,
+    ))
+
+    print("\ncompletion rate (ops/step), log-ish ASCII view:")
+    scale = 60 / measured.max()
+    for i, n in enumerate(THREADS):
+        bar = "#" * max(1, int(measured[i] * scale))
+        marker = "*" * max(1, int(worst[i] * scale))
+        print(f"n={n:3d} |{bar}  (worst case: {marker})")
+
+    print("\nTakeaway: the measured rate tracks the model's 1/sqrt(n) "
+          "curve and sits far above the adversarial 1/n floor — the gap "
+          "grows like sqrt(n).")
+
+
+if __name__ == "__main__":
+    main()

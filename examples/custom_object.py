@@ -1,0 +1,110 @@
+"""Build your own practically-wait-free object, end to end.
+
+Takes a plain sequential object (a bank of accounts with transfers),
+lifts it to a lock-free concurrent object with the universal
+construction (Section 5's "every sequential object has a lock-free
+implementation in this class"), then:
+
+1. checks safety — the recorded history is linearizable,
+2. checks practical wait-freedom — everyone completes at the same rate,
+3. compares the measured latency with the paper's SCU(0, 1) prediction.
+
+Run:  python examples/custom_object.py
+"""
+
+from repro.algorithms.universal import UniversalObject, universal_workload
+from repro.bench.formats import format_table
+from repro.chains.scu import scu_system_latency_exact
+from repro.core.latency import individual_latencies, system_latency
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.sim.executor import Simulator
+from repro.verify.linearize import check_history
+from repro.verify.specs import SequentialSpec
+
+N_ACCOUNTS = 4
+N_PROCESSES = 6
+
+
+def apply_bank(state, operation):
+    """Sequential semantics: state is a tuple of balances."""
+    kind = operation[0]
+    if kind == "deposit":
+        _, account, amount = operation
+        new = list(state)
+        new[account] += amount
+        return tuple(new), new[account]
+    if kind == "transfer":
+        _, src, dst, amount = operation
+        if state[src] < amount:
+            return state, "insufficient"
+        new = list(state)
+        new[src] -= amount
+        new[dst] += amount
+        return tuple(new), "ok"
+    if kind == "balance":
+        _, account = operation
+        return state, state[account]
+    raise ValueError(f"unknown operation {operation!r}")
+
+
+class BankSpec(SequentialSpec):
+    """The same semantics as a linearizability spec."""
+
+    def initial_state(self):
+        return (100,) * N_ACCOUNTS
+
+    def apply(self, state, method, argument):
+        return apply_bank(state, argument)
+
+
+def operation_for(pid: int, k: int):
+    kind = k % 3
+    if kind == 0:
+        return ("deposit", (pid + k) % N_ACCOUNTS, 10)
+    if kind == 1:
+        return ("transfer", pid % N_ACCOUNTS, (pid + 1) % N_ACCOUNTS, 5)
+    return ("balance", pid % N_ACCOUNTS)
+
+
+def main() -> None:
+    bank = UniversalObject(apply_bank, (100,) * N_ACCOUNTS)
+    print(f"Running {N_PROCESSES} processes against a lock-free bank "
+          "(universal construction)...\n")
+
+    sim = Simulator(
+        universal_workload(bank, operation_for, calls=20),
+        UniformStochasticScheduler(),
+        n_processes=N_PROCESSES,
+        memory=bank.make_memory(),
+        record_history=True,
+        rng=0,
+    )
+    result = sim.run(50_000)
+    state = bank.current_state(result.memory)
+    print(f"final balances: {state} (total {sum(state)}, conserved up to "
+          "deposits)")
+
+    check = check_history(result.history, BankSpec())
+    print(f"linearizable: {check.is_linearizable} "
+          f"({check.nodes_explored} search nodes)")
+
+    # The scripted workload is short (20 calls per process), so measure
+    # over the whole run rather than discarding a burn-in.
+    w = system_latency(result.recorder)
+    lats = individual_latencies(result.recorder)
+    rows = [
+        ("system latency", w, scu_system_latency_exact(N_PROCESSES)),
+        ("mean individual latency", sum(lats.values()) / len(lats),
+         N_PROCESSES * scu_system_latency_exact(N_PROCESSES)),
+    ]
+    print()
+    print(format_table(
+        ["metric", "measured", "SCU(0,1) exact prediction"], rows
+    ))
+    print("\nTakeaway: any sequential object dropped into the universal "
+          "construction inherits the paper's guarantees — linearizable, "
+          "and practically wait-free under stochastic scheduling.")
+
+
+if __name__ == "__main__":
+    main()

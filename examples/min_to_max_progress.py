@@ -1,0 +1,70 @@
+"""Theorem 3 vs Lemma 2, side by side.
+
+Theorem 3: a *bounded* lock-free algorithm under any stochastic
+scheduler is wait-free with probability 1.  Lemma 2: drop boundedness
+and the conclusion fails — Algorithm 1's first CAS winner monopolises
+the object forever (w.p. >= 1 - 2e^{-n}) under the very same scheduler.
+
+Run:  python examples/min_to_max_progress.py
+"""
+
+import numpy as np
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.algorithms.unbounded import make_unbounded_memory, unbounded_lockfree
+from repro.bench.formats import format_table
+from repro.core.analysis import (
+    min_to_max_progress_bound,
+    unbounded_winner_monopoly_probability,
+)
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.sim.executor import Simulator
+
+N = 8
+STEPS = 60_000
+
+
+def completions_vector(factory, memory, seed):
+    sim = Simulator(
+        factory,
+        UniformStochasticScheduler(),
+        n_processes=N,
+        memory=memory,
+        rng=seed,
+    )
+    result = sim.run(STEPS)
+    return [result.completions_of(pid) for pid in range(N)]
+
+
+def main() -> None:
+    bounded = completions_vector(cas_counter(), make_counter_memory(), seed=0)
+    unbounded = completions_vector(
+        unbounded_lockfree(N), make_unbounded_memory(), seed=0
+    )
+
+    rows = [
+        (pid, bounded[pid], unbounded[pid]) for pid in range(N)
+    ]
+    print(f"Completions per process over {STEPS} steps, uniform scheduler:\n")
+    print(format_table(
+        ["process", "bounded CAS counter", "unbounded Algorithm 1"],
+        rows,
+        precision=0,
+    ))
+
+    print(f"\nTheorem 3's (loose) expected completion bound for the counter:"
+          f" (1/theta)^T = {min_to_max_progress_bound(1 / N, 2 * N):.2e} steps")
+    print(f"Section 6's refined bound: O(sqrt(n)) system steps — observed "
+          f"rate {sum(bounded) / STEPS:.3f} ops/step")
+    print(f"\nLemma 2's monopoly probability for n={N}: >= "
+          f"{unbounded_winner_monopoly_probability(N):.5f}")
+    winners = [pid for pid, c in enumerate(unbounded) if c > 0]
+    print(f"observed: process(es) {winners} took every completion; the "
+          f"other {N - len(winners)} processes starved.")
+    print("\nTakeaway: stochastic scheduling upgrades minimal progress to "
+          "maximal progress — but only for algorithms whose minimal "
+          "progress is *bounded*.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,115 @@
+"""The progress zoo: Section 2.2's taxonomy, measured.
+
+Classifies six counters — wait-free, lock-free (two), obstruction-free,
+and two lock-based — by running each under four schedule regimes: crash
+injection, collision lockstep, the uniform stochastic scheduler, and
+deterministic round-robin.
+
+Run:  python examples/progress_zoo.py
+"""
+
+from repro.algorithms import locks, obstruction
+from repro.algorithms.augmented_counter import (
+    augmented_cas_counter,
+    make_augmented_counter_memory,
+)
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.algorithms.parallel import parallel_code
+from repro.bench.formats import format_table
+from repro.core.classify import classify_progress
+from repro.sim.memory import Memory
+from repro.sim.ops import CAS, Read, Write
+
+
+def holding_tas_lock(sim, pid):
+    op = sim.processes[pid].pending
+    if isinstance(op, CAS):
+        return False
+    if isinstance(op, Read):
+        return op.register == locks.COUNTER
+    if isinstance(op, Write):
+        return op.register in (locks.COUNTER, locks.LOCK)
+    return False
+
+
+def holding_ticket_lock(sim, pid):
+    op = sim.processes[pid].pending
+    if isinstance(op, Read):
+        return op.register == locks.COUNTER
+    if isinstance(op, Write):
+        return op.register in (locks.COUNTER, locks.NOW_SERVING)
+    return False
+
+
+ZOO = [
+    ("parallel code (Alg. 4)", lambda: parallel_code(3), Memory, None),
+    ("CAS counter (SCU(0,1))", cas_counter, make_counter_memory, None),
+    (
+        "augmented-CAS counter (§7)",
+        augmented_cas_counter,
+        make_augmented_counter_memory,
+        None,
+    ),
+    (
+        "collision-abort counter",
+        obstruction.obstruction_free_counter,
+        obstruction.make_obstruction_memory,
+        None,
+    ),
+    (
+        "TAS-lock counter",
+        locks.tas_lock_counter,
+        locks.make_tas_memory,
+        holding_tas_lock,
+    ),
+    (
+        "ticket-lock counter",
+        locks.ticket_lock_counter,
+        locks.make_ticket_memory,
+        holding_ticket_lock,
+    ),
+]
+
+
+def main() -> None:
+    print("Classifying six counters by behaviour under four schedule "
+          "regimes (30k steps each)...\n")
+    rows = []
+    for name, factory_builder, memory_builder, crash_when in ZOO:
+        c = classify_progress(
+            factory_builder,
+            memory_builder,
+            steps=30_000,
+            crash_when=crash_when,
+        )
+        rows.append(
+            (
+                name,
+                "yes" if c.tolerates_crash else "NO",
+                "yes" if c.progresses_under_collisions else "NO",
+                "yes" if c.all_progress_under_uniform else "NO",
+                "yes" if c.all_progress_under_round_robin else "NO",
+                c.label,
+            )
+        )
+    print(format_table(
+        [
+            "algorithm",
+            "crash ok",
+            "collisions ok",
+            "uniform: all",
+            "round-robin: all",
+            "classified as",
+        ],
+        rows,
+    ))
+    print(
+        "\nTakeaway: under the uniform stochastic scheduler the entire "
+        "non-blocking column behaves wait-free (everyone progresses) — "
+        "the paper's thesis.  The distinctions only reappear under "
+        "adversarial or crashing schedules."
+    )
+
+
+if __name__ == "__main__":
+    main()

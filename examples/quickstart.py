@@ -1,0 +1,53 @@
+"""Quickstart: is your lock-free algorithm practically wait-free?
+
+Measures the classic lock-free fetch-and-increment counter (the
+``SCU(0, 1)`` pattern) under the paper's uniform stochastic scheduler
+and compares three numbers:
+
+* the simulated system/individual latency,
+* the exact answer from the paper's Markov system chain,
+* the paper's closed-form O(q + s sqrt(n)) bound and the adversarial
+  worst case Theta(q + s n).
+
+Run:  python examples/quickstart.py [n_processes]
+"""
+
+import sys
+
+from repro import SCU, UniformStochasticScheduler
+from repro.bench.formats import format_table
+from repro.chains.scu import scu_system_latency_exact
+
+
+def main(n: int = 16) -> None:
+    spec = SCU(q=0, s=1)  # read R; CAS(R, v, v'); retry on failure
+    print(f"Simulating {n} processes running the lock-free counter "
+          f"(SCU(q={spec.q}, s={spec.s})) under the uniform stochastic "
+          "scheduler...\n")
+
+    measured = spec.measure(n, steps=300_000, rng=0)
+    exact = scu_system_latency_exact(n)
+
+    rows = [
+        ("system latency (steps/completion)", measured.system_latency,
+         exact, spec.predicted_system_latency(n)),
+        ("individual latency", measured.max_individual_latency,
+         n * exact, spec.predicted_individual_latency(n)),
+    ]
+    print(format_table(
+        ["metric", "simulated", "exact chain", "paper bound (alpha=4)"], rows
+    ))
+
+    print(f"\nworst-case (adversarial) system latency: "
+          f"{spec.worst_case_system_latency(n):.0f} steps")
+    print(f"completion rate: {measured.completion_rate:.4f} ops/step "
+          f"(worst case {1.0 / (2 * n):.4f})")
+    print(f"fairness W_i/(n W): {measured.fairness_ratio:.3f}  "
+          "(1.0 = the paper's Lemma 7, every process equally served)")
+    print("\nTakeaway: under a fair randomized scheduler the lock-free "
+          "counter completes an operation every ~1.9*sqrt(n) steps and no "
+          "process starves — it behaves wait-free in practice.")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16)

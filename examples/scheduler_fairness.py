@@ -1,0 +1,72 @@
+"""Reproduce the paper's Appendix A scheduler statistics (Figures 3-4).
+
+The paper records real schedules on a 16-hardware-thread machine and
+observes (i) long-run fairness and (ii) local near-uniformity.  We use
+the hardware-like synthetic scheduler — quantum runs, speed jitter — and
+show the same two statistics, next to the uniform stochastic model.
+
+Run:  python examples/scheduler_fairness.py
+"""
+
+import numpy as np
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.bench.formats import format_table
+from repro.core.scheduler import HardwareLikeScheduler, UniformStochasticScheduler
+from repro.sim.executor import Simulator
+from repro.stats.compare import chi_square_uniformity, empirical_threshold
+
+N = 16
+STEPS = 200_000
+
+
+def record(scheduler, seed):
+    sim = Simulator(
+        cas_counter(),
+        scheduler,
+        n_processes=N,
+        memory=make_counter_memory(),
+        record_schedule=True,
+        rng=seed,
+    )
+    sim.run(STEPS)
+    return sim.recorder.schedule
+
+
+def main() -> None:
+    hardware = record(HardwareLikeScheduler(), seed=0)
+    uniform = record(UniformStochasticScheduler(), seed=1)
+
+    print("Figure 3 — percentage of steps taken by each process "
+          f"({STEPS} steps, {N} threads):\n")
+    rows = [
+        (pid, 100 * hardware.step_shares()[pid], 100 * uniform.step_shares()[pid])
+        for pid in range(N)
+    ]
+    print(format_table(
+        ["process", "hardware-like %", "uniform model %"], rows, precision=2
+    ))
+    print(f"\nideal share: {100 / N:.2f}%")
+
+    print("\nFigure 4 — who steps right after p1 steps:\n")
+    hw_succ = hardware.successor_shares(1)
+    un_succ = uniform.successor_shares(1)
+    rows = [(pid, 100 * hw_succ[pid], 100 * un_succ[pid]) for pid in range(N)]
+    print(format_table(
+        ["next process", "hardware-like %", "uniform model %"], rows, precision=2
+    ))
+
+    _, p_hw = chi_square_uniformity(
+        np.bincount(hardware.as_array(), minlength=N)
+    )
+    print(f"\nchi-square uniformity p-value (hardware-like shares): {p_hw:.3f}")
+    print(f"empirical weak-fairness threshold theta-hat: "
+          f"{empirical_threshold(hardware.as_array(), N):.4f} "
+          f"(uniform model: {1 / N:.4f})")
+    print("\nTakeaway: over long executions the bursty, jittery scheduler "
+          "is statistically indistinguishable from the uniform stochastic "
+          "model in the aggregates the analysis relies on.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Beyond the paper: exact latencies under NON-uniform stochastic
+schedulers (the open question of Section 8).
+
+For small n the full individual chain is tractable even without the
+symmetry that the paper's lifting exploits.  We compute exact system and
+per-process latencies of the scan-validate counter while one process's
+scheduling weight shrinks, and cross-check one point against simulation.
+
+Run:  python examples/skewed_scheduler_analysis.py
+"""
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.bench.formats import format_table
+from repro.chains.weighted import scu_weighted_latencies
+from repro.core.latency import measure_latencies
+from repro.core.scheduler import SkewedStochasticScheduler
+
+N = 4
+
+
+def main() -> None:
+    print(f"Scan-validate counter, n = {N}: one process's scheduling "
+          "weight shrinks while the others stay at 1.\n")
+    rows = []
+    for slow_weight in (1.0, 0.75, 0.5, 0.25, 0.1):
+        weights = [1.0] * (N - 1) + [slow_weight]
+        w_system, individual = scu_weighted_latencies(weights)
+        rows.append(
+            (
+                slow_weight,
+                w_system,
+                individual[0],
+                individual[N - 1],
+                individual[N - 1] / (individual[0] or 1),
+            )
+        )
+    print(format_table(
+        [
+            "slow weight",
+            "system W",
+            "fast process W_i",
+            "slow process W_i",
+            "slow/fast ratio",
+        ],
+        rows,
+        precision=2,
+    ))
+
+    weights = [1.0, 1.0, 1.0, 0.5]
+    w_exact, individual_exact = scu_weighted_latencies(weights)
+    m = measure_latencies(
+        cas_counter(),
+        SkewedStochasticScheduler(weights),
+        n_processes=N,
+        steps=400_000,
+        memory=make_counter_memory(),
+        rng=0,
+    )
+    print("\ncross-check at slow weight 0.5:")
+    print(f"  exact:     system {w_exact:.3f}, slow process "
+          f"{individual_exact[3]:.1f}")
+    print(f"  simulated: system {m.system_latency:.3f}, slow process "
+          f"{m.individual[3]:.1f}")
+
+    print("\nTakeaways: the SYSTEM latency barely moves (the fast "
+          "processes pick up the slack), but the slow process pays "
+          "super-linearly — its rarer CAS attempts are also likelier to "
+          "be invalidated.  Practical wait-freedom needs long-run "
+          "fairness, exactly as the paper's model assumes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+"""Practical wait-freedom of real data structures: Treiber stack and
+Michael-Scott queue under a fair scheduler vs a starvation adversary.
+
+Shows the paper's headline phenomenon on the data structures its
+introduction motivates: under the stochastic scheduler every thread
+completes operations at the same rate; under an adversary the victim
+starves even though the structure is lock-free.
+
+Run:  python examples/stack_queue_progress.py
+"""
+
+from repro.algorithms.msqueue import (
+    MSQueueWorkload,
+    make_queue_memory,
+    ms_queue_workload,
+)
+from repro.algorithms.treiber import (
+    TreiberWorkload,
+    make_stack_memory,
+    treiber_workload,
+)
+from repro.bench.formats import format_table
+from repro.core.progress import progress_report
+from repro.core.scheduler import AdversarialScheduler, UniformStochasticScheduler
+from repro.sim.executor import Simulator
+
+N = 8
+STEPS = 60_000
+
+
+def run(name, factory, memory, scheduler, seed=0):
+    sim = Simulator(
+        factory,
+        scheduler,
+        n_processes=N,
+        memory=memory,
+        record_history=True,
+        rng=seed,
+    )
+    result = sim.run(STEPS)
+    report = progress_report(
+        result.history, result.steps_executed, starvation_window=STEPS // 2
+    )
+    completions = [result.completions_of(pid) for pid in range(N)]
+    return name, completions, report
+
+
+def main() -> None:
+    runs = [
+        run(
+            "stack / uniform",
+            treiber_workload(TreiberWorkload(seed=1)),
+            make_stack_memory(),
+            UniformStochasticScheduler(),
+        ),
+        run(
+            "stack / starve p0",
+            treiber_workload(TreiberWorkload(seed=1)),
+            make_stack_memory(),
+            AdversarialScheduler.starve(0),
+        ),
+        run(
+            "queue / uniform",
+            ms_queue_workload(MSQueueWorkload(seed=1)),
+            make_queue_memory(),
+            UniformStochasticScheduler(),
+        ),
+        run(
+            "queue / starve p0",
+            ms_queue_workload(MSQueueWorkload(seed=1)),
+            make_queue_memory(),
+            AdversarialScheduler.starve(0),
+        ),
+    ]
+
+    rows = []
+    for name, completions, report in runs:
+        rows.append(
+            (
+                name,
+                sum(completions),
+                min(completions),
+                max(completions),
+                "yes" if report.made_maximal_progress else "NO",
+                ",".join(str(p) for p in sorted(report.starved)) or "-",
+            )
+        )
+    print(format_table(
+        [
+            "run",
+            "total ops",
+            "min ops/proc",
+            "max ops/proc",
+            "everyone progressed",
+            "starved pids",
+        ],
+        rows,
+        precision=0,
+    ))
+    print(
+        "\nTakeaway: the same lock-free code is wait-free in practice "
+        "under the stochastic scheduler and starves a victim under an "
+        "adversary — progress is a property of the algorithm *and* the "
+        "scheduler."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,8 @@
+"""Setup shim so editable installs work without the `wheel` package.
+
+`pip install -e .` on this offline box falls back to `setup.py develop`,
+which needs this file; all metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,63 @@
+"""Lock-free algorithms implemented on the shared-memory simulator.
+
+Every algorithm here is expressed as a generator of shared-memory
+operations (see :mod:`repro.sim`), one yield per step, exactly mirroring
+the paper's pseudocode:
+
+* :mod:`repro.algorithms.counter` — the CAS-loop fetch-and-increment
+  counter, the canonical ``SCU(0, 1)`` member (Algorithm 3 instantiated;
+  also the implementation measured in Appendix B / Figure 5).
+* :mod:`repro.algorithms.augmented_counter` — Algorithm 5, the
+  fetch-and-increment built from augmented CAS (Section 7).
+* :mod:`repro.algorithms.scu` — the generic ``SCU(q, s)`` skeleton
+  (Algorithm 2): ``q`` preamble steps, then scan ``s`` registers and CAS.
+* :mod:`repro.algorithms.parallel` — Algorithm 4, parallel code: ``q``
+  steps that always complete (Section 6.2).
+* :mod:`repro.algorithms.unbounded` — Algorithm 1, the *unbounded*
+  lock-free algorithm that is not wait-free w.h.p. (Lemma 2).
+* :mod:`repro.algorithms.treiber` — Treiber's lock-free stack [21].
+* :mod:`repro.algorithms.msqueue` — the Michael-Scott lock-free queue [17].
+* :mod:`repro.algorithms.universal` — a Herlihy-style universal
+  construction in SCU form [9]: any sequential object, lock-free.
+* :mod:`repro.algorithms.backoff_counter` — the CAS counter with local
+  back-off (the Section 8 open-question probe).
+* :mod:`repro.algorithms.locks` — blocking counters: TAS spin lock
+  (deadlock-free) and ticket lock (starvation-free, reference [15]).
+* :mod:`repro.algorithms.obstruction` — a collision-abort counter that
+  is obstruction-free but not lock-free.
+"""
+
+from repro.algorithms.augmented_counter import augmented_cas_counter
+from repro.algorithms.backoff_counter import backoff_counter
+from repro.algorithms.counter import cas_counter, cas_counter_method
+from repro.algorithms.harris_set import SetWorkload, harris_set_workload
+from repro.algorithms.locks import tas_lock_counter, ticket_lock_counter
+from repro.algorithms.msqueue import MSQueueWorkload, ms_queue_workload
+from repro.algorithms.obstruction import obstruction_free_counter
+from repro.algorithms.parallel import parallel_code
+from repro.algorithms.scu import scu_algorithm, scu_method
+from repro.algorithms.treiber import TreiberWorkload, treiber_workload
+from repro.algorithms.unbounded import unbounded_lockfree
+from repro.algorithms.universal import UniversalObject, universal_workload
+
+__all__ = [
+    "MSQueueWorkload",
+    "SetWorkload",
+    "TreiberWorkload",
+    "UniversalObject",
+    "augmented_cas_counter",
+    "backoff_counter",
+    "cas_counter",
+    "cas_counter_method",
+    "harris_set_workload",
+    "ms_queue_workload",
+    "obstruction_free_counter",
+    "parallel_code",
+    "scu_algorithm",
+    "scu_method",
+    "tas_lock_counter",
+    "ticket_lock_counter",
+    "treiber_workload",
+    "unbounded_lockfree",
+    "universal_workload",
+]

@@ -1,0 +1,74 @@
+"""Fetch-and-increment from *augmented* CAS (Section 7, Algorithm 5).
+
+Some architectures return the register's current value from a failed CAS
+(x86 ``CMPXCHG`` does).  The paper exploits this to build a one-step-per-
+attempt counter: every step is a single augmented CAS, after which the
+process always knows the register's current value —
+
+* on success, the process wrote ``v + 1``, so its local value is current;
+* on failure, the returned value *is* the current value.
+
+Consequently, in the induced Markov chain a process is always in one of
+two extended local states, ``Current`` (its next CAS will succeed if
+scheduled) or ``Stale`` — and every step by any process moves that process
+to ``Current``, while a success makes everyone else ``Stale``.  These are
+exactly the transitions of the individual chain of Section 7.1
+(:mod:`repro.chains.counter`).
+
+Each completed operation costs one step in the best case; the expected
+number of *system* steps between completions is the Ramanujan-Q return
+time ``W = Z(n-1) ~ sqrt(pi n / 2)`` (Lemma 12).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.memory import Memory
+from repro.sim.ops import augmented_cas
+from repro.sim.process import Completion, Invoke, ProcessGenerator, ProcessFactory
+
+DEFAULT_REGISTER = "counter"
+
+
+def augmented_cas_counter(
+    register: str = DEFAULT_REGISTER,
+    *,
+    calls: Optional[int] = None,
+) -> ProcessFactory:
+    """Process factory for Algorithm 5.
+
+    The local value ``v`` persists *across* method calls (the pseudocode's
+    ``v <- 0`` happens once), so the factory wraps the whole loop rather
+    than a per-call generator: each successful CAS completes one
+    ``fetch_and_inc`` invocation and the next invocation starts
+    immediately with the already-current local value.
+    """
+
+    def factory(pid: int) -> ProcessGenerator:
+        local = 0
+        completed = 0
+        while calls is None or completed < calls:
+            yield Invoke("fetch_and_inc")
+            while True:
+                previous = yield augmented_cas(register, local, local + 1)
+                if previous == local:
+                    # Success: we installed local + 1, which is now current.
+                    fetched = local
+                    local = local + 1
+                    break
+                # Failure: the augmented CAS told us the current value.
+                local = previous
+            yield Completion(fetched, "fetch_and_inc")
+            completed += 1
+
+    return factory
+
+
+def make_augmented_counter_memory(
+    register: str = DEFAULT_REGISTER, initial: int = 0
+) -> Memory:
+    """A memory with the counter register initialised."""
+    memory = Memory()
+    memory.register(register, initial)
+    return memory

@@ -1,0 +1,70 @@
+"""A CAS counter with constant local back-off — probing the paper's
+closing question.
+
+Section 8 asks "whether there exist concurrent algorithms which avoid
+the Theta(sqrt(n)) contention factor in the latency".  The classic
+engineering answer is back-off: after a failed CAS, wait before
+re-reading so fewer processes hold a pending CAS at once.
+
+In the paper's model a wait is ``k`` no-op *steps* (a process cannot
+sleep off the clock — the scheduler keeps scheduling it), so back-off
+trades the loser's own progress for reduced invalidation pressure on
+everyone else.  The ABL3 benchmark measures the trade across ``k`` and
+finds back-off *strictly loses* in this model: the system latency grows
+monotonically with ``k`` at every ``n``, and the sqrt(n) shape persists.
+The step-counting model charges a waiting process for its steps, unlike
+real hardware where a backing-off thread frees the coherence bus — a
+concrete boundary of the model, and evidence for the paper's closing
+conjecture that the Theta(sqrt(n)) contention factor is intrinsic to
+the class.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.memory import Memory
+from repro.sim.ops import CAS, Nop, Read
+from repro.sim.process import ProcessFactory, repeat_method
+
+DEFAULT_REGISTER = "counter"
+
+
+def backoff_counter_method(
+    pid: int, backoff: int, register: str = DEFAULT_REGISTER
+) -> Generator[Any, Any, int]:
+    """One fetch-and-increment with ``backoff`` no-op steps after each
+    failed CAS; returns the fetched value."""
+    if backoff < 0:
+        raise ValueError("backoff must be non-negative")
+    while True:
+        value = yield Read(register)
+        success = yield CAS(register, value, value + 1)
+        if success:
+            return value
+        for _ in range(backoff):
+            yield Nop()
+
+
+def backoff_counter(
+    backoff: int,
+    register: str = DEFAULT_REGISTER,
+    *,
+    calls: Optional[int] = None,
+) -> ProcessFactory:
+    """Process factory for the backing-off counter.
+
+    ``backoff = 0`` reduces to :func:`repro.algorithms.counter.cas_counter`.
+    """
+
+    def method_call(pid: int) -> Generator[Any, Any, int]:
+        return backoff_counter_method(pid, backoff, register)
+
+    return repeat_method(method_call, method="fetch_and_inc_backoff", calls=calls)
+
+
+def make_backoff_memory(register: str = DEFAULT_REGISTER, initial: int = 0) -> Memory:
+    """A memory with the counter register initialised."""
+    memory = Memory()
+    memory.register(register, initial)
+    return memory

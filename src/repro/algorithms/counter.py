@@ -1,0 +1,57 @@
+"""The CAS-loop fetch-and-increment counter — ``SCU(0, 1)``.
+
+This is the implementation the paper measures in Appendix B (Figure 5):
+"a fetch-and-increment counter implementation which simply reads the value
+``v`` of a shared register ``R``, and then attempts to increment the value
+using a ``CAS(R, v, v + 1)`` call."
+
+Each attempt costs two steps (one read, one CAS); the method call
+completes at the step of the successful CAS.  The predicted completion
+rate under the uniform stochastic scheduler is ``Theta(1/sqrt(n))``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.memory import Memory
+from repro.sim.ops import CAS, Read
+from repro.sim.process import ProcessFactory, repeat_method
+
+DEFAULT_REGISTER = "counter"
+
+
+def cas_counter_method(
+    pid: int, register: str = DEFAULT_REGISTER
+) -> Generator[Any, Any, int]:
+    """One fetch-and-increment method call; returns the fetched value."""
+    while True:
+        value = yield Read(register)
+        success = yield CAS(register, value, value + 1)
+        if success:
+            return value
+
+
+def cas_counter(
+    register: str = DEFAULT_REGISTER,
+    *,
+    calls: Optional[int] = None,
+) -> ProcessFactory:
+    """Process factory: an endless (or ``calls``-bounded) stream of
+    fetch-and-increment operations on ``register``.
+
+    Initialise the register to 0 with :func:`make_counter_memory` (or any
+    integer) before running.
+    """
+
+    def method_call(pid: int) -> Generator[Any, Any, int]:
+        return cas_counter_method(pid, register)
+
+    return repeat_method(method_call, method="fetch_and_inc", calls=calls)
+
+
+def make_counter_memory(register: str = DEFAULT_REGISTER, initial: int = 0) -> Memory:
+    """A memory with the counter register initialised."""
+    memory = Memory()
+    memory.register(register, initial)
+    return memory

@@ -1,0 +1,210 @@
+"""A Harris-style lock-free ordered set (linked list with logical
+deletion).
+
+Included to stress the framework beyond strict ``SCU(q, s)``: removal
+needs *two* conceptual CAS targets (mark, then unlink), searches help by
+physically unlinking marked nodes, and operations traverse arbitrarily
+long prefixes — yet under the uniform stochastic scheduler the structure
+still behaves practically wait-free, which is exactly the genre of
+empirical claim the paper's framework is meant to support.
+
+Representation on the simulator: each node is a unique integer id; a
+node's successor pointer and deletion mark live together in register
+``link:{id}`` as an immutable pair ``(next_id, marked)`` — the standard
+single-word encoding of Harris's mark bit (on hardware, a tagged
+pointer).  Keys are written to ``key:{id}`` before the node is linked.
+The list is sorted ascending with integer sentinels ``-inf``/``+inf``
+(ids 0 and 1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Generator, Optional, Tuple
+
+import numpy as np
+
+from repro.sim.memory import Memory
+from repro.sim.ops import CAS, Read, Write
+from repro.sim.process import Completion, Invoke, ProcessFactory, ProcessGenerator
+
+HEAD = 0
+TAIL = 1
+HEAD_KEY = float("-inf")
+TAIL_KEY = float("inf")
+
+
+def _link(node: int) -> str:
+    return f"link:{node}"
+
+
+def _key(node: int) -> str:
+    return f"key:{node}"
+
+
+def make_set_memory() -> Memory:
+    """Memory with an empty set: head -> tail sentinels."""
+    memory = Memory()
+    memory.register(_key(HEAD), HEAD_KEY)
+    memory.register(_key(TAIL), TAIL_KEY)
+    memory.register(_link(HEAD), (TAIL, False))
+    memory.register(_link(TAIL), (None, False))
+    return memory
+
+
+def _search(key) -> Generator[Any, Any, Tuple[int, int]]:
+    """Harris's search: find adjacent nodes ``(left, right)`` with
+    ``key(left) < key <= key(right)``, ``left`` unmarked and pointing at
+    ``right``, physically unlinking any marked chain in between.
+
+    A node ``X`` is logically deleted iff its own link word
+    ``link:{X} = (successor, marked)`` carries the mark.
+    """
+    while True:  # try_again
+        # Phase 1: walk from head; remember the last unmarked node seen
+        # (left) and the link word we read from it (left_next).
+        t = HEAD
+        t_link = yield Read(_link(t))
+        left, left_next = HEAD, t_link[0]
+        while True:
+            if not t_link[1]:
+                left, left_next = t, t_link[0]
+            t = t_link[0]
+            if t == TAIL:
+                break
+            t_key = yield Read(_key(t))
+            t_link = yield Read(_link(t))
+            if not (t_link[1] or t_key < key):
+                break
+        right = t
+
+        # Phase 2: already adjacent?  (Re-check right is still alive.)
+        if left_next == right:
+            if right != TAIL:
+                r_link = yield Read(_link(right))
+                if r_link[1]:
+                    continue
+            return left, right
+
+        # Phase 3: unlink the marked chain between left and right.
+        swung = yield CAS(_link(left), (left_next, False), (right, False))
+        if swung:
+            if right != TAIL:
+                r_link = yield Read(_link(right))
+                if r_link[1]:
+                    continue
+            return left, right
+
+
+def contains_method(pid: int, key) -> Generator[Any, Any, bool]:
+    """Wait-free-ish membership test (read-only traversal)."""
+    node = HEAD
+    while True:
+        link = yield Read(_link(node))
+        next_node, _ = link
+        if next_node is None:
+            return False
+        next_key = yield Read(_key(next_node))
+        if next_key >= key:
+            if next_key != key:
+                return False
+            next_link = yield Read(_link(next_node))
+            return not next_link[1]
+        node = next_node
+
+
+def insert_method(
+    pid: int, key, allocator
+) -> Generator[Any, Any, bool]:
+    """Insert ``key``; returns True if added, False if already present."""
+    node: Optional[int] = None
+    while True:
+        left, right = yield from _search(key)
+        right_key = yield Read(_key(right))
+        if right_key == key:
+            return False
+        if node is None:
+            node = next(allocator)
+            yield Write(_key(node), key)
+        yield Write(_link(node), (right, False))
+        linked = yield CAS(_link(left), (right, False), (node, False))
+        if linked:
+            return True
+
+
+def remove_method(pid: int, key) -> Generator[Any, Any, bool]:
+    """Remove ``key``; returns True if removed, False if absent."""
+    while True:
+        left, right = yield from _search(key)
+        right_key = yield Read(_key(right))
+        if right_key != key:
+            return False
+        # Logical deletion: mark right's successor link.
+        link = yield Read(_link(right))
+        next_node, marked = link
+        if marked:
+            continue  # someone else is deleting it; retry from search
+        did_mark = yield CAS(_link(right), (next_node, False), (next_node, True))
+        if not did_mark:
+            continue
+        # Physical unlink (best effort; searches will help if we fail).
+        yield CAS(_link(left), (right, False), (next_node, False))
+        return True
+
+
+@dataclass(frozen=True)
+class SetWorkload:
+    """Parameters of an ordered-set stress workload."""
+
+    key_range: int = 32
+    insert_fraction: float = 0.4
+    remove_fraction: float = 0.3
+    seed: int = 0
+
+
+def harris_set_workload(
+    workload: Optional[SetWorkload] = None,
+    *,
+    calls: Optional[int] = None,
+) -> ProcessFactory:
+    """Process factory: a seeded mix of insert / remove / contains."""
+    if workload is None:
+        workload = SetWorkload()
+    if workload.insert_fraction + workload.remove_fraction > 1.0:
+        raise ValueError("insert + remove fractions must be at most 1")
+    allocator = itertools.count(2)  # 0 and 1 are sentinels
+
+    def factory(pid: int) -> ProcessGenerator:
+        rng = np.random.default_rng((workload.seed, pid))
+        completed = 0
+        while calls is None or completed < calls:
+            roll = rng.random()
+            key = int(rng.integers(workload.key_range))
+            if roll < workload.insert_fraction:
+                yield Invoke("insert", key)
+                result = yield from insert_method(pid, key, allocator)
+                yield Completion(result, "insert")
+            elif roll < workload.insert_fraction + workload.remove_fraction:
+                yield Invoke("remove", key)
+                result = yield from remove_method(pid, key)
+                yield Completion(result, "remove")
+            else:
+                yield Invoke("contains", key)
+                result = yield from contains_method(pid, key)
+                yield Completion(result, "contains")
+            completed += 1
+
+    return factory
+
+
+def set_contents(memory: Memory) -> list:
+    """The set's unmarked keys in order (measurement helper)."""
+    out = []
+    node, _ = memory.read(_link(HEAD))
+    while node is not None and node != TAIL:
+        next_node, marked = memory.read(_link(node))
+        if not marked:
+            out.append(memory.read(_key(node)))
+        node = next_node
+    return out

@@ -1,0 +1,87 @@
+"""Lock-based (blocking) counters: the other half of Section 2.2.
+
+The paper's taxonomy pairs each non-blocking progress class with a
+blocking one: deadlock-freedom is minimal progress *with* locks,
+starvation-freedom is maximal progress with locks.  These two counters
+make the pairing executable:
+
+* :func:`tas_lock_counter` — test-and-set spin lock.  Deadlock-free:
+  under any crash-free schedule somebody acquires the lock, but a
+  specific process can starve (the lock is unfair).
+* :func:`ticket_lock_counter` — Lamport-style ticket lock (the paper's
+  reference [15] provides starvation-freedom with locks).
+  Starvation-free: tickets are served in order, so under any crash-free
+  fair schedule every process completes.
+
+Both are *blocking*: crash the lock holder and every other process
+spins forever — the experiment
+:func:`repro.core.classify.classify_progress` runs to separate blocking
+from non-blocking code.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.memory import Memory
+from repro.sim.ops import CAS, FetchAndIncrement, Read, Write
+from repro.sim.process import ProcessFactory, repeat_method
+
+LOCK = "lock"
+COUNTER = "locked_counter"
+NEXT_TICKET = "next_ticket"
+NOW_SERVING = "now_serving"
+
+
+def tas_lock_method(pid: int) -> Generator[Any, Any, int]:
+    """Acquire a test-and-set lock, increment, release; returns the
+    pre-increment value."""
+    while True:
+        acquired = yield CAS(LOCK, False, True)
+        if acquired:
+            break
+    value = yield Read(COUNTER)
+    yield Write(COUNTER, value + 1)
+    yield Write(LOCK, False)
+    return value
+
+
+def tas_lock_counter(*, calls: Optional[int] = None) -> ProcessFactory:
+    """Process factory for the TAS-lock counter (deadlock-free, blocking)."""
+    return repeat_method(tas_lock_method, method="locked_inc", calls=calls)
+
+
+def make_tas_memory() -> Memory:
+    """Memory with the lock free and the counter at 0."""
+    memory = Memory()
+    memory.register(LOCK, False)
+    memory.register(COUNTER, 0)
+    return memory
+
+
+def ticket_lock_method(pid: int) -> Generator[Any, Any, int]:
+    """Take a ticket, spin until served, increment, pass the baton."""
+    ticket = yield FetchAndIncrement(NEXT_TICKET)
+    while True:
+        serving = yield Read(NOW_SERVING)
+        if serving == ticket:
+            break
+    value = yield Read(COUNTER)
+    yield Write(COUNTER, value + 1)
+    yield Write(NOW_SERVING, ticket + 1)
+    return value
+
+
+def ticket_lock_counter(*, calls: Optional[int] = None) -> ProcessFactory:
+    """Process factory for the ticket-lock counter (starvation-free,
+    blocking)."""
+    return repeat_method(ticket_lock_method, method="ticket_inc", calls=calls)
+
+
+def make_ticket_memory() -> Memory:
+    """Memory with tickets at 0 and the counter at 0."""
+    memory = Memory()
+    memory.register(NEXT_TICKET, 0)
+    memory.register(NOW_SERVING, 0)
+    memory.register(COUNTER, 0)
+    return memory

@@ -1,0 +1,147 @@
+"""The Michael-Scott lock-free queue (the paper's reference [17]).
+
+Unlike the pure scan-validate pattern, the MS queue CASes *different*
+registers (a node's ``next`` pointer, then the ``tail``, or the ``head``)
+and contains helping (swinging a lagging tail).  It is included to show
+the framework handles lock-free algorithms beyond strict ``SCU(q, s)``
+and — in the structure ablation — that its latency under the uniform
+stochastic scheduler still scales like the model predicts.
+
+Representation: nodes are unique integers from a never-reusing allocator
+(so CAS comparisons cannot suffer ABA); a node's ``next`` pointer lives in
+register ``next:{id}``; node payloads are written to register
+``val:{id}`` *before* the node is published, costing one preamble step,
+exactly as a real enqueue initialises the node before linking it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.sim.memory import Memory
+from repro.sim.ops import CAS, Read, Write
+from repro.sim.process import Completion, Invoke, ProcessFactory, ProcessGenerator
+
+HEAD = "queue_head"
+TAIL = "queue_tail"
+
+#: Sentinel returned by ``dequeue`` on an empty queue.
+EMPTY = object()
+
+
+def _next_register(node: int) -> str:
+    return f"next:{node}"
+
+
+def _value_register(node: int) -> str:
+    return f"val:{node}"
+
+
+def enqueue_method(
+    pid: int, node: int, value: Any
+) -> Generator[Any, Any, Any]:
+    """One lock-free enqueue of a pre-allocated ``node``; returns ``value``.
+
+    The first step initialises the node's payload (preamble); the loop
+    then links the node at the tail and swings the tail pointer.
+    """
+    yield Write(_value_register(node), value)
+    while True:
+        tail = yield Read(TAIL)
+        nxt = yield Read(_next_register(tail))
+        if nxt is None:
+            linked = yield CAS(_next_register(tail), None, node)
+            if linked:
+                # Swing the tail; failure means someone helped us already.
+                yield CAS(TAIL, tail, node)
+                return value
+        else:
+            # Tail is lagging: help swing it before retrying.
+            yield CAS(TAIL, tail, nxt)
+
+
+def dequeue_method(pid: int) -> Generator[Any, Any, Any]:
+    """One lock-free dequeue; returns the value or :data:`EMPTY`."""
+    while True:
+        head = yield Read(HEAD)
+        tail = yield Read(TAIL)
+        nxt = yield Read(_next_register(head))
+        if head == tail:
+            if nxt is None:
+                return EMPTY
+            # Tail is lagging behind a non-empty queue: help.
+            yield CAS(TAIL, tail, nxt)
+        elif nxt is not None:
+            value = yield Read(_value_register(nxt))
+            moved = yield CAS(HEAD, head, nxt)
+            if moved:
+                return value
+        # Otherwise our snapshot was inconsistent; retry the loop.
+
+
+@dataclass(frozen=True)
+class MSQueueWorkload:
+    """Parameters of a queue stress workload."""
+
+    enqueue_fraction: float = 0.5
+    seed: int = 0
+
+
+def ms_queue_workload(
+    workload: Optional[MSQueueWorkload] = None,
+    *,
+    calls: Optional[int] = None,
+) -> ProcessFactory:
+    """Process factory: an endless seeded mix of enqueues and dequeues.
+
+    All factories returned by one call share a node allocator, so node
+    ids are globally unique across processes.
+    """
+    if workload is None:
+        workload = MSQueueWorkload()
+    if not 0.0 <= workload.enqueue_fraction <= 1.0:
+        raise ValueError("enqueue_fraction must lie in [0, 1]")
+    allocator = itertools.count(1)  # node 0 is the dummy
+
+    def factory(pid: int) -> ProcessGenerator:
+        rng = np.random.default_rng((workload.seed, pid))
+        produced = 0
+        completed = 0
+        while calls is None or completed < calls:
+            if rng.random() < workload.enqueue_fraction:
+                value_to_enqueue = (pid, produced)
+                yield Invoke("enqueue", value_to_enqueue)
+                node = next(allocator)
+                value = yield from enqueue_method(pid, node, value_to_enqueue)
+                produced += 1
+                yield Completion(value, "enqueue")
+            else:
+                yield Invoke("dequeue")
+                value = yield from dequeue_method(pid)
+                yield Completion(value, "dequeue")
+            completed += 1
+
+    return factory
+
+
+def make_queue_memory() -> Memory:
+    """Memory with an empty queue: a dummy node 0 at both head and tail."""
+    memory = Memory()
+    memory.register(HEAD, 0)
+    memory.register(TAIL, 0)
+    memory.register(_next_register(0), None)
+    return memory
+
+
+def queue_contents(memory: Memory) -> list:
+    """The queue's values front to back (measurement helper)."""
+    out = []
+    node = memory.read(_next_register(memory.read(HEAD)))
+    while node is not None:
+        out.append(memory.read(_value_register(node)))
+        node = memory.read(_next_register(node))
+    return out

@@ -1,0 +1,60 @@
+"""An obstruction-free (but NOT lock-free) counter.
+
+Section 2.2 defines obstruction-freedom as maximal progress in every
+*uniformly isolating* execution — a process running long enough alone
+completes.  The classic way to be obstruction-free without being
+lock-free is a *collision-abort* pattern: announce intent, do the work,
+and abort if anyone else announced meanwhile.
+
+``method``: write ``claim <- pid``; read the counter; re-read ``claim``;
+if it still names us, commit with a CAS, else abort and restart.  Two
+processes in lockstep abort each other forever (no minimal progress —
+not lock-free), yet any process given 4 consecutive steps completes
+(obstruction-free), and the final CAS keeps the counter safe under any
+interleaving.
+
+Under the uniform stochastic scheduler, Section 4's argument applies to
+*clash-free / obstruction-free* algorithms too: each process eventually
+gets enough consecutive steps, so the algorithm is practically
+wait-free — demonstrated in the tests and the progress-classifier
+example.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.memory import Memory
+from repro.sim.ops import CAS, Read, Write
+from repro.sim.process import ProcessFactory, repeat_method
+
+CLAIM = "of_claim"
+COUNTER = "of_counter"
+
+
+def obstruction_free_method(pid: int) -> Generator[Any, Any, int]:
+    """One collision-abort increment; returns the pre-increment value."""
+    while True:
+        yield Write(CLAIM, pid)
+        value = yield Read(COUNTER)
+        owner = yield Read(CLAIM)
+        if owner != pid:
+            continue  # collision: abort and retry
+        committed = yield CAS(COUNTER, value, value + 1)
+        if committed:
+            return value
+
+
+def obstruction_free_counter(*, calls: Optional[int] = None) -> ProcessFactory:
+    """Process factory for the collision-abort counter."""
+    return repeat_method(
+        obstruction_free_method, method="of_inc", calls=calls
+    )
+
+
+def make_obstruction_memory() -> Memory:
+    """Memory with the claim empty and the counter at 0."""
+    memory = Memory()
+    memory.register(CLAIM, None)
+    memory.register(COUNTER, 0)
+    return memory

@@ -1,0 +1,47 @@
+"""Parallel code (Section 6.2, Algorithm 4) — ``SCU(q, 0)``.
+
+A method call that completes after the process executes ``q`` steps,
+irrespective of what other processes do.  There is no contention at all:
+the induced chains (:mod:`repro.chains.parallel`) give system latency
+exactly ``q`` and individual latency exactly ``n * q`` (Lemma 11).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.ops import Nop, Write
+from repro.sim.process import ProcessFactory, repeat_method
+
+
+def parallel_method(
+    pid: int, q: int, *, touch_register: bool = False
+) -> Generator[Any, Any, int]:
+    """One parallel-code method call of ``q`` steps; returns ``q``.
+
+    With ``touch_register`` the steps write a per-process scratch register
+    instead of being pure no-ops — identical step accounting, but the
+    memory traffic is visible to tests asserting on register counters.
+    """
+    if q < 1:
+        raise ValueError("q must be at least 1 for a method call to cost a step")
+    for step in range(q):
+        if touch_register:
+            yield Write(f"scratch{pid}", step)
+        else:
+            yield Nop()
+    return q
+
+
+def parallel_code(
+    q: int,
+    *,
+    calls: Optional[int] = None,
+    touch_register: bool = False,
+) -> ProcessFactory:
+    """Process factory: an endless stream of ``q``-step parallel calls."""
+
+    def method_call(pid: int) -> Generator[Any, Any, int]:
+        return parallel_method(pid, q, touch_register=touch_register)
+
+    return repeat_method(method_call, method=f"parallel({q})", calls=calls)

@@ -1,0 +1,122 @@
+"""The generic ``SCU(q, s)`` skeleton (Section 5, Algorithm 2).
+
+An algorithm in ``SCU(q, s)`` runs a *preamble* of ``q`` steps (auxiliary
+work: local updates, allocation — memory traffic that does not touch the
+decision register), then loops through a *scan region* of ``s`` reads
+(the decision register ``R`` plus ``s - 1`` auxiliary registers) followed
+by a *validation* CAS on ``R``.  A successful CAS completes the method
+call; a failed CAS restarts the loop.
+
+Per the paper's assumptions, two processes never propose the same value
+for ``R`` — here each proposal carries a ``(pid, sequence)`` timestamp,
+which is exactly the paper's suggested fix ("this can be easily enforced
+by adding a timestamp to each request").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional, Tuple
+
+from repro.sim.memory import Memory
+from repro.sim.ops import CAS, Nop, Read
+from repro.sim.process import ProcessFactory, repeat_method
+
+DEFAULT_DECISION = "R"
+DEFAULT_AUX_PREFIX = "R_aux"
+
+
+@dataclass(frozen=True)
+class Proposal:
+    """A timestamped proposed state for the decision register.
+
+    ``payload`` is the logical new state; the ``(pid, sequence)`` pair
+    makes proposals globally unique so CAS comparisons are unambiguous.
+    """
+
+    pid: int
+    sequence: int
+    payload: Any = None
+
+
+def aux_register(index: int, prefix: str = DEFAULT_AUX_PREFIX) -> str:
+    """Name of the ``index``-th auxiliary scan register (1-based)."""
+    return f"{prefix}{index}"
+
+
+def scu_method(
+    pid: int,
+    q: int,
+    s: int,
+    *,
+    sequence_start: int = 0,
+    decision: str = DEFAULT_DECISION,
+    aux_prefix: str = DEFAULT_AUX_PREFIX,
+) -> Generator[Any, Any, Proposal]:
+    """One ``SCU(q, s)`` method call; returns the committed proposal.
+
+    Parameters mirror Algorithm 2: ``q`` preamble steps and ``s`` scan
+    steps (``s >= 1``; the first scan step reads the decision register).
+    """
+    if q < 0:
+        raise ValueError("q must be non-negative")
+    if s < 1:
+        raise ValueError("s must be at least 1 (the decision register read)")
+    # Preamble region: q steps of auxiliary memory traffic.  They may
+    # update the aux registers but never the decision register.
+    for step in range(q):
+        yield Nop()
+    sequence = sequence_start
+    while True:
+        # Scan region: read the decision register, then the s - 1
+        # auxiliary registers (the order is irrelevant to the analysis).
+        view = yield Read(decision)
+        for index in range(1, s):
+            yield Read(aux_register(index, aux_prefix))
+        proposal = Proposal(pid, sequence, payload=view)
+        sequence += 1
+        # Validation step.
+        success = yield CAS(decision, view, proposal)
+        if success:
+            return proposal
+
+
+def scu_algorithm(
+    q: int,
+    s: int,
+    *,
+    calls: Optional[int] = None,
+    decision: str = DEFAULT_DECISION,
+    aux_prefix: str = DEFAULT_AUX_PREFIX,
+) -> ProcessFactory:
+    """Process factory: an endless stream of ``SCU(q, s)`` method calls.
+
+    Proposal sequence numbers continue across calls so every proposal a
+    process ever makes is distinct.
+    """
+    sequence_counters = {}
+
+    def method_call(pid: int) -> Generator[Any, Any, Proposal]:
+        start = sequence_counters.get(pid, 0)
+        proposal = yield from scu_method(
+            pid, q, s, sequence_start=start, decision=decision, aux_prefix=aux_prefix
+        )
+        sequence_counters[pid] = proposal.sequence + 1
+        return proposal
+
+    return repeat_method(method_call, method=f"scu({q},{s})", calls=calls)
+
+
+def make_scu_memory(
+    s: int,
+    *,
+    decision: str = DEFAULT_DECISION,
+    aux_prefix: str = DEFAULT_AUX_PREFIX,
+    initial: Any = None,
+) -> Memory:
+    """A memory with the decision and auxiliary registers initialised."""
+    memory = Memory()
+    memory.register(decision, initial)
+    for index in range(1, s):
+        memory.register(aux_register(index, aux_prefix), 0)
+    return memory

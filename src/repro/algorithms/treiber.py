@@ -1,0 +1,131 @@
+"""Treiber's lock-free stack (the paper's reference [21]).
+
+The canonical ``SCU(q, s)`` data structure: both ``push`` and ``pop`` scan
+the ``top`` register and validate with a single CAS on it.  Nodes are
+fresh Python objects compared by identity, so the ABA problem cannot
+arise (the simulator's CAS uses ``==``, which is identity for these
+nodes) — the same effect the paper's timestamping assumption provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.sim.memory import Memory
+from repro.sim.ops import CAS, Read
+from repro.sim.process import Completion, Invoke, ProcessFactory, ProcessGenerator
+
+DEFAULT_TOP = "stack_top"
+
+#: Sentinel returned by ``pop`` on an empty stack.
+EMPTY = object()
+
+
+class Node:
+    """A stack node; equality is identity, so CAS never confuses nodes."""
+
+    __slots__ = ("value", "next")
+
+    def __init__(self, value: Any, next_node: Optional["Node"]) -> None:
+        self.value = value
+        self.next = next_node
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Node({self.value!r})"
+
+
+def push_method(
+    pid: int, value: Any, top: str = DEFAULT_TOP
+) -> Generator[Any, Any, Any]:
+    """One lock-free push; returns the pushed value."""
+    while True:
+        old = yield Read(top)
+        node = Node(value, old)
+        success = yield CAS(top, old, node)
+        if success:
+            return value
+
+
+def pop_method(pid: int, top: str = DEFAULT_TOP) -> Generator[Any, Any, Any]:
+    """One lock-free pop; returns the popped value or :data:`EMPTY`."""
+    while True:
+        old = yield Read(top)
+        if old is None:
+            return EMPTY
+        success = yield CAS(top, old, old.next)
+        if success:
+            return old.value
+
+
+@dataclass(frozen=True)
+class TreiberWorkload:
+    """Parameters of a stack stress workload.
+
+    Attributes
+    ----------
+    push_fraction:
+        Probability that each operation is a push (the rest are pops).
+    top:
+        Name of the ``top`` register.
+    seed:
+        Base seed; each process derives its own stream from it.
+    """
+
+    push_fraction: float = 0.5
+    top: str = DEFAULT_TOP
+    seed: int = 0
+
+
+def treiber_workload(
+    workload: Optional[TreiberWorkload] = None,
+    *,
+    calls: Optional[int] = None,
+) -> ProcessFactory:
+    """Process factory: an endless seeded mix of pushes and pops.
+
+    Pushed values are ``(pid, k)`` pairs, so every value is unique and
+    linearisation checks can track elements end to end.
+    """
+    if workload is None:
+        workload = TreiberWorkload()
+    if not 0.0 <= workload.push_fraction <= 1.0:
+        raise ValueError("push_fraction must lie in [0, 1]")
+
+    def factory(pid: int) -> ProcessGenerator:
+        rng = np.random.default_rng((workload.seed, pid))
+        pushed = 0
+        completed = 0
+        while calls is None or completed < calls:
+            if rng.random() < workload.push_fraction:
+                value_to_push = (pid, pushed)
+                yield Invoke("push", value_to_push)
+                value = yield from push_method(pid, value_to_push, workload.top)
+                pushed += 1
+                yield Completion(value, "push")
+            else:
+                yield Invoke("pop")
+                value = yield from pop_method(pid, workload.top)
+                yield Completion(value, "pop")
+            completed += 1
+
+    return factory
+
+
+def make_stack_memory(top: str = DEFAULT_TOP) -> Memory:
+    """Memory with an empty stack (``top`` register holding ``None``)."""
+    memory = Memory()
+    memory.register(top, None)
+    return memory
+
+
+def stack_contents(memory: Memory, top: str = DEFAULT_TOP) -> list:
+    """The stack's values from top to bottom (measurement helper)."""
+    out = []
+    node = memory.read(top)
+    while node is not None:
+        out.append(node.value)
+        node = node.next
+    return out

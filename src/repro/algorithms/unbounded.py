@@ -1,0 +1,97 @@
+"""Algorithm 1: an *unbounded* lock-free algorithm that is not wait-free
+with high probability (Lemma 2).
+
+Processes compete to CAS a counter upward.  A process that loses a CAS
+adopts the value it observed and then spins for ``n^2 * v`` read steps
+(``v`` being the adopted value) before retrying.  The back-off grows with
+every lost round, so under the uniform stochastic scheduler the first
+winner keeps winning: the probability that the initial winner ever loses
+again is at most ``2 e^{-n}``.
+
+The algorithm is lock-free (every CAS failure implies someone else's CAS
+succeeded — minimal progress) but provides *unbounded* minimal progress:
+there is no fixed ``B`` such that some operation completes in every
+``B``-step window, because the spinning stretches without bound.  It is
+the witness that Theorem 3's boundedness hypothesis cannot be dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.memory import Memory
+from repro.sim.ops import Read, augmented_cas
+from repro.sim.process import ProcessFactory, repeat_method
+
+DEFAULT_CAS_REGISTER = "C"
+DEFAULT_READ_REGISTER = "Rspin"
+
+
+def unbounded_method(
+    pid: int,
+    n_processes: int,
+    *,
+    initial_v: int = 0,
+    backoff_cap: Optional[int] = None,
+    cas_register: str = DEFAULT_CAS_REGISTER,
+    read_register: str = DEFAULT_READ_REGISTER,
+) -> Generator[Any, Any, int]:
+    """One method call of Algorithm 1; returns the value it installed.
+
+    ``backoff_cap`` optionally truncates each ``n^2 * v`` spin (the paper's
+    algorithm has no cap — pass ``None`` for fidelity; a cap makes bounded
+    variants for comparison experiments).
+    """
+    v = initial_v
+    while True:
+        val = yield augmented_cas(cas_register, v, v + 1)
+        if val == v:
+            return v + 1
+        v = val
+        spins = n_processes * n_processes * v
+        if backoff_cap is not None:
+            spins = min(spins, backoff_cap)
+        for _ in range(spins):
+            yield Read(read_register)
+
+
+def unbounded_lockfree(
+    n_processes: int,
+    *,
+    calls: Optional[int] = None,
+    backoff_cap: Optional[int] = None,
+    cas_register: str = DEFAULT_CAS_REGISTER,
+    read_register: str = DEFAULT_READ_REGISTER,
+) -> ProcessFactory:
+    """Process factory for Algorithm 1.
+
+    Each method call starts from the process's last observed counter value
+    (the pseudocode's ``v`` is local state initialised to 0 once).
+    """
+    last_seen = {}
+
+    def method_call(pid: int) -> Generator[Any, Any, int]:
+        start = last_seen.get(pid, 0)
+        installed = yield from unbounded_method(
+            pid,
+            n_processes,
+            initial_v=start,
+            backoff_cap=backoff_cap,
+            cas_register=cas_register,
+            read_register=read_register,
+        )
+        last_seen[pid] = installed
+        return installed
+
+    return repeat_method(method_call, method="unbounded_cas", calls=calls)
+
+
+def make_unbounded_memory(
+    cas_register: str = DEFAULT_CAS_REGISTER,
+    read_register: str = DEFAULT_READ_REGISTER,
+) -> Memory:
+    """Memory with the CAS object at 0 and the spin register present."""
+    memory = Memory()
+    memory.register(cas_register, 0)
+    memory.register(read_register, 0)
+    return memory

@@ -1,0 +1,133 @@
+"""A Herlihy-style universal construction in SCU form (reference [9]).
+
+Any sequential object — given as a pure ``apply(state, operation) ->
+(new_state, result)`` function — becomes a lock-free concurrent object:
+a method call reads the current versioned state from the decision
+register, computes the new state locally, and installs it with one CAS.
+This is exactly the pattern Section 5 calls universal ("every sequential
+object has a lock-free implementation in this class"), so it is a member
+of ``SCU(0, 1)`` for any sequential object whose state fits one register.
+
+Versioning makes CAS comparisons unambiguous (two installs can never
+carry the same ``(version, pid)`` pair), fulfilling the paper's
+distinct-proposals assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Generator, List, Optional, Sequence, Tuple
+
+from repro.sim.memory import Memory
+from repro.sim.ops import CAS, Read
+from repro.sim.process import Completion, Invoke, ProcessFactory, ProcessGenerator
+
+DEFAULT_STATE_REGISTER = "object_state"
+
+SequentialApply = Callable[[Any, Any], Tuple[Any, Any]]
+
+
+@dataclass(frozen=True)
+class VersionedState:
+    """The decision register's contents: a versioned immutable state."""
+
+    version: int
+    state: Any
+    installer: int = -1
+
+
+class UniversalObject:
+    """A sequential object lifted to a lock-free concurrent object.
+
+    Parameters
+    ----------
+    apply:
+        Pure function ``(state, operation) -> (new_state, result)``.
+        It must not mutate ``state`` — the old state stays visible to
+        concurrent scanners.
+    initial_state:
+        The object's initial sequential state.
+    register:
+        Name of the decision register.
+
+    Examples
+    --------
+    A counter: ``UniversalObject(lambda s, _op: (s + 1, s), 0)``.
+    """
+
+    def __init__(
+        self,
+        apply: SequentialApply,
+        initial_state: Any,
+        register: str = DEFAULT_STATE_REGISTER,
+    ) -> None:
+        self.apply = apply
+        self.initial_state = initial_state
+        self.register = register
+
+    def make_memory(self) -> Memory:
+        """Memory with the decision register holding version 0."""
+        memory = Memory()
+        memory.register(self.register, VersionedState(0, self.initial_state))
+        return memory
+
+    def method(
+        self, pid: int, operation: Any
+    ) -> Generator[Any, Any, Any]:
+        """One lock-free invocation of ``operation``; returns its result."""
+        while True:
+            current = yield Read(self.register)
+            new_state, result = self.apply(current.state, operation)
+            proposed = VersionedState(current.version + 1, new_state, pid)
+            success = yield CAS(self.register, current, proposed)
+            if success:
+                return result
+
+    def current_state(self, memory: Memory) -> Any:
+        """The sequential state currently installed (measurement helper)."""
+        return memory.read(self.register).state
+
+
+def universal_workload(
+    obj: UniversalObject,
+    operations: Callable[[int, int], Any],
+    *,
+    calls: Optional[int] = None,
+) -> ProcessFactory:
+    """Process factory: each process issues ``operations(pid, k)`` for
+    ``k = 0, 1, ...`` against the universal object."""
+
+    def factory(pid: int) -> ProcessGenerator:
+        k = 0
+        while calls is None or k < calls:
+            operation = operations(pid, k)
+            yield Invoke("apply", operation)
+            result = yield from obj.method(pid, operation)
+            yield Completion(result, "apply")
+            k += 1
+
+    return factory
+
+
+def sequential_counter() -> UniversalObject:
+    """A fetch-and-increment counter as a universal object."""
+    return UniversalObject(lambda state, _op: (state + 1, state), 0)
+
+
+def sequential_stack() -> UniversalObject:
+    """A stack (immutable-tuple representation) as a universal object.
+
+    Operations are ``("push", value)`` and ``("pop",)``; pop on empty
+    returns ``None``.
+    """
+
+    def apply(state: tuple, operation: Sequence) -> Tuple[tuple, Any]:
+        if operation[0] == "push":
+            return (operation[1],) + state, operation[1]
+        if operation[0] == "pop":
+            if not state:
+                return state, None
+            return state[1:], state[0]
+        raise ValueError(f"unknown stack operation {operation!r}")
+
+    return UniversalObject(apply, ())

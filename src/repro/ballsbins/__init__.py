@@ -1,0 +1,31 @@
+"""The iterated balls-into-bins game of Section 6.1.3.
+
+The game models the scan-validate component's system chain: one bin per
+process; a bin's ball count encodes how many more steps its process needs
+(2 balls = about to CAS successfully, 1 ball = about to read, 0 balls =
+about to fail a CAS).  Each step throws one ball into a uniformly random
+bin; when a bin reaches *three* balls a **reset** (= a successful CAS)
+occurs: the full bin drops to one ball and every two-ball bin empties.
+
+Phases (intervals between resets) have expected length
+``O(min(n / sqrt(a_i), n / b_i^{1/3}))`` (Lemma 8), and the process
+drifts away from the "third range" ``a_i < n/c`` quickly (Lemma 9) —
+together giving the ``O(sqrt(n))`` system latency of Theorem 5.
+"""
+
+from repro.ballsbins.game import BallsGame, PhaseRecord
+from repro.ballsbins.phases import (
+    phase_length_bound,
+    range_of,
+    run_phases,
+    summarize_phases,
+)
+
+__all__ = [
+    "BallsGame",
+    "PhaseRecord",
+    "phase_length_bound",
+    "range_of",
+    "run_phases",
+    "summarize_phases",
+]

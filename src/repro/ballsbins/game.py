@@ -1,0 +1,125 @@
+"""The iterated balls-into-bins game (Section 6.1.3)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Union
+
+import numpy as np
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+@dataclass(frozen=True)
+class PhaseRecord:
+    """One phase (the interval between two resets).
+
+    Attributes
+    ----------
+    index:
+        Phase number, starting at 0.
+    a:
+        Bins with exactly one ball at the phase start (``a_i``).
+    b:
+        Bins with zero balls at the phase start (``b_i``).
+    length:
+        Number of throws in the phase (the reset throw included).
+    winner:
+        The bin that reached three balls.
+    """
+
+    index: int
+    a: int
+    b: int
+    length: int
+    winner: int
+
+
+class BallsGame:
+    """The iterated game: throw, reset on a three-ball bin, repeat.
+
+    The initial configuration is one ball in every bin, matching the
+    paper's setup ("each bin already contains one ball") and the system
+    chain's initial state ``(n, 0)``.
+
+    The correspondence with the scan-validate system chain (checked by
+    tests): ``a`` = processes about to read = chain coordinate ``a``;
+    ``b`` = processes about to fail a CAS = chain coordinate ``b``; a
+    reset = a successful CAS = a completed operation.
+    """
+
+    def __init__(self, n_bins: int, rng: RngLike = None) -> None:
+        if n_bins < 1:
+            raise ValueError("n_bins must be positive")
+        self.n_bins = n_bins
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.balls = np.ones(n_bins, dtype=np.int64)
+        self.throws = 0
+        self.resets = 0
+        self._phase_start_counts = self._count_state()
+        self._phase_throws = 0
+
+    def _count_state(self):
+        a = int(np.count_nonzero(self.balls == 1))
+        b = int(np.count_nonzero(self.balls == 0))
+        return a, b
+
+    @property
+    def a(self) -> int:
+        """Bins currently holding exactly one ball."""
+        return int(np.count_nonzero(self.balls == 1))
+
+    @property
+    def b(self) -> int:
+        """Bins currently empty."""
+        return int(np.count_nonzero(self.balls == 0))
+
+    def throw(self) -> Optional[PhaseRecord]:
+        """Throw one ball; returns a :class:`PhaseRecord` if a reset occurred."""
+        bin_index = int(self.rng.integers(self.n_bins))
+        self.throws += 1
+        self._phase_throws += 1
+        self.balls[bin_index] += 1
+        if self.balls[bin_index] < 3:
+            return None
+        # Reset: the full bin drops to one ball, two-ball bins empty.
+        a_start, b_start = self._phase_start_counts
+        record = PhaseRecord(
+            index=self.resets,
+            a=a_start,
+            b=b_start,
+            length=self._phase_throws,
+            winner=bin_index,
+        )
+        self.balls[bin_index] = 1
+        self.balls[self.balls == 2] = 0
+        self.resets += 1
+        self._phase_start_counts = self._count_state()
+        self._phase_throws = 0
+        return record
+
+    def run_phase(self, *, max_throws: int = 100_000_000) -> PhaseRecord:
+        """Throw until the next reset; returns its record."""
+        for _ in range(max_throws):
+            record = self.throw()
+            if record is not None:
+                return record
+        raise ArithmeticError(f"no reset within {max_throws} throws")
+
+    def set_configuration(self, a: int, b: int, rng_shuffle: bool = False) -> None:
+        """Force the start-of-phase configuration to ``a`` one-ball bins and
+        ``b`` empty bins (the rest get two balls).
+
+        Lets experiments measure phase-length conditioned on ``(a_i, b_i)``
+        as in Lemma 8.  Note a *reachable* phase start has ``a + b = n``;
+        arbitrary mixes are allowed for exploration.
+        """
+        if a < 0 or b < 0 or a + b > self.n_bins:
+            raise ValueError("need a, b >= 0 with a + b <= n_bins")
+        counts = [1] * a + [0] * b + [2] * (self.n_bins - a - b)
+        balls = np.array(counts, dtype=np.int64)
+        if rng_shuffle:
+            self.rng.shuffle(balls)
+        self.balls = balls
+        self._phase_start_counts = self._count_state()
+        self._phase_throws = 0

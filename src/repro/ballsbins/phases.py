@@ -1,0 +1,129 @@
+"""Phase statistics for the iterated balls-into-bins game (Lemmas 8-9)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.ballsbins.game import BallsGame, PhaseRecord
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def phase_length_bound(n: int, a: int, b: int, alpha: float = 4.0) -> float:
+    """Lemma 8's expected phase length bound
+    ``min(2 alpha n / sqrt(a), 3 alpha n / b^(1/3))``.
+
+    Degenerate coordinates (``a == 0`` or ``b == 0``) drop the
+    corresponding term.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    candidates = []
+    if a > 0:
+        candidates.append(2.0 * alpha * n / np.sqrt(a))
+    if b > 0:
+        candidates.append(3.0 * alpha * n / b ** (1.0 / 3.0))
+    if not candidates:
+        raise ValueError("a and b cannot both be zero")
+    return float(min(candidates))
+
+
+def range_of(a: int, n: int, c: float = 10.0) -> int:
+    """The phase's range per Section 6.1.3: 1 if ``a in [n/3, n]``,
+    2 if ``a in [n/c, n/3)``, 3 if ``a in [0, n/c)``."""
+    if a >= n / 3.0:
+        return 1
+    if a >= n / c:
+        return 2
+    return 3
+
+
+def run_phases(
+    n: int,
+    phases: int,
+    rng: RngLike = None,
+    *,
+    game: Optional[BallsGame] = None,
+) -> List[PhaseRecord]:
+    """Run ``phases`` consecutive phases of a fresh (or given) game."""
+    if game is None:
+        game = BallsGame(n, rng)
+    return [game.run_phase() for _ in range(phases)]
+
+
+@dataclass(frozen=True)
+class PhaseSummary:
+    """Aggregate statistics over a sequence of phases."""
+
+    n: int
+    phases: int
+    mean_length: float
+    max_length: int
+    mean_a: float
+    mean_b: float
+    range_fractions: Dict[int, float]
+    bound_violations: int
+
+    @property
+    def latency_like(self) -> float:
+        """Mean phase length — the balls-game analogue of system latency."""
+        return self.mean_length
+
+
+def summarize_phases(
+    records: List[PhaseRecord], n: int, *, alpha: float = 4.0, c: float = 10.0
+) -> PhaseSummary:
+    """Summarise phase records against Lemma 8's expected-length bound.
+
+    ``bound_violations`` counts phases longer than the *high-probability*
+    bound inflated by ``sqrt(log n)`` — individual phases may exceed the
+    expectation bound, so violations of the inflated bound should be rare
+    (probability ``<= 1/n^alpha`` each, per Lemma 8).
+    """
+    if not records:
+        raise ValueError("no phase records given")
+    lengths = np.array([r.length for r in records], dtype=float)
+    a_values = np.array([r.a for r in records], dtype=float)
+    b_values = np.array([r.b for r in records], dtype=float)
+    ranges = np.array([range_of(r.a, n, c) for r in records])
+    range_fractions = {
+        rng_id: float(np.mean(ranges == rng_id)) for rng_id in (1, 2, 3)
+    }
+    log_factor = np.sqrt(max(np.log(n), 1.0))
+    violations = 0
+    for record in records:
+        bound = phase_length_bound(n, record.a, record.b, alpha) * log_factor
+        if record.length > bound:
+            violations += 1
+    return PhaseSummary(
+        n=n,
+        phases=len(records),
+        mean_length=float(lengths.mean()),
+        max_length=int(lengths.max()),
+        mean_a=float(a_values.mean()),
+        mean_b=float(b_values.mean()),
+        range_fractions=range_fractions,
+        bound_violations=violations,
+    )
+
+
+def conditional_phase_lengths(
+    n: int,
+    a: int,
+    samples: int,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Sampled lengths of phases started from a forced ``(a, n - a)`` split.
+
+    Used to chart Lemma 8's dependence of the phase length on ``a_i``.
+    """
+    generator = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+    game = BallsGame(n, generator)
+    lengths = np.empty(samples, dtype=np.int64)
+    for i in range(samples):
+        game.set_configuration(a, n - a, rng_shuffle=True)
+        lengths[i] = game.run_phase().length
+    return lengths

@@ -1,0 +1,12 @@
+"""Benchmark harness: experiment records and paper-style table output."""
+
+from repro.bench.harness import Experiment, ExperimentRegistry, Series
+from repro.bench.formats import format_series, format_table
+
+__all__ = [
+    "Experiment",
+    "ExperimentRegistry",
+    "Series",
+    "format_series",
+    "format_table",
+]

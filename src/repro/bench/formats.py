@@ -1,0 +1,61 @@
+"""Plain-text table/series formatting for benchmark output.
+
+The benchmarks print the rows/series each paper figure reports; these
+helpers keep that output aligned and diff-friendly (EXPERIMENTS.md embeds
+it verbatim).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell, precision: int) -> str:
+    if isinstance(cell, bool):
+        return str(cell)
+    if isinstance(cell, float):
+        return f"{cell:.{precision}f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Cell]],
+    *,
+    precision: int = 3,
+) -> str:
+    """Render an aligned plain-text table."""
+    rendered: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        cells = [_render(c, precision) for c in row]
+        if len(cells) != len(headers):
+            raise ValueError(
+                f"row has {len(cells)} cells for {len(headers)} headers"
+            )
+        rendered.append(cells)
+    widths = [max(len(r[i]) for r in rendered) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(rendered):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_series(
+    name: str,
+    xs: Sequence[Cell],
+    ys: Sequence[Cell],
+    *,
+    x_label: str = "x",
+    y_label: str = "y",
+    precision: int = 4,
+) -> str:
+    """Render one figure series as a labelled two-column table."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    header = f"series: {name}"
+    table = format_table([x_label, y_label], zip(xs, ys), precision=precision)
+    return f"{header}\n{table}"

@@ -1,0 +1,130 @@
+"""Experiment records: what each benchmark reproduces and what it found.
+
+Each benchmark module builds an :class:`Experiment` naming the paper
+artifact (figure/theorem), attaches measured series/rows, and prints it;
+the printed output is what EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.bench.formats import format_series, format_table
+
+
+@dataclass
+class Series:
+    """One plotted series of a figure: paired x/y values."""
+
+    name: str
+    xs: List[float]
+    ys: List[float]
+    x_label: str = "x"
+    y_label: str = "y"
+
+    def render(self, *, precision: int = 4) -> str:
+        return format_series(
+            self.name,
+            self.xs,
+            self.ys,
+            x_label=self.x_label,
+            y_label=self.y_label,
+            precision=precision,
+        )
+
+
+@dataclass
+class Experiment:
+    """A reproduced paper artifact.
+
+    Attributes
+    ----------
+    exp_id:
+        The DESIGN.md experiment id (e.g. ``"FIG5"`` or ``"THM4"``).
+    title:
+        Human-readable description of the artifact.
+    paper_claim:
+        What the paper states the artifact shows.
+    series:
+        Figure series (x/y pairs) measured here.
+    rows / headers:
+        Tabular results, when the artifact is better shown as a table.
+    notes:
+        Free-form commentary (substitutions, tolerances).
+    """
+
+    exp_id: str
+    title: str
+    paper_claim: str
+    series: List[Series] = field(default_factory=list)
+    headers: Optional[Sequence[str]] = None
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_series(
+        self,
+        name: str,
+        xs: Sequence[float],
+        ys: Sequence[float],
+        *,
+        x_label: str = "x",
+        y_label: str = "y",
+    ) -> Series:
+        series = Series(name, list(xs), list(ys), x_label, y_label)
+        self.series.append(series)
+        return series
+
+    def add_row(self, *cells) -> None:
+        if self.headers is None:
+            raise ValueError("set headers before adding rows")
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells for {len(self.headers)} headers"
+            )
+        self.rows.append(cells)
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+    def render(self, *, precision: int = 4) -> str:
+        parts = [
+            f"== {self.exp_id}: {self.title} ==",
+            f"paper claim: {self.paper_claim}",
+        ]
+        if self.headers is not None and self.rows:
+            parts.append(format_table(self.headers, self.rows, precision=precision))
+        for series in self.series:
+            parts.append(series.render(precision=precision))
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def report(self) -> None:
+        """Print the experiment record (captured by the bench logs)."""
+        print()
+        print(self.render())
+
+
+class ExperimentRegistry:
+    """Keeps experiments by id; lets a bench session collect and dump all."""
+
+    def __init__(self) -> None:
+        self._experiments: Dict[str, Experiment] = {}
+
+    def add(self, experiment: Experiment) -> Experiment:
+        if experiment.exp_id in self._experiments:
+            raise ValueError(f"duplicate experiment id {experiment.exp_id!r}")
+        self._experiments[experiment.exp_id] = experiment
+        return experiment
+
+    def get(self, exp_id: str) -> Experiment:
+        return self._experiments[exp_id]
+
+    def render_all(self) -> str:
+        return "\n\n".join(
+            exp.render() for _, exp in sorted(self._experiments.items())
+        )
+
+    def __len__(self) -> int:
+        return len(self._experiments)

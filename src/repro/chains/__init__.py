@@ -1,0 +1,103 @@
+"""The paper's Markov chains, built explicitly.
+
+Three families, each with an *individual* (per-process, exponential-size)
+chain, a collapsed *system* chain, and the lifting map between them:
+
+* :mod:`repro.chains.scu` — the scan-validate component (Section 6.1):
+  individual chain over ``{Read, OldCAS, CCAS}^n`` minus the all-``OldCAS``
+  state; system chain over pairs ``(a, b)``; plus exact latency
+  computations and a generalised chain for ``s`` scan steps and a ``q``-step
+  preamble (Section 6.3).
+* :mod:`repro.chains.parallel` — parallel code (Section 6.2): individual
+  chain over step-counter vectors, system chain over counter histograms.
+* :mod:`repro.chains.counter` — the augmented-CAS counter (Section 7):
+  individual chain over non-empty subsets of current-value holders, global
+  chain over subset sizes, and the ``Z``-recurrence return times.
+"""
+
+from repro.chains.counter import (
+    counter_global_chain,
+    counter_individual_chain,
+    counter_individual_latency_exact,
+    counter_lifting,
+    counter_lifting_map,
+    counter_system_latency_exact,
+)
+from repro.chains.parallel import (
+    parallel_individual_chain,
+    parallel_lifting,
+    parallel_lifting_map,
+    parallel_individual_latency_exact,
+    parallel_system_chain,
+    parallel_system_latency_exact,
+)
+from repro.chains.observe import scu_extended_state, scu_system_state
+from repro.chains.scu import (
+    CCAS,
+    OLD_CAS,
+    READ,
+    scu_full_individual_chain,
+    scu_full_individual_latency_exact,
+    scu_full_lifting,
+    scu_full_system_chain,
+    scu_full_system_latency_exact,
+    scu_individual_chain,
+    scu_individual_latency_exact,
+    scu_lifting,
+    scu_lifting_map,
+    scu_stationary_profile,
+    scu_system_chain,
+    scu_system_latency_exact,
+)
+from repro.chains.gaps import (
+    counter_gap_mean,
+    counter_gap_pmf,
+    counter_gap_quantile,
+    scu_gap_mean,
+    scu_gap_pmf,
+    scu_gap_quantile,
+)
+from repro.chains.weighted import (
+    counter_weighted_latencies,
+    scu_weighted_latencies,
+)
+
+__all__ = [
+    "CCAS",
+    "OLD_CAS",
+    "READ",
+    "counter_gap_mean",
+    "counter_gap_pmf",
+    "counter_gap_quantile",
+    "scu_gap_mean",
+    "scu_gap_pmf",
+    "scu_gap_quantile",
+    "counter_global_chain",
+    "counter_individual_chain",
+    "counter_individual_latency_exact",
+    "counter_lifting",
+    "counter_lifting_map",
+    "counter_system_latency_exact",
+    "counter_weighted_latencies",
+    "parallel_individual_chain",
+    "parallel_individual_latency_exact",
+    "parallel_lifting",
+    "parallel_lifting_map",
+    "parallel_system_chain",
+    "parallel_system_latency_exact",
+    "scu_extended_state",
+    "scu_full_individual_chain",
+    "scu_full_individual_latency_exact",
+    "scu_full_lifting",
+    "scu_full_system_chain",
+    "scu_full_system_latency_exact",
+    "scu_individual_chain",
+    "scu_individual_latency_exact",
+    "scu_lifting",
+    "scu_lifting_map",
+    "scu_stationary_profile",
+    "scu_system_chain",
+    "scu_system_latency_exact",
+    "scu_system_state",
+    "scu_weighted_latencies",
+]

@@ -1,0 +1,132 @@
+"""Markov chains of the augmented-CAS counter (Section 7).
+
+**Individual chain** ``M_I``: a state is the non-empty set ``S`` of
+processes holding the *current* value of the register (their next CAS
+would succeed).  ``2**n - 1`` states.  A uniformly chosen process ``p``
+steps:
+
+* ``p in S`` — its CAS succeeds: the register changes, everyone else's
+  value goes stale, and ``p`` (knowing the value it wrote) is the only
+  current process: new state ``{p}``.  This is a completion by ``p``;
+  the *winning states* ``{p}`` are the only states with self-loops.
+* ``p not in S`` — its CAS fails but (augmented CAS) returns the current
+  value: new state ``S U {p}``.
+
+**Global chain** ``M_G``: states ``1..n`` counting ``|S|``; from ``i`` the
+chain moves to ``1`` with probability ``i/n`` (someone current steps —
+a completion) and to ``i + 1`` with probability ``1 - i/n``.
+
+The return time of state ``1`` is the system latency ``W``; it satisfies
+the recurrence of Lemma 12 (``Z(i) = 1 + (i/n) Z(i-1)``, ``Z(0) = 1``,
+``W = Z(n-1)``), equals ``1 +`` Ramanujan's ``Q(n)`` and is
+``sqrt(pi n / 2) (1 + o(1))``; see :mod:`repro.stats.ramanujan`.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterable, Tuple
+
+import numpy as np
+
+from repro.markov.chain import MarkovChain
+from repro.markov.lifting import Lifting
+from repro.markov.stationary import stationary_distribution
+
+IndividualState = FrozenSet[int]
+
+
+def counter_individual_chain(n: int, *, sparse: bool = True) -> MarkovChain:
+    """The individual chain over non-empty subsets; ``2**n - 1`` states."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n > 20:
+        raise ValueError(f"individual chain has 2**{n} - 1 states; n too large")
+
+    def successors(state: IndividualState):
+        p = 1.0 / n
+        for pid in range(n):
+            if pid in state:
+                yield frozenset([pid]), p
+            else:
+                yield state | {pid}, p
+
+    initial = frozenset(range(n))  # all processes start with the current value
+    def merged(state):
+        acc = {}
+        for nxt, p in successors(state):
+            acc[nxt] = acc.get(nxt, 0.0) + p
+        return acc.items()
+
+    return MarkovChain.from_enumeration([initial], merged, sparse=sparse)
+
+
+def counter_global_chain(n: int) -> MarkovChain:
+    """The global chain over ``|S|``; states ``1..n``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+
+    def successors(size: int):
+        out = [(1, size / n)]
+        if size < n:
+            out.append((size + 1, 1.0 - size / n))
+        return out
+
+    return MarkovChain.from_enumeration([n], successors, sparse=False)
+
+
+def counter_lifting_map(state: IndividualState) -> int:
+    """The collapse ``f``: subset size."""
+    return len(state)
+
+
+def counter_lifting(n: int) -> Lifting:
+    """The lifting of Lemma 13, ready for verification."""
+    return Lifting(counter_individual_chain(n), counter_global_chain(n), counter_lifting_map)
+
+
+def counter_system_latency_exact(n: int) -> float:
+    """Exact system latency ``W``: expected steps between completions.
+
+    A completion happens on every step from state ``i`` with probability
+    ``i/n``; ``W`` is the inverse of the stationary completion rate.  For
+    this chain ``W`` also equals the expected return time of state 1
+    (every completion lands in state 1), i.e. ``Z(n - 1)``.
+    """
+    chain = counter_global_chain(n)
+    pi = stationary_distribution(chain)
+    mu = 0.0
+    for size, p in zip(chain.states, pi):
+        mu += p * size / n
+    return 1.0 / mu
+
+
+def counter_individual_latency_exact(n: int, pid: int = 0) -> float:
+    """Exact individual latency ``W_i`` from the individual chain.
+
+    Lemma 14 proves ``W_i = n W``; this computes it independently from the
+    ``2**n - 1`` state chain.  A completion by ``pid`` is a step by
+    ``pid`` from any state containing ``pid``.
+    """
+    chain = counter_individual_chain(n)
+    pi = stationary_distribution(chain)
+    eta = 0.0
+    for state, p in zip(chain.states, pi):
+        if pid in state:
+            eta += p / n
+    return 1.0 / eta
+
+
+def winning_state_probabilities(n: int) -> np.ndarray:
+    """Stationary probabilities of the ``n`` winning states ``{p_i}``.
+
+    Lemma 14: each equals ``pi_1 / n`` where ``pi_1`` is the global
+    chain's stationary probability of state 1.
+    """
+    chain = counter_individual_chain(n)
+    pi = stationary_distribution(chain)
+    out = np.zeros(n)
+    for state, p in zip(chain.states, pi):
+        if len(state) == 1:
+            (pid,) = tuple(state)
+            out[pid] = p
+    return out

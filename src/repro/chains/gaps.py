@@ -1,0 +1,115 @@
+"""Exact distributions of the time between completions.
+
+The paper bounds only the *expected* system latency; these functions
+compute the full stationary distribution of the gap between consecutive
+completions as a discrete phase-type law (see
+:mod:`repro.markov.phasetype`):
+
+* the marked transitions of the scan-validate system chain are the
+  success steps (``(a, b) -> (a+1, n-a-1)`` with probability ``c/n``);
+* for the augmented-CAS counter's global chain every transition into
+  state 1 is a completion, so the gap is the return time of state 1.
+
+Starting distribution: the post-completion state distribution, i.e. the
+normalised success flows — the stationary law of "where the system lands
+right after a completion".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.chains.counter import counter_global_chain
+from repro.chains.scu import scu_system_chain
+from repro.markov.phasetype import (
+    phase_type_mean,
+    phase_type_pmf,
+    phase_type_quantile,
+)
+from repro.markov.stationary import stationary_distribution
+
+
+def scu_gap_phase_type(n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(start, sub, mark)`` of the scan-validate completion-gap law."""
+    chain = scu_system_chain(n)
+    pi = stationary_distribution(chain)
+    states = chain.states
+    index = {s: i for i, s in enumerate(states)}
+    k = len(states)
+    sub = np.zeros((k, k))
+    mark = np.zeros(k)
+    start = np.zeros(k)
+    for i, (a, b) in enumerate(states):
+        c = n - a - b
+        if b > 0:
+            sub[i, index[(a + 1, b - 1)]] = b / n
+        if a > 0:
+            sub[i, index[(a - 1, b)]] = a / n
+        if c > 0:
+            mark[i] = c / n
+            target = index[(a + 1, n - a - 1)]
+            start[target] += pi[i] * c / n
+    total = start.sum()
+    if total <= 0:
+        raise ArithmeticError("no success flow found")
+    return start / total, sub, mark
+
+
+def scu_gap_pmf(n: int, max_k: int) -> np.ndarray:
+    """``P(gap = k)`` for ``k = 1 .. max_k`` of the scan-validate chain."""
+    start, sub, mark = scu_gap_phase_type(n)
+    return phase_type_pmf(start, sub, mark, max_k)
+
+
+def scu_gap_mean(n: int) -> float:
+    """Mean completion gap — must equal the exact system latency."""
+    start, sub, mark = scu_gap_phase_type(n)
+    return phase_type_mean(start, sub, mark)
+
+
+def scu_gap_quantile(n: int, q: float) -> int:
+    """``q``-quantile of the completion gap."""
+    start, sub, mark = scu_gap_phase_type(n)
+    return phase_type_quantile(start, sub, mark, q)
+
+
+def counter_gap_phase_type(n: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(start, sub, mark)`` of the augmented-counter completion-gap law.
+
+    Every completion lands the chain in state 1, so ``start`` is the
+    point mass on state 1 and the gap is exactly the return time of
+    state 1 (``Z(n-1)`` in expectation).
+    """
+    chain = counter_global_chain(n)
+    states = chain.states
+    index = {s: i for i, s in enumerate(states)}
+    k = len(states)
+    sub = np.zeros((k, k))
+    mark = np.zeros(k)
+    for i, size in enumerate(states):
+        mark[i] = size / n
+        if size < n:
+            sub[i, index[size + 1]] = 1.0 - size / n
+    start = np.zeros(k)
+    start[index[1]] = 1.0
+    return start, sub, mark
+
+
+def counter_gap_pmf(n: int, max_k: int) -> np.ndarray:
+    """``P(gap = k)`` for the augmented-CAS counter."""
+    start, sub, mark = counter_gap_phase_type(n)
+    return phase_type_pmf(start, sub, mark, max_k)
+
+
+def counter_gap_mean(n: int) -> float:
+    """Mean completion gap — equals ``Z(n-1) = Q(n)``."""
+    start, sub, mark = counter_gap_phase_type(n)
+    return phase_type_mean(start, sub, mark)
+
+
+def counter_gap_quantile(n: int, q: float) -> int:
+    """``q``-quantile of the counter's completion gap."""
+    start, sub, mark = counter_gap_phase_type(n)
+    return phase_type_quantile(start, sub, mark, q)

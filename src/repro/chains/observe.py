@@ -1,0 +1,52 @@
+"""Observing chain states inside a running simulation.
+
+The paper's *extended local state* (Section 6.1.1) is defined "from the
+viewpoint of the entire system": a process about to CAS is in ``CCAS``
+or ``OldCAS`` depending on whether its expected value is still current.
+The simulator has exactly the information needed to read this state off
+a live run — each process's *pending* operation plus the decision
+register's current value — so simulated trajectories can be compared
+with the chains state-by-state, not just through summary statistics.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.chains.scu import CCAS, OLD_CAS, READ
+from repro.sim.executor import Simulator
+from repro.sim.ops import CAS, Read
+
+
+def scu_extended_state(
+    simulator: Simulator, decision: str = "R"
+) -> Tuple[str, ...]:
+    """The individual-chain state of a running ``SCU(0, 1)`` simulation.
+
+    Classifies every process by its pending operation: a pending read of
+    the decision register is ``READ``; a pending CAS on it is ``CCAS``
+    when its expected value matches the register (it would succeed) and
+    ``OLD_CAS`` otherwise.
+    """
+    current = simulator.memory.read(decision)
+    states = []
+    for process in simulator.processes:
+        op = process.pending
+        if isinstance(op, Read) and op.register == decision:
+            states.append(READ)
+        elif isinstance(op, CAS) and op.register == decision:
+            states.append(CCAS if op.expected == current else OLD_CAS)
+        else:
+            raise ValueError(
+                f"process {process.pid} has pending {op!r}; not an "
+                f"SCU(0, 1) run over register {decision!r}"
+            )
+    return tuple(states)
+
+
+def scu_system_state(
+    simulator: Simulator, decision: str = "R"
+) -> Tuple[int, int]:
+    """The system-chain state ``(a, b)`` of a running simulation."""
+    extended = scu_extended_state(simulator, decision)
+    return extended.count(READ), extended.count(OLD_CAS)

@@ -1,0 +1,116 @@
+"""Markov chains of parallel code (Section 6.2, Algorithm 4).
+
+**Individual chain** ``M_I``: states are counter vectors ``(C_1, ...,
+C_n)`` with ``C_i`` in ``{0, ..., q - 1}``; a uniformly chosen process
+increments its counter mod ``q``; a process completes an operation
+whenever its counter wraps to 0.  The chain is doubly stochastic (every
+state has in- and out-degree ``n`` with probability ``1/n``), so its
+stationary distribution is uniform over the ``q**n`` states — the fact
+behind Lemma 11's exact answers ``W = q`` and ``W_i = n q``.
+
+**System chain** ``M_S``: histograms ``(v_0, ..., v_{q-1})`` counting
+processes at each counter value; the lifting map just counts.
+
+**A correction to the paper.**  Section 6.2 calls both chains ergodic;
+in fact the total counter sum advances by exactly 1 mod ``q`` per step,
+so both chains are periodic with period ``q``.  They are irreducible,
+which is all Lemma 11 needs (unique stationary distribution and the
+return-time identity).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.markov.chain import MarkovChain
+from repro.markov.lifting import Lifting
+from repro.markov.stationary import stationary_distribution
+
+IndividualState = Tuple[int, ...]
+SystemState = Tuple[int, ...]
+
+
+def parallel_individual_chain(n: int, q: int, *, sparse: bool = True) -> MarkovChain:
+    """The individual chain ``M_I``: ``q**n`` states; keep ``n log q`` small."""
+    if n < 1 or q < 1:
+        raise ValueError("need n >= 1 and q >= 1")
+    if q**n > 600_000:
+        raise ValueError(f"individual chain has q**n = {q**n} states; too large")
+
+    def successors(state: IndividualState):
+        p = 1.0 / n
+        for i in range(n):
+            nxt = list(state)
+            nxt[i] = (nxt[i] + 1) % q
+            yield tuple(nxt), p
+
+    initial = tuple([0] * n)
+    return MarkovChain.from_enumeration([initial], successors, sparse=sparse)
+
+
+def parallel_system_chain(n: int, q: int) -> MarkovChain:
+    """The system chain ``M_S`` over counter histograms."""
+    if n < 1 or q < 1:
+        raise ValueError("need n >= 1 and q >= 1")
+
+    def successors(state: SystemState):
+        out = []
+        for value in range(q):
+            if state[value] == 0:
+                continue
+            nxt = list(state)
+            nxt[value] -= 1
+            nxt[(value + 1) % q] += 1
+            out.append((tuple(nxt), state[value] / n))
+        return out
+
+    initial = tuple([n] + [0] * (q - 1))
+    return MarkovChain.from_enumeration([initial], successors, sparse=False)
+
+
+def parallel_lifting_map(state: IndividualState, q: int) -> SystemState:
+    """The collapse ``f``: histogram of counter values."""
+    counts = [0] * q
+    for value in state:
+        counts[value] += 1
+    return tuple(counts)
+
+
+def parallel_lifting(n: int, q: int) -> Lifting:
+    """The lifting of Lemma 10, ready for verification."""
+    fine = parallel_individual_chain(n, q)
+    coarse = parallel_system_chain(n, q)
+    return Lifting(fine, coarse, lambda state: parallel_lifting_map(state, q))
+
+
+def parallel_system_latency_exact(n: int, q: int) -> float:
+    """Exact system latency from the system chain; Lemma 11 says ``q``.
+
+    A completion is a transition out of counter value ``q - 1``; the
+    stationary probability that a step completes an operation is
+    ``E[v_{q-1}] / n`` and the latency is its inverse.
+    """
+    chain = parallel_system_chain(n, q)
+    pi = stationary_distribution(chain)
+    mu = 0.0
+    for state, p in zip(chain.states, pi):
+        mu += p * state[q - 1] / n
+    return 1.0 / mu
+
+
+def parallel_individual_latency_exact(n: int, q: int, pid: int = 0) -> float:
+    """Exact individual latency from the individual chain; Lemma 11 says ``nq``.
+
+    A completion by ``pid`` is a step by ``pid`` from a state where its
+    counter is ``q - 1``, which has stationary probability
+    ``(1/n) * P[C_pid = q - 1]``.
+    """
+    chain = parallel_individual_chain(n, q)
+    pi = stationary_distribution(chain)
+    eta = 0.0
+    for state, p in zip(chain.states, pi):
+        if state[pid] == q - 1:
+            eta += p / n
+    return 1.0 / eta

@@ -1,0 +1,383 @@
+"""Markov chains of the scan-validate component (Sections 6.1 and 6.3).
+
+**Individual chain** (Section 6.1.1).  A state assigns each process an
+*extended local state*:
+
+* ``READ`` — about to read the decision register,
+* ``CCAS`` — about to CAS with the *current* value (will succeed),
+* ``OLD_CAS`` — about to CAS with a stale value (will fail).
+
+There are ``3**n - 1`` states (all-``OLD_CAS`` cannot occur).  A uniformly
+chosen process steps:
+
+* a ``READ`` process moves to ``CCAS`` (it reads the current value);
+* an ``OLD_CAS`` process moves to ``READ`` (its CAS fails, it restarts);
+* a ``CCAS`` process *succeeds*: it moves to ``READ``, and every other
+  ``CCAS`` process moves to ``OLD_CAS`` (the register changed under them).
+
+**System chain.**  Collapses states by counting: ``(a, b)`` with ``a``
+processes in ``READ`` and ``b`` in ``OLD_CAS`` (``n - a - b`` in ``CCAS``;
+the state ``(0, n)`` does not exist).  Transitions from ``(a, b)``:
+
+* ``b/n``              -> ``(a + 1, b - 1)``   (an ``OLD_CAS`` step)
+* ``a/n``              -> ``(a - 1, b)``       (a ``READ`` step)
+* ``(n - a - b)/n``    -> ``(a + 1, n - a - 1)`` (a success; completion)
+
+(The arXiv text garbles these targets; they are re-derived here from the
+individual-chain transition rule and verified in the tests both by the
+lifting condition and against direct simulation.)
+
+**A correction to Lemma 3.**  The paper claims both chains are ergodic;
+they are in fact *periodic with period 2* — every transition changes the
+number of ``READ`` processes by exactly one, so the chains are bipartite
+on the parity of ``a``.  Nothing downstream is affected: the chains are
+irreducible, hence have unique stationary distributions, Theorem 1's
+return-time identity holds, and all latencies are time-averages (to which
+the ergodic theorem for irreducible chains applies).  The tests assert
+irreducibility plus the period-2 structure explicitly.
+
+**Generalised chain** (Section 6.3 and Corollary 1).  For an ``SCU(q, s)``
+algorithm we also build an exact system chain over histograms of
+per-process *phases*: preamble positions ``1..q``, scan positions
+``1..s`` (fresh or stale — stale once another process commits after our
+read of ``R``), and the pending CAS (fresh = ``CCAS``, stale =
+``OLD_CAS``).  This chain is exponential only in the number of phases,
+not processes, and yields exact latencies for the full class.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.markov.chain import MarkovChain
+from repro.markov.lifting import Lifting
+from repro.markov.stationary import stationary_distribution
+
+READ = "Read"
+OLD_CAS = "OldCAS"
+CCAS = "CCAS"
+
+IndividualState = Tuple[str, ...]
+SystemState = Tuple[int, int]
+
+
+def _individual_successors(state: IndividualState):
+    n = len(state)
+    p = 1.0 / n
+    for i, local in enumerate(state):
+        nxt = list(state)
+        if local == READ:
+            nxt[i] = CCAS
+        elif local == OLD_CAS:
+            nxt[i] = READ
+        else:  # CCAS: i succeeds, all other CCAS processes go stale.
+            for j, other in enumerate(nxt):
+                if other == CCAS:
+                    nxt[j] = OLD_CAS
+            nxt[i] = READ
+        yield tuple(nxt), p
+
+
+def scu_individual_chain(n: int, *, sparse: bool = True) -> MarkovChain:
+    """The individual chain for ``SCU(0, 1)`` with ``n`` processes.
+
+    ``3**n - 1`` states; exponential — keep ``n`` at 12 or below.
+    States are tuples over ``{READ, OLD_CAS, CCAS}``.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    if n > 14:
+        raise ValueError(f"individual chain has 3**{n} - 1 states; n too large")
+    initial = tuple([READ] * n)
+    # Transitions can merge duplicate successor states (two CCAS processes
+    # both lead to distinct states, but a merge-safe accumulation keeps the
+    # builder honest if a future edit introduces collisions).
+    def successors(state: IndividualState):
+        acc: Dict[IndividualState, float] = {}
+        for nxt, p in _individual_successors(state):
+            acc[nxt] = acc.get(nxt, 0.0) + p
+        return acc.items()
+
+    chain = MarkovChain.from_enumeration([initial], successors, sparse=sparse)
+    return chain
+
+
+def scu_system_chain(n: int) -> MarkovChain:
+    """The system chain for ``SCU(0, 1)``: states ``(a, b)``.
+
+    All ``(a, b)`` with ``a + b <= n`` except ``(0, n)``; quadratically
+    many states (stored sparsely), usable for hundreds of processes.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+
+    def successors(state: SystemState):
+        a, b = state
+        c = n - a - b
+        out = []
+        if b > 0:
+            out.append(((a + 1, b - 1), b / n))
+        if a > 0:
+            out.append(((a - 1, b), a / n))
+        if c > 0:
+            out.append(((a + 1, n - a - 1), c / n))
+        return out
+
+    return MarkovChain.from_enumeration([(n, 0)], successors, sparse=True)
+
+
+def scu_lifting_map(state: IndividualState) -> SystemState:
+    """The collapse ``f``: count ``READ`` and ``OLD_CAS`` processes."""
+    return (state.count(READ), state.count(OLD_CAS))
+
+
+def scu_lifting(n: int) -> Lifting:
+    """The lifting of Lemma 5, ready for verification."""
+    return Lifting(scu_individual_chain(n), scu_system_chain(n), scu_lifting_map)
+
+
+# -- exact latencies ------------------------------------------------------------
+
+
+def scu_success_probability(n: int) -> float:
+    """Stationary probability ``mu`` that a system step is a success.
+
+    ``mu = sum over (a, b) of pi(a, b) * (n - a - b) / n``; the system
+    latency is ``W = 1 / mu`` (Lemma 7's argument).
+    """
+    chain = scu_system_chain(n)
+    pi = stationary_distribution(chain)
+    mu = 0.0
+    for (a, b), p in zip(chain.states, pi):
+        mu += p * (n - a - b) / n
+    return mu
+
+
+def scu_system_latency_exact(n: int) -> float:
+    """Exact stationary system latency ``W`` of ``SCU(0, 1)``.
+
+    Theorem 5 proves ``W = O(sqrt(n))``; this is the exact value from the
+    system chain's stationary distribution.
+    """
+    return 1.0 / scu_success_probability(n)
+
+
+def scu_stationary_profile(n: int) -> dict:
+    """Stationary occupancy profile of the system chain.
+
+    Returns ``{"read": E[a]/n, "old_cas": E[b]/n, "ccas": E[c]/n}`` — the
+    long-run fraction of processes about to read, about to fail a CAS,
+    and about to succeed.  The balls-into-bins analysis predicts the
+    ``ccas`` fraction shrinks like ``1/sqrt(n)`` (one success per
+    ``Theta(sqrt(n))`` steps needs ``Theta(sqrt(n))`` pending winners
+    among ``n`` processes): ``E[c] = Theta(sqrt(n))``.
+    """
+    chain = scu_system_chain(n)
+    pi = stationary_distribution(chain)
+    expect_a = expect_b = 0.0
+    for (a, b), p in zip(chain.states, pi):
+        expect_a += p * a
+        expect_b += p * b
+    expect_c = n - expect_a - expect_b
+    return {
+        "read": expect_a / n,
+        "old_cas": expect_b / n,
+        "ccas": expect_c / n,
+    }
+
+
+def scu_individual_latency_exact(n: int, pid: int = 0) -> float:
+    """Exact stationary individual latency ``W_i`` from the individual chain.
+
+    Lemma 7 proves ``W_i = n W`` for every process; computing it from the
+    3**n - 1 state chain (rather than multiplying) is the cross-check.
+    Exponential — keep ``n`` small.
+    """
+    chain = scu_individual_chain(n)
+    pi = stationary_distribution(chain)
+    eta = 0.0
+    for state, p in zip(chain.states, pi):
+        if state[pid] == CCAS:
+            eta += p / n
+    return 1.0 / eta
+
+
+# -- generalised SCU(q, s) system chain (Section 6.3) ----------------------------
+
+#: Phase labels of the generalised chain.  A process is in exactly one:
+#: ``("P", j)`` preamble step ``j`` in ``1..q``; ``("S", j, fresh)`` scan
+#: step ``j`` in ``1..s`` where ``fresh`` records whether the value read
+#: from ``R`` is still current (scan step 1 is always fresh: nothing read
+#: yet); ``("C", fresh)`` the pending CAS.
+Phase = Tuple
+
+
+def scu_phases(q: int, s: int) -> List[Phase]:
+    """All phases of an ``SCU(q, s)`` process, in execution order."""
+    if q < 0 or s < 1:
+        raise ValueError("need q >= 0 and s >= 1")
+    phases: List[Phase] = [("P", j) for j in range(1, q + 1)]
+    phases.append(("S", 1, True))
+    for j in range(2, s + 1):
+        phases.append(("S", j, True))
+        phases.append(("S", j, False))
+    phases.append(("C", True))
+    phases.append(("C", False))
+    return phases
+
+
+def _phase_after(phase: Phase, q: int, s: int, *, first: Phase) -> Phase:
+    """The phase a process enters after stepping in ``phase`` (no success)."""
+    kind = phase[0]
+    if kind == "P":
+        j = phase[1]
+        return ("P", j + 1) if j < q else ("S", 1, True)
+    if kind == "S":
+        _, j, fresh = phase
+        if j < s:
+            return ("S", j + 1, fresh)
+        return ("C", fresh)
+    # CAS: fresh succeeds (handled by the caller, restarting the whole
+    # method call at ``first``); stale fails and restarts only the loop.
+    return ("S", 1, True)
+
+
+def scu_full_system_chain(n: int, q: int, s: int) -> MarkovChain:
+    """Exact system chain of ``SCU(q, s)``: histograms over phases.
+
+    A state maps each phase to the number of processes in it (stored as a
+    tuple aligned with :func:`scu_phases`).  The state count is the number
+    of weak compositions of ``n`` into ``q + 2s + 1`` parts — keep ``n``
+    and ``q + s`` modest.
+
+    A success (a step by a ``("C", True)`` process) completes an operation,
+    sends the winner back to the first phase and turns every *fresh*
+    process that has already read ``R`` (scan position >= 2 or pending
+    CAS) stale.
+    """
+    phases = scu_phases(q, s)
+    index = {ph: k for k, ph in enumerate(phases)}
+    first = phases[0]
+
+    def successors(state: Tuple[int, ...]):
+        out = []
+        for k, count in enumerate(state):
+            if count == 0:
+                continue
+            prob = count / n
+            phase = phases[k]
+            nxt = list(state)
+            nxt[k] -= 1
+            if phase == ("C", True):
+                # Success: winner restarts; fresh readers/CASers go stale.
+                moved = list(nxt)
+                for ph, idx in index.items():
+                    if ph[0] == "S" and ph[2] and ph[1] >= 2:
+                        stale_idx = index[("S", ph[1], False)]
+                        moved[stale_idx] += moved[idx]
+                        moved[idx] = 0
+                    elif ph == ("C", True):
+                        moved[index[("C", False)]] += moved[idx]
+                        moved[idx] = 0
+                moved[index[first]] += 1
+                out.append((tuple(moved), prob))
+            else:
+                target = _phase_after(phase, q, s, first=first)
+                nxt[index[target]] += 1
+                out.append((tuple(nxt), prob))
+        return out
+
+    initial = tuple(n if k == 0 else 0 for k in range(len(phases)))
+    return MarkovChain.from_enumeration([initial], successors, sparse=True)
+
+
+def scu_full_individual_chain(n: int, q: int, s: int) -> MarkovChain:
+    """Exact *individual* chain of ``SCU(q, s)``: a state assigns each
+    process one phase from :func:`scu_phases`.
+
+    ``(q + 2s + 1)**n`` states — tiny parameters only.  Together with
+    :func:`scu_full_system_chain` and the histogram collapse this
+    extends Lemma 5's lifting (and hence Lemma 7's exact fairness) to
+    the whole class, which the paper asserts but does not construct.
+    """
+    phases = scu_phases(q, s)
+    first = phases[0]
+    if len(phases) ** n > 600_000:
+        raise ValueError("full individual chain too large for these parameters")
+
+    def successors(state: Tuple[Phase, ...]):
+        p = 1.0 / n
+        for i in range(n):
+            nxt = list(state)
+            phase = state[i]
+            if phase == ("C", True):
+                # Success: winner restarts the method; fresh mid-scan and
+                # pending-CAS processes go stale.
+                for j in range(n):
+                    other = nxt[j]
+                    if j == i:
+                        continue
+                    if other[0] == "S" and other[2] and other[1] >= 2:
+                        nxt[j] = ("S", other[1], False)
+                    elif other == ("C", True):
+                        nxt[j] = ("C", False)
+                nxt[i] = first
+            else:
+                nxt[i] = _phase_after(phase, q, s, first=first)
+            yield tuple(nxt), p
+
+    initial = tuple([first] * n)
+    return MarkovChain.from_enumeration([initial], successors, sparse=True)
+
+
+def scu_full_lifting(n: int, q: int, s: int):
+    """The histogram collapse from the full individual chain to the full
+    system chain, as a verifiable :class:`~repro.markov.lifting.Lifting`."""
+    phases = scu_phases(q, s)
+    index = {ph: k for k, ph in enumerate(phases)}
+    fine = scu_full_individual_chain(n, q, s)
+    coarse = scu_full_system_chain(n, q, s)
+
+    def mapping(state: Tuple[Phase, ...]) -> Tuple[int, ...]:
+        counts = [0] * len(phases)
+        for phase in state:
+            counts[index[phase]] += 1
+        return tuple(counts)
+
+    return Lifting(fine, coarse, mapping)
+
+
+def scu_full_individual_latency_exact(
+    n: int, q: int, s: int, pid: int = 0
+) -> float:
+    """Exact individual latency of ``SCU(q, s)`` from the full individual
+    chain — the direct (non-lifted) computation of Theorem 4's n x W."""
+    chain = scu_full_individual_chain(n, q, s)
+    pi = stationary_distribution(chain)
+    eta = 0.0
+    for state, p in zip(chain.states, pi):
+        if state[pid] == ("C", True):
+            eta += p / n
+    if eta <= 0:
+        raise ArithmeticError("process never completes in the stationary law")
+    return 1.0 / eta
+
+
+def scu_full_system_latency_exact(n: int, q: int, s: int) -> float:
+    """Exact stationary system latency of ``SCU(q, s)`` from the full chain.
+
+    Theorem 4 predicts ``O(q + s sqrt(n))``.
+    """
+    phases = scu_phases(q, s)
+    cas_fresh = phases.index(("C", True))
+    chain = scu_full_system_chain(n, q, s)
+    pi = stationary_distribution(chain)
+    mu = 0.0
+    for state, p in zip(chain.states, pi):
+        mu += p * state[cas_fresh] / n
+    if mu <= 0:
+        raise ArithmeticError("no success transitions found in the chain")
+    return 1.0 / mu

@@ -1,0 +1,142 @@
+"""Exact chains under *non-uniform* stochastic schedulers.
+
+The paper's Discussion (Section 8) singles out non-uniform stochastic
+schedulers as the main open modelling question and conjectures that
+"some of the elements of our framework (such as the existence of
+liftings) could still be applied".  This module supplies the exact
+machinery for small ``n``: the individual chains of the scan-validate
+component and of the augmented-CAS counter where process ``i`` is
+scheduled with probability ``w_i / sum(w)`` each step.
+
+Two of the paper's phenomena can then be examined exactly:
+
+* the *system* latency is remarkably robust to skew (the system chain
+  no longer exists as a lifting — states with the same ``(a, b)`` but
+  different identities stop being equivalent — yet the completion rate
+  moves only mildly);
+* *individual* latencies diverge quickly: a process with half the
+  scheduling weight pays far more than twice the latency, because each
+  of its (rarer) CAS attempts is also more likely to be invalidated.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.chains.counter import IndividualState as CounterState
+from repro.chains.scu import CCAS, OLD_CAS, READ, IndividualState
+from repro.markov.chain import MarkovChain
+from repro.markov.stationary import stationary_distribution
+
+
+def _normalise(weights: Sequence[float]) -> np.ndarray:
+    w = np.asarray(weights, dtype=float)
+    if w.ndim != 1 or w.size == 0:
+        raise ValueError("weights must be a non-empty 1-D sequence")
+    if np.any(w <= 0):
+        raise ValueError("all weights must be positive (stochastic scheduler)")
+    return w / w.sum()
+
+
+def scu_weighted_individual_chain(weights: Sequence[float]) -> MarkovChain:
+    """Scan-validate individual chain with per-process step probabilities.
+
+    Reduces to :func:`repro.chains.scu.scu_individual_chain` for uniform
+    weights.  Exponential state space — keep ``len(weights) <= 10``.
+    """
+    probs = _normalise(weights)
+    n = probs.size
+    if n > 12:
+        raise ValueError("weighted individual chain is exponential; n too large")
+
+    def successors(state: IndividualState):
+        for i in range(n):
+            nxt = list(state)
+            local = state[i]
+            if local == READ:
+                nxt[i] = CCAS
+            elif local == OLD_CAS:
+                nxt[i] = READ
+            else:
+                for j, other in enumerate(nxt):
+                    if other == CCAS:
+                        nxt[j] = OLD_CAS
+                nxt[i] = READ
+            yield tuple(nxt), float(probs[i])
+
+    initial = tuple([READ] * n)
+    return MarkovChain.from_enumeration([initial], successors, sparse=True)
+
+
+def scu_weighted_latencies(
+    weights: Sequence[float],
+) -> Tuple[float, Dict[int, float]]:
+    """Exact (system latency, per-process individual latencies) under a
+    skewed stochastic scheduler.
+
+    A step by process ``i`` completes an operation iff ``i`` is in state
+    ``CCAS``; the system completion probability is the weighted sum, and
+    process ``i``'s completion probability is its own term.
+    """
+    probs = _normalise(weights)
+    n = probs.size
+    chain = scu_weighted_individual_chain(weights)
+    pi = stationary_distribution(chain)
+    eta = np.zeros(n)
+    for state, p in zip(chain.states, pi):
+        for i in range(n):
+            if state[i] == CCAS:
+                eta[i] += p * probs[i]
+    mu = eta.sum()
+    if mu <= 0:
+        raise ArithmeticError("no completions in the stationary distribution")
+    individual = {i: float(1.0 / eta[i]) for i in range(n)}
+    return float(1.0 / mu), individual
+
+
+def counter_weighted_individual_chain(weights: Sequence[float]) -> MarkovChain:
+    """Augmented-counter individual chain with per-process probabilities."""
+    probs = _normalise(weights)
+    n = probs.size
+    if n > 16:
+        raise ValueError("weighted counter chain is exponential; n too large")
+
+    def successors(state: CounterState):
+        for i in range(n):
+            if i in state:
+                yield frozenset([i]), float(probs[i])
+            else:
+                yield state | {i}, float(probs[i])
+
+    initial = frozenset(range(n))
+
+    def merged(state):
+        acc: Dict[CounterState, float] = {}
+        for nxt, p in successors(state):
+            acc[nxt] = acc.get(nxt, 0.0) + p
+        return acc.items()
+
+    return MarkovChain.from_enumeration([initial], merged, sparse=True)
+
+
+def counter_weighted_latencies(
+    weights: Sequence[float],
+) -> Tuple[float, Dict[int, float]]:
+    """Exact latencies of the augmented-CAS counter under skew.
+
+    A step by ``i`` completes iff ``i`` currently holds the register's
+    value (``i in S``).
+    """
+    probs = _normalise(weights)
+    n = probs.size
+    chain = counter_weighted_individual_chain(weights)
+    pi = stationary_distribution(chain)
+    eta = np.zeros(n)
+    for state, p in zip(chain.states, pi):
+        for i in state:
+            eta[i] += p * probs[i]
+    mu = eta.sum()
+    individual = {i: float(1.0 / eta[i]) for i in range(n)}
+    return float(1.0 / mu), individual

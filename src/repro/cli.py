@@ -1,0 +1,332 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``latency``
+    Measure an ``SCU(q, s)`` algorithm under a scheduler and compare
+    with the exact chain value and the paper's bound.
+``classify``
+    Run the Section 2.2 progress-classification battery on one of the
+    built-in algorithms.
+``ramanujan``
+    Print the augmented-counter latency ladder: Z(n-1) = Q(n), the
+    asymptotic, and the 2 sqrt(n) bound.
+``lifting``
+    Build and verify the paper's three Markov chain liftings.
+``figure5``
+    Reproduce Figure 5's completion-rate series.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+
+def _make_scheduler(name: str):
+    from repro.core.scheduler import (
+        HardwareLikeScheduler,
+        UniformStochasticScheduler,
+    )
+
+    if name == "uniform":
+        return UniformStochasticScheduler()
+    if name == "hardware":
+        return HardwareLikeScheduler()
+    raise ValueError(f"unknown scheduler {name!r}")
+
+
+def cmd_latency(args: argparse.Namespace) -> int:
+    from repro.bench.formats import format_table
+    from repro.core.scu import SCU
+
+    spec = SCU(q=args.q, s=args.s)
+    measured = spec.measure(
+        args.n,
+        args.steps,
+        scheduler=_make_scheduler(args.scheduler),
+        rng=args.seed,
+    )
+    try:
+        exact = spec.exact_system_latency(args.n)
+    except (ValueError, MemoryError):
+        exact = float("nan")
+    rows = [
+        (
+            f"SCU({args.q},{args.s})",
+            args.n,
+            measured.system_latency,
+            exact,
+            spec.predicted_system_latency(args.n),
+            measured.max_individual_latency,
+            measured.fairness_ratio,
+        )
+    ]
+    print(
+        format_table(
+            [
+                "algorithm",
+                "n",
+                "measured W",
+                "exact W",
+                "bound",
+                "max W_i",
+                "Wi/(nW)",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_classify(args: argparse.Namespace) -> int:
+    from repro.core.classify import classify_progress
+
+    registry = _algorithm_registry()
+    if args.algorithm not in registry:
+        print(
+            f"unknown algorithm {args.algorithm!r}; choose from "
+            f"{sorted(registry)}",
+            file=sys.stderr,
+        )
+        return 2
+    factory_builder, memory_builder, crash_when = registry[args.algorithm]
+    classification = classify_progress(
+        factory_builder,
+        memory_builder,
+        steps=args.steps,
+        crash_when=crash_when,
+    )
+    print(f"algorithm:                {args.algorithm}")
+    print(f"tolerates crash:          {classification.tolerates_crash}")
+    print(f"progress under collisions:{classification.progresses_under_collisions}")
+    print(f"all progress (uniform):   {classification.all_progress_under_uniform}")
+    print(f"all progress (round-robin):{classification.all_progress_under_round_robin}")
+    print(f"classified as:            {classification.label}")
+    return 0
+
+
+def _algorithm_registry():
+    from repro.algorithms import locks, obstruction
+    from repro.algorithms.augmented_counter import (
+        augmented_cas_counter,
+        make_augmented_counter_memory,
+    )
+    from repro.algorithms.counter import cas_counter, make_counter_memory
+    from repro.algorithms.parallel import parallel_code
+    from repro.sim.memory import Memory
+    from repro.sim.ops import CAS, Read, Write
+
+    def holding_tas(sim, pid):
+        op = sim.processes[pid].pending
+        if isinstance(op, CAS):
+            return False
+        if isinstance(op, Read):
+            return op.register == locks.COUNTER
+        if isinstance(op, Write):
+            return op.register in (locks.COUNTER, locks.LOCK)
+        return False
+
+    def holding_ticket(sim, pid):
+        op = sim.processes[pid].pending
+        if isinstance(op, Read):
+            return op.register == locks.COUNTER
+        if isinstance(op, Write):
+            return op.register in (locks.COUNTER, locks.NOW_SERVING)
+        return False
+
+    # Note: Algorithm 1 (unbounded back-off) is deliberately absent: its
+    # survivors need longer than any finite crash window to exit their
+    # back-offs, so the empirical battery mislabels it as blocking.
+    return {
+        "cas-counter": (cas_counter, make_counter_memory, None),
+        "augmented-counter": (
+            augmented_cas_counter,
+            make_augmented_counter_memory,
+            None,
+        ),
+        "parallel": (lambda: parallel_code(3), Memory, None),
+        "obstruction": (
+            obstruction.obstruction_free_counter,
+            obstruction.make_obstruction_memory,
+            None,
+        ),
+        "tas-lock": (locks.tas_lock_counter, locks.make_tas_memory, holding_tas),
+        "ticket-lock": (
+            locks.ticket_lock_counter,
+            locks.make_ticket_memory,
+            holding_ticket,
+        ),
+    }
+
+
+def cmd_ramanujan(args: argparse.Namespace) -> int:
+    from repro.bench.formats import format_table
+    from repro.stats.ramanujan import (
+        counter_return_times,
+        ramanujan_q,
+        ramanujan_q_asymptotic,
+    )
+
+    rows = []
+    n = 2
+    while n <= args.max_n:
+        rows.append(
+            (
+                n,
+                counter_return_times(n)[-1],
+                ramanujan_q(n),
+                ramanujan_q_asymptotic(n),
+                2 * np.sqrt(n),
+            )
+        )
+        n *= 2
+    print(
+        format_table(
+            ["n", "Z(n-1)", "Q(n)", "sqrt(pi n/2) expansion", "2 sqrt(n)"],
+            rows,
+        )
+    )
+    return 0
+
+
+def cmd_lifting(args: argparse.Namespace) -> int:
+    from repro.core.lifting import (
+        verify_counter_lifting,
+        verify_parallel_lifting,
+        verify_scu_lifting,
+    )
+
+    for name, report in [
+        ("Lemma 5  (scan-validate)", verify_scu_lifting(args.n)),
+        ("Lemma 10 (parallel, q=3)", verify_parallel_lifting(args.n, 3)),
+        ("Lemma 13 (counter)", verify_counter_lifting(args.n)),
+    ]:
+        status = "OK" if report.is_lifting else "FAILED"
+        print(
+            f"{name}: {status}  flow error {report.max_flow_error:.2e}, "
+            f"stationary error {report.max_stationary_error:.2e}"
+        )
+    return 0
+
+
+def cmd_gaps(args: argparse.Namespace) -> int:
+    from repro.bench.formats import format_table
+    from repro.chains.gaps import (
+        counter_gap_mean,
+        counter_gap_pmf,
+        counter_gap_quantile,
+        scu_gap_mean,
+        scu_gap_pmf,
+        scu_gap_quantile,
+    )
+
+    n = args.n
+    scu_pmf = scu_gap_pmf(n, args.head)
+    counter_pmf = counter_gap_pmf(n, args.head)
+    rows = [
+        (k + 1, scu_pmf[k], counter_pmf[k]) for k in range(args.head)
+    ]
+    print(format_table(
+        ["gap k", "scan-validate P(gap=k)", "counter P(gap=k)"], rows,
+        precision=4,
+    ))
+    print(f"\nscan-validate: mean {scu_gap_mean(n):.3f}  median "
+          f"{scu_gap_quantile(n, 0.5)}  p99 {scu_gap_quantile(n, 0.99)}")
+    print(f"counter:       mean {counter_gap_mean(n):.3f}  median "
+          f"{counter_gap_quantile(n, 0.5)}  p99 {counter_gap_quantile(n, 0.99)}")
+    return 0
+
+
+def cmd_figure5(args: argparse.Namespace) -> int:
+    from repro.algorithms.counter import cas_counter, make_counter_memory
+    from repro.bench.formats import format_table
+    from repro.chains.scu import scu_system_latency_exact
+    from repro.core.analysis import (
+        completion_rate_prediction,
+        worst_case_completion_rate,
+    )
+    from repro.core.latency import measure_latencies
+
+    thread_counts = [2, 4, 8, 16, 32][: args.points]
+    measured = []
+    for n in thread_counts:
+        m = measure_latencies(
+            cas_counter(),
+            _make_scheduler(args.scheduler),
+            n_processes=n,
+            steps=args.steps,
+            memory=make_counter_memory(),
+            rng=n,
+        )
+        measured.append(m.completion_rate)
+    predicted = completion_rate_prediction(thread_counts, measured_first=measured[0])
+    worst = worst_case_completion_rate(thread_counts)
+    exact = [1 / scu_system_latency_exact(n) for n in thread_counts]
+    rows = list(zip(thread_counts, measured, predicted, exact, worst))
+    print(
+        format_table(
+            ["threads", "measured", "1/sqrt(n) scaled", "exact chain", "worst 1/n"],
+            rows,
+            precision=4,
+        )
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction toolkit for 'Are Lock-Free Concurrent "
+        "Algorithms Practically Wait-Free?'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("latency", help="measure SCU(q, s) latencies")
+    p.add_argument("--q", type=int, default=0)
+    p.add_argument("--s", type=int, default=1)
+    p.add_argument("-n", type=int, default=16)
+    p.add_argument("--steps", type=int, default=200_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--scheduler", choices=["uniform", "hardware"], default="uniform")
+    p.set_defaults(func=cmd_latency)
+
+    p = sub.add_parser("classify", help="classify an algorithm's progress")
+    p.add_argument("algorithm")
+    p.add_argument("--steps", type=int, default=30_000)
+    p.set_defaults(func=cmd_classify)
+
+    p = sub.add_parser("ramanujan", help="the counter latency ladder")
+    p.add_argument("--max-n", type=int, default=1024)
+    p.set_defaults(func=cmd_ramanujan)
+
+    p = sub.add_parser("lifting", help="verify the three liftings")
+    p.add_argument("-n", type=int, default=5)
+    p.set_defaults(func=cmd_lifting)
+
+    p = sub.add_parser("gaps", help="exact completion-gap distributions")
+    p.add_argument("-n", type=int, default=16)
+    p.add_argument("--head", type=int, default=10)
+    p.set_defaults(func=cmd_gaps)
+
+    p = sub.add_parser("figure5", help="reproduce Figure 5's series")
+    p.add_argument("--points", type=int, default=5)
+    p.add_argument("--steps", type=int, default=60_000)
+    p.add_argument("--scheduler", choices=["uniform", "hardware"], default="uniform")
+    p.set_defaults(func=cmd_figure5)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

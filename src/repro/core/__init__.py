@@ -1,0 +1,104 @@
+"""The paper's primary contribution: stochastic schedulers, the
+``SCU(q, s)`` class, progress guarantees, and latency analysis."""
+
+from repro.core.analysis import (
+    completion_rate_prediction,
+    counter_individual_latency,
+    counter_system_latency,
+    counter_system_latency_asymptotic,
+    min_to_max_progress_bound,
+    parallel_individual_latency,
+    parallel_system_latency,
+    scu_individual_latency_bound,
+    scu_system_latency_bound,
+    scu_worst_case_system_latency,
+    unbounded_winner_monopoly_probability,
+    worst_case_completion_rate,
+)
+from repro.core.classify import (
+    ProgressClassification,
+    classify_progress,
+    collision_lockstep,
+)
+from repro.core.latency import (
+    LatencyMeasurement,
+    completion_rate,
+    individual_latencies,
+    individual_latency,
+    measure_latencies,
+    system_latency,
+)
+from repro.core.lifting import (
+    verify_counter_lifting,
+    verify_parallel_lifting,
+    verify_scu_lifting,
+)
+from repro.core.progress import (
+    ProgressReport,
+    empirical_maximal_progress_bound,
+    empirical_minimal_progress_bound,
+    progress_report,
+    starved_processes,
+)
+from repro.core.scheduler import (
+    AdversarialScheduler,
+    DistributionScheduler,
+    HardwareLikeScheduler,
+    LotteryScheduler,
+    MarkovModulatedScheduler,
+    Scheduler,
+    SkewedStochasticScheduler,
+    UniformStochasticScheduler,
+)
+from repro.core.scu import SCU
+from repro.core.sweep import SweepPoint, latency_sweep, sweep_table
+from repro.core.tails import TailSummary, tail_summary
+from repro.core.work import mean_work, measure_work
+
+__all__ = [
+    "SCU",
+    "AdversarialScheduler",
+    "DistributionScheduler",
+    "HardwareLikeScheduler",
+    "LatencyMeasurement",
+    "LotteryScheduler",
+    "MarkovModulatedScheduler",
+    "ProgressClassification",
+    "ProgressReport",
+    "Scheduler",
+    "SkewedStochasticScheduler",
+    "SweepPoint",
+    "TailSummary",
+    "UniformStochasticScheduler",
+    "classify_progress",
+    "collision_lockstep",
+    "completion_rate",
+    "completion_rate_prediction",
+    "counter_individual_latency",
+    "counter_system_latency",
+    "counter_system_latency_asymptotic",
+    "empirical_maximal_progress_bound",
+    "empirical_minimal_progress_bound",
+    "individual_latencies",
+    "individual_latency",
+    "latency_sweep",
+    "mean_work",
+    "measure_latencies",
+    "measure_work",
+    "min_to_max_progress_bound",
+    "parallel_individual_latency",
+    "parallel_system_latency",
+    "progress_report",
+    "scu_individual_latency_bound",
+    "scu_system_latency_bound",
+    "scu_worst_case_system_latency",
+    "starved_processes",
+    "sweep_table",
+    "system_latency",
+    "tail_summary",
+    "unbounded_winner_monopoly_probability",
+    "verify_counter_lifting",
+    "verify_parallel_lifting",
+    "verify_scu_lifting",
+    "worst_case_completion_rate",
+]

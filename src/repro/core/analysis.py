@@ -1,0 +1,139 @@
+"""Closed-form predictions from the paper's theorems.
+
+Each function returns what the paper *predicts*; the benchmarks put these
+side by side with exact chain computations and simulation measurements
+(EXPERIMENTS.md records the comparison for every figure/theorem).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.stats.ramanujan import counter_return_times, ramanujan_q_asymptotic
+
+
+def scu_system_latency_bound(q: int, s: int, n: int, *, alpha: float = 4.0) -> float:
+    """Theorem 4's system latency bound for ``SCU(q, s)``: ``q + alpha s sqrt(n)``.
+
+    ``alpha`` is the (unspecified) constant of the O-bound; the paper fixes
+    ``alpha >= 4`` in the analysis.
+    """
+    _check_qsn(q, s, n)
+    return q + alpha * s * np.sqrt(n)
+
+
+def scu_individual_latency_bound(
+    q: int, s: int, n: int, *, alpha: float = 4.0
+) -> float:
+    """Theorem 4's individual latency bound: ``n (q + alpha s sqrt(n))``."""
+    return n * scu_system_latency_bound(q, s, n, alpha=alpha)
+
+
+def scu_worst_case_system_latency(q: int, s: int, n: int) -> float:
+    """The adversarial worst case: ``Theta(q + s n)`` steps per completion.
+
+    Under a worst-case schedule every completion can require all ``n``
+    processes to run through the scan before one commits.
+    """
+    _check_qsn(q, s, n)
+    return float(q + s * n)
+
+
+def parallel_system_latency(q: int) -> float:
+    """Lemma 11: parallel code's exact system latency ``q``."""
+    if q < 1:
+        raise ValueError("q must be positive")
+    return float(q)
+
+
+def parallel_individual_latency(q: int, n: int) -> float:
+    """Lemma 11: parallel code's exact individual latency ``n q``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return float(n * parallel_system_latency(q))
+
+
+def counter_system_latency(n: int) -> float:
+    """Lemma 12's exact value for the augmented-CAS counter: ``W = Z(n-1)``.
+
+    Bounded by ``2 sqrt(n)`` and asymptotically ``sqrt(pi n / 2)``.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    return float(counter_return_times(n)[-1])
+
+
+def counter_system_latency_asymptotic(n: int) -> float:
+    """Lemma 12's asymptotic ``sqrt(pi n / 2)`` (plus lower-order terms).
+
+    ``W = Z(n-1) = Q(n)`` exactly, so the Flajolet expansion of ``Q``
+    applies directly.
+    """
+    return ramanujan_q_asymptotic(n)
+
+
+def counter_individual_latency(n: int) -> float:
+    """Corollary 3: ``W_i = n W = n Z(n-1) = O(n sqrt(n))``."""
+    return n * counter_system_latency(n)
+
+
+def completion_rate_prediction(
+    n_values: Sequence[int], *, measured_first: float
+) -> np.ndarray:
+    """Figure 5's prediction series: ``Theta(1/sqrt(n))`` scaled so the
+    first point matches the first measured completion rate.
+
+    The paper: "Since we do not have precise bounds on the constant in
+    front of Theta(1/sqrt(n)) for the prediction, we scaled the
+    prediction to the first data point."
+    """
+    ns = np.asarray(list(n_values), dtype=float)
+    if ns.size == 0 or np.any(ns < 1):
+        raise ValueError("n_values must be positive")
+    if measured_first <= 0:
+        raise ValueError("measured_first must be positive")
+    raw = 1.0 / np.sqrt(ns)
+    return raw * (measured_first / raw[0])
+
+
+def worst_case_completion_rate(n_values: Sequence[int]) -> np.ndarray:
+    """Figure 5's worst-case series: rate ``1/n``."""
+    ns = np.asarray(list(n_values), dtype=float)
+    if ns.size == 0 or np.any(ns < 1):
+        raise ValueError("n_values must be positive")
+    return 1.0 / ns
+
+
+def min_to_max_progress_bound(theta: float, minimal_bound: int) -> float:
+    """Theorem 3's expected maximal-progress bound ``(1/theta)**T``.
+
+    ``theta`` is the scheduler's weak-fairness threshold and
+    ``minimal_bound`` the algorithm's bounded-minimal-progress constant.
+    This is astronomically loose for realistic parameters — the point of
+    the paper's Section 6 refinement — but it is finite, which is the
+    qualitative content of Theorem 3.
+    """
+    if not 0.0 < theta <= 1.0:
+        raise ValueError("theta must lie in (0, 1]")
+    if minimal_bound < 1:
+        raise ValueError("minimal_bound must be positive")
+    return float((1.0 / theta) ** minimal_bound)
+
+
+def unbounded_winner_monopoly_probability(n: int) -> float:
+    """Lemma 2's bound: the first CAS winner of Algorithm 1 keeps winning
+    forever except with probability at most ``2 e^{-n}``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return float(1.0 - 2.0 * np.exp(-n))
+
+
+def _check_qsn(q: int, s: int, n: int) -> None:
+    if q < 0:
+        raise ValueError("q must be non-negative")
+    if s < 1:
+        raise ValueError("s must be at least 1")
+    if n < 1:
+        raise ValueError("n must be at least 1")

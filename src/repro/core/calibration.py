@@ -1,0 +1,110 @@
+"""Calibrating the hardware-like scheduler to recorded schedules.
+
+The paper justifies the uniform model by *statistics of recordings*
+(Appendix A).  Given a schedule — recorded from real hardware via the
+fetch-and-increment method, or from any source — these helpers compute
+the statistics the model cares about and fit the
+:class:`~repro.core.scheduler.HardwareLikeScheduler`'s quantum so the
+synthetic scheduler reproduces the recording's burstiness.
+
+Identifiability note: the scheduler's *jitter* parameters wash out of
+long-run statistics by design (the weights mean-revert), so only the
+quantum is fitted; fairness statistics validate the fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.scheduler import HardwareLikeScheduler
+
+
+@dataclass(frozen=True)
+class ScheduleStatistics:
+    """The aggregate statistics of a recorded schedule.
+
+    Attributes
+    ----------
+    n_processes, steps:
+        Recording dimensions.
+    share_spread:
+        Max minus min per-process step share (Figure 3 flatness).
+    empirical_theta:
+        Smallest per-process share (weak-fairness estimate).
+    self_succession:
+        P(next step by the same process) — 1/n for the uniform model,
+        higher for quantum schedulers (Figure 4's local statistic).
+    mean_run_length:
+        Average length of maximal same-process runs.
+    """
+
+    n_processes: int
+    steps: int
+    share_spread: float
+    empirical_theta: float
+    self_succession: float
+    mean_run_length: float
+
+
+def schedule_statistics(schedule: np.ndarray, n_processes: int) -> ScheduleStatistics:
+    """Compute the calibration statistics of a schedule."""
+    schedule = np.asarray(schedule)
+    if schedule.size < 2:
+        raise ValueError("schedule too short")
+    shares = np.bincount(schedule, minlength=n_processes) / schedule.size
+    same = schedule[:-1] == schedule[1:]
+    runs = 1 + int(np.count_nonzero(~same))
+    return ScheduleStatistics(
+        n_processes=n_processes,
+        steps=int(schedule.size),
+        share_spread=float(shares.max() - shares.min()),
+        empirical_theta=float(shares.min()),
+        self_succession=float(same.mean()),
+        mean_run_length=float(schedule.size / runs),
+    )
+
+
+def fit_mean_quantum(statistics: ScheduleStatistics) -> float:
+    """Estimate the quantum from the observed mean run length.
+
+    Quanta of geometric mean length M merge when the next quantum lands
+    on the same process (probability ~ 1/n under near-uniform picks), so
+    the observed run length is ~ M / (1 - 1/n); invert that.
+    """
+    n = statistics.n_processes
+    if n < 2:
+        raise ValueError("calibration needs at least two processes")
+    quantum = statistics.mean_run_length * (1.0 - 1.0 / n)
+    return max(1.0, float(quantum))
+
+
+def fit_hardware_like(
+    schedule: np.ndarray, n_processes: int
+) -> HardwareLikeScheduler:
+    """Fit a :class:`HardwareLikeScheduler` to a recorded schedule."""
+    statistics = schedule_statistics(schedule, n_processes)
+    return HardwareLikeScheduler(mean_quantum=fit_mean_quantum(statistics))
+
+
+def calibration_report(
+    original: ScheduleStatistics, regenerated: ScheduleStatistics
+) -> dict:
+    """Compare the statistics of the recording and the fitted scheduler's
+    output; small relative errors mean the fit is usable."""
+    def rel(a: float, b: float) -> float:
+        denominator = max(abs(a), 1e-12)
+        return abs(a - b) / denominator
+
+    return {
+        "mean_run_length_error": rel(
+            original.mean_run_length, regenerated.mean_run_length
+        ),
+        "self_succession_error": rel(
+            original.self_succession, regenerated.self_succession
+        ),
+        "share_spread_difference": abs(
+            original.share_spread - regenerated.share_spread
+        ),
+    }

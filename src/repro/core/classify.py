@@ -1,0 +1,185 @@
+"""Empirical progress classification (Section 2.2, made executable).
+
+Given an algorithm (as a process factory + memory builder), run it under
+a battery of schedules and report which progress behaviours it
+exhibits.  Infinite-execution properties cannot be *decided* from finite
+runs, so the classifier reports evidence, not proofs — but the paper's
+algorithm classes separate cleanly on it:
+
+==============================  ========  =========  ===========  =========
+observation                     wait-free  lock-free  obstr.-free  blocking
+==============================  ========  =========  ===========  =========
+survivors progress past a
+crashed process                  yes        yes        yes          NO
+system progresses under a
+lockstep collision schedule      yes        yes        NO           yes*
+every process progresses under
+the uniform scheduler            yes        yes**      yes**        yes*
+every process progresses under
+deterministic round-robin        yes        NO(+)      NO(+)        yes*
+==============================  ========  =========  ===========  =========
+
+``*``  for deadlock-/starvation-free locks in crash-free runs;
+``**`` the paper's point: with probability 1, though not guaranteed;
+``(+)`` for the algorithms in this library — round-robin is evidence
+against wait-freedom, not a proof (some lock-free algorithms happen to
+serve everyone under it).  Note a *starvation* adversary (never
+scheduling a victim) distinguishes nothing: even wait-freedom only
+promises completion to processes that keep taking steps.
+
+Caveat: the battery observes *finite* windows.  Algorithms with
+unbounded retry costs (Algorithm 1's quadratic back-off) can fail the
+crash experiment spuriously — survivors recover, but only after
+back-offs longer than any practical window.  This is the same
+finite-vs-asymptotic gap Theorem 3's (1/theta)^T bound exhibits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.scheduler import AdversarialScheduler, UniformStochasticScheduler
+from repro.sim.executor import Simulator
+from repro.sim.memory import Memory
+from repro.sim.process import ProcessFactory
+
+
+def collision_lockstep(block: int = 3) -> AdversarialScheduler:
+    """Two-process adversary: after one step each, alternate blocks of
+    ``block`` steps.  Against collision-abort (obstruction-free)
+    algorithms this aborts both processes forever."""
+
+    def strategy(time: int, active: Sequence[int]) -> int:
+        if len(active) == 1:
+            return active[0]
+        if time <= 2:
+            return active[time - 1]
+        index = (time - 3) // block
+        return active[0] if index % 2 == 0 else active[1]
+
+    return AdversarialScheduler(strategy)
+
+
+@dataclass(frozen=True)
+class ProgressClassification:
+    """What a battery of schedules observed about an algorithm."""
+
+    tolerates_crash: bool
+    progresses_under_collisions: bool
+    all_progress_under_uniform: bool
+    all_progress_under_round_robin: bool
+
+    @property
+    def label(self) -> str:
+        """The closest Section 2.2 class consistent with the evidence."""
+        if not self.tolerates_crash:
+            return "blocking (lock-based)"
+        if self.all_progress_under_round_robin:
+            return "wait-free"
+        if self.progresses_under_collisions:
+            return "lock-free (practically wait-free under the uniform scheduler)"
+        return "obstruction-free (practically wait-free under the uniform scheduler)"
+
+
+def classify_progress(
+    factory_builder: Callable[[], ProcessFactory],
+    memory_builder: Callable[[], Memory],
+    *,
+    n_processes: int = 4,
+    steps: int = 40_000,
+    crash_when: Optional[Callable[[Simulator, int], bool]] = None,
+    rng_seed: int = 0,
+) -> ProgressClassification:
+    """Run the four schedule experiments and classify.
+
+    Parameters
+    ----------
+    factory_builder / memory_builder:
+        Zero-argument builders so each experiment gets a fresh instance.
+    n_processes, steps:
+        Sizes for the uniform/starvation experiments (the collision
+        experiment always uses 2 processes).
+    crash_when:
+        Predicate ``(simulator, victim_pid) -> bool`` checked after each
+        of the victim's steps; the victim is crashed the first time it
+        returns true.  Use it to crash a lock holder *inside* its
+        critical section (inspect ``simulator.processes[pid].pending``).
+        Default: crash after the victim's first step.
+    rng_seed:
+        Base seed.
+    """
+    if crash_when is None:
+        crash_when = lambda sim, pid: sim.processes[pid].steps >= 1
+    # 1. Crash tolerance: crash one process mid-operation; do the
+    #    others keep completing?
+    sim = Simulator(
+        factory_builder(),
+        UniformStochasticScheduler(),
+        n_processes=n_processes,
+        memory=memory_builder(),
+        rng=rng_seed,
+    )
+    victim = 0
+    crashed = False
+    for _ in range(steps):
+        pid = sim.step()
+        if pid is None:
+            break
+        if not crashed and pid == victim and crash_when(sim, victim):
+            sim.processes[victim].crash()
+            crashed = True
+    others = [p for p in range(n_processes) if p != victim]
+    before = {p: sim.processes[p].completions for p in others}
+    sim.run(steps)
+    tolerates_crash = all(
+        sim.processes[p].completions > before[p] for p in others
+    )
+
+    # 2. Collision lockstep (2 processes): does the system progress?
+    sim = Simulator(
+        factory_builder(),
+        collision_lockstep(),
+        n_processes=2,
+        memory=memory_builder(),
+        rng=rng_seed + 1,
+    )
+    result = sim.run(steps)
+    progresses_under_collisions = result.total_completions > 0
+
+    # 3. Uniform stochastic scheduler: does everyone progress?
+    sim = Simulator(
+        factory_builder(),
+        UniformStochasticScheduler(),
+        n_processes=n_processes,
+        memory=memory_builder(),
+        rng=rng_seed + 2,
+    )
+    sim.run(steps)
+    all_progress_under_uniform = all(
+        sim.processes[p].completions > 0 for p in range(n_processes)
+    )
+
+    # 4. Deterministic round-robin: does everyone progress?  A wait-free
+    #    algorithm must; scan-validate-style lock-free algorithms
+    #    deterministically starve all but one process under lockstep.
+    sim = Simulator(
+        factory_builder(),
+        AdversarialScheduler.round_robin(),
+        n_processes=n_processes,
+        memory=memory_builder(),
+        rng=rng_seed + 3,
+    )
+    sim.run(steps)
+    all_progress_under_round_robin = all(
+        sim.processes[p].completions > 0 for p in range(n_processes)
+    )
+
+    return ProgressClassification(
+        tolerates_crash=tolerates_crash,
+        progresses_under_collisions=progresses_under_collisions,
+        all_progress_under_uniform=all_progress_under_uniform,
+        all_progress_under_round_robin=all_progress_under_round_robin,
+    )

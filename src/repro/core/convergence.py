@@ -1,0 +1,111 @@
+"""Convergence diagnostics for simulation estimates.
+
+The paper's quantities are stationary expectations; finite simulations
+approach them through a transient.  These diagnostics justify (or
+reject) a chosen burn-in:
+
+* :func:`split_half_diagnostic` — compare the latency estimated from the
+  first and second halves of the post-burn-in completions; a stationary
+  series gives statistically indistinguishable halves.
+* :func:`geweke_z` — Geweke's z-score comparing the early fraction of a
+  series against the late fraction (|z| < 2 is the usual pass).
+* :func:`running_latency` — the evolving estimate over time, for
+  plotting/asserting settlement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.sim.trace import TraceRecorder
+
+
+def completion_gaps(recorder: TraceRecorder, *, burn_in: int = 0) -> np.ndarray:
+    """Inter-completion gaps (the raw series behind the system latency)."""
+    times = np.asarray(recorder.completion_times, dtype=np.int64)
+    times = times[times > burn_in]
+    if times.size < 2:
+        raise ValueError("need at least two completions after burn-in")
+    return np.diff(times)
+
+
+@dataclass(frozen=True)
+class SplitHalfDiagnostic:
+    """First-half vs second-half comparison of the latency estimate."""
+
+    first_half: float
+    second_half: float
+
+    @property
+    def relative_drift(self) -> float:
+        """``|second - first| / mean`` — small when stationary."""
+        mean = 0.5 * (self.first_half + self.second_half)
+        return abs(self.second_half - self.first_half) / mean
+
+    def is_stationary(self, tolerance: float = 0.05) -> bool:
+        """Whether the two halves agree within ``tolerance``."""
+        return self.relative_drift <= tolerance
+
+
+def split_half_diagnostic(
+    recorder: TraceRecorder, *, burn_in: int = 0
+) -> SplitHalfDiagnostic:
+    """Latency from each half of the post-burn-in completion series."""
+    gaps = completion_gaps(recorder, burn_in=burn_in)
+    half = gaps.size // 2
+    if half < 1:
+        raise ValueError("too few gaps to split")
+    return SplitHalfDiagnostic(
+        first_half=float(gaps[:half].mean()),
+        second_half=float(gaps[half:].mean()),
+    )
+
+
+def geweke_z(
+    series: Sequence[float], *, early: float = 0.1, late: float = 0.5
+) -> float:
+    """Geweke's convergence z-score between the early and late windows.
+
+    Uses batch means within each window to absorb autocorrelation.
+    ``|z| < 2`` is the conventional stationarity pass.
+    """
+    data = np.asarray(series, dtype=float)
+    if not 0 < early < 1 or not 0 < late < 1 or early + late > 1:
+        raise ValueError("early and late must be fractions with early + late <= 1")
+    n = data.size
+    head = data[: max(int(n * early), 2)]
+    tail = data[n - max(int(n * late), 2):]
+
+    def batched(x: np.ndarray) -> np.ndarray:
+        batches = max(min(20, x.size // 5), 2)
+        usable = x.size - x.size % batches
+        return x[:usable].reshape(batches, -1).mean(axis=1)
+
+    head_b, tail_b = batched(head), batched(tail)
+    var = head_b.var(ddof=1) / head_b.size + tail_b.var(ddof=1) / tail_b.size
+    if var <= 0:
+        return 0.0
+    return float((head_b.mean() - tail_b.mean()) / np.sqrt(var))
+
+
+def running_latency(
+    recorder: TraceRecorder, *, points: int = 50
+) -> Tuple[np.ndarray, np.ndarray]:
+    """The latency estimate as a function of how much data is used.
+
+    Returns ``(cut_times, estimates)``; the estimate at cut ``t`` uses
+    completions up to ``t``.  Settling of this curve is what a burn-in
+    plus sufficient run length must achieve.
+    """
+    times = np.asarray(recorder.completion_times, dtype=np.int64)
+    if times.size < points:
+        raise ValueError(f"need at least {points} completions")
+    cuts = np.linspace(times.size // points, times.size - 1, points).astype(int)
+    cut_times = times[cuts]
+    estimates = np.array(
+        [(times[c] - times[0]) / c for c in cuts], dtype=float
+    )
+    return cut_times, estimates

@@ -1,0 +1,182 @@
+"""Latency measurement (Section 2.4's complexity measures).
+
+*System latency* is the expected number of system steps between
+consecutive completions of any two invocations; *individual latency* is
+the expected number of system steps between consecutive completions of
+the *same* process.  The *completion rate* (Appendix B) is completions
+per system step, i.e. the inverse of the system latency.
+
+These estimators operate on a :class:`repro.sim.TraceRecorder` after a
+run; :func:`measure_latencies` is the one-call convenience that builds a
+simulator, runs it with a burn-in (so estimates reflect the stationary
+regime the paper analyses), and reports everything at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.sim.executor import Simulator
+from repro.sim.memory import Memory
+from repro.sim.process import ProcessFactory
+from repro.sim.trace import TraceRecorder
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def system_latency(recorder: TraceRecorder, *, burn_in: int = 0) -> float:
+    """Mean steps between consecutive completions (any process).
+
+    ``burn_in`` drops completions at or before that time step, so the
+    estimate reflects stationary behaviour.
+    """
+    times = np.asarray(recorder.completion_times, dtype=np.int64)
+    times = times[times > burn_in]
+    if times.size < 2:
+        raise ValueError(
+            f"need >= 2 completions after burn_in={burn_in}, got {times.size}"
+        )
+    return float((times[-1] - times[0]) / (times.size - 1))
+
+
+def individual_latency(
+    recorder: TraceRecorder, pid: int, *, burn_in: int = 0
+) -> float:
+    """Mean steps between consecutive completions of one process."""
+    times = recorder.completion_times_of(pid)
+    times = times[times > burn_in]
+    if times.size < 2:
+        raise ValueError(
+            f"process {pid} completed {times.size} times after burn_in; need >= 2"
+        )
+    return float((times[-1] - times[0]) / (times.size - 1))
+
+
+def individual_latencies(
+    recorder: TraceRecorder, *, burn_in: int = 0
+) -> Dict[int, float]:
+    """Per-process individual latencies (processes with >= 2 completions)."""
+    out: Dict[int, float] = {}
+    for pid in range(recorder.n_processes):
+        times = recorder.completion_times_of(pid)
+        times = times[times > burn_in]
+        if times.size >= 2:
+            out[pid] = float((times[-1] - times[0]) / (times.size - 1))
+    return out
+
+
+def method_latencies(history, *, burn_in: int = 0) -> Dict[str, float]:
+    """Mean steps between consecutive completions, per method name.
+
+    The paper's Discussion raises "implementations which export several
+    distinct methods"; this measures each method's own system latency
+    (e.g. push vs pop of a stack) from a recorded history.
+    """
+    times_by_method: Dict[str, list] = {}
+    for response in history.responses:
+        if response.time > burn_in:
+            times_by_method.setdefault(response.method, []).append(response.time)
+    out: Dict[str, float] = {}
+    for method, times in times_by_method.items():
+        if len(times) >= 2:
+            out[method] = float((times[-1] - times[0]) / (len(times) - 1))
+    return out
+
+
+def completion_rate(recorder: TraceRecorder, total_steps: int) -> float:
+    """Completions per system step over the whole run (Appendix B)."""
+    if total_steps <= 0:
+        raise ValueError("total_steps must be positive")
+    return recorder.total_completions / total_steps
+
+
+@dataclass(frozen=True)
+class LatencyMeasurement:
+    """Everything :func:`measure_latencies` reports for one run."""
+
+    n_processes: int
+    steps: int
+    burn_in: int
+    total_completions: int
+    system_latency: float
+    individual: Dict[int, float]
+    completion_rate: float
+
+    @property
+    def max_individual_latency(self) -> float:
+        """The paper's individual latency: the max over processes."""
+        return max(self.individual.values())
+
+    @property
+    def mean_individual_latency(self) -> float:
+        """Average individual latency across processes."""
+        return float(np.mean(list(self.individual.values())))
+
+    @property
+    def fairness_ratio(self) -> float:
+        """``max individual / (n * system)`` — 1.0 when Lemma 7 holds."""
+        return self.max_individual_latency / (self.n_processes * self.system_latency)
+
+
+def measure_latencies(
+    factory: ProcessFactory,
+    scheduler,
+    n_processes: int,
+    steps: int,
+    *,
+    burn_in: Optional[int] = None,
+    memory: Optional[Memory] = None,
+    memory_factory: Optional[Callable[[], Memory]] = None,
+    crash_times: Optional[Dict[int, int]] = None,
+    rng: RngLike = None,
+) -> LatencyMeasurement:
+    """Run a fresh simulation and measure its latencies.
+
+    Parameters
+    ----------
+    factory:
+        Process factory used for all processes (symmetric workload).
+    scheduler:
+        Scheduler instance.
+    n_processes, steps:
+        Run size.  ``burn_in`` defaults to ``steps // 10``.
+    memory / memory_factory:
+        Initial shared memory (instance, or a zero-argument builder so the
+        same call can be repeated independently).
+    crash_times:
+        Forwarded to the simulator (Corollary 2 experiments).
+    rng:
+        Seed or generator for the run.
+    """
+    if memory is not None and memory_factory is not None:
+        raise ValueError("pass memory or memory_factory, not both")
+    if burn_in is None:
+        burn_in = steps // 10
+    if memory_factory is not None:
+        memory = memory_factory()
+    simulator = Simulator(
+        factory,
+        scheduler,
+        n_processes=n_processes,
+        memory=memory,
+        crash_times=crash_times,
+        rng=rng,
+    )
+    result = simulator.run(steps)
+    individual = individual_latencies(result.recorder, burn_in=burn_in)
+    if not individual:
+        raise ValueError(
+            "no process completed twice after burn-in; increase steps"
+        )
+    return LatencyMeasurement(
+        n_processes=n_processes,
+        steps=result.steps_executed,
+        burn_in=burn_in,
+        total_completions=result.recorder.total_completions,
+        system_latency=system_latency(result.recorder, burn_in=burn_in),
+        individual=individual,
+        completion_rate=completion_rate(result.recorder, result.steps_executed),
+    )

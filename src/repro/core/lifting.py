@@ -1,0 +1,30 @@
+"""The paper's three liftings, packaged for one-call verification.
+
+Lemma 5 (scan-validate), Lemma 10 (parallel code) and Lemma 13
+(augmented-CAS counter) each assert that the individual chain lifts the
+corresponding system chain.  These wrappers build both chains and verify
+the ergodic-flow homomorphism numerically via
+:class:`repro.markov.lifting.Lifting`.
+"""
+
+from __future__ import annotations
+
+from repro.chains.counter import counter_lifting
+from repro.chains.parallel import parallel_lifting
+from repro.chains.scu import scu_lifting
+from repro.markov.lifting import LiftingReport
+
+
+def verify_scu_lifting(n: int, *, atol: float = 1e-9) -> LiftingReport:
+    """Verify Lemma 5 for ``n`` processes (exponential; keep ``n <= 10``)."""
+    return scu_lifting(n).verify(atol=atol)
+
+
+def verify_parallel_lifting(n: int, q: int, *, atol: float = 1e-9) -> LiftingReport:
+    """Verify Lemma 10 for ``n`` processes and preamble length ``q``."""
+    return parallel_lifting(n, q).verify(atol=atol)
+
+
+def verify_counter_lifting(n: int, *, atol: float = 1e-9) -> LiftingReport:
+    """Verify Lemma 13 for ``n`` processes (exponential; keep ``n <= 14``)."""
+    return counter_lifting(n).verify(atol=atol)

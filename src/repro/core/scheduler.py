@@ -1,0 +1,433 @@
+"""Schedulers (Definition 1 of the paper).
+
+A scheduler for ``n`` processes is a triple ``(Pi_tau, A_tau, theta)``: at
+every time step ``tau`` it draws the next process from a distribution
+``Pi_tau`` supported on the possibly-active set ``A_tau``; it is
+*stochastic* when every active process has probability at least
+``theta > 0`` in every step (weak fairness).
+
+The executor (:class:`repro.sim.Simulator`) owns the active set ``A_tau``
+(crash containment) and hands it to the scheduler, so a scheduler here is
+just the ``Pi_tau`` part: ``select(time, active, rng) -> pid``, plus an
+optional ``distribution(time, active)`` used by validation utilities and
+exact analyses.
+
+Schedulers provided:
+
+* :class:`UniformStochasticScheduler` — ``gamma_i = 1/|A_tau|``; the model
+  under which the paper's latency bounds are proved.
+* :class:`SkewedStochasticScheduler` / :class:`LotteryScheduler` — fixed
+  positive weights; stochastic with ``theta = min weight share``.
+* :class:`DistributionScheduler` — fully general ``Pi_tau`` given by a
+  callable; validates Definition 1's well-formedness and weak fairness.
+* :class:`AdversarialScheduler` — a deterministic strategy encoded as a
+  distribution putting mass 1 on one process (``theta = 0``); includes the
+  classic starvation adversaries used to show lock-free != wait-free.
+* :class:`HardwareLikeScheduler` — the synthetic stand-in for the paper's
+  hardware recordings (Appendix A): quantum-based runs with per-process
+  speed jitter, near-uniform over long executions.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+
+class Scheduler(abc.ABC):
+    """Interface every scheduler implements."""
+
+    @abc.abstractmethod
+    def select(
+        self, time: int, active: Sequence[int], rng: np.random.Generator
+    ) -> int:
+        """Pick the process to schedule at ``time`` among ``active`` pids."""
+
+    def distribution(self, time: int, active: Sequence[int]) -> Dict[int, float]:
+        """The distribution ``Pi_tau`` restricted to ``active``, if known.
+
+        Subclasses that can state their per-step distribution override
+        this; the default raises, since e.g. stateful schedulers may not
+        have a closed form.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} does not expose a per-step distribution"
+        )
+
+    def threshold(self, n_processes: int) -> float:
+        """The weak-fairness threshold ``theta`` for ``n`` processes.
+
+        Zero means the scheduler is not stochastic in the paper's sense
+        (an adversary can be encoded).
+        """
+        return 0.0
+
+
+class UniformStochasticScheduler(Scheduler):
+    """Each active process is scheduled with probability ``1/|A_tau|``.
+
+    This is the paper's refined model (Section 2.3): with no crashes,
+    ``gamma_i = 1/n`` for every ``i`` and every ``tau``.
+    """
+
+    def select(
+        self, time: int, active: Sequence[int], rng: np.random.Generator
+    ) -> int:
+        return int(active[rng.integers(len(active))])
+
+    def distribution(self, time: int, active: Sequence[int]) -> Dict[int, float]:
+        share = 1.0 / len(active)
+        return {pid: share for pid in active}
+
+    def threshold(self, n_processes: int) -> float:
+        return 1.0 / n_processes
+
+
+class SkewedStochasticScheduler(Scheduler):
+    """Fixed positive weights per process, renormalised over the active set.
+
+    A stochastic scheduler with ``theta`` equal to the smallest weight
+    share.  Used by the scheduler-sensitivity ablation (how far from
+    uniform can the scheduler drift before the paper's latency shape
+    degrades).
+    """
+
+    def __init__(self, weights: Sequence[float]) -> None:
+        weights = np.asarray(weights, dtype=float)
+        if weights.ndim != 1 or weights.size == 0:
+            raise ValueError("weights must be a non-empty 1-D sequence")
+        if np.any(weights <= 0):
+            raise ValueError("all weights must be positive for a stochastic scheduler")
+        self.weights = weights
+
+    def _probabilities(self, active: Sequence[int]) -> np.ndarray:
+        w = self.weights[list(active)]
+        return w / w.sum()
+
+    def select(
+        self, time: int, active: Sequence[int], rng: np.random.Generator
+    ) -> int:
+        probs = self._probabilities(active)
+        return int(active[rng.choice(len(active), p=probs)])
+
+    def distribution(self, time: int, active: Sequence[int]) -> Dict[int, float]:
+        probs = self._probabilities(active)
+        return {pid: float(p) for pid, p in zip(active, probs)}
+
+    def threshold(self, n_processes: int) -> float:
+        w = self.weights[:n_processes]
+        return float(w.min() / w.sum())
+
+
+class LotteryScheduler(SkewedStochasticScheduler):
+    """Lottery scheduling (Waldspurger-style, the paper's reference [19]).
+
+    Each process holds a number of tickets; each step draws a ticket
+    uniformly.  Equivalent to :class:`SkewedStochasticScheduler` with
+    integer weights, provided as its own type because lottery scheduling
+    is the practical system the paper cites as a deployed randomized
+    scheduler.
+    """
+
+    def __init__(self, tickets: Sequence[int]) -> None:
+        tickets_arr = np.asarray(tickets)
+        if tickets_arr.size and not np.issubdtype(tickets_arr.dtype, np.integer):
+            raise ValueError("lottery tickets must be integers")
+        super().__init__(tickets_arr.astype(float))
+
+
+class DistributionScheduler(Scheduler):
+    """The fully general ``Pi_tau`` of Definition 1.
+
+    Parameters
+    ----------
+    pi:
+        ``pi(time, active) -> mapping pid -> probability``.  Probabilities
+        must be supported on ``active`` (crash condition), sum to 1
+        (well-formedness) and, for the scheduler to be stochastic, be at
+        least ``theta`` on every active pid (weak fairness).
+    theta:
+        The claimed threshold; validated on every step when ``validate``.
+    validate:
+        Check Definition 1's conditions each step (default on; turn off in
+        hot loops once a scheduler is trusted).
+    """
+
+    def __init__(
+        self,
+        pi: Callable[[int, Sequence[int]], Mapping[int, float]],
+        *,
+        theta: float = 0.0,
+        validate: bool = True,
+    ) -> None:
+        if not 0.0 <= theta <= 1.0:
+            raise ValueError("theta must lie in [0, 1]")
+        self._pi = pi
+        self._theta = theta
+        self._validate = validate
+
+    def _checked(self, time: int, active: Sequence[int]) -> Dict[int, float]:
+        dist = dict(self._pi(time, active))
+        if self._validate:
+            unknown = set(dist) - set(active)
+            if any(dist[pid] > 0 for pid in unknown):
+                raise ValueError(
+                    f"Pi_{time} puts mass on non-active processes {sorted(unknown)}"
+                )
+            total = sum(dist.values())
+            if abs(total - 1.0) > 1e-9:
+                raise ValueError(f"Pi_{time} sums to {total}, violating well-formedness")
+            if self._theta > 0:
+                for pid in active:
+                    if dist.get(pid, 0.0) < self._theta - 1e-12:
+                        raise ValueError(
+                            f"Pi_{time} gives process {pid} probability "
+                            f"{dist.get(pid, 0.0)} < theta={self._theta}"
+                        )
+        return dist
+
+    def select(
+        self, time: int, active: Sequence[int], rng: np.random.Generator
+    ) -> int:
+        dist = self._checked(time, active)
+        pids = list(dist)
+        probs = np.array([dist[pid] for pid in pids])
+        probs = probs / probs.sum()
+        return int(pids[rng.choice(len(pids), p=probs)])
+
+    def distribution(self, time: int, active: Sequence[int]) -> Dict[int, float]:
+        return self._checked(time, active)
+
+    def threshold(self, n_processes: int) -> float:
+        return self._theta
+
+
+class AdversarialScheduler(Scheduler):
+    """A worst-case adversary encoded as a degenerate distribution.
+
+    As Section 2.3 notes, any classic asynchronous adversary corresponds to
+    ``Pi_tau`` putting probability 1 on the adversary's choice; the
+    threshold is 0, so none of the stochastic guarantees apply — these
+    schedulers exist to *witness* the gap between lock-freedom and
+    wait-freedom in tests and benchmarks.
+    """
+
+    def __init__(self, strategy: Callable[[int, Sequence[int]], int]) -> None:
+        self._strategy = strategy
+
+    def select(
+        self, time: int, active: Sequence[int], rng: np.random.Generator
+    ) -> int:
+        pid = self._strategy(time, active)
+        if pid not in active:
+            raise ValueError(
+                f"adversary chose inactive process {pid} at t={time}"
+            )
+        return int(pid)
+
+    def distribution(self, time: int, active: Sequence[int]) -> Dict[int, float]:
+        pid = self._strategy(time, active)
+        return {p: (1.0 if p == pid else 0.0) for p in active}
+
+    @classmethod
+    def round_robin(cls) -> "AdversarialScheduler":
+        """Cycle through the active processes in pid order."""
+
+        def strategy(time: int, active: Sequence[int]) -> int:
+            return active[(time - 1) % len(active)]
+
+        return cls(strategy)
+
+    @classmethod
+    def starve(cls, victim: int) -> "AdversarialScheduler":
+        """Never schedule ``victim`` unless it is the only active process.
+
+        Against any lock-free (but not wait-free) algorithm this keeps the
+        victim's invocation pending forever while the system still makes
+        minimal progress.
+        """
+
+        def strategy(time: int, active: Sequence[int]) -> int:
+            others = [pid for pid in active if pid != victim]
+            if not others:
+                return victim
+            return others[(time - 1) % len(others)]
+
+        return cls(strategy)
+
+    @classmethod
+    def alternating_spoiler(cls, victim: int) -> "AdversarialScheduler":
+        """Let ``victim`` run just until it is about to commit, then let one
+        other process steal the commit.
+
+        A time-based approximation of the classic CAS-spoiling adversary:
+        the victim gets scheduled in bursts but another process is always
+        interleaved, so in scan-validate algorithms the victim's CAS keeps
+        failing.  Exact spoiling (state-aware) is provided by tests that
+        drive the simulator step by step.
+        """
+
+        def strategy(time: int, active: Sequence[int]) -> int:
+            others = [pid for pid in active if pid != victim]
+            if not others:
+                return victim
+            # Two victim steps (read + CAS attempt), then one spoiler step.
+            phase = (time - 1) % 3
+            if phase < 2:
+                return victim if victim in active else others[0]
+            return others[(time - 1) // 3 % len(others)]
+
+        return cls(strategy)
+
+
+class MarkovModulatedScheduler(Scheduler):
+    """A stochastic scheduler whose bias evolves through hidden regimes.
+
+    Real interference is *time-correlated*: an interrupt storm or a
+    co-scheduled job parks on one core for a while, then moves on.  This
+    scheduler holds a hidden regime r (one per process, plus a neutral
+    regime); within regime r process r's weight is divided by
+    ``slowdown`` while the regime persists (geometric duration with mean
+    ``mean_dwell``); regimes switch to a uniformly random one.
+
+    The scheduler stays stochastic — every process keeps probability at
+    least ``theta = 1 / (n - 1 + slowdown)`` each step — but its choices
+    are correlated across time, unlike every Pi_tau model the paper
+    analyses.  The tests check the paper's *long-run* predictions
+    survive this (latency within a modest factor of the uniform model,
+    everyone completes), exhibiting the robustness the Discussion hopes
+    for.
+    """
+
+    def __init__(
+        self, *, slowdown: float = 4.0, mean_dwell: float = 200.0
+    ) -> None:
+        if slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1")
+        if mean_dwell < 1.0:
+            raise ValueError("mean_dwell must be >= 1")
+        self.slowdown = slowdown
+        self.mean_dwell = mean_dwell
+        self._regime: Optional[int] = None  # pid being slowed, or None
+        self._remaining = 0
+
+    def _advance_regime(
+        self, active: Sequence[int], rng: np.random.Generator
+    ) -> None:
+        if self._remaining > 0 and (
+            self._regime is None or self._regime in active
+        ):
+            self._remaining -= 1
+            return
+        # Pick a new regime: neutral or one slowed process.
+        choices = [None] + list(active)
+        self._regime = choices[int(rng.integers(len(choices)))]
+        self._remaining = int(rng.geometric(1.0 / self.mean_dwell))
+
+    def _weights(self, active: Sequence[int]) -> np.ndarray:
+        weights = np.ones(len(active))
+        if self._regime is not None:
+            for position, pid in enumerate(active):
+                if pid == self._regime:
+                    weights[position] = 1.0 / self.slowdown
+        return weights / weights.sum()
+
+    def select(
+        self, time: int, active: Sequence[int], rng: np.random.Generator
+    ) -> int:
+        self._advance_regime(active, rng)
+        probs = self._weights(active)
+        return int(active[rng.choice(len(active), p=probs)])
+
+    def threshold(self, n_processes: int) -> float:
+        return float(
+            (1.0 / self.slowdown)
+            / (n_processes - 1 + 1.0 / self.slowdown)
+        )
+
+
+class HardwareLikeScheduler(Scheduler):
+    """Synthetic stand-in for the paper's hardware schedule recordings.
+
+    The paper's Appendix A records schedules on a real multicore and finds
+    (i) long-run fairness — every thread takes about ``1/n`` of the steps
+    (Figure 3) — and (ii) local near-uniformity — after a step of ``p_i``,
+    every thread is roughly equally likely to step next (Figure 4).
+
+    We model the mechanisms that produce those statistics rather than the
+    statistics themselves: threads run in *quanta* (geometrically
+    distributed run lengths, modelling timeslices and cache residency),
+    quantum boundaries hand off to a thread drawn by current *speed
+    weights*, and the weights jitter slowly around 1 (modelling frequency
+    scaling, interrupts and contention noise).  With the default
+    parameters the long-run statistics reproduce Figures 3-4; the quantum
+    length knob lets the ablation benchmarks explore how burstiness
+    affects the latency predictions.
+    """
+
+    def __init__(
+        self,
+        *,
+        mean_quantum: float = 1.5,
+        jitter: float = 0.1,
+        jitter_rate: float = 0.01,
+    ) -> None:
+        if mean_quantum < 1.0:
+            raise ValueError("mean_quantum must be >= 1 (a run has >= 1 step)")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must lie in [0, 1)")
+        if not 0.0 < jitter_rate <= 1.0:
+            raise ValueError("jitter_rate must lie in (0, 1]")
+        self.mean_quantum = mean_quantum
+        self.jitter = jitter
+        self.jitter_rate = jitter_rate
+        self._current: Optional[int] = None
+        self._remaining = 0
+        self._weights: Dict[int, float] = {}
+
+    def _weight(self, pid: int, rng: np.random.Generator) -> float:
+        weight = self._weights.get(pid)
+        if weight is None:
+            weight = 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+            self._weights[pid] = weight
+        return weight
+
+    def _rejitter(self, active: Sequence[int], rng: np.random.Generator) -> None:
+        # Mean-reverting nudge toward 1 with fresh noise: an AR(1) walk.
+        for pid in active:
+            weight = self._weight(pid, rng)
+            noise = self.jitter * (2.0 * rng.random() - 1.0)
+            self._weights[pid] = weight + self.jitter_rate * (1.0 - weight) + \
+                self.jitter_rate * noise
+
+    def select(
+        self, time: int, active: Sequence[int], rng: np.random.Generator
+    ) -> int:
+        if self._current in active and self._remaining > 0:
+            self._remaining -= 1
+            return self._current
+        self._rejitter(active, rng)
+        weights = np.array([self._weight(pid, rng) for pid in active])
+        weights = np.clip(weights, 1e-6, None)
+        probs = weights / weights.sum()
+        pid = int(active[rng.choice(len(active), p=probs)])
+        # Geometric run length with mean mean_quantum (support >= 1).
+        continue_p = 1.0 - 1.0 / self.mean_quantum
+        self._remaining = int(rng.geometric(1.0 - continue_p)) - 1
+        self._current = pid
+        return pid
+
+
+def scheduler_chain_distribution(
+    scheduler: Scheduler, n_processes: int
+) -> np.ndarray:
+    """The time-invariant per-step distribution of a stateless scheduler
+    over the full active set, as an array indexed by pid.
+
+    Raises for schedulers without a closed-form distribution.
+    """
+    active = list(range(n_processes))
+    dist = scheduler.distribution(1, active)
+    return np.array([dist.get(pid, 0.0) for pid in active])

@@ -1,0 +1,119 @@
+"""The ``SCU(q, s)`` class descriptor — one object tying together the
+runnable algorithm, the exact chains and the paper's predictions.
+
+This is the library's front door for the paper's main result::
+
+    spec = SCU(q=2, s=3)
+    measured = spec.measure(n=16, steps=200_000, rng=0)
+    predicted = spec.predicted_system_latency(16)
+    exact = spec.exact_system_latency(4)     # small n only
+
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.algorithms.scu import make_scu_memory, scu_algorithm
+from repro.core.analysis import (
+    scu_individual_latency_bound,
+    scu_system_latency_bound,
+    scu_worst_case_system_latency,
+)
+from repro.core.latency import LatencyMeasurement, measure_latencies
+from repro.core.scheduler import Scheduler, UniformStochasticScheduler
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+@dataclass(frozen=True)
+class SCU:
+    """An algorithm class member ``SCU(q, s)`` (Section 5).
+
+    ``q`` preamble steps, ``s`` scan steps (including the decision-register
+    read), one validating CAS per attempt.
+    """
+
+    q: int
+    s: int
+
+    def __post_init__(self) -> None:
+        if self.q < 0:
+            raise ValueError("q must be non-negative")
+        if self.s < 1:
+            raise ValueError("s must be at least 1")
+
+    # -- runnable artifact -------------------------------------------------------
+
+    def factory(self, *, calls: Optional[int] = None):
+        """Process factory running this ``SCU(q, s)`` member."""
+        return scu_algorithm(self.q, self.s, calls=calls)
+
+    def memory(self):
+        """Fresh shared memory with the decision/auxiliary registers."""
+        return make_scu_memory(self.s)
+
+    def measure(
+        self,
+        n: int,
+        steps: int,
+        *,
+        scheduler: Optional[Scheduler] = None,
+        burn_in: Optional[int] = None,
+        rng: RngLike = None,
+    ) -> LatencyMeasurement:
+        """Simulate ``n`` processes for ``steps`` steps and measure latencies.
+
+        Defaults to the uniform stochastic scheduler, the model of
+        Theorem 4.
+        """
+        if scheduler is None:
+            scheduler = UniformStochasticScheduler()
+        return measure_latencies(
+            self.factory(),
+            scheduler,
+            n,
+            steps,
+            burn_in=burn_in,
+            memory=self.memory(),
+            rng=rng,
+        )
+
+    # -- predictions ---------------------------------------------------------------
+
+    def predicted_system_latency(self, n: int, *, alpha: float = 4.0) -> float:
+        """Theorem 4: ``O(q + s sqrt(n))`` with constant ``alpha``."""
+        return scu_system_latency_bound(self.q, self.s, n, alpha=alpha)
+
+    def predicted_individual_latency(self, n: int, *, alpha: float = 4.0) -> float:
+        """Theorem 4: ``O(n (q + s sqrt(n)))`` with constant ``alpha``."""
+        return scu_individual_latency_bound(self.q, self.s, n, alpha=alpha)
+
+    def worst_case_system_latency(self, n: int) -> float:
+        """Adversarial worst case ``Theta(q + s n)``."""
+        return scu_worst_case_system_latency(self.q, self.s, n)
+
+    # -- exact chain answers ---------------------------------------------------------
+
+    def exact_system_latency(self, n: int) -> float:
+        """Exact stationary system latency from the full phase chain.
+
+        Exponential in ``q + s`` via the histogram state space — small
+        parameters only.
+        """
+        from repro.chains.scu import scu_full_system_latency_exact
+
+        return scu_full_system_latency_exact(n, self.q, self.s)
+
+    def exact_individual_latency(self, n: int) -> float:
+        """Exact individual latency: ``n`` times the system latency (Lemma 7,
+        whose lifting argument applies verbatim to the full phase chain
+        since the code is symmetric in process ids)."""
+        return n * self.exact_system_latency(n)
+
+    def steps_per_attempt(self) -> int:
+        """Scan plus CAS cost of one loop iteration: ``s + 1``."""
+        return self.s + 1

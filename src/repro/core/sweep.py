@@ -1,0 +1,97 @@
+"""Repeated-measurement sweeps with confidence intervals.
+
+The benchmarks report single seeded runs (deterministic, diff-friendly);
+downstream users doing their own studies want repeated runs and error
+bars.  :func:`latency_sweep` measures an algorithm across process counts
+with independent replicates and Student-t confidence intervals.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.latency import measure_latencies
+from repro.core.scheduler import Scheduler, UniformStochasticScheduler
+from repro.sim.memory import Memory
+from repro.sim.process import ProcessFactory
+from repro.stats.estimators import MeanEstimate, mean_confidence_interval
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """Measurements at one process count."""
+
+    n: int
+    system_latency: MeanEstimate
+    completion_rate: MeanEstimate
+    fairness_ratio: MeanEstimate
+
+
+def latency_sweep(
+    factory_builder: Callable[[], ProcessFactory],
+    memory_builder: Callable[[], Memory],
+    n_values: Sequence[int],
+    *,
+    steps: int = 100_000,
+    repeats: int = 5,
+    scheduler_builder: Optional[Callable[[], Scheduler]] = None,
+    confidence: float = 0.95,
+    seed: int = 0,
+) -> List[SweepPoint]:
+    """Measure latencies across ``n_values`` with ``repeats`` replicates.
+
+    Each replicate gets a fresh factory, memory, scheduler and seed, so
+    the replicates are independent and the confidence intervals honest.
+    """
+    if repeats < 2:
+        raise ValueError("repeats must be at least 2 for confidence intervals")
+    if scheduler_builder is None:
+        scheduler_builder = UniformStochasticScheduler
+    points: List[SweepPoint] = []
+    for n in n_values:
+        latencies, rates, fairness = [], [], []
+        for r in range(repeats):
+            measurement = measure_latencies(
+                factory_builder(),
+                scheduler_builder(),
+                n_processes=n,
+                steps=steps,
+                memory=memory_builder(),
+                rng=(seed, n, r),
+            )
+            latencies.append(measurement.system_latency)
+            rates.append(measurement.completion_rate)
+            fairness.append(measurement.fairness_ratio)
+        points.append(
+            SweepPoint(
+                n=n,
+                system_latency=mean_confidence_interval(latencies, confidence),
+                completion_rate=mean_confidence_interval(rates, confidence),
+                fairness_ratio=mean_confidence_interval(fairness, confidence),
+            )
+        )
+    return points
+
+
+def sweep_table(points: Sequence[SweepPoint], *, precision: int = 3) -> str:
+    """Render a sweep as an aligned table with +- half-widths."""
+    from repro.bench.formats import format_table
+
+    rows = []
+    for point in points:
+        rows.append(
+            (
+                point.n,
+                f"{point.system_latency.mean:.{precision}f} "
+                f"+- {point.system_latency.half_width:.{precision}f}",
+                f"{point.completion_rate.mean:.{precision}f} "
+                f"+- {point.completion_rate.half_width:.{precision}f}",
+                f"{point.fairness_ratio.mean:.{precision}f}",
+            )
+        )
+    return format_table(
+        ["n", "system latency", "completion rate", "fairness"], rows
+    )

@@ -1,0 +1,137 @@
+"""Per-invocation latency distributions (tails).
+
+The paper's motivation (Section 1): "most operations complete in a
+timely manner, and the impact of long worst-case executions on
+performance is negligible" — citing per-operation latency distributions
+of a lock-free stack (reference [1, Figure 6]).  These helpers extract
+the per-invocation completion-time distribution from a recorded history
+so that claim can be measured: under the uniform stochastic scheduler
+the tail is light (quantiles grow slowly), under an adversary the tail
+carries starvation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.sim.history import History
+
+
+def invocation_durations(
+    history: History,
+    *,
+    end_time: Optional[int] = None,
+    include_pending: bool = False,
+) -> np.ndarray:
+    """Durations (response − invocation, in system steps) of invocations.
+
+    With ``include_pending``, invocations still pending at ``end_time``
+    contribute their elapsed time so far — a *lower bound* on their true
+    duration, which is exactly what a starvation-sensitive tail metric
+    needs.
+    """
+    if end_time is None:
+        end_time = history.end_time
+    durations = []
+    for _, invoked, responded in history.pending_intervals(end_time):
+        if responded is not None:
+            durations.append(responded - invoked)
+        elif include_pending:
+            durations.append(end_time - invoked)
+    return np.asarray(durations, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class TailSummary:
+    """Latency-distribution summary of one run."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: int
+    pending: int
+
+    @property
+    def p99_over_p50(self) -> float:
+        """Tail heaviness: how much worse the 99th percentile is."""
+        return self.p99 / self.p50 if self.p50 > 0 else float("inf")
+
+
+def tail_summary(
+    history: History,
+    *,
+    end_time: Optional[int] = None,
+    include_pending: bool = True,
+) -> TailSummary:
+    """Summarise the per-invocation latency distribution."""
+    if end_time is None:
+        end_time = history.end_time
+    durations = invocation_durations(
+        history, end_time=end_time, include_pending=include_pending
+    )
+    if durations.size == 0:
+        raise ValueError("history contains no invocations")
+    pending = sum(
+        1
+        for _, _, responded in history.pending_intervals(end_time)
+        if responded is None
+    )
+    return TailSummary(
+        count=int(durations.size),
+        mean=float(durations.mean()),
+        p50=float(np.percentile(durations, 50)),
+        p90=float(np.percentile(durations, 90)),
+        p99=float(np.percentile(durations, 99)),
+        max=int(durations.max()),
+        pending=pending,
+    )
+
+
+def tail_summaries_by_method(
+    history: History, *, end_time: Optional[int] = None
+) -> Dict[str, TailSummary]:
+    """Per-method tail summaries (e.g. push vs pop)."""
+    if end_time is None:
+        end_time = history.end_time
+    per_method: Dict[str, History] = {}
+    # Rebuild per-method mini-histories from the events.
+    methods = {inv.method for inv in history.invocations}
+    out: Dict[str, TailSummary] = {}
+    for method in methods:
+        durations = []
+        pending = 0
+        responses_by_pid: Dict[int, list] = {}
+        for response in history.responses:
+            responses_by_pid.setdefault(response.pid, []).append(response)
+        cursors: Dict[int, int] = {pid: 0 for pid in responses_by_pid}
+        for invocation in history.invocations:
+            rs = responses_by_pid.get(invocation.pid, [])
+            cursor = cursors.get(invocation.pid, 0)
+            response = rs[cursor] if cursor < len(rs) else None
+            if response is not None:
+                cursors[invocation.pid] = cursor + 1
+            if invocation.method != method:
+                continue
+            if response is not None:
+                durations.append(response.time - invocation.time)
+            else:
+                durations.append(end_time - invocation.time)
+                pending += 1
+        arr = np.asarray(durations, dtype=np.int64)
+        if arr.size == 0:
+            continue
+        out[method] = TailSummary(
+            count=int(arr.size),
+            mean=float(arr.mean()),
+            p50=float(np.percentile(arr, 50)),
+            p90=float(np.percentile(arr, 90)),
+            p99=float(np.percentile(arr, 99)),
+            max=int(arr.max()),
+            pending=pending,
+        )
+    return out

@@ -1,0 +1,98 @@
+"""Work / total step complexity (Section 2.4).
+
+Classic analysis measures *work*: the number of system steps for all
+correct processes to complete a task together.  The stochastic analogue
+here: the expected number of system steps until every process has
+completed ``k`` operations.
+
+For ``SCU(0, s)`` under the uniform scheduler the interesting comparison
+is against ``n`` times the individual latency: fairness (Lemma 7) makes
+the processes finish nearly together, so the work for one operation each
+is close to the *individual* latency ``n W`` rather than the naive
+``n x (n W)`` — a strong, measurable consequence of the paper's
+fairness result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Union
+
+import numpy as np
+
+from repro.sim.executor import Simulator
+from repro.sim.memory import Memory
+from repro.sim.process import ProcessFactory
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def measure_work(
+    factory: ProcessFactory,
+    scheduler,
+    n_processes: int,
+    *,
+    operations_each: int = 1,
+    memory: Optional[Memory] = None,
+    max_steps: int = 10_000_000,
+    rng: RngLike = None,
+) -> int:
+    """System steps until every process completes ``operations_each`` ops.
+
+    Raises :class:`ArithmeticError` if the task does not finish within
+    ``max_steps`` (e.g. under a starvation adversary).
+    """
+    if operations_each < 1:
+        raise ValueError("operations_each must be positive")
+    simulator = Simulator(
+        factory,
+        scheduler,
+        n_processes=n_processes,
+        memory=memory,
+        record_completion_times=False,
+        rng=rng,
+    )
+    for _ in range(max_steps):
+        if simulator.step() is None:
+            break
+        if all(
+            process.completions >= operations_each
+            for process in simulator.processes
+        ):
+            return simulator.time
+    if all(
+        process.completions >= operations_each
+        for process in simulator.processes
+    ):
+        return simulator.time
+    raise ArithmeticError(
+        f"task unfinished after {max_steps} steps "
+        f"(completions: {[p.completions for p in simulator.processes]})"
+    )
+
+
+def mean_work(
+    factory_builder: Callable[[], ProcessFactory],
+    scheduler_builder: Callable[[], object],
+    n_processes: int,
+    *,
+    operations_each: int = 1,
+    memory_builder: Optional[Callable[[], Memory]] = None,
+    repeats: int = 10,
+    max_steps: int = 10_000_000,
+    seed: int = 0,
+) -> float:
+    """Monte-Carlo mean of :func:`measure_work` over fresh replicates."""
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    total = 0
+    for r in range(repeats):
+        total += measure_work(
+            factory_builder(),
+            scheduler_builder(),
+            n_processes,
+            operations_each=operations_each,
+            memory=memory_builder() if memory_builder else None,
+            max_steps=max_steps,
+            rng=(seed, r),
+        )
+    return total / repeats

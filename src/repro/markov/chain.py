@@ -1,0 +1,304 @@
+"""Finite, time-invariant, discrete-time Markov chains.
+
+A :class:`MarkovChain` pairs a row-stochastic transition matrix with a list
+of hashable state labels.  Matrices may be dense (:class:`numpy.ndarray`)
+or sparse (:class:`scipy.sparse.csr_matrix`); the individual chains of the
+paper are exponential in the number of processes (``3**n - 1`` states for
+the scan-validate component), so sparse storage matters.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+State = Hashable
+
+_ROW_SUM_ATOL = 1e-10
+
+
+class MarkovChain:
+    """A finite time-invariant Markov chain over labelled states.
+
+    Parameters
+    ----------
+    matrix:
+        Row-stochastic transition matrix, dense or sparse, shape ``(k, k)``.
+    states:
+        Optional sequence of ``k`` distinct hashable labels.  Defaults to
+        ``range(k)``.
+    validate:
+        When true (default), check shape, non-negativity and that every row
+        sums to 1 (within a small tolerance).
+    """
+
+    def __init__(
+        self,
+        matrix,
+        states: Sequence[State] | None = None,
+        *,
+        validate: bool = True,
+    ) -> None:
+        if sp.issparse(matrix):
+            matrix = matrix.tocsr().astype(float)
+        else:
+            matrix = np.asarray(matrix, dtype=float)
+            if matrix.ndim != 2:
+                raise ValueError(f"transition matrix must be 2-D, got ndim={matrix.ndim}")
+        if matrix.shape[0] != matrix.shape[1]:
+            raise ValueError(f"transition matrix must be square, got shape {matrix.shape}")
+        k = matrix.shape[0]
+        if k == 0:
+            raise ValueError("a Markov chain needs at least one state")
+
+        if states is None:
+            states = list(range(k))
+        else:
+            states = list(states)
+            if len(states) != k:
+                raise ValueError(
+                    f"{len(states)} state labels for a {k}-state transition matrix"
+                )
+        index: Dict[State, int] = {s: i for i, s in enumerate(states)}
+        if len(index) != k:
+            raise ValueError("state labels must be distinct")
+
+        if validate:
+            _check_stochastic(matrix)
+
+        self._matrix = matrix
+        self._states: List[State] = states
+        self._index = index
+
+    # -- construction helpers -------------------------------------------------
+
+    @classmethod
+    def from_dict(
+        cls,
+        transitions: Mapping[State, Mapping[State, float]],
+        *,
+        sparse: bool = False,
+        validate: bool = True,
+    ) -> "MarkovChain":
+        """Build a chain from ``{state: {successor: probability}}``.
+
+        States are the union of all keys and successors, ordered by first
+        appearance (keys first, then successors).
+        """
+        states: List[State] = []
+        seen = set()
+        for s in transitions:
+            if s not in seen:
+                seen.add(s)
+                states.append(s)
+        for succs in transitions.values():
+            for t in succs:
+                if t not in seen:
+                    seen.add(t)
+                    states.append(t)
+        index = {s: i for i, s in enumerate(states)}
+        k = len(states)
+        if sparse:
+            mat = sp.lil_matrix((k, k))
+        else:
+            mat = np.zeros((k, k))
+        for s, succs in transitions.items():
+            i = index[s]
+            for t, p in succs.items():
+                mat[i, index[t]] = p
+        if sparse:
+            mat = mat.tocsr()
+        return cls(mat, states, validate=validate)
+
+    @classmethod
+    def from_enumeration(
+        cls,
+        initial_states: Iterable[State],
+        successors: Callable[[State], Iterable[Tuple[State, float]]],
+        *,
+        sparse: bool = True,
+        max_states: int = 5_000_000,
+        validate: bool = True,
+    ) -> "MarkovChain":
+        """Build a chain by exploring the state space from seed states.
+
+        ``successors(state)`` yields ``(next_state, probability)`` pairs.
+        Exploration is breadth-first over states reachable from
+        ``initial_states``.  This is how the paper-specific chains in
+        :mod:`repro.chains` are constructed.
+        """
+        states: List[State] = []
+        index: Dict[State, int] = {}
+        frontier: List[State] = []
+        for s in initial_states:
+            if s not in index:
+                index[s] = len(states)
+                states.append(s)
+                frontier.append(s)
+        if not states:
+            raise ValueError("at least one initial state is required")
+
+        rows: List[int] = []
+        cols: List[int] = []
+        vals: List[float] = []
+        head = 0
+        while head < len(frontier):
+            s = frontier[head]
+            head += 1
+            i = index[s]
+            for t, p in successors(s):
+                if p < 0:
+                    raise ValueError(f"negative transition probability {p} from {s!r}")
+                if p == 0:
+                    continue
+                j = index.get(t)
+                if j is None:
+                    if len(states) >= max_states:
+                        raise ValueError(
+                            f"state space exceeded max_states={max_states} "
+                            "during enumeration"
+                        )
+                    j = len(states)
+                    index[t] = j
+                    states.append(t)
+                    frontier.append(t)
+                rows.append(i)
+                cols.append(j)
+                vals.append(p)
+
+        k = len(states)
+        mat = sp.coo_matrix((vals, (rows, cols)), shape=(k, k)).tocsr()
+        if not sparse:
+            mat = mat.toarray()
+        return cls(mat, states, validate=validate)
+
+    # -- basic accessors -------------------------------------------------------
+
+    @property
+    def n_states(self) -> int:
+        """Number of states in the chain."""
+        return self._matrix.shape[0]
+
+    @property
+    def states(self) -> List[State]:
+        """State labels, in matrix order."""
+        return list(self._states)
+
+    @property
+    def matrix(self):
+        """The transition matrix (dense ndarray or sparse CSR)."""
+        return self._matrix
+
+    @property
+    def is_sparse(self) -> bool:
+        """Whether the transition matrix is stored sparsely."""
+        return sp.issparse(self._matrix)
+
+    def dense(self) -> np.ndarray:
+        """The transition matrix as a dense :class:`numpy.ndarray`."""
+        if self.is_sparse:
+            return self._matrix.toarray()
+        return np.array(self._matrix, copy=True)
+
+    def index_of(self, state: State) -> int:
+        """Matrix index of a state label."""
+        try:
+            return self._index[state]
+        except KeyError:
+            raise KeyError(f"unknown state {state!r}") from None
+
+    def __contains__(self, state: State) -> bool:
+        return state in self._index
+
+    def __len__(self) -> int:
+        return self.n_states
+
+    def __iter__(self) -> Iterator[State]:
+        return iter(self._states)
+
+    def __repr__(self) -> str:
+        kind = "sparse" if self.is_sparse else "dense"
+        return f"MarkovChain(n_states={self.n_states}, {kind})"
+
+    # -- probabilities ----------------------------------------------------------
+
+    def probability(self, source: State, target: State) -> float:
+        """One-step transition probability between two labelled states."""
+        i, j = self.index_of(source), self.index_of(target)
+        return float(self._matrix[i, j])
+
+    def successors(self, state: State) -> Dict[State, float]:
+        """Map of successor states to their transition probabilities."""
+        i = self.index_of(state)
+        if self.is_sparse:
+            row = self._matrix.getrow(i)
+            return {
+                self._states[j]: float(v)
+                for j, v in zip(row.indices, row.data)
+                if v != 0.0
+            }
+        row = self._matrix[i]
+        return {self._states[j]: float(v) for j in np.nonzero(row)[0] for v in [row[j]]}
+
+    def step_distribution(self, distribution: np.ndarray) -> np.ndarray:
+        """One step of the chain applied to a row state-vector."""
+        distribution = np.asarray(distribution, dtype=float)
+        if distribution.shape != (self.n_states,):
+            raise ValueError(
+                f"distribution must have shape ({self.n_states},), "
+                f"got {distribution.shape}"
+            )
+        return np.asarray(distribution @ self._matrix).ravel()
+
+    def evolve(self, distribution: np.ndarray, steps: int) -> np.ndarray:
+        """Apply ``steps`` chain steps to a row state-vector."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        out = np.asarray(distribution, dtype=float)
+        for _ in range(steps):
+            out = self.step_distribution(out)
+        return out
+
+    def k_step_probability(self, source: State, target: State, steps: int) -> float:
+        """``p^(k)_{ij}``: probability of being at ``target`` exactly
+        ``steps`` steps after ``source``."""
+        if steps < 0:
+            raise ValueError("steps must be non-negative")
+        distribution = np.zeros(self.n_states)
+        distribution[self.index_of(source)] = 1.0
+        distribution = self.evolve(distribution, steps)
+        return float(distribution[self.index_of(target)])
+
+    def restricted_to(self, keep: Sequence[State]) -> "MarkovChain":
+        """Sub-chain on a subset of states (rows renormalised).
+
+        Useful for conditioning on never leaving a set of states; raises if
+        some kept state has zero probability of staying within the set.
+        """
+        idx = [self.index_of(s) for s in keep]
+        sub = self.dense()[np.ix_(idx, idx)]
+        sums = sub.sum(axis=1)
+        if np.any(sums <= 0):
+            bad = [keep[i] for i in np.nonzero(sums <= 0)[0]]
+            raise ValueError(f"states {bad!r} leave the kept set with probability 1")
+        sub = sub / sums[:, None]
+        return MarkovChain(sub, list(keep))
+
+
+def _check_stochastic(matrix) -> None:
+    """Raise if the matrix has negative entries or non-unit row sums."""
+    if sp.issparse(matrix):
+        if matrix.nnz and matrix.data.min() < -_ROW_SUM_ATOL:
+            raise ValueError("transition matrix has negative entries")
+        row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    else:
+        if matrix.size and matrix.min() < -_ROW_SUM_ATOL:
+            raise ValueError("transition matrix has negative entries")
+        row_sums = matrix.sum(axis=1)
+    bad = np.nonzero(np.abs(row_sums - 1.0) > 1e-8)[0]
+    if bad.size:
+        raise ValueError(
+            f"rows {bad[:5].tolist()} sum to {row_sums[bad[:5]].tolist()}, expected 1"
+        )

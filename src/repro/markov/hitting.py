@@ -1,0 +1,104 @@
+"""Hitting and return times of finite Markov chains.
+
+For a target set ``T``, the expected hitting times ``h_i = E[min {t >= 0 :
+X_t in T} | X_0 = i]`` solve the linear system ``h_i = 0`` for ``i in T`` and
+``h_i = 1 + sum_j p_ij h_j`` otherwise.  The expected *return* time of a
+state equals ``1 / pi(state)`` for ergodic chains (Theorem 1 of the paper);
+we provide both the linear-system and the stationary-based computation so
+each can validate the other.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.markov.chain import MarkovChain, State
+from repro.markov.stationary import stationary_distribution
+
+
+def expected_hitting_times(
+    chain: MarkovChain, targets: Iterable[State]
+) -> Dict[State, float]:
+    """Expected number of steps to first reach ``targets`` from every state.
+
+    States in ``targets`` get hitting time 0.  Raises if some state cannot
+    reach the target set (the linear system is then singular).
+    """
+    target_idx = {chain.index_of(t) for t in targets}
+    if not target_idx:
+        raise ValueError("at least one target state is required")
+    k = chain.n_states
+    others = [i for i in range(k) if i not in target_idx]
+    result = {chain.states[i]: 0.0 for i in target_idx}
+    if not others:
+        return result
+
+    dense = not chain.is_sparse
+    matrix = chain.matrix
+    try:
+        if dense:
+            sub = matrix[np.ix_(others, others)]
+            a = np.eye(len(others)) - sub
+            h = np.linalg.solve(a, np.ones(len(others)))
+        else:
+            sub = matrix[others, :][:, others]
+            a = sp.identity(len(others), format="csr") - sub.tocsr()
+            h = spla.spsolve(a, np.ones(len(others)))
+    except np.linalg.LinAlgError as exc:
+        raise ArithmeticError(
+            "hitting-time system is singular; some state cannot reach the targets"
+        ) from exc
+
+    h = np.asarray(h, dtype=float).ravel()
+    if np.any(~np.isfinite(h)) or np.any(h < -1e-6):
+        raise ArithmeticError(
+            "hitting-time system is singular; some state cannot reach the targets"
+        )
+    for pos, i in enumerate(others):
+        result[chain.states[i]] = float(h[pos])
+    return result
+
+
+def expected_return_time(chain: MarkovChain, state: State) -> float:
+    """Expected return time of ``state``: E[min {t >= 1 : X_t = state} | X_0 = state].
+
+    Computed by one step from ``state`` followed by hitting times back to it.
+    """
+    hits = expected_hitting_times(chain, [state])
+    successors = chain.successors(state)
+    return 1.0 + sum(p * hits[s] for s, p in successors.items())
+
+
+def return_times_from_stationary(chain: MarkovChain) -> Dict[State, float]:
+    """Expected return times of all states via ``h_ii = 1 / pi_i`` (Theorem 1).
+
+    Valid for ergodic chains; states with stationary probability below
+    machine precision map to ``inf``.
+    """
+    pi = stationary_distribution(chain)
+    out: Dict[State, float] = {}
+    for s, p in zip(chain.states, pi):
+        out[s] = float(1.0 / p) if p > 1e-300 else float("inf")
+    return out
+
+
+def fundamental_matrix(chain: MarkovChain, absorbing: Sequence[State]) -> np.ndarray:
+    """Fundamental matrix ``N = (I - Q)^-1`` of the chain absorbed at ``absorbing``.
+
+    ``Q`` is the transition matrix restricted to transient (non-absorbing)
+    states; ``N[i, j]`` is the expected number of visits to transient state
+    ``j`` starting from transient state ``i`` before absorption.  Rows and
+    columns are ordered by the chain's state order with absorbing states
+    removed.
+    """
+    absorbing_idx = {chain.index_of(s) for s in absorbing}
+    others = [i for i in range(chain.n_states) if i not in absorbing_idx]
+    if not others:
+        raise ValueError("all states are absorbing; no transient part")
+    dense = chain.dense()
+    q = dense[np.ix_(others, others)]
+    return np.linalg.inv(np.eye(len(others)) - q)

@@ -1,0 +1,228 @@
+"""Markov chain lifting (Section 3 of the paper).
+
+Let ``M`` (coarse) and ``M'`` (fine) be ergodic chains on state spaces ``S``
+and ``S'`` with ergodic flows ``Q`` and ``Q'`` (``Q_ij = pi_i p_ij``).  ``M'``
+is a *lifting* of ``M`` if there is a mapping ``f : S' -> S`` with
+
+    Q_ij  =  sum over x in f^-1(i), y in f^-1(j) of  Q'_xy     for all i, j.
+
+The paper uses liftings to collapse the exponential per-process ("individual")
+chains onto small system chains while preserving stationary structure
+(Lemma 1: ``pi(v) = sum_{x in f^-1(v)} pi'(x)``).
+
+This module provides the generic machinery: computing ergodic flows,
+verifying the lifting condition for a candidate mapping, and collapsing a
+fine chain into the coarse chain its mapping induces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.chain import MarkovChain, State
+from repro.markov.stationary import stationary_distribution
+
+
+def ergodic_flow_matrix(
+    chain: MarkovChain, pi: Optional[np.ndarray] = None
+):
+    """Ergodic flow matrix ``Q`` with ``Q_ij = pi_i p_ij``.
+
+    Satisfies ``sum_i Q_ij = sum_i Q_ji`` (flow conservation) and
+    ``sum_ij Q_ij = 1``.  Returns the same storage kind as the chain's
+    transition matrix.
+    """
+    if pi is None:
+        pi = stationary_distribution(chain)
+    pi = np.asarray(pi, dtype=float)
+    if pi.shape != (chain.n_states,):
+        raise ValueError(f"pi must have shape ({chain.n_states},), got {pi.shape}")
+    matrix = chain.matrix
+    if sp.issparse(matrix):
+        return sp.diags(pi) @ matrix
+    return pi[:, None] * matrix
+
+
+@dataclass(frozen=True)
+class LiftingReport:
+    """Outcome of a lifting verification.
+
+    Attributes
+    ----------
+    is_lifting:
+        Whether the flow-homomorphism condition holds within tolerance.
+    max_flow_error:
+        Largest absolute deviation ``|Q_ij - sum Q'_xy|`` over coarse pairs.
+    max_stationary_error:
+        Largest absolute deviation in Lemma 1,
+        ``|pi(v) - sum_{x in f^-1(v)} pi'(x)|``.
+    """
+
+    is_lifting: bool
+    max_flow_error: float
+    max_stationary_error: float
+
+
+class Lifting:
+    """A candidate lifting of a coarse chain by a fine chain.
+
+    Parameters
+    ----------
+    fine:
+        The detailed chain ``M'`` (e.g. the paper's individual chain).
+    coarse:
+        The collapsed chain ``M`` (e.g. the paper's system chain).
+    mapping:
+        ``f : fine state -> coarse state``; every fine state must map to an
+        existing coarse state.
+    """
+
+    def __init__(
+        self,
+        fine: MarkovChain,
+        coarse: MarkovChain,
+        mapping: Callable[[State], State],
+    ) -> None:
+        self.fine = fine
+        self.coarse = coarse
+        self.mapping = mapping
+        self._fine_to_coarse = np.empty(fine.n_states, dtype=np.int64)
+        preimages: Dict[int, List[int]] = {i: [] for i in range(coarse.n_states)}
+        for x_idx, x in enumerate(fine.states):
+            v = mapping(x)
+            v_idx = coarse.index_of(v)
+            self._fine_to_coarse[x_idx] = v_idx
+            preimages[v_idx].append(x_idx)
+        empty = [coarse.states[i] for i, pre in preimages.items() if not pre]
+        if empty:
+            raise ValueError(f"coarse states {empty[:5]!r} have empty preimages")
+        self._preimages = preimages
+
+    def preimage(self, coarse_state: State) -> List[State]:
+        """Fine states mapping onto a coarse state."""
+        v_idx = self.coarse.index_of(coarse_state)
+        return [self.fine.states[i] for i in self._preimages[v_idx]]
+
+    def collapse_vector(self, fine_vector: np.ndarray) -> np.ndarray:
+        """Push a fine state-vector forward: sums entries over preimages."""
+        fine_vector = np.asarray(fine_vector, dtype=float)
+        if fine_vector.shape != (self.fine.n_states,):
+            raise ValueError(
+                f"vector must have shape ({self.fine.n_states},), "
+                f"got {fine_vector.shape}"
+            )
+        out = np.zeros(self.coarse.n_states)
+        np.add.at(out, self._fine_to_coarse, fine_vector)
+        return out
+
+    def collapsed_flows(
+        self, fine_pi: Optional[np.ndarray] = None
+    ) -> np.ndarray:
+        """Fine ergodic flows aggregated over coarse state pairs.
+
+        Returns a dense ``(k, k)`` matrix with entry ``(i, j)`` equal to
+        ``sum_{x in f^-1(i), y in f^-1(j)} Q'_xy``.
+        """
+        flows = ergodic_flow_matrix(self.fine, fine_pi)
+        k = self.coarse.n_states
+        out = np.zeros((k, k))
+        if sp.issparse(flows):
+            coo = flows.tocoo()
+            np.add.at(
+                out,
+                (self._fine_to_coarse[coo.row], self._fine_to_coarse[coo.col]),
+                coo.data,
+            )
+        else:
+            rows, cols = np.nonzero(flows)
+            np.add.at(
+                out,
+                (self._fine_to_coarse[rows], self._fine_to_coarse[cols]),
+                flows[rows, cols],
+            )
+        return out
+
+    def verify(self, *, atol: float = 1e-9) -> LiftingReport:
+        """Check the lifting condition and Lemma 1 numerically."""
+        fine_pi = stationary_distribution(self.fine)
+        coarse_pi = stationary_distribution(self.coarse)
+        coarse_flows = ergodic_flow_matrix(self.coarse, coarse_pi)
+        if sp.issparse(coarse_flows):
+            coarse_flows = coarse_flows.toarray()
+        aggregated = self.collapsed_flows(fine_pi)
+        flow_error = float(np.abs(coarse_flows - aggregated).max())
+        stationary_error = float(
+            np.abs(coarse_pi - self.collapse_vector(fine_pi)).max()
+        )
+        return LiftingReport(
+            is_lifting=flow_error <= atol,
+            max_flow_error=flow_error,
+            max_stationary_error=stationary_error,
+        )
+
+
+def verify_lifting(
+    fine: MarkovChain,
+    coarse: MarkovChain,
+    mapping: Callable[[State], State],
+    *,
+    atol: float = 1e-9,
+) -> LiftingReport:
+    """One-shot verification that ``fine`` lifts ``coarse`` under ``mapping``."""
+    return Lifting(fine, coarse, mapping).verify(atol=atol)
+
+
+def collapse_chain(
+    fine: MarkovChain,
+    mapping: Callable[[State], State],
+) -> MarkovChain:
+    """Collapse a fine ergodic chain into the coarse chain its mapping induces.
+
+    The coarse transition probabilities are recovered from aggregated
+    ergodic flows: ``p_ij = (sum Q'_xy) / (sum_{x in f^-1(i)} pi'_x)``.
+    When the mapping satisfies the lifting condition against *some* coarse
+    chain, this reconstructs exactly that chain.
+    """
+    fine_pi = stationary_distribution(fine)
+    coarse_states: List[State] = []
+    seen = {}
+    fine_to_coarse = np.empty(fine.n_states, dtype=np.int64)
+    for x_idx, x in enumerate(fine.states):
+        v = mapping(x)
+        if v not in seen:
+            seen[v] = len(coarse_states)
+            coarse_states.append(v)
+        fine_to_coarse[x_idx] = seen[v]
+
+    k = len(coarse_states)
+    flows = ergodic_flow_matrix(fine, fine_pi)
+    agg = np.zeros((k, k))
+    if sp.issparse(flows):
+        coo = flows.tocoo()
+        np.add.at(agg, (fine_to_coarse[coo.row], fine_to_coarse[coo.col]), coo.data)
+    else:
+        rows, cols = np.nonzero(flows)
+        np.add.at(agg, (fine_to_coarse[rows], fine_to_coarse[cols]), flows[rows, cols])
+
+    coarse_pi = np.zeros(k)
+    np.add.at(coarse_pi, fine_to_coarse, fine_pi)
+    if np.any(coarse_pi <= 0):
+        raise ArithmeticError("a coarse state has zero stationary mass")
+    matrix = agg / coarse_pi[:, None]
+    # Round-off can leave rows summing to 1 +- 1e-12; renormalise.
+    matrix = matrix / matrix.sum(axis=1, keepdims=True)
+    return MarkovChain(matrix, coarse_states)
+
+
+def collapse_distribution(
+    fine: MarkovChain,
+    coarse: MarkovChain,
+    mapping: Callable[[State], State],
+    fine_vector: np.ndarray,
+) -> np.ndarray:
+    """Push a fine state-vector forward through a mapping (Lemma 1 form)."""
+    return Lifting(fine, coarse, mapping).collapse_vector(fine_vector)

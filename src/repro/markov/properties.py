@@ -1,0 +1,108 @@
+"""Structural properties of finite Markov chains.
+
+Irreducibility, periodicity and ergodicity (Section 3 of the paper), computed
+from the directed graph of non-zero transitions.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List
+
+import networkx as nx
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.chain import MarkovChain, State
+
+
+def transition_graph(chain: MarkovChain) -> nx.DiGraph:
+    """The directed graph with an edge for every non-zero transition."""
+    graph = nx.DiGraph()
+    graph.add_nodes_from(range(chain.n_states))
+    matrix = chain.matrix
+    if sp.issparse(matrix):
+        coo = matrix.tocoo()
+        graph.add_edges_from(
+            (int(i), int(j)) for i, j, v in zip(coo.row, coo.col, coo.data) if v > 0
+        )
+    else:
+        rows, cols = np.nonzero(matrix)
+        graph.add_edges_from(zip(rows.tolist(), cols.tolist()))
+    return graph
+
+
+def communicating_classes(chain: MarkovChain) -> List[List[State]]:
+    """Communicating classes (strongly connected components), as state labels."""
+    graph = transition_graph(chain)
+    return [
+        [chain.states[i] for i in sorted(component)]
+        for component in nx.strongly_connected_components(graph)
+    ]
+
+
+def is_irreducible(chain: MarkovChain) -> bool:
+    """Whether every state is reachable from every other state."""
+    return nx.is_strongly_connected(transition_graph(chain))
+
+
+def period(chain: MarkovChain, state: State) -> int:
+    """The period of a state: gcd of lengths of closed walks through it.
+
+    Computed via a BFS level-labelling of the state's strongly connected
+    component: the gcd of ``level(u) + 1 - level(v)`` over edges ``u -> v``
+    within the component equals the component's (and hence the state's)
+    period.
+    """
+    start = chain.index_of(state)
+    graph = transition_graph(chain)
+    component = nx.node_connected_component(graph.to_undirected(as_view=True), start)
+    scc = None
+    for comp in nx.strongly_connected_components(graph.subgraph(component)):
+        if start in comp:
+            scc = comp
+            break
+    if scc is None or len(scc) == 1 and not graph.has_edge(start, start):
+        raise ValueError(f"state {state!r} has no closed walk; period undefined")
+
+    levels = {start: 0}
+    queue = [start]
+    g = 0
+    head = 0
+    while head < len(queue):
+        u = queue[head]
+        head += 1
+        for v in graph.successors(u):
+            if v not in scc:
+                continue
+            if v not in levels:
+                levels[v] = levels[u] + 1
+                queue.append(v)
+            else:
+                g = math.gcd(g, levels[u] + 1 - levels[v])
+    return abs(g)
+
+
+def is_aperiodic(chain: MarkovChain) -> bool:
+    """Whether every state of the chain is aperiodic.
+
+    For an irreducible chain it suffices to check one state; in general we
+    rely on :func:`networkx.is_aperiodic` over the transition graph, after
+    confirming every node lies on some cycle (states with no return path
+    have undefined period and make the chain trivially non-ergodic).
+    """
+    graph = transition_graph(chain)
+    if is_irreducible(chain):
+        return period(chain, chain.states[0]) == 1
+    return nx.is_aperiodic(graph)
+
+
+def is_ergodic(chain: MarkovChain) -> bool:
+    """Whether the chain is irreducible and aperiodic.
+
+    Ergodic finite chains converge to their unique stationary distribution
+    from any initial distribution (Theorem 2 of the paper).
+    """
+    if not is_irreducible(chain):
+        return False
+    return period(chain, chain.states[0]) == 1

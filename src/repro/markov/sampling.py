@@ -1,0 +1,112 @@
+"""Trajectory sampling from finite Markov chains.
+
+Used throughout the test-suite and benchmarks to cross-check exact
+stationary computations against Monte-Carlo estimates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.markov.chain import MarkovChain, State
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+def as_rng(rng: RngLike) -> np.random.Generator:
+    """Coerce a seed / Generator / None into a :class:`numpy.random.Generator`."""
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def sample_steps(
+    chain: MarkovChain, start: State, rng: RngLike = None
+) -> Iterator[State]:
+    """Infinite iterator of states visited after ``start`` (excluded)."""
+    generator = as_rng(rng)
+    matrix = chain.matrix
+    states = chain.states
+    sparse = sp.issparse(matrix)
+    i = chain.index_of(start)
+    while True:
+        if sparse:
+            row = matrix.getrow(i)
+            cols, probs = row.indices, row.data
+            i = int(generator.choice(cols, p=probs / probs.sum()))
+        else:
+            i = int(generator.choice(len(states), p=matrix[i]))
+        yield states[i]
+
+
+def sample_path(
+    chain: MarkovChain, start: State, steps: int, rng: RngLike = None
+) -> List[State]:
+    """A path of ``steps`` transitions starting at ``start`` (included).
+
+    Returns ``steps + 1`` states.
+    """
+    if steps < 0:
+        raise ValueError("steps must be non-negative")
+    path = [start]
+    it = sample_steps(chain, start, rng)
+    for _ in range(steps):
+        path.append(next(it))
+    return path
+
+
+def empirical_distribution(
+    chain: MarkovChain,
+    start: State,
+    steps: int,
+    rng: RngLike = None,
+    *,
+    burn_in: int = 0,
+) -> np.ndarray:
+    """Empirical state-occupancy frequencies along one sampled path.
+
+    Visits during the first ``burn_in`` transitions are discarded.  The
+    result is indexed like ``chain.states`` and sums to 1.
+    """
+    if steps <= burn_in:
+        raise ValueError("steps must exceed burn_in")
+    counts = np.zeros(chain.n_states)
+    it = sample_steps(chain, start, rng)
+    for t in range(steps):
+        state = next(it)
+        if t >= burn_in:
+            counts[chain.index_of(state)] += 1
+    return counts / counts.sum()
+
+
+def hitting_time_samples(
+    chain: MarkovChain,
+    start: State,
+    target: State,
+    samples: int,
+    rng: RngLike = None,
+    *,
+    max_steps: int = 10_000_000,
+) -> np.ndarray:
+    """Monte-Carlo samples of the hitting time from ``start`` to ``target``.
+
+    Each sample counts transitions until ``target`` is first entered
+    (minimum 1, matching the paper's ``T_ij`` with ``n >= 1``).
+    """
+    generator = as_rng(rng)
+    out = np.empty(samples, dtype=np.int64)
+    for s in range(samples):
+        t = 0
+        for state in sample_steps(chain, start, generator):
+            t += 1
+            if state == target:
+                break
+            if t >= max_steps:
+                raise ArithmeticError(
+                    f"no hit within max_steps={max_steps}; target may be unreachable"
+                )
+        out[s] = t
+    return out

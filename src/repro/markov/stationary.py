@@ -1,0 +1,92 @@
+"""Stationary distributions of finite Markov chains.
+
+The stationary distribution pi satisfies ``pi = pi @ P`` (row vector
+convention, matching the paper).  Two solvers are provided:
+
+``solve``
+    Direct sparse/dense linear solve of ``(P^T - I) pi^T = 0`` with the
+    normalisation constraint folded in.  Exact up to floating point; the
+    default for chains that fit in memory.
+``power``
+    Power iteration ``pi <- pi @ P``; useful as an independent
+    cross-check and for very large sparse chains.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.markov.chain import MarkovChain
+
+
+def stationary_distribution(
+    chain: MarkovChain,
+    *,
+    method: str = "solve",
+    tol: float = 1e-12,
+    max_iterations: int = 1_000_000,
+) -> np.ndarray:
+    """Stationary distribution of an ergodic chain, as a row vector.
+
+    Parameters
+    ----------
+    chain:
+        The chain; must be ergodic for the result to be the unique
+        limiting distribution (this is not re-checked here — use
+        :func:`repro.markov.properties.is_ergodic`).
+    method:
+        ``"solve"`` (default) or ``"power"``.
+    tol:
+        Convergence tolerance for power iteration (L1 change per sweep).
+    max_iterations:
+        Iteration cap for power iteration.
+    """
+    if method == "solve":
+        return _solve_stationary(chain)
+    if method == "power":
+        return _power_stationary(chain, tol=tol, max_iterations=max_iterations)
+    raise ValueError(f"unknown method {method!r}; expected 'solve' or 'power'")
+
+
+def _solve_stationary(chain: MarkovChain) -> np.ndarray:
+    k = chain.n_states
+    if k == 1:
+        return np.array([1.0])
+    matrix = chain.matrix
+    if sp.issparse(matrix):
+        # (P^T - I) x = 0 with sum(x) = 1: replace the last equation.
+        a = (matrix.T - sp.identity(k, format="csr")).tolil()
+        a[k - 1, :] = 1.0
+        b = np.zeros(k)
+        b[k - 1] = 1.0
+        x = spla.spsolve(a.tocsr(), b)
+    else:
+        a = matrix.T - np.eye(k)
+        a[k - 1, :] = 1.0
+        b = np.zeros(k)
+        b[k - 1] = 1.0
+        x = np.linalg.solve(a, b)
+    x = np.asarray(x, dtype=float).ravel()
+    # Clip tiny negative round-off and renormalise.
+    x = np.clip(x, 0.0, None)
+    total = x.sum()
+    if total <= 0:
+        raise ArithmeticError("stationary solve produced a zero vector")
+    return x / total
+
+
+def _power_stationary(
+    chain: MarkovChain, *, tol: float, max_iterations: int
+) -> np.ndarray:
+    k = chain.n_states
+    pi = np.full(k, 1.0 / k)
+    for _ in range(max_iterations):
+        nxt = chain.step_distribution(pi)
+        if np.abs(nxt - pi).sum() < tol:
+            return nxt / nxt.sum()
+        pi = nxt
+    raise ArithmeticError(
+        f"power iteration did not converge within {max_iterations} iterations"
+    )

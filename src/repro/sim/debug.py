@@ -1,0 +1,100 @@
+"""Human-readable timelines of small simulation runs.
+
+A teaching/debugging aid: render who was scheduled at each step, what
+operation they performed, and where invocations/responses fall — the
+kind of diagram the paper's Figure 1 discussion reasons over.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.executor import Simulator
+from repro.sim.history import History
+from repro.sim.ops import CAS, FetchAndIncrement, Nop, Operation, Read, ReadModifyWrite, Write
+
+
+def describe_operation(op: Operation, result=None) -> str:
+    """One-line description of an applied operation."""
+    if isinstance(op, Read):
+        return f"read {op.register} -> {result!r}"
+    if isinstance(op, Write):
+        return f"write {op.register} <- {op.value!r}"
+    if isinstance(op, CAS):
+        outcome = "ok" if result else "fail"
+        return f"CAS {op.register} {op.expected!r}->{op.new!r} [{outcome}]"
+    if isinstance(op, FetchAndIncrement):
+        return f"F&I {op.register} -> {result!r}"
+    if isinstance(op, ReadModifyWrite):
+        return f"RMW {op.register} -> {result!r}"
+    if isinstance(op, Nop):
+        return "nop"
+    return repr(op)
+
+
+class TimelineRecorder:
+    """Wraps a simulator to record a per-step, per-process timeline.
+
+    Usage::
+
+        sim = Simulator(...)
+        timeline = TimelineRecorder(sim)
+        timeline.run(30)
+        print(timeline.render())
+    """
+
+    def __init__(self, simulator: Simulator) -> None:
+        self.simulator = simulator
+        self.rows: List[tuple] = []
+
+    def step(self) -> Optional[int]:
+        """One simulator step, recorded."""
+        sim = self.simulator
+        if not sim._primed:  # observe the op about to run
+            sim._prime()
+        # Peek: we cannot know who is scheduled before stepping, so we
+        # reconstruct from the per-process pending ops after the fact.
+        before = {p.pid: p.pending for p in sim.processes}
+        completions_before = {p.pid: p.completions for p in sim.processes}
+        pid = sim.step()
+        if pid is None:
+            return None
+        op = before[pid]
+        completed = sim.processes[pid].completions > completions_before[pid]
+        self.rows.append((sim.time, pid, op, completed))
+        return pid
+
+    def run(self, steps: int) -> None:
+        """Record ``steps`` steps (stops early if nothing is active)."""
+        for _ in range(steps):
+            if self.step() is None:
+                break
+
+    def render(self, *, width: int = 72) -> str:
+        """The timeline as aligned text, one line per step."""
+        lines = []
+        for time, pid, op, completed in self.rows:
+            marker = "  <-- completes" if completed else ""
+            body = describe_operation(op)
+            lines.append(f"t={time:>4}  p{pid}: {body}{marker}"[:width + 24])
+        return "\n".join(lines)
+
+
+def render_history(history: History, *, limit: int = 50) -> str:
+    """Render a history's events, interleaved and time-ordered."""
+    events = []
+    for invocation in history.invocations:
+        events.append((invocation.time, 0,
+                       f"t={invocation.time:>4}  p{invocation.pid} invokes "
+                       f"{invocation.method}"
+                       + (f"({invocation.argument!r})"
+                          if invocation.argument is not None else "")))
+    for response in history.responses:
+        events.append((response.time, 1,
+                       f"t={response.time:>4}  p{response.pid} returns "
+                       f"{response.method} -> {response.result!r}"))
+    events.sort(key=lambda e: (e[0], e[1]))
+    lines = [text for _, _, text in events[:limit]]
+    if len(events) > limit:
+        lines.append(f"... ({len(events) - limit} more events)")
+    return "\n".join(lines)

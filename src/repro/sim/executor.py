@@ -1,0 +1,254 @@
+"""The discrete-time executor.
+
+At every time step ``tau = 1, 2, ...`` the scheduler picks one active
+process; that process performs exactly one shared-memory operation
+(Section 2.1 of the paper).  Crashes remove processes from the active set
+permanently (Definition 1: crash containment, ``A_{tau+1} subset of A_tau``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.sim.history import History
+from repro.sim.memory import Memory
+from repro.sim.process import Completion, Invoke, Process, ProcessFactory
+from repro.sim.trace import TraceRecorder
+
+RngLike = Union[int, np.random.Generator, None]
+
+
+@dataclass
+class SimulationResult:
+    """Outcome of a (possibly partial) simulation run.
+
+    Attributes
+    ----------
+    steps_executed:
+        Total system steps taken across all calls to :meth:`Simulator.run`.
+    recorder:
+        The trace recorder with schedules / completion records.
+    memory:
+        The shared memory in its final state.
+    history:
+        Invocation/response history, when recorded.
+    stopped_early:
+        True when the run ended before ``max_steps`` because the stop
+        condition fired or no process remained active.
+    """
+
+    steps_executed: int
+    recorder: TraceRecorder
+    memory: Memory
+    history: Optional[History]
+    stopped_early: bool
+
+    @property
+    def total_completions(self) -> int:
+        """Completed method calls across all processes."""
+        return self.recorder.total_completions
+
+    @property
+    def completion_rate(self) -> float:
+        """Completed operations per system step (Appendix B's metric)."""
+        if self.steps_executed == 0:
+            return 0.0
+        return self.recorder.total_completions / self.steps_executed
+
+    def completions_of(self, pid: int) -> int:
+        """Completed method calls of one process."""
+        return self.recorder.completions[pid]
+
+
+class Simulator:
+    """Drives ``n`` simulated processes under a scheduler.
+
+    Parameters
+    ----------
+    factories:
+        Either one :data:`~repro.sim.process.ProcessFactory` used for all
+        processes (the paper's symmetric workload) or a sequence of ``n``
+        factories.
+    n_processes:
+        Number of processes; required when a single factory is given.
+    scheduler:
+        Any object with ``select(time, active_pids, rng) -> pid``.  See
+        :mod:`repro.core.scheduler`.
+    memory:
+        Shared memory; a fresh empty :class:`Memory` by default.  Pass a
+        pre-initialised one to set register initial values.
+    crash_times:
+        Optional ``{pid: time}``; the process crashes just *before* the
+        step at that time would be taken.
+    record_schedule, record_completion_times, record_history:
+        What the :class:`TraceRecorder` / :class:`History` keep.  Full
+        schedules and histories cost memory proportional to the run length.
+    rng:
+        Seed or generator for the simulator; forwarded to the scheduler's
+        ``select``.
+    """
+
+    def __init__(
+        self,
+        factories: Union[ProcessFactory, Sequence[ProcessFactory]],
+        scheduler,
+        *,
+        n_processes: Optional[int] = None,
+        memory: Optional[Memory] = None,
+        crash_times: Optional[Dict[int, int]] = None,
+        record_schedule: bool = False,
+        record_completion_times: bool = True,
+        record_history: bool = False,
+        rng: RngLike = None,
+    ) -> None:
+        if callable(factories):
+            if n_processes is None:
+                raise ValueError("n_processes is required with a single factory")
+            factory_list: List[ProcessFactory] = [factories] * n_processes
+        else:
+            factory_list = list(factories)
+            if n_processes is not None and n_processes != len(factory_list):
+                raise ValueError(
+                    f"n_processes={n_processes} but {len(factory_list)} factories given"
+                )
+        if not factory_list:
+            raise ValueError("at least one process is required")
+
+        self.n_processes = len(factory_list)
+        self.scheduler = scheduler
+        self.memory = memory if memory is not None else Memory()
+        self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
+        self.crash_times = dict(crash_times or {})
+        for pid in self.crash_times:
+            if not 0 <= pid < self.n_processes:
+                raise ValueError(f"crash_times names unknown process {pid}")
+
+        self.recorder = TraceRecorder(
+            self.n_processes,
+            record_schedule=record_schedule,
+            record_completion_times=record_completion_times,
+        )
+        self.history: Optional[History] = History() if record_history else None
+
+        self.processes: List[Process] = [
+            Process(pid, factory) for pid, factory in enumerate(factory_list)
+        ]
+        self.time = 0
+        self._primed = False
+
+    # -- internals ---------------------------------------------------------------
+
+    def _on_marker(self, pid: int, time: int, marker) -> None:
+        if isinstance(marker, Invoke):
+            if self.history is not None:
+                self.history.invoke(time, pid, marker.method, marker.argument)
+        elif isinstance(marker, Completion):
+            self.processes[pid].completions += 1
+            self.recorder.on_completion(time, pid)
+            if self.history is not None:
+                self.history.respond(time, pid, marker.method, marker.result)
+
+    def _prime(self) -> None:
+        for process in self.processes:
+            process.advance(
+                None, lambda marker, pid=process.pid: self._on_marker(pid, 0, marker)
+            )
+        self._primed = True
+
+    def _apply_crashes(self, time: int) -> None:
+        for pid, crash_time in self.crash_times.items():
+            if crash_time == time:
+                self.processes[pid].crash()
+
+    def active_pids(self) -> List[int]:
+        """Processes currently eligible for scheduling (the set ``A_tau``)."""
+        return [p.pid for p in self.processes if p.active]
+
+    # -- driving -------------------------------------------------------------------
+
+    def step(self) -> Optional[int]:
+        """Execute one system step; returns the scheduled pid, or ``None``
+        when no process is active."""
+        if not self._primed:
+            self._prime()
+        time = self.time + 1
+        self._apply_crashes(time)
+        active = self.active_pids()
+        if not active:
+            return None
+        pid = self.scheduler.select(time, active, self.rng)
+        if pid not in active:
+            raise RuntimeError(
+                f"scheduler selected inactive process {pid} at t={time} "
+                f"(active: {active[:10]}{'...' if len(active) > 10 else ''})"
+            )
+        self.time = time
+        process = self.processes[pid]
+        process.take_step(self.memory.apply)
+        self.recorder.on_step(time, pid)
+        process.refill(lambda marker: self._on_marker(pid, time, marker))
+        return pid
+
+    def run(
+        self,
+        max_steps: int,
+        *,
+        stop_after_completions: Optional[int] = None,
+        stop_after_completions_by: Optional[int] = None,
+    ) -> SimulationResult:
+        """Run up to ``max_steps`` further steps.
+
+        Parameters
+        ----------
+        max_steps:
+            Step budget for this call.
+        stop_after_completions:
+            Stop as soon as the *total* completion count reaches this value.
+        stop_after_completions_by:
+            Stop as soon as process with this pid completes an operation
+            (checked against its count when the run starts).
+        """
+        if max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+        target_pid = stop_after_completions_by
+        baseline = (
+            self.recorder.completions[target_pid] if target_pid is not None else 0
+        )
+        stopped_early = False
+        for _ in range(max_steps):
+            if (
+                stop_after_completions is not None
+                and self.recorder.total_completions >= stop_after_completions
+            ):
+                stopped_early = True
+                break
+            if (
+                target_pid is not None
+                and self.recorder.completions[target_pid] > baseline
+            ):
+                stopped_early = True
+                break
+            if self.step() is None:
+                stopped_early = True
+                break
+        else:
+            # Budget exhausted; still check trailing stop conditions so the
+            # flag reflects whether the condition was met.
+            if (
+                stop_after_completions is not None
+                and self.recorder.total_completions >= stop_after_completions
+            ) or (
+                target_pid is not None
+                and self.recorder.completions[target_pid] > baseline
+            ):
+                stopped_early = True
+        return SimulationResult(
+            steps_executed=self.time,
+            recorder=self.recorder,
+            memory=self.memory,
+            history=self.history,
+            stopped_early=stopped_early,
+        )

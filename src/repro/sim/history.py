@@ -1,0 +1,144 @@
+"""Histories: sequences of method invocation and response events.
+
+A history is the object over which the paper's progress guarantees are
+stated (Section 2.2): minimal progress requires that in every suffix some
+pending active invocation gets a response; maximal progress requires that
+every pending active invocation does.  The detectors themselves live in
+:mod:`repro.core.progress`; this module only records and queries events.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+
+@dataclass(frozen=True)
+class Invocation:
+    """A method invocation event at a given time step."""
+
+    time: int
+    pid: int
+    method: str = "method"
+    argument: Any = None
+
+
+@dataclass(frozen=True)
+class Response:
+    """A method response (return) event at a given time step."""
+
+    time: int
+    pid: int
+    method: str = "method"
+    result: Any = None
+
+
+class History:
+    """An ordered record of invocation and response events.
+
+    Events must be appended in non-decreasing time order.  Each process is
+    sequential: it cannot invoke a new method while one is pending.
+    """
+
+    def __init__(self) -> None:
+        self.invocations: List[Invocation] = []
+        self.responses: List[Response] = []
+        self._pending: Dict[int, Invocation] = {}
+        self._last_time = -1
+
+    def invoke(
+        self, time: int, pid: int, method: str = "method", argument: Any = None
+    ) -> Invocation:
+        """Record a method invocation."""
+        self._check_time(time)
+        if pid in self._pending:
+            raise ValueError(
+                f"process {pid} invoked {method!r} at t={time} while "
+                f"{self._pending[pid].method!r} is still pending"
+            )
+        event = Invocation(time, pid, method, argument)
+        self.invocations.append(event)
+        self._pending[pid] = event
+        return event
+
+    def respond(
+        self, time: int, pid: int, method: str = "method", result: Any = None
+    ) -> Response:
+        """Record a method response matching the process's pending invocation."""
+        self._check_time(time)
+        pending = self._pending.pop(pid, None)
+        if pending is None:
+            raise ValueError(f"process {pid} responded at t={time} with nothing pending")
+        if pending.method != method:
+            raise ValueError(
+                f"process {pid} responded to {method!r} but {pending.method!r} "
+                "is pending"
+            )
+        event = Response(time, pid, method, result)
+        self.responses.append(event)
+        return event
+
+    def _check_time(self, time: int) -> None:
+        if time < self._last_time:
+            raise ValueError(
+                f"events must be time-ordered; got t={time} after t={self._last_time}"
+            )
+        self._last_time = time
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def end_time(self) -> int:
+        """Time of the last recorded event (-1 if empty)."""
+        return self._last_time
+
+    def pending_pids(self) -> Set[int]:
+        """Processes with a pending (unanswered) invocation at the end."""
+        return set(self._pending)
+
+    def response_times(self, pid: Optional[int] = None) -> List[int]:
+        """Times of responses, optionally filtered to one process."""
+        return [r.time for r in self.responses if pid is None or r.pid == pid]
+
+    def completions_by_process(self) -> Dict[int, int]:
+        """Number of responses per process."""
+        counts: Dict[int, int] = {}
+        for r in self.responses:
+            counts[r.pid] = counts.get(r.pid, 0) + 1
+        return counts
+
+    def pending_intervals(self, end_time: Optional[int] = None) -> List[tuple]:
+        """``(pid, invoke_time, respond_time_or_None)`` for every invocation.
+
+        ``None`` as respond time means the invocation is still pending at
+        ``end_time`` (defaults to the history's end).
+        """
+        if end_time is None:
+            end_time = self.end_time
+        responded: Dict[int, List[Response]] = {}
+        for r in self.responses:
+            responded.setdefault(r.pid, []).append(r)
+        cursors: Dict[int, int] = {pid: 0 for pid in responded}
+        out = []
+        for inv in self.invocations:
+            rs = responded.get(inv.pid, [])
+            cursor = cursors.get(inv.pid, 0)
+            if cursor < len(rs):
+                out.append((inv.pid, inv.time, rs[cursor].time))
+                cursors[inv.pid] = cursor + 1
+            else:
+                out.append((inv.pid, inv.time, None))
+        return out
+
+    def max_response_gap(self, pid: int) -> Optional[int]:
+        """Largest gap (in time steps) between consecutive responses of ``pid``.
+
+        ``None`` if the process responded fewer than two times.
+        """
+        times = self.response_times(pid)
+        if len(times) < 2:
+            return None
+        return max(b - a for a, b in zip(times, times[1:]))
+
+    def __len__(self) -> int:
+        return len(self.invocations) + len(self.responses)

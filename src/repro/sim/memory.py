@@ -1,0 +1,128 @@
+"""Shared memory: a set of named atomic registers.
+
+Atomicity is by construction: the executor applies exactly one operation per
+discrete time step, so no interleaving can occur inside an operation.  The
+memory keeps per-register access statistics so tests can assert on step
+accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+from repro.sim.ops import (
+    CAS,
+    FetchAndIncrement,
+    Nop,
+    Operation,
+    Read,
+    ReadModifyWrite,
+    Write,
+)
+
+
+@dataclass
+class Register:
+    """A single atomic register.
+
+    Attributes
+    ----------
+    name:
+        The register's name within its :class:`Memory`.
+    value:
+        Current contents.
+    reads, writes, cas_attempts, cas_successes, rmws:
+        Access counters, maintained by :meth:`Memory.apply`.
+    """
+
+    name: str
+    value: Any = None
+    reads: int = 0
+    writes: int = 0
+    cas_attempts: int = 0
+    cas_successes: int = 0
+    rmws: int = 0
+
+
+class Memory:
+    """A collection of named atomic registers.
+
+    Registers are created explicitly with :meth:`register` or implicitly on
+    first access (initialised to ``None``); explicit creation is preferred
+    in library code so initial values are visible at the call site.
+    """
+
+    def __init__(self) -> None:
+        self._registers: Dict[str, Register] = {}
+        self.total_operations = 0
+
+    def register(self, name: str, initial: Any = None) -> Register:
+        """Create (or re-initialise) a register with an initial value."""
+        reg = self._registers.get(name)
+        if reg is None:
+            reg = Register(name, initial)
+            self._registers[name] = reg
+        else:
+            reg.value = initial
+        return reg
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._registers
+
+    def __getitem__(self, name: str) -> Register:
+        reg = self._registers.get(name)
+        if reg is None:
+            reg = Register(name)
+            self._registers[name] = reg
+        return reg
+
+    def read(self, name: str) -> Any:
+        """Peek at a register's value without counting an access.
+
+        For assertions and measurements only — algorithm code must go
+        through the executor by yielding operations.
+        """
+        return self[name].value
+
+    def registers(self) -> Dict[str, Register]:
+        """Snapshot of the name -> register map."""
+        return dict(self._registers)
+
+    def apply(self, op: Operation) -> Any:
+        """Apply one operation atomically and return its result.
+
+        This is the single point through which the executor touches memory;
+        it dispatches on the operation type and maintains access counters.
+        """
+        self.total_operations += 1
+        if isinstance(op, Nop):
+            return None
+        reg = self[op.register]
+        if isinstance(op, Read):
+            reg.reads += 1
+            return reg.value
+        if isinstance(op, Write):
+            reg.writes += 1
+            reg.value = op.value
+            return None
+        if isinstance(op, CAS):
+            reg.cas_attempts += 1
+            if reg.value == op.expected:
+                reg.cas_successes += 1
+                reg.value = op.new
+                return True
+            return False
+        if isinstance(op, FetchAndIncrement):
+            reg.rmws += 1
+            old = reg.value
+            if old is None:
+                old = 0
+            reg.value = old + op.amount
+            return old
+        if isinstance(op, ReadModifyWrite):
+            reg.rmws += 1
+            old = reg.value
+            reg.value = op.update(old)
+            return old
+        raise TypeError(f"unknown operation type {type(op).__name__}")

@@ -1,0 +1,141 @@
+"""Execution traces: schedules and completion records.
+
+The *schedule* is the sequence of process identifiers chosen by the
+scheduler (Section 2.1).  For long runs the recorder can be configured to
+keep only aggregate statistics (per-process step counts, completion times)
+instead of the full sequence — Figure 3/4 style analyses need the sequence,
+latency measurements do not.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+
+class ScheduleTrace:
+    """The recorded sequence of scheduled process ids.
+
+    Backed by a growable numpy buffer; exposes the fairness statistics the
+    paper's Appendix A computes from hardware recordings.
+    """
+
+    def __init__(self, n_processes: int) -> None:
+        if n_processes <= 0:
+            raise ValueError("n_processes must be positive")
+        self.n_processes = n_processes
+        self._buffer = np.empty(1024, dtype=np.int32)
+        self._length = 0
+
+    def append(self, pid: int) -> None:
+        """Record that ``pid`` took the next step."""
+        if self._length == self._buffer.shape[0]:
+            grown = np.empty(self._buffer.shape[0] * 2, dtype=np.int32)
+            grown[: self._length] = self._buffer
+            self._buffer = grown
+        self._buffer[self._length] = pid
+        self._length += 1
+
+    def as_array(self) -> np.ndarray:
+        """The schedule as an int array of length ``len(self)``."""
+        return self._buffer[: self._length].copy()
+
+    def __len__(self) -> int:
+        return self._length
+
+    def step_shares(self) -> np.ndarray:
+        """Fraction of steps taken by each process (Figure 3 statistic)."""
+        if self._length == 0:
+            raise ValueError("empty schedule")
+        counts = np.bincount(
+            self._buffer[: self._length], minlength=self.n_processes
+        ).astype(float)
+        return counts / self._length
+
+    def successor_shares(self, pid: int) -> np.ndarray:
+        """Distribution of who is scheduled immediately after ``pid`` steps
+        (Figure 4 statistic).
+        """
+        schedule = self._buffer[: self._length]
+        positions = np.nonzero(schedule[:-1] == pid)[0]
+        if positions.size == 0:
+            raise ValueError(f"process {pid} never takes a step before the last one")
+        successors = schedule[positions + 1]
+        counts = np.bincount(successors, minlength=self.n_processes).astype(float)
+        return counts / successors.size
+
+    def successor_matrix(self) -> np.ndarray:
+        """Matrix ``M[i, j]`` = fraction of steps by ``j`` right after ``i``."""
+        return np.vstack(
+            [self.successor_shares(pid) for pid in range(self.n_processes)]
+        )
+
+    def longest_consecutive_run(self, pid: int) -> int:
+        """Longest run of consecutive steps by ``pid`` (solo interval length)."""
+        schedule = self._buffer[: self._length]
+        best = run = 0
+        for p in schedule:
+            run = run + 1 if p == pid else 0
+            best = max(best, run)
+        return best
+
+
+class TraceRecorder:
+    """Collects per-run measurements from the executor.
+
+    Parameters
+    ----------
+    n_processes:
+        Number of processes in the run.
+    record_schedule:
+        Keep the full schedule sequence (needed for Figure 3/4 statistics).
+    record_completion_times:
+        Keep the time step of every completion (needed for latency
+        distributions; per-process completion *counts* are always kept).
+    """
+
+    def __init__(
+        self,
+        n_processes: int,
+        *,
+        record_schedule: bool = False,
+        record_completion_times: bool = True,
+    ) -> None:
+        self.n_processes = n_processes
+        self.schedule: Optional[ScheduleTrace] = (
+            ScheduleTrace(n_processes) if record_schedule else None
+        )
+        self._record_completion_times = record_completion_times
+        self.completion_times: List[int] = []
+        self.completion_pids: List[int] = []
+        self.completions: Dict[int, int] = {pid: 0 for pid in range(n_processes)}
+        self.steps: Dict[int, int] = {pid: 0 for pid in range(n_processes)}
+        self.total_steps = 0
+
+    def on_step(self, time: int, pid: int) -> None:
+        """Record one scheduled step."""
+        self.total_steps += 1
+        self.steps[pid] += 1
+        if self.schedule is not None:
+            self.schedule.append(pid)
+
+    def on_completion(self, time: int, pid: int) -> None:
+        """Record one completed method call."""
+        self.completions[pid] += 1
+        if self._record_completion_times:
+            self.completion_times.append(time)
+            self.completion_pids.append(pid)
+
+    @property
+    def total_completions(self) -> int:
+        """Completed method calls across all processes."""
+        return sum(self.completions.values())
+
+    def completion_times_of(self, pid: int) -> np.ndarray:
+        """Completion time steps of one process, as an int array."""
+        if not self._record_completion_times:
+            raise ValueError("completion times were not recorded")
+        times = np.asarray(self.completion_times, dtype=np.int64)
+        pids = np.asarray(self.completion_pids, dtype=np.int64)
+        return times[pids == pid]

@@ -1,0 +1,40 @@
+"""Statistical helpers: the Ramanujan Q-function, estimators, and
+distribution-comparison utilities used by the empirical experiments."""
+
+from repro.stats.compare import (
+    chi_square_uniformity,
+    empirical_threshold,
+    total_variation,
+)
+from repro.stats.estimators import (
+    MeanEstimate,
+    autocorrelation,
+    batch_means,
+    effective_sample_size,
+    fit_power_law,
+    fit_sqrt_scaling,
+    mean_confidence_interval,
+)
+from repro.stats.ramanujan import (
+    birthday_expected_collision,
+    counter_return_times,
+    ramanujan_q,
+    ramanujan_q_asymptotic,
+)
+
+__all__ = [
+    "MeanEstimate",
+    "autocorrelation",
+    "batch_means",
+    "birthday_expected_collision",
+    "chi_square_uniformity",
+    "counter_return_times",
+    "effective_sample_size",
+    "empirical_threshold",
+    "fit_power_law",
+    "fit_sqrt_scaling",
+    "mean_confidence_interval",
+    "ramanujan_q",
+    "ramanujan_q_asymptotic",
+    "total_variation",
+]

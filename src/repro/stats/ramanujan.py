@@ -1,0 +1,89 @@
+"""Ramanujan's Q-function and the counter chain's return-time recurrence.
+
+Lemma 12's remark: the expected return time ``Z(n-1)`` of the augmented-
+CAS counter's winning state "is the Ramanujan Q function", studied by
+Knuth and by Flajolet et al. in relation to linear probing, with
+asymptotics ``Z(n-1) = sqrt(pi n / 2) (1 + o(1))``.
+
+Definitions used here:
+
+* ``Q(n) = sum_{k=1}^{n-1} n! / ((n - k)! n^k)`` — the classical
+  Ramanujan Q-function (Knuth; Flajolet et al.).  The expected number of
+  uniform throws into ``n`` bins until some bin receives a second ball
+  is ``Q(n) + 1``.
+* ``Z(i)`` — the paper's recurrence ``Z(0) = 1``, ``Z(i) = 1 + (i/n)
+  Z(i-1)``; the return time of the global chain's state 1 is ``Z(n-1)``.
+
+Closed-form identity (verified in the tests): ``Z(n-1) = Q(n)`` exactly —
+the paper's remark "this is the Ramanujan Q function" is literal.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+
+def ramanujan_q(n: int) -> float:
+    """Ramanujan's Q-function, computed exactly by its product-sum.
+
+    ``Q(n) = 1 + (n-1)/n + (n-1)(n-2)/n^2 + ...`` — the ``k``-th term is
+    ``n! / ((n-k)! n^k)`` for ``k = 1 .. n`` (the ``k = 1`` term is
+    ``n/n = 1``; terms with ``k > n`` vanish).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    total = 0.0
+    term = 1.0  # k = 1 term: n/n
+    for k in range(1, n + 1):
+        total += term
+        term *= (n - k) / n
+        if term < 1e-18:
+            break
+    return total
+
+
+def ramanujan_q_asymptotic(n: int, *, order: int = 2) -> float:
+    """Flajolet et al.'s asymptotic expansion of ``Q(n)``.
+
+    ``Q(n) ~ sqrt(pi n / 2) - 1/3 + (1/12) sqrt(pi / (2n)) - 4/(135 n)``.
+    ``order`` selects how many correction terms to include (0-3).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    terms = [
+        math.sqrt(math.pi * n / 2.0),
+        -1.0 / 3.0,
+        math.sqrt(math.pi / (2.0 * n)) / 12.0,
+        -4.0 / (135.0 * n),
+    ]
+    if not 0 <= order <= 3:
+        raise ValueError("order must be in 0..3")
+    return sum(terms[: order + 1])
+
+
+def counter_return_times(n: int) -> np.ndarray:
+    """The paper's ``Z`` recurrence: ``Z(0) = 1``, ``Z(i) = 1 + (i/n) Z(i-1)``.
+
+    Returns ``Z(0), ..., Z(n-1)``; ``Z(i)`` is the expected number of
+    steps for the global counter chain to hit state 1 when ``n - i``
+    processes currently hold the register's value.  ``Z(n-1)`` is the
+    system latency ``W`` (and is at most ``2 sqrt(n)``, Lemma 12).
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    z = np.empty(n, dtype=float)
+    z[0] = 1.0
+    for i in range(1, n):
+        z[i] = 1.0 + (i / n) * z[i - 1]
+    return z
+
+
+def birthday_expected_collision(n: int) -> float:
+    """Expected number of uniform throws into ``n`` bins until some bin
+    receives a second ball: ``Q(n) + 1`` (Knuth).
+
+    The quantity Claim 1 of the paper concentrates around ``sqrt(a_i)``.
+    """
+    return ramanujan_q(n) + 1.0

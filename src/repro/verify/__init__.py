@@ -1,0 +1,33 @@
+"""Safety verification: linearizability checking of recorded histories.
+
+The paper concerns *progress*; a library someone would adopt also needs
+the complementary *safety* story (Section 2's "safety properties, which
+guarantee their correctness").  This package provides a small
+Wing-Gong-style linearizability checker over the simulator's recorded
+histories, with sequential specifications for the objects implemented in
+:mod:`repro.algorithms`.
+"""
+
+from repro.verify.linearize import LinearizationResult, check_linearizable
+from repro.verify.linearize import check_history, operations_from_history
+from repro.verify.specs import (
+    CounterSpec,
+    QueueSpec,
+    RegisterSpec,
+    SequentialSpec,
+    SetSpec,
+    StackSpec,
+)
+
+__all__ = [
+    "CounterSpec",
+    "LinearizationResult",
+    "QueueSpec",
+    "RegisterSpec",
+    "SequentialSpec",
+    "SetSpec",
+    "StackSpec",
+    "check_history",
+    "check_linearizable",
+    "operations_from_history",
+]

@@ -1,0 +1,205 @@
+"""A memoised Wing-Gong linearizability checker.
+
+Given a concurrent history — operations with invocation/response times,
+arguments and results — decide whether some sequential ordering of the
+operations (consistent with real-time precedence) explains every
+recorded result under a :class:`~repro.verify.specs.SequentialSpec`.
+
+Pending operations (invoked, never responded) are handled per the
+definition: each may either have taken effect (it is linearized, its
+unknown result unconstrained) or not (it is omitted).
+
+The search is exponential in the worst case; the ``(linearized-set,
+state)`` memo prunes it to practical sizes for the windowed histories
+the tests and examples use (tens of operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+from repro.sim.history import History
+from repro.verify.specs import SequentialSpec
+
+
+@dataclass(frozen=True)
+class OpRecord:
+    """One operation of a concurrent history."""
+
+    op_id: int
+    pid: int
+    method: str
+    argument: Any
+    result: Any
+    invoked: int
+    responded: Optional[int]
+
+    @property
+    def pending(self) -> bool:
+        """Whether the operation never responded."""
+        return self.responded is None
+
+
+@dataclass(frozen=True)
+class LinearizationResult:
+    """Outcome of a linearizability check.
+
+    Attributes
+    ----------
+    is_linearizable:
+        Whether a witness ordering exists.
+    witness:
+        A linearization as a list of op_ids (omitted pending operations
+        excluded); ``None`` when not linearizable.
+    nodes_explored:
+        Search-tree nodes visited (a cost/diagnostic metric).
+    """
+
+    is_linearizable: bool
+    witness: Optional[List[int]]
+    nodes_explored: int
+
+
+def operations_from_history(
+    history: History, *, arguments: Optional[Dict[int, Any]] = None
+) -> List[OpRecord]:
+    """Convert a :class:`~repro.sim.history.History` into op records.
+
+    Responses are matched to invocations per process in order (each
+    process is sequential).  ``arguments`` optionally maps op_id (the
+    invocation's index in the history) to the operation's argument when
+    the algorithm did not record one; by convention the workloads in
+    :mod:`repro.algorithms` return the argument as the result of
+    mutators (push/enqueue), which the specs mirror.
+    """
+    per_pid_responses: Dict[int, List] = {}
+    for response in history.responses:
+        per_pid_responses.setdefault(response.pid, []).append(response)
+    cursors: Dict[int, int] = {pid: 0 for pid in per_pid_responses}
+    ops = []
+    for op_id, invocation in enumerate(history.invocations):
+        responses = per_pid_responses.get(invocation.pid, [])
+        cursor = cursors.get(invocation.pid, 0)
+        if cursor < len(responses):
+            response = responses[cursor]
+            cursors[invocation.pid] = cursor + 1
+            responded: Optional[int] = response.time
+            result = response.result
+        else:
+            responded = None
+            result = None
+        argument = getattr(invocation, "argument", None)
+        if arguments and op_id in arguments:
+            argument = arguments[op_id]
+        ops.append(
+            OpRecord(
+                op_id=op_id,
+                pid=invocation.pid,
+                method=invocation.method,
+                argument=argument,
+                result=result,
+                invoked=invocation.time,
+                responded=responded,
+            )
+        )
+    return ops
+
+
+def check_linearizable(
+    ops: Sequence[OpRecord],
+    spec: SequentialSpec,
+    *,
+    normalize_result: Optional[Callable[[Any], Any]] = None,
+    max_nodes: int = 2_000_000,
+) -> LinearizationResult:
+    """Decide linearizability of ``ops`` against ``spec``.
+
+    Parameters
+    ----------
+    ops:
+        The history's operations (see :func:`operations_from_history`).
+    spec:
+        The sequential specification.
+    normalize_result:
+        Applied to *recorded* results before comparing with the spec's
+        (e.g. map an algorithm's EMPTY sentinel onto the spec's).
+    max_nodes:
+        Search budget; exceeding it raises :class:`ArithmeticError`
+        rather than returning a wrong answer.
+    """
+    ops = list(ops)
+    norm = normalize_result or (lambda r: r)
+
+    # Real-time precedence: a must precede b iff a responded before b's
+    # invocation.  Pending operations precede nothing.
+    n_ops = len(ops)
+    preds: List[Set[int]] = [set() for _ in range(n_ops)]
+    for a in ops:
+        if a.responded is None:
+            continue
+        for b in ops:
+            if a.op_id != b.op_id and a.responded < b.invoked:
+                preds[b.op_id].add(a.op_id)
+
+    memo: Set[Tuple[frozenset, Hashable]] = set()
+    nodes = 0
+    witness: List[int] = []
+
+    def dfs(chosen: frozenset, state: Hashable) -> bool:
+        nonlocal nodes
+        if len(chosen) == n_ops:
+            return True
+        key = (chosen, state)
+        if key in memo:
+            return False
+        nodes += 1
+        if nodes > max_nodes:
+            raise ArithmeticError(
+                f"linearizability search exceeded {max_nodes} nodes"
+            )
+        for op in ops:
+            if op.op_id in chosen:
+                continue
+            if not preds[op.op_id] <= chosen:
+                continue
+            if op.pending:
+                # Branch 1: the pending op took effect (result unknown).
+                new_state, _ = spec.apply(state, op.method, op.argument)
+                witness.append(op.op_id)
+                if dfs(chosen | {op.op_id}, new_state):
+                    return True
+                witness.pop()
+                # Branch 2: it never took effect.
+                if dfs(chosen | {op.op_id}, state):
+                    return True
+            else:
+                new_state, expected = spec.apply(state, op.method, op.argument)
+                if norm(op.result) == expected:
+                    witness.append(op.op_id)
+                    if dfs(chosen | {op.op_id}, new_state):
+                        return True
+                    witness.pop()
+        memo.add(key)
+        return False
+
+    ok = dfs(frozenset(), spec.initial_state())
+    return LinearizationResult(
+        is_linearizable=ok,
+        witness=list(witness) if ok else None,
+        nodes_explored=nodes,
+    )
+
+
+def check_history(
+    history: History,
+    spec: SequentialSpec,
+    *,
+    normalize_result: Optional[Callable[[Any], Any]] = None,
+    max_nodes: int = 2_000_000,
+) -> LinearizationResult:
+    """Convenience: convert a history and check it in one call."""
+    ops = operations_from_history(history)
+    return check_linearizable(
+        ops, spec, normalize_result=normalize_result, max_nodes=max_nodes
+    )

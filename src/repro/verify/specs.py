@@ -1,0 +1,123 @@
+"""Sequential specifications for linearizability checking.
+
+A :class:`SequentialSpec` models an object as a pure transition function
+over hashable states: ``apply(state, method, argument) -> (new_state,
+result)``.  The checker asks whether a concurrent history can be
+explained by *some* sequential execution of the spec consistent with
+real-time order.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Hashable, Tuple
+
+
+class SequentialSpec(abc.ABC):
+    """A deterministic sequential object with hashable states."""
+
+    @abc.abstractmethod
+    def initial_state(self) -> Hashable:
+        """The object's state before any operation."""
+
+    @abc.abstractmethod
+    def apply(
+        self, state: Hashable, method: str, argument: Any
+    ) -> Tuple[Hashable, Any]:
+        """Apply one operation; return ``(new_state, result)``.
+
+        Must be pure: no mutation of ``state``.
+        """
+
+
+class CounterSpec(SequentialSpec):
+    """Fetch-and-increment: returns the pre-increment value."""
+
+    def __init__(self, initial: int = 0) -> None:
+        self.initial = initial
+
+    def initial_state(self) -> int:
+        return self.initial
+
+    def apply(self, state: int, method: str, argument: Any) -> Tuple[int, int]:
+        if method not in ("fetch_and_inc", "inc"):
+            raise ValueError(f"unknown counter method {method!r}")
+        return state + 1, state
+
+
+class RegisterSpec(SequentialSpec):
+    """A read/write register."""
+
+    def __init__(self, initial: Any = None) -> None:
+        self.initial = initial
+
+    def initial_state(self) -> Any:
+        return self.initial
+
+    def apply(self, state: Any, method: str, argument: Any) -> Tuple[Any, Any]:
+        if method == "read":
+            return state, state
+        if method == "write":
+            return argument, None
+        raise ValueError(f"unknown register method {method!r}")
+
+
+#: Sentinel result for pops/dequeues on an empty container, matching the
+#: algorithms' EMPTY sentinels structurally (the checker compares via a
+#: caller-provided normaliser, see ``check_linearizable``).
+EMPTY = "__empty__"
+
+
+class StackSpec(SequentialSpec):
+    """LIFO stack: ``push(v) -> v`` and ``pop() -> v | EMPTY``."""
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def apply(self, state: tuple, method: str, argument: Any) -> Tuple[tuple, Any]:
+        if method == "push":
+            return (argument,) + state, argument
+        if method == "pop":
+            if not state:
+                return state, EMPTY
+            return state[1:], state[0]
+        raise ValueError(f"unknown stack method {method!r}")
+
+
+class SetSpec(SequentialSpec):
+    """An ordered set: ``insert(k) -> bool``, ``remove(k) -> bool``,
+    ``contains(k) -> bool``."""
+
+    def initial_state(self) -> frozenset:
+        return frozenset()
+
+    def apply(
+        self, state: frozenset, method: str, argument: Any
+    ) -> Tuple[frozenset, Any]:
+        if method == "insert":
+            if argument in state:
+                return state, False
+            return state | {argument}, True
+        if method == "remove":
+            if argument not in state:
+                return state, False
+            return state - {argument}, True
+        if method == "contains":
+            return state, argument in state
+        raise ValueError(f"unknown set method {method!r}")
+
+
+class QueueSpec(SequentialSpec):
+    """FIFO queue: ``enqueue(v) -> v`` and ``dequeue() -> v | EMPTY``."""
+
+    def initial_state(self) -> tuple:
+        return ()
+
+    def apply(self, state: tuple, method: str, argument: Any) -> Tuple[tuple, Any]:
+        if method in ("enqueue", "enq"):
+            return state + (argument,), argument
+        if method in ("dequeue", "deq"):
+            if not state:
+                return state, EMPTY
+            return state[1:], state[0]
+        raise ValueError(f"unknown queue method {method!r}")

@@ -1,0 +1,106 @@
+"""Tests for the augmented-CAS counter (Section 7, Algorithm 5)."""
+
+import pytest
+
+from repro.algorithms.augmented_counter import (
+    augmented_cas_counter,
+    make_augmented_counter_memory,
+)
+from repro.chains.counter import counter_system_latency_exact
+from repro.core.latency import measure_latencies, system_latency
+from repro.core.scheduler import AdversarialScheduler, UniformStochasticScheduler
+from repro.sim.executor import Simulator
+
+
+class TestSemantics:
+    def test_solo_process_completes_every_step(self):
+        # Alone, every augmented CAS succeeds: one completion per step.
+        sim = Simulator(
+            augmented_cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=1,
+            memory=make_augmented_counter_memory(),
+            rng=0,
+        )
+        result = sim.run(10)
+        assert result.total_completions == 10
+        assert result.memory.read("counter") == 10
+
+    def test_register_counts_completions(self):
+        sim = Simulator(
+            augmented_cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=5,
+            memory=make_augmented_counter_memory(),
+            rng=1,
+        )
+        result = sim.run(5_000)
+        assert result.memory.read("counter") == result.total_completions
+
+    def test_fetched_values_unique_and_dense(self):
+        sim = Simulator(
+            augmented_cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=3,
+            memory=make_augmented_counter_memory(),
+            record_history=True,
+            rng=2,
+        )
+        result = sim.run(3_000)
+        values = [r.result for r in result.history.responses]
+        assert sorted(values) == list(range(len(values)))
+
+    def test_loser_learns_current_value(self):
+        # Round-robin n=2: p0 CASes 0->1 (success), p1 CASes 0->1 (fails,
+        # learns 1), p0 CASes 1->2 (success), p1 CASes 1->2 (fail)...
+        # p1 is always one behind under strict alternation: it never wins.
+        sim = Simulator(
+            augmented_cas_counter(),
+            AdversarialScheduler.round_robin(),
+            n_processes=2,
+            memory=make_augmented_counter_memory(),
+            rng=0,
+        )
+        result = sim.run(100)
+        assert result.completions_of(0) == 50
+        assert result.completions_of(1) == 0
+
+    def test_calls_bound(self):
+        sim = Simulator(
+            augmented_cas_counter(calls=4),
+            UniformStochasticScheduler(),
+            n_processes=1,
+            memory=make_augmented_counter_memory(),
+            rng=0,
+        )
+        result = sim.run(100)
+        assert result.total_completions == 4
+        assert result.stopped_early
+
+
+class TestLatency:
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_system_latency_matches_chain(self, n):
+        m = measure_latencies(
+            augmented_cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            steps=150_000,
+            memory=make_augmented_counter_memory(),
+            rng=n,
+        )
+        assert m.system_latency == pytest.approx(
+            counter_system_latency_exact(n), rel=0.05
+        )
+
+    def test_individual_is_roughly_n_times_system(self):
+        n = 6
+        m = measure_latencies(
+            augmented_cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            steps=300_000,
+            memory=make_augmented_counter_memory(),
+            rng=0,
+        )
+        assert m.fairness_ratio == pytest.approx(1.0, abs=0.15)

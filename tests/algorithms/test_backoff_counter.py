@@ -1,0 +1,108 @@
+"""Tests for the back-off counter (ABL3's subject)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.backoff_counter import (
+    backoff_counter,
+    backoff_counter_method,
+    make_backoff_memory,
+)
+from repro.core.latency import measure_latencies
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.sim.executor import Simulator
+from repro.sim.ops import CAS, Nop, Read
+
+
+class TestMethodShape:
+    def test_zero_backoff_equals_plain_counter(self):
+        gen = backoff_counter_method(0, backoff=0)
+        assert isinstance(gen.send(None), Read)
+        op = gen.send(3)
+        assert isinstance(op, CAS)
+        # Failure goes straight back to the read.
+        assert isinstance(gen.send(False), Read)
+
+    def test_backoff_steps_after_failure(self):
+        k = 3
+        gen = backoff_counter_method(0, backoff=k)
+        gen.send(None)
+        gen.send(0)          # CAS
+        ops = [gen.send(False)]
+        for _ in range(k):
+            ops.append(gen.send(None))
+        assert all(isinstance(op, Nop) for op in ops[:k])
+        assert isinstance(ops[k], Read)
+
+    def test_success_skips_backoff(self):
+        gen = backoff_counter_method(0, backoff=5)
+        gen.send(None)
+        gen.send(7)
+        with pytest.raises(StopIteration) as stop:
+            gen.send(True)
+        assert stop.value.value == 7
+
+    def test_negative_backoff_rejected(self):
+        gen = backoff_counter_method(0, backoff=-1)
+        with pytest.raises(ValueError):
+            gen.send(None)
+
+
+class TestBehaviour:
+    def test_correctness_preserved(self):
+        sim = Simulator(
+            backoff_counter(4),
+            UniformStochasticScheduler(),
+            n_processes=5,
+            memory=make_backoff_memory(),
+            rng=0,
+        )
+        result = sim.run(20_000)
+        assert result.memory.read("counter") == result.total_completions
+
+    def test_backoff_increases_system_latency(self):
+        # The ABL3 finding: in the step-counting model, waiting costs.
+        n = 16
+
+        def latency(k):
+            m = measure_latencies(
+                backoff_counter(k),
+                UniformStochasticScheduler(),
+                n_processes=n,
+                steps=100_000,
+                memory=make_backoff_memory(),
+                rng=k,
+            )
+            return m.system_latency
+
+        assert latency(0) < latency(4) < latency(16)
+
+    def test_sqrt_shape_persists(self):
+        from repro.stats.estimators import fit_power_law
+
+        ns = [16, 64]
+        ws = []
+        for n in ns:
+            m = measure_latencies(
+                backoff_counter(4),
+                UniformStochasticScheduler(),
+                n_processes=n,
+                steps=120_000,
+                memory=make_backoff_memory(),
+                rng=n,
+            )
+            ws.append(m.system_latency)
+        exponent, _ = fit_power_law(ns, ws)
+        assert 0.3 < exponent < 0.7
+
+    def test_everyone_still_progresses(self):
+        sim = Simulator(
+            backoff_counter(8),
+            UniformStochasticScheduler(),
+            n_processes=6,
+            memory=make_backoff_memory(),
+            rng=1,
+        )
+        result = sim.run(100_000)
+        for pid in range(6):
+            assert result.completions_of(pid) > 0

@@ -1,0 +1,173 @@
+"""Tests for the Harris-style lock-free ordered set."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.harris_set import (
+    SetWorkload,
+    contains_method,
+    harris_set_workload,
+    insert_method,
+    make_set_memory,
+    remove_method,
+    set_contents,
+)
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.sim.executor import Simulator
+
+
+def run_ops(memory, gen):
+    result = None
+    try:
+        op = gen.send(None)
+        while True:
+            op = gen.send(memory.apply(op))
+    except StopIteration as stop:
+        result = stop.value
+    return result
+
+
+@pytest.fixture
+def memory():
+    return make_set_memory()
+
+
+@pytest.fixture
+def allocator():
+    return itertools.count(2)
+
+
+class TestSequentialSemantics:
+    def test_insert_and_contains(self, memory, allocator):
+        assert run_ops(memory, insert_method(0, 5, allocator)) is True
+        assert run_ops(memory, contains_method(0, 5)) is True
+        assert run_ops(memory, contains_method(0, 6)) is False
+
+    def test_duplicate_insert_rejected(self, memory, allocator):
+        run_ops(memory, insert_method(0, 5, allocator))
+        assert run_ops(memory, insert_method(0, 5, allocator)) is False
+        assert set_contents(memory) == [5]
+
+    def test_sorted_order_maintained(self, memory, allocator):
+        for key in (7, 3, 9, 1, 5):
+            run_ops(memory, insert_method(0, key, allocator))
+        assert set_contents(memory) == [1, 3, 5, 7, 9]
+
+    def test_remove(self, memory, allocator):
+        for key in (1, 2, 3):
+            run_ops(memory, insert_method(0, key, allocator))
+        assert run_ops(memory, remove_method(0, 2)) is True
+        assert run_ops(memory, remove_method(0, 2)) is False
+        assert set_contents(memory) == [1, 3]
+        assert run_ops(memory, contains_method(0, 2)) is False
+
+    def test_remove_absent(self, memory):
+        assert run_ops(memory, remove_method(0, 42)) is False
+
+    def test_remove_head_and_tail_keys(self, memory, allocator):
+        run_ops(memory, insert_method(0, 0, allocator))
+        run_ops(memory, insert_method(0, 100, allocator))
+        assert run_ops(memory, remove_method(0, 0)) is True
+        assert run_ops(memory, remove_method(0, 100)) is True
+        assert set_contents(memory) == []
+
+    def test_reinsert_after_remove(self, memory, allocator):
+        run_ops(memory, insert_method(0, 5, allocator))
+        run_ops(memory, remove_method(0, 5))
+        assert run_ops(memory, insert_method(0, 5, allocator)) is True
+        assert set_contents(memory) == [5]
+
+
+class TestHelping:
+    def test_search_unlinks_marked_node(self, memory, allocator):
+        # Delete logically but stall before the physical unlink; a later
+        # insert's search must unlink the marked node.
+        run_ops(memory, insert_method(0, 5, allocator))
+        gen = remove_method(0, 5)
+        op = gen.send(None)
+        # Drive the removal until its marking CAS has been applied but
+        # stop before the physical-unlink CAS executes.
+        from repro.sim.ops import CAS
+
+        applied_mark = False
+        while not applied_mark:
+            result = memory.apply(op)
+            if isinstance(op, CAS) and result is True and op.new[1] is True:
+                applied_mark = True
+            op = gen.send(result)
+        # The node is marked but still physically linked.
+        assert set_contents(memory) == []
+        run_ops(memory, insert_method(1, 7, allocator))
+        assert set_contents(memory) == [7]
+        # The stalled remover finishes without error.
+        try:
+            while True:
+                op = gen.send(memory.apply(op))
+        except StopIteration as stop:
+            assert stop.value is True
+
+
+class TestConcurrentRuns:
+    def test_results_match_final_contents(self):
+        sim = Simulator(
+            harris_set_workload(SetWorkload(key_range=16, seed=3)),
+            UniformStochasticScheduler(),
+            n_processes=5,
+            memory=make_set_memory(),
+            record_history=True,
+            rng=4,
+        )
+        result = sim.run(40_000)
+        # Net successful inserts minus removes per key must match the
+        # final contents; pair responses with invocation arguments.
+        ops = []
+        responses_by_pid = {}
+        for r in result.history.responses:
+            responses_by_pid.setdefault(r.pid, []).append(r)
+        cursors = {pid: 0 for pid in responses_by_pid}
+        for inv in result.history.invocations:
+            rs = responses_by_pid.get(inv.pid, [])
+            c = cursors.get(inv.pid, 0)
+            if c < len(rs):
+                cursors[inv.pid] = c + 1
+                ops.append((inv.method, inv.argument, rs[c].result))
+        balance = {}
+        for method, key, res in ops:
+            if method == "insert" and res is True:
+                balance[key] = balance.get(key, 0) + 1
+            elif method == "remove" and res is True:
+                balance[key] = balance.get(key, 0) - 1
+        expected = sorted(k for k, v in balance.items() if v == 1)
+        assert all(v in (0, 1) for v in balance.values())
+        assert set_contents(result.memory) == expected
+
+    def test_everyone_progresses(self):
+        sim = Simulator(
+            harris_set_workload(SetWorkload(seed=9)),
+            UniformStochasticScheduler(),
+            n_processes=8,
+            memory=make_set_memory(),
+            rng=5,
+        )
+        result = sim.run(60_000)
+        for pid in range(8):
+            assert result.completions_of(pid) > 0
+
+    def test_contents_always_sorted_and_unique(self):
+        sim = Simulator(
+            harris_set_workload(SetWorkload(key_range=8, seed=11)),
+            UniformStochasticScheduler(),
+            n_processes=4,
+            memory=make_set_memory(),
+            rng=6,
+        )
+        for _ in range(200):
+            sim.run(100)
+            contents = set_contents(sim.memory)
+            assert contents == sorted(set(contents))
+
+    def test_workload_validation(self):
+        with pytest.raises(ValueError, match="at most 1"):
+            harris_set_workload(SetWorkload(insert_fraction=0.8,
+                                            remove_fraction=0.5))

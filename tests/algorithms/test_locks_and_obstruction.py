@@ -1,0 +1,196 @@
+"""Tests for the blocking counters, the obstruction-free counter, and
+the empirical progress classifier."""
+
+import pytest
+
+from repro.algorithms import locks, obstruction
+from repro.core.classify import (
+    ProgressClassification,
+    classify_progress,
+    collision_lockstep,
+)
+from repro.core.scheduler import AdversarialScheduler, UniformStochasticScheduler
+from repro.sim.executor import Simulator
+from repro.sim.ops import CAS, Read, Write
+
+
+def holding_tas_lock(sim, pid):
+    """The victim holds the TAS lock iff its next op is inside the CS."""
+    op = sim.processes[pid].pending
+    if isinstance(op, CAS):
+        return False
+    if isinstance(op, Read):
+        return op.register == locks.COUNTER
+    if isinstance(op, Write):
+        return op.register in (locks.COUNTER, locks.LOCK)
+    return False
+
+
+def holding_ticket_lock(sim, pid):
+    op = sim.processes[pid].pending
+    if isinstance(op, Read):
+        return op.register == locks.COUNTER
+    if isinstance(op, Write):
+        return op.register in (locks.COUNTER, locks.NOW_SERVING)
+    return False
+
+
+class TestTASLock:
+    def test_counts_correctly_crash_free(self):
+        sim = Simulator(
+            locks.tas_lock_counter(),
+            UniformStochasticScheduler(),
+            n_processes=4,
+            memory=locks.make_tas_memory(),
+            rng=0,
+        )
+        result = sim.run(20_000)
+        assert result.memory.read(locks.COUNTER) == result.total_completions
+        assert result.total_completions > 0
+
+    def test_blocking_under_crash_in_critical_section(self):
+        sim = Simulator(
+            locks.tas_lock_counter(),
+            UniformStochasticScheduler(),
+            n_processes=3,
+            memory=locks.make_tas_memory(),
+            rng=1,
+        )
+        crashed = False
+        for _ in range(20_000):
+            pid = sim.step()
+            if not crashed and pid == 0 and holding_tas_lock(sim, 0):
+                sim.processes[0].crash()
+                crashed = True
+                baseline = {p: sim.processes[p].completions for p in (1, 2)}
+        assert crashed
+        # Nobody else ever completes again: the lock is orphaned.
+        assert sim.processes[1].completions == baseline[1]
+        assert sim.processes[2].completions == baseline[2]
+
+
+class TestTicketLock:
+    def test_starvation_free_in_crash_free_uniform_runs(self):
+        sim = Simulator(
+            locks.ticket_lock_counter(),
+            UniformStochasticScheduler(),
+            n_processes=5,
+            memory=locks.make_ticket_memory(),
+            rng=2,
+        )
+        result = sim.run(60_000)
+        for pid in range(5):
+            assert result.completions_of(pid) > 0
+
+    def test_fifo_service_order(self):
+        # Tickets are served in order: completions interleave fairly
+        # even under an unfair-looking schedule.
+        sim = Simulator(
+            locks.ticket_lock_counter(),
+            AdversarialScheduler.round_robin(),
+            n_processes=3,
+            memory=locks.make_ticket_memory(),
+            rng=3,
+        )
+        result = sim.run(9_000)
+        counts = [result.completions_of(p) for p in range(3)]
+        assert max(counts) - min(counts) <= 1
+
+
+class TestObstructionFreeCounter:
+    def test_solo_run_completes_every_four_steps(self):
+        sim = Simulator(
+            obstruction.obstruction_free_counter(),
+            UniformStochasticScheduler(),
+            n_processes=1,
+            memory=obstruction.make_obstruction_memory(),
+            rng=4,
+        )
+        result = sim.run(40)
+        assert result.total_completions == 10
+
+    def test_livelock_under_collision_lockstep(self):
+        # The witness that the algorithm is NOT lock-free: a schedule
+        # under which nobody ever completes.
+        sim = Simulator(
+            obstruction.obstruction_free_counter(),
+            collision_lockstep(),
+            n_processes=2,
+            memory=obstruction.make_obstruction_memory(),
+            rng=5,
+        )
+        result = sim.run(30_000)
+        assert result.total_completions == 0
+
+    def test_practically_wait_free_under_uniform_scheduler(self):
+        # Section 4's generalisation: the stochastic scheduler upgrades
+        # obstruction-freedom too.
+        sim = Simulator(
+            obstruction.obstruction_free_counter(),
+            UniformStochasticScheduler(),
+            n_processes=4,
+            memory=obstruction.make_obstruction_memory(),
+            rng=6,
+        )
+        result = sim.run(60_000)
+        for pid in range(4):
+            assert result.completions_of(pid) > 0
+
+    def test_safety_counter_equals_completions(self):
+        sim = Simulator(
+            obstruction.obstruction_free_counter(),
+            UniformStochasticScheduler(),
+            n_processes=4,
+            memory=obstruction.make_obstruction_memory(),
+            rng=7,
+        )
+        result = sim.run(20_000)
+        assert result.memory.read(obstruction.COUNTER) == result.total_completions
+
+
+class TestClassifier:
+    def test_cas_counter_classified_lock_free(self):
+        from repro.algorithms.counter import cas_counter, make_counter_memory
+
+        label = classify_progress(
+            cas_counter, make_counter_memory, steps=20_000
+        ).label
+        assert label.startswith("lock-free")
+
+    def test_parallel_code_classified_wait_free(self):
+        from repro.algorithms.parallel import parallel_code
+        from repro.sim.memory import Memory
+
+        classification = classify_progress(
+            lambda: parallel_code(3), Memory, steps=20_000
+        )
+        assert classification.label == "wait-free"
+
+    def test_obstruction_free_counter_classified(self):
+        classification = classify_progress(
+            obstruction.obstruction_free_counter,
+            obstruction.make_obstruction_memory,
+            steps=30_000,
+        )
+        assert classification.label.startswith("obstruction-free")
+        assert classification.tolerates_crash
+        assert not classification.progresses_under_collisions
+
+    def test_tas_lock_classified_blocking(self):
+        classification = classify_progress(
+            locks.tas_lock_counter,
+            locks.make_tas_memory,
+            steps=30_000,
+            crash_when=holding_tas_lock,
+        )
+        assert classification.label == "blocking (lock-based)"
+        assert not classification.tolerates_crash
+
+    def test_ticket_lock_classified_blocking(self):
+        classification = classify_progress(
+            locks.ticket_lock_counter,
+            locks.make_ticket_memory,
+            steps=30_000,
+            crash_when=holding_ticket_lock,
+        )
+        assert not classification.tolerates_crash

@@ -1,0 +1,126 @@
+"""Tests for the Michael-Scott queue."""
+
+import itertools
+
+import pytest
+
+from repro.algorithms.msqueue import (
+    EMPTY,
+    MSQueueWorkload,
+    dequeue_method,
+    enqueue_method,
+    make_queue_memory,
+    ms_queue_workload,
+    queue_contents,
+)
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.sim.executor import Simulator
+
+
+def run_ops(memory, gen):
+    result = None
+    try:
+        op = gen.send(None)
+        while True:
+            op = gen.send(memory.apply(op))
+    except StopIteration as stop:
+        result = stop.value
+    return result
+
+
+class TestSequentialSemantics:
+    def test_fifo_order(self):
+        memory = make_queue_memory()
+        ids = itertools.count(1)
+        for value in ("a", "b", "c"):
+            run_ops(memory, enqueue_method(0, next(ids), value))
+        assert queue_contents(memory) == ["a", "b", "c"]
+        assert run_ops(memory, dequeue_method(0)) == "a"
+        assert run_ops(memory, dequeue_method(0)) == "b"
+        assert queue_contents(memory) == ["c"]
+
+    def test_dequeue_empty(self):
+        memory = make_queue_memory()
+        assert run_ops(memory, dequeue_method(0)) is EMPTY
+
+    def test_interleaved_enqueue_helping(self):
+        # p0 links its node but stalls before swinging the tail; p1's
+        # enqueue must help swing the tail and still succeed.
+        memory = make_queue_memory()
+        gen0 = enqueue_method(0, 1, "first")
+        op = gen0.send(None)                  # write value register
+        op = gen0.send(memory.apply(op))      # read tail
+        op = gen0.send(memory.apply(op))      # read tail.next
+        op = gen0.send(memory.apply(op))      # CAS next: links node 1
+        assert memory.apply(op) is True
+        # p0 stalls here; tail still points at the dummy.
+        assert memory.read("queue_tail") == 0
+        run_ops(memory, enqueue_method(1, 2, "second"))
+        assert queue_contents(memory) == ["first", "second"]
+        assert memory.read("queue_tail") == 2
+
+
+class TestConcurrentRuns:
+    def test_fifo_per_producer(self):
+        # Elements of one producer are dequeued in production order.
+        sim = Simulator(
+            ms_queue_workload(MSQueueWorkload(enqueue_fraction=0.5, seed=2)),
+            UniformStochasticScheduler(),
+            n_processes=6,
+            memory=make_queue_memory(),
+            record_history=True,
+            rng=3,
+        )
+        result = sim.run(40_000)
+        dequeued = [
+            r.result
+            for r in result.history.responses
+            if r.method == "dequeue" and r.result is not EMPTY
+        ]
+        per_producer = {}
+        for pid, seq in dequeued:
+            per_producer.setdefault(pid, []).append(seq)
+        for seqs in per_producer.values():
+            assert seqs == sorted(seqs)
+
+    def test_conservation(self):
+        sim = Simulator(
+            ms_queue_workload(MSQueueWorkload(enqueue_fraction=0.7, seed=5)),
+            UniformStochasticScheduler(),
+            n_processes=4,
+            memory=make_queue_memory(),
+            record_history=True,
+            rng=6,
+        )
+        result = sim.run(30_000)
+        enqueued = [
+            r.result for r in result.history.responses if r.method == "enqueue"
+        ]
+        dequeued = [
+            r.result
+            for r in result.history.responses
+            if r.method == "dequeue" and r.result is not EMPTY
+        ]
+        remaining = queue_contents(result.memory)
+        assert len(set(enqueued)) == len(enqueued)
+        assert len(set(dequeued)) == len(dequeued)
+        # A dequeue may return the value of an enqueue that linked its
+        # node but has not yet swung the tail (its call is still pending),
+        # so dequeued values are a subset of enqueued-or-pending.
+        assert set(dequeued) | set(remaining) >= set(enqueued)
+
+    def test_everyone_progresses(self):
+        sim = Simulator(
+            ms_queue_workload(MSQueueWorkload(seed=9)),
+            UniformStochasticScheduler(),
+            n_processes=8,
+            memory=make_queue_memory(),
+            rng=1,
+        )
+        result = sim.run(60_000)
+        for pid in range(8):
+            assert result.completions_of(pid) > 0
+
+    def test_enqueue_fraction_validation(self):
+        with pytest.raises(ValueError):
+            ms_queue_workload(MSQueueWorkload(enqueue_fraction=-0.1))

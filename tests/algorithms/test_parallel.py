@@ -1,0 +1,83 @@
+"""Tests for parallel code (Algorithm 4)."""
+
+import pytest
+
+from repro.algorithms.parallel import parallel_code, parallel_method
+from repro.core.latency import measure_latencies
+from repro.core.scheduler import AdversarialScheduler, UniformStochasticScheduler
+from repro.sim.executor import Simulator
+from repro.sim.ops import Nop, Write
+
+
+class TestMethod:
+    def test_q_steps_then_returns(self):
+        gen = parallel_method(0, 3)
+        steps = 0
+        try:
+            gen.send(None)
+            steps += 1
+            while True:
+                gen.send(None)
+                steps += 1
+        except StopIteration as stop:
+            assert stop.value == 3
+        assert steps == 3
+
+    def test_touch_register_writes_scratch(self):
+        gen = parallel_method(2, 2, touch_register=True)
+        op = gen.send(None)
+        assert op == Write("scratch2", 0)
+
+    def test_q_validation(self):
+        with pytest.raises(ValueError):
+            list(parallel_method(0, 0))
+
+
+class TestLemma11Exact:
+    @pytest.mark.parametrize("q,n", [(1, 3), (4, 2), (5, 6)])
+    def test_system_latency_is_q(self, q, n):
+        m = measure_latencies(
+            parallel_code(q),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            steps=40_000,
+            rng=q * 10 + n,
+        )
+        assert m.system_latency == pytest.approx(q, rel=0.02)
+
+    def test_individual_latency_is_nq(self):
+        q, n = 3, 4
+        m = measure_latencies(
+            parallel_code(q),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            steps=100_000,
+            rng=0,
+        )
+        assert m.mean_individual_latency == pytest.approx(n * q, rel=0.05)
+
+    def test_completions_independent_of_contention(self):
+        # Parallel code never interferes: even a worst-case round robin
+        # yields exactly one completion every q system steps.
+        q, n = 4, 3
+        sim = Simulator(
+            parallel_code(q),
+            AdversarialScheduler.round_robin(),
+            n_processes=n,
+        )
+        result = sim.run(q * n * 10)
+        assert result.total_completions == n * 10
+
+    def test_wait_free_under_adversary(self):
+        # Every process completes under any schedule that runs it: the
+        # starve adversary can still not prevent others from finishing,
+        # and the victim completes as soon as it runs alone.
+        sim = Simulator(
+            parallel_code(2),
+            AdversarialScheduler.starve(victim=0),
+            n_processes=2,
+            crash_times={1: 101},
+        )
+        result = sim.run(200)
+        # After pid 1 crashes, pid 0 is alone and must complete calls.
+        assert result.completions_of(0) > 0

@@ -1,0 +1,127 @@
+"""Tests for the generic SCU(q, s) skeleton (Algorithm 2)."""
+
+import pytest
+
+from repro.algorithms.scu import (
+    Proposal,
+    aux_register,
+    make_scu_memory,
+    scu_algorithm,
+    scu_method,
+)
+from repro.core.scheduler import AdversarialScheduler, UniformStochasticScheduler
+from repro.sim.executor import Simulator
+from repro.sim.ops import CAS, Nop, Read
+
+
+class TestMethodShape:
+    def test_step_sequence_q2_s3(self):
+        gen = scu_method(0, 2, 3)
+        ops = [gen.send(None), gen.send(None)]  # two preamble steps
+        assert all(isinstance(op, Nop) for op in ops)
+        op = gen.send(None)
+        assert op == Read("R")
+        op = gen.send("view")  # decision register read
+        assert op == Read(aux_register(1))
+        op = gen.send(0)
+        assert op == Read(aux_register(2))
+        op = gen.send(0)
+        assert isinstance(op, CAS)
+        assert op.expected == "view"
+        assert isinstance(op.new, Proposal)
+        with pytest.raises(StopIteration) as stop:
+            gen.send(True)
+        assert stop.value.value == op.new
+
+    def test_failed_cas_restarts_scan_not_preamble(self):
+        gen = scu_method(0, 1, 1)
+        assert isinstance(gen.send(None), Nop)   # preamble
+        assert gen.send(None) == Read("R")       # scan
+        op = gen.send("v0")
+        assert isinstance(op, CAS)
+        op = gen.send(False)                     # CAS failed
+        assert op == Read("R")                   # straight back to the scan
+
+    def test_proposals_are_unique_within_call(self):
+        gen = scu_method(3, 0, 1)
+        gen.send(None)
+        cas1 = gen.send("a")
+        gen.send(False)
+        cas2 = gen.send("b")
+        assert cas1.new != cas2.new
+        assert cas1.new.pid == cas2.new.pid == 3
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            list(scu_method(0, -1, 1))
+        with pytest.raises(ValueError):
+            list(scu_method(0, 0, 0))
+
+
+class TestFactory:
+    def test_completions_accumulate(self):
+        sim = Simulator(
+            scu_algorithm(1, 2),
+            UniformStochasticScheduler(),
+            n_processes=4,
+            memory=make_scu_memory(2),
+            rng=0,
+        )
+        result = sim.run(20_000)
+        assert result.total_completions > 0
+        # The committed register holds the last winner's proposal.
+        assert isinstance(result.memory.read("R"), Proposal)
+
+    def test_proposals_unique_across_calls_and_processes(self):
+        sim = Simulator(
+            scu_algorithm(0, 1),
+            UniformStochasticScheduler(),
+            n_processes=3,
+            memory=make_scu_memory(1),
+            record_history=True,
+            rng=1,
+        )
+        result = sim.run(5_000)
+        committed = [r.result for r in result.history.responses]
+        keys = [(p.pid, p.sequence) for p in committed]
+        assert len(keys) == len(set(keys))
+
+    def test_solo_latency_is_q_plus_s_plus_1(self):
+        # Alone: every method call costs exactly q + s + 1 steps.
+        q, s = 3, 2
+        sim = Simulator(
+            scu_algorithm(q, s),
+            UniformStochasticScheduler(),
+            n_processes=1,
+            memory=make_scu_memory(s),
+            rng=0,
+        )
+        result = sim.run((q + s + 1) * 10)
+        assert result.total_completions == 10
+
+    def test_victim_starved_by_spoiler_steps(self):
+        # Drive the simulator so another process always commits between
+        # the victim's read and CAS: the victim never completes.
+        def strategy(time, active):
+            # Two steps for p1 (read+CAS), then two for p0 which commit.
+            return [1, 0, 0, 1][(time - 1) % 4]
+
+        sim = Simulator(
+            scu_algorithm(0, 1),
+            AdversarialScheduler(strategy),
+            n_processes=2,
+            memory=make_scu_memory(1),
+            rng=0,
+        )
+        result = sim.run(4_000)
+        assert result.completions_of(0) > 0
+        assert result.completions_of(1) == 0
+
+
+class TestMemoryBuilder:
+    def test_registers_created(self):
+        memory = make_scu_memory(3, initial="init")
+        assert memory.read("R") == "init"
+        assert aux_register(1) in memory
+        assert aux_register(2) in memory
+        assert aux_register(3) not in memory

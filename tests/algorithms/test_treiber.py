@@ -1,0 +1,129 @@
+"""Tests for the Treiber stack."""
+
+import pytest
+
+from repro.algorithms.treiber import (
+    EMPTY,
+    TreiberWorkload,
+    make_stack_memory,
+    pop_method,
+    push_method,
+    stack_contents,
+    treiber_workload,
+)
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.sim.executor import Simulator
+from repro.sim.ops import CAS, Read
+from repro.sim.process import Completion, Invoke, repeat_method
+
+
+def run_ops(memory, gen):
+    """Drive a single method-call generator to completion, applying ops."""
+    result = None
+    try:
+        op = gen.send(None)
+        while True:
+            op = gen.send(memory.apply(op))
+    except StopIteration as stop:
+        result = stop.value
+    return result
+
+
+class TestSequentialSemantics:
+    def test_push_pop_lifo(self):
+        memory = make_stack_memory()
+        for value in ("a", "b", "c"):
+            run_ops(memory, push_method(0, value))
+        assert stack_contents(memory) == ["c", "b", "a"]
+        assert run_ops(memory, pop_method(0)) == "c"
+        assert run_ops(memory, pop_method(0)) == "b"
+        assert stack_contents(memory) == ["a"]
+
+    def test_pop_empty_returns_sentinel(self):
+        memory = make_stack_memory()
+        assert run_ops(memory, pop_method(0)) is EMPTY
+
+    def test_pop_empty_costs_one_step(self):
+        memory = make_stack_memory()
+        gen = pop_method(0)
+        op = gen.send(None)
+        assert isinstance(op, Read)
+        with pytest.raises(StopIteration):
+            gen.send(memory.apply(op))
+
+    def test_push_retries_on_contention(self):
+        memory = make_stack_memory()
+        gen = push_method(0, "x")
+        op = gen.send(None)          # read top
+        top = memory.apply(op)
+        # Another process pushes in between.
+        run_ops(memory, push_method(1, "intruder"))
+        op = gen.send(top)           # our CAS
+        assert isinstance(op, CAS)
+        result = memory.apply(op)
+        assert result is False       # stale top
+        op = gen.send(result)
+        assert isinstance(op, Read)  # retry loop
+
+
+class TestConcurrentRuns:
+    def test_no_lost_or_duplicated_values(self):
+        workload = TreiberWorkload(push_fraction=0.6, seed=3)
+        sim = Simulator(
+            treiber_workload(workload),
+            UniformStochasticScheduler(),
+            n_processes=5,
+            memory=make_stack_memory(),
+            record_history=True,
+            rng=4,
+        )
+        result = sim.run(30_000)
+        pushed = [
+            r.result for r in result.history.responses if r.method == "push"
+        ]
+        popped = [
+            r.result
+            for r in result.history.responses
+            if r.method == "pop" and r.result is not EMPTY
+        ]
+        remaining = stack_contents(result.memory)
+        # Conservation: everything pushed is either popped or still there
+        # (modulo operations pending at cut-off, which are not in pushed).
+        assert len(set(pushed)) == len(pushed)
+        assert len(set(popped)) == len(popped)
+        assert set(popped).issubset(set(pushed))
+        accounted = set(popped) | set(remaining)
+        missing = set(pushed) - accounted
+        # An element may be held by a pending pop that already CASed it
+        # out... impossible: a successful pop CAS completes the call at the
+        # same step.  Nothing may go missing.
+        assert missing == set()
+
+    def test_progress_under_uniform_scheduler(self):
+        sim = Simulator(
+            treiber_workload(TreiberWorkload(seed=1)),
+            UniformStochasticScheduler(),
+            n_processes=8,
+            memory=make_stack_memory(),
+            rng=0,
+        )
+        result = sim.run(40_000)
+        # Everyone completes operations (practical wait-freedom).
+        for pid in range(8):
+            assert result.completions_of(pid) > 0
+
+    def test_push_fraction_validation(self):
+        with pytest.raises(ValueError):
+            treiber_workload(TreiberWorkload(push_fraction=1.5))
+
+    def test_aba_immunity_with_equal_values(self):
+        # Two nodes with the same payload are distinct objects; a CAS
+        # expecting one never matches the other.
+        memory = make_stack_memory()
+        run_ops(memory, push_method(0, "same"))
+        first = memory.read("stack_top")
+        run_ops(memory, pop_method(0))
+        run_ops(memory, push_method(0, "same"))
+        second = memory.read("stack_top")
+        assert first is not second
+        assert not memory.apply(CAS("stack_top", first, None))

@@ -1,0 +1,95 @@
+"""Tests for Algorithm 1 (unbounded lock-free; Lemma 2)."""
+
+import pytest
+
+from repro.algorithms.unbounded import (
+    make_unbounded_memory,
+    unbounded_lockfree,
+    unbounded_method,
+)
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.sim.executor import Simulator
+from repro.sim.ops import Read, ReadModifyWrite
+
+
+class TestMethod:
+    def test_winning_first_step_completes(self):
+        gen = unbounded_method(0, n_processes=4, initial_v=0)
+        op = gen.send(None)
+        assert isinstance(op, ReadModifyWrite)
+        with pytest.raises(StopIteration) as stop:
+            gen.send(0)  # augmented CAS returned expected value: success
+        assert stop.value.value == 1
+
+    def test_loser_spins_n_squared_v_reads(self):
+        n = 3
+        gen = unbounded_method(0, n_processes=n, initial_v=0)
+        gen.send(None)
+        op = gen.send(5)  # lost: current value is 5
+        spins = 0
+        while isinstance(op, Read):
+            spins += 1
+            op = gen.send(None)
+        assert spins == n * n * 5
+        assert isinstance(op, ReadModifyWrite)  # retries the CAS
+
+    def test_backoff_cap_respected(self):
+        gen = unbounded_method(0, n_processes=10, initial_v=0, backoff_cap=7)
+        gen.send(None)
+        op = gen.send(100)
+        spins = 0
+        while isinstance(op, Read):
+            spins += 1
+            op = gen.send(None)
+        assert spins == 7
+
+
+class TestLemma2Behaviour:
+    def test_first_winner_monopolises(self):
+        # Under the uniform scheduler, with overwhelming probability the
+        # first winner keeps completing and everyone else starves
+        # (Lemma 2: failure probability <= 2 e^{-n}).
+        n = 8
+        sim = Simulator(
+            unbounded_lockfree(n),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            memory=make_unbounded_memory(),
+            rng=0,
+        )
+        result = sim.run(100_000)
+        completions = [result.completions_of(pid) for pid in range(n)]
+        winners = [pid for pid, c in enumerate(completions) if c > 0]
+        assert len(winners) == 1
+        assert completions[winners[0]] > 100
+
+    def test_minimal_progress_is_maintained(self):
+        # Lock-freedom: the system as a whole keeps completing.
+        n = 6
+        sim = Simulator(
+            unbounded_lockfree(n),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            memory=make_unbounded_memory(),
+            rng=1,
+        )
+        result = sim.run(50_000)
+        assert result.total_completions > 50
+
+    def test_losers_take_steps_but_never_finish(self):
+        n = 6
+        sim = Simulator(
+            unbounded_lockfree(n),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            memory=make_unbounded_memory(),
+            rng=2,
+        )
+        result = sim.run(50_000)
+        loser_steps = [
+            sim.processes[pid].steps
+            for pid in range(n)
+            if result.completions_of(pid) == 0
+        ]
+        # Losers are scheduled fairly (they spin), they just never return.
+        assert all(steps > 1_000 for steps in loser_steps)

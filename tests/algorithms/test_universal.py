@@ -1,0 +1,117 @@
+"""Tests for the universal construction."""
+
+import pytest
+
+from repro.algorithms.universal import (
+    UniversalObject,
+    VersionedState,
+    sequential_counter,
+    sequential_stack,
+    universal_workload,
+)
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.sim.executor import Simulator
+
+
+def run_ops(memory, gen):
+    result = None
+    try:
+        op = gen.send(None)
+        while True:
+            op = gen.send(memory.apply(op))
+    except StopIteration as stop:
+        result = stop.value
+    return result
+
+
+class TestSequentialObjects:
+    def test_counter_object(self):
+        obj = sequential_counter()
+        memory = obj.make_memory()
+        assert run_ops(memory, obj.method(0, "inc")) == 0
+        assert run_ops(memory, obj.method(0, "inc")) == 1
+        assert obj.current_state(memory) == 2
+
+    def test_stack_object(self):
+        obj = sequential_stack()
+        memory = obj.make_memory()
+        run_ops(memory, obj.method(0, ("push", "x")))
+        run_ops(memory, obj.method(0, ("push", "y")))
+        assert run_ops(memory, obj.method(0, ("pop",))) == "y"
+        assert obj.current_state(memory) == ("x",)
+
+    def test_stack_pop_empty(self):
+        obj = sequential_stack()
+        memory = obj.make_memory()
+        assert run_ops(memory, obj.method(0, ("pop",))) is None
+
+    def test_stack_unknown_op_rejected(self):
+        obj = sequential_stack()
+        memory = obj.make_memory()
+        with pytest.raises(ValueError, match="unknown stack operation"):
+            run_ops(memory, obj.method(0, ("peek",)))
+
+    def test_versions_increase(self):
+        obj = sequential_counter()
+        memory = obj.make_memory()
+        run_ops(memory, obj.method(0, "inc"))
+        state = memory.read(obj.register)
+        assert isinstance(state, VersionedState)
+        assert state.version == 1
+        assert state.installer == 0
+
+
+class TestConcurrentUniversal:
+    def test_counter_linearizes(self):
+        obj = sequential_counter()
+        sim = Simulator(
+            universal_workload(obj, lambda pid, k: "inc"),
+            UniformStochasticScheduler(),
+            n_processes=5,
+            memory=obj.make_memory(),
+            record_history=True,
+            rng=0,
+        )
+        result = sim.run(20_000)
+        values = [r.result for r in result.history.responses]
+        # Fetch-and-increment semantics: results are exactly 0..k-1.
+        assert sorted(values) == list(range(len(values)))
+        assert obj.current_state(result.memory) == len(values)
+
+    def test_custom_object_applies_operations(self):
+        # A set object: operations add elements; state is a frozenset.
+        obj = UniversalObject(
+            lambda state, op: (state | {op}, op in state), frozenset()
+        )
+        sim = Simulator(
+            universal_workload(obj, lambda pid, k: (pid, k)),
+            UniformStochasticScheduler(),
+            n_processes=3,
+            memory=obj.make_memory(),
+            rng=1,
+        )
+        result = sim.run(5_000)
+        state = obj.current_state(result.memory)
+        assert len(state) == result.total_completions
+
+    def test_pure_apply_preserves_old_state(self):
+        # Concurrent scanners must still see the old state object; the
+        # apply function returns a new tuple rather than mutating.
+        obj = sequential_stack()
+        memory = obj.make_memory()
+        old_state = memory.read(obj.register)
+        run_ops(memory, obj.method(0, ("push", 1)))
+        assert old_state.state == ()  # untouched
+
+    def test_bounded_calls(self):
+        obj = sequential_counter()
+        sim = Simulator(
+            universal_workload(obj, lambda pid, k: "inc", calls=2),
+            UniformStochasticScheduler(),
+            n_processes=2,
+            memory=obj.make_memory(),
+            rng=2,
+        )
+        result = sim.run(1_000)
+        assert result.total_completions == 4
+        assert result.stopped_early

@@ -1,0 +1,95 @@
+"""Tests for the iterated balls-into-bins game."""
+
+import numpy as np
+import pytest
+
+from repro.ballsbins.game import BallsGame
+
+
+class TestInitialConfiguration:
+    def test_one_ball_everywhere(self):
+        game = BallsGame(8, rng=0)
+        assert game.a == 8
+        assert game.b == 0
+        assert np.all(game.balls == 1)
+
+    def test_invalid_size(self):
+        with pytest.raises(ValueError):
+            BallsGame(0)
+
+
+class TestThrowAndReset:
+    def test_no_reset_below_three(self):
+        game = BallsGame(1, rng=0)
+        assert game.throw() is None  # 2 balls: no reset yet
+        record = game.throw()        # 3 balls: reset
+        assert record is not None
+        assert record.length == 2
+        assert record.winner == 0
+
+    def test_reset_restores_invariant(self):
+        # After a reset, every bin holds 0 or 1 balls and the winner 1.
+        game = BallsGame(10, rng=1)
+        record = game.run_phase()
+        assert set(np.unique(game.balls)) <= {0, 1}
+        assert game.balls[record.winner] == 1
+        assert game.a + game.b == 10
+
+    def test_phase_records_start_configuration(self):
+        game = BallsGame(6, rng=2)
+        first = game.run_phase()
+        assert first.a == 6
+        assert first.b == 0
+        second = game.run_phase()
+        assert second.a + second.b == 6
+        assert second.index == 1
+
+    def test_counters(self):
+        game = BallsGame(4, rng=3)
+        game.run_phase()
+        game.run_phase()
+        assert game.resets == 2
+        assert game.throws >= 4
+
+    def test_deterministic_under_seed(self):
+        lengths_a = [BallsGame(5, rng=42).run_phase().length for _ in range(1)]
+        lengths_b = [BallsGame(5, rng=42).run_phase().length for _ in range(1)]
+        assert lengths_a == lengths_b
+
+
+class TestForcedConfiguration:
+    def test_set_configuration(self):
+        game = BallsGame(10, rng=0)
+        game.set_configuration(a=4, b=6)
+        assert game.a == 4
+        assert game.b == 6
+
+    def test_set_configuration_with_two_ball_bins(self):
+        game = BallsGame(10, rng=0)
+        game.set_configuration(a=4, b=2)
+        assert int(np.count_nonzero(game.balls == 2)) == 4
+
+    def test_validation(self):
+        game = BallsGame(4, rng=0)
+        with pytest.raises(ValueError):
+            game.set_configuration(a=3, b=3)
+
+    def test_run_phase_guard(self):
+        game = BallsGame(3, rng=0)
+        with pytest.raises(ArithmeticError):
+            # Impossible to finish in 0 throws.
+            game.run_phase(max_throws=0)
+
+
+class TestSystemChainCorrespondence:
+    def test_mean_phase_length_matches_scu_latency(self):
+        # The game *is* the system chain of SCU(0,1): the mean phase
+        # length equals the exact system latency.
+        from repro.chains.scu import scu_system_latency_exact
+
+        n = 12
+        game = BallsGame(n, rng=7)
+        lengths = [game.run_phase().length for _ in range(30_000)]
+        assert np.mean(lengths) == pytest.approx(
+            scu_system_latency_exact(n), rel=0.03
+        )

@@ -1,0 +1,112 @@
+"""Tests for phase statistics (Lemmas 8-9)."""
+
+import numpy as np
+import pytest
+
+from repro.ballsbins.game import BallsGame
+from repro.ballsbins.phases import (
+    conditional_phase_lengths,
+    phase_length_bound,
+    range_of,
+    run_phases,
+    summarize_phases,
+)
+
+
+class TestBoundFormula:
+    def test_min_of_two_terms(self):
+        n, a, b = 100, 25, 75
+        expected = min(2 * 4 * n / np.sqrt(a), 3 * 4 * n / b ** (1 / 3))
+        assert phase_length_bound(n, a, b) == pytest.approx(expected)
+
+    def test_degenerate_b_zero(self):
+        assert phase_length_bound(100, 100, 0) == pytest.approx(
+            2 * 4 * 100 / 10.0
+        )
+
+    def test_degenerate_a_zero(self):
+        assert phase_length_bound(100, 0, 100) == pytest.approx(
+            3 * 4 * 100 / 100 ** (1 / 3)
+        )
+
+    def test_both_zero_rejected(self):
+        with pytest.raises(ValueError):
+            phase_length_bound(100, 0, 0)
+
+
+class TestRanges:
+    def test_range_boundaries(self):
+        n = 30
+        assert range_of(30, n) == 1
+        assert range_of(10, n) == 1   # n/3 boundary inclusive
+        assert range_of(9, n) == 2
+        assert range_of(3, n) == 2    # n/c boundary inclusive (c=10)
+        assert range_of(2, n) == 3
+        assert range_of(0, n) == 3
+
+
+class TestPhaseRuns:
+    def test_run_phases_count(self):
+        records = run_phases(10, 50, rng=0)
+        assert len(records) == 50
+        assert [r.index for r in records] == list(range(50))
+
+    def test_lemma8_expected_length(self):
+        # Mean phase length conditioned on the start configuration stays
+        # below Lemma 8's expectation bound.
+        n = 64
+        records = run_phases(n, 5_000, rng=1)
+        by_a = {}
+        for r in records:
+            by_a.setdefault(r.a, []).append(r.length)
+        for a, lengths in by_a.items():
+            if len(lengths) < 50:
+                continue
+            bound = phase_length_bound(n, a, n - a)
+            assert np.mean(lengths) <= bound
+
+    def test_lemma9_third_range_is_rare(self):
+        # The system drifts away from a_i < n/c: almost no phase starts
+        # in the third range at stationarity.
+        n = 50
+        records = run_phases(n, 5_000, rng=2)
+        summary = summarize_phases(records, n)
+        assert summary.range_fractions[3] < 0.01
+
+    def test_summary_fields(self):
+        n = 20
+        records = run_phases(n, 500, rng=3)
+        summary = summarize_phases(records, n)
+        assert summary.phases == 500
+        assert summary.mean_a + summary.mean_b == pytest.approx(n)
+        assert summary.max_length >= summary.mean_length
+        assert sum(summary.range_fractions.values()) == pytest.approx(1.0)
+
+    def test_high_probability_bound_rarely_violated(self):
+        n = 64
+        records = run_phases(n, 3_000, rng=4)
+        summary = summarize_phases(records, n)
+        assert summary.bound_violations / summary.phases < 0.01
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_phases([], 10)
+
+
+class TestConditionalLengths:
+    def test_larger_a_means_shorter_phase(self):
+        # Lemma 8: phase length scales like n / sqrt(a) when a dominates.
+        n = 100
+        short = conditional_phase_lengths(n, a=100, samples=2_000, rng=5).mean()
+        long = conditional_phase_lengths(n, a=16, samples=2_000, rng=6).mean()
+        assert short < long
+
+    def test_birthday_scaling_in_a(self):
+        # With b = n - a empty bins, completing from A requires ~sqrt(a)
+        # hits in A at rate a/n: expect ~2 n/sqrt(a) up to constants.
+        n = 144
+        means = {}
+        for a in (36, 144):
+            means[a] = conditional_phase_lengths(n, a, 3_000, rng=7).mean()
+        # Quadrupling a should halve the length, within tolerance.
+        assert means[36] / means[144] == pytest.approx(2.0, rel=0.35)

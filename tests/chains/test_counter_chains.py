@@ -1,0 +1,121 @@
+"""Tests for the augmented-CAS counter chains (Section 7)."""
+
+import numpy as np
+import pytest
+
+from repro.chains.counter import (
+    counter_global_chain,
+    counter_individual_chain,
+    counter_individual_latency_exact,
+    counter_lifting,
+    counter_lifting_map,
+    counter_system_latency_exact,
+    winning_state_probabilities,
+)
+from repro.markov.hitting import expected_return_time
+from repro.markov.properties import is_ergodic
+from repro.markov.stationary import stationary_distribution
+from repro.stats.ramanujan import counter_return_times, ramanujan_q
+
+
+class TestIndividualChain:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6])
+    def test_state_count_is_2n_minus_1(self, n):
+        assert counter_individual_chain(n).n_states == 2**n - 1
+
+    def test_empty_set_absent(self):
+        assert frozenset() not in counter_individual_chain(3)
+
+    def test_transitions(self):
+        chain = counter_individual_chain(2)
+        both = frozenset([0, 1])
+        succ = chain.successors(both)
+        # Either process wins -> its singleton.
+        assert succ == {frozenset([0]): 0.5, frozenset([1]): 0.5}
+        # From a winning state: winner re-wins (self-loop) or the other
+        # joins.
+        succ = chain.successors(frozenset([0]))
+        assert succ == {frozenset([0]): 0.5, both: 0.5}
+
+    def test_winning_states_have_self_loops(self):
+        chain = counter_individual_chain(3)
+        for pid in range(3):
+            state = frozenset([pid])
+            assert chain.probability(state, state) == pytest.approx(1 / 3)
+
+    def test_ergodic(self):
+        assert is_ergodic(counter_individual_chain(4))
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="too large"):
+            counter_individual_chain(25)
+
+
+class TestGlobalChain:
+    def test_states_are_sizes(self):
+        chain = counter_global_chain(5)
+        assert set(chain.states) == {1, 2, 3, 4, 5}
+
+    def test_transition_structure(self):
+        n = 4
+        chain = counter_global_chain(n)
+        for i in range(1, n):
+            succ = chain.successors(i)
+            assert succ[1] == pytest.approx(i / n)
+            assert succ[i + 1] == pytest.approx(1 - i / n)
+        assert chain.successors(n) == {1: 1.0}
+
+    def test_only_state_one_self_loops(self):
+        chain = counter_global_chain(4)
+        assert chain.probability(1, 1) > 0
+        for i in (2, 3, 4):
+            assert chain.probability(i, i) == 0.0
+
+
+class TestLemma12:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8, 12])
+    def test_return_time_matches_recurrence(self, n):
+        chain = counter_global_chain(n)
+        via_chain = expected_return_time(chain, 1)
+        via_recurrence = counter_return_times(n)[-1]
+        assert via_chain == pytest.approx(via_recurrence, rel=1e-9)
+
+    @pytest.mark.parametrize("n", [2, 4, 9, 16, 64, 256])
+    def test_bound_two_sqrt_n(self, n):
+        assert counter_return_times(n)[-1] <= 2 * np.sqrt(n)
+
+    @pytest.mark.parametrize("n", [2, 5, 10, 50])
+    def test_equals_ramanujan_q(self, n):
+        assert counter_return_times(n)[-1] == pytest.approx(
+            ramanujan_q(n), rel=1e-12
+        )
+
+    def test_system_latency_equals_return_time(self):
+        for n in (2, 4, 7):
+            assert counter_system_latency_exact(n) == pytest.approx(
+                counter_return_times(n)[-1], rel=1e-9
+            )
+
+
+class TestLemma13And14:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_lifting_verifies(self, n):
+        assert counter_lifting(n).verify().is_lifting
+
+    def test_lifting_map(self):
+        assert counter_lifting_map(frozenset([0, 2, 5])) == 3
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_individual_is_n_times_system(self, n):
+        assert counter_individual_latency_exact(n) == pytest.approx(
+            n * counter_system_latency_exact(n), rel=1e-9
+        )
+
+    def test_winning_states_equiprobable(self):
+        # Lemma 14: pi'_{s_{p_i}} = pi_1 / n for all i.
+        n = 5
+        probs = winning_state_probabilities(n)
+        assert np.allclose(probs, probs[0])
+        global_pi = stationary_distribution(counter_global_chain(n))
+        pi_1 = global_pi[counter_global_chain(n).index_of(1)]
+        assert probs[0] == pytest.approx(pi_1 / n, rel=1e-9)

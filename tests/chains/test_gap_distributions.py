@@ -1,0 +1,154 @@
+"""Tests for the exact completion-gap distributions (repro.chains.gaps)
+and the phase-type machinery behind them."""
+
+import numpy as np
+import pytest
+
+from repro.chains.counter import counter_system_latency_exact
+from repro.chains.gaps import (
+    counter_gap_mean,
+    counter_gap_pmf,
+    counter_gap_quantile,
+    scu_gap_mean,
+    scu_gap_pmf,
+    scu_gap_quantile,
+)
+from repro.chains.scu import scu_system_latency_exact
+from repro.markov.phasetype import (
+    phase_type_mean,
+    phase_type_pmf,
+    phase_type_quantile,
+    phase_type_survival,
+    validate_phase_type,
+)
+
+
+class TestPhaseTypeMachinery:
+    def geometric(self, p):
+        # One transient state; absorb with probability p.
+        return np.array([1.0]), np.array([[1.0 - p]]), np.array([p])
+
+    def test_geometric_pmf(self):
+        start, sub, mark = self.geometric(0.25)
+        pmf = phase_type_pmf(start, sub, mark, 5)
+        expected = [0.25 * 0.75**k for k in range(5)]
+        assert np.allclose(pmf, expected)
+
+    def test_geometric_mean(self):
+        start, sub, mark = self.geometric(0.2)
+        assert phase_type_mean(start, sub, mark) == pytest.approx(5.0)
+
+    def test_survival_complements_pmf(self):
+        start, sub, mark = self.geometric(0.3)
+        survival = phase_type_survival(start, sub, mark, 4)
+        pmf = phase_type_pmf(start, sub, mark, 10)
+        for k in range(4):
+            assert survival[k] == pytest.approx(1.0 - pmf[:k].sum())
+
+    def test_quantile(self):
+        start, sub, mark = self.geometric(0.5)
+        assert phase_type_quantile(start, sub, mark, 0.5) == 1
+        assert phase_type_quantile(start, sub, mark, 0.9) == 4  # 1-0.5^4=0.9375
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="row-stochastic"):
+            validate_phase_type(
+                np.array([1.0]), np.array([[0.5]]), np.array([0.1])
+            )
+        with pytest.raises(ValueError, match="probability vector"):
+            validate_phase_type(
+                np.array([0.5]), np.array([[0.5]]), np.array([0.5])
+            )
+        with pytest.raises(ValueError, match="q must"):
+            phase_type_quantile(np.array([1.0]), np.array([[0.5]]),
+                                np.array([0.5]), 1.5)
+
+
+class TestCounterGaps:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_mean_equals_z(self, n):
+        assert counter_gap_mean(n) == pytest.approx(
+            counter_system_latency_exact(n), rel=1e-9
+        )
+
+    def test_pmf_sums_to_one(self):
+        pmf = counter_gap_pmf(6, 500)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_gap_one_probability(self):
+        # P(gap = 1): from state 1 the next step completes w.p. 1/n.
+        n = 5
+        pmf = counter_gap_pmf(n, 3)
+        assert pmf[0] == pytest.approx(1.0 / n)
+
+    def test_quantiles_ordered(self):
+        n = 16
+        q50 = counter_gap_quantile(n, 0.5)
+        q99 = counter_gap_quantile(n, 0.99)
+        assert q50 < q99
+        # A light tail: p99 within a small multiple of the mean.
+        assert q99 < 6 * counter_gap_mean(n)
+
+    def test_matches_simulation(self):
+        from repro.algorithms.augmented_counter import (
+            augmented_cas_counter,
+            make_augmented_counter_memory,
+        )
+        from repro.core.scheduler import UniformStochasticScheduler
+        from repro.sim.executor import Simulator
+
+        n = 6
+        sim = Simulator(
+            augmented_cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            memory=make_augmented_counter_memory(),
+            rng=0,
+        )
+        sim.run(200_000)
+        times = np.asarray(sim.recorder.completion_times)
+        gaps = np.diff(times[times > 20_000])
+        pmf = counter_gap_pmf(n, 12)
+        for k in range(1, 6):
+            empirical = float(np.mean(gaps == k))
+            assert empirical == pytest.approx(pmf[k - 1], abs=0.02)
+
+
+class TestScanValidateGaps:
+    @pytest.mark.parametrize("n", [2, 4, 8, 16])
+    def test_mean_equals_system_latency(self, n):
+        assert scu_gap_mean(n) == pytest.approx(
+            scu_system_latency_exact(n), rel=1e-9
+        )
+
+    def test_pmf_sums_to_one(self):
+        pmf = scu_gap_pmf(5, 2_000)
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)
+
+    def test_quantile_tail_light(self):
+        n = 16
+        q99 = scu_gap_quantile(n, 0.99)
+        assert q99 < 8 * scu_gap_mean(n)
+
+    def test_matches_simulation(self):
+        from repro.core.scu import SCU
+
+        n = 5
+        spec = SCU(0, 1)
+        from repro.core.scheduler import UniformStochasticScheduler
+        from repro.sim.executor import Simulator
+
+        sim = Simulator(
+            spec.factory(),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            memory=spec.memory(),
+            rng=1,
+        )
+        sim.run(200_000)
+        times = np.asarray(sim.recorder.completion_times)
+        gaps = np.diff(times[times > 20_000])
+        pmf = scu_gap_pmf(n, 12)
+        for k in range(1, 8):
+            empirical = float(np.mean(gaps == k))
+            assert empirical == pytest.approx(pmf[k - 1], abs=0.02)

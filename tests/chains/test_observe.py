@@ -1,0 +1,100 @@
+"""Tests bridging simulated trajectories and the paper's chains,
+state by state (repro.chains.observe)."""
+
+import numpy as np
+import pytest
+
+from repro.chains.observe import scu_extended_state, scu_system_state
+from repro.chains.scu import (
+    CCAS,
+    OLD_CAS,
+    READ,
+    scu_individual_chain,
+    scu_system_chain,
+)
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.core.scu import SCU
+from repro.markov.stationary import stationary_distribution
+from repro.sim.executor import Simulator
+
+
+def make_sim(n, rng=0):
+    spec = SCU(0, 1)
+    return Simulator(
+        spec.factory(),
+        UniformStochasticScheduler(),
+        n_processes=n,
+        memory=spec.memory(),
+        rng=rng,
+    )
+
+
+class TestObserver:
+    def test_initial_state_all_read(self):
+        sim = make_sim(3)
+        sim.step()  # priming happens on first step; observe after it
+        state = scu_extended_state(sim)
+        # After one step, exactly one process has read: one CCAS.
+        assert state.count(CCAS) == 1
+        assert state.count(READ) == 2
+
+    def test_non_scu_run_rejected(self):
+        from repro.algorithms.parallel import parallel_code
+
+        sim = Simulator(
+            parallel_code(2),
+            UniformStochasticScheduler(),
+            n_processes=2,
+            rng=0,
+        )
+        sim.step()
+        with pytest.raises(ValueError, match="not an"):
+            scu_extended_state(sim)
+
+    def test_system_state_counts(self):
+        sim = make_sim(4)
+        for _ in range(50):
+            sim.step()
+        a, b = scu_system_state(sim)
+        extended = scu_extended_state(sim)
+        assert a == extended.count(READ)
+        assert b == extended.count(OLD_CAS)
+
+
+class TestTrajectoryMatchesChain:
+    def test_observed_transitions_are_chain_transitions(self):
+        n = 3
+        chain = scu_individual_chain(n)
+        sim = make_sim(n, rng=1)
+        sim.step()
+        previous = scu_extended_state(sim)
+        for _ in range(300):
+            sim.step()
+            current = scu_extended_state(sim)
+            assert chain.probability(previous, current) > 0
+            previous = current
+
+    def test_occupancy_matches_stationary_distribution(self):
+        n = 4
+        chain = scu_system_chain(n)
+        pi = stationary_distribution(chain)
+        sim = make_sim(n, rng=2)
+        counts = {state: 0 for state in chain.states}
+        total = 60_000
+        burn_in = 5_000
+        for t in range(total):
+            sim.step()
+            if t >= burn_in:
+                counts[scu_system_state(sim)] += 1
+        observed = np.array(
+            [counts[state] / (total - burn_in) for state in chain.states]
+        )
+        assert 0.5 * np.abs(observed - pi).sum() < 0.02
+
+    def test_forbidden_state_never_observed(self):
+        n = 3
+        sim = make_sim(n, rng=3)
+        for _ in range(2_000):
+            sim.step()
+            state = scu_extended_state(sim)
+            assert state != tuple([OLD_CAS] * n)

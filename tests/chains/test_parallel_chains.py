@@ -1,0 +1,82 @@
+"""Tests for the parallel-code chains (Section 6.2)."""
+
+import numpy as np
+import pytest
+
+from repro.chains.parallel import (
+    parallel_individual_chain,
+    parallel_individual_latency_exact,
+    parallel_lifting,
+    parallel_lifting_map,
+    parallel_system_chain,
+    parallel_system_latency_exact,
+)
+from repro.markov.properties import is_irreducible, period
+from repro.markov.stationary import stationary_distribution
+
+
+class TestIndividualChain:
+    def test_state_count(self):
+        assert parallel_individual_chain(3, 4).n_states == 4**3
+
+    def test_stationary_is_uniform(self):
+        # The chain is doubly stochastic (Lemma 11's key observation).
+        chain = parallel_individual_chain(2, 3)
+        pi = stationary_distribution(chain)
+        assert np.allclose(pi, 1.0 / chain.n_states)
+
+    def test_q1_is_single_state(self):
+        chain = parallel_individual_chain(3, 1)
+        assert chain.n_states == 1
+
+    def test_irreducible(self):
+        assert is_irreducible(parallel_individual_chain(2, 4))
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="too large"):
+            parallel_individual_chain(10, 10)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            parallel_individual_chain(0, 3)
+
+
+class TestSystemChain:
+    def test_state_count_is_compositions(self):
+        # Weak compositions of n into q parts: C(n + q - 1, q - 1).
+        from math import comb
+
+        n, q = 4, 3
+        chain = parallel_system_chain(n, q)
+        assert chain.n_states == comb(n + q - 1, q - 1)
+
+    def test_histogram_conservation(self):
+        chain = parallel_system_chain(3, 4)
+        for state in chain.states:
+            assert sum(state) == 3
+
+    def test_irreducible_with_period_q(self):
+        # Reproduction finding: the paper says M_I and M_S are ergodic,
+        # but the sum of all counters advances by exactly 1 mod q each
+        # step, making both chains periodic with period q.  Lemma 11's
+        # conclusions only need irreducibility (unique stationary
+        # distribution and return-time identity), which holds.
+        chain = parallel_system_chain(3, 3)
+        assert is_irreducible(chain)
+        assert period(chain, chain.states[0]) == 3
+
+
+class TestLiftingAndLatency:
+    def test_lifting_map(self):
+        assert parallel_lifting_map((0, 2, 2, 1), 3) == (1, 1, 2)
+
+    @pytest.mark.parametrize("n,q", [(2, 3), (3, 2), (4, 3)])
+    def test_lifting_verifies(self, n, q):
+        assert parallel_lifting(n, q).verify().is_lifting
+
+    @pytest.mark.parametrize("n,q", [(2, 2), (3, 4), (5, 3), (4, 6)])
+    def test_lemma11_exact_values(self, n, q):
+        assert parallel_system_latency_exact(n, q) == pytest.approx(q, rel=1e-9)
+        assert parallel_individual_latency_exact(n, q) == pytest.approx(
+            n * q, rel=1e-9
+        )

@@ -1,0 +1,264 @@
+"""Tests for the scan-validate chains (Section 6.1)."""
+
+import numpy as np
+import pytest
+
+from repro.chains.scu import (
+    CCAS,
+    OLD_CAS,
+    READ,
+    scu_full_system_chain,
+    scu_full_system_latency_exact,
+    scu_individual_chain,
+    scu_individual_latency_exact,
+    scu_lifting,
+    scu_lifting_map,
+    scu_phases,
+    scu_success_probability,
+    scu_system_chain,
+    scu_system_latency_exact,
+)
+from repro.markov.properties import is_ergodic, is_irreducible, period
+from repro.markov.stationary import stationary_distribution
+
+
+class TestIndividualChain:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5])
+    def test_state_count_is_3n_minus_1(self, n):
+        chain = scu_individual_chain(n)
+        assert chain.n_states == 3**n - 1
+
+    def test_all_old_cas_state_absent(self):
+        chain = scu_individual_chain(3)
+        assert (OLD_CAS, OLD_CAS, OLD_CAS) not in chain
+
+    def test_transitions_follow_paper_rules(self):
+        chain = scu_individual_chain(2)
+        # From (Read, Read): either process reads -> CCAS.
+        succ = chain.successors((READ, READ))
+        assert succ == {(CCAS, READ): 0.5, (READ, CCAS): 0.5}
+        # From (CCAS, CCAS): a success turns the other into OldCAS.
+        succ = chain.successors((CCAS, CCAS))
+        assert succ == {(READ, OLD_CAS): 0.5, (OLD_CAS, READ): 0.5}
+        # OldCAS fails and moves to Read.
+        succ = chain.successors((OLD_CAS, READ))
+        assert (READ, READ) in succ
+
+    def test_irreducible_but_period_two(self):
+        # Reproduction finding: the paper's Lemma 3 claims ergodicity, but
+        # every step flips the parity of the number of Read processes, so
+        # the chain is periodic with period 2.  Irreducibility (hence a
+        # unique stationary distribution) is what actually holds.
+        chain = scu_individual_chain(3)
+        assert is_irreducible(chain)
+        assert period(chain, chain.states[0]) == 2
+
+    def test_n_too_large_rejected(self):
+        with pytest.raises(ValueError, match="too large"):
+            scu_individual_chain(20)
+
+    def test_symmetry_of_stationary(self):
+        # Lemma 6: states equal up to permuting pids have equal mass.
+        chain = scu_individual_chain(3)
+        pi = stationary_distribution(chain)
+        mass = {s: p for s, p in zip(chain.states, pi)}
+        assert mass[(READ, CCAS, CCAS)] == pytest.approx(
+            mass[(CCAS, READ, CCAS)], rel=1e-9
+        )
+        assert mass[(OLD_CAS, READ, CCAS)] == pytest.approx(
+            mass[(CCAS, OLD_CAS, READ)], rel=1e-9
+        )
+
+
+class TestSystemChain:
+    def test_initial_state_reachable_set(self):
+        chain = scu_system_chain(2)
+        # States: (2,0), (1,0), (0,0), (1,1), (0,1) — not (0,2).
+        assert set(chain.states) == {(2, 0), (1, 0), (0, 0), (1, 1), (0, 1)}
+
+    def test_transition_probabilities_n2(self):
+        chain = scu_system_chain(2)
+        assert chain.successors((0, 0)) == {(1, 1): 1.0}
+        assert chain.successors((1, 1)) == {(0, 1): 0.5, (2, 0): 0.5}
+        assert chain.successors((0, 1)) == {(1, 1): 0.5, (1, 0): 0.5}
+        assert chain.successors((2, 0)) == {(1, 0): 1.0}
+
+    def test_irreducible_but_period_two(self):
+        # See the individual-chain test: period 2, not ergodic (a
+        # correction to the paper's Lemma 3).
+        chain = scu_system_chain(4)
+        assert is_irreducible(chain)
+        assert period(chain, chain.states[0]) == 2
+
+    def test_forbidden_state_absent(self):
+        for n in (2, 3, 5):
+            assert (0, n) not in scu_system_chain(n)
+
+
+class TestLifting:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_lifting_map_counts(self, n):
+        chain = scu_individual_chain(n)
+        for state in chain.states:
+            a, b = scu_lifting_map(state)
+            assert a == sum(1 for x in state if x == READ)
+            assert b == sum(1 for x in state if x == OLD_CAS)
+
+    def test_lifting_verifies(self):
+        report = scu_lifting(4).verify()
+        assert report.is_lifting
+
+
+class TestLatencies:
+    def test_n1_latency_is_two(self):
+        # A lone process completes every read+CAS pair.
+        assert scu_system_latency_exact(1) == pytest.approx(2.0)
+
+    def test_success_probability_inverse(self):
+        n = 5
+        mu = scu_success_probability(n)
+        assert scu_system_latency_exact(n) == pytest.approx(1.0 / mu)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 6])
+    def test_individual_equals_n_times_system(self, n):
+        # Lemma 7, computed from both chains independently.
+        w_system = scu_system_latency_exact(n)
+        w_individual = scu_individual_latency_exact(n)
+        assert w_individual == pytest.approx(n * w_system, rel=1e-9)
+
+    def test_sqrt_n_shape(self):
+        # Theorem 5: W grows like sqrt(n); check the ratio W / sqrt(n)
+        # stays within a narrow constant band.
+        ratios = [
+            scu_system_latency_exact(n) / np.sqrt(n) for n in (16, 64, 144, 256)
+        ]
+        assert max(ratios) / min(ratios) < 1.25
+        assert all(1.0 < r < 3.0 for r in ratios)
+
+
+class TestStationaryProfile:
+    def test_half_the_processes_are_reading(self):
+        # Exact flow balance: a decreases only on Read steps (rate a/n)
+        # and increases on OldCAS and success steps (rate (b + c)/n), so
+        # E[a] = n/2 exactly at stationarity.
+        from repro.chains.scu import scu_stationary_profile
+
+        for n in (2, 5, 16, 50):
+            profile = scu_stationary_profile(n)
+            assert profile["read"] == pytest.approx(0.5, abs=1e-9)
+
+    def test_ccas_fraction_shrinks_like_inverse_sqrt_n(self):
+        from repro.chains.scu import scu_stationary_profile
+
+        constants = [
+            scu_stationary_profile(n)["ccas"] * np.sqrt(n)
+            for n in (16, 64, 256)
+        ]
+        assert max(constants) / min(constants) < 1.1
+        assert all(0.4 < c < 0.7 for c in constants)
+
+    def test_profile_sums_to_one(self):
+        from repro.chains.scu import scu_stationary_profile
+
+        profile = scu_stationary_profile(10)
+        assert sum(profile.values()) == pytest.approx(1.0)
+
+    def test_profile_consistent_with_latency(self):
+        # mu = E[c] / n, so W = n / E[c] must equal the exact latency.
+        from repro.chains.scu import scu_stationary_profile
+
+        n = 20
+        profile = scu_stationary_profile(n)
+        assert 1.0 / profile["ccas"] / n == pytest.approx(
+            scu_system_latency_exact(n) / n, rel=1e-9
+        )
+
+
+class TestFullChain:
+    def test_phases_enumeration(self):
+        phases = scu_phases(2, 2)
+        assert phases == [
+            ("P", 1),
+            ("P", 2),
+            ("S", 1, True),
+            ("S", 2, True),
+            ("S", 2, False),
+            ("C", True),
+            ("C", False),
+        ]
+
+    def test_q0_s1_matches_simple_system_chain(self):
+        for n in (2, 3, 5):
+            simple = scu_system_latency_exact(n)
+            full = scu_full_system_latency_exact(n, 0, 1)
+            assert full == pytest.approx(simple, rel=1e-9)
+
+    def test_s0_equivalent_not_allowed(self):
+        with pytest.raises(ValueError):
+            scu_phases(0, 0)
+
+    def test_full_chain_periodicity_depends_on_parameters(self):
+        # With q = 1, s = 2 a successful method call costs 4 steps and a
+        # failed loop 3, so cycles of coprime lengths exist: aperiodic.
+        assert is_ergodic(scu_full_system_chain(3, 1, 2))
+        # With q = 0, s = 1 the chain is the scan-validate chain: period 2.
+        chain = scu_full_system_chain(3, 0, 1)
+        assert period(chain, chain.states[0]) == 2
+
+    def test_latency_increases_with_q(self):
+        n = 4
+        w0 = scu_full_system_latency_exact(n, 0, 1)
+        w2 = scu_full_system_latency_exact(n, 2, 1)
+        assert w2 > w0 + 1.0  # preamble adds at least its own length
+
+    def test_latency_increases_with_s(self):
+        n = 4
+        w1 = scu_full_system_latency_exact(n, 0, 1)
+        w3 = scu_full_system_latency_exact(n, 0, 3)
+        assert w3 > w1
+
+    def test_full_individual_chain_state_count(self):
+        from repro.chains.scu import scu_full_individual_chain, scu_phases
+
+        n, q, s = 2, 1, 1
+        chain = scu_full_individual_chain(n, q, s)
+        # Not all (q+2s+1)^n assignments are reachable (e.g. everybody
+        # stale), but the chain is a subset of them.
+        assert chain.n_states <= len(scu_phases(q, s)) ** n
+
+    @pytest.mark.parametrize("n,q,s", [(2, 1, 1), (3, 1, 1), (3, 0, 2)])
+    def test_full_lifting_verifies(self, n, q, s):
+        # Extends Lemma 5's lifting to the whole class SCU(q, s).
+        from repro.chains.scu import scu_full_lifting
+
+        report = scu_full_lifting(n, q, s).verify()
+        assert report.is_lifting
+        assert report.max_flow_error < 1e-10
+
+    @pytest.mark.parametrize("n,q,s", [(2, 1, 1), (3, 1, 1), (3, 0, 2), (2, 2, 2)])
+    def test_full_fairness_exact(self, n, q, s):
+        # Extends Lemma 7's W_i = n W to the whole class, computed
+        # directly from the exponential individual chain.
+        from repro.chains.scu import (
+            scu_full_individual_latency_exact,
+            scu_full_system_latency_exact,
+        )
+
+        wi = scu_full_individual_latency_exact(n, q, s)
+        w = scu_full_system_latency_exact(n, q, s)
+        assert wi == pytest.approx(n * w, rel=1e-9)
+
+    def test_full_individual_chain_size_guard(self):
+        from repro.chains.scu import scu_full_individual_chain
+
+        with pytest.raises(ValueError, match="too large"):
+            scu_full_individual_chain(10, 5, 5)
+
+    def test_theorem4_shape_in_q(self):
+        # For fixed s, W - q should be roughly constant in q (the preamble
+        # contributes additively).
+        n = 4
+        deltas = [
+            scu_full_system_latency_exact(n, q, 1) - q for q in (0, 2, 4)
+        ]
+        assert max(deltas) - min(deltas) < 1.5

@@ -1,0 +1,82 @@
+"""Tests for the non-uniform-scheduler chains (repro.chains.weighted)."""
+
+import numpy as np
+import pytest
+
+from repro.chains.counter import counter_system_latency_exact
+from repro.chains.scu import scu_individual_latency_exact, scu_system_latency_exact
+from repro.chains.weighted import (
+    counter_weighted_latencies,
+    scu_weighted_individual_chain,
+    scu_weighted_latencies,
+)
+
+
+class TestReductionToUniform:
+    @pytest.mark.parametrize("n", [2, 3, 4])
+    def test_scu_uniform_weights_match_symmetric_chain(self, n):
+        w_system, individual = scu_weighted_latencies([1.0] * n)
+        assert w_system == pytest.approx(scu_system_latency_exact(n), rel=1e-9)
+        for pid in range(n):
+            assert individual[pid] == pytest.approx(
+                scu_individual_latency_exact(n, pid), rel=1e-9
+            )
+
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_counter_uniform_weights_match(self, n):
+        w_system, individual = counter_weighted_latencies([1.0] * n)
+        assert w_system == pytest.approx(counter_system_latency_exact(n), rel=1e-9)
+        assert individual[0] == pytest.approx(n * w_system, rel=1e-9)
+
+    def test_weights_scale_invariant(self):
+        a = scu_weighted_latencies([1.0, 2.0, 3.0])
+        b = scu_weighted_latencies([10.0, 20.0, 30.0])
+        assert a[0] == pytest.approx(b[0], rel=1e-9)
+
+
+class TestSkewEffects:
+    def test_slow_process_pays_superlinearly(self):
+        # Halving a process's weight more than doubles its latency:
+        # rarer CAS attempts are also more likely to be invalidated.
+        _, uniform = scu_weighted_latencies([1.0, 1.0, 1.0, 1.0])
+        _, skewed = scu_weighted_latencies([1.0, 1.0, 1.0, 0.5])
+        assert skewed[3] > 2.0 * uniform[3]
+
+    def test_system_latency_robust_to_mild_skew(self):
+        w_uniform, _ = scu_weighted_latencies([1.0] * 4)
+        w_skewed, _ = scu_weighted_latencies([1.2, 1.1, 0.9, 0.8])
+        assert abs(w_skewed - w_uniform) / w_uniform < 0.05
+
+    def test_fast_process_gains(self):
+        _, latencies = counter_weighted_latencies([2.0, 1.0, 1.0])
+        assert latencies[0] < latencies[1]
+        assert latencies[1] == pytest.approx(latencies[2], rel=1e-9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            scu_weighted_latencies([1.0, 0.0])
+        with pytest.raises(ValueError, match="non-empty"):
+            scu_weighted_latencies([])
+        with pytest.raises(ValueError, match="too large"):
+            scu_weighted_latencies([1.0] * 13)
+
+
+class TestAgreementWithSimulation:
+    def test_weighted_chain_matches_skewed_simulation(self):
+        from repro.algorithms.counter import cas_counter, make_counter_memory
+        from repro.core.latency import measure_latencies
+        from repro.core.scheduler import SkewedStochasticScheduler
+
+        weights = [2.0, 1.0, 1.0]
+        w_exact, individual_exact = scu_weighted_latencies(weights)
+        m = measure_latencies(
+            cas_counter(),
+            SkewedStochasticScheduler(weights),
+            n_processes=3,
+            steps=400_000,
+            memory=make_counter_memory(),
+            rng=0,
+        )
+        assert m.system_latency == pytest.approx(w_exact, rel=0.05)
+        assert m.individual[0] == pytest.approx(individual_exact[0], rel=0.08)
+        assert m.individual[2] == pytest.approx(individual_exact[2], rel=0.08)

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import UniformStochasticScheduler
+
+
+@pytest.fixture
+def rng():
+    """A deterministic random generator."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def uniform_scheduler():
+    """The paper's uniform stochastic scheduler."""
+    return UniformStochasticScheduler()

@@ -1,0 +1,129 @@
+"""Unit tests for repro.core.analysis (the paper's closed forms)."""
+
+import numpy as np
+import pytest
+
+from repro.core.analysis import (
+    completion_rate_prediction,
+    counter_individual_latency,
+    counter_system_latency,
+    counter_system_latency_asymptotic,
+    min_to_max_progress_bound,
+    parallel_individual_latency,
+    parallel_system_latency,
+    scu_individual_latency_bound,
+    scu_system_latency_bound,
+    scu_worst_case_system_latency,
+    unbounded_winner_monopoly_probability,
+    worst_case_completion_rate,
+)
+
+
+class TestSCUBounds:
+    def test_formula(self):
+        assert scu_system_latency_bound(3, 2, 16, alpha=4.0) == pytest.approx(
+            3 + 4 * 2 * 4
+        )
+
+    def test_individual_is_n_times_system(self):
+        q, s, n = 2, 3, 25
+        assert scu_individual_latency_bound(q, s, n) == pytest.approx(
+            n * scu_system_latency_bound(q, s, n)
+        )
+
+    def test_worst_case_linear_in_n(self):
+        assert scu_worst_case_system_latency(1, 2, 10) == 21.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            scu_system_latency_bound(-1, 1, 4)
+        with pytest.raises(ValueError):
+            scu_system_latency_bound(0, 0, 4)
+        with pytest.raises(ValueError):
+            scu_system_latency_bound(0, 1, 0)
+
+
+class TestParallel:
+    def test_lemma11_values(self):
+        assert parallel_system_latency(7) == 7.0
+        assert parallel_individual_latency(7, 4) == 28.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            parallel_system_latency(0)
+        with pytest.raises(ValueError):
+            parallel_individual_latency(3, 0)
+
+
+class TestCounter:
+    def test_small_values_by_hand(self):
+        # n=2: Z(0)=1, Z(1)=1+1/2 = 1.5
+        assert counter_system_latency(2) == pytest.approx(1.5)
+        # n=3: Z(1)=1+1/3, Z(2)=1+(2/3)(4/3)=17/9
+        assert counter_system_latency(3) == pytest.approx(17 / 9)
+
+    def test_bounded_by_two_sqrt_n(self):
+        for n in (2, 10, 100, 1000, 10_000):
+            assert counter_system_latency(n) <= 2 * np.sqrt(n)
+
+    def test_asymptotic_converges(self):
+        # Z(n-1) / sqrt(pi n / 2) -> 1.
+        n = 1_000_000
+        ratio = counter_system_latency(n) / np.sqrt(np.pi * n / 2)
+        assert ratio == pytest.approx(1.0, abs=1e-3)
+
+    def test_asymptotic_formula_close_at_moderate_n(self):
+        for n in (50, 500):
+            assert counter_system_latency_asymptotic(n) == pytest.approx(
+                counter_system_latency(n), rel=0.01
+            )
+
+    def test_individual_is_n_times_system(self):
+        n = 64
+        assert counter_individual_latency(n) == pytest.approx(
+            n * counter_system_latency(n)
+        )
+
+
+class TestCompletionRates:
+    def test_prediction_scaled_to_first_point(self):
+        pred = completion_rate_prediction([4, 16, 64], measured_first=0.2)
+        assert pred[0] == pytest.approx(0.2)
+        # 1/sqrt(n) shape: quadrupling n halves the rate.
+        assert pred[1] == pytest.approx(0.1)
+        assert pred[2] == pytest.approx(0.05)
+
+    def test_worst_case_is_one_over_n(self):
+        assert np.allclose(worst_case_completion_rate([2, 4]), [0.5, 0.25])
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            completion_rate_prediction([], measured_first=0.5)
+        with pytest.raises(ValueError):
+            completion_rate_prediction([2], measured_first=0.0)
+        with pytest.raises(ValueError):
+            worst_case_completion_rate([0])
+
+
+class TestTheorem3Bound:
+    def test_formula(self):
+        assert min_to_max_progress_bound(0.5, 3) == pytest.approx(8.0)
+
+    def test_uniform_scheduler_case(self):
+        # theta = 1/n: bound is n**T.
+        assert min_to_max_progress_bound(1 / 4, 2) == pytest.approx(16.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            min_to_max_progress_bound(0.0, 2)
+        with pytest.raises(ValueError):
+            min_to_max_progress_bound(0.5, 0)
+
+
+class TestLemma2Bound:
+    def test_monotone_in_n(self):
+        probs = [unbounded_winner_monopoly_probability(n) for n in (2, 4, 8, 16)]
+        assert probs == sorted(probs)
+
+    def test_close_to_one_for_large_n(self):
+        assert unbounded_winner_monopoly_probability(30) > 1 - 1e-12

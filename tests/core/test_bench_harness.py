@@ -1,0 +1,100 @@
+"""Tests for the benchmark harness (repro.bench)."""
+
+import pytest
+
+from repro.bench.formats import format_series, format_table
+from repro.bench.harness import Experiment, ExperimentRegistry, Series
+
+
+class TestFormatTable:
+    def test_alignment_and_separator(self):
+        out = format_table(["a", "bb"], [[1, 2.5], [30, 4.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert lines[1].replace(" ", "").startswith("-")
+        # Right-justified columns: widths consistent.
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_precision(self):
+        out = format_table(["x"], [[1.23456]], precision=2)
+        assert "1.23" in out
+        assert "1.235" not in out
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError, match="cells"):
+            format_table(["a", "b"], [[1]])
+
+    def test_bools_and_strings(self):
+        out = format_table(["ok", "name"], [[True, "row"]])
+        assert "True" in out
+        assert "row" in out
+
+
+class TestFormatSeries:
+    def test_header_and_labels(self):
+        out = format_series("m", [1, 2], [3.0, 4.0], x_label="n", y_label="W")
+        assert out.startswith("series: m")
+        assert "n" in out and "W" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("m", [1], [1, 2])
+
+
+class TestExperiment:
+    def make(self):
+        return Experiment("X1", "title", "claim")
+
+    def test_add_series(self):
+        exp = self.make()
+        exp.add_series("s", [1, 2], [3, 4])
+        assert len(exp.series) == 1
+        assert "series: s" in exp.render()
+
+    def test_rows_need_headers(self):
+        exp = self.make()
+        with pytest.raises(ValueError, match="headers"):
+            exp.add_row(1, 2)
+
+    def test_add_row_checks_width(self):
+        exp = self.make()
+        exp.headers = ["a", "b"]
+        with pytest.raises(ValueError):
+            exp.add_row(1)
+
+    def test_render_contains_everything(self):
+        exp = self.make()
+        exp.headers = ["n", "w"]
+        exp.add_row(4, 2.0)
+        exp.add_note("a note")
+        out = exp.render()
+        assert "== X1: title ==" in out
+        assert "paper claim: claim" in out
+        assert "a note" in out
+
+    def test_report_prints(self, capsys):
+        exp = self.make()
+        exp.report()
+        captured = capsys.readouterr()
+        assert "X1" in captured.out
+
+
+class TestRegistry:
+    def test_add_and_get(self):
+        reg = ExperimentRegistry()
+        exp = reg.add(Experiment("A", "t", "c"))
+        assert reg.get("A") is exp
+        assert len(reg) == 1
+
+    def test_duplicate_rejected(self):
+        reg = ExperimentRegistry()
+        reg.add(Experiment("A", "t", "c"))
+        with pytest.raises(ValueError, match="duplicate"):
+            reg.add(Experiment("A", "t2", "c2"))
+
+    def test_render_all_sorted(self):
+        reg = ExperimentRegistry()
+        reg.add(Experiment("B", "t", "c"))
+        reg.add(Experiment("A", "t", "c"))
+        out = reg.render_all()
+        assert out.index("== A") < out.index("== B")

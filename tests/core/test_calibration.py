@@ -1,0 +1,88 @@
+"""Tests for scheduler calibration (repro.core.calibration)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.core.calibration import (
+    calibration_report,
+    fit_hardware_like,
+    fit_mean_quantum,
+    schedule_statistics,
+)
+from repro.core.scheduler import HardwareLikeScheduler, UniformStochasticScheduler
+from repro.sim.executor import Simulator
+
+
+def record(scheduler, n, steps, seed=0):
+    sim = Simulator(
+        cas_counter(),
+        scheduler,
+        n_processes=n,
+        memory=make_counter_memory(),
+        record_schedule=True,
+        rng=seed,
+    )
+    sim.run(steps)
+    return sim.recorder.schedule.as_array()
+
+
+class TestStatistics:
+    def test_uniform_statistics(self):
+        n = 8
+        schedule = record(UniformStochasticScheduler(), n, 100_000)
+        stats = schedule_statistics(schedule, n)
+        assert stats.self_succession == pytest.approx(1 / n, abs=0.01)
+        assert stats.mean_run_length == pytest.approx(n / (n - 1), rel=0.05)
+        assert stats.empirical_theta == pytest.approx(1 / n, abs=0.01)
+
+    def test_quantum_raises_run_length(self):
+        n = 8
+        bursty = schedule_statistics(
+            record(HardwareLikeScheduler(mean_quantum=4.0), n, 60_000), n
+        )
+        uniform = schedule_statistics(
+            record(UniformStochasticScheduler(), n, 60_000), n
+        )
+        assert bursty.mean_run_length > 2 * uniform.mean_run_length
+        assert bursty.self_succession > 2 * uniform.self_succession
+
+    def test_short_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            schedule_statistics(np.array([0]), 2)
+
+
+class TestFitting:
+    @pytest.mark.parametrize("true_quantum", [1.5, 3.0, 6.0])
+    def test_roundtrip_recovers_quantum(self, true_quantum):
+        n = 16
+        schedule = record(
+            HardwareLikeScheduler(mean_quantum=true_quantum), n, 120_000
+        )
+        fitted = fit_mean_quantum(schedule_statistics(schedule, n))
+        assert fitted == pytest.approx(true_quantum, rel=0.15)
+
+    def test_uniform_fits_quantum_one(self):
+        n = 8
+        schedule = record(UniformStochasticScheduler(), n, 60_000)
+        fitted = fit_mean_quantum(schedule_statistics(schedule, n))
+        assert fitted == pytest.approx(1.0, abs=0.1)
+
+    def test_fit_needs_two_processes(self):
+        stats = schedule_statistics(np.array([0, 0, 0]), 1)
+        with pytest.raises(ValueError):
+            fit_mean_quantum(stats)
+
+    def test_fitted_scheduler_reproduces_statistics(self):
+        n = 12
+        original_schedule = record(
+            HardwareLikeScheduler(mean_quantum=3.0), n, 80_000, seed=1
+        )
+        original = schedule_statistics(original_schedule, n)
+        fitted = fit_hardware_like(original_schedule, n)
+        regenerated_schedule = record(fitted, n, 80_000, seed=2)
+        regenerated = schedule_statistics(regenerated_schedule, n)
+        report = calibration_report(original, regenerated)
+        assert report["mean_run_length_error"] < 0.1
+        assert report["self_succession_error"] < 0.15
+        assert report["share_spread_difference"] < 0.02

@@ -1,0 +1,89 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestLatency:
+    def test_basic_run(self, capsys):
+        code = main(["latency", "--q", "0", "--s", "1", "-n", "4",
+                     "--steps", "20000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SCU(0,1)" in out
+        assert "measured W" in out
+
+    def test_hardware_scheduler(self, capsys):
+        code = main(["latency", "-n", "4", "--steps", "20000",
+                     "--scheduler", "hardware"])
+        assert code == 0
+
+
+class TestClassify:
+    def test_cas_counter(self, capsys):
+        code = main(["classify", "cas-counter", "--steps", "15000"])
+        assert code == 0
+        assert "lock-free" in capsys.readouterr().out
+
+    def test_tas_lock(self, capsys):
+        code = main(["classify", "tas-lock", "--steps", "15000"])
+        assert code == 0
+        assert "blocking" in capsys.readouterr().out
+
+    def test_unknown_algorithm(self, capsys):
+        code = main(["classify", "nope"])
+        assert code == 2
+        assert "unknown algorithm" in capsys.readouterr().err
+
+
+class TestRamanujan:
+    def test_ladder(self, capsys):
+        code = main(["ramanujan", "--max-n", "64"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Z(n-1)" in out
+        assert "\n64" in out
+
+
+class TestLifting:
+    def test_verification(self, capsys):
+        code = main(["lifting", "-n", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert out.count("OK") == 3
+
+
+class TestGaps:
+    def test_distribution_printed(self, capsys):
+        code = main(["gaps", "-n", "8", "--head", "4"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "P(gap=k)" in out
+        assert "p99" in out
+
+    def test_gap_one_impossible_for_scan_validate(self, capsys):
+        # After a success nobody holds a valid pending CAS, so the
+        # minimum gap is 2.
+        main(["gaps", "-n", "8", "--head", "1"])
+        out = capsys.readouterr().out
+        first_row = [line for line in out.splitlines() if line.strip().startswith("1")][0]
+        assert "0.0000" in first_row
+
+
+class TestFigure5:
+    def test_series(self, capsys):
+        code = main(["figure5", "--points", "3", "--steps", "20000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst 1/n" in out

@@ -1,0 +1,110 @@
+"""Tests for simulation convergence diagnostics."""
+
+import numpy as np
+import pytest
+
+from repro.core.convergence import (
+    completion_gaps,
+    geweke_z,
+    running_latency,
+    split_half_diagnostic,
+)
+from repro.sim.trace import TraceRecorder
+
+
+def recorder_from_times(times):
+    recorder = TraceRecorder(1)
+    for t in times:
+        recorder.on_completion(int(t), 0)
+    return recorder
+
+
+class TestCompletionGaps:
+    def test_gaps(self):
+        recorder = recorder_from_times([10, 15, 25])
+        assert completion_gaps(recorder).tolist() == [5, 10]
+
+    def test_burn_in(self):
+        recorder = recorder_from_times([1, 100, 110])
+        assert completion_gaps(recorder, burn_in=50).tolist() == [10]
+
+    def test_too_few(self):
+        with pytest.raises(ValueError):
+            completion_gaps(recorder_from_times([5]))
+
+
+class TestSplitHalf:
+    def test_stationary_series_passes(self):
+        rng = np.random.default_rng(0)
+        times = np.cumsum(rng.exponential(10, size=2_000)).astype(int)
+        diag = split_half_diagnostic(recorder_from_times(times))
+        assert diag.is_stationary(tolerance=0.1)
+
+    def test_drifting_series_fails(self):
+        # Gaps double halfway through.
+        times = np.cumsum([10] * 500 + [30] * 500)
+        diag = split_half_diagnostic(recorder_from_times(times))
+        assert not diag.is_stationary(tolerance=0.1)
+        assert diag.relative_drift > 0.5
+
+
+class TestGeweke:
+    def test_stationary_small_z(self):
+        rng = np.random.default_rng(1)
+        series = rng.normal(5, 1, size=5_000)
+        assert abs(geweke_z(series)) < 3.0
+
+    def test_trending_large_z(self):
+        series = np.linspace(0, 10, 5_000) + np.random.default_rng(2).normal(
+            0, 0.1, 5_000
+        )
+        assert abs(geweke_z(series)) > 5.0
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            geweke_z([1.0, 2.0], early=0.7, late=0.7)
+
+
+class TestRunningLatency:
+    def test_settles_for_real_simulation(self):
+        from repro.algorithms.counter import cas_counter, make_counter_memory
+        from repro.core.scheduler import UniformStochasticScheduler
+        from repro.sim.executor import Simulator
+
+        sim = Simulator(
+            cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=8,
+            memory=make_counter_memory(),
+            rng=0,
+        )
+        sim.run(100_000)
+        cut_times, estimates = running_latency(sim.recorder, points=20)
+        # The last quarter of the curve is flat within 5%.
+        tail = estimates[-5:]
+        assert tail.max() / tail.min() < 1.05
+        assert cut_times[-1] > cut_times[0]
+
+    def test_needs_enough_completions(self):
+        with pytest.raises(ValueError):
+            running_latency(recorder_from_times(range(10)), points=50)
+
+    def test_default_burn_in_passes_diagnostics(self):
+        # Justify measure_latencies' default 10% burn-in: the remaining
+        # series is stationary by both diagnostics.
+        from repro.algorithms.counter import cas_counter, make_counter_memory
+        from repro.core.scheduler import UniformStochasticScheduler
+        from repro.sim.executor import Simulator
+
+        sim = Simulator(
+            cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=16,
+            memory=make_counter_memory(),
+            rng=1,
+        )
+        sim.run(150_000)
+        diag = split_half_diagnostic(sim.recorder, burn_in=15_000)
+        assert diag.is_stationary(tolerance=0.05)
+        gaps = completion_gaps(sim.recorder, burn_in=15_000)
+        assert abs(geweke_z(gaps)) < 3.0

@@ -1,0 +1,35 @@
+"""Tests for the paper's three liftings (Lemmas 5, 10, 13)."""
+
+import pytest
+
+from repro.core.lifting import (
+    verify_counter_lifting,
+    verify_parallel_lifting,
+    verify_scu_lifting,
+)
+
+
+class TestLemma5ScanValidate:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6])
+    def test_lifting_holds(self, n):
+        report = verify_scu_lifting(n)
+        assert report.is_lifting
+        assert report.max_flow_error < 1e-10
+        assert report.max_stationary_error < 1e-10
+
+
+class TestLemma10Parallel:
+    @pytest.mark.parametrize("n,q", [(2, 2), (3, 3), (4, 2), (2, 6), (5, 3)])
+    def test_lifting_holds(self, n, q):
+        report = verify_parallel_lifting(n, q)
+        assert report.is_lifting
+        assert report.max_flow_error < 1e-10
+
+
+class TestLemma13Counter:
+    @pytest.mark.parametrize("n", [2, 3, 4, 6, 8, 10])
+    def test_lifting_holds(self, n):
+        report = verify_counter_lifting(n)
+        assert report.is_lifting
+        assert report.max_flow_error < 1e-10
+        assert report.max_stationary_error < 1e-10

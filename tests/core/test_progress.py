@@ -1,0 +1,102 @@
+"""Unit tests for repro.core.progress (Section 2.2 detectors)."""
+
+import pytest
+
+from repro.core.progress import (
+    empirical_maximal_progress_bound,
+    empirical_minimal_progress_bound,
+    progress_report,
+    starved_processes,
+)
+from repro.sim.history import History
+
+
+def history_everyone_completes():
+    history = History()
+    history.invoke(1, 0)
+    history.invoke(2, 1)
+    history.respond(5, 0)
+    history.respond(6, 1)
+    history.invoke(7, 0)
+    history.respond(10, 0)
+    return history
+
+
+def history_with_starvation():
+    """Process 1 invokes early and never responds; process 0 keeps going."""
+    history = History()
+    history.invoke(1, 1)
+    for k in range(20):
+        t = 2 + 4 * k
+        history.invoke(t, 0)
+        history.respond(t + 2, 0)
+    return history
+
+
+class TestMinimalBound:
+    def test_no_pending_work_gives_zero(self):
+        assert empirical_minimal_progress_bound(History(), 100) == 0
+
+    def test_gap_between_responses(self):
+        history = history_everyone_completes()
+        bound = empirical_minimal_progress_bound(history, end_time=10)
+        assert bound == 4  # longest pending stretch: t=1 (invoke) to t=5
+
+    def test_starvation_history_still_has_small_minimal_bound(self):
+        # Minimal progress holds: process 0 keeps completing.
+        history = history_with_starvation()
+        bound = empirical_minimal_progress_bound(history, end_time=85)
+        assert bound <= 5
+
+    def test_dead_tail_counts(self):
+        history = History()
+        history.invoke(1, 0)
+        bound = empirical_minimal_progress_bound(history, end_time=1000)
+        assert bound == 999
+
+
+class TestMaximalBound:
+    def test_all_responses_bound(self):
+        history = history_everyone_completes()
+        assert empirical_maximal_progress_bound(history, 10) == 4
+
+    def test_pending_counts_to_end(self):
+        history = history_with_starvation()
+        bound = empirical_maximal_progress_bound(history, end_time=200)
+        assert bound == 199  # process 1 pending since t=1
+
+
+class TestStarvation:
+    def test_starved_process_detected(self):
+        history = history_with_starvation()
+        starved = starved_processes(history, end_time=85, window=40)
+        assert starved == {1}
+
+    def test_active_process_not_starved(self):
+        history = history_everyone_completes()
+        assert starved_processes(history, end_time=10, window=5) == set()
+
+    def test_recent_invocation_not_starved(self):
+        history = History()
+        history.invoke(95, 0)
+        assert starved_processes(history, end_time=100, window=50) == set()
+
+
+class TestProgressReport:
+    def test_wait_free_looking_run(self):
+        report = progress_report(history_everyone_completes(), end_time=10)
+        assert report.made_minimal_progress
+        assert report.made_maximal_progress
+        assert report.total_responses == 3
+
+    def test_lock_free_but_starving_run(self):
+        report = progress_report(
+            history_with_starvation(), end_time=85, starvation_window=40
+        )
+        assert report.made_minimal_progress
+        assert not report.made_maximal_progress
+        assert report.starved == {1}
+
+    def test_empty_history_no_minimal_progress(self):
+        report = progress_report(History(), end_time=100)
+        assert not report.made_minimal_progress

@@ -1,0 +1,81 @@
+"""Unit tests for the SCU(q, s) class descriptor (repro.core.scu)."""
+
+import pytest
+
+from repro.core.scu import SCU
+from repro.core.scheduler import UniformStochasticScheduler
+
+
+class TestValidation:
+    def test_valid_spec(self):
+        spec = SCU(q=2, s=3)
+        assert spec.q == 2
+        assert spec.s == 3
+
+    def test_negative_q_rejected(self):
+        with pytest.raises(ValueError):
+            SCU(q=-1, s=1)
+
+    def test_zero_s_rejected(self):
+        with pytest.raises(ValueError):
+            SCU(q=0, s=0)
+
+    def test_frozen(self):
+        spec = SCU(q=0, s=1)
+        with pytest.raises(AttributeError):
+            spec.q = 5
+
+
+class TestPredictions:
+    def test_steps_per_attempt(self):
+        assert SCU(q=0, s=3).steps_per_attempt() == 4
+
+    def test_predicted_latencies_consistent(self):
+        spec = SCU(q=1, s=2)
+        n = 16
+        assert spec.predicted_individual_latency(n) == pytest.approx(
+            n * spec.predicted_system_latency(n)
+        )
+
+    def test_worst_case(self):
+        assert SCU(q=1, s=2).worst_case_system_latency(10) == 21.0
+
+
+class TestExactAndMeasured:
+    def test_exact_system_latency_scu01_matches_system_chain(self):
+        from repro.chains.scu import scu_system_latency_exact
+
+        spec = SCU(q=0, s=1)
+        for n in (2, 3, 5):
+            assert spec.exact_system_latency(n) == pytest.approx(
+                scu_system_latency_exact(n), rel=1e-9
+            )
+
+    def test_exact_individual_is_n_times_system(self):
+        spec = SCU(q=1, s=2)
+        assert spec.exact_individual_latency(4) == pytest.approx(
+            4 * spec.exact_system_latency(4)
+        )
+
+    def test_measure_matches_exact(self):
+        spec = SCU(q=1, s=1)
+        n = 4
+        measured = spec.measure(n, 150_000, rng=0)
+        assert measured.system_latency == pytest.approx(
+            spec.exact_system_latency(n), rel=0.05
+        )
+
+    def test_measure_respects_scheduler_override(self):
+        from repro.core.scheduler import SkewedStochasticScheduler
+
+        spec = SCU(q=0, s=1)
+        skewed = SkewedStochasticScheduler([1.0, 5.0])
+        m = spec.measure(2, 20_000, scheduler=skewed, rng=1)
+        assert m.total_completions > 0
+
+    def test_memory_has_registers(self):
+        spec = SCU(q=0, s=3)
+        memory = spec.memory()
+        assert "R" in memory
+        assert "R_aux1" in memory
+        assert "R_aux2" in memory

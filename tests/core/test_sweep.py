@@ -1,0 +1,60 @@
+"""Tests for the sweep helper (repro.core.sweep)."""
+
+import pytest
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.chains.scu import scu_system_latency_exact
+from repro.core.sweep import latency_sweep, sweep_table
+
+
+class TestLatencySweep:
+    def test_points_cover_n_values(self):
+        points = latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            [2, 4],
+            steps=30_000,
+            repeats=3,
+        )
+        assert [p.n for p in points] == [2, 4]
+
+    def test_interval_contains_exact_value(self):
+        points = latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            [4],
+            steps=60_000,
+            repeats=5,
+        )
+        estimate = points[0].system_latency
+        exact = scu_system_latency_exact(4)
+        # Generous width check: the CI should be near the exact value.
+        assert abs(estimate.mean - exact) < max(3 * estimate.half_width, 0.05)
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError, match="repeats"):
+            latency_sweep(cas_counter, make_counter_memory, [2], repeats=1)
+
+    def test_replicates_are_independent(self):
+        # Different repeats use different seeds: the half-width is
+        # strictly positive (identical runs would give zero).
+        points = latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            [4],
+            steps=20_000,
+            repeats=4,
+        )
+        assert points[0].system_latency.half_width > 0
+
+    def test_table_rendering(self):
+        points = latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            [2],
+            steps=20_000,
+            repeats=3,
+        )
+        table = sweep_table(points)
+        assert "+-" in table
+        assert "system latency" in table

@@ -1,0 +1,98 @@
+"""Tests for per-invocation latency tails (repro.core.tails)."""
+
+import numpy as np
+import pytest
+
+from repro.core.tails import (
+    invocation_durations,
+    tail_summaries_by_method,
+    tail_summary,
+)
+from repro.sim.history import History
+
+
+def simple_history():
+    history = History()
+    history.invoke(1, 0, "op")
+    history.respond(3, 0, "op")      # duration 2
+    history.invoke(4, 1, "op")
+    history.respond(10, 1, "op")     # duration 6
+    history.invoke(11, 0, "op")      # pending
+    return history
+
+
+class TestDurations:
+    def test_completed_durations(self):
+        durations = invocation_durations(simple_history(), end_time=20)
+        assert sorted(durations.tolist()) == [2, 6]
+
+    def test_pending_counts_elapsed(self):
+        durations = invocation_durations(
+            simple_history(), end_time=20, include_pending=True
+        )
+        assert sorted(durations.tolist()) == [2, 6, 9]
+
+    def test_empty_history(self):
+        assert invocation_durations(History()).size == 0
+
+
+class TestSummary:
+    def test_fields(self):
+        summary = tail_summary(simple_history(), end_time=20)
+        assert summary.count == 3
+        assert summary.pending == 1
+        assert summary.max == 9
+        assert summary.p50 == 6.0
+
+    def test_tail_ratio(self):
+        summary = tail_summary(simple_history(), end_time=20)
+        assert summary.p99_over_p50 > 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            tail_summary(History())
+
+
+class TestByMethod:
+    def test_split(self):
+        history = History()
+        history.invoke(1, 0, "push")
+        history.respond(2, 0, "push")
+        history.invoke(3, 0, "pop")
+        history.respond(7, 0, "pop")
+        out = tail_summaries_by_method(history)
+        assert out["push"].mean == 1.0
+        assert out["pop"].mean == 4.0
+
+
+class TestPaperMotivation:
+    def test_light_tail_under_uniform_heavy_under_adversary(self):
+        # The motivating observation: lock-free ops have light tails
+        # under realistic scheduling; the worst case lives only under
+        # adversaries.
+        from repro.algorithms.counter import cas_counter, make_counter_memory
+        from repro.core.scheduler import (
+            AdversarialScheduler,
+            UniformStochasticScheduler,
+        )
+        from repro.sim.executor import Simulator
+
+        def run(scheduler):
+            sim = Simulator(
+                cas_counter(),
+                scheduler,
+                n_processes=8,
+                memory=make_counter_memory(),
+                record_history=True,
+                rng=0,
+            )
+            result = sim.run(40_000)
+            return tail_summary(result.history, end_time=result.steps_executed)
+
+        uniform = run(UniformStochasticScheduler())
+        adversarial = run(AdversarialScheduler.starve(victim=0))
+        # Near-geometric completion times: p99/p50 ~ log(100)/log(2) ~ 6.6.
+        assert uniform.p99_over_p50 < 8.0
+        assert uniform.max < 2_000
+        # The starved victim's pending invocation dominates the tail.
+        assert adversarial.max > 30_000

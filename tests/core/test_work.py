@@ -1,0 +1,84 @@
+"""Tests for work / total step complexity (repro.core.work)."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.algorithms.parallel import parallel_code
+from repro.chains.scu import scu_system_latency_exact
+from repro.core.scheduler import AdversarialScheduler, UniformStochasticScheduler
+from repro.core.work import mean_work, measure_work
+
+
+class TestMeasureWork:
+    def test_parallel_code_round_robin_exact(self):
+        # q steps per op, round-robin over n processes: everyone finishes
+        # their k-th op by step n*q*k exactly.
+        q, n, k = 3, 4, 2
+        work = measure_work(
+            parallel_code(q),
+            AdversarialScheduler.round_robin(),
+            n,
+            operations_each=k,
+        )
+        assert work == n * q * k
+
+    def test_starvation_adversary_never_finishes(self):
+        with pytest.raises(ArithmeticError, match="unfinished"):
+            measure_work(
+                cas_counter(),
+                AdversarialScheduler.starve(victim=0),
+                3,
+                memory=make_counter_memory(),
+                max_steps=5_000,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            measure_work(
+                cas_counter(), UniformStochasticScheduler(), 2,
+                operations_each=0,
+            )
+
+
+class TestFairnessConsequence:
+    def test_work_close_to_individual_latency(self):
+        # Lemma 7's fairness: all n processes finish one op each in about
+        # n*W*log-ish steps — far below n * (n W), the bound without
+        # fairness.  Check the measured work sits in a narrow band above
+        # the individual latency n W.
+        n = 8
+        w = scu_system_latency_exact(n)
+        work = mean_work(
+            cas_counter,
+            UniformStochasticScheduler,
+            n,
+            memory_builder=make_counter_memory,
+            repeats=20,
+            seed=1,
+        )
+        individual = n * w
+        assert individual * 0.8 < work < individual * 4
+        assert work < n * individual / 2
+
+    def test_work_scales_with_operations(self):
+        n = 4
+        one = mean_work(
+            cas_counter,
+            UniformStochasticScheduler,
+            n,
+            memory_builder=make_counter_memory,
+            operations_each=1,
+            repeats=10,
+            seed=2,
+        )
+        four = mean_work(
+            cas_counter,
+            UniformStochasticScheduler,
+            n,
+            memory_builder=make_counter_memory,
+            operations_each=4,
+            repeats=10,
+            seed=2,
+        )
+        assert 2 * one < four < 8 * one

@@ -1,0 +1,56 @@
+"""Integration tests for Corollary 2: with only k correct processes the
+latencies are governed by k, not n — and for Definition 1's crash
+containment in the executor."""
+
+import pytest
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.chains.scu import scu_system_latency_exact
+from repro.core.latency import system_latency
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.sim.executor import Simulator
+
+
+def crashy_run(n, k, steps, seed=0):
+    """Run the CAS counter with n processes, n - k of which crash early."""
+    crash_times = {pid: 1_000 for pid in range(k, n)}
+    sim = Simulator(
+        cas_counter(),
+        UniformStochasticScheduler(),
+        n_processes=n,
+        memory=make_counter_memory(),
+        crash_times=crash_times,
+        rng=seed,
+    )
+    return sim.run(steps)
+
+
+class TestCorollary2:
+    @pytest.mark.parametrize("n,k", [(16, 4), (16, 8), (32, 8)])
+    def test_latency_governed_by_survivors(self, n, k):
+        # After the crashes, the stationary latency equals the k-process
+        # exact value (burn-in excludes the pre-crash transient).
+        result = crashy_run(n, k, 300_000)
+        w = system_latency(result.recorder, burn_in=30_000)
+        assert w == pytest.approx(scu_system_latency_exact(k), rel=0.06)
+
+    def test_smaller_k_means_faster_system(self):
+        w4 = system_latency(
+            crashy_run(16, 4, 200_000, seed=1).recorder, burn_in=20_000
+        )
+        w16 = system_latency(
+            crashy_run(16, 16, 200_000, seed=1).recorder, burn_in=20_000
+        )
+        assert w4 < w16
+
+    def test_crashed_processes_never_complete_after_crash(self):
+        result = crashy_run(8, 4, 100_000)
+        recorder = result.recorder
+        for pid in range(4, 8):
+            times = recorder.completion_times_of(pid)
+            assert all(t <= 1_000 for t in times)
+
+    def test_survivors_share_the_work(self):
+        result = crashy_run(12, 3, 200_000, seed=2)
+        survivor_counts = [result.completions_of(pid) for pid in range(3)]
+        assert min(survivor_counts) > 0.8 * max(survivor_counts)

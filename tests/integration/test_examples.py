@@ -1,0 +1,34 @@
+"""Smoke tests: every example script runs to completion and prints its
+takeaway.  Examples are part of the public deliverable; breaking one is
+a regression."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+CASES = [
+    ("quickstart.py", ["8"], "Takeaway"),
+    ("min_to_max_progress.py", [], "monopoly probability"),
+    ("custom_object.py", [], "linearizable: True"),
+    ("stack_queue_progress.py", [], "starved pids"),
+    ("counter_completion_rate.py", [], "worst 1/n"),
+    ("scheduler_fairness.py", [], "theta-hat"),
+    ("skewed_scheduler_analysis.py", [], "slow/fast ratio"),
+    ("progress_zoo.py", [], "classified as"),
+]
+
+
+@pytest.mark.parametrize("script,args,needle", CASES, ids=[c[0] for c in CASES])
+def test_example_runs(script, args, needle):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / script), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert needle in result.stdout

@@ -1,0 +1,65 @@
+"""Integration test for Figure 5: completion rate of the CAS counter vs
+the Theta(1/sqrt(n)) prediction and the 1/n worst case."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.core.analysis import (
+    completion_rate_prediction,
+    worst_case_completion_rate,
+)
+from repro.core.latency import measure_latencies
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.stats.estimators import fit_power_law
+
+
+def measured_rates(ns, steps=100_000, seed=0):
+    rates = []
+    for n in ns:
+        m = measure_latencies(
+            cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            steps=steps,
+            memory=make_counter_memory(),
+            rng=seed + n,
+        )
+        rates.append(m.completion_rate)
+    return np.array(rates)
+
+
+class TestFigure5:
+    def test_prediction_tracks_measurement(self):
+        # The scaled 1/sqrt(n) prediction stays within ~25% of the
+        # measured rate across the sweep (the paper's figure shows the
+        # same qualitative agreement).
+        ns = [2, 4, 8, 16, 32]
+        rates = measured_rates(ns)
+        predicted = completion_rate_prediction(ns, measured_first=rates[0])
+        assert np.all(np.abs(predicted - rates) / rates < 0.25)
+
+    def test_rate_well_above_worst_case(self):
+        # The gap over the 1/n worst case widens like sqrt(n): at n = 16
+        # the measured rate is already ~2x the worst case, ~3x at n = 32.
+        ns = [16, 32, 64]
+        rates = measured_rates(ns, seed=100)
+        worst = worst_case_completion_rate(ns)
+        assert np.all(rates > 1.8 * worst)
+        gaps = rates / worst
+        assert gaps[-1] > gaps[0]  # the advantage grows with n
+
+    def test_scaling_exponent_near_minus_half(self):
+        ns = [4, 9, 16, 36, 64, 121]
+        rates = measured_rates(ns, seed=7)
+        exponent, _ = fit_power_law(ns, rates)
+        assert -0.62 < exponent < -0.38
+
+    def test_exact_chain_rate_matches_measured(self):
+        # The model's own exact answer (inverse system latency from the
+        # system chain) is what the "prediction" curve approximates.
+        from repro.chains.scu import scu_system_latency_exact
+
+        n = 16
+        rate = measured_rates([n], steps=200_000, seed=3)[0]
+        assert rate == pytest.approx(1.0 / scu_system_latency_exact(n), rel=0.05)

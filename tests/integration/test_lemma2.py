@@ -1,0 +1,83 @@
+"""Integration tests for Lemma 2: an unbounded lock-free algorithm is not
+wait-free with high probability, even under the uniform stochastic
+scheduler — boundedness in Theorem 3 is necessary."""
+
+import pytest
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.algorithms.unbounded import make_unbounded_memory, unbounded_lockfree
+from repro.core.progress import progress_report
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.sim.executor import Simulator
+
+
+def run_unbounded(n, steps, seed):
+    sim = Simulator(
+        unbounded_lockfree(n),
+        UniformStochasticScheduler(),
+        n_processes=n,
+        memory=make_unbounded_memory(),
+        record_history=True,
+        rng=seed,
+    )
+    result = sim.run(steps)
+    return result, progress_report(
+        result.history, result.steps_executed, starvation_window=steps // 2
+    )
+
+
+class TestLemma2:
+    def test_monopoly_frequency_matches_bound(self):
+        # Across seeds, the fraction of runs where a single process takes
+        # all completions should be at least 1 - 2e^{-n} (here n = 8:
+        # bound ~ 0.9993; with 20 trials we require all of them).
+        n = 8
+        monopolies = 0
+        trials = 20
+        for seed in range(trials):
+            result, _ = run_unbounded(n, 30_000, seed)
+            winners = [
+                pid for pid in range(n) if result.completions_of(pid) > 0
+            ]
+            if len(winners) == 1:
+                monopolies += 1
+        assert monopolies == trials
+
+    def test_not_wait_free_despite_stochastic_scheduler(self):
+        result, report = run_unbounded(8, 50_000, seed=100)
+        assert report.made_minimal_progress
+        assert not report.made_maximal_progress
+        assert len(report.starved) >= 6
+
+    def test_contrast_with_bounded_algorithm(self):
+        # The bounded CAS counter, under the *same* scheduler, starves
+        # nobody — the pair of runs is Lemma 2 vs Theorem 3 side by side.
+        n = 8
+        sim = Simulator(
+            cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            memory=make_counter_memory(),
+            record_history=True,
+            rng=100,
+        )
+        result = sim.run(50_000)
+        report = progress_report(
+            result.history, result.steps_executed, starvation_window=25_000
+        )
+        assert report.made_maximal_progress
+
+    def test_backoff_cap_restores_wait_freedom(self):
+        # Capping the backoff makes minimal progress bounded again, and
+        # maximal progress returns (everyone completes).
+        n = 6
+        sim = Simulator(
+            unbounded_lockfree(n, backoff_cap=3),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            memory=make_unbounded_memory(),
+            rng=3,
+        )
+        result = sim.run(200_000)
+        for pid in range(n):
+            assert result.completions_of(pid) > 0

@@ -1,0 +1,79 @@
+"""Integration tests for Lemma 7 / Lemma 14: individual latency equals
+n times system latency — every process gets an equal share."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.augmented_counter import (
+    augmented_cas_counter,
+    make_augmented_counter_memory,
+)
+from repro.chains.counter import (
+    counter_individual_latency_exact,
+    counter_system_latency_exact,
+)
+from repro.chains.scu import (
+    scu_individual_latency_exact,
+    scu_system_latency_exact,
+)
+from repro.core.latency import measure_latencies
+from repro.core.scheduler import UniformStochasticScheduler
+
+
+class TestExactFairness:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 6, 7])
+    def test_scu_wi_equals_n_w(self, n):
+        assert scu_individual_latency_exact(n) == pytest.approx(
+            n * scu_system_latency_exact(n), rel=1e-9
+        )
+
+    @pytest.mark.parametrize("n", [2, 4, 8, 12])
+    def test_counter_wi_equals_n_w(self, n):
+        assert counter_individual_latency_exact(n) == pytest.approx(
+            n * counter_system_latency_exact(n), rel=1e-9
+        )
+
+    def test_every_pid_has_same_individual_latency(self):
+        n = 4
+        lats = [scu_individual_latency_exact(n, pid) for pid in range(n)]
+        assert np.allclose(lats, lats[0])
+
+
+class TestSimulatedFairness:
+    def test_scu_completion_counts_equal(self):
+        from repro.core.scu import SCU
+
+        n = 8
+        measured = SCU(0, 1).measure(n, 400_000, rng=0)
+        counts = np.array(
+            [1.0 / lat for lat in measured.individual.values()]
+        )
+        # Per-process completion rates within 10% of each other.
+        assert counts.max() / counts.min() < 1.1
+
+    def test_augmented_counter_fairness(self):
+        n = 10
+        m = measure_latencies(
+            augmented_cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            steps=400_000,
+            memory=make_augmented_counter_memory(),
+            rng=1,
+        )
+        assert m.fairness_ratio == pytest.approx(1.0, abs=0.1)
+
+    def test_fairness_breaks_under_skew(self):
+        # Control experiment: a skewed (but stochastic) scheduler breaks
+        # the W_i = n W identity — fairness is a property of the
+        # *uniform* scheduler, not of the algorithm alone.
+        from repro.core.scheduler import SkewedStochasticScheduler
+        from repro.core.scu import SCU
+
+        n = 4
+        skewed = SkewedStochasticScheduler([1.0, 1.0, 1.0, 8.0])
+        measured = SCU(0, 1).measure(
+            n, 400_000, scheduler=skewed, rng=2
+        )
+        lats = measured.individual
+        assert lats[3] < 0.6 * max(lats[pid] for pid in range(3))

@@ -1,0 +1,96 @@
+"""Integration tests for Theorem 3: bounded minimal progress + stochastic
+scheduler => maximal progress (with probability 1)."""
+
+import pytest
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.core.progress import progress_report
+from repro.core.scheduler import (
+    AdversarialScheduler,
+    SkewedStochasticScheduler,
+    UniformStochasticScheduler,
+)
+from repro.sim.executor import Simulator
+
+
+def run_counter(scheduler, n, steps, seed=0):
+    sim = Simulator(
+        cas_counter(),
+        scheduler,
+        n_processes=n,
+        memory=make_counter_memory(),
+        record_history=True,
+        rng=seed,
+    )
+    result = sim.run(steps)
+    return result, progress_report(
+        result.history, result.steps_executed, starvation_window=steps // 2
+    )
+
+
+class TestStochasticSchedulersGiveMaximalProgress:
+    def test_uniform_scheduler_everyone_completes(self):
+        result, report = run_counter(UniformStochasticScheduler(), 8, 50_000)
+        assert report.made_minimal_progress
+        assert report.made_maximal_progress
+        for pid in range(8):
+            assert result.completions_of(pid) > 0
+
+    def test_heavily_skewed_but_stochastic_still_completes_all(self):
+        # theta is tiny but positive: Theorem 3 still applies.
+        weights = [1.0] * 7 + [0.02]
+        result, report = run_counter(
+            SkewedStochasticScheduler(weights), 8, 300_000, seed=1
+        )
+        assert report.made_maximal_progress
+        assert result.completions_of(7) > 0
+
+    def test_empirical_maximal_bound_far_below_theorem_bound(self):
+        # Theorem 3's bound (1/theta)^T is loose; the observed bound must
+        # be below it (and in practice far below).
+        from repro.core.analysis import min_to_max_progress_bound
+
+        n = 4
+        result, report = run_counter(UniformStochasticScheduler(), n, 50_000)
+        # Bounded lock-freedom of the CAS counter: within T = 2n steps by
+        # all processes, someone completes.
+        theorem_bound = min_to_max_progress_bound(1.0 / n, 2 * n)
+        assert report.maximal_bound < theorem_bound
+
+    def test_crashes_do_not_block_survivors(self):
+        # Maximal progress is only promised to *active* processes; the
+        # survivors keep completing after others crash.
+        sim = Simulator(
+            cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=4,
+            memory=make_counter_memory(),
+            crash_times={0: 1_000, 1: 1_000},
+            record_history=True,
+            rng=2,
+        )
+        result = sim.run(30_000)
+        assert result.completions_of(2) > 100
+        assert result.completions_of(3) > 100
+
+
+class TestAdversaryBreaksMaximalProgress:
+    def test_starvation_adversary_starves_victim(self):
+        # theta = 0: Theorem 3's hypothesis fails and so does its
+        # conclusion — the witness that stochasticity is doing the work.
+        result, report = run_counter(
+            AdversarialScheduler.starve(victim=0), 4, 50_000
+        )
+        assert report.made_minimal_progress
+        assert not report.made_maximal_progress
+        assert 0 in report.starved
+        assert result.completions_of(0) == 0
+
+    def test_victim_maximal_bound_grows_with_run_length(self):
+        bounds = []
+        for steps in (10_000, 40_000):
+            _, report = run_counter(
+                AdversarialScheduler.starve(victim=0), 4, steps
+            )
+            bounds.append(report.maximal_bound)
+        assert bounds[1] > 3 * bounds[0]

@@ -1,0 +1,79 @@
+"""Integration tests for Theorem 4: SCU(q, s) latencies under the uniform
+stochastic scheduler — simulation vs exact chains vs the O(q + s sqrt(n))
+prediction."""
+
+import numpy as np
+import pytest
+
+from repro.core.scu import SCU
+from repro.stats.estimators import fit_power_law
+
+
+class TestSimulationMatchesExactChains:
+    @pytest.mark.parametrize("q,s,n", [(0, 1, 4), (1, 1, 4), (0, 2, 4), (2, 2, 4)])
+    def test_system_latency(self, q, s, n):
+        spec = SCU(q, s)
+        measured = spec.measure(n, 200_000, rng=q * 100 + s * 10 + n)
+        assert measured.system_latency == pytest.approx(
+            spec.exact_system_latency(n), rel=0.05
+        )
+
+    def test_individual_latency_fairness(self):
+        spec = SCU(1, 2)
+        n = 5
+        measured = spec.measure(n, 400_000, rng=0)
+        assert measured.fairness_ratio == pytest.approx(1.0, abs=0.15)
+        # All processes see (roughly) the same individual latency.
+        lats = list(measured.individual.values())
+        assert max(lats) / min(lats) < 1.3
+
+
+class TestTheorem4Shape:
+    def test_sqrt_n_exponent_for_scan_validate(self):
+        # System latency of SCU(0,1) grows with exponent ~0.5 in n.
+        ns = [16, 36, 64, 121, 225]
+        spec = SCU(0, 1)
+        latencies = [
+            spec.measure(n, 120_000, rng=n).system_latency for n in ns
+        ]
+        exponent, _ = fit_power_law(ns, latencies)
+        assert 0.35 < exponent < 0.62
+
+    def test_upper_bound_holds(self):
+        # Measured latency stays below q + alpha * s * sqrt(n) with the
+        # paper's alpha >= 4.
+        for q, s, n in [(0, 1, 25), (2, 1, 49), (0, 3, 36)]:
+            spec = SCU(q, s)
+            measured = spec.measure(n, 150_000, rng=7)
+            assert measured.system_latency <= spec.predicted_system_latency(n)
+
+    def test_latency_additive_in_q(self):
+        # Increasing the preamble by dq raises the system latency by at
+        # most dq (preamble work overlaps across processes, so the exact
+        # increase is sub-additive — the O(q + s sqrt(n)) bound's q term).
+        n = 9
+        w1 = SCU(1, 1).measure(n, 200_000, rng=1).system_latency
+        w5 = SCU(5, 1).measure(n, 200_000, rng=1).system_latency
+        assert 0.3 * 4 < w5 - w1 < 1.1 * 4
+        # And the measured increase matches the exact chains.
+        exact_diff = SCU(5, 1).exact_system_latency(n) - SCU(
+            1, 1
+        ).exact_system_latency(n)
+        assert w5 - w1 == pytest.approx(exact_diff, abs=0.4)
+
+    def test_latency_scales_in_s(self):
+        # Corollary 1: system latency is O(s sqrt(n)) — growing s by 3x
+        # grows the latency super-linearly in our measurement (longer
+        # scans waste more work per conflict) but stays under the bound.
+        n = 49
+        w1 = SCU(0, 1).measure(n, 200_000, rng=2).system_latency
+        w3 = SCU(0, 3).measure(n, 300_000, rng=2).system_latency
+        assert w3 > 2.0 * w1
+        assert w3 <= SCU(0, 3).predicted_system_latency(n, alpha=4.0)
+
+    def test_far_below_worst_case(self):
+        # The headline: stochastic latency ~ sqrt(n), worst case ~ n.
+        n = 100
+        spec = SCU(0, 1)
+        measured = spec.measure(n, 200_000, rng=3)
+        assert measured.system_latency < 0.5 * spec.worst_case_system_latency(n)

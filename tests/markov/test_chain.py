@@ -1,0 +1,208 @@
+"""Unit tests for repro.markov.chain."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.markov.chain import MarkovChain
+
+
+def two_state(p=0.25, q=0.5):
+    """A generic two-state chain."""
+    return MarkovChain([[1 - p, p], [q, 1 - q]], ["a", "b"])
+
+
+class TestConstruction:
+    def test_dense_matrix_accepted(self):
+        chain = two_state()
+        assert chain.n_states == 2
+        assert not chain.is_sparse
+
+    def test_sparse_matrix_accepted(self):
+        mat = sp.csr_matrix(np.array([[0.5, 0.5], [1.0, 0.0]]))
+        chain = MarkovChain(mat)
+        assert chain.is_sparse
+        assert chain.probability(0, 1) == 0.5
+
+    def test_default_states_are_indices(self):
+        chain = MarkovChain(np.eye(3))
+        assert chain.states == [0, 1, 2]
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError, match="square"):
+            MarkovChain(np.ones((2, 3)) / 3)
+
+    def test_rejects_bad_row_sums(self):
+        with pytest.raises(ValueError, match="sum"):
+            MarkovChain([[0.5, 0.4], [0.5, 0.5]])
+
+    def test_rejects_negative_entries(self):
+        with pytest.raises(ValueError, match="negative"):
+            MarkovChain([[1.2, -0.2], [0.5, 0.5]])
+
+    def test_rejects_duplicate_labels(self):
+        with pytest.raises(ValueError, match="distinct"):
+            MarkovChain(np.eye(2), ["x", "x"])
+
+    def test_rejects_label_count_mismatch(self):
+        with pytest.raises(ValueError, match="state labels"):
+            MarkovChain(np.eye(2), ["x"])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            MarkovChain(np.empty((0, 0)))
+
+    def test_validate_false_skips_checks(self):
+        chain = MarkovChain([[0.5, 0.0], [0.0, 0.5]], validate=False)
+        assert chain.n_states == 2
+
+
+class TestFromDict:
+    def test_round_trip(self):
+        chain = MarkovChain.from_dict(
+            {"a": {"a": 0.9, "b": 0.1}, "b": {"a": 1.0}}
+        )
+        assert chain.probability("a", "b") == pytest.approx(0.1)
+        assert chain.probability("b", "a") == 1.0
+
+    def test_successor_only_states_get_indices(self):
+        chain = MarkovChain.from_dict(
+            {"a": {"b": 1.0}, "b": {"a": 1.0}}, validate=True
+        )
+        assert set(chain.states) == {"a", "b"}
+
+    def test_sparse_output(self):
+        chain = MarkovChain.from_dict({"a": {"a": 1.0}}, sparse=True)
+        assert chain.is_sparse
+
+
+class TestFromEnumeration:
+    def test_explores_reachable_states(self):
+        # Cycle over 5 states, only state 0 seeded.
+        chain = MarkovChain.from_enumeration(
+            [0], lambda s: [((s + 1) % 5, 1.0)]
+        )
+        assert chain.n_states == 5
+
+    def test_max_states_enforced(self):
+        with pytest.raises(ValueError, match="max_states"):
+            MarkovChain.from_enumeration(
+                [0], lambda s: [(s + 1, 1.0)], max_states=10
+            )
+
+    def test_rejects_negative_probability(self):
+        with pytest.raises(ValueError, match="negative"):
+            MarkovChain.from_enumeration([0], lambda s: [(0, -1.0)])
+
+    def test_zero_probability_edges_skipped(self):
+        chain = MarkovChain.from_enumeration(
+            [0], lambda s: [(0, 1.0), (99, 0.0)]
+        )
+        assert 99 not in chain
+
+    def test_dense_option(self):
+        chain = MarkovChain.from_enumeration(
+            [0], lambda s: [((s + 1) % 3, 1.0)], sparse=False
+        )
+        assert not chain.is_sparse
+
+
+class TestAccessors:
+    def test_index_of_and_contains(self):
+        chain = two_state()
+        assert chain.index_of("b") == 1
+        assert "a" in chain
+        assert "c" not in chain
+
+    def test_index_of_unknown_raises(self):
+        with pytest.raises(KeyError, match="unknown state"):
+            two_state().index_of("zzz")
+
+    def test_successors(self):
+        chain = two_state(p=0.25)
+        succ = chain.successors("a")
+        assert succ == {"a": 0.75, "b": 0.25}
+
+    def test_successors_sparse(self):
+        mat = sp.csr_matrix(np.array([[0.0, 1.0], [0.5, 0.5]]))
+        chain = MarkovChain(mat, ["x", "y"])
+        assert chain.successors("x") == {"y": 1.0}
+
+    def test_iteration_and_len(self):
+        chain = two_state()
+        assert list(chain) == ["a", "b"]
+        assert len(chain) == 2
+
+    def test_dense_copy_is_independent(self):
+        chain = two_state()
+        dense = chain.dense()
+        dense[0, 0] = 99.0
+        assert chain.probability("a", "a") != 99.0
+
+
+class TestEvolution:
+    def test_step_distribution(self):
+        chain = two_state(p=1.0, q=1.0)  # deterministic swap
+        out = chain.step_distribution([1.0, 0.0])
+        assert np.allclose(out, [0.0, 1.0])
+
+    def test_evolve_multiple_steps(self):
+        chain = two_state(p=1.0, q=1.0)
+        out = chain.evolve([1.0, 0.0], 2)
+        assert np.allclose(out, [1.0, 0.0])
+
+    def test_evolve_rejects_negative_steps(self):
+        with pytest.raises(ValueError):
+            two_state().evolve([1.0, 0.0], -1)
+
+    def test_step_distribution_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            two_state().step_distribution([1.0, 0.0, 0.0])
+
+
+class TestKStepProbability:
+    def test_deterministic_cycle(self):
+        chain = MarkovChain.from_enumeration(
+            [0], lambda s: [((s + 1) % 3, 1.0)], sparse=False
+        )
+        assert chain.k_step_probability(0, 0, 3) == 1.0
+        assert chain.k_step_probability(0, 1, 3) == 0.0
+        assert chain.k_step_probability(0, 1, 1) == 1.0
+
+    def test_zero_steps_is_identity(self):
+        chain = two_state()
+        assert chain.k_step_probability("a", "a", 0) == 1.0
+        assert chain.k_step_probability("a", "b", 0) == 0.0
+
+    def test_chapman_kolmogorov(self):
+        # p^(2)_{ij} = sum_k p_ik p_kj.
+        chain = two_state(p=0.3, q=0.6)
+        direct = chain.k_step_probability("a", "b", 2)
+        by_hand = sum(
+            chain.probability("a", mid) * chain.probability(mid, "b")
+            for mid in chain.states
+        )
+        assert direct == pytest.approx(by_hand)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            two_state().k_step_probability("a", "b", -1)
+
+
+class TestRestriction:
+    def test_restricted_renormalises(self):
+        chain = MarkovChain(
+            [[0.5, 0.25, 0.25], [0.2, 0.4, 0.4], [0.1, 0.1, 0.8]],
+            ["a", "b", "c"],
+        )
+        sub = chain.restricted_to(["a", "b"])
+        assert sub.n_states == 2
+        row = sub.dense()[0]
+        assert row.sum() == pytest.approx(1.0)
+        # Ratio between kept targets preserved.
+        assert row[0] / row[1] == pytest.approx(0.5 / 0.25)
+
+    def test_restricted_rejects_escaping_state(self):
+        chain = MarkovChain([[0.0, 1.0], [1.0, 0.0]], ["a", "b"])
+        with pytest.raises(ValueError, match="leave"):
+            chain.restricted_to(["a"])

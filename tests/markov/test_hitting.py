@@ -1,0 +1,108 @@
+"""Unit tests for repro.markov.hitting."""
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import MarkovChain
+from repro.markov.hitting import (
+    expected_hitting_times,
+    expected_return_time,
+    fundamental_matrix,
+    return_times_from_stationary,
+)
+from repro.markov.stationary import stationary_distribution
+
+
+def biased_walk(k, p=0.5):
+    """A random walk on 0..k-1 with reflecting ends."""
+    mat = np.zeros((k, k))
+    for i in range(k):
+        if i == 0:
+            mat[i, 1] = 1.0
+        elif i == k - 1:
+            mat[i, k - 2] = 1.0
+        else:
+            mat[i, i + 1] = p
+            mat[i, i - 1] = 1 - p
+    return MarkovChain(mat)
+
+
+class TestHittingTimes:
+    def test_target_states_zero(self):
+        chain = biased_walk(5)
+        hits = expected_hitting_times(chain, [0])
+        assert hits[0] == 0.0
+
+    def test_simple_geometric(self):
+        # From state 0, hit state 1 with per-step probability p:
+        # expected hitting time 1/p.
+        p = 0.25
+        chain = MarkovChain([[1 - p, p], [0.0, 1.0]])
+        hits = expected_hitting_times(chain, [1])
+        assert hits[0] == pytest.approx(1.0 / p)
+
+    def test_symmetric_walk_quadratic(self):
+        # Simple symmetric walk on a path with reflecting boundaries:
+        # hitting time of 0 from the far end is known to be (k-1)^2.
+        k = 6
+        chain = biased_walk(k, p=0.5)
+        hits = expected_hitting_times(chain, [0])
+        assert hits[k - 1] == pytest.approx((k - 1) ** 2)
+
+    def test_unreachable_target_raises(self):
+        chain = MarkovChain([[1.0, 0.0], [0.5, 0.5]])
+        with pytest.raises(ArithmeticError, match="singular|reach"):
+            expected_hitting_times(chain, [1])
+
+    def test_requires_targets(self):
+        with pytest.raises(ValueError):
+            expected_hitting_times(MarkovChain([[1.0]]), [])
+
+    def test_sparse_matches_dense(self):
+        import scipy.sparse as sp
+
+        dense = biased_walk(7, p=0.4)
+        sparse = MarkovChain(sp.csr_matrix(dense.dense()))
+        hd = expected_hitting_times(dense, [0])
+        hs = expected_hitting_times(sparse, [0])
+        for state in dense.states:
+            assert hd[state] == pytest.approx(hs[state])
+
+
+class TestReturnTimes:
+    def test_matches_stationary_inverse(self):
+        rng = np.random.default_rng(7)
+        mat = rng.random((5, 5)) + 0.05
+        mat /= mat.sum(axis=1, keepdims=True)
+        chain = MarkovChain(mat)
+        pi = stationary_distribution(chain)
+        for i, state in enumerate(chain.states):
+            direct = expected_return_time(chain, state)
+            assert direct == pytest.approx(1.0 / pi[i], rel=1e-8)
+
+    def test_return_times_from_stationary_agrees(self):
+        chain = biased_walk(5)
+        # Periodic chain: stationary exists (irreducible) and Theorem 1's
+        # identity still holds for return times.
+        via_pi = return_times_from_stationary(chain)
+        for state in chain.states:
+            assert via_pi[state] == pytest.approx(
+                expected_return_time(chain, state), rel=1e-8
+            )
+
+
+class TestFundamentalMatrix:
+    def test_expected_visits_gambler(self):
+        # Gambler's ruin on {0,1,2} with absorbing ends; from state 1 the
+        # expected number of visits to state 1 is 1 (it never returns).
+        mat = np.array(
+            [[1.0, 0.0, 0.0], [0.5, 0.0, 0.5], [0.0, 0.0, 1.0]]
+        )
+        chain = MarkovChain(mat)
+        fundamental = fundamental_matrix(chain, [0, 2])
+        assert fundamental.shape == (1, 1)
+        assert fundamental[0, 0] == pytest.approx(1.0)
+
+    def test_all_absorbing_rejected(self):
+        with pytest.raises(ValueError):
+            fundamental_matrix(MarkovChain([[1.0]]), [0])

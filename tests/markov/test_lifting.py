@@ -1,0 +1,121 @@
+"""Unit tests for repro.markov.lifting (generic machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import MarkovChain
+from repro.markov.lifting import (
+    Lifting,
+    collapse_chain,
+    ergodic_flow_matrix,
+    verify_lifting,
+)
+from repro.markov.stationary import stationary_distribution
+
+
+def fine_and_coarse_symmetric():
+    """A 4-state chain symmetric under swapping (0,1) and (2,3) pairs.
+
+    The collapse {0,1} -> A, {2,3} -> B is an exact lifting.
+    """
+    fine = MarkovChain(
+        [
+            [0.1, 0.1, 0.4, 0.4],
+            [0.1, 0.1, 0.4, 0.4],
+            [0.3, 0.3, 0.2, 0.2],
+            [0.3, 0.3, 0.2, 0.2],
+        ]
+    )
+    coarse = MarkovChain([[0.2, 0.8], [0.6, 0.4]], ["A", "B"])
+    mapping = lambda s: "A" if s in (0, 1) else "B"
+    return fine, coarse, mapping
+
+
+class TestErgodicFlows:
+    def test_flow_conservation(self):
+        rng = np.random.default_rng(0)
+        mat = rng.random((5, 5)) + 0.1
+        mat /= mat.sum(axis=1, keepdims=True)
+        chain = MarkovChain(mat)
+        flows = ergodic_flow_matrix(chain)
+        assert flows.sum() == pytest.approx(1.0)
+        # sum_i Q_ij == sum_i Q_ji == pi_j
+        pi = stationary_distribution(chain)
+        assert np.allclose(flows.sum(axis=0), pi)
+        assert np.allclose(flows.sum(axis=1), pi)
+
+    def test_sparse_flow(self):
+        import scipy.sparse as sp
+
+        chain = MarkovChain(sp.csr_matrix(np.array([[0.5, 0.5], [0.5, 0.5]])))
+        flows = ergodic_flow_matrix(chain)
+        assert flows.sum() == pytest.approx(1.0)
+
+    def test_pi_shape_checked(self):
+        chain = MarkovChain([[1.0]])
+        with pytest.raises(ValueError, match="shape"):
+            ergodic_flow_matrix(chain, np.array([0.5, 0.5]))
+
+
+class TestLifting:
+    def test_symmetric_example_is_lifting(self):
+        fine, coarse, mapping = fine_and_coarse_symmetric()
+        report = verify_lifting(fine, coarse, mapping)
+        assert report.is_lifting
+        assert report.max_flow_error < 1e-12
+        assert report.max_stationary_error < 1e-12
+
+    def test_wrong_coarse_chain_detected(self):
+        fine, _, mapping = fine_and_coarse_symmetric()
+        wrong = MarkovChain([[0.5, 0.5], [0.5, 0.5]], ["A", "B"])
+        report = verify_lifting(fine, wrong, mapping)
+        assert not report.is_lifting
+
+    def test_empty_preimage_rejected(self):
+        fine, _, _ = fine_and_coarse_symmetric()
+        coarse = MarkovChain(
+            [[0.2, 0.8, 0.0], [0.6, 0.4, 0.0], [0.0, 0.0, 1.0]],
+            ["A", "B", "C"],
+        )
+        with pytest.raises(ValueError, match="empty preimages"):
+            Lifting(fine, coarse, lambda s: "A" if s in (0, 1) else "B")
+
+    def test_preimage_query(self):
+        fine, coarse, mapping = fine_and_coarse_symmetric()
+        lifting = Lifting(fine, coarse, mapping)
+        assert sorted(lifting.preimage("A")) == [0, 1]
+        assert sorted(lifting.preimage("B")) == [2, 3]
+
+    def test_collapse_vector_lemma1(self):
+        fine, coarse, mapping = fine_and_coarse_symmetric()
+        lifting = Lifting(fine, coarse, mapping)
+        fine_pi = stationary_distribution(fine)
+        coarse_pi = stationary_distribution(coarse)
+        assert np.allclose(lifting.collapse_vector(fine_pi), coarse_pi)
+
+    def test_collapse_vector_shape_checked(self):
+        fine, coarse, mapping = fine_and_coarse_symmetric()
+        lifting = Lifting(fine, coarse, mapping)
+        with pytest.raises(ValueError, match="shape"):
+            lifting.collapse_vector(np.ones(3))
+
+
+class TestCollapseChain:
+    def test_reconstructs_coarse_chain(self):
+        fine, coarse, mapping = fine_and_coarse_symmetric()
+        rebuilt = collapse_chain(fine, mapping)
+        for a in coarse.states:
+            for b in coarse.states:
+                assert rebuilt.probability(a, b) == pytest.approx(
+                    coarse.probability(a, b)
+                )
+
+    def test_collapse_identity_mapping(self):
+        fine, _, _ = fine_and_coarse_symmetric()
+        rebuilt = collapse_chain(fine, lambda s: s)
+        assert np.allclose(rebuilt.dense(), fine.dense())
+
+    def test_collapsed_chain_is_stochastic(self):
+        fine, _, mapping = fine_and_coarse_symmetric()
+        rebuilt = collapse_chain(fine, mapping)
+        assert np.allclose(rebuilt.dense().sum(axis=1), 1.0)

@@ -1,0 +1,60 @@
+"""Tests for repro.markov.mixing."""
+
+import numpy as np
+import pytest
+
+from repro.chains.scu import scu_system_chain
+from repro.markov.chain import MarkovChain
+from repro.markov.mixing import distance_to_stationary, mixing_time
+
+
+def lazy_walk():
+    return MarkovChain([[0.5, 0.5, 0.0], [0.25, 0.5, 0.25], [0.0, 0.5, 0.5]])
+
+
+class TestDistance:
+    def test_distance_decreases(self):
+        chain = lazy_walk()
+        d0 = distance_to_stationary(chain, 0, 0)
+        d5 = distance_to_stationary(chain, 0, 5)
+        d50 = distance_to_stationary(chain, 0, 50)
+        assert d0 > d5 > d50
+        assert d50 < 1e-3
+
+    def test_zero_steps_is_initial_distance(self):
+        chain = lazy_walk()
+        pi = np.array([0.25, 0.5, 0.25])
+        expected = 0.5 * np.abs(np.array([1.0, 0, 0]) - pi).sum()
+        assert distance_to_stationary(chain, 0, 0) == pytest.approx(expected)
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            distance_to_stationary(lazy_walk(), 0, -1)
+
+
+class TestMixingTime:
+    def test_aperiodic_chain_mixes(self):
+        t = mixing_time(lazy_walk(), eps=0.01)
+        assert 0 < t < 100
+
+    def test_smaller_eps_larger_time(self):
+        chain = lazy_walk()
+        assert mixing_time(chain, eps=0.001) >= mixing_time(chain, eps=0.1)
+
+    def test_periodic_chain_never_mixes_in_distribution(self):
+        # The paper's scan-validate system chain has period 2: the raw
+        # distribution oscillates forever.
+        chain = scu_system_chain(3)
+        with pytest.raises(ArithmeticError, match="cesaro"):
+            mixing_time(chain, eps=0.05, max_steps=2_000)
+
+    def test_periodic_chain_mixes_in_cesaro_average(self):
+        # ...but the time-average converges — which is why the latency
+        # results survive the paper's ergodicity slip.
+        chain = scu_system_chain(3)
+        t = mixing_time(chain, eps=0.05, cesaro=True, max_steps=10_000)
+        assert t > 0
+
+    def test_eps_validation(self):
+        with pytest.raises(ValueError):
+            mixing_time(lazy_walk(), eps=0.0)

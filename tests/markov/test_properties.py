@@ -1,0 +1,109 @@
+"""Unit tests for repro.markov.properties."""
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import MarkovChain
+from repro.markov.properties import (
+    communicating_classes,
+    is_aperiodic,
+    is_ergodic,
+    is_irreducible,
+    period,
+    transition_graph,
+)
+
+
+def cycle_chain(k):
+    """A deterministic k-cycle (irreducible, period k)."""
+    mat = np.zeros((k, k))
+    for i in range(k):
+        mat[i, (i + 1) % k] = 1.0
+    return MarkovChain(mat)
+
+
+def lazy_cycle(k, laziness=0.5):
+    """A k-cycle with self-loops (irreducible, aperiodic)."""
+    mat = np.zeros((k, k))
+    for i in range(k):
+        mat[i, i] = laziness
+        mat[i, (i + 1) % k] = 1.0 - laziness
+    return MarkovChain(mat)
+
+
+class TestIrreducibility:
+    def test_cycle_is_irreducible(self):
+        assert is_irreducible(cycle_chain(5))
+
+    def test_absorbing_state_breaks_irreducibility(self):
+        chain = MarkovChain([[0.5, 0.5], [0.0, 1.0]])
+        assert not is_irreducible(chain)
+
+    def test_two_components(self):
+        chain = MarkovChain(
+            [[1.0, 0.0, 0.0], [0.0, 0.5, 0.5], [0.0, 0.5, 0.5]]
+        )
+        classes = communicating_classes(chain)
+        assert sorted(len(c) for c in classes) == [1, 2]
+
+
+class TestPeriod:
+    def test_cycle_period_equals_length(self):
+        assert period(cycle_chain(4), 0) == 4
+
+    def test_self_loop_gives_period_one(self):
+        assert period(lazy_cycle(4), 0) == 1
+
+    def test_even_bipartite_period_two(self):
+        chain = MarkovChain([[0.0, 1.0], [1.0, 0.0]])
+        assert period(chain, 0) == 2
+
+    def test_mixed_cycle_lengths_gcd(self):
+        # Cycles of lengths 2 and 3 through state 0 -> period 1.
+        chain = MarkovChain.from_dict(
+            {
+                0: {1: 0.5, 2: 0.5},
+                1: {0: 1.0},          # 0 -> 1 -> 0: length 2
+                2: {3: 1.0},
+                3: {0: 1.0},          # 0 -> 2 -> 3 -> 0: length 3
+            }
+        )
+        assert period(chain, 0) == 1
+
+    def test_state_with_no_cycle_raises(self):
+        chain = MarkovChain([[0.0, 1.0], [0.0, 1.0]])
+        with pytest.raises(ValueError, match="period undefined"):
+            period(chain, 0)
+
+
+class TestErgodicity:
+    def test_lazy_cycle_is_ergodic(self):
+        assert is_ergodic(lazy_cycle(6))
+
+    def test_pure_cycle_not_ergodic(self):
+        assert not is_ergodic(cycle_chain(3))
+        assert is_irreducible(cycle_chain(3))
+        assert not is_aperiodic(cycle_chain(3))
+
+    def test_reducible_not_ergodic(self):
+        chain = MarkovChain([[1.0, 0.0], [0.5, 0.5]])
+        assert not is_ergodic(chain)
+
+    def test_single_absorbing_state_chain(self):
+        chain = MarkovChain([[1.0]])
+        assert is_ergodic(chain)
+
+
+class TestTransitionGraph:
+    def test_nodes_and_edges(self):
+        chain = MarkovChain([[0.5, 0.5], [0.0, 1.0]])
+        graph = transition_graph(chain)
+        assert set(graph.nodes) == {0, 1}
+        assert set(graph.edges) == {(0, 0), (0, 1), (1, 1)}
+
+    def test_sparse_chain_graph(self):
+        import scipy.sparse as sp
+
+        mat = sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]]))
+        graph = transition_graph(MarkovChain(mat))
+        assert set(graph.edges) == {(0, 1), (1, 0)}

@@ -1,0 +1,79 @@
+"""Unit tests for repro.markov.sampling."""
+
+import numpy as np
+import pytest
+
+from repro.markov.chain import MarkovChain
+from repro.markov.sampling import (
+    empirical_distribution,
+    hitting_time_samples,
+    sample_path,
+    sample_steps,
+)
+from repro.markov.stationary import stationary_distribution
+
+
+def swap_chain():
+    return MarkovChain([[0.0, 1.0], [1.0, 0.0]], ["a", "b"])
+
+
+class TestSamplePath:
+    def test_deterministic_chain_path(self):
+        path = sample_path(swap_chain(), "a", 4, rng=0)
+        assert path == ["a", "b", "a", "b", "a"]
+
+    def test_length(self):
+        assert len(sample_path(swap_chain(), "a", 10, rng=0)) == 11
+
+    def test_negative_steps_rejected(self):
+        with pytest.raises(ValueError):
+            sample_path(swap_chain(), "a", -1)
+
+    def test_seed_reproducibility(self):
+        chain = MarkovChain([[0.5, 0.5], [0.5, 0.5]])
+        assert sample_path(chain, 0, 50, rng=42) == sample_path(chain, 0, 50, rng=42)
+
+    def test_sparse_chain_sampling(self):
+        import scipy.sparse as sp
+
+        chain = MarkovChain(sp.csr_matrix(np.array([[0.0, 1.0], [1.0, 0.0]])))
+        path = sample_path(chain, 0, 3, rng=0)
+        assert path == [0, 1, 0, 1]
+
+
+class TestEmpiricalDistribution:
+    def test_converges_to_stationary(self):
+        p, q = 0.3, 0.1
+        chain = MarkovChain([[1 - p, p], [q, 1 - q]])
+        pi = stationary_distribution(chain)
+        freq = empirical_distribution(chain, 0, 60_000, rng=1, burn_in=1_000)
+        assert np.allclose(freq, pi, atol=0.02)
+
+    def test_burn_in_validation(self):
+        with pytest.raises(ValueError):
+            empirical_distribution(swap_chain(), "a", 10, burn_in=10)
+
+
+class TestHittingTimeSamples:
+    def test_geometric_mean(self):
+        p = 0.2
+        chain = MarkovChain([[1 - p, p], [0.0, 1.0]])
+        samples = hitting_time_samples(chain, 0, 1, 4_000, rng=2)
+        assert samples.mean() == pytest.approx(1.0 / p, rel=0.1)
+
+    def test_minimum_is_one(self):
+        chain = swap_chain()
+        samples = hitting_time_samples(chain, "a", "b", 10, rng=0)
+        assert np.all(samples == 1)
+
+    def test_return_time_counts_from_one(self):
+        # Hitting the start state itself counts the return time (>= 1).
+        chain = MarkovChain([[0.5, 0.5], [0.5, 0.5]])
+        samples = hitting_time_samples(chain, 0, 0, 2_000, rng=3)
+        assert samples.min() >= 1
+        assert samples.mean() == pytest.approx(2.0, rel=0.1)
+
+    def test_unreachable_raises(self):
+        chain = MarkovChain([[1.0, 0.0], [0.5, 0.5]])
+        with pytest.raises(ArithmeticError, match="max_steps"):
+            hitting_time_samples(chain, 0, 1, 1, max_steps=100)

@@ -1,0 +1,58 @@
+"""Tests for repro.markov.spectral."""
+
+import numpy as np
+import pytest
+
+from repro.chains.counter import counter_global_chain
+from repro.chains.parallel import parallel_system_chain
+from repro.chains.scu import scu_system_chain
+from repro.markov.chain import MarkovChain
+from repro.markov.spectral import (
+    eigenvalues,
+    relaxation_time,
+    slem,
+    spectral_gap,
+)
+
+
+class TestBasics:
+    def test_leading_eigenvalue_is_one(self):
+        chain = MarkovChain([[0.9, 0.1], [0.4, 0.6]])
+        values = eigenvalues(chain)
+        assert np.abs(values[0]) == pytest.approx(1.0)
+
+    def test_two_state_slem_closed_form(self):
+        # Eigenvalues of [[1-p, p], [q, 1-q]] are 1 and 1 - p - q.
+        p, q = 0.3, 0.2
+        chain = MarkovChain([[1 - p, p], [q, 1 - q]])
+        assert slem(chain) == pytest.approx(abs(1 - p - q))
+        assert spectral_gap(chain) == pytest.approx(p + q)
+
+    def test_identity_chain(self):
+        chain = MarkovChain(np.eye(3))
+        assert slem(chain) == pytest.approx(1.0)
+        assert relaxation_time(chain) == float("inf")
+
+    def test_relaxation_time_inverse_gap(self):
+        chain = MarkovChain([[0.5, 0.5], [0.5, 0.5]])
+        assert spectral_gap(chain) == pytest.approx(1.0)
+        assert relaxation_time(chain) == pytest.approx(1.0)
+
+
+class TestPaperChains:
+    def test_scan_validate_chain_has_unit_slem(self):
+        # The spectral signature of the period-2 finding.
+        assert slem(scu_system_chain(4)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_parallel_chain_has_unit_slem(self):
+        assert slem(parallel_system_chain(3, 3)) == pytest.approx(1.0, abs=1e-9)
+
+    def test_counter_chain_is_genuinely_ergodic(self):
+        gap = spectral_gap(counter_global_chain(8))
+        assert gap > 0.05
+
+    def test_counter_relaxation_grows_slowly(self):
+        # Relaxation time grows sublinearly (~sqrt(n)), like the latency.
+        times = [relaxation_time(counter_global_chain(n)) for n in (8, 32, 128)]
+        assert times[0] < times[1] < times[2]
+        assert times[2] < 128  # far below linear growth

@@ -1,0 +1,76 @@
+"""Unit tests for repro.markov.stationary."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.markov.chain import MarkovChain
+from repro.markov.stationary import stationary_distribution
+
+
+def random_ergodic_chain(k, seed):
+    """A dense random chain; strictly positive entries make it ergodic."""
+    rng = np.random.default_rng(seed)
+    mat = rng.random((k, k)) + 0.05
+    mat /= mat.sum(axis=1, keepdims=True)
+    return MarkovChain(mat)
+
+
+class TestSolve:
+    def test_two_state_closed_form(self):
+        # pi = (q, p) / (p + q) for the generic two-state chain.
+        p, q = 0.3, 0.2
+        chain = MarkovChain([[1 - p, p], [q, 1 - q]])
+        pi = stationary_distribution(chain)
+        assert np.allclose(pi, [q / (p + q), p / (p + q)])
+
+    def test_doubly_stochastic_is_uniform(self):
+        mat = np.array(
+            [[0.2, 0.3, 0.5], [0.5, 0.2, 0.3], [0.3, 0.5, 0.2]]
+        )
+        pi = stationary_distribution(MarkovChain(mat))
+        assert np.allclose(pi, 1.0 / 3.0)
+
+    def test_invariance(self):
+        chain = random_ergodic_chain(8, seed=1)
+        pi = stationary_distribution(chain)
+        assert np.allclose(pi @ chain.dense(), pi)
+        assert pi.sum() == pytest.approx(1.0)
+        assert np.all(pi >= 0)
+
+    def test_sparse_solve(self):
+        dense = random_ergodic_chain(10, seed=2).dense()
+        sparse_chain = MarkovChain(sp.csr_matrix(dense))
+        pi_sparse = stationary_distribution(sparse_chain)
+        pi_dense = stationary_distribution(MarkovChain(dense))
+        assert np.allclose(pi_sparse, pi_dense)
+
+    def test_single_state(self):
+        pi = stationary_distribution(MarkovChain([[1.0]]))
+        assert pi == pytest.approx([1.0])
+
+
+class TestPower:
+    def test_matches_solve(self):
+        chain = random_ergodic_chain(6, seed=3)
+        pi_solve = stationary_distribution(chain, method="solve")
+        pi_power = stationary_distribution(chain, method="power", tol=1e-14)
+        assert np.allclose(pi_solve, pi_power, atol=1e-10)
+
+    def test_non_convergence_raises(self):
+        # A 2-cycle never converges under power iteration from a
+        # non-stationary start... but the uniform start *is* stationary,
+        # so perturb via a 3-cycle with max_iterations too small.
+        mat = np.zeros((3, 3))
+        for i in range(3):
+            mat[i, (i + 1) % 3] = 1.0
+        chain = MarkovChain(mat)
+        # Uniform start is exactly stationary for the cycle; use an
+        # asymmetric ergodic chain with an absurdly tight iteration cap.
+        slow = random_ergodic_chain(5, seed=4)
+        with pytest.raises(ArithmeticError, match="converge"):
+            stationary_distribution(slow, method="power", max_iterations=1, tol=0)
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ValueError, match="unknown method"):
+            stationary_distribution(MarkovChain([[1.0]]), method="magic")

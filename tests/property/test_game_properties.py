@@ -1,0 +1,67 @@
+"""Property-based tests for the balls-into-bins game invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ballsbins.game import BallsGame
+from repro.chains.scu import scu_system_chain
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=40),
+    st.integers(min_value=0, max_value=2_000),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_ball_counts_stay_in_range(n, throws, seed):
+    """At all times bins hold 0, 1 or 2 balls between throws (3 only
+    transiently at a reset), and a + b + (two-ball bins) == n."""
+    game = BallsGame(n, rng=seed)
+    for _ in range(throws):
+        game.throw()
+        assert game.balls.min() >= 0
+        assert game.balls.max() <= 2
+        two = int(np.count_nonzero(game.balls == 2))
+        assert game.a + game.b + two == n
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=30),
+    st.integers(min_value=1, max_value=50),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_phase_records_are_consistent(n, phases, seed):
+    game = BallsGame(n, rng=seed)
+    records = [game.run_phase() for _ in range(phases)]
+    for record in records:
+        assert record.a + record.b == n or record.index == 0
+        assert record.length >= 1
+        assert 0 <= record.winner < n
+    assert [r.index for r in records] == list(range(phases))
+    assert game.resets == phases
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.integers(min_value=2, max_value=12),
+    st.integers(min_value=0, max_value=2**31 - 1),
+)
+def test_game_states_exist_in_system_chain(n, seed):
+    """Every (a, b) configuration the game visits at a phase start is a
+    state of the scan-validate system chain (the game IS the chain)."""
+    chain = scu_system_chain(n)
+    game = BallsGame(n, rng=seed)
+    for _ in range(20):
+        record = game.run_phase()
+        assert (record.a, record.b) in chain
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=1, max_value=20), st.integers(min_value=0, max_value=999))
+def test_phase_start_has_no_two_ball_bins(n, seed):
+    game = BallsGame(n, rng=seed)
+    game.run_phase()
+    assert int(np.count_nonzero(game.balls == 2)) == 0

@@ -1,0 +1,82 @@
+"""Property-based tests for the Markov substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.markov.chain import MarkovChain
+from repro.markov.hitting import expected_return_time
+from repro.markov.lifting import collapse_chain, ergodic_flow_matrix
+from repro.markov.properties import is_irreducible
+from repro.markov.stationary import stationary_distribution
+
+
+@st.composite
+def ergodic_chains(draw, max_states=8):
+    """Random dense chains with strictly positive entries (ergodic)."""
+    k = draw(st.integers(min_value=2, max_value=max_states))
+    rows = []
+    for _ in range(k):
+        row = draw(
+            st.lists(
+                st.floats(min_value=0.05, max_value=1.0),
+                min_size=k,
+                max_size=k,
+            )
+        )
+        rows.append(row)
+    mat = np.array(rows)
+    mat /= mat.sum(axis=1, keepdims=True)
+    return MarkovChain(mat)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ergodic_chains())
+def test_stationary_is_invariant_and_normalised(chain):
+    pi = stationary_distribution(chain)
+    assert pi.shape == (chain.n_states,)
+    assert pi.sum() == pytest.approx(1.0)
+    assert np.all(pi >= -1e-12)
+    assert np.allclose(pi @ chain.dense(), pi, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ergodic_chains())
+def test_flow_conservation(chain):
+    flows = ergodic_flow_matrix(chain)
+    assert np.allclose(flows.sum(axis=0), flows.sum(axis=1), atol=1e-9)
+    assert flows.sum() == pytest.approx(1.0)
+
+
+@settings(max_examples=25, deadline=None)
+@given(ergodic_chains())
+def test_return_time_identity(chain):
+    # Theorem 1: h_ii = 1 / pi_i for every state.
+    pi = stationary_distribution(chain)
+    state = chain.states[0]
+    assert expected_return_time(chain, state) == pytest.approx(
+        1.0 / pi[0], rel=1e-6
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(ergodic_chains(max_states=6), st.integers(min_value=2, max_value=3))
+def test_any_collapse_of_positive_chain_is_stochastic(chain, groups):
+    # collapse_chain produces a valid chain for arbitrary mappings, and the
+    # pushed-forward stationary distribution is stationary for it.
+    mapping = lambda s: s % groups
+    coarse = collapse_chain(chain, mapping)
+    dense = coarse.dense()
+    assert np.allclose(dense.sum(axis=1), 1.0)
+    fine_pi = stationary_distribution(chain)
+    pushed = np.zeros(coarse.n_states)
+    for idx, state in enumerate(chain.states):
+        pushed[coarse.index_of(mapping(state))] += fine_pi[idx]
+    assert np.allclose(pushed @ dense, pushed, atol=1e-9)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ergodic_chains())
+def test_positive_chains_are_irreducible(chain):
+    assert is_irreducible(chain)

@@ -1,0 +1,74 @@
+"""Property-based tests for the shared-memory semantics."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.memory import Memory
+from repro.sim.ops import CAS, FetchAndIncrement, Read, Write, augmented_cas
+
+values = st.one_of(st.integers(), st.text(max_size=5), st.none())
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.tuples(st.sampled_from(["read", "write", "cas", "fai"]),
+                          st.integers(min_value=-5, max_value=5),
+                          st.integers(min_value=-5, max_value=5)),
+                max_size=50))
+def test_memory_matches_reference_model(script):
+    """The register behaves exactly like a plain Python variable under a
+    sequential op stream (atomicity is the executor's job)."""
+    memory = Memory()
+    memory.register("r", 0)
+    model = 0
+    for kind, a, b in script:
+        if kind == "read":
+            assert memory.apply(Read("r")) == model
+        elif kind == "write":
+            memory.apply(Write("r", a))
+            model = a
+        elif kind == "cas":
+            result = memory.apply(CAS("r", a, b))
+            assert result == (model == a)
+            if result:
+                model = b
+        elif kind == "fai":
+            assert memory.apply(FetchAndIncrement("r")) == model
+            model += 1
+    assert memory.read("r") == model
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.integers(), st.integers(), st.integers())
+def test_augmented_cas_always_returns_previous(current, expected, new):
+    memory = Memory()
+    memory.register("r", current)
+    result = memory.apply(augmented_cas("r", expected, new))
+    assert result == current
+    if current == expected:
+        assert memory.read("r") == new
+    else:
+        assert memory.read("r") == current
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(values, max_size=20))
+def test_write_read_round_trip(writes):
+    memory = Memory()
+    for value in writes:
+        memory.apply(Write("r", value))
+        assert memory.apply(Read("r")) == value
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=1, max_size=30))
+def test_access_counters_total(ops):
+    memory = Memory()
+    memory.register("r", 0)
+    for op in ops:
+        memory.apply(
+            [Read("r"), Write("r", 1), CAS("r", 0, 1), FetchAndIncrement("r")][op]
+        )
+    reg = memory["r"]
+    assert reg.reads + reg.writes + reg.cas_attempts + reg.rmws == len(ops)
+    assert memory.total_operations == len(ops)

@@ -1,0 +1,131 @@
+"""Property-based tests for the concurrent data structures: any schedule,
+any interleaving, the sequential semantics must hold."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.algorithms.msqueue import (
+    EMPTY as Q_EMPTY,
+    dequeue_method,
+    enqueue_method,
+    make_queue_memory,
+    queue_contents,
+)
+from repro.algorithms.treiber import (
+    EMPTY as S_EMPTY,
+    make_stack_memory,
+    pop_method,
+    push_method,
+    stack_contents,
+)
+from repro.core.scheduler import AdversarialScheduler
+from repro.sim.executor import Simulator
+from repro.sim.process import Completion, Invoke
+
+
+def scripted_factory(script, make_call):
+    """A process that runs a fixed script of operations, then stops."""
+
+    def factory(pid):
+        for op_index, op in enumerate(script):
+            yield Invoke(str(op[0]))
+            result = yield from make_call(pid, op_index, op)
+            yield Completion(result, str(op[0]))
+
+    return factory
+
+
+stack_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), st.integers(min_value=0, max_value=9)),
+        st.tuples(st.just("pop")),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(stack_ops, stack_ops, st.randoms(use_true_random=False))
+def test_stack_conservation_under_random_schedules(script0, script1, pyrandom):
+    """Under any interleaving: no value duplicated, none lost."""
+
+    def make_call(pid, op_index, op):
+        if op[0] == "push":
+            return push_method(pid, (pid, op_index, op[1]))
+        return pop_method(pid)
+
+    order = []
+
+    def strategy(time, active):
+        return pyrandom.choice(active)
+
+    sim = Simulator(
+        [scripted_factory(script0, make_call), scripted_factory(script1, make_call)],
+        AdversarialScheduler(strategy),
+        memory=make_stack_memory(),
+        record_history=True,
+    )
+    result = sim.run(10_000)
+    pushed = [r.result for r in result.history.responses if r.method == "push"]
+    popped = [
+        r.result
+        for r in result.history.responses
+        if r.method == "pop" and r.result is not S_EMPTY
+    ]
+    remaining = stack_contents(result.memory)
+    assert len(set(popped)) == len(popped)
+    assert sorted(popped + remaining) == sorted(pushed)
+
+
+queue_ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("enq"), st.integers(min_value=0, max_value=9)),
+        st.tuples(st.just("deq")),
+    ),
+    min_size=1,
+    max_size=8,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(queue_ops, queue_ops, st.randoms(use_true_random=False))
+def test_queue_conservation_and_fifo(script0, script1, pyrandom):
+    ids = itertools.count(1)
+
+    def make_call(pid, op_index, op):
+        if op[0] == "enq":
+            return enqueue_method(pid, next(ids), (pid, op_index))
+        return dequeue_method(pid)
+
+    def strategy(time, active):
+        return pyrandom.choice(active)
+
+    sim = Simulator(
+        [scripted_factory(script0, make_call), scripted_factory(script1, make_call)],
+        AdversarialScheduler(strategy),
+        memory=make_queue_memory(),
+        record_history=True,
+    )
+    result = sim.run(10_000)
+    enqueued = [
+        r.result for r in result.history.responses if r.method == "enq"
+    ]
+    dequeued = [
+        r.result
+        for r in result.history.responses
+        if r.method == "deq" and r.result is not Q_EMPTY
+    ]
+    remaining = queue_contents(result.memory)
+    # No duplicates among dequeued values.
+    assert len(set(dequeued)) == len(dequeued)
+    # Per-producer FIFO.
+    for pid in (0, 1):
+        seqs = [k for p, k in dequeued if p == pid]
+        assert seqs == sorted(seqs)
+    # Conservation: dequeued + remaining covers all *completed* enqueues
+    # (a linked-but-uncompleted enqueue may add an extra element).
+    assert set(enqueued) <= set(dequeued) | set(remaining)

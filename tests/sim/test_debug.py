@@ -1,0 +1,89 @@
+"""Tests for the timeline rendering tools (repro.sim.debug)."""
+
+import pytest
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.core.scheduler import AdversarialScheduler, UniformStochasticScheduler
+from repro.sim.debug import TimelineRecorder, describe_operation, render_history
+from repro.sim.executor import Simulator
+from repro.sim.history import History
+from repro.sim.ops import CAS, FetchAndIncrement, Nop, Read, ReadModifyWrite, Write
+
+
+class TestDescribeOperation:
+    def test_read(self):
+        assert describe_operation(Read("r"), 5) == "read r -> 5"
+
+    def test_write(self):
+        assert describe_operation(Write("r", 3)) == "write r <- 3"
+
+    def test_cas_success_and_failure(self):
+        assert "[ok]" in describe_operation(CAS("r", 0, 1), True)
+        assert "[fail]" in describe_operation(CAS("r", 0, 1), False)
+
+    def test_others(self):
+        assert "F&I" in describe_operation(FetchAndIncrement("r"), 7)
+        assert "RMW" in describe_operation(ReadModifyWrite("r", lambda v: v), 2)
+        assert describe_operation(Nop()) == "nop"
+
+
+class TestTimelineRecorder:
+    def test_records_every_step(self):
+        sim = Simulator(
+            cas_counter(),
+            AdversarialScheduler.round_robin(),
+            n_processes=2,
+            memory=make_counter_memory(),
+        )
+        timeline = TimelineRecorder(sim)
+        timeline.run(6)
+        assert len(timeline.rows) == 6
+        assert [row[1] for row in timeline.rows] == [0, 1, 0, 1, 0, 1]
+
+    def test_completion_marked(self):
+        sim = Simulator(
+            cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=1,
+            memory=make_counter_memory(),
+            rng=0,
+        )
+        timeline = TimelineRecorder(sim)
+        timeline.run(4)
+        rendered = timeline.render()
+        assert rendered.count("<-- completes") == 2
+        assert "CAS" in rendered
+        assert "read" in rendered
+
+    def test_stops_when_inactive(self):
+        sim = Simulator(
+            cas_counter(calls=1),
+            UniformStochasticScheduler(),
+            n_processes=1,
+            memory=make_counter_memory(),
+            rng=0,
+        )
+        timeline = TimelineRecorder(sim)
+        timeline.run(100)
+        assert len(timeline.rows) == 2  # read + CAS, then done
+
+
+class TestRenderHistory:
+    def test_interleaved_events(self):
+        history = History()
+        history.invoke(1, 0, "push", argument="x")
+        history.invoke(2, 1, "pop")
+        history.respond(3, 0, "push", result="x")
+        history.respond(4, 1, "pop", result="x")
+        out = render_history(history)
+        lines = out.splitlines()
+        assert "p0 invokes push('x')" in lines[0]
+        assert "p1 returns pop -> 'x'" in lines[-1]
+
+    def test_limit(self):
+        history = History()
+        for k in range(30):
+            history.invoke(2 * k + 1, 0, "op")
+            history.respond(2 * k + 2, 0, "op")
+        out = render_history(history, limit=10)
+        assert "more events" in out

@@ -1,0 +1,268 @@
+"""Unit and behaviour tests for repro.sim.executor."""
+
+import pytest
+
+from repro.core.scheduler import AdversarialScheduler, UniformStochasticScheduler
+from repro.sim.executor import Simulator
+from repro.sim.memory import Memory
+from repro.sim.ops import CAS, Read, Write
+from repro.sim.process import Completion, Invoke, repeat_method
+
+
+def incrementer(register="r"):
+    """A CAS-loop counter method."""
+
+    def method(pid):
+        while True:
+            value = yield Read(register)
+            ok = yield CAS(register, value, value + 1)
+            if ok:
+                return value
+
+    return repeat_method(method, method="inc")
+
+
+def counting_memory():
+    memory = Memory()
+    memory.register("r", 0)
+    return memory
+
+
+class TestBasicExecution:
+    def test_single_process_counts_up(self):
+        sim = Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=1,
+            memory=counting_memory(),
+            rng=0,
+        )
+        result = sim.run(10)
+        # Alone, every read+CAS pair completes: 5 completions in 10 steps.
+        assert result.total_completions == 5
+        assert result.memory.read("r") == 5
+
+    def test_steps_executed_tracks_time(self):
+        sim = Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=2,
+            memory=counting_memory(),
+            rng=0,
+        )
+        result = sim.run(100)
+        assert result.steps_executed == 100
+        assert not result.stopped_early
+
+    def test_run_is_resumable(self):
+        sim = Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=2,
+            memory=counting_memory(),
+            rng=0,
+        )
+        sim.run(50)
+        result = sim.run(50)
+        assert result.steps_executed == 100
+
+    def test_completions_sum_matches_counter(self):
+        # Every completed increment bumped the register exactly once.
+        sim = Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=4,
+            memory=counting_memory(),
+            rng=1,
+        )
+        result = sim.run(2000)
+        assert result.memory.read("r") == result.total_completions
+
+    def test_reproducible_with_seed(self):
+        def run(seed):
+            sim = Simulator(
+                incrementer(),
+                UniformStochasticScheduler(),
+                n_processes=3,
+                memory=counting_memory(),
+                rng=seed,
+            )
+            return sim.run(500).total_completions
+
+        assert run(42) == run(42)
+
+    def test_distinct_factories_per_process(self):
+        def writer(pid):
+            while True:
+                yield Write(f"out{pid}", pid)
+
+        sims = Simulator(
+            [writer, writer],
+            AdversarialScheduler.round_robin(),
+        )
+        sims.run(4)
+        assert sims.memory.read("out0") == 0
+        assert sims.memory.read("out1") == 1
+
+    def test_factory_count_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="factories"):
+            Simulator([lambda pid: iter(())], None, n_processes=2)
+
+    def test_single_factory_requires_n(self):
+        with pytest.raises(ValueError, match="n_processes"):
+            Simulator(incrementer(), UniformStochasticScheduler())
+
+
+class TestSchedulingSemantics:
+    def test_one_step_per_time_unit(self):
+        sim = Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=3,
+            memory=counting_memory(),
+            rng=0,
+        )
+        sim.run(99)
+        assert sum(p.steps for p in sim.processes) == 99
+
+    def test_round_robin_order(self):
+        sim = Simulator(
+            incrementer(),
+            AdversarialScheduler.round_robin(),
+            n_processes=3,
+            memory=counting_memory(),
+            record_schedule=True,
+        )
+        sim.run(6)
+        assert sim.recorder.schedule.as_array().tolist() == [0, 1, 2, 0, 1, 2]
+
+    def test_scheduler_selecting_inactive_detected(self):
+        bad = AdversarialScheduler(lambda t, active: 0)
+        sim = Simulator(
+            incrementer(),
+            bad,
+            n_processes=2,
+            memory=counting_memory(),
+            crash_times={0: 1},
+        )
+        # The adversary's choice is validated against the active set by
+        # AdversarialScheduler itself.
+        with pytest.raises(ValueError, match="inactive"):
+            sim.run(1)
+
+
+class TestCompletionsAndHistory:
+    def test_completion_recorded_at_cas_step_time(self):
+        # Solo process: completions at even steps (read at 1, CAS at 2, ...).
+        sim = Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=1,
+            memory=counting_memory(),
+            rng=0,
+        )
+        result = sim.run(6)
+        assert result.recorder.completion_times == [2, 4, 6]
+
+    def test_history_records_invocations_and_responses(self):
+        sim = Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=1,
+            memory=counting_memory(),
+            record_history=True,
+            rng=0,
+        )
+        result = sim.run(4)
+        history = result.history
+        assert [r.time for r in history.responses] == [2, 4]
+        # Three invocations: two answered, one pending (primed ahead).
+        assert len(history.invocations) == 3
+        assert history.pending_pids() == {0}
+
+    def test_stop_after_completions(self):
+        sim = Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=2,
+            memory=counting_memory(),
+            rng=0,
+        )
+        result = sim.run(10_000, stop_after_completions=5)
+        assert result.stopped_early
+        assert result.total_completions >= 5
+
+    def test_stop_after_completions_by(self):
+        sim = Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=2,
+            memory=counting_memory(),
+            rng=0,
+        )
+        result = sim.run(10_000, stop_after_completions_by=1)
+        assert result.stopped_early
+        assert result.completions_of(1) >= 1
+
+
+class TestCrashes:
+    def test_crashed_process_takes_no_steps(self):
+        sim = Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=3,
+            memory=counting_memory(),
+            crash_times={2: 50},
+            rng=0,
+        )
+        sim.run(500)
+        steps_at_crash = sim.processes[2].steps
+        sim.run(500)
+        assert sim.processes[2].steps == steps_at_crash
+
+    def test_all_crashed_stops_run(self):
+        sim = Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=2,
+            memory=counting_memory(),
+            crash_times={0: 5, 1: 5},
+            rng=0,
+        )
+        result = sim.run(100)
+        assert result.stopped_early
+        assert result.steps_executed == 4
+
+    def test_unknown_crash_pid_rejected(self):
+        with pytest.raises(ValueError, match="unknown process"):
+            Simulator(
+                incrementer(),
+                UniformStochasticScheduler(),
+                n_processes=2,
+                crash_times={9: 1},
+            )
+
+    def test_active_pids_shrink(self):
+        sim = Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=3,
+            memory=counting_memory(),
+            crash_times={1: 10},
+            rng=0,
+        )
+        sim.run(9)
+        assert sim.active_pids() == [0, 1, 2]
+        sim.run(10)
+        assert sim.active_pids() == [0, 2]
+
+    def test_completion_rate_property(self):
+        sim = Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=1,
+            memory=counting_memory(),
+            rng=0,
+        )
+        result = sim.run(10)
+        assert result.completion_rate == pytest.approx(0.5)

@@ -1,0 +1,89 @@
+"""Unit tests for repro.sim.history."""
+
+import pytest
+
+from repro.sim.history import History
+
+
+class TestRecording:
+    def test_invoke_respond_round_trip(self):
+        history = History()
+        history.invoke(1, 0, "push")
+        history.respond(3, 0, "push", result="ok")
+        assert len(history.invocations) == 1
+        assert len(history.responses) == 1
+        assert history.responses[0].result == "ok"
+
+    def test_double_invoke_rejected(self):
+        history = History()
+        history.invoke(1, 0)
+        with pytest.raises(ValueError, match="still pending"):
+            history.invoke(2, 0)
+
+    def test_respond_without_invoke_rejected(self):
+        history = History()
+        with pytest.raises(ValueError, match="nothing pending"):
+            history.respond(1, 0)
+
+    def test_method_mismatch_rejected(self):
+        history = History()
+        history.invoke(1, 0, "push")
+        with pytest.raises(ValueError, match="pending"):
+            history.respond(2, 0, "pop")
+
+    def test_time_must_be_monotone(self):
+        history = History()
+        history.invoke(5, 0)
+        with pytest.raises(ValueError, match="time-ordered"):
+            history.respond(4, 0)
+
+    def test_same_time_events_allowed(self):
+        history = History()
+        history.invoke(2, 0)
+        history.respond(2, 0)
+        assert history.end_time == 2
+
+
+class TestQueries:
+    def make_history(self):
+        history = History()
+        history.invoke(1, 0)
+        history.invoke(1, 1)
+        history.respond(4, 0)
+        history.invoke(5, 0)
+        history.respond(9, 0)
+        # pid 1 never responds.
+        return history
+
+    def test_pending_pids(self):
+        history = self.make_history()
+        assert history.pending_pids() == {1}
+
+    def test_response_times(self):
+        history = self.make_history()
+        assert history.response_times() == [4, 9]
+        assert history.response_times(pid=0) == [4, 9]
+        assert history.response_times(pid=1) == []
+
+    def test_completions_by_process(self):
+        history = self.make_history()
+        assert history.completions_by_process() == {0: 2}
+
+    def test_pending_intervals(self):
+        history = self.make_history()
+        intervals = history.pending_intervals(end_time=10)
+        assert (0, 1, 4) in intervals
+        assert (0, 5, 9) in intervals
+        assert (1, 1, None) in intervals
+
+    def test_max_response_gap(self):
+        history = self.make_history()
+        assert history.max_response_gap(0) == 5
+        assert history.max_response_gap(1) is None
+
+    def test_len_counts_all_events(self):
+        history = self.make_history()
+        assert len(history) == 5
+
+    def test_end_time_empty(self):
+        assert History().end_time == -1

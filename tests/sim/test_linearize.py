@@ -1,0 +1,241 @@
+"""Tests for the linearizability checker (repro.verify)."""
+
+import pytest
+
+from repro.sim.history import History
+from repro.verify.linearize import (
+    OpRecord,
+    check_history,
+    check_linearizable,
+    operations_from_history,
+)
+from repro.verify.specs import (
+    EMPTY,
+    CounterSpec,
+    QueueSpec,
+    RegisterSpec,
+    StackSpec,
+)
+
+
+def op(op_id, pid, method, arg, result, invoked, responded):
+    return OpRecord(op_id, pid, method, arg, result, invoked, responded)
+
+
+class TestSequentialHistories:
+    def test_counter_sequence_ok(self):
+        ops = [
+            op(0, 0, "fetch_and_inc", None, 0, 1, 2),
+            op(1, 0, "fetch_and_inc", None, 1, 3, 4),
+        ]
+        assert check_linearizable(ops, CounterSpec()).is_linearizable
+
+    def test_counter_wrong_value_rejected(self):
+        ops = [
+            op(0, 0, "fetch_and_inc", None, 0, 1, 2),
+            op(1, 0, "fetch_and_inc", None, 5, 3, 4),
+        ]
+        assert not check_linearizable(ops, CounterSpec()).is_linearizable
+
+    def test_register_sequence(self):
+        ops = [
+            op(0, 0, "write", "x", None, 1, 2),
+            op(1, 0, "read", None, "x", 3, 4),
+        ]
+        assert check_linearizable(ops, RegisterSpec()).is_linearizable
+
+    def test_stale_read_after_write_rejected(self):
+        # read returning the old value strictly after the write responded.
+        ops = [
+            op(0, 0, "write", "x", None, 1, 2),
+            op(1, 1, "read", None, None, 3, 4),
+        ]
+        assert not check_linearizable(ops, RegisterSpec("init") ).is_linearizable
+
+
+class TestConcurrentReordering:
+    def test_overlapping_ops_may_commute(self):
+        # Two overlapping increments: results 1 then 0 in response order
+        # is fine because they overlap (either linearization order).
+        ops = [
+            op(0, 0, "fetch_and_inc", None, 1, 1, 10),
+            op(1, 1, "fetch_and_inc", None, 0, 2, 9),
+        ]
+        assert check_linearizable(ops, CounterSpec()).is_linearizable
+
+    def test_real_time_order_enforced(self):
+        # Non-overlapping: the earlier op must see the smaller value.
+        ops = [
+            op(0, 0, "fetch_and_inc", None, 1, 1, 2),
+            op(1, 1, "fetch_and_inc", None, 0, 3, 4),
+        ]
+        assert not check_linearizable(ops, CounterSpec()).is_linearizable
+
+    def test_queue_new_value_before_old_rejected(self):
+        # Sequentially enqueue a then b; a dequeue strictly later must
+        # not return b before some dequeue returns a.
+        ops = [
+            op(0, 0, "enqueue", "a", "a", 1, 2),
+            op(1, 0, "enqueue", "b", "b", 3, 4),
+            op(2, 1, "dequeue", None, "b", 5, 6),
+        ]
+        assert not check_linearizable(ops, QueueSpec()).is_linearizable
+
+    def test_stack_lifo_witness(self):
+        ops = [
+            op(0, 0, "push", "a", "a", 1, 2),
+            op(1, 0, "push", "b", "b", 3, 4),
+            op(2, 1, "pop", None, "b", 5, 6),
+            op(3, 1, "pop", None, "a", 7, 8),
+        ]
+        result = check_linearizable(ops, StackSpec())
+        assert result.is_linearizable
+        assert result.witness == [0, 1, 2, 3]
+
+    def test_pop_empty_between_pushes(self):
+        # pop -> EMPTY overlapping a push can linearize before it.
+        ops = [
+            op(0, 0, "push", "a", "a", 1, 10),
+            op(1, 1, "pop", None, EMPTY, 2, 3),
+        ]
+        assert check_linearizable(ops, StackSpec()).is_linearizable
+
+
+class TestPendingOperations:
+    def test_pending_op_may_have_taken_effect(self):
+        # The enqueue never responded, but a dequeue saw its value:
+        # linearizable because the pending op may have taken effect.
+        ops = [
+            op(0, 0, "enqueue", "a", None, 1, None),
+            op(1, 1, "dequeue", None, "a", 2, 5),
+        ]
+        assert check_linearizable(ops, QueueSpec()).is_linearizable
+
+    def test_pending_op_may_be_omitted(self):
+        ops = [
+            op(0, 0, "enqueue", "a", None, 1, None),
+            op(1, 1, "dequeue", None, EMPTY, 2, 5),
+        ]
+        assert check_linearizable(ops, QueueSpec()).is_linearizable
+
+    def test_effect_must_be_consistent(self):
+        # The same pending enqueue cannot be dequeued twice.
+        ops = [
+            op(0, 0, "enqueue", "a", None, 1, None),
+            op(1, 1, "dequeue", None, "a", 2, 5),
+            op(2, 1, "dequeue", None, "a", 6, 9),
+        ]
+        assert not check_linearizable(ops, QueueSpec()).is_linearizable
+
+
+class TestFromHistory:
+    def test_round_trip(self):
+        history = History()
+        history.invoke(1, 0, "push", argument="x")
+        history.respond(3, 0, "push", result="x")
+        history.invoke(4, 1, "pop")
+        history.respond(6, 1, "pop", result="x")
+        history.invoke(7, 0, "pop")  # pending
+        ops = operations_from_history(history)
+        assert len(ops) == 3
+        assert ops[0].argument == "x"
+        assert ops[2].pending
+        assert check_history(history, StackSpec()).is_linearizable
+
+    def test_budget_enforced(self):
+        ops = [
+            op(i, i, "fetch_and_inc", None, i, 1, None) for i in range(12)
+        ]
+        with pytest.raises(ArithmeticError, match="exceeded"):
+            check_linearizable(ops, CounterSpec(), max_nodes=10)
+
+
+class TestEndToEndWithSimulator:
+    def _normalize(self, algorithm_empty):
+        def norm(result):
+            return EMPTY if result is algorithm_empty else result
+
+        return norm
+
+    def test_treiber_stack_runs_are_linearizable(self):
+        from repro.algorithms import treiber
+        from repro.core.scheduler import UniformStochasticScheduler
+        from repro.sim.executor import Simulator
+
+        sim = Simulator(
+            treiber.treiber_workload(
+                treiber.TreiberWorkload(seed=5), calls=6
+            ),
+            UniformStochasticScheduler(),
+            n_processes=3,
+            memory=treiber.make_stack_memory(),
+            record_history=True,
+            rng=7,
+        )
+        result = sim.run(10_000)
+        check = check_history(
+            result.history,
+            StackSpec(),
+            normalize_result=self._normalize(treiber.EMPTY),
+        )
+        assert check.is_linearizable
+
+    def test_ms_queue_runs_are_linearizable(self):
+        from repro.algorithms import msqueue
+        from repro.core.scheduler import UniformStochasticScheduler
+        from repro.sim.executor import Simulator
+
+        sim = Simulator(
+            msqueue.ms_queue_workload(
+                msqueue.MSQueueWorkload(seed=6), calls=6
+            ),
+            UniformStochasticScheduler(),
+            n_processes=3,
+            memory=msqueue.make_queue_memory(),
+            record_history=True,
+            rng=8,
+        )
+        result = sim.run(10_000)
+        check = check_history(
+            result.history,
+            QueueSpec(),
+            normalize_result=self._normalize(msqueue.EMPTY),
+        )
+        assert check.is_linearizable
+
+    def test_harris_set_runs_are_linearizable(self):
+        from repro.algorithms.harris_set import (
+            SetWorkload,
+            harris_set_workload,
+            make_set_memory,
+        )
+        from repro.core.scheduler import UniformStochasticScheduler
+        from repro.sim.executor import Simulator
+        from repro.verify.specs import SetSpec
+
+        sim = Simulator(
+            harris_set_workload(SetWorkload(key_range=4, seed=2), calls=5),
+            UniformStochasticScheduler(),
+            n_processes=3,
+            memory=make_set_memory(),
+            record_history=True,
+            rng=10,
+        )
+        result = sim.run(20_000)
+        assert check_history(result.history, SetSpec()).is_linearizable
+
+    def test_cas_counter_runs_are_linearizable(self):
+        from repro.algorithms.counter import cas_counter, make_counter_memory
+        from repro.core.scheduler import UniformStochasticScheduler
+        from repro.sim.executor import Simulator
+
+        sim = Simulator(
+            cas_counter(calls=8),
+            UniformStochasticScheduler(),
+            n_processes=3,
+            memory=make_counter_memory(),
+            record_history=True,
+            rng=9,
+        )
+        result = sim.run(10_000)
+        assert check_history(result.history, CounterSpec()).is_linearizable

@@ -1,0 +1,133 @@
+"""Unit tests for repro.sim.memory and repro.sim.ops semantics."""
+
+import pytest
+
+from repro.sim.memory import Memory
+from repro.sim.ops import (
+    CAS,
+    FetchAndIncrement,
+    Nop,
+    Read,
+    ReadModifyWrite,
+    Write,
+    augmented_cas,
+)
+
+
+@pytest.fixture
+def memory():
+    mem = Memory()
+    mem.register("r", 0)
+    return mem
+
+
+class TestRegisters:
+    def test_register_initialises(self, memory):
+        assert memory.read("r") == 0
+
+    def test_register_reinitialises(self, memory):
+        memory.register("r", 42)
+        assert memory.read("r") == 42
+
+    def test_implicit_register_defaults_none(self, memory):
+        assert memory.read("fresh") is None
+        assert "fresh" in memory
+
+    def test_contains(self, memory):
+        assert "r" in memory
+        assert "other" not in memory
+
+    def test_registers_snapshot(self, memory):
+        snap = memory.registers()
+        assert "r" in snap
+
+
+class TestReadWrite:
+    def test_read(self, memory):
+        assert memory.apply(Read("r")) == 0
+        assert memory["r"].reads == 1
+
+    def test_write(self, memory):
+        assert memory.apply(Write("r", 7)) is None
+        assert memory.read("r") == 7
+        assert memory["r"].writes == 1
+
+    def test_total_operations_counted(self, memory):
+        memory.apply(Read("r"))
+        memory.apply(Write("r", 1))
+        memory.apply(Nop())
+        assert memory.total_operations == 3
+
+
+class TestCAS:
+    def test_successful_cas(self, memory):
+        assert memory.apply(CAS("r", 0, 5)) is True
+        assert memory.read("r") == 5
+        assert memory["r"].cas_successes == 1
+
+    def test_failed_cas_leaves_value(self, memory):
+        assert memory.apply(CAS("r", 99, 5)) is False
+        assert memory.read("r") == 0
+        assert memory["r"].cas_attempts == 1
+        assert memory["r"].cas_successes == 0
+
+    def test_cas_on_none_initial(self):
+        mem = Memory()
+        assert mem.apply(CAS("x", None, "set")) is True
+        assert mem.read("x") == "set"
+
+    def test_cas_compares_by_equality(self, memory):
+        memory.register("r", (1, 2))
+        assert memory.apply(CAS("r", (1, 2), "new")) is True
+
+
+class TestReadModifyWrite:
+    def test_augmented_cas_success_returns_old(self, memory):
+        result = memory.apply(augmented_cas("r", 0, 1))
+        assert result == 0
+        assert memory.read("r") == 1
+
+    def test_augmented_cas_failure_returns_current(self, memory):
+        memory.register("r", 3)
+        result = memory.apply(augmented_cas("r", 0, 1))
+        assert result == 3
+        assert memory.read("r") == 3
+
+    def test_fetch_and_increment(self, memory):
+        assert memory.apply(FetchAndIncrement("r")) == 0
+        assert memory.apply(FetchAndIncrement("r")) == 1
+        assert memory.read("r") == 2
+
+    def test_fetch_and_increment_amount(self, memory):
+        memory.apply(FetchAndIncrement("r", amount=5))
+        assert memory.read("r") == 5
+
+    def test_fetch_and_increment_on_none_starts_at_zero(self):
+        mem = Memory()
+        assert mem.apply(FetchAndIncrement("fresh")) == 0
+        assert mem.read("fresh") == 1
+
+    def test_generic_rmw(self, memory):
+        memory.register("r", 10)
+        old = memory.apply(ReadModifyWrite("r", lambda v: v * 2))
+        assert old == 10
+        assert memory.read("r") == 20
+
+    def test_rmw_counter_incremented(self, memory):
+        memory.apply(ReadModifyWrite("r", lambda v: v))
+        assert memory["r"].rmws == 1
+
+
+class TestNop:
+    def test_nop_touches_nothing(self, memory):
+        before = memory.read("r")
+        assert memory.apply(Nop()) is None
+        assert memory.read("r") == before
+        assert memory["r"].reads == 0
+
+    def test_unknown_operation_type_rejected(self, memory):
+        class Bogus:
+            register = "r"
+
+        with pytest.raises(TypeError, match="unknown operation"):
+            memory.apply(Bogus())

@@ -1,0 +1,148 @@
+"""Unit tests for repro.sim.process."""
+
+import pytest
+
+from repro.sim.memory import Memory
+from repro.sim.ops import Read, Write
+from repro.sim.process import Completion, Invoke, Process, repeat_method
+
+
+def collect_markers():
+    markers = []
+    return markers, markers.append
+
+
+class TestProcessLifecycle:
+    def test_advance_primes_first_operation(self):
+        def gen(pid):
+            yield Read("r")
+
+        process = Process(0, gen)
+        markers, on_marker = collect_markers()
+        process.advance(None, on_marker)
+        assert isinstance(process.pending, Read)
+        assert markers == []
+
+    def test_markers_reported_before_operation(self):
+        def gen(pid):
+            yield Invoke("m")
+            yield Read("r")
+
+        process = Process(0, gen)
+        markers, on_marker = collect_markers()
+        process.advance(None, on_marker)
+        assert markers == [Invoke("m")]
+        assert isinstance(process.pending, Read)
+
+    def test_take_step_applies_and_counts(self):
+        memory = Memory()
+        memory.register("r", 41)
+
+        def gen(pid):
+            value = yield Read("r")
+            yield Write("r", value + 1)
+
+        process = Process(0, gen)
+        process.advance(None, lambda m: None)
+        op = process.take_step(memory.apply)
+        assert isinstance(op, Read)
+        assert process.steps == 1
+        process.refill(lambda m: None)
+        process.take_step(memory.apply)
+        assert memory.read("r") == 42
+
+    def test_take_step_without_pending_raises(self):
+        process = Process(0, lambda pid: iter(()))
+        with pytest.raises(RuntimeError, match="no pending"):
+            process.take_step(lambda op: None)
+
+    def test_generator_exhaustion_sets_done(self):
+        def gen(pid):
+            yield Read("r")
+
+        memory = Memory()
+        process = Process(0, gen)
+        process.advance(None, lambda m: None)
+        process.take_step(memory.apply)
+        process.refill(lambda m: None)
+        assert process.done
+        assert not process.active
+
+    def test_crash_makes_inactive(self):
+        def gen(pid):
+            while True:
+                yield Read("r")
+
+        process = Process(3, gen)
+        assert process.active
+        process.crash()
+        assert process.crashed
+        assert not process.active
+
+    def test_invalid_yield_type_rejected(self):
+        def gen(pid):
+            yield "not an operation"
+
+        process = Process(0, gen)
+        with pytest.raises(TypeError, match="expected an"):
+            process.advance(None, lambda m: None)
+
+    def test_result_is_sent_back(self):
+        seen = []
+
+        def gen(pid):
+            value = yield Read("r")
+            seen.append(value)
+            yield Read("r")
+
+        memory = Memory()
+        memory.register("r", "payload")
+        process = Process(0, gen)
+        process.advance(None, lambda m: None)
+        process.take_step(memory.apply)
+        process.refill(lambda m: None)
+        assert seen == ["payload"]
+
+
+class TestRepeatMethod:
+    def test_wraps_calls_with_markers(self):
+        def method(pid):
+            yield Read("r")
+            return "done"
+
+        factory = repeat_method(method, method="op", calls=2)
+        process = Process(0, factory)
+        markers, on_marker = collect_markers()
+        memory = Memory()
+        process.advance(None, on_marker)
+        # First call: invoke marker seen, read pending.
+        assert markers == [Invoke("op")]
+        process.take_step(memory.apply)
+        process.refill(on_marker)
+        # Completion of call 1 and invocation of call 2 arrive together.
+        assert markers[1] == Completion("done", "op")
+        assert markers[2] == Invoke("op")
+
+    def test_bounded_calls_terminate(self):
+        def method(pid):
+            yield Read("r")
+
+        factory = repeat_method(method, calls=1)
+        process = Process(0, factory)
+        memory = Memory()
+        process.advance(None, lambda m: None)
+        process.take_step(memory.apply)
+        process.refill(lambda m: None)
+        assert process.done
+
+    def test_pid_passed_through(self):
+        pids = []
+
+        def method(pid):
+            pids.append(pid)
+            yield Read("r")
+
+        factory = repeat_method(method, calls=1)
+        process = Process(7, factory)
+        process.advance(None, lambda m: None)
+        assert pids == [7]

@@ -1,0 +1,84 @@
+"""Tests for the Appendix A.2 schedule-recording methodology."""
+
+import numpy as np
+import pytest
+
+from repro.core.scheduler import AdversarialScheduler, UniformStochasticScheduler
+from repro.sim.recording import ScheduleRecording, record_schedule
+
+
+class TestExactRecovery:
+    def test_fai_method_recovers_schedule_exactly(self):
+        recording = record_schedule(
+            UniformStochasticScheduler(), n_processes=4, steps=5_000, rng=0
+        )
+        assert recording.agreement() == 1.0
+        assert np.array_equal(
+            recording.recovered, recording.actual[: recording.recovered.size]
+        )
+
+    def test_round_robin_recovery(self):
+        recording = record_schedule(
+            AdversarialScheduler.round_robin(), n_processes=3, steps=9, rng=0
+        )
+        assert recording.recovered.tolist() == [0, 1, 2, 0, 1, 2, 0, 1, 2]
+
+    def test_every_step_is_a_ticket(self):
+        recording = record_schedule(
+            UniformStochasticScheduler(), n_processes=2, steps=100, rng=1
+        )
+        assert recording.recovered.size == recording.actual.size
+
+
+class TestPerturbedRecording:
+    def test_delay_hides_instrumentation_steps(self):
+        recording = record_schedule(
+            UniformStochasticScheduler(),
+            n_processes=4,
+            steps=8_000,
+            delay=2,
+            rng=2,
+        )
+        # Roughly a third of the steps are recording steps.
+        ratio = recording.recovered.size / recording.actual.size
+        assert ratio == pytest.approx(1 / 3, abs=0.05)
+
+    def test_delay_biases_local_statistics(self):
+        # The paper: "since the timer call causes a delay to the caller,
+        # a process is less likely to be scheduled twice in succession"
+        # *in the recording*.  The recovered self-succession rate drops
+        # well below the true 1/n.
+        n = 4
+
+        def self_succession(schedule):
+            return float(np.mean(schedule[:-1] == schedule[1:]))
+
+        exact = record_schedule(
+            UniformStochasticScheduler(), n, 40_000, delay=0, rng=3
+        )
+        perturbed = record_schedule(
+            UniformStochasticScheduler(), n, 40_000, delay=3, rng=3
+        )
+        assert self_succession(exact.recovered) == pytest.approx(1 / n, abs=0.02)
+        assert self_succession(perturbed.recovered) < 0.6 / n
+
+    def test_long_run_shares_unbiased_either_way(self):
+        # Despite the local bias, the Figure 3 statistic survives.
+        n = 4
+        perturbed = record_schedule(
+            UniformStochasticScheduler(), n, 40_000, delay=3, rng=4
+        )
+        shares = np.bincount(perturbed.recovered, minlength=n) / perturbed.recovered.size
+        assert np.allclose(shares, 1 / n, atol=0.02)
+
+    def test_delay_validation(self):
+        with pytest.raises(ValueError):
+            record_schedule(UniformStochasticScheduler(), 2, 10, delay=-1)
+
+    def test_empty_recording_agreement_raises(self):
+        recording = ScheduleRecording(
+            recovered=np.array([], dtype=np.int64),
+            actual=np.array([], dtype=np.int64),
+        )
+        with pytest.raises(ValueError):
+            recording.agreement()

@@ -1,0 +1,111 @@
+"""Direct tests for the sequential specifications (repro.verify.specs)."""
+
+import pytest
+
+from repro.verify.specs import (
+    EMPTY,
+    CounterSpec,
+    QueueSpec,
+    RegisterSpec,
+    SetSpec,
+    StackSpec,
+)
+
+
+class TestCounterSpec:
+    def test_returns_pre_increment(self):
+        spec = CounterSpec()
+        state, result = spec.apply(spec.initial_state(), "fetch_and_inc", None)
+        assert (state, result) == (1, 0)
+
+    def test_custom_initial(self):
+        assert CounterSpec(initial=10).initial_state() == 10
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            CounterSpec().apply(0, "decrement", None)
+
+
+class TestRegisterSpec:
+    def test_read_write(self):
+        spec = RegisterSpec("init")
+        state, result = spec.apply(spec.initial_state(), "read", None)
+        assert result == "init"
+        state, _ = spec.apply(state, "write", "new")
+        assert spec.apply(state, "read", None)[1] == "new"
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            RegisterSpec().apply(None, "swap", 1)
+
+
+class TestStackSpec:
+    def test_lifo(self):
+        spec = StackSpec()
+        state = spec.initial_state()
+        state, _ = spec.apply(state, "push", "a")
+        state, _ = spec.apply(state, "push", "b")
+        state, top = spec.apply(state, "pop", None)
+        assert top == "b"
+
+    def test_pop_empty(self):
+        spec = StackSpec()
+        state, result = spec.apply(spec.initial_state(), "pop", None)
+        assert result == EMPTY
+        assert state == ()
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            StackSpec().apply((), "peek", None)
+
+
+class TestQueueSpec:
+    def test_fifo(self):
+        spec = QueueSpec()
+        state = spec.initial_state()
+        state, _ = spec.apply(state, "enqueue", "a")
+        state, _ = spec.apply(state, "enqueue", "b")
+        state, front = spec.apply(state, "dequeue", None)
+        assert front == "a"
+
+    def test_short_method_names(self):
+        spec = QueueSpec()
+        state, _ = spec.apply(spec.initial_state(), "enq", 1)
+        _, out = spec.apply(state, "deq", None)
+        assert out == 1
+
+    def test_dequeue_empty(self):
+        spec = QueueSpec()
+        assert spec.apply((), "dequeue", None)[1] == EMPTY
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            QueueSpec().apply((), "peek", None)
+
+
+class TestSetSpec:
+    def test_insert_remove_contains(self):
+        spec = SetSpec()
+        state = spec.initial_state()
+        state, added = spec.apply(state, "insert", 3)
+        assert added is True
+        state, added_again = spec.apply(state, "insert", 3)
+        assert added_again is False
+        assert spec.apply(state, "contains", 3)[1] is True
+        state, removed = spec.apply(state, "remove", 3)
+        assert removed is True
+        assert spec.apply(state, "contains", 3)[1] is False
+
+    def test_remove_absent(self):
+        spec = SetSpec()
+        assert spec.apply(frozenset(), "remove", 9)[1] is False
+
+    def test_pure_application(self):
+        spec = SetSpec()
+        original = frozenset({1})
+        spec.apply(original, "insert", 2)
+        assert original == frozenset({1})
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            SetSpec().apply(frozenset(), "union", {1})

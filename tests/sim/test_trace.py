@@ -1,0 +1,102 @@
+"""Unit tests for repro.sim.trace."""
+
+import numpy as np
+import pytest
+
+from repro.sim.trace import ScheduleTrace, TraceRecorder
+
+
+class TestScheduleTrace:
+    def test_append_and_array(self):
+        trace = ScheduleTrace(3)
+        for pid in [0, 1, 2, 0]:
+            trace.append(pid)
+        assert trace.as_array().tolist() == [0, 1, 2, 0]
+        assert len(trace) == 4
+
+    def test_buffer_growth(self):
+        trace = ScheduleTrace(2)
+        for i in range(5000):
+            trace.append(i % 2)
+        assert len(trace) == 5000
+        assert trace.as_array()[-1] == 1
+
+    def test_step_shares(self):
+        trace = ScheduleTrace(2)
+        for pid in [0, 0, 0, 1]:
+            trace.append(pid)
+        assert np.allclose(trace.step_shares(), [0.75, 0.25])
+
+    def test_step_shares_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            ScheduleTrace(2).step_shares()
+
+    def test_successor_shares(self):
+        trace = ScheduleTrace(2)
+        for pid in [0, 1, 0, 0, 1]:
+            trace.append(pid)
+        # After pid 0 steps (positions 0, 2, 3): successors are 1, 0, 1.
+        assert np.allclose(trace.successor_shares(0), [1 / 3, 2 / 3])
+
+    def test_successor_shares_never_stepping_process(self):
+        trace = ScheduleTrace(2)
+        trace.append(0)
+        trace.append(0)
+        with pytest.raises(ValueError, match="never"):
+            trace.successor_shares(1)
+
+    def test_successor_matrix_rows_are_distributions(self):
+        rng = np.random.default_rng(0)
+        trace = ScheduleTrace(4)
+        for pid in rng.integers(4, size=2000):
+            trace.append(int(pid))
+        matrix = trace.successor_matrix()
+        assert matrix.shape == (4, 4)
+        assert np.allclose(matrix.sum(axis=1), 1.0)
+
+    def test_longest_consecutive_run(self):
+        trace = ScheduleTrace(2)
+        for pid in [0, 0, 1, 0, 0, 0, 1]:
+            trace.append(pid)
+        assert trace.longest_consecutive_run(0) == 3
+        assert trace.longest_consecutive_run(1) == 1
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError):
+            ScheduleTrace(0)
+
+
+class TestTraceRecorder:
+    def test_step_and_completion_counting(self):
+        recorder = TraceRecorder(2)
+        recorder.on_step(1, 0)
+        recorder.on_step(2, 1)
+        recorder.on_completion(2, 1)
+        assert recorder.total_steps == 2
+        assert recorder.steps == {0: 1, 1: 1}
+        assert recorder.total_completions == 1
+        assert recorder.completions[1] == 1
+
+    def test_schedule_disabled_by_default(self):
+        recorder = TraceRecorder(2)
+        assert recorder.schedule is None
+
+    def test_schedule_enabled(self):
+        recorder = TraceRecorder(2, record_schedule=True)
+        recorder.on_step(1, 1)
+        assert recorder.schedule.as_array().tolist() == [1]
+
+    def test_completion_times_of(self):
+        recorder = TraceRecorder(2)
+        recorder.on_completion(5, 0)
+        recorder.on_completion(9, 1)
+        recorder.on_completion(12, 0)
+        assert recorder.completion_times_of(0).tolist() == [5, 12]
+        assert recorder.completion_times_of(1).tolist() == [9]
+
+    def test_completion_times_disabled(self):
+        recorder = TraceRecorder(1, record_completion_times=False)
+        recorder.on_completion(1, 0)
+        assert recorder.completions[0] == 1
+        with pytest.raises(ValueError, match="not recorded"):
+            recorder.completion_times_of(0)

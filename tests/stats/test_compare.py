@@ -1,0 +1,76 @@
+"""Tests for repro.stats.compare."""
+
+import numpy as np
+import pytest
+
+from repro.stats.compare import (
+    chi_square_uniformity,
+    empirical_threshold,
+    step_share_spread,
+    total_variation,
+)
+
+
+class TestTotalVariation:
+    def test_identical_is_zero(self):
+        p = np.array([0.25, 0.75])
+        assert total_variation(p, p) == 0.0
+
+    def test_disjoint_is_one(self):
+        assert total_variation(
+            np.array([1.0, 0.0]), np.array([0.0, 1.0])
+        ) == pytest.approx(1.0)
+
+    def test_symmetry(self):
+        p = np.array([0.2, 0.3, 0.5])
+        q = np.array([0.5, 0.25, 0.25])
+        assert total_variation(p, q) == total_variation(q, p)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shape"):
+            total_variation(np.array([1.0]), np.array([0.5, 0.5]))
+
+    def test_non_probability_rejected(self):
+        with pytest.raises(ValueError, match="probability"):
+            total_variation(np.array([0.6, 0.6]), np.array([0.5, 0.5]))
+
+
+class TestChiSquare:
+    def test_uniform_counts_high_p(self):
+        rng = np.random.default_rng(0)
+        counts = np.bincount(rng.integers(8, size=80_000), minlength=8)
+        _, p_value = chi_square_uniformity(counts)
+        assert p_value > 0.01
+
+    def test_skewed_counts_low_p(self):
+        counts = np.array([1000, 100, 100, 100])
+        _, p_value = chi_square_uniformity(counts)
+        assert p_value < 1e-6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chi_square_uniformity(np.array([5.0]))
+        with pytest.raises(ValueError):
+            chi_square_uniformity(np.zeros(3))
+
+
+class TestScheduleStatistics:
+    def test_empirical_threshold_uniform(self):
+        rng = np.random.default_rng(1)
+        schedule = rng.integers(4, size=100_000)
+        theta = empirical_threshold(schedule, 4)
+        assert theta == pytest.approx(0.25, abs=0.01)
+
+    def test_empirical_threshold_starvation(self):
+        schedule = np.zeros(1000, dtype=int)
+        assert empirical_threshold(schedule, 2) == 0.0
+
+    def test_step_share_spread(self):
+        schedule = np.array([0, 0, 0, 1])
+        assert step_share_spread(schedule, 2) == pytest.approx(0.5)
+
+    def test_empty_schedule_rejected(self):
+        with pytest.raises(ValueError):
+            empirical_threshold(np.array([], dtype=int), 2)
+        with pytest.raises(ValueError):
+            step_share_spread(np.array([], dtype=int), 2)

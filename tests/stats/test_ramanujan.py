@@ -1,0 +1,100 @@
+"""Tests for repro.stats.ramanujan."""
+
+import numpy as np
+import pytest
+
+from repro.stats.ramanujan import (
+    birthday_expected_collision,
+    counter_return_times,
+    ramanujan_q,
+    ramanujan_q_asymptotic,
+)
+
+
+class TestRamanujanQ:
+    def test_small_values_by_hand(self):
+        # Q(1) = 1 (single term k=1).
+        assert ramanujan_q(1) == pytest.approx(1.0)
+        # Q(2) = 1 + 2!/2^2 = 1.5.
+        assert ramanujan_q(2) == pytest.approx(1.5)
+        # Q(3) = 1 + 2/3 + 2/9 = 17/9.
+        assert ramanujan_q(3) == pytest.approx(17 / 9)
+
+    def test_monotone_increasing(self):
+        values = [ramanujan_q(n) for n in range(1, 60)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ramanujan_q(0)
+
+
+class TestAsymptotics:
+    def test_leading_term(self):
+        n = 10_000
+        assert ramanujan_q(n) / np.sqrt(np.pi * n / 2) == pytest.approx(
+            1.0, abs=0.01
+        )
+
+    def test_expansion_orders_improve(self):
+        n = 200
+        exact = ramanujan_q(n)
+        errors = [
+            abs(ramanujan_q_asymptotic(n, order=k) - exact) for k in range(4)
+        ]
+        assert errors[1] < errors[0]
+        assert errors[3] < errors[1]
+
+    def test_high_order_is_tight(self):
+        for n in (50, 500, 5_000):
+            assert ramanujan_q_asymptotic(n, order=3) == pytest.approx(
+                ramanujan_q(n), rel=1e-3
+            )
+
+    def test_order_validation(self):
+        with pytest.raises(ValueError):
+            ramanujan_q_asymptotic(10, order=4)
+        with pytest.raises(ValueError):
+            ramanujan_q_asymptotic(0)
+
+
+class TestZRecurrence:
+    def test_base_case(self):
+        assert counter_return_times(1).tolist() == [1.0]
+
+    def test_recurrence_step(self):
+        z = counter_return_times(5)
+        for i in range(1, 5):
+            assert z[i] == pytest.approx(1 + (i / 5) * z[i - 1])
+
+    def test_z_equals_q_identity(self):
+        # The paper's remark is exact: Z(n-1) = Q(n).
+        for n in (1, 2, 7, 33, 200):
+            assert counter_return_times(n)[-1] == pytest.approx(
+                ramanujan_q(n), rel=1e-12
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            counter_return_times(0)
+
+
+class TestBirthday:
+    def test_expected_collision_monte_carlo(self):
+        rng = np.random.default_rng(0)
+        n = 64
+        total = 0
+        trials = 5_000
+        for _ in range(trials):
+            seen = set()
+            throws = 0
+            while True:
+                throws += 1
+                x = int(rng.integers(n))
+                if x in seen:
+                    break
+                seen.add(x)
+            total += throws
+        assert total / trials == pytest.approx(
+            birthday_expected_collision(n), rel=0.03
+        )
