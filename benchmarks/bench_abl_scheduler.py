@@ -9,6 +9,8 @@ ratio W_i_max / (n W): the latency shape is robust, fairness degrades
 with skew.
 """
 
+import zlib
+
 import numpy as np
 
 from repro.algorithms.counter import cas_counter, make_counter_memory
@@ -42,7 +44,10 @@ def reproduce_ablation():
             n_processes=N,
             steps=STEPS,
             memory=make_counter_memory(),
-            rng=hash(name) % (2**32),
+            # crc32, not hash(): str hashes are randomised per process,
+            # which made this table change across regenerations.
+            rng=zlib.crc32(name.encode()),
+            batched=True,
         )
         rows.append(
             (

@@ -35,6 +35,7 @@ def reproduce_figure5():
             steps=STEPS,
             memory=make_counter_memory(),
             rng=n,
+            batched=True,
         )
         measured.append(m.completion_rate)
     measured = np.array(measured)

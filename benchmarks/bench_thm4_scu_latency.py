@@ -40,7 +40,7 @@ def reproduce_theorem4():
     rows = []
     for q, s, n in SWEEP:
         spec = SCU(q, s)
-        measured = spec.measure(n, STEPS, rng=(q, s, n))
+        measured = spec.measure(n, STEPS, rng=(q, s, n), batched=True)
         exact = exact_if_tractable(spec, n)
         fairness = measured.mean_individual_latency / (
             n * measured.system_latency

@@ -20,7 +20,7 @@ N_VALUES = [4, 8, 16, 32, 64, 128, 256, 512]
 def reproduce_theorem5():
     exact = [scu_system_latency_exact(n) for n in N_VALUES]
     simulated = {
-        n: SCU(0, 1).measure(n, 150_000, rng=n).system_latency for n in (16, 128)
+        n: SCU(0, 1).measure(n, 150_000, rng=n, batched=True).system_latency for n in (16, 128)
     }
     return exact, simulated
 

@@ -16,7 +16,7 @@ from typing import Any, Generator, Optional
 
 from repro.sim.memory import Memory
 from repro.sim.ops import CAS, Read
-from repro.sim.process import ProcessFactory, repeat_method
+from repro.sim.process import Completion, Invoke, ProcessFactory
 
 DEFAULT_REGISTER = "counter"
 
@@ -25,8 +25,9 @@ def cas_counter_method(
     pid: int, register: str = DEFAULT_REGISTER
 ) -> Generator[Any, Any, int]:
     """One fetch-and-increment method call; returns the fetched value."""
+    read = Read(register)
     while True:
-        value = yield Read(register)
+        value = yield read
         success = yield CAS(register, value, value + 1)
         if success:
             return value
@@ -44,10 +45,26 @@ def cas_counter(
     integer) before running.
     """
 
-    def method_call(pid: int) -> Generator[Any, Any, int]:
-        return cas_counter_method(pid, register)
+    def factory(pid: int):
+        # Flattened fast path: one generator frame instead of the
+        # repeat_method -> cas_counter_method delegation, since each
+        # executor step pays one ``send`` per frame.  Must stay
+        # trace-identical to ``repeat_method`` around
+        # :func:`cas_counter_method` — enforced by
+        # tests/algorithms/test_counter.py.
+        read = Read(register)
+        invoke = Invoke("fetch_and_inc")
+        count = 0
+        while calls is None or count < calls:
+            yield invoke
+            while True:
+                value = yield read
+                if (yield CAS(register, value, value + 1)):
+                    break
+            yield Completion(value, "fetch_and_inc")
+            count += 1
 
-    return repeat_method(method_call, method="fetch_and_inc", calls=calls)
+    return factory
 
 
 def make_counter_memory(register: str = DEFAULT_REGISTER, initial: int = 0) -> Memory:

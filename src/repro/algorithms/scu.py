@@ -20,7 +20,7 @@ from typing import Any, Generator, Optional, Tuple
 
 from repro.sim.memory import Memory
 from repro.sim.ops import CAS, Nop, Read
-from repro.sim.process import ProcessFactory, repeat_method
+from repro.sim.process import Completion, Invoke, ProcessFactory
 
 DEFAULT_DECISION = "R"
 DEFAULT_AUX_PREFIX = "R_aux"
@@ -62,17 +62,22 @@ def scu_method(
         raise ValueError("q must be non-negative")
     if s < 1:
         raise ValueError("s must be at least 1 (the decision register read)")
+    # Operations are immutable values, so the loop-invariant ones are
+    # built once up front instead of on every yield (hot-path allocation).
+    nop = Nop()
+    read_decision = Read(decision)
+    aux_reads = [Read(aux_register(index, aux_prefix)) for index in range(1, s)]
     # Preamble region: q steps of auxiliary memory traffic.  They may
     # update the aux registers but never the decision register.
     for step in range(q):
-        yield Nop()
+        yield nop
     sequence = sequence_start
     while True:
         # Scan region: read the decision register, then the s - 1
         # auxiliary registers (the order is irrelevant to the analysis).
-        view = yield Read(decision)
-        for index in range(1, s):
-            yield Read(aux_register(index, aux_prefix))
+        view = yield read_decision
+        for aux_read in aux_reads:
+            yield aux_read
         proposal = Proposal(pid, sequence, payload=view)
         sequence += 1
         # Validation step.
@@ -94,17 +99,43 @@ def scu_algorithm(
     Proposal sequence numbers continue across calls so every proposal a
     process ever makes is distinct.
     """
+    if q < 0:
+        raise ValueError("q must be non-negative")
+    if s < 1:
+        raise ValueError("s must be at least 1 (the decision register read)")
     sequence_counters = {}
+    method = f"scu({q},{s})"
 
-    def method_call(pid: int) -> Generator[Any, Any, Proposal]:
-        start = sequence_counters.get(pid, 0)
-        proposal = yield from scu_method(
-            pid, q, s, sequence_start=start, decision=decision, aux_prefix=aux_prefix
-        )
-        sequence_counters[pid] = proposal.sequence + 1
-        return proposal
+    def factory(pid: int):
+        # Flattened fast path: a single generator frame instead of the
+        # repeat_method -> method_call -> scu_method delegation chain.
+        # The executor pays one ``send`` per frame per step, so nesting
+        # depth is a direct per-step cost.  Must stay trace-identical to
+        # ``repeat_method`` around :func:`scu_method` — enforced by
+        # tests/algorithms/test_scu_generic.py.
+        nop = Nop()
+        read_decision = Read(decision)
+        aux_reads = [Read(aux_register(index, aux_prefix)) for index in range(1, s)]
+        invoke = Invoke(method)
+        sequence = sequence_counters.get(pid, 0)
+        count = 0
+        while calls is None or count < calls:
+            yield invoke
+            for _ in range(q):
+                yield nop
+            while True:
+                view = yield read_decision
+                for aux_read in aux_reads:
+                    yield aux_read
+                proposal = Proposal(pid, sequence, payload=view)
+                sequence += 1
+                if (yield CAS(decision, view, proposal)):
+                    break
+            sequence_counters[pid] = sequence
+            yield Completion(proposal, method)
+            count += 1
 
-    return repeat_method(method_call, method=f"scu({q},{s})", calls=calls)
+    return factory
 
 
 def make_scu_memory(

@@ -51,7 +51,7 @@ from repro.core.scheduler import (
     UniformStochasticScheduler,
 )
 from repro.core.scu import SCU
-from repro.core.sweep import SweepPoint, latency_sweep, sweep_table
+from repro.core.sweep import SweepPoint, latency_sweep, parallel_sweep, sweep_table
 from repro.core.tails import TailSummary, tail_summary
 from repro.core.work import mean_work, measure_work
 
@@ -82,6 +82,7 @@ __all__ = [
     "individual_latencies",
     "individual_latency",
     "latency_sweep",
+    "parallel_sweep",
     "mean_work",
     "measure_latencies",
     "measure_work",

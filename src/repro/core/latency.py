@@ -132,6 +132,7 @@ def measure_latencies(
     memory_factory: Optional[Callable[[], Memory]] = None,
     crash_times: Optional[Dict[int, int]] = None,
     rng: RngLike = None,
+    batched: bool = False,
 ) -> LatencyMeasurement:
     """Run a fresh simulation and measure its latencies.
 
@@ -150,6 +151,10 @@ def measure_latencies(
         Forwarded to the simulator (Corollary 2 experiments).
     rng:
         Seed or generator for the run.
+    batched:
+        Drive the run through :meth:`Simulator.run_batched` (the
+        trace-equivalent fast path) instead of the step-by-step executor.
+        Same seed, same measurement — just faster.
     """
     if memory is not None and memory_factory is not None:
         raise ValueError("pass memory or memory_factory, not both")
@@ -165,7 +170,7 @@ def measure_latencies(
         crash_times=crash_times,
         rng=rng,
     )
-    result = simulator.run(steps)
+    result = simulator.run_batched(steps) if batched else simulator.run(steps)
     individual = individual_latencies(result.recorder, burn_in=burn_in)
     if not individual:
         raise ValueError(

@@ -12,6 +12,27 @@ just the ``Pi_tau`` part: ``select(time, active, rng) -> pid``, plus an
 optional ``distribution(time, active)`` used by validation utilities and
 exact analyses.
 
+Batched selection (the ``BatchedScheduler`` protocol)
+-----------------------------------------------------
+
+The batched executor (:meth:`repro.sim.Simulator.run_batched`) asks for
+blocks of scheduling decisions at once::
+
+    select_batch(time, active, rng, size) -> int64 array of pids
+
+with the contract that, for a fixed ``active`` set, the returned pids and
+the RNG words consumed are *identical* to ``size`` sequential ``select``
+calls at times ``time, time + 1, ...``.  The base class provides a
+sequential fallback; :class:`UniformStochasticScheduler` and
+:class:`SkewedStochasticScheduler` override it with vectorized draws, and
+:class:`HardwareLikeScheduler` expands whole quantum runs per iteration.
+
+Stateful schedulers additionally implement ``state_snapshot()`` /
+``state_restore(snapshot)`` so the executor can rewind a partially
+consumed block (a process finishing or a stop condition firing mid-block)
+and replay exactly the consumed prefix, keeping batched runs
+trace-equivalent to step-by-step runs.
+
 Schedulers provided:
 
 * :class:`UniformStochasticScheduler` — ``gamma_i = 1/|A_tau|``; the model
@@ -45,6 +66,37 @@ class Scheduler(abc.ABC):
     ) -> int:
         """Pick the process to schedule at ``time`` among ``active`` pids."""
 
+    def select_batch(
+        self,
+        time: int,
+        active: Sequence[int],
+        rng: np.random.Generator,
+        size: int,
+    ) -> np.ndarray:
+        """Pick ``size`` consecutive choices starting at ``time``.
+
+        Must behave exactly like ``size`` sequential :meth:`select` calls
+        (same pids, same RNG consumption) for a fixed ``active`` set.
+        The default does exactly that; subclasses override with
+        vectorized draws where the RNG stream provably matches.
+        """
+        out = np.empty(size, dtype=np.int64)
+        for k in range(size):
+            out[k] = self.select(time + k, active, rng)
+        return out
+
+    def state_snapshot(self):
+        """Opaque snapshot of mutable scheduler state (``None`` if stateless).
+
+        Together with :meth:`state_restore` this lets the batched executor
+        rewind a block that was cut short and replay only its consumed
+        prefix.  Stateful subclasses must override both methods.
+        """
+        return None
+
+    def state_restore(self, snapshot) -> None:
+        """Restore state captured by :meth:`state_snapshot`."""
+
     def distribution(self, time: int, active: Sequence[int]) -> Dict[int, float]:
         """The distribution ``Pi_tau`` restricted to ``active``, if known.
 
@@ -76,6 +128,18 @@ class UniformStochasticScheduler(Scheduler):
         self, time: int, active: Sequence[int], rng: np.random.Generator
     ) -> int:
         return int(active[rng.integers(len(active))])
+
+    def select_batch(
+        self,
+        time: int,
+        active: Sequence[int],
+        rng: np.random.Generator,
+        size: int,
+    ) -> np.ndarray:
+        # rng.integers(n, size=k) consumes the bit stream element by
+        # element, exactly like k scalar rng.integers(n) calls.
+        indices = rng.integers(len(active), size=size)
+        return np.asarray(active, dtype=np.int64)[indices]
 
     def distribution(self, time: int, active: Sequence[int]) -> Dict[int, float]:
         share = 1.0 / len(active)
@@ -111,6 +175,21 @@ class SkewedStochasticScheduler(Scheduler):
     ) -> int:
         probs = self._probabilities(active)
         return int(active[rng.choice(len(active), p=probs)])
+
+    def select_batch(
+        self,
+        time: int,
+        active: Sequence[int],
+        rng: np.random.Generator,
+        size: int,
+    ) -> np.ndarray:
+        # Generator.choice with p draws one uniform double and inverts the
+        # cdf; a batch of rng.random(size) consumes the identical stream.
+        probs = self._probabilities(active)
+        cdf = probs.cumsum()
+        cdf /= cdf[-1]
+        indices = cdf.searchsorted(rng.random(size), side="right")
+        return np.asarray(active, dtype=np.int64)[indices]
 
     def distribution(self, time: int, active: Sequence[int]) -> Dict[int, float]:
         probs = self._probabilities(active)
@@ -188,13 +267,25 @@ class DistributionScheduler(Scheduler):
                         )
         return dist
 
+    #: Accepted drift of ``sum(Pi_tau)`` from 1 before a distribution is
+    #: rejected as ill-formed even with ``validate=False`` (float round-off
+    #: from summing many probabilities, not modelling error).
+    SUM_TOLERANCE = 1e-9
+
     def select(
         self, time: int, active: Sequence[int], rng: np.random.Generator
     ) -> int:
         dist = self._checked(time, active)
         pids = list(dist)
         probs = np.array([dist[pid] for pid in pids])
-        probs = probs / probs.sum()
+        total = probs.sum()
+        if abs(total - 1.0) > self.SUM_TOLERANCE:
+            # validate=False skips the Definition 1 checks for speed, but an
+            # ill-formed Pi_tau must never be silently renormalised away.
+            raise ValueError(
+                f"Pi_{time} sums to {total}, violating well-formedness"
+            )
+        probs = probs / total
         return int(pids[rng.choice(len(pids), p=probs)])
 
     def distribution(self, time: int, active: Sequence[int]) -> Dict[int, float]:
@@ -202,6 +293,45 @@ class DistributionScheduler(Scheduler):
 
     def threshold(self, n_processes: int) -> float:
         return self._theta
+
+
+class _RotationStrategy:
+    """Pid-stable rotation over the active set.
+
+    Remembers the last pid it scheduled and picks the smallest active pid
+    strictly greater than it (wrapping around), so a crash removes exactly
+    its own pid from the cycle.  Indexing the active *list* by time — the
+    previous implementation — shifts every later process's slot whenever
+    the list shrinks, silently skipping or double-scheduling pids after a
+    crash.
+
+    ``avoid`` (the starvation victim) is only returned when it is the sole
+    active process; scheduling it then does not advance the rotation.
+    """
+
+    def __init__(self, avoid: Optional[int] = None) -> None:
+        self.avoid = avoid
+        self.last = -1
+
+    def peek(self, time: int, active: Sequence[int]) -> int:
+        """The pid :meth:`__call__` would return, without advancing."""
+        candidates = [pid for pid in active if pid != self.avoid]
+        if not candidates:
+            return active[0]
+        later = [pid for pid in candidates if pid > self.last]
+        return min(later) if later else min(candidates)
+
+    def state_snapshot(self) -> int:
+        return self.last
+
+    def state_restore(self, snapshot: int) -> None:
+        self.last = snapshot
+
+    def __call__(self, time: int, active: Sequence[int]) -> int:
+        pid = self.peek(time, active)
+        if pid != self.avoid:
+            self.last = pid
+        return pid
 
 
 class AdversarialScheduler(Scheduler):
@@ -212,6 +342,11 @@ class AdversarialScheduler(Scheduler):
     threshold is 0, so none of the stochastic guarantees apply — these
     schedulers exist to *witness* the gap between lock-freedom and
     wait-freedom in tests and benchmarks.
+
+    Strategies may be stateful: a strategy object exposing ``peek(time,
+    active)`` is consulted for :meth:`distribution` (which must not advance
+    the state), and ``state_snapshot``/``state_restore`` are forwarded for
+    batched-execution rewinds.
     """
 
     def __init__(self, strategy: Callable[[int, Sequence[int]], int]) -> None:
@@ -227,18 +362,28 @@ class AdversarialScheduler(Scheduler):
             )
         return int(pid)
 
+    def state_snapshot(self):
+        snapshot = getattr(self._strategy, "state_snapshot", None)
+        return None if snapshot is None else snapshot()
+
+    def state_restore(self, snapshot) -> None:
+        restore = getattr(self._strategy, "state_restore", None)
+        if restore is not None:
+            restore(snapshot)
+
     def distribution(self, time: int, active: Sequence[int]) -> Dict[int, float]:
-        pid = self._strategy(time, active)
+        peek = getattr(self._strategy, "peek", None)
+        pid = peek(time, active) if peek is not None else self._strategy(time, active)
         return {p: (1.0 if p == pid else 0.0) for p in active}
 
     @classmethod
     def round_robin(cls) -> "AdversarialScheduler":
-        """Cycle through the active processes in pid order."""
+        """Cycle through the active processes in pid order.
 
-        def strategy(time: int, active: Sequence[int]) -> int:
-            return active[(time - 1) % len(active)]
-
-        return cls(strategy)
+        The rotation is pid-stable: after a crash the surviving processes
+        keep their relative order and none is skipped or double-scheduled.
+        """
+        return cls(_RotationStrategy())
 
     @classmethod
     def starve(cls, victim: int) -> "AdversarialScheduler":
@@ -246,16 +391,10 @@ class AdversarialScheduler(Scheduler):
 
         Against any lock-free (but not wait-free) algorithm this keeps the
         victim's invocation pending forever while the system still makes
-        minimal progress.
+        minimal progress.  The non-victim rotation is pid-stable under
+        crashes, like :meth:`round_robin`.
         """
-
-        def strategy(time: int, active: Sequence[int]) -> int:
-            others = [pid for pid in active if pid != victim]
-            if not others:
-                return victim
-            return others[(time - 1) % len(others)]
-
-        return cls(strategy)
+        return cls(_RotationStrategy(avoid=victim))
 
     @classmethod
     def alternating_spoiler(cls, victim: int) -> "AdversarialScheduler":
@@ -341,6 +480,12 @@ class MarkovModulatedScheduler(Scheduler):
         probs = self._weights(active)
         return int(active[rng.choice(len(active), p=probs)])
 
+    def state_snapshot(self):
+        return (self._regime, self._remaining)
+
+    def state_restore(self, snapshot) -> None:
+        self._regime, self._remaining = snapshot
+
     def threshold(self, n_processes: int) -> float:
         return float(
             (1.0 / self.slowdown)
@@ -402,12 +547,9 @@ class HardwareLikeScheduler(Scheduler):
             self._weights[pid] = weight + self.jitter_rate * (1.0 - weight) + \
                 self.jitter_rate * noise
 
-    def select(
-        self, time: int, active: Sequence[int], rng: np.random.Generator
+    def _start_quantum(
+        self, active: Sequence[int], rng: np.random.Generator
     ) -> int:
-        if self._current in active and self._remaining > 0:
-            self._remaining -= 1
-            return self._current
         self._rejitter(active, rng)
         weights = np.array([self._weight(pid, rng) for pid in active])
         weights = np.clip(weights, 1e-6, None)
@@ -418,6 +560,46 @@ class HardwareLikeScheduler(Scheduler):
         self._remaining = int(rng.geometric(1.0 - continue_p)) - 1
         self._current = pid
         return pid
+
+    def select(
+        self, time: int, active: Sequence[int], rng: np.random.Generator
+    ) -> int:
+        if self._current in active and self._remaining > 0:
+            self._remaining -= 1
+            return self._current
+        return self._start_quantum(active, rng)
+
+    def select_batch(
+        self,
+        time: int,
+        active: Sequence[int],
+        rng: np.random.Generator,
+        size: int,
+    ) -> np.ndarray:
+        # Quantum continuations consume no RNG, so a whole remaining run
+        # can be emitted in one slice; only quantum boundaries run the
+        # scalar draw path.  RNG consumption matches select() exactly.
+        out = np.empty(size, dtype=np.int64)
+        filled = 0
+        while filled < size:
+            if self._remaining > 0 and self._current in active:
+                take = min(self._remaining, size - filled)
+                out[filled : filled + take] = self._current
+                self._remaining -= take
+                filled += take
+            else:
+                out[filled] = self._start_quantum(active, rng)
+                filled += 1
+        return out
+
+    def state_snapshot(self):
+        return (self._current, self._remaining, dict(self._weights))
+
+    def state_restore(self, snapshot) -> None:
+        current, remaining, weights = snapshot
+        self._current = current
+        self._remaining = remaining
+        self._weights = dict(weights)
 
 
 def scheduler_chain_distribution(

@@ -64,11 +64,13 @@ class SCU:
         scheduler: Optional[Scheduler] = None,
         burn_in: Optional[int] = None,
         rng: RngLike = None,
+        batched: bool = False,
     ) -> LatencyMeasurement:
         """Simulate ``n`` processes for ``steps`` steps and measure latencies.
 
         Defaults to the uniform stochastic scheduler, the model of
-        Theorem 4.
+        Theorem 4.  ``batched=True`` uses the trace-equivalent fast path
+        (:meth:`repro.sim.Simulator.run_batched`).
         """
         if scheduler is None:
             scheduler = UniformStochasticScheduler()
@@ -80,6 +82,7 @@ class SCU:
             burn_in=burn_in,
             memory=self.memory(),
             rng=rng,
+            batched=batched,
         )
 
     # -- predictions ---------------------------------------------------------------

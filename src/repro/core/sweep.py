@@ -3,13 +3,17 @@
 The benchmarks report single seeded runs (deterministic, diff-friendly);
 downstream users doing their own studies want repeated runs and error
 bars.  :func:`latency_sweep` measures an algorithm across process counts
-with independent replicates and Student-t confidence intervals.
+with independent replicates and Student-t confidence intervals;
+:func:`parallel_sweep` is the same measurement fanned out over worker
+processes — replicate seeds are derived identically in both, so the two
+produce bit-identical results.
 """
 
 from __future__ import annotations
 
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -30,6 +34,62 @@ class SweepPoint:
     fairness_ratio: MeanEstimate
 
 
+def _run_replicate(
+    factory_builder: Callable[[], ProcessFactory],
+    memory_builder: Callable[[], Memory],
+    scheduler_builder: Callable[[], Scheduler],
+    n: int,
+    steps: int,
+    seed: int,
+    replicate: int,
+    batched: bool,
+) -> Tuple[float, float, float]:
+    """One independent replicate of one sweep point.
+
+    Module-level (not a closure) so :func:`parallel_sweep` can ship it to
+    worker processes; the ``(seed, n, replicate)`` seed tuple is the
+    single source of randomness, which is what makes the serial and
+    parallel sweeps bit-identical.
+    """
+    measurement = measure_latencies(
+        factory_builder(),
+        scheduler_builder(),
+        n_processes=n,
+        steps=steps,
+        memory=memory_builder(),
+        rng=(seed, n, replicate),
+        batched=batched,
+    )
+    return (
+        measurement.system_latency,
+        measurement.completion_rate,
+        measurement.fairness_ratio,
+    )
+
+
+def _collect_points(
+    n_values: Sequence[int],
+    repeats: int,
+    results: Dict[Tuple[int, int], Tuple[float, float, float]],
+    confidence: float,
+) -> List[SweepPoint]:
+    points: List[SweepPoint] = []
+    for n in n_values:
+        replicates = [results[(n, r)] for r in range(repeats)]
+        latencies = [rep[0] for rep in replicates]
+        rates = [rep[1] for rep in replicates]
+        fairness = [rep[2] for rep in replicates]
+        points.append(
+            SweepPoint(
+                n=n,
+                system_latency=mean_confidence_interval(latencies, confidence),
+                completion_rate=mean_confidence_interval(rates, confidence),
+                fairness_ratio=mean_confidence_interval(fairness, confidence),
+            )
+        )
+    return points
+
+
 def latency_sweep(
     factory_builder: Callable[[], ProcessFactory],
     memory_builder: Callable[[], Memory],
@@ -40,40 +100,87 @@ def latency_sweep(
     scheduler_builder: Optional[Callable[[], Scheduler]] = None,
     confidence: float = 0.95,
     seed: int = 0,
+    batched: bool = False,
 ) -> List[SweepPoint]:
     """Measure latencies across ``n_values`` with ``repeats`` replicates.
 
     Each replicate gets a fresh factory, memory, scheduler and seed, so
     the replicates are independent and the confidence intervals honest.
+    ``batched=True`` runs each replicate on the trace-equivalent fast
+    path (:meth:`repro.sim.Simulator.run_batched`) — same seeds, same
+    numbers, less wall-clock.
     """
     if repeats < 2:
         raise ValueError("repeats must be at least 2 for confidence intervals")
     if scheduler_builder is None:
         scheduler_builder = UniformStochasticScheduler
-    points: List[SweepPoint] = []
+    results: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
     for n in n_values:
-        latencies, rates, fairness = [], [], []
         for r in range(repeats):
-            measurement = measure_latencies(
-                factory_builder(),
-                scheduler_builder(),
-                n_processes=n,
-                steps=steps,
-                memory=memory_builder(),
-                rng=(seed, n, r),
+            results[(n, r)] = _run_replicate(
+                factory_builder,
+                memory_builder,
+                scheduler_builder,
+                n,
+                steps,
+                seed,
+                r,
+                batched,
             )
-            latencies.append(measurement.system_latency)
-            rates.append(measurement.completion_rate)
-            fairness.append(measurement.fairness_ratio)
-        points.append(
-            SweepPoint(
-                n=n,
-                system_latency=mean_confidence_interval(latencies, confidence),
-                completion_rate=mean_confidence_interval(rates, confidence),
-                fairness_ratio=mean_confidence_interval(fairness, confidence),
+    return _collect_points(n_values, repeats, results, confidence)
+
+
+def parallel_sweep(
+    factory_builder: Callable[[], ProcessFactory],
+    memory_builder: Callable[[], Memory],
+    n_values: Sequence[int],
+    *,
+    steps: int = 100_000,
+    repeats: int = 5,
+    scheduler_builder: Optional[Callable[[], Scheduler]] = None,
+    confidence: float = 0.95,
+    seed: int = 0,
+    batched: bool = True,
+    max_workers: Optional[int] = None,
+) -> List[SweepPoint]:
+    """:func:`latency_sweep` fanned out over a process pool.
+
+    Every ``(n, replicate)`` pair is an independent task seeded with the
+    same ``(seed, n, replicate)`` tuple the serial sweep uses, so the
+    result is bit-identical to ``latency_sweep`` with the same arguments
+    — scheduling order across workers cannot matter because no state is
+    shared between replicates.
+
+    The builders must be picklable (module-level functions or
+    ``functools.partial`` over module-level functions; closures and
+    lambdas are not).  ``batched`` defaults to True here: a sweep big
+    enough to parallelise is big enough to want the fast path.
+    ``max_workers`` caps the pool size (``None`` = executor default).
+    """
+    if repeats < 2:
+        raise ValueError("repeats must be at least 2 for confidence intervals")
+    if scheduler_builder is None:
+        scheduler_builder = UniformStochasticScheduler
+    tasks = [(n, r) for n in n_values for r in range(repeats)]
+    results: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
+    with ProcessPoolExecutor(max_workers=max_workers) as pool:
+        futures = {
+            (n, r): pool.submit(
+                _run_replicate,
+                factory_builder,
+                memory_builder,
+                scheduler_builder,
+                n,
+                steps,
+                seed,
+                r,
+                batched,
             )
-        )
-    return points
+            for n, r in tasks
+        }
+        for key, future in futures.items():
+            results[key] = future.result()
+    return _collect_points(n_values, repeats, results, confidence)
 
 
 def sweep_table(points: Sequence[SweepPoint], *, precision: int = 3) -> str:

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.sim.history import History
 from repro.sim.memory import Memory
+from repro.sim.ops import Operation
 from repro.sim.process import Completion, Invoke, Process, ProcessFactory
 from repro.sim.trace import TraceRecorder
 
@@ -28,7 +29,8 @@ class SimulationResult:
     Attributes
     ----------
     steps_executed:
-        Total system steps taken across all calls to :meth:`Simulator.run`.
+        Total system steps taken across all calls to :meth:`Simulator.run`
+        / :meth:`Simulator.run_batched` (cumulative simulator time).
     recorder:
         The trace recorder with schedules / completion records.
     memory:
@@ -38,6 +40,11 @@ class SimulationResult:
     stopped_early:
         True when the run ended before ``max_steps`` because the stop
         condition fired or no process remained active.
+    steps_this_run:
+        Steps taken by the call that produced this result — per-call
+        accounting, so repeated ``run()`` calls report honest rates.
+    completions_this_run:
+        Method calls completed during the call that produced this result.
     """
 
     steps_executed: int
@@ -45,18 +52,27 @@ class SimulationResult:
     memory: Memory
     history: Optional[History]
     stopped_early: bool
+    steps_this_run: int = 0
+    completions_this_run: int = 0
 
     @property
     def total_completions(self) -> int:
-        """Completed method calls across all processes."""
+        """Completed method calls across all processes (all-time)."""
         return self.recorder.total_completions
 
     @property
     def completion_rate(self) -> float:
-        """Completed operations per system step (Appendix B's metric)."""
-        if self.steps_executed == 0:
+        """Completed operations per system step (Appendix B's metric),
+        over the steps of *this* run call only.
+
+        Earlier versions divided the all-time completion count by the
+        all-time step count, so a result object from a second ``run()``
+        call mixed both calls' behaviour; per-call accounting keeps each
+        result self-contained.
+        """
+        if self.steps_this_run == 0:
             return 0.0
-        return self.recorder.total_completions / self.steps_executed
+        return self.completions_this_run / self.steps_this_run
 
     def completions_of(self, pid: int) -> int:
         """Completed method calls of one process."""
@@ -138,6 +154,10 @@ class Simulator:
         ]
         self.time = 0
         self._primed = False
+        # Target of the single reusable marker callback; set just before
+        # each refill so no per-step closure is allocated.
+        self._cb_pid = 0
+        self._cb_time = 0
 
     # -- internals ---------------------------------------------------------------
 
@@ -151,11 +171,16 @@ class Simulator:
             if self.history is not None:
                 self.history.respond(time, pid, marker.method, marker.result)
 
+    def _marker_cb(self, marker) -> None:
+        """Bound-once marker sink; reads the pid/time staged in
+        ``_cb_pid``/``_cb_time`` (hoisted out of the per-step hot path)."""
+        self._on_marker(self._cb_pid, self._cb_time, marker)
+
     def _prime(self) -> None:
         for process in self.processes:
-            process.advance(
-                None, lambda marker, pid=process.pid: self._on_marker(pid, 0, marker)
-            )
+            self._cb_pid = process.pid
+            self._cb_time = 0
+            process.advance(None, self._marker_cb)
         self._primed = True
 
     def _apply_crashes(self, time: int) -> None:
@@ -189,7 +214,9 @@ class Simulator:
         process = self.processes[pid]
         process.take_step(self.memory.apply)
         self.recorder.on_step(time, pid)
-        process.refill(lambda marker: self._on_marker(pid, time, marker))
+        self._cb_pid = pid
+        self._cb_time = time
+        process.refill(self._marker_cb)
         return pid
 
     def run(
@@ -213,6 +240,8 @@ class Simulator:
         """
         if max_steps < 0:
             raise ValueError("max_steps must be non-negative")
+        start_time = self.time
+        start_completions = self.recorder.total_completions
         target_pid = stop_after_completions_by
         baseline = (
             self.recorder.completions[target_pid] if target_pid is not None else 0
@@ -251,4 +280,252 @@ class Simulator:
             memory=self.memory,
             history=self.history,
             stopped_early=stopped_early,
+            steps_this_run=self.time - start_time,
+            completions_this_run=self.recorder.total_completions
+            - start_completions,
+        )
+
+    def run_batched(
+        self,
+        max_steps: int,
+        *,
+        stop_after_completions: Optional[int] = None,
+        stop_after_completions_by: Optional[int] = None,
+        batch_size: int = 4096,
+    ) -> SimulationResult:
+        """Run up to ``max_steps`` further steps on the batched fast path.
+
+        Trace-equivalent to :meth:`run`: given the same initial state and
+        seed it produces the identical schedule, completions, history and
+        final memory, and leaves the simulator (RNG and scheduler state
+        included) exactly where the step-by-step path would — the two can
+        even be interleaved.  It is much faster because scheduler choices
+        are drawn in blocks between crash boundaries, the active set is
+        computed once per block instead of once per step, and process
+        steps are dispatched inline without per-step closure allocation.
+
+        Blocks never span a crash time, so the active set handed to
+        ``select_batch`` is exact.  When a block is cut short — a process
+        finished its (finite) workload or a stop condition fired — the RNG
+        and scheduler state are rewound and only the consumed prefix is
+        replayed, keeping the stream aligned with the serial path.
+
+        Parameters are those of :meth:`run`, plus ``batch_size``: the
+        maximum number of scheduler choices drawn at once.
+        """
+        if max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if not self._primed:
+            self._prime()
+
+        scheduler = self.scheduler
+        rng = self.rng
+        bit_generator = rng.bit_generator
+        recorder = self.recorder
+        history = self.history
+        memory = self.memory
+        # Dispatch through the memory's per-class handler table directly;
+        # ``total_operations`` (one per applied op, i.e. one per step) is
+        # settled per block instead of per step.
+        handler_of = memory._handlers.get
+        resolve_handler = memory._resolve_handler
+        processes = self.processes
+        record_times = recorder._record_completion_times
+        completion_times = recorder.completion_times
+        completion_pids = recorder.completion_pids
+        completions = recorder.completions
+        step_counts = recorder.steps
+        schedule = recorder.schedule
+
+        select_batch = getattr(scheduler, "select_batch", None)
+        snapshot_state = getattr(scheduler, "state_snapshot", None)
+        restore_state = getattr(scheduler, "state_restore", None)
+        if select_batch is None:
+            # Duck-typed scheduler without the batched protocol: fall back
+            # to sequential selection (still trace-equivalent).
+            def select_batch(time, active, rng, size):
+                return np.array(
+                    [scheduler.select(time + k, active, rng) for k in range(size)],
+                    dtype=np.int64,
+                )
+
+        start_time = self.time
+        end_time = start_time + max_steps
+        start_completions = recorder.total_completions
+        total_completions = start_completions
+        target_pid = stop_after_completions_by
+        baseline = completions[target_pid] if target_pid is not None else 0
+        target_count = baseline
+        check_stops = stop_after_completions is not None or target_pid is not None
+
+        # Per-process generator senders and pending operations, resolved
+        # once per call; the pending ops live in a local list during a
+        # block and are written back to the Process objects at block end.
+        senders = [process._generator.send for process in processes]
+        pendings = [process.pending for process in processes]
+
+        crash_boundaries = sorted(set(self.crash_times.values()))
+        stopped_early = False
+        time = self.time
+
+        while time < end_time:
+            if (
+                stop_after_completions is not None
+                and total_completions >= stop_after_completions
+            ):
+                stopped_early = True
+                break
+            if target_pid is not None and target_count > baseline:
+                stopped_early = True
+                break
+            next_t = time + 1
+            self._apply_crashes(next_t)
+            active = self.active_pids()
+            if not active:
+                stopped_early = True
+                break
+            block = min(batch_size, end_time - time)
+            for boundary in crash_boundaries:
+                if boundary > next_t:
+                    block = min(block, boundary - next_t)
+                    break
+            rng_state = bit_generator.state
+            scheduler_state = (
+                snapshot_state() if snapshot_state is not None else None
+            )
+            pids = select_batch(next_t, active, rng, block)
+            # Validate the whole block at once instead of one membership
+            # test per step; an invalid selection truncates the iterated
+            # prefix so the error surfaces at the exact offending step,
+            # after the valid prefix has executed (as the serial path
+            # would have).
+            valid = np.isin(pids, np.asarray(active, dtype=np.int64))
+            invalid_at = -1 if valid.all() else int(np.argmax(~valid))
+            iterated = pids if invalid_at < 0 else pids[:invalid_at]
+            executed = 0
+            try:
+                for pid in iterated.tolist():
+                    if check_stops and executed:
+                        if (
+                            stop_after_completions is not None
+                            and total_completions >= stop_after_completions
+                        ):
+                            stopped_early = True
+                            break
+                        if target_pid is not None and target_count > baseline:
+                            stopped_early = True
+                            break
+                    time += 1
+                    executed += 1
+                    # Inlined Process.take_step + refill, with markers
+                    # handled in place (no per-step closures).  Per-process
+                    # step counters are settled once per block from the
+                    # executed pid prefix, not one dict update per step.
+                    op = pendings[pid]
+                    handler = handler_of(op.__class__)
+                    if handler is None:
+                        handler = resolve_handler(op)
+                    result = handler(op)
+                    generator_send = senders[pid]
+                    try:
+                        item = generator_send(result)
+                        while not isinstance(item, Operation):
+                            if isinstance(item, Completion):
+                                processes[pid].completions += 1
+                                completions[pid] += 1
+                                total_completions += 1
+                                if pid == target_pid:
+                                    target_count += 1
+                                if record_times:
+                                    completion_times.append(time)
+                                    completion_pids.append(pid)
+                                if history is not None:
+                                    history.respond(
+                                        time, pid, item.method, item.result
+                                    )
+                            elif isinstance(item, Invoke):
+                                if history is not None:
+                                    history.invoke(
+                                        time, pid, item.method, item.argument
+                                    )
+                            else:
+                                raise TypeError(
+                                    f"process {pid} yielded {item!r}; expected "
+                                    "an Operation, Invoke or Completion"
+                                )
+                            item = generator_send(None)
+                        pendings[pid] = item
+                    except StopIteration:
+                        pendings[pid] = None
+                        processes[pid].done = True
+                        break
+                else:
+                    if invalid_at >= 0:
+                        # The serial path checks stop conditions before the
+                        # scheduler acts, so a stop that fired at the
+                        # offending step masks the error there too.
+                        if check_stops and (
+                            (
+                                stop_after_completions is not None
+                                and total_completions >= stop_after_completions
+                            )
+                            or (
+                                target_pid is not None
+                                and target_count > baseline
+                            )
+                        ):
+                            stopped_early = True
+                        else:
+                            bad_pid = int(pids[invalid_at])
+                            raise RuntimeError(
+                                f"scheduler selected inactive process "
+                                f"{bad_pid} at t={time + 1} (active: "
+                                f"{active[:10]}"
+                                f"{'...' if len(active) > 10 else ''})"
+                            )
+            finally:
+                for synced_pid, pending in enumerate(pendings):
+                    processes[synced_pid].pending = pending
+                memory.total_operations += executed
+                recorder.total_steps += executed
+                if executed:
+                    counts = np.bincount(
+                        pids[: executed], minlength=self.n_processes
+                    )
+                    for counted_pid in np.nonzero(counts)[0].tolist():
+                        step_count = int(counts[counted_pid])
+                        step_counts[counted_pid] += step_count
+                        processes[counted_pid].steps += step_count
+                    if schedule is not None:
+                        schedule.extend(pids[:executed])
+                self.time = time
+            if executed < block:
+                # The block was cut short: rewind RNG and scheduler state,
+                # then replay exactly the consumed prefix so both end up
+                # where the step-by-step path would be.
+                bit_generator.state = rng_state
+                if restore_state is not None:
+                    restore_state(scheduler_state)
+                if executed:
+                    select_batch(next_t, active, rng, executed)
+            if stopped_early:
+                break
+        if not stopped_early:
+            # Budget exhausted; still check trailing stop conditions so the
+            # flag reflects whether the condition was met.
+            if (
+                stop_after_completions is not None
+                and total_completions >= stop_after_completions
+            ) or (target_pid is not None and target_count > baseline):
+                stopped_early = True
+        return SimulationResult(
+            steps_executed=self.time,
+            recorder=self.recorder,
+            memory=self.memory,
+            history=self.history,
+            stopped_early=stopped_early,
+            steps_this_run=self.time - start_time,
+            completions_this_run=total_completions - start_completions,
         )

@@ -56,6 +56,9 @@ class Memory:
     def __init__(self) -> None:
         self._registers: Dict[str, Register] = {}
         self.total_operations = 0
+        # Operation class -> bound handler, filled lazily on first use so
+        # the hot path is one dict lookup instead of an isinstance cascade.
+        self._handlers: Dict[type, Any] = {}
 
     def register(self, name: str, initial: Any = None) -> Register:
         """Create (or re-initialise) a register with an initial value."""
@@ -93,36 +96,80 @@ class Memory:
         """Apply one operation atomically and return its result.
 
         This is the single point through which the executor touches memory;
-        it dispatches on the operation type and maintains access counters.
+        it dispatches on the operation type (cached per concrete class) and
+        maintains access counters.
         """
         self.total_operations += 1
+        handler = self._handlers.get(op.__class__)
+        if handler is None:
+            handler = self._resolve_handler(op)
+        return handler(op)
+
+    def _resolve_handler(self, op: Operation):
+        # Checked in the same order as the original isinstance cascade, so
+        # subclasses of the built-in operations resolve identically.
         if isinstance(op, Nop):
-            return None
-        reg = self[op.register]
-        if isinstance(op, Read):
-            reg.reads += 1
-            return reg.value
-        if isinstance(op, Write):
-            reg.writes += 1
-            reg.value = op.value
-            return None
-        if isinstance(op, CAS):
-            reg.cas_attempts += 1
-            if reg.value == op.expected:
-                reg.cas_successes += 1
-                reg.value = op.new
-                return True
-            return False
-        if isinstance(op, FetchAndIncrement):
-            reg.rmws += 1
-            old = reg.value
-            if old is None:
-                old = 0
-            reg.value = old + op.amount
-            return old
-        if isinstance(op, ReadModifyWrite):
-            reg.rmws += 1
-            old = reg.value
-            reg.value = op.update(old)
-            return old
-        raise TypeError(f"unknown operation type {type(op).__name__}")
+            handler = self._apply_nop
+        elif isinstance(op, Read):
+            handler = self._apply_read
+        elif isinstance(op, Write):
+            handler = self._apply_write
+        elif isinstance(op, CAS):
+            handler = self._apply_cas
+        elif isinstance(op, FetchAndIncrement):
+            handler = self._apply_fai
+        elif isinstance(op, ReadModifyWrite):
+            handler = self._apply_rmw
+        else:
+            raise TypeError(f"unknown operation type {type(op).__name__}")
+        self._handlers[op.__class__] = handler
+        return handler
+
+    def _apply_nop(self, op: Nop) -> None:
+        return None
+
+    def _apply_read(self, op: Read) -> Any:
+        reg = self._registers.get(op.register)
+        if reg is None:
+            reg = self[op.register]
+        reg.reads += 1
+        return reg.value
+
+    def _apply_write(self, op: Write) -> None:
+        reg = self._registers.get(op.register)
+        if reg is None:
+            reg = self[op.register]
+        reg.writes += 1
+        reg.value = op.value
+        return None
+
+    def _apply_cas(self, op: CAS) -> bool:
+        reg = self._registers.get(op.register)
+        if reg is None:
+            reg = self[op.register]
+        reg.cas_attempts += 1
+        if reg.value == op.expected:
+            reg.cas_successes += 1
+            reg.value = op.new
+            return True
+        return False
+
+    def _apply_fai(self, op: FetchAndIncrement) -> int:
+        reg = self._registers.get(op.register)
+        if reg is None:
+            reg = self[op.register]
+        reg.rmws += 1
+        old = reg.value
+        if old is None:
+            old = 0
+        reg.value = old + op.amount
+        return old
+
+    def _apply_rmw(self, op: ReadModifyWrite) -> Any:
+        reg = self._registers.get(op.register)
+        if reg is None:
+            reg = self[op.register]
+        reg.rmws += 1
+        old = reg.value
+        reg.value = op.update(old)
+        return old

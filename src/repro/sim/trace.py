@@ -37,6 +37,20 @@ class ScheduleTrace:
         self._buffer[self._length] = pid
         self._length += 1
 
+    def extend(self, pids) -> None:
+        """Record a whole block of scheduled pids at once (batched path)."""
+        pids = np.asarray(pids, dtype=np.int32)
+        needed = self._length + pids.size
+        if needed > self._buffer.shape[0]:
+            capacity = self._buffer.shape[0]
+            while capacity < needed:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=np.int32)
+            grown[: self._length] = self._buffer[: self._length]
+            self._buffer = grown
+        self._buffer[self._length : needed] = pids
+        self._length = needed
+
     def as_array(self) -> np.ndarray:
         """The schedule as an int array of length ``len(self)``."""
         return self._buffer[: self._length].copy()

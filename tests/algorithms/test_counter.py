@@ -104,3 +104,31 @@ class TestSimulatedRuns:
     def test_make_counter_memory_initial(self):
         memory = make_counter_memory(initial=5)
         assert memory.read("counter") == 5
+
+
+class TestFlattenedFactory:
+    def test_trace_identical_to_repeat_method_reference(self):
+        # cas_counter's generator is a hand-flattened repeat_method around
+        # cas_counter_method (hot-path optimisation); traces must match.
+        from repro.algorithms.counter import cas_counter_method
+        from repro.sim.ops import CAS
+        from repro.sim.process import repeat_method
+
+        reference = repeat_method(
+            lambda pid: cas_counter_method(pid), method="fetch_and_inc"
+        )
+
+        def drive(gen, steps):
+            cas_seen = 0
+            out = []
+            item = gen.send(None)
+            for _ in range(steps):
+                out.append(item)
+                if isinstance(item, CAS):
+                    cas_seen += 1
+                    item = gen.send(cas_seen % 2 == 0)  # fail every other
+                else:
+                    item = gen.send(7)
+            return out
+
+        assert drive(cas_counter()(3), 300) == drive(reference(3), 300)

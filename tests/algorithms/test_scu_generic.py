@@ -125,3 +125,85 @@ class TestMemoryBuilder:
         assert aux_register(1) in memory
         assert aux_register(2) in memory
         assert aux_register(3) not in memory
+
+
+class TestFlattenedFactory:
+    """scu_algorithm's single-frame generator is a hand-flattened version
+    of ``repeat_method`` around :func:`scu_method` (a hot-path
+    optimisation); the two must yield identical traces forever."""
+
+    def test_trace_identical_to_repeat_method_reference(self):
+        from repro.sim.process import repeat_method
+
+        q, s = 2, 3
+
+        def reference_factory():
+            counters = {}
+
+            def method_call(pid):
+                start = counters.get(pid, 0)
+                proposal = yield from scu_method(pid, q, s, sequence_start=start)
+                counters[pid] = proposal.sequence + 1
+                return proposal
+
+            return repeat_method(method_call, method=f"scu({q},{s})")
+
+        def make_responder():
+            state = {"reads": 0, "cas": 0}
+
+            def respond(item):
+                if isinstance(item, CAS):
+                    state["cas"] += 1
+                    return state["cas"] % 3 == 0  # fail two, commit one
+                if isinstance(item, Read):
+                    state["reads"] += 1
+                    return f"view{state['reads']}"
+                return None
+
+            return respond
+
+        def drive(gen, steps):
+            respond = make_responder()
+            out = []
+            item = gen.send(None)
+            for _ in range(steps):
+                out.append(item)
+                item = gen.send(respond(item))
+            return out
+
+        flattened = drive(scu_algorithm(q, s)(pid=5), 400)
+        reference = drive(reference_factory()(5), 400)
+        assert flattened == reference
+
+    def test_finite_calls_identical_to_reference(self):
+        from repro.sim.process import repeat_method
+
+        def reference():
+            counters = {}
+
+            def method_call(pid):
+                proposal = yield from scu_method(
+                    pid, 0, 1, sequence_start=counters.get(pid, 0)
+                )
+                counters[pid] = proposal.sequence + 1
+                return proposal
+
+            return repeat_method(method_call, method="scu(0,1)", calls=3)(2)
+
+        def drain(gen):
+            out, value = [], None
+            try:
+                while True:
+                    item = gen.send(value)
+                    out.append(item)
+                    value = True if isinstance(item, CAS) else "v"
+            except StopIteration:
+                return out
+
+        assert drain(scu_algorithm(0, 1, calls=3)(2)) == drain(reference())
+
+    def test_parameters_validated_eagerly(self):
+        with pytest.raises(ValueError):
+            scu_algorithm(-1, 1)
+        with pytest.raises(ValueError):
+            scu_algorithm(0, 0)

@@ -201,3 +201,126 @@ class TestHelpers:
     def test_scheduler_chain_distribution(self):
         dist = scheduler_chain_distribution(UniformStochasticScheduler(), 4)
         assert np.allclose(dist, 0.25)
+
+
+class TestAdversarialCrashRotation:
+    """Regression tests: the rotation must be pid-stable under crashes.
+
+    The previous position-indexed implementation (``active[(t - 1) %
+    len(active)]``) shifted every later process's slot when the active
+    list shrank, skipping some survivors and double-scheduling others.
+    """
+
+    def test_round_robin_pid_stable_after_crash(self, rng):
+        sched = AdversarialScheduler.round_robin()
+        assert [sched.select(t, [0, 1, 2], rng) for t in (1, 2, 3)] == [0, 1, 2]
+        # Process 0 crashes: the survivors keep cycling 1, 2, 1, 2, ...
+        assert sched.select(4, [1, 2], rng) == 1
+        assert sched.select(5, [1, 2], rng) == 2
+        assert sched.select(6, [1, 2], rng) == 1
+
+    def test_round_robin_does_not_skip_after_crash(self, rng):
+        sched = AdversarialScheduler.round_robin()
+        assert sched.select(1, [0, 1, 2, 3], rng) == 0
+        # The next process in line (1) crashes: 2 steps next, nobody is
+        # skipped and nobody is scheduled twice in a row.
+        assert sched.select(2, [0, 2, 3], rng) == 2
+        assert sched.select(3, [0, 2, 3], rng) == 3
+        assert sched.select(4, [0, 2, 3], rng) == 0
+
+    def test_starve_rotation_pid_stable_after_crash(self, rng):
+        sched = AdversarialScheduler.starve(victim=2)
+        picks = [sched.select(t, [0, 1, 2, 3], rng) for t in (1, 2, 3)]
+        assert picks == [0, 1, 3]
+        # Process 0 crashes; the non-victim rotation wraps to 1 and the
+        # victim still never runs.
+        assert sched.select(4, [1, 2, 3], rng) == 1
+        assert sched.select(5, [1, 2, 3], rng) == 3
+        assert sched.select(6, [1, 2, 3], rng) == 1
+
+    def test_starve_victim_alone_does_not_advance_rotation(self, rng):
+        sched = AdversarialScheduler.starve(victim=1)
+        assert sched.select(1, [0, 1], rng) == 0
+        assert sched.select(2, [1], rng) == 1
+        # 0 is schedulable again: the rotation resumes from its own state
+        # rather than having been advanced by the victim's forced step.
+        assert sched.select(3, [0, 1], rng) == 0
+
+
+class TestDistributionWellFormedness:
+    def test_unvalidated_ill_formed_sum_raises(self, rng):
+        # Regression: validate=False used to silently renormalise
+        # probs / probs.sum(), masking an ill-formed Pi_tau entirely.
+        sched = DistributionScheduler(
+            lambda t, active: {0: 0.25, 1: 0.25}, validate=False
+        )
+        with pytest.raises(ValueError, match="well-formedness"):
+            sched.select(1, [0, 1], rng)
+
+    def test_unvalidated_roundoff_drift_tolerated(self, rng):
+        drift = DistributionScheduler.SUM_TOLERANCE / 4
+        sched = DistributionScheduler(
+            lambda t, active: {0: 0.5, 1: 0.5 + drift}, validate=False
+        )
+        assert sched.select(1, [0, 1], rng) in (0, 1)
+
+
+class TestCrashInteraction:
+    """Schedulers with hidden state must honour a shrinking active set."""
+
+    def test_markov_regime_pinned_to_crashed_pid(self, rng):
+        from repro.core.scheduler import MarkovModulatedScheduler
+
+        sched = MarkovModulatedScheduler(slowdown=8.0, mean_dwell=10_000.0)
+        # Enter a regime that slows process 0, then crash process 0: the
+        # scheduler must never select it and must stay weakly fair over
+        # the survivors.
+        sched.state_restore((0, 10_000))
+        survivors = [1, 2, 3]
+        steps = 10_000
+        counts = {pid: 0 for pid in survivors}
+        for t in range(1, steps + 1):
+            pid = sched.select(t, survivors, rng)
+            assert pid in survivors
+            counts[pid] += 1
+        theta = sched.threshold(len(survivors))
+        for pid in survivors:
+            assert counts[pid] / steps >= 0.8 * theta
+
+    def test_hardware_like_mid_quantum_crash(self, rng):
+        sched = HardwareLikeScheduler(mean_quantum=8.0)
+        active = [0, 1, 2, 3]
+        # Drive until a quantum is in flight.
+        t = 1
+        while True:
+            sched.select(t, active, rng)
+            t += 1
+            current, remaining, _ = sched.state_snapshot()
+            if remaining > 0:
+                break
+        # The running process crashes mid-quantum: its leftover quantum
+        # must not leak to the survivors' schedule.
+        survivors = [pid for pid in active if pid != current]
+        counts = {pid: 0 for pid in survivors}
+        for _ in range(2_000):
+            pid = sched.select(t, survivors, rng)
+            assert pid != current and pid in survivors
+            counts[pid] += 1
+            t += 1
+        # threshold() is 0 for this scheduler (it is not stochastic in
+        # the paper's sense), so weak fairness is vacuous; still, every
+        # survivor should run in a long execution.
+        assert all(counts[pid] > 0 for pid in survivors)
+        for pid in survivors:
+            assert counts[pid] / 2_000 >= sched.threshold(len(survivors))
+
+    def test_hardware_like_mid_quantum_crash_batched(self, rng):
+        sched = HardwareLikeScheduler(mean_quantum=8.0)
+        active = [0, 1, 2, 3]
+        sched.select_batch(1, active, rng, 64)
+        current, remaining, _ = sched.state_snapshot()
+        if remaining == 0:
+            current = active[0]
+        survivors = [pid for pid in active if pid != current]
+        pids = sched.select_batch(100, survivors, rng, 512)
+        assert set(pids.tolist()) <= set(survivors)

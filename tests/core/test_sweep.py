@@ -1,10 +1,10 @@
-"""Tests for the sweep helper (repro.core.sweep)."""
+"""Tests for the sweep helpers (repro.core.sweep)."""
 
 import pytest
 
 from repro.algorithms.counter import cas_counter, make_counter_memory
 from repro.chains.scu import scu_system_latency_exact
-from repro.core.sweep import latency_sweep, sweep_table
+from repro.core.sweep import latency_sweep, parallel_sweep, sweep_table
 
 
 class TestLatencySweep:
@@ -47,6 +47,38 @@ class TestLatencySweep:
         )
         assert points[0].system_latency.half_width > 0
 
+    def test_batched_sweep_matches_serial(self):
+        # The fast path is trace-equivalent, so the sweep numbers are
+        # bit-identical, not merely statistically close.
+        kwargs = dict(steps=20_000, repeats=3, seed=11)
+        serial = latency_sweep(
+            cas_counter, make_counter_memory, [2, 4], **kwargs
+        )
+        batched = latency_sweep(
+            cas_counter, make_counter_memory, [2, 4], batched=True, **kwargs
+        )
+        assert serial == batched
+
+
+class TestParallelSweep:
+    def test_bit_identical_to_serial(self):
+        # Same (seed, n, replicate) seeding per task means worker
+        # scheduling cannot influence the numbers.
+        kwargs = dict(steps=20_000, repeats=3, seed=5)
+        serial = latency_sweep(
+            cas_counter, make_counter_memory, [2, 4], batched=True, **kwargs
+        )
+        parallel = parallel_sweep(
+            cas_counter, make_counter_memory, [2, 4], max_workers=2, **kwargs
+        )
+        assert serial == parallel
+
+    def test_repeats_validated(self):
+        with pytest.raises(ValueError, match="repeats"):
+            parallel_sweep(cas_counter, make_counter_memory, [2], repeats=1)
+
+
+class TestSweepTable:
     def test_table_rendering(self):
         points = latency_sweep(
             cas_counter,

@@ -1,0 +1,214 @@
+"""Trace equivalence of ``Simulator.run_batched`` and ``Simulator.run``.
+
+The batched fast path must be *observationally identical* to the
+step-by-step executor: same seed in, same schedule, completions,
+completion times, history, final memory, final RNG state and final
+scheduler state out.  These tests drive both paths over every scheduler
+family, with and without crashes, with finite workloads and with stop
+conditions, and compare everything observable.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import numpy as np
+import pytest
+
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.algorithms.scu import make_scu_memory, scu_algorithm
+from repro.core.scheduler import (
+    AdversarialScheduler,
+    HardwareLikeScheduler,
+    LotteryScheduler,
+    MarkovModulatedScheduler,
+    SkewedStochasticScheduler,
+    UniformStochasticScheduler,
+)
+from repro.sim.executor import Simulator
+
+# SCU proposals chain recursively through their payloads (each proposal's
+# payload is the previously-read view), so ``==`` on final register values
+# recurses to the depth of the CAS-success chain.
+sys.setrecursionlimit(100_000)
+
+N = 8
+STEPS = 2_000
+CRASHES = {1: 500, 4: 1500, 7: 1501}
+
+
+def scheduler_variants():
+    return {
+        "uniform": lambda: UniformStochasticScheduler(),
+        "skewed": lambda: SkewedStochasticScheduler(
+            [1.0 + 0.5 * pid for pid in range(N)]
+        ),
+        "lottery": lambda: LotteryScheduler([1 + pid for pid in range(N)]),
+        "hardware": lambda: HardwareLikeScheduler(),
+        "hardware-q4": lambda: HardwareLikeScheduler(mean_quantum=4.0),
+        "markov": lambda: MarkovModulatedScheduler(),
+        "round-robin": lambda: AdversarialScheduler.round_robin(),
+    }
+
+
+SCHEDULERS = sorted(scheduler_variants())
+
+
+def build(
+    scheduler,
+    *,
+    crash_times=None,
+    calls=None,
+    workload="scu",
+    seed=12345,
+):
+    if workload == "scu":
+        factory = scu_algorithm(2, 2, calls=calls)
+        memory = make_scu_memory(2)
+    else:
+        factory = cas_counter(calls=calls)
+        memory = make_counter_memory()
+    return Simulator(
+        factory,
+        scheduler,
+        n_processes=N,
+        memory=memory,
+        crash_times=crash_times,
+        record_schedule=True,
+        record_history=True,
+        rng=seed,
+    )
+
+
+def register_summary(memory):
+    return {
+        name: (reg.value, reg.reads, reg.writes, reg.cas_attempts,
+               reg.cas_successes, reg.rmws)
+        for name, reg in memory.registers().items()
+    }
+
+
+def assert_equivalent(serial_sim, batched_sim, serial_result, batched_result):
+    """Everything observable must coincide between the two executions."""
+    assert np.array_equal(
+        serial_sim.recorder.schedule.as_array(),
+        batched_sim.recorder.schedule.as_array(),
+    )
+    assert serial_sim.recorder.completions == batched_sim.recorder.completions
+    assert serial_sim.recorder.completion_times == batched_sim.recorder.completion_times
+    assert serial_sim.recorder.completion_pids == batched_sim.recorder.completion_pids
+    assert serial_sim.recorder.steps == batched_sim.recorder.steps
+    assert serial_sim.recorder.total_steps == batched_sim.recorder.total_steps
+    assert serial_sim.time == batched_sim.time
+    assert register_summary(serial_sim.memory) == register_summary(batched_sim.memory)
+    assert serial_sim.memory.total_operations == batched_sim.memory.total_operations
+    assert serial_sim.history.invocations == batched_sim.history.invocations
+    assert serial_sim.history.responses == batched_sim.history.responses
+    # RNG streams must end in the same place, or subsequent runs diverge.
+    assert (
+        serial_sim.rng.bit_generator.state == batched_sim.rng.bit_generator.state
+    )
+    assert serial_result.steps_executed == batched_result.steps_executed
+    assert serial_result.steps_this_run == batched_result.steps_this_run
+    assert serial_result.completions_this_run == batched_result.completions_this_run
+    assert serial_result.stopped_early == batched_result.stopped_early
+    for process_a, process_b in zip(serial_sim.processes, batched_sim.processes):
+        assert process_a.steps == process_b.steps
+        assert process_a.completions == process_b.completions
+        assert process_a.crashed == process_b.crashed
+        assert process_a.done == process_b.done
+
+
+@pytest.mark.parametrize("name", SCHEDULERS)
+def test_equivalent_without_crashes(name):
+    make = scheduler_variants()[name]
+    serial = build(make())
+    batched = build(make())
+    result_serial = serial.run(STEPS)
+    result_batched = batched.run_batched(STEPS)
+    assert_equivalent(serial, batched, result_serial, result_batched)
+
+
+@pytest.mark.parametrize("name", SCHEDULERS)
+def test_equivalent_with_crashes(name):
+    make = scheduler_variants()[name]
+    serial = build(make(), crash_times=dict(CRASHES))
+    batched = build(make(), crash_times=dict(CRASHES))
+    result_serial = serial.run(STEPS)
+    result_batched = batched.run_batched(STEPS)
+    assert_equivalent(serial, batched, result_serial, result_batched)
+
+
+@pytest.mark.parametrize("name", SCHEDULERS)
+def test_equivalent_finite_workload(name):
+    # Processes finish mid-block, exercising the rewind-and-replay path.
+    make = scheduler_variants()[name]
+    serial = build(make(), calls=30)
+    batched = build(make(), calls=30)
+    result_serial = serial.run(STEPS)
+    result_batched = batched.run_batched(STEPS)
+    assert_equivalent(serial, batched, result_serial, result_batched)
+
+
+@pytest.mark.parametrize("workload", ["scu", "counter"])
+def test_equivalent_counter_and_small_batches(workload):
+    # Tiny batch sizes force many block boundaries without crash times.
+    serial = build(UniformStochasticScheduler(), workload=workload)
+    batched = build(UniformStochasticScheduler(), workload=workload)
+    result_serial = serial.run(STEPS)
+    result_batched = batched.run_batched(STEPS, batch_size=7)
+    assert_equivalent(serial, batched, result_serial, result_batched)
+
+
+def test_serial_and_batched_interleave():
+    # run / run_batched / run on one simulator == one long run on another.
+    serial = build(SkewedStochasticScheduler([1 + pid for pid in range(N)]),
+                   crash_times=dict(CRASHES))
+    mixed = build(SkewedStochasticScheduler([1 + pid for pid in range(N)]),
+                  crash_times=dict(CRASHES))
+    result_serial = serial.run(STEPS)
+    mixed.run(777)
+    mixed.run_batched(1000)
+    result_mixed = mixed.run(STEPS - 777 - 1000)
+    assert np.array_equal(
+        serial.recorder.schedule.as_array(), mixed.recorder.schedule.as_array()
+    )
+    assert serial.recorder.completion_times == mixed.recorder.completion_times
+    assert register_summary(serial.memory) == register_summary(mixed.memory)
+    assert serial.rng.bit_generator.state == mixed.rng.bit_generator.state
+    assert result_serial.steps_executed == result_mixed.steps_executed
+
+
+@pytest.mark.parametrize("kwargs", [
+    {"stop_after_completions": 40},
+    {"stop_after_completions_by": 3},
+])
+def test_equivalent_stop_conditions(kwargs):
+    serial = build(UniformStochasticScheduler())
+    batched = build(UniformStochasticScheduler())
+    result_serial = serial.run(STEPS, **kwargs)
+    result_batched = batched.run_batched(STEPS, **kwargs)
+    assert result_serial.stopped_early and result_batched.stopped_early
+    assert_equivalent(serial, batched, result_serial, result_batched)
+
+
+def test_batched_rejects_bad_arguments():
+    sim = build(UniformStochasticScheduler())
+    with pytest.raises(ValueError):
+        sim.run_batched(-1)
+    with pytest.raises(ValueError):
+        sim.run_batched(10, batch_size=0)
+
+
+def test_duck_typed_scheduler_falls_back_to_sequential():
+    class MinimalScheduler:
+        """Only implements select(); no batched protocol."""
+
+        def select(self, time, active, rng):
+            return active[int(rng.integers(len(active)))]
+
+    serial = build(MinimalScheduler())
+    batched = build(MinimalScheduler())
+    result_serial = serial.run(STEPS)
+    result_batched = batched.run_batched(STEPS)
+    assert_equivalent(serial, batched, result_serial, result_batched)

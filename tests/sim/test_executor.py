@@ -266,3 +266,58 @@ class TestCrashes:
         )
         result = sim.run(10)
         assert result.completion_rate == pytest.approx(0.5)
+
+
+class TestPerRunAccounting:
+    """Regression tests: results of repeated run() calls must not mix.
+
+    ``completion_rate`` used to divide the all-time completion count by
+    the all-time step count, so the result of a second ``run()`` call
+    reported a blend of both calls' behaviour.
+    """
+
+    def _simulator(self):
+        return Simulator(
+            incrementer(),
+            UniformStochasticScheduler(),
+            n_processes=2,
+            memory=counting_memory(),
+            rng=0,
+        )
+
+    def test_second_run_reports_its_own_steps(self):
+        sim = self._simulator()
+        first = sim.run(50)
+        second = sim.run(50)
+        assert first.steps_this_run == 50
+        assert second.steps_this_run == 50
+        # steps_executed stays cumulative (simulator time), by contract.
+        assert second.steps_executed == 100
+
+    def test_completion_rate_is_per_run(self):
+        sim = self._simulator()
+        first = sim.run(1_000)
+        second = sim.run(1_000)
+        assert second.completions_this_run == (
+            second.recorder.total_completions - first.completions_this_run
+        )
+        assert second.completion_rate == (
+            second.completions_this_run / second.steps_this_run
+        )
+
+    def test_zero_step_run_has_zero_rate(self):
+        sim = self._simulator()
+        sim.run(100)
+        result = sim.run(0)
+        assert result.steps_this_run == 0
+        assert result.completion_rate == 0.0
+
+    def test_batched_run_accounts_per_call_too(self):
+        sim = self._simulator()
+        sim.run_batched(50)
+        second = sim.run_batched(50)
+        assert second.steps_this_run == 50
+        assert second.steps_executed == 100
+        assert second.completion_rate == (
+            second.completions_this_run / 50
+        )
