@@ -32,7 +32,9 @@ def reproduce_corollary2():
             crash_times=crash_times,
             rng=k,
         )
-        result = sim.run(STEPS)
+        # Crash experiments stay on the batched engine: the ensemble
+        # engine is crash-free by design (it rejects crash_times).
+        result = sim.run_batched(STEPS)
         measured = system_latency(result.recorder, burn_in=CRASH_AT * 10)
         rows.append((N, k, measured, scu_system_latency_exact(k)))
     return rows

@@ -6,6 +6,10 @@ As in the paper, the prediction curve is scaled to the first measured
 point.  We add a fourth series the paper could not show: the *exact*
 stationary rate from the system chain, which the measured curve should
 sit on almost exactly.
+
+All thread counts run as one heterogeneous ensemble
+(:class:`repro.sim.EnsembleSimulator`) — bit-identical to the per-``n``
+batched runs this benchmark used previously, with the same seeds.
 """
 
 import numpy as np
@@ -17,8 +21,9 @@ from repro.core.analysis import (
     completion_rate_prediction,
     worst_case_completion_rate,
 )
-from repro.core.latency import measure_latencies
+from repro.core.latency import resolve_vector_kernel
 from repro.core.scheduler import UniformStochasticScheduler
+from repro.sim import EnsembleReplicate, EnsembleSimulator
 from repro.stats.estimators import fit_power_law
 
 THREAD_COUNTS = [2, 4, 8, 12, 16, 20, 28, 40]
@@ -26,19 +31,21 @@ STEPS = 120_000
 
 
 def reproduce_figure5():
-    measured = []
-    for n in THREAD_COUNTS:
-        m = measure_latencies(
-            cas_counter(),
-            UniformStochasticScheduler(),
-            n_processes=n,
-            steps=STEPS,
-            memory=make_counter_memory(),
-            rng=n,
-            batched=True,
-        )
-        measured.append(m.completion_rate)
-    measured = np.array(measured)
+    kernel = resolve_vector_kernel(cas_counter())
+    ensemble = EnsembleSimulator(
+        [
+            EnsembleReplicate(
+                kernel,
+                n,
+                UniformStochasticScheduler(),
+                make_counter_memory(),
+                rng=n,
+            )
+            for n in THREAD_COUNTS
+        ]
+    )
+    measurements = ensemble.run(STEPS).measurements()
+    measured = np.array([m.completion_rate for m in measurements])
     predicted = completion_rate_prediction(THREAD_COUNTS, measured_first=measured[0])
     worst = worst_case_completion_rate(THREAD_COUNTS)
     exact = np.array([1.0 / scu_system_latency_exact(n) for n in THREAD_COUNTS])

@@ -18,10 +18,29 @@ N_VALUES = [4, 8, 16, 32, 64, 128, 256, 512]
 
 
 def reproduce_theorem5():
+    from repro.core.latency import resolve_vector_kernel
+    from repro.core.scheduler import UniformStochasticScheduler
+    from repro.sim import EnsembleReplicate, EnsembleSimulator
+
     exact = [scu_system_latency_exact(n) for n in N_VALUES]
-    simulated = {
-        n: SCU(0, 1).measure(n, 150_000, rng=n, batched=True).system_latency for n in (16, 128)
-    }
+    # Both spot-checks run as one ensemble — bit-identical to the
+    # per-n batched runs, with the same seeds.
+    spot = (16, 128)
+    spec = SCU(0, 1)
+    ensemble = EnsembleSimulator(
+        [
+            EnsembleReplicate(
+                resolve_vector_kernel(spec.factory()),
+                n,
+                UniformStochasticScheduler(),
+                spec.memory(),
+                rng=n,
+            )
+            for n in spot
+        ]
+    )
+    measurements = ensemble.run(150_000).measurements()
+    simulated = {n: m.system_latency for n, m in zip(spot, measurements)}
     return exact, simulated
 
 

@@ -38,9 +38,17 @@ from repro.core import (
     SkewedStochasticScheduler,
     UniformStochasticScheduler,
     measure_latencies,
+    measure_latencies_ensemble,
     progress_report,
 )
-from repro.sim import Memory, SimulationResult, Simulator
+from repro.sim import (
+    EnsembleReplicate,
+    EnsembleResult,
+    EnsembleSimulator,
+    Memory,
+    SimulationResult,
+    Simulator,
+)
 
 __version__ = "1.0.0"
 
@@ -48,6 +56,9 @@ __all__ = [
     "SCU",
     "AdversarialScheduler",
     "DistributionScheduler",
+    "EnsembleReplicate",
+    "EnsembleResult",
+    "EnsembleSimulator",
     "HardwareLikeScheduler",
     "LatencyMeasurement",
     "LotteryScheduler",
@@ -59,5 +70,6 @@ __all__ = [
     "UniformStochasticScheduler",
     "__version__",
     "measure_latencies",
+    "measure_latencies_ensemble",
     "progress_report",
 ]

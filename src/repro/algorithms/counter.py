@@ -12,13 +12,55 @@ rate under the uniform stochastic scheduler is ``Theta(1/sqrt(n))``.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Any, Generator, Optional
+
+import numpy as np
 
 from repro.sim.memory import Memory
 from repro.sim.ops import CAS, Read
 from repro.sim.process import Completion, Invoke, ProcessFactory
 
 DEFAULT_REGISTER = "counter"
+
+
+@dataclass(frozen=True)
+class CounterStepKernel:
+    """Array-encodable step kernel for the CAS counter (ensemble engine).
+
+    The counter is the ``q = 0, s = 1`` shape: each attempt is a read
+    followed by a validating ``CAS(v, v + 1)``.  The register value is its
+    own version counter (it increments exactly on success), so a CAS
+    succeeds iff no other CAS succeeded between its read and itself —
+    which is the event condition :class:`repro.sim.EnsembleSimulator`
+    resolves.  ``commit`` reconstructs the final register (value and
+    access counters) in closed form from the per-process end state:
+    every attempt contributes one read and one CAS attempt, plus one
+    dangling read when a process ends mid-attempt (``phase == 1``).
+    """
+
+    register: str = DEFAULT_REGISTER
+
+    q = 0
+    s = 1
+
+    def commit(
+        self,
+        memory: Memory,
+        *,
+        seq: np.ndarray,
+        phase: np.ndarray,
+        success_pids: np.ndarray,
+        success_seqs: np.ndarray,
+    ) -> None:
+        reg = memory[self.register]
+        attempts = int(seq.sum())
+        reg.reads += attempts + int(np.count_nonzero(phase > 0))
+        reg.cas_attempts += attempts
+        successes = int(success_pids.shape[0])
+        reg.cas_successes += successes
+        if successes:
+            reg.value = reg.value + successes
 
 
 def cas_counter_method(
@@ -64,6 +106,11 @@ def cas_counter(
             yield Completion(value, "fetch_and_inc")
             count += 1
 
+    if calls is None:
+        # Endless symmetric workloads are ensemble-resolvable; expose the
+        # kernel so EnsembleSimulator / latency_sweep(engine="ensemble")
+        # can pick it up from the factory.
+        factory.vector_kernel = CounterStepKernel(register)
     return factory
 
 

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Generator, Optional, Tuple
 
+import numpy as np
+
 from repro.sim.memory import Memory
 from repro.sim.ops import CAS, Nop, Read
 from repro.sim.process import Completion, Invoke, ProcessFactory
@@ -42,6 +44,57 @@ class Proposal:
 def aux_register(index: int, prefix: str = DEFAULT_AUX_PREFIX) -> str:
     """Name of the ``index``-th auxiliary scan register (1-based)."""
     return f"{prefix}{index}"
+
+
+@dataclass(frozen=True)
+class ScuStepKernel:
+    """Array-encodable step kernel for ``SCU(q, s)`` (ensemble engine).
+
+    Proposals are globally unique (``(pid, sequence)`` timestamps), so the
+    decision register acts as a version counter: a validating CAS succeeds
+    iff no other CAS succeeded between its decision read and itself — the
+    event condition :class:`repro.sim.EnsembleSimulator` resolves.
+    ``commit`` rebuilds the final decision register from the time-ordered
+    success events (each committed proposal's payload is the previous
+    register value, per Algorithm 2) and settles the access counters in
+    closed form: per completed attempt one read of the decision register
+    and of each auxiliary register plus one CAS attempt, plus the partial
+    reads of an unfinished attempt (``phase`` past the register's scan
+    position).  Preamble steps are ``Nop``s and touch no register.
+    """
+
+    q: int
+    s: int
+    decision: str = DEFAULT_DECISION
+    aux_prefix: str = DEFAULT_AUX_PREFIX
+
+    def __post_init__(self) -> None:
+        if self.q < 0:
+            raise ValueError("q must be non-negative")
+        if self.s < 1:
+            raise ValueError("s must be at least 1 (the decision register read)")
+
+    def commit(
+        self,
+        memory: Memory,
+        *,
+        seq: np.ndarray,
+        phase: np.ndarray,
+        success_pids: np.ndarray,
+        success_seqs: np.ndarray,
+    ) -> None:
+        attempts = int(seq.sum())
+        reg = memory[self.decision]
+        reg.reads += attempts + int(np.count_nonzero(phase > self.q))
+        reg.cas_attempts += attempts
+        reg.cas_successes += int(success_pids.shape[0])
+        value = reg.value
+        for pid, sequence in zip(success_pids.tolist(), success_seqs.tolist()):
+            value = Proposal(pid, sequence, payload=value)
+        reg.value = value
+        for index in range(1, self.s):
+            aux = memory[aux_register(index, self.aux_prefix)]
+            aux.reads += attempts + int(np.count_nonzero(phase > self.q + index))
 
 
 def scu_method(
@@ -135,6 +188,13 @@ def scu_algorithm(
             yield Completion(proposal, method)
             count += 1
 
+    if calls is None:
+        # Endless symmetric workloads are ensemble-resolvable; expose the
+        # kernel so EnsembleSimulator / latency_sweep(engine="ensemble")
+        # can pick it up from the factory.
+        factory.vector_kernel = ScuStepKernel(
+            q, s, decision=decision, aux_prefix=aux_prefix
+        )
     return factory
 
 

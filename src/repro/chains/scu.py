@@ -48,6 +48,7 @@ not processes, and yields exact latencies for the full class.
 from __future__ import annotations
 
 import itertools
+from functools import lru_cache
 from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
@@ -140,8 +141,15 @@ def scu_lifting(n: int) -> Lifting:
 
 
 # -- exact latencies ------------------------------------------------------------
+#
+# The float-returning solvers are memoized: benchmarks and sweeps re-solve
+# the same (n, q, s) chain many times (FIG5 asserts against the exact value
+# at every thread count, every replicate), and a stationary solve of the
+# n=512 system chain costs ~seconds.  scu_stationary_profile returns a
+# mutable dict and stays uncached.
 
 
+@lru_cache(maxsize=None)
 def scu_success_probability(n: int) -> float:
     """Stationary probability ``mu`` that a system step is a success.
 
@@ -156,6 +164,7 @@ def scu_success_probability(n: int) -> float:
     return mu
 
 
+@lru_cache(maxsize=None)
 def scu_system_latency_exact(n: int) -> float:
     """Exact stationary system latency ``W`` of ``SCU(0, 1)``.
 
@@ -189,6 +198,7 @@ def scu_stationary_profile(n: int) -> dict:
     }
 
 
+@lru_cache(maxsize=None)
 def scu_individual_latency_exact(n: int, pid: int = 0) -> float:
     """Exact stationary individual latency ``W_i`` from the individual chain.
 
@@ -350,6 +360,7 @@ def scu_full_lifting(n: int, q: int, s: int):
     return Lifting(fine, coarse, mapping)
 
 
+@lru_cache(maxsize=None)
 def scu_full_individual_latency_exact(
     n: int, q: int, s: int, pid: int = 0
 ) -> float:
@@ -366,6 +377,7 @@ def scu_full_individual_latency_exact(
     return 1.0 / eta
 
 
+@lru_cache(maxsize=None)
 def scu_full_system_latency_exact(n: int, q: int, s: int) -> float:
     """Exact stationary system latency of ``SCU(q, s)`` from the full chain.
 

@@ -26,6 +26,8 @@ from repro.core.latency import (
     individual_latencies,
     individual_latency,
     measure_latencies,
+    measure_latencies_ensemble,
+    resolve_vector_kernel,
     system_latency,
 )
 from repro.core.lifting import (
@@ -85,7 +87,9 @@ __all__ = [
     "parallel_sweep",
     "mean_work",
     "measure_latencies",
+    "measure_latencies_ensemble",
     "measure_work",
+    "resolve_vector_kernel",
     "min_to_max_progress_bound",
     "parallel_individual_latency",
     "parallel_system_latency",

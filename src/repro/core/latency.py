@@ -15,7 +15,7 @@ regime the paper analyses), and reports everything at once.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -37,7 +37,10 @@ def system_latency(recorder: TraceRecorder, *, burn_in: int = 0) -> float:
     times = times[times > burn_in]
     if times.size < 2:
         raise ValueError(
-            f"need >= 2 completions after burn_in={burn_in}, got {times.size}"
+            f"need >= 2 completions after burn_in={burn_in} to estimate "
+            f"system latency, got {times.size} "
+            f"(n={recorder.n_processes}, steps={recorder.total_steps}); "
+            "system latency grows with n, so increase steps or lower burn_in"
         )
     return float((times[-1] - times[0]) / (times.size - 1))
 
@@ -50,7 +53,11 @@ def individual_latency(
     times = times[times > burn_in]
     if times.size < 2:
         raise ValueError(
-            f"process {pid} completed {times.size} times after burn_in; need >= 2"
+            f"process {pid} completed {times.size} times after "
+            f"burn_in={burn_in}; need >= 2 "
+            f"(n={recorder.n_processes}, steps={recorder.total_steps}); "
+            "individual latency is ~n times the system latency, so "
+            "increase steps or lower burn_in"
         )
     return float((times[-1] - times[0]) / (times.size - 1))
 
@@ -84,6 +91,18 @@ def method_latencies(history, *, burn_in: int = 0) -> Dict[str, float]:
         if len(times) >= 2:
             out[method] = float((times[-1] - times[0]) / (len(times) - 1))
     return out
+
+
+def _no_repeat_completion_error(
+    n_processes: int, steps: int, burn_in: int
+) -> ValueError:
+    """The shared 'nothing completed twice' failure, with enough context
+    to act on — the first wall users hit at large ``n``."""
+    return ValueError(
+        f"no process completed twice after burn_in={burn_in} "
+        f"(n={n_processes}, steps={steps}); individual latency is "
+        "~n times the system latency, so increase steps (or lower burn_in)"
+    )
 
 
 def completion_rate(recorder: TraceRecorder, total_steps: int) -> float:
@@ -173,9 +192,7 @@ def measure_latencies(
     result = simulator.run_batched(steps) if batched else simulator.run(steps)
     individual = individual_latencies(result.recorder, burn_in=burn_in)
     if not individual:
-        raise ValueError(
-            "no process completed twice after burn-in; increase steps"
-        )
+        raise _no_repeat_completion_error(n_processes, result.steps_executed, burn_in)
     return LatencyMeasurement(
         n_processes=n_processes,
         steps=result.steps_executed,
@@ -185,3 +202,65 @@ def measure_latencies(
         individual=individual,
         completion_rate=completion_rate(result.recorder, result.steps_executed),
     )
+
+
+def resolve_vector_kernel(factory_or_kernel) -> object:
+    """The ensemble step kernel for a workload.
+
+    Accepts either a kernel directly (anything exposing ``q``/``s``/
+    ``commit``) or a process factory carrying one as ``vector_kernel``
+    (factories from :func:`repro.algorithms.cas_counter` /
+    :func:`repro.algorithms.scu_algorithm` do).  Raises a
+    :class:`ValueError` naming the workload when neither applies, since
+    the ensemble engine only resolves SCU-shaped workloads.
+    """
+    if hasattr(factory_or_kernel, "commit") and hasattr(factory_or_kernel, "q"):
+        return factory_or_kernel
+    kernel = getattr(factory_or_kernel, "vector_kernel", None)
+    if kernel is None:
+        raise ValueError(
+            f"{factory_or_kernel!r} has no ensemble step kernel: the "
+            "ensemble engine resolves SCU-shaped workloads only (factories "
+            "from cas_counter()/scu_algorithm() with calls=None expose one "
+            "as `.vector_kernel`); use batched=True for other workloads"
+        )
+    return kernel
+
+
+def measure_latencies_ensemble(
+    factory: ProcessFactory,
+    scheduler_builder: Callable[[], object],
+    n_processes: int,
+    steps: int,
+    seeds: Sequence[RngLike],
+    *,
+    burn_in: Optional[int] = None,
+    memory_factory: Optional[Callable[[], Memory]] = None,
+) -> "List[LatencyMeasurement]":
+    """Measure many independent replicates on the ensemble engine.
+
+    One :class:`LatencyMeasurement` per seed, each bit-identical to
+    ``measure_latencies(factory, scheduler_builder(), n_processes, steps,
+    memory=memory_factory(), rng=seed, batched=True)`` — the replicates
+    are resolved together as array operations instead of one simulation
+    at a time (see :class:`repro.sim.EnsembleSimulator`).
+
+    ``scheduler_builder`` and ``memory_factory`` are zero-argument
+    builders because every replicate needs its *own* scheduler instance
+    (stateful schedulers) and memory.
+    """
+    from repro.sim.ensemble import EnsembleReplicate, EnsembleSimulator
+
+    kernel = resolve_vector_kernel(factory)
+    replicates = [
+        EnsembleReplicate(
+            kernel=kernel,
+            n_processes=n_processes,
+            scheduler=scheduler_builder(),
+            memory=memory_factory() if memory_factory is not None else None,
+            rng=seed,
+        )
+        for seed in seeds
+    ]
+    result = EnsembleSimulator(replicates).run(steps)
+    return result.measurements(burn_in=burn_in)

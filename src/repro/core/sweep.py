@@ -7,6 +7,15 @@ with independent replicates and Student-t confidence intervals;
 :func:`parallel_sweep` is the same measurement fanned out over worker
 processes — replicate seeds are derived identically in both, so the two
 produce bit-identical results.
+
+Three engines drive the replicates (``engine=``): ``"serial"`` steps the
+simulator one step at a time, ``"batched"`` uses the trace-equivalent
+block fast path (:meth:`repro.sim.Simulator.run_batched`), and
+``"ensemble"`` resolves all replicates of a sweep point together as array
+operations (:class:`repro.sim.EnsembleSimulator`) — the fastest path for
+multi-replicate work, available for SCU-shaped workloads whose factory
+exposes a ``vector_kernel``.  All three produce bit-identical numbers
+for the same seeds.
 """
 
 from __future__ import annotations
@@ -17,11 +26,13 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.latency import measure_latencies
+from repro.core.latency import measure_latencies, measure_latencies_ensemble
 from repro.core.scheduler import Scheduler, UniformStochasticScheduler
 from repro.sim.memory import Memory
 from repro.sim.process import ProcessFactory
 from repro.stats.estimators import MeanEstimate, mean_confidence_interval
+
+_ENGINES = ("serial", "batched", "ensemble")
 
 
 @dataclass(frozen=True)
@@ -32,6 +43,16 @@ class SweepPoint:
     system_latency: MeanEstimate
     completion_rate: MeanEstimate
     fairness_ratio: MeanEstimate
+
+
+def _resolve_engine(engine: Optional[str], batched: bool) -> str:
+    """Engine name from the explicit ``engine`` argument or the legacy
+    ``batched`` flag (``engine`` wins when both are given)."""
+    if engine is None:
+        return "batched" if batched else "serial"
+    if engine not in _ENGINES:
+        raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    return engine
 
 
 def _run_replicate(
@@ -65,6 +86,36 @@ def _run_replicate(
         measurement.completion_rate,
         measurement.fairness_ratio,
     )
+
+
+def _run_replicate_chunk(
+    factory_builder: Callable[[], ProcessFactory],
+    memory_builder: Callable[[], Memory],
+    scheduler_builder: Callable[[], Scheduler],
+    pairs: Sequence[Tuple[int, int]],
+    steps: int,
+    seed: int,
+    batched: bool,
+) -> List[Tuple[float, float, float]]:
+    """A chunk of ``(n, replicate)`` tasks, run back-to-back in one worker.
+
+    One pool task per chunk instead of per replicate cuts the pickling
+    and dispatch overhead; each replicate still derives its own
+    ``(seed, n, replicate)`` seed, so chunking cannot affect results.
+    """
+    return [
+        _run_replicate(
+            factory_builder,
+            memory_builder,
+            scheduler_builder,
+            n,
+            steps,
+            seed,
+            replicate,
+            batched,
+        )
+        for n, replicate in pairs
+    ]
 
 
 def _collect_points(
@@ -101,32 +152,53 @@ def latency_sweep(
     confidence: float = 0.95,
     seed: int = 0,
     batched: bool = False,
+    engine: Optional[str] = None,
 ) -> List[SweepPoint]:
     """Measure latencies across ``n_values`` with ``repeats`` replicates.
 
     Each replicate gets a fresh factory, memory, scheduler and seed, so
     the replicates are independent and the confidence intervals honest.
-    ``batched=True`` runs each replicate on the trace-equivalent fast
-    path (:meth:`repro.sim.Simulator.run_batched`) — same seeds, same
-    numbers, less wall-clock.
+    ``engine`` selects the execution engine (see the module docstring);
+    ``engine="ensemble"`` resolves each sweep point's replicates together
+    as array operations — same seeds, same numbers, least wall-clock.
+    The legacy ``batched=True`` flag is shorthand for
+    ``engine="batched"``.
     """
     if repeats < 2:
         raise ValueError("repeats must be at least 2 for confidence intervals")
     if scheduler_builder is None:
         scheduler_builder = UniformStochasticScheduler
+    chosen = _resolve_engine(engine, batched)
     results: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
-    for n in n_values:
-        for r in range(repeats):
-            results[(n, r)] = _run_replicate(
-                factory_builder,
-                memory_builder,
+    if chosen == "ensemble":
+        for n in n_values:
+            measurements = measure_latencies_ensemble(
+                factory_builder(),
                 scheduler_builder,
                 n,
                 steps,
-                seed,
-                r,
-                batched,
+                [(seed, n, r) for r in range(repeats)],
+                memory_factory=memory_builder,
             )
+            for r, measurement in enumerate(measurements):
+                results[(n, r)] = (
+                    measurement.system_latency,
+                    measurement.completion_rate,
+                    measurement.fairness_ratio,
+                )
+    else:
+        for n in n_values:
+            for r in range(repeats):
+                results[(n, r)] = _run_replicate(
+                    factory_builder,
+                    memory_builder,
+                    scheduler_builder,
+                    n,
+                    steps,
+                    seed,
+                    r,
+                    chosen == "batched",
+                )
     return _collect_points(n_values, repeats, results, confidence)
 
 
@@ -142,14 +214,21 @@ def parallel_sweep(
     seed: int = 0,
     batched: bool = True,
     max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> List[SweepPoint]:
     """:func:`latency_sweep` fanned out over a process pool.
 
-    Every ``(n, replicate)`` pair is an independent task seeded with the
-    same ``(seed, n, replicate)`` tuple the serial sweep uses, so the
-    result is bit-identical to ``latency_sweep`` with the same arguments
-    — scheduling order across workers cannot matter because no state is
+    Every ``(n, replicate)`` pair is seeded with the same
+    ``(seed, n, replicate)`` tuple the serial sweep uses, so the result
+    is bit-identical to ``latency_sweep`` with the same arguments —
+    scheduling order across workers cannot matter because no state is
     shared between replicates.
+
+    Replicates are shipped to workers in chunks of ``chunk_size``
+    consecutive tasks (one future per chunk, not per replicate), which
+    cuts the pickling/dispatch overhead that dominates small replicates.
+    ``chunk_size=None`` picks roughly four chunks per worker; chunking
+    affects only scheduling, never results.
 
     The builders must be picklable (module-level functions or
     ``functools.partial`` over module-level functions; closures and
@@ -159,27 +238,36 @@ def parallel_sweep(
     """
     if repeats < 2:
         raise ValueError("repeats must be at least 2 for confidence intervals")
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError("chunk_size must be positive")
     if scheduler_builder is None:
         scheduler_builder = UniformStochasticScheduler
     tasks = [(n, r) for n in n_values for r in range(repeats)]
     results: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
     with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        futures = {
-            (n, r): pool.submit(
-                _run_replicate,
+        if chunk_size is None:
+            workers = pool._max_workers
+            chunk_size = max(1, -(-len(tasks) // (workers * 4)))
+        chunks = [
+            tasks[start : start + chunk_size]
+            for start in range(0, len(tasks), chunk_size)
+        ]
+        futures = [
+            pool.submit(
+                _run_replicate_chunk,
                 factory_builder,
                 memory_builder,
                 scheduler_builder,
-                n,
+                chunk,
                 steps,
                 seed,
-                r,
                 batched,
             )
-            for n, r in tasks
-        }
-        for key, future in futures.items():
-            results[key] = future.result()
+            for chunk in chunks
+        ]
+        for chunk, future in zip(chunks, futures):
+            for key, triple in zip(chunk, future.result()):
+                results[key] = triple
     return _collect_points(n_values, repeats, results, confidence)
 
 

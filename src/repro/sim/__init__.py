@@ -15,6 +15,12 @@ simulating the model directly exercises exactly the behaviour the paper
 predicts (see DESIGN.md, "Hardware / data substitutions").
 """
 
+from repro.sim.ensemble import (
+    EnsembleReplicate,
+    EnsembleResult,
+    EnsembleSimulator,
+    ReplicateOutcome,
+)
 from repro.sim.executor import SimulationResult, Simulator
 from repro.sim.history import History, Invocation, Response
 from repro.sim.memory import Memory, Register
@@ -35,6 +41,9 @@ from repro.sim.trace import ScheduleTrace, TraceRecorder
 __all__ = [
     "CAS",
     "Completion",
+    "EnsembleReplicate",
+    "EnsembleResult",
+    "EnsembleSimulator",
     "FetchAndIncrement",
     "History",
     "Invocation",
@@ -46,6 +55,7 @@ __all__ = [
     "Read",
     "ReadModifyWrite",
     "Register",
+    "ReplicateOutcome",
     "Response",
     "ScheduleRecording",
     "ScheduleTrace",

@@ -1,0 +1,553 @@
+"""The ensemble engine: many replicates resolved as array operations.
+
+The paper's quantitative claims (Theorems 4-5, Corollary 2, Figure 5) are
+statements about *expectations* under the uniform stochastic scheduler, so
+sweeps and benchmarks run many independent replicates of the same small
+``SCU(q, s)`` or CAS-counter simulation.  Replicates are embarrassingly
+parallel and structurally identical, which makes them the textbook
+candidate for struct-of-arrays vectorization: :class:`EnsembleSimulator`
+holds the per-replicate process state as integer arrays (per-process phase
+counters, attempt sequence numbers, step counts) and resolves whole
+replicates with numpy passes instead of per-process generator resumption.
+
+The engine exploits a structural property of ``SCU(q, s)`` workloads: the
+schedule is drawn up front (via the same ``select_batch`` protocol and RNG
+consumption as :meth:`repro.sim.Simulator.run_batched`), and once the
+schedule is fixed, the only data-dependent events are the validating CAS
+steps.  A CAS by process ``p`` at time ``c`` whose decision-register read
+happened at time ``r`` succeeds **iff no other CAS succeeded in the open
+interval** ``(r, c)`` — proposals are globally unique (timestamped), so
+the decision register acts as a version counter.  Resolution therefore
+reduces to a greedy scan over (read, CAS) event pairs:
+
+* ``q == 0`` (the counter, scan-validate, and every ``SCU(0, s)`` member):
+  attempt boundaries are schedule-deterministic — every ``s + 1`` local
+  steps regardless of outcomes — so all event pairs are precomputed with
+  counting-sort passes (times are unique integers, so sorting is O(steps)
+  scatter/cumsum work, not a comparison sort), and the successes are
+  extracted by following a vectorized-precomputed successor pointer:
+  after a success at time ``L``, the next success is the attempt with the
+  smallest CAS time among attempts whose read happened after ``L`` — a
+  suffix-argmin over CAS times in read order, looked up in O(1).
+* ``q > 0``: a success inserts ``q`` preamble steps before the process's
+  next attempt, so event times are outcome-dependent; a heap-driven scan
+  pops CAS events in time order and lazily schedules each process's next
+  attempt.  Same greedy, same results, linear in the number of CAS events.
+
+Both paths reconstruct the final shared memory (values *and* access
+counters) in closed form from the per-process end state, so each
+replicate's schedule, completion times and final memory are **bit-identical**
+to what ``Simulator.run_batched`` produces for the same seed — enforced
+replicate-by-replicate in ``tests/sim/test_ensemble_equivalence.py``.
+
+The engine is crash-free by design (crash configurations are rejected with
+an explicit error): crash experiments (Corollary 2) keep using
+``Simulator.run_batched``, whose block boundaries track crash times.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.sim.executor import SimulationResult
+from repro.sim.memory import Memory
+from repro.sim.trace import TraceRecorder
+
+RngLike = Union[int, Tuple[int, ...], np.random.Generator, None]
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+def _resolve_flat(
+    sched: np.ndarray, n: int, s: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Resolve a ``q == 0`` replicate from its schedule, fully vectorized.
+
+    With no preamble, process ``p``'s ``k``-th attempt always occupies its
+    local steps ``[k(s+1), k(s+1)+s]`` — read first, CAS last — so every
+    (read time, CAS time) pair is a gather from the schedule grouped by
+    pid.  The greedy success scan then reduces to following a precomputed
+    successor pointer (see the module docstring).
+
+    Returns ``(success_cols, success_pids, success_seqs, seq, phase,
+    counts)`` where columns are 0-based schedule positions, ``seq[p]`` is
+    the number of CAS attempts process ``p`` executed, ``phase[p]`` in
+    ``[0, s]`` is its position within the current attempt and ``counts[p]``
+    its local step count.
+    """
+    steps = sched.shape[0]
+    counts = np.bincount(sched, minlength=n)
+    attempts = counts // (s + 1)
+    total = int(attempts.sum())
+    seq = attempts.astype(np.int64)
+    phase = (counts - attempts * (s + 1)).astype(np.int64)
+    if total == 0:
+        return _EMPTY, _EMPTY, _EMPTY, seq, phase, counts
+    # Index dtypes: times/positions fit int32 for any practical run; the
+    # grouping key uses the narrowest dtype numpy's radix sort is fastest on.
+    idx = np.int32 if steps < 2**31 - 2 else np.int64
+    key_dtype = np.int16 if n <= np.iinfo(np.int16).max else np.int32
+    order = np.argsort(sched.astype(key_dtype), kind="stable").astype(idx)
+
+    offsets = np.concatenate(([0], np.cumsum(counts[:-1]))).astype(idx)
+    aoff = np.concatenate(([0], np.cumsum(attempts[:-1]))).astype(idx)
+    pid_of = np.repeat(np.arange(n, dtype=idx), attempts)
+    within = np.arange(total, dtype=idx) - np.repeat(aoff, attempts)
+    cas_rank = offsets[pid_of] + s + (s + 1) * within
+    c_times = order[cas_rank]
+    r_times = order[cas_rank - s]
+
+    # Counting sort of the attempts by read time (times are unique column
+    # indices): one scatter + cumsum instead of a comparison sort.  The
+    # same cumsum answers "how many reads happened at or before column t",
+    # which is exactly the successor-pointer index below.
+    mark = np.zeros(steps, idx)
+    mark[r_times] = 1
+    reads_before = np.cumsum(mark, dtype=idx)
+    rpos = reads_before[r_times] - 1  # each attempt's rank in read order
+    c_r = np.empty(total, idx)
+    c_r[rpos] = c_times
+    pid_r = np.empty(total, idx)
+    pid_r[rpos] = pid_of
+    seq_r = np.empty(total, idx)
+    seq_r[rpos] = within
+    succ_at = np.empty(total, idx)
+    succ_at[rpos] = reads_before[c_times]  # first read rank strictly after c
+
+    # Suffix argmin of CAS times in read order: position of the earliest
+    # CAS among attempts whose read is at or after a given read rank.
+    suffix_min = np.minimum.accumulate(c_r[::-1])[::-1]
+    candidate = np.where(c_r == suffix_min, np.arange(total, dtype=idx), total)
+    suffix_argmin = np.minimum.accumulate(candidate[::-1])[::-1]
+    successor = np.concatenate((suffix_argmin, np.asarray([-1], idx)))[succ_at]
+
+    # The first success is the earliest CAS overall; after a success at
+    # time L, the next is the earliest CAS among attempts that read after
+    # L.  Walking the successor pointers visits exactly the successes.
+    successor_list = successor.tolist()
+    chain: List[int] = []
+    append = chain.append
+    event = int(suffix_argmin[0])
+    while event != -1:
+        append(event)
+        event = successor_list[event]
+    events = np.asarray(chain, dtype=np.intp)
+    return (
+        c_r[events].astype(np.int64),
+        pid_r[events].astype(np.int64),
+        seq_r[events].astype(np.int64),
+        seq,
+        phase,
+        counts,
+    )
+
+
+def _resolve_heap(
+    sched: np.ndarray, n: int, q: int, s: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Resolve a general ``SCU(q, s)`` replicate with a heap-driven scan.
+
+    Every call starts with ``q`` preamble steps, so a success shifts the
+    process's subsequent event times — attempts must be scheduled lazily.
+    The heap holds one pending CAS event per process, popped in time
+    order; the greedy success condition is identical to the ``q == 0``
+    path.  Return contract matches :func:`_resolve_flat` (``phase`` in
+    ``[0, q + s]``).
+    """
+    counts = np.bincount(sched, minlength=n)
+    key_dtype = np.int16 if n <= np.iinfo(np.int16).max else np.int32
+    order = np.argsort(sched.astype(key_dtype), kind="stable")
+
+    grouped: List[List[int]] = []
+    local_counts = counts.tolist()
+    offset = 0
+    for pid in range(n):
+        grouped.append(order[offset : offset + local_counts[pid]].tolist())
+        offset += local_counts[pid]
+
+    next_read = [q] * n  # local index of the pending attempt's first read
+    seq_list = [0] * n
+    heap: List[Tuple[int, int]] = []
+    for pid in range(n):
+        if q + s < local_counts[pid]:
+            heap.append((grouped[pid][q + s], pid))
+    heapq.heapify(heap)
+    push, pop = heapq.heappush, heapq.heappop
+
+    last = -1
+    succ_cols: List[int] = []
+    succ_pids: List[int] = []
+    succ_seqs: List[int] = []
+    while heap:
+        cas_col, pid = pop(heap)
+        steps_of = grouped[pid]
+        read_local = next_read[pid]
+        sequence = seq_list[pid]
+        seq_list[pid] = sequence + 1
+        if steps_of[read_local] > last:
+            last = cas_col
+            succ_cols.append(cas_col)
+            succ_pids.append(pid)
+            succ_seqs.append(sequence)
+            advanced = read_local + s + 1 + q  # completion: fresh preamble
+        else:
+            advanced = read_local + s + 1  # failed CAS: rescan immediately
+        next_read[pid] = advanced
+        if advanced + s < local_counts[pid]:
+            push(heap, (steps_of[advanced + s], pid))
+
+    seq = np.asarray(seq_list, dtype=np.int64)
+    phase = q + counts - np.asarray(next_read, dtype=np.int64)
+    return (
+        np.asarray(succ_cols, dtype=np.int64),
+        np.asarray(succ_pids, dtype=np.int64),
+        np.asarray(succ_seqs, dtype=np.int64),
+        seq,
+        phase,
+        counts,
+    )
+
+
+@dataclass
+class EnsembleReplicate:
+    """One member of an ensemble: a workload plus its independent state.
+
+    ``kernel`` is an array-encodable step kernel — an object exposing
+    ``q`` (preamble steps), ``s`` (scan steps) and ``commit(memory, *,
+    seq, phase, success_pids, success_seqs)`` — see
+    :class:`repro.algorithms.counter.CounterStepKernel` and
+    :class:`repro.algorithms.scu.ScuStepKernel`.  Factories built with
+    ``cas_counter()`` / ``scu_algorithm()`` carry their kernel as a
+    ``vector_kernel`` attribute.
+
+    Replicates are fully independent: each brings its own process count,
+    scheduler instance (stateful schedulers must not be shared), memory
+    and RNG seed, so heterogeneous ensembles (mixed ``n``, mixed
+    ``(q, s)``) are just lists of these.
+    """
+
+    kernel: Any
+    n_processes: int
+    scheduler: Any
+    memory: Optional[Memory] = None
+    rng: RngLike = None
+    crash_times: Optional[Dict[int, int]] = None
+
+
+@dataclass
+class ReplicateOutcome:
+    """Resolved results of one replicate — the ensemble-side analogue of
+    :class:`repro.sim.SimulationResult`, with arrays instead of lists."""
+
+    n_processes: int
+    steps_executed: int
+    completion_times: np.ndarray  # int64, 1-based step times, ascending
+    completion_pids: np.ndarray  # int64, aligned with completion_times
+    step_counts: np.ndarray  # (n,) steps taken per process
+    memory: Memory
+    schedule: Optional[np.ndarray] = None  # int32 pid sequence, if recorded
+
+    @property
+    def total_completions(self) -> int:
+        return int(self.completion_times.shape[0])
+
+    def completions_of(self, pid: int) -> int:
+        return int(np.count_nonzero(self.completion_pids == pid))
+
+    def recorder(self) -> TraceRecorder:
+        """Materialize a :class:`TraceRecorder` equal to what the serial
+        engines would have produced, so every existing estimator
+        (``system_latency`` and friends) applies unchanged."""
+        recorder = TraceRecorder(
+            self.n_processes,
+            record_schedule=self.schedule is not None,
+            record_completion_times=True,
+        )
+        if self.schedule is not None and self.schedule.size:
+            recorder.schedule.extend(self.schedule)
+        recorder.completion_times = self.completion_times.tolist()
+        recorder.completion_pids = self.completion_pids.tolist()
+        completions = np.bincount(
+            self.completion_pids, minlength=self.n_processes
+        )
+        recorder.completions = {
+            pid: int(completions[pid]) for pid in range(self.n_processes)
+        }
+        recorder.steps = {
+            pid: int(self.step_counts[pid]) for pid in range(self.n_processes)
+        }
+        recorder.total_steps = self.steps_executed
+        return recorder
+
+    def to_simulation_result(self) -> SimulationResult:
+        """Repackage as a :class:`SimulationResult` (no history support)."""
+        return SimulationResult(
+            steps_executed=self.steps_executed,
+            recorder=self.recorder(),
+            memory=self.memory,
+            history=None,
+            stopped_early=False,
+            steps_this_run=self.steps_executed,
+            completions_this_run=self.total_completions,
+        )
+
+
+@dataclass
+class EnsembleResult:
+    """Results of an ensemble run, with vectorized metric accessors.
+
+    The per-metric methods return ``(R,)`` arrays aligned with the
+    replicate order; ``measurements`` reproduces
+    :func:`repro.core.latency.measure_latencies` bit-for-bit by feeding
+    each materialized recorder through the very same estimator functions.
+    """
+
+    replicates: List[ReplicateOutcome]
+
+    def __len__(self) -> int:
+        return len(self.replicates)
+
+    def __iter__(self) -> Iterator[ReplicateOutcome]:
+        return iter(self.replicates)
+
+    def __getitem__(self, index: int) -> ReplicateOutcome:
+        return self.replicates[index]
+
+    def recorders(self) -> List[TraceRecorder]:
+        return [outcome.recorder() for outcome in self.replicates]
+
+    def total_completions(self) -> np.ndarray:
+        return np.asarray(
+            [outcome.total_completions for outcome in self.replicates],
+            dtype=np.int64,
+        )
+
+    def completion_rates(self) -> np.ndarray:
+        """Completions per step, per replicate (Appendix B's metric)."""
+        return self.total_completions() / np.asarray(
+            [outcome.steps_executed for outcome in self.replicates], dtype=np.int64
+        )
+
+    def system_latencies(self, *, burn_in: int = 0) -> np.ndarray:
+        from repro.core.latency import system_latency
+
+        return np.asarray(
+            [
+                system_latency(outcome.recorder(), burn_in=burn_in)
+                for outcome in self.replicates
+            ]
+        )
+
+    def fairness_ratios(self, *, burn_in: int = 0) -> np.ndarray:
+        """Per-replicate ``max individual / (n * system)`` (Lemma 7)."""
+        from repro.core.latency import individual_latencies, system_latency
+
+        ratios = []
+        for outcome in self.replicates:
+            recorder = outcome.recorder()
+            individual = individual_latencies(recorder, burn_in=burn_in)
+            ratios.append(
+                max(individual.values())
+                / (outcome.n_processes * system_latency(recorder, burn_in=burn_in))
+            )
+        return np.asarray(ratios)
+
+    def measurements(self, *, burn_in: Optional[int] = None) -> List[Any]:
+        """One :class:`~repro.core.latency.LatencyMeasurement` per
+        replicate, bit-identical to ``measure_latencies(..., batched=True)``
+        with the same seed (``burn_in`` defaults to ``steps // 10``, as
+        there)."""
+        from repro.core.latency import (
+            LatencyMeasurement,
+            _no_repeat_completion_error,
+            completion_rate,
+            individual_latencies,
+            system_latency,
+        )
+
+        out = []
+        for outcome in self.replicates:
+            drop = outcome.steps_executed // 10 if burn_in is None else burn_in
+            recorder = outcome.recorder()
+            individual = individual_latencies(recorder, burn_in=drop)
+            if not individual:
+                raise _no_repeat_completion_error(
+                    outcome.n_processes, outcome.steps_executed, drop
+                )
+            out.append(
+                LatencyMeasurement(
+                    n_processes=outcome.n_processes,
+                    steps=outcome.steps_executed,
+                    burn_in=drop,
+                    total_completions=recorder.total_completions,
+                    system_latency=system_latency(recorder, burn_in=drop),
+                    individual=individual,
+                    completion_rate=completion_rate(
+                        recorder, outcome.steps_executed
+                    ),
+                )
+            )
+        return out
+
+
+class EnsembleSimulator:
+    """Runs R independent replicates of SCU-shaped workloads as array
+    operations, bit-identical to ``Simulator.run_batched`` per replicate.
+
+    Parameters
+    ----------
+    replicates:
+        The ensemble members (:class:`EnsembleReplicate`).  Heterogeneous
+        ensembles are fine — each replicate brings its own kernel,
+        process count, scheduler and seed.
+    record_schedule:
+        Keep each replicate's full schedule (memory proportional to
+        ``R * steps``).
+
+    The engine is **one-shot**: :meth:`run` may be called once (the
+    resolution consumes the drawn schedules; there is no incremental
+    process state to resume, unlike ``Simulator.run``).  It is also
+    **crash-free**: replicates carrying ``crash_times`` are rejected at
+    construction with a :class:`ValueError` rather than silently
+    diverging from the serial engines.
+    """
+
+    def __init__(
+        self,
+        replicates: Sequence[EnsembleReplicate],
+        *,
+        record_schedule: bool = False,
+        _resolver: str = "auto",
+    ) -> None:
+        members = list(replicates)
+        if not members:
+            raise ValueError("at least one replicate is required")
+        if _resolver not in ("auto", "flat", "heap"):
+            raise ValueError(f"unknown resolver {_resolver!r}")
+        for index, member in enumerate(members):
+            if member.crash_times:
+                raise ValueError(
+                    f"replicate {index} has crash_times={member.crash_times!r}: "
+                    "the ensemble engine is crash-free; run crash experiments "
+                    "(Corollary 2) through Simulator.run_batched instead"
+                )
+            if member.n_processes < 1:
+                raise ValueError(
+                    f"replicate {index}: n_processes must be positive"
+                )
+            kernel = member.kernel
+            for attr in ("q", "s", "commit"):
+                if not hasattr(kernel, attr):
+                    raise TypeError(
+                        f"replicate {index}: kernel {kernel!r} does not expose "
+                        f"{attr!r}; pass a step kernel such as "
+                        "CounterStepKernel or ScuStepKernel (factories from "
+                        "cas_counter()/scu_algorithm() carry one as "
+                        "`.vector_kernel`)"
+                    )
+            if kernel.q < 0 or kernel.s < 1:
+                raise ValueError(
+                    f"replicate {index}: kernel needs q >= 0 and s >= 1, "
+                    f"got q={kernel.q}, s={kernel.s}"
+                )
+        self.replicates = members
+        self.record_schedule = record_schedule
+        self._resolver = _resolver
+        self._ran = False
+
+    def run(self, max_steps: int) -> EnsembleResult:
+        """Resolve ``max_steps`` steps of every replicate."""
+        if max_steps < 0:
+            raise ValueError("max_steps must be non-negative")
+        if self._ran:
+            raise RuntimeError(
+                "EnsembleSimulator.run is one-shot; build a new ensemble "
+                "(or use Simulator.run for incremental runs)"
+            )
+        self._ran = True
+        return EnsembleResult(
+            [self._run_replicate(member, max_steps) for member in self.replicates]
+        )
+
+    # -- internals ---------------------------------------------------------------
+
+    def _run_replicate(
+        self, member: EnsembleReplicate, max_steps: int
+    ) -> ReplicateOutcome:
+        n = member.n_processes
+        rng = (
+            member.rng
+            if isinstance(member.rng, np.random.Generator)
+            else np.random.default_rng(member.rng)
+        )
+        schedule = self._draw_schedule(member.scheduler, n, rng, max_steps)
+        kernel = member.kernel
+        use_flat = kernel.q == 0 if self._resolver == "auto" else self._resolver == "flat"
+        if use_flat and kernel.q != 0:
+            raise ValueError("the flat resolver requires q == 0")
+        if use_flat:
+            resolved = _resolve_flat(schedule, n, kernel.s)
+        else:
+            resolved = _resolve_heap(schedule, n, kernel.q, kernel.s)
+        succ_cols, succ_pids, succ_seqs, seq, phase, counts = resolved
+
+        memory = member.memory if member.memory is not None else Memory()
+        kernel.commit(
+            memory,
+            seq=seq,
+            phase=phase,
+            success_pids=succ_pids,
+            success_seqs=succ_seqs,
+        )
+        memory.total_operations += max_steps
+        return ReplicateOutcome(
+            n_processes=n,
+            steps_executed=max_steps,
+            completion_times=succ_cols + 1,  # executor time is 1-based
+            completion_pids=succ_pids,
+            step_counts=counts.astype(np.int64),
+            memory=memory,
+            schedule=schedule.astype(np.int32) if self.record_schedule else None,
+        )
+
+    @staticmethod
+    def _draw_schedule(
+        scheduler: Any, n: int, rng: np.random.Generator, max_steps: int
+    ) -> np.ndarray:
+        """Draw the whole schedule through the ``select_batch`` protocol.
+
+        Element ``k`` of a batch corresponds to absolute time ``1 + k``,
+        and batched draws consume the RNG stream element-wise identically
+        to sequential ``select`` calls, so one full-length draw matches
+        ``run_batched``'s chunked draws bit for bit (chunk-size
+        independence is part of the PR 1 protocol contract).
+        """
+        active = list(range(n))
+        if max_steps == 0:
+            return np.empty(0, dtype=np.int64)
+        select_batch = getattr(scheduler, "select_batch", None)
+        if select_batch is not None:
+            pids = np.asarray(select_batch(1, active, rng, max_steps))
+        else:
+            pids = np.asarray(
+                [scheduler.select(1 + k, active, rng) for k in range(max_steps)],
+                dtype=np.int64,
+            )
+        if pids.shape != (max_steps,):
+            raise RuntimeError(
+                f"scheduler returned {pids.shape} selections for a "
+                f"{max_steps}-step block"
+            )
+        invalid = (pids < 0) | (pids >= n)
+        if invalid.any():
+            position = int(np.argmax(invalid))
+            raise RuntimeError(
+                f"scheduler selected inactive process {int(pids[position])} "
+                f"at t={position + 1} (active: {active[:10]}"
+                f"{'...' if n > 10 else ''})"
+            )
+        return pids.astype(np.int64)

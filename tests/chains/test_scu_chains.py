@@ -262,3 +262,31 @@ class TestFullChain:
             scu_full_system_latency_exact(n, q, 1) - q for q in (0, 2, 4)
         ]
         assert max(deltas) - min(deltas) < 1.5
+
+
+class TestExactSolverMemoization:
+    def test_repeat_calls_hit_the_cache(self):
+        # The exact solvers are pure in their integer arguments, so they
+        # are memoized; sweeps and benchmarks call them per point.
+        from repro.chains.scu import (
+            scu_full_system_latency_exact,
+            scu_system_latency_exact,
+        )
+
+        for solver, arguments in [
+            (scu_system_latency_exact, (6,)),
+            (scu_full_system_latency_exact, (3, 2, 1)),
+        ]:
+            solver.cache_clear()
+            first = solver(*arguments)
+            hits_before = solver.cache_info().hits
+            second = solver(*arguments)
+            assert second == first
+            assert solver.cache_info().hits == hits_before + 1
+
+    def test_stationary_profile_stays_uncached(self):
+        # scu_stationary_profile returns a mutable dict; caching it would
+        # let one caller corrupt another's result.
+        from repro.chains.scu import scu_stationary_profile
+
+        assert not hasattr(scu_stationary_profile, "cache_info")

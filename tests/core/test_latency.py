@@ -36,6 +36,16 @@ class TestSystemLatency:
         with pytest.raises(ValueError, match="completions"):
             system_latency(recorder)
 
+    def test_error_names_run_parameters(self):
+        # The diagnostic must tell the user what run produced too little
+        # data and how to fix it (Theorem 4 latency grows with n).
+        recorder = recorder_with_completions([(5, 0)], n=7)
+        recorder.on_step(1, 0)
+        with pytest.raises(
+            ValueError, match=r"n=7.*steps=1.*increase steps"
+        ):
+            system_latency(recorder)
+
 
 class TestIndividualLatency:
     def test_per_process_gaps(self):
@@ -187,3 +197,53 @@ class TestMeasureLatencies:
                 steps=60,
                 rng=3,
             )
+
+    def test_insufficient_run_error_names_parameters(self):
+        with pytest.raises(ValueError, match=r"n=10.*steps=60"):
+            measure_latencies(
+                parallel_code(50),
+                UniformStochasticScheduler(),
+                n_processes=10,
+                steps=60,
+                rng=3,
+            )
+
+
+class TestEnsembleLatencies:
+    def test_matches_batched_measure_latencies(self):
+        from repro.core.latency import measure_latencies_ensemble
+
+        seeds = [(2, 3, r) for r in range(4)]
+        measurements = measure_latencies_ensemble(
+            cas_counter(),
+            UniformStochasticScheduler,
+            3,
+            8_000,
+            seeds,
+            memory_factory=make_counter_memory,
+        )
+        assert len(measurements) == 4
+        for seed, measurement in zip(seeds, measurements):
+            assert measurement == measure_latencies(
+                cas_counter(),
+                UniformStochasticScheduler(),
+                n_processes=3,
+                steps=8_000,
+                memory=make_counter_memory(),
+                rng=seed,
+                batched=True,
+            )
+
+    def test_resolve_vector_kernel_requires_kernel(self):
+        from repro.core.latency import resolve_vector_kernel
+
+        with pytest.raises(ValueError, match="vector_kernel"):
+            resolve_vector_kernel(cas_counter(calls=2))
+
+    def test_resolve_vector_kernel_accepts_kernel_directly(self):
+        from repro.algorithms.counter import CounterStepKernel
+        from repro.core.latency import resolve_vector_kernel
+
+        kernel = CounterStepKernel()
+        assert resolve_vector_kernel(kernel) is kernel
+        assert resolve_vector_kernel(cas_counter()) == kernel

@@ -59,6 +59,46 @@ class TestLatencySweep:
         )
         assert serial == batched
 
+    def test_ensemble_engine_matches_batched(self):
+        # The ensemble engine resolves whole replicate sets as array
+        # operations; the sweep points must still be bit-identical.
+        kwargs = dict(steps=20_000, repeats=3, seed=11)
+        batched = latency_sweep(
+            cas_counter, make_counter_memory, [2, 4], batched=True, **kwargs
+        )
+        ensemble = latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            [2, 4],
+            engine="ensemble",
+            **kwargs,
+        )
+        assert batched == ensemble
+
+    def test_engine_names_validated(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            latency_sweep(
+                cas_counter,
+                make_counter_memory,
+                [2],
+                steps=5_000,
+                repeats=2,
+                engine="turbo",
+            )
+
+    def test_explicit_engine_overrides_batched_flag(self):
+        kwargs = dict(steps=10_000, repeats=2, seed=4)
+        explicit = latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            [3],
+            engine="serial",
+            batched=True,
+            **kwargs,
+        )
+        serial = latency_sweep(cas_counter, make_counter_memory, [3], **kwargs)
+        assert explicit == serial
+
 
 class TestParallelSweep:
     def test_bit_identical_to_serial(self):
@@ -76,6 +116,34 @@ class TestParallelSweep:
     def test_repeats_validated(self):
         with pytest.raises(ValueError, match="repeats"):
             parallel_sweep(cas_counter, make_counter_memory, [2], repeats=1)
+
+    def test_chunked_dispatch_bit_identical(self):
+        # Chunking only changes how tasks are grouped per pool future;
+        # every chunk size must give the serial sweep's exact numbers.
+        kwargs = dict(steps=20_000, repeats=3, seed=5)
+        serial = latency_sweep(
+            cas_counter, make_counter_memory, [2, 4], batched=True, **kwargs
+        )
+        for chunk_size in (1, 3, None):
+            chunked = parallel_sweep(
+                cas_counter,
+                make_counter_memory,
+                [2, 4],
+                max_workers=2,
+                chunk_size=chunk_size,
+                **kwargs,
+            )
+            assert serial == chunked, chunk_size
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError, match="chunk_size"):
+            parallel_sweep(
+                cas_counter,
+                make_counter_memory,
+                [2],
+                repeats=2,
+                chunk_size=0,
+            )
 
 
 class TestSweepTable:

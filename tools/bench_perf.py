@@ -1,0 +1,238 @@
+"""Performance harness for the three execution engines.
+
+Times the same seeded workloads on the serial, batched, and ensemble
+engines and writes a machine-readable JSON report (``BENCH_PR2.json`` by
+default).  Three workloads:
+
+* ``fig5_sweep`` — a FIG5-style multi-replicate latency sweep (the
+  ensemble engine's target shape: many replicates, one sweep),
+* ``thm4_cells`` — the nine heterogeneous THM4 ``(q, s, n)`` cells as
+  one ensemble vs. per-cell batched/serial runs,
+* ``single_run_100k`` — one long single-replicate run (the shape where
+  the ensemble engine has the least to amortise).
+
+Because the engines are bit-identical by construction (and the harness
+re-checks this on every run), the speedups are pure wall-clock: same
+numbers, less time.
+
+Usage::
+
+    python tools/bench_perf.py                  # full run -> BENCH_PR2.json
+    python tools/bench_perf.py --quick          # CI-sized steps/repeats
+    python tools/bench_perf.py --out perf.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np  # noqa: E402
+
+from repro.algorithms.counter import cas_counter, make_counter_memory  # noqa: E402
+from repro.core.latency import (  # noqa: E402
+    measure_latencies,
+    resolve_vector_kernel,
+)
+from repro.core.scheduler import UniformStochasticScheduler  # noqa: E402
+from repro.core.scu import SCU  # noqa: E402
+from repro.core.sweep import latency_sweep  # noqa: E402
+from repro.sim import EnsembleReplicate, EnsembleSimulator, Simulator  # noqa: E402
+
+
+def timed(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def bench_fig5_sweep(quick):
+    """Multi-replicate latency sweep: the ensemble engine's home turf."""
+    n_values = [4, 8] if quick else [4, 8, 16]
+    steps = 10_000 if quick else 60_000
+    repeats = 8 if quick else 32
+
+    def sweep(engine):
+        return lambda: latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            n_values,
+            steps=steps,
+            repeats=repeats,
+            seed=2,
+            engine=engine,
+        )
+
+    engines = {}
+    points = {}
+    for engine in ("serial", "batched", "ensemble"):
+        engines[engine], points[engine] = timed(sweep(engine))
+    return {
+        "workload": "fig5_sweep",
+        "params": {"n_values": n_values, "steps": steps, "repeats": repeats},
+        "seconds": engines,
+        "speedup_ensemble_vs_batched": engines["batched"] / engines["ensemble"],
+        "speedup_ensemble_vs_serial": engines["serial"] / engines["ensemble"],
+        "bit_identical": all(
+            points[e] == points["batched"] for e in points
+        ),
+    }
+
+
+THM4_SWEEP = [
+    (0, 1, 4),
+    (0, 1, 16),
+    (0, 1, 64),
+    (2, 1, 16),
+    (8, 1, 16),
+    (0, 2, 16),
+    (0, 4, 16),
+    (4, 2, 16),
+    (2, 2, 36),
+]
+
+
+def bench_thm4_cells(quick):
+    """The nine heterogeneous THM4 cells as one ensemble."""
+    steps = 20_000 if quick else 250_000
+    specs = [SCU(q, s) for q, s, _ in THM4_SWEEP]
+
+    def run_ensemble():
+        ensemble = EnsembleSimulator(
+            [
+                EnsembleReplicate(
+                    resolve_vector_kernel(spec.factory()),
+                    n,
+                    UniformStochasticScheduler(),
+                    spec.memory(),
+                    rng=(q, s, n),
+                )
+                for spec, (q, s, n) in zip(specs, THM4_SWEEP)
+            ]
+        )
+        return [
+            m.system_latency for m in ensemble.run(steps).measurements()
+        ]
+
+    def run_batched():
+        return [
+            spec.measure(n, steps, rng=(q, s, n), batched=True).system_latency
+            for spec, (q, s, n) in zip(specs, THM4_SWEEP)
+        ]
+
+    seconds = {}
+    seconds["batched"], batched = timed(run_batched)
+    seconds["ensemble"], ensemble = timed(run_ensemble)
+    return {
+        "workload": "thm4_cells",
+        "params": {"cells": THM4_SWEEP, "steps": steps},
+        "seconds": seconds,
+        "speedup_ensemble_vs_batched": seconds["batched"] / seconds["ensemble"],
+        "bit_identical": batched == ensemble,
+    }
+
+
+def bench_single_run(quick):
+    """One long run: least amortisation, honest worst case."""
+    steps = 20_000 if quick else 100_000
+    n = 16
+
+    def serial():
+        return Simulator(
+            cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            memory=make_counter_memory(),
+            rng=7,
+        ).run(steps)
+
+    def batched():
+        return measure_latencies(
+            cas_counter(),
+            UniformStochasticScheduler(),
+            n_processes=n,
+            steps=steps,
+            memory=make_counter_memory(),
+            rng=7,
+            batched=True,
+        )
+
+    def ensemble():
+        replicate = EnsembleReplicate(
+            resolve_vector_kernel(cas_counter()),
+            n,
+            UniformStochasticScheduler(),
+            make_counter_memory(),
+            rng=7,
+        )
+        return EnsembleSimulator([replicate]).run(steps).measurements()[0]
+
+    seconds = {}
+    seconds["serial"], _ = timed(serial)
+    seconds["batched"], batched_m = timed(batched)
+    seconds["ensemble"], ensemble_m = timed(ensemble)
+    return {
+        "workload": "single_run_100k",
+        "params": {"n": n, "steps": steps},
+        "seconds": seconds,
+        "speedup_ensemble_vs_batched": seconds["batched"] / seconds["ensemble"],
+        "speedup_ensemble_vs_serial": seconds["serial"] / seconds["ensemble"],
+        "bit_identical": batched_m == ensemble_m,
+    }
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI-sized steps/repeats (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR2.json",
+        help="output JSON path (default: BENCH_PR2.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+
+    results = []
+    for bench in (bench_fig5_sweep, bench_thm4_cells, bench_single_run):
+        result = bench(args.quick)
+        results.append(result)
+        speedup = result["speedup_ensemble_vs_batched"]
+        print(
+            f"{result['workload']:<16} ensemble {result['seconds']['ensemble']:8.3f}s"
+            f"  batched {result['seconds']['batched']:8.3f}s"
+            f"  speedup {speedup:5.2f}x"
+            f"  bit_identical={result['bit_identical']}"
+        )
+        if not result["bit_identical"]:
+            raise SystemExit(
+                f"engines disagree on workload {result['workload']!r}"
+            )
+
+    report = {
+        "meta": {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "platform": platform.platform(),
+            "machine": platform.machine(),
+            "quick": args.quick,
+        },
+        "workloads": results,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
