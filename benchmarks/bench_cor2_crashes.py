@@ -2,7 +2,12 @@
 governed by k.
 
 We crash n - k of n processes early and compare the post-crash
-stationary latency with the k-process exact value.
+stationary latency with the k-process exact value.  All four crash
+configurations run together on the ensemble engine (segmented
+whole-schedule execution); each replicate is bit-identical to the
+``Simulator.run_batched`` run with the same seed, so the reported
+numbers are unchanged from the batched-engine version of this
+experiment.
 """
 
 import numpy as np
@@ -10,9 +15,9 @@ import numpy as np
 from repro.algorithms.counter import cas_counter, make_counter_memory
 from repro.bench.harness import Experiment
 from repro.chains.scu import scu_system_latency_exact
-from repro.core.latency import system_latency
+from repro.core.latency import resolve_vector_kernel, system_latency
 from repro.core.scheduler import UniformStochasticScheduler
-from repro.sim.executor import Simulator
+from repro.sim import EnsembleReplicate, EnsembleSimulator
 
 N = 32
 K_VALUES = [4, 8, 16, 32]
@@ -21,21 +26,24 @@ CRASH_AT = 2_000
 
 
 def reproduce_corollary2():
+    ensemble = EnsembleSimulator(
+        [
+            EnsembleReplicate(
+                resolve_vector_kernel(cas_counter()),
+                N,
+                UniformStochasticScheduler(),
+                make_counter_memory(),
+                rng=k,
+                crash_times={pid: CRASH_AT for pid in range(k, N)},
+            )
+            for k in K_VALUES
+        ]
+    )
+    result = ensemble.run(STEPS)
     rows = []
-    for k in K_VALUES:
-        crash_times = {pid: CRASH_AT for pid in range(k, N)}
-        sim = Simulator(
-            cas_counter(),
-            UniformStochasticScheduler(),
-            n_processes=N,
-            memory=make_counter_memory(),
-            crash_times=crash_times,
-            rng=k,
-        )
-        # Crash experiments stay on the batched engine: the ensemble
-        # engine is crash-free by design (it rejects crash_times).
-        result = sim.run_batched(STEPS)
-        measured = system_latency(result.recorder, burn_in=CRASH_AT * 10)
+    for k, outcome in zip(K_VALUES, result):
+        recorder = outcome.recorder()
+        measured = system_latency(recorder, burn_in=CRASH_AT * 10)
         rows.append((N, k, measured, scu_system_latency_exact(k)))
     return rows
 

@@ -17,6 +17,7 @@ chain, a collapsed *system* chain, and the lifting map between them:
 
 from repro.chains.counter import (
     counter_global_chain,
+    counter_global_chain_enumerated,
     counter_individual_chain,
     counter_individual_latency_exact,
     counter_lifting,
@@ -36,6 +37,7 @@ from repro.chains.scu import (
     CCAS,
     OLD_CAS,
     READ,
+    clear_exact_chain_caches,
     scu_full_individual_chain,
     scu_full_individual_latency_exact,
     scu_full_lifting,
@@ -47,6 +49,7 @@ from repro.chains.scu import (
     scu_lifting_map,
     scu_stationary_profile,
     scu_system_chain,
+    scu_system_chain_enumerated,
     scu_system_latency_exact,
 )
 from repro.chains.gaps import (
@@ -66,6 +69,7 @@ __all__ = [
     "CCAS",
     "OLD_CAS",
     "READ",
+    "clear_exact_chain_caches",
     "counter_gap_mean",
     "counter_gap_pmf",
     "counter_gap_quantile",
@@ -73,6 +77,7 @@ __all__ = [
     "scu_gap_pmf",
     "scu_gap_quantile",
     "counter_global_chain",
+    "counter_global_chain_enumerated",
     "counter_individual_chain",
     "counter_individual_latency_exact",
     "counter_lifting",
@@ -97,6 +102,7 @@ __all__ = [
     "scu_lifting_map",
     "scu_stationary_profile",
     "scu_system_chain",
+    "scu_system_chain_enumerated",
     "scu_system_latency_exact",
     "scu_system_state",
     "scu_weighted_latencies",

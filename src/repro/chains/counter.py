@@ -60,8 +60,13 @@ def counter_individual_chain(n: int, *, sparse: bool = True) -> MarkovChain:
     return MarkovChain.from_enumeration([initial], merged, sparse=sparse)
 
 
-def counter_global_chain(n: int) -> MarkovChain:
-    """The global chain over ``|S|``; states ``1..n``."""
+def counter_global_chain_enumerated(n: int) -> MarkovChain:
+    """The global chain built by per-state BFS enumeration.
+
+    The transition-rule-as-written reference for
+    :func:`counter_global_chain`; the fast path reproduces it exactly
+    (same state order, same matrix), which the equality tests assert.
+    """
     if n < 1:
         raise ValueError("n must be positive")
 
@@ -72,6 +77,29 @@ def counter_global_chain(n: int) -> MarkovChain:
         return out
 
     return MarkovChain.from_enumeration([n], successors, sparse=False)
+
+
+def counter_global_chain(n: int) -> MarkovChain:
+    """The global chain over ``|S|``; states ``1..n``.
+
+    Assembled as one arrayed build: BFS from state ``n`` visits states in
+    the order ``[n, 1, 2, ..., n - 1]`` (state ``n`` first, then each size
+    discovered from its predecessor), so the index of size ``s`` is known
+    in closed form — ``0`` for ``s == n``, else ``s``.  Matrix and state
+    order are exactly those of :func:`counter_global_chain_enumerated`.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    sizes = np.concatenate(([n], np.arange(1, n)))
+    matrix = np.zeros((n, n))
+    rows = np.arange(n)
+    # Every size completes to state 1 with probability size/n...
+    matrix[rows, 0 if n == 1 else 1] = sizes / n
+    # ...and every size below n grows to size + 1 with the rest.
+    grows = sizes < n
+    targets = sizes[grows] + 1
+    matrix[rows[grows], np.where(targets == n, 0, targets)] = 1.0 - sizes[grows] / n
+    return MarkovChain(matrix, [int(size) for size in sizes])
 
 
 def counter_lifting_map(state: IndividualState) -> int:

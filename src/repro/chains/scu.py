@@ -52,6 +52,7 @@ from functools import lru_cache
 from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
+import scipy.sparse as sp
 
 from repro.markov.chain import MarkovChain
 from repro.markov.lifting import Lifting
@@ -106,11 +107,12 @@ def scu_individual_chain(n: int, *, sparse: bool = True) -> MarkovChain:
     return chain
 
 
-def scu_system_chain(n: int) -> MarkovChain:
-    """The system chain for ``SCU(0, 1)``: states ``(a, b)``.
+def scu_system_chain_enumerated(n: int) -> MarkovChain:
+    """The ``SCU(0, 1)`` system chain built by per-state BFS enumeration.
 
-    All ``(a, b)`` with ``a + b <= n`` except ``(0, n)``; quadratically
-    many states (stored sparsely), usable for hundreds of processes.
+    The transition-rule-as-written reference for :func:`scu_system_chain`;
+    the fast path must produce the same matrix up to a relabelling of the
+    states (the equality tests align the two by label permutation).
     """
     if n < 1:
         raise ValueError("n must be positive")
@@ -130,6 +132,50 @@ def scu_system_chain(n: int) -> MarkovChain:
     return MarkovChain.from_enumeration([(n, 0)], successors, sparse=True)
 
 
+def scu_system_chain(n: int) -> MarkovChain:
+    """The system chain for ``SCU(0, 1)``: states ``(a, b)``.
+
+    All ``(a, b)`` with ``a + b <= n`` except ``(0, n)``; quadratically
+    many states (stored sparsely), usable for hundreds of processes.
+
+    Assembled as one COO-array build over all states at once (every valid
+    ``(a, b)`` is reachable from ``(n, 0)``, so no exploration is needed):
+    states are ordered by ``a`` descending then ``b`` ascending, giving the
+    closed-form index ``k(k + 1)/2 + b`` with ``k = n - a`` and keeping
+    ``states[0] == (n, 0)`` like the BFS build.  Entry values are
+    bit-identical to :func:`scu_system_chain_enumerated`; only the row
+    order differs.
+    """
+    if n < 1:
+        raise ValueError("n must be positive")
+    # One state per (a, b): k = n - a runs 0..n, b runs 0..k; the final
+    # index ((0, n), the all-stale state that cannot occur) is dropped.
+    k = np.repeat(np.arange(n + 1), np.arange(1, n + 2))[:-1]
+    count = k.size
+    b = np.arange(count) - k * (k + 1) // 2
+    a = n - k
+    c = k - b
+
+    def index_of(a_arr: np.ndarray, b_arr: np.ndarray) -> np.ndarray:
+        kk = n - a_arr
+        return kk * (kk + 1) // 2 + b_arr
+
+    source = np.arange(count)
+    stale, read, success = b > 0, a > 0, c > 0
+    rows = np.concatenate([source[stale], source[read], source[success]])
+    cols = np.concatenate(
+        [
+            index_of(a[stale] + 1, b[stale] - 1),
+            index_of(a[read] - 1, b[read]),
+            index_of(a[success] + 1, n - a[success] - 1),
+        ]
+    )
+    vals = np.concatenate([b[stale] / n, a[read] / n, c[success] / n])
+    matrix = sp.coo_matrix((vals, (rows, cols)), shape=(count, count)).tocsr()
+    states = list(zip(a.tolist(), b.tolist()))
+    return MarkovChain(matrix, states)
+
+
 def scu_lifting_map(state: IndividualState) -> SystemState:
     """The collapse ``f``: count ``READ`` and ``OLD_CAS`` processes."""
     return (state.count(READ), state.count(OLD_CAS))
@@ -145,11 +191,31 @@ def scu_lifting(n: int) -> Lifting:
 # The float-returning solvers are memoized: benchmarks and sweeps re-solve
 # the same (n, q, s) chain many times (FIG5 asserts against the exact value
 # at every thread count, every replicate), and a stationary solve of the
-# n=512 system chain costs ~seconds.  scu_stationary_profile returns a
-# mutable dict and stays uncached.
+# n=512 system chain costs ~seconds.  The caches are bounded (LRU, 128
+# entries each) so long heterogeneous sweeps recycle the memory behind
+# dense solves instead of pinning every (n, q, s) ever touched;
+# scu_stationary_profile returns a mutable dict and stays uncached.
 
 
-@lru_cache(maxsize=None)
+def clear_exact_chain_caches() -> None:
+    """Drop every memoized exact-latency solve in this module.
+
+    The solvers keep up to 128 results each; a single large-``n`` solve can
+    hold megabytes of intermediate state alive through its closure of the
+    stationary solve, so memory-sensitive callers (long-running services,
+    benchmark harnesses between workloads) can reset them all at once.
+    """
+    for solver in (
+        scu_success_probability,
+        scu_system_latency_exact,
+        scu_individual_latency_exact,
+        scu_full_individual_latency_exact,
+        scu_full_system_latency_exact,
+    ):
+        solver.cache_clear()
+
+
+@lru_cache(maxsize=128)
 def scu_success_probability(n: int) -> float:
     """Stationary probability ``mu`` that a system step is a success.
 
@@ -164,7 +230,7 @@ def scu_success_probability(n: int) -> float:
     return mu
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=128)
 def scu_system_latency_exact(n: int) -> float:
     """Exact stationary system latency ``W`` of ``SCU(0, 1)``.
 
@@ -198,7 +264,7 @@ def scu_stationary_profile(n: int) -> dict:
     }
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=128)
 def scu_individual_latency_exact(n: int, pid: int = 0) -> float:
     """Exact stationary individual latency ``W_i`` from the individual chain.
 
@@ -360,7 +426,7 @@ def scu_full_lifting(n: int, q: int, s: int):
     return Lifting(fine, coarse, mapping)
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=128)
 def scu_full_individual_latency_exact(
     n: int, q: int, s: int, pid: int = 0
 ) -> float:
@@ -377,7 +443,7 @@ def scu_full_individual_latency_exact(
     return 1.0 / eta
 
 
-@lru_cache(maxsize=None)
+@lru_cache(maxsize=128)
 def scu_full_system_latency_exact(n: int, q: int, s: int) -> float:
     """Exact stationary system latency of ``SCU(q, s)`` from the full chain.
 

@@ -236,18 +236,23 @@ def measure_latencies_ensemble(
     *,
     burn_in: Optional[int] = None,
     memory_factory: Optional[Callable[[], Memory]] = None,
+    crash_times: Optional[Dict[int, int]] = None,
 ) -> "List[LatencyMeasurement]":
     """Measure many independent replicates on the ensemble engine.
 
     One :class:`LatencyMeasurement` per seed, each bit-identical to
     ``measure_latencies(factory, scheduler_builder(), n_processes, steps,
-    memory=memory_factory(), rng=seed, batched=True)`` — the replicates
-    are resolved together as array operations instead of one simulation
-    at a time (see :class:`repro.sim.EnsembleSimulator`).
+    memory=memory_factory(), rng=seed, crash_times=crash_times,
+    batched=True)`` — the replicates are resolved together as array
+    operations instead of one simulation at a time (see
+    :class:`repro.sim.EnsembleSimulator`).
 
     ``scheduler_builder`` and ``memory_factory`` are zero-argument
     builders because every replicate needs its *own* scheduler instance
-    (stateful schedulers) and memory.
+    (stateful schedulers) and memory.  ``crash_times`` is the executor's
+    ``{pid: time}`` halting-failure map, applied to every replicate
+    (Corollary 2 experiments crash the same processes in each replicate
+    and vary only the seed).
     """
     from repro.sim.ensemble import EnsembleReplicate, EnsembleSimulator
 
@@ -259,6 +264,7 @@ def measure_latencies_ensemble(
             scheduler=scheduler_builder(),
             memory=memory_factory() if memory_factory is not None else None,
             rng=seed,
+            crash_times=dict(crash_times) if crash_times else None,
         )
         for seed in seeds
     ]

@@ -22,7 +22,7 @@ from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,6 +33,24 @@ from repro.sim.process import ProcessFactory
 from repro.stats.estimators import MeanEstimate, mean_confidence_interval
 
 _ENGINES = ("serial", "batched", "ensemble")
+
+#: Crash schedules for sweeps: either one ``{pid: time}`` map applied at
+#: every process count, or a callable ``n -> {pid: time}`` so the crash
+#: set can scale with the sweep point (the Corollary 2 shape: crash all
+#: but ``k`` of ``n``).  Callables must be picklable for
+#: :func:`parallel_sweep` (module-level functions / ``functools.partial``).
+CrashTimesLike = Union[Dict[int, int], Callable[[int], Dict[int, int]], None]
+
+
+def _resolve_crash_times(
+    crash_times: CrashTimesLike, n: int
+) -> Optional[Dict[int, int]]:
+    """The crash map for one sweep point."""
+    if crash_times is None:
+        return None
+    if callable(crash_times):
+        return crash_times(n)
+    return crash_times
 
 
 @dataclass(frozen=True)
@@ -64,6 +82,8 @@ def _run_replicate(
     seed: int,
     replicate: int,
     batched: bool,
+    burn_in: Optional[int] = None,
+    crash_times: CrashTimesLike = None,
 ) -> Tuple[float, float, float]:
     """One independent replicate of one sweep point.
 
@@ -77,7 +97,9 @@ def _run_replicate(
         scheduler_builder(),
         n_processes=n,
         steps=steps,
+        burn_in=burn_in,
         memory=memory_builder(),
+        crash_times=_resolve_crash_times(crash_times, n),
         rng=(seed, n, replicate),
         batched=batched,
     )
@@ -96,6 +118,8 @@ def _run_replicate_chunk(
     steps: int,
     seed: int,
     batched: bool,
+    burn_in: Optional[int] = None,
+    crash_times: CrashTimesLike = None,
 ) -> List[Tuple[float, float, float]]:
     """A chunk of ``(n, replicate)`` tasks, run back-to-back in one worker.
 
@@ -113,6 +137,8 @@ def _run_replicate_chunk(
             seed,
             replicate,
             batched,
+            burn_in,
+            crash_times,
         )
         for n, replicate in pairs
     ]
@@ -153,6 +179,8 @@ def latency_sweep(
     seed: int = 0,
     batched: bool = False,
     engine: Optional[str] = None,
+    burn_in: Optional[int] = None,
+    crash_times: CrashTimesLike = None,
 ) -> List[SweepPoint]:
     """Measure latencies across ``n_values`` with ``repeats`` replicates.
 
@@ -163,6 +191,14 @@ def latency_sweep(
     as array operations — same seeds, same numbers, least wall-clock.
     The legacy ``batched=True`` flag is shorthand for
     ``engine="batched"``.
+
+    ``crash_times`` turns the sweep into a halting-failure study
+    (Corollary 2): a ``{pid: time}`` map applied at every sweep point, or
+    a callable ``n -> {pid: time}`` when the crash set depends on the
+    process count.  All three engines accept it and stay bit-identical.
+    ``burn_in`` overrides the per-replicate burn-in (default
+    ``steps // 10``) — crash sweeps usually want it past the crash
+    transient.
     """
     if repeats < 2:
         raise ValueError("repeats must be at least 2 for confidence intervals")
@@ -178,7 +214,9 @@ def latency_sweep(
                 n,
                 steps,
                 [(seed, n, r) for r in range(repeats)],
+                burn_in=burn_in,
                 memory_factory=memory_builder,
+                crash_times=_resolve_crash_times(crash_times, n),
             )
             for r, measurement in enumerate(measurements):
                 results[(n, r)] = (
@@ -198,6 +236,8 @@ def latency_sweep(
                     seed,
                     r,
                     chosen == "batched",
+                    burn_in,
+                    crash_times,
                 )
     return _collect_points(n_values, repeats, results, confidence)
 
@@ -215,6 +255,8 @@ def parallel_sweep(
     batched: bool = True,
     max_workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    burn_in: Optional[int] = None,
+    crash_times: CrashTimesLike = None,
 ) -> List[SweepPoint]:
     """:func:`latency_sweep` fanned out over a process pool.
 
@@ -232,8 +274,9 @@ def parallel_sweep(
 
     The builders must be picklable (module-level functions or
     ``functools.partial`` over module-level functions; closures and
-    lambdas are not).  ``batched`` defaults to True here: a sweep big
-    enough to parallelise is big enough to want the fast path.
+    lambdas are not).  The same goes for a callable ``crash_times`` —
+    a dict always pickles.  ``batched`` defaults to True here: a sweep
+    big enough to parallelise is big enough to want the fast path.
     ``max_workers`` caps the pool size (``None`` = executor default).
     """
     if repeats < 2:
@@ -262,6 +305,8 @@ def parallel_sweep(
                 steps,
                 seed,
                 batched,
+                burn_in,
+                crash_times,
             )
             for chunk in chunks
         ]

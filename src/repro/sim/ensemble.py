@@ -40,9 +40,21 @@ replicate's schedule, completion times and final memory are **bit-identical**
 to what ``Simulator.run_batched`` produces for the same seed — enforced
 replicate-by-replicate in ``tests/sim/test_ensemble_equivalence.py``.
 
-The engine is crash-free by design (crash configurations are rejected with
-an explicit error): crash experiments (Corollary 2) keep using
-``Simulator.run_batched``, whose block boundaries track crash times.
+Crash schedules (halting failures, Corollary 2) are handled by **segmented
+whole-schedule execution**: the horizon is split at the replicate's crash
+boundaries, each segment's schedule is drawn with one ``select_batch``
+call over the segment's active set (the same blocks — and therefore the
+same RNG and scheduler-state consumption — that ``run_batched`` uses,
+whose blocks never span a crash time), and the concatenated schedule is
+resolved exactly as in the crash-free case.  That works because a crash
+is pure schedule truncation: a crashed process simply stops appearing, so
+its pending attempt never reaches its CAS (the pending CAS is dropped),
+and the event-scan resolvers already treat an attempt cut short by the
+horizon and one cut short by a crash identically; survivors' staleness
+keeps being recomputed from the last committed value by the same greedy
+scan.  Heterogeneous ensembles freely mix crashing and crash-free
+replicates — equivalence is enforced across every scheduler family in
+``tests/sim/test_ensemble_crash_equivalence.py``.
 """
 
 from __future__ import annotations
@@ -53,7 +65,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.sim.executor import SimulationResult
+from repro.sim.executor import SimulationResult, validate_crash_times
 from repro.sim.memory import Memory
 from repro.sim.trace import TraceRecorder
 
@@ -227,7 +239,11 @@ class EnsembleReplicate:
     Replicates are fully independent: each brings its own process count,
     scheduler instance (stateful schedulers must not be shared), memory
     and RNG seed, so heterogeneous ensembles (mixed ``n``, mixed
-    ``(q, s)``) are just lists of these.
+    ``(q, s)``, crashing next to crash-free) are just lists of these.
+    ``crash_times`` is the executor's ``{pid: time}`` halting-failure map:
+    the process crashes just before the step at that time would be taken
+    (times outside ``[1, max_steps]`` never fire, exactly as in
+    :class:`repro.sim.Simulator`).
     """
 
     kernel: Any
@@ -250,6 +266,13 @@ class ReplicateOutcome:
     step_counts: np.ndarray  # (n,) steps taken per process
     memory: Memory
     schedule: Optional[np.ndarray] = None  # int32 pid sequence, if recorded
+    #: True when the run ended before its step budget because every
+    #: process crashed (the executor's no-active-process early stop).
+    stopped_early: bool = False
+    #: The ``max_steps`` the replicate was asked for; differs from
+    #: ``steps_executed`` only when the run stopped early.  ``None`` on
+    #: outcomes built by hand — treated as ``steps_executed``.
+    horizon: Optional[int] = None
 
     @property
     def total_completions(self) -> int:
@@ -290,7 +313,7 @@ class ReplicateOutcome:
             recorder=self.recorder(),
             memory=self.memory,
             history=None,
-            stopped_early=False,
+            stopped_early=self.stopped_early,
             steps_this_run=self.steps_executed,
             completions_this_run=self.total_completions,
         )
@@ -371,7 +394,17 @@ class EnsembleResult:
 
         out = []
         for outcome in self.replicates:
-            drop = outcome.steps_executed // 10 if burn_in is None else burn_in
+            if burn_in is None:
+                # measure_latencies defaults its burn-in from the *requested*
+                # step budget, before knowing whether the run stops early.
+                requested = (
+                    outcome.horizon
+                    if outcome.horizon is not None
+                    else outcome.steps_executed
+                )
+                drop = requested // 10
+            else:
+                drop = burn_in
             recorder = outcome.recorder()
             individual = individual_latencies(recorder, burn_in=drop)
             if not individual:
@@ -410,10 +443,10 @@ class EnsembleSimulator:
 
     The engine is **one-shot**: :meth:`run` may be called once (the
     resolution consumes the drawn schedules; there is no incremental
-    process state to resume, unlike ``Simulator.run``).  It is also
-    **crash-free**: replicates carrying ``crash_times`` are rejected at
-    construction with a :class:`ValueError` rather than silently
-    diverging from the serial engines.
+    process state to resume, unlike ``Simulator.run``).  Crash schedules
+    are supported by segmented execution (see the module docstring);
+    crash maps naming unknown pids are rejected at construction, exactly
+    as :class:`repro.sim.Simulator` rejects them.
     """
 
     def __init__(
@@ -430,11 +463,20 @@ class EnsembleSimulator:
             raise ValueError(f"unknown resolver {_resolver!r}")
         for index, member in enumerate(members):
             if member.crash_times:
-                raise ValueError(
-                    f"replicate {index} has crash_times={member.crash_times!r}: "
-                    "the ensemble engine is crash-free; run crash experiments "
-                    "(Corollary 2) through Simulator.run_batched instead"
-                )
+                # Crash schedules over known pids are fully supported (the
+                # segmented draw handles them); what remains rejected is
+                # exactly what Simulator rejects — crash maps naming
+                # processes the replicate does not have.
+                try:
+                    validate_crash_times(member.crash_times, member.n_processes)
+                except ValueError as error:
+                    raise ValueError(
+                        f"replicate {index}: {error} "
+                        f"(n_processes={member.n_processes}); crash schedules "
+                        "over known pids run on the ensemble engine — fall "
+                        "back to Simulator.run_batched only for workloads "
+                        "without a vector kernel"
+                    ) from None
             if member.n_processes < 1:
                 raise ValueError(
                     f"replicate {index}: n_processes must be positive"
@@ -484,7 +526,10 @@ class EnsembleSimulator:
             if isinstance(member.rng, np.random.Generator)
             else np.random.default_rng(member.rng)
         )
-        schedule = self._draw_schedule(member.scheduler, n, rng, max_steps)
+        schedule, stopped_early = self._draw_schedule(
+            member.scheduler, n, rng, max_steps, member.crash_times
+        )
+        executed = int(schedule.shape[0])
         kernel = member.kernel
         use_flat = kernel.q == 0 if self._resolver == "auto" else self._resolver == "flat"
         if use_flat and kernel.q != 0:
@@ -503,51 +548,103 @@ class EnsembleSimulator:
             success_pids=succ_pids,
             success_seqs=succ_seqs,
         )
-        memory.total_operations += max_steps
+        memory.total_operations += executed
         return ReplicateOutcome(
             n_processes=n,
-            steps_executed=max_steps,
+            steps_executed=executed,
             completion_times=succ_cols + 1,  # executor time is 1-based
             completion_pids=succ_pids,
             step_counts=counts.astype(np.int64),
             memory=memory,
             schedule=schedule.astype(np.int32) if self.record_schedule else None,
+            stopped_early=stopped_early,
+            horizon=max_steps,
         )
 
     @staticmethod
     def _draw_schedule(
-        scheduler: Any, n: int, rng: np.random.Generator, max_steps: int
-    ) -> np.ndarray:
+        scheduler: Any,
+        n: int,
+        rng: np.random.Generator,
+        max_steps: int,
+        crash_times: Optional[Dict[int, int]] = None,
+    ) -> Tuple[np.ndarray, bool]:
         """Draw the whole schedule through the ``select_batch`` protocol.
 
-        Element ``k`` of a batch corresponds to absolute time ``1 + k``,
+        Element ``k`` of a batch corresponds to absolute time ``start + k``,
         and batched draws consume the RNG stream element-wise identically
         to sequential ``select`` calls, so one full-length draw matches
         ``run_batched``'s chunked draws bit for bit (chunk-size
         independence is part of the PR 1 protocol contract).
+
+        With crashes the horizon is split at the crash boundaries and each
+        segment is drawn over its own active set — exactly the block
+        structure ``run_batched`` uses, whose blocks never span a crash
+        time.  Returns the concatenated schedule plus a flag that is True
+        when the run ended early because every process crashed.
         """
-        active = list(range(n))
         if max_steps == 0:
-            return np.empty(0, dtype=np.int64)
+            return np.empty(0, dtype=np.int64), False
         select_batch = getattr(scheduler, "select_batch", None)
-        if select_batch is not None:
-            pids = np.asarray(select_batch(1, active, rng, max_steps))
+
+        def draw(start: int, active: List[int], length: int) -> np.ndarray:
+            if select_batch is not None:
+                pids = np.asarray(select_batch(start, active, rng, length))
+            else:
+                pids = np.asarray(
+                    [
+                        scheduler.select(start + k, active, rng)
+                        for k in range(length)
+                    ],
+                    dtype=np.int64,
+                )
+            if pids.shape != (length,):
+                raise RuntimeError(
+                    f"scheduler returned {pids.shape} selections for a "
+                    f"{length}-step block"
+                )
+            if len(active) == n:
+                invalid = (pids < 0) | (pids >= n)
+            else:
+                invalid = ~np.isin(pids, np.asarray(active, dtype=np.int64))
+            if invalid.any():
+                position = int(np.argmax(invalid))
+                raise RuntimeError(
+                    f"scheduler selected inactive process "
+                    f"{int(pids[position])} at t={start + position} "
+                    f"(active: {active[:10]}"
+                    f"{'...' if len(active) > 10 else ''})"
+                )
+            return pids.astype(np.int64)
+
+        # A crash fires just before the step at its time would be taken;
+        # times outside [1, max_steps] never fire (Simulator semantics).
+        crashes: Dict[int, List[int]] = {}
+        for pid, crash_time in (crash_times or {}).items():
+            if 1 <= crash_time <= max_steps:
+                crashes.setdefault(crash_time, []).append(pid)
+        if not crashes:
+            return draw(1, list(range(n)), max_steps), False
+
+        alive = set(range(n))
+        active = sorted(alive)
+        chunks: List[np.ndarray] = []
+        time = 1
+        stopped_early = False
+        for boundary in sorted(crashes):
+            if boundary > time:
+                chunks.append(draw(time, active, boundary - time))
+                time = boundary
+            alive.difference_update(crashes[boundary])
+            active = sorted(alive)
+            if not active:
+                # Crash containment emptied A_tau: the run ends with the
+                # boundary - 1 steps already drawn, matching run_batched's
+                # no-active-process early stop.
+                stopped_early = True
+                break
         else:
-            pids = np.asarray(
-                [scheduler.select(1 + k, active, rng) for k in range(max_steps)],
-                dtype=np.int64,
-            )
-        if pids.shape != (max_steps,):
-            raise RuntimeError(
-                f"scheduler returned {pids.shape} selections for a "
-                f"{max_steps}-step block"
-            )
-        invalid = (pids < 0) | (pids >= n)
-        if invalid.any():
-            position = int(np.argmax(invalid))
-            raise RuntimeError(
-                f"scheduler selected inactive process {int(pids[position])} "
-                f"at t={position + 1} (active: {active[:10]}"
-                f"{'...' if n > 10 else ''})"
-            )
-        return pids.astype(np.int64)
+            chunks.append(draw(time, active, max_steps - time + 1))
+        if not chunks:
+            return np.empty(0, dtype=np.int64), stopped_early
+        return np.concatenate(chunks), stopped_early

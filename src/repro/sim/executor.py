@@ -22,6 +22,23 @@ from repro.sim.trace import TraceRecorder
 RngLike = Union[int, np.random.Generator, None]
 
 
+def validate_crash_times(
+    crash_times: Optional[Dict[int, int]], n_processes: int
+) -> Dict[int, int]:
+    """Check a crash map names only known pids; returns a plain dict.
+
+    Shared by :class:`Simulator` and the ensemble engine so both reject
+    exactly the same crash configurations.  Crash *times* are not range
+    checked on purpose: a time outside ``[1, max_steps]`` simply never
+    fires (Definition 1 only constrains which processes may appear).
+    """
+    crash_map = dict(crash_times or {})
+    for pid in crash_map:
+        if not 0 <= pid < n_processes:
+            raise ValueError(f"crash_times names unknown process {pid}")
+    return crash_map
+
+
 @dataclass
 class SimulationResult:
     """Outcome of a (possibly partial) simulation run.
@@ -137,10 +154,7 @@ class Simulator:
         self.scheduler = scheduler
         self.memory = memory if memory is not None else Memory()
         self.rng = rng if isinstance(rng, np.random.Generator) else np.random.default_rng(rng)
-        self.crash_times = dict(crash_times or {})
-        for pid in self.crash_times:
-            if not 0 <= pid < self.n_processes:
-                raise ValueError(f"crash_times names unknown process {pid}")
+        self.crash_times = validate_crash_times(crash_times, self.n_processes)
 
         self.recorder = TraceRecorder(
             self.n_processes,

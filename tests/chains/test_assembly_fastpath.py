@@ -1,0 +1,76 @@
+"""The vectorized chain-assembly fast paths against their BFS references.
+
+:func:`counter_global_chain` must reproduce the enumerated build exactly
+(the BFS order ``[n, 1, ..., n - 1]`` is known in closed form, so state
+order and matrix agree bitwise); :func:`scu_system_chain` uses a
+canonical state order instead of BFS order, so its matrix is compared
+after aligning the two chains by state label.  Both fast paths must
+also keep the properties downstream code relies on: ``states[0]`` is
+the all-``READ`` start state, and the exact-latency solvers (whose
+caches are now bounded) return the same values through either build.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chains.counter import (
+    counter_global_chain,
+    counter_global_chain_enumerated,
+)
+from repro.chains.scu import (
+    clear_exact_chain_caches,
+    scu_success_probability,
+    scu_system_chain,
+    scu_system_chain_enumerated,
+    scu_system_latency_exact,
+)
+from repro.markov.stationary import stationary_distribution
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 9, 17, 32])
+def test_counter_global_chain_matches_enumerated_exactly(n):
+    fast = counter_global_chain(n)
+    reference = counter_global_chain_enumerated(n)
+    assert fast.states == reference.states
+    assert np.array_equal(fast.dense(), reference.dense())
+
+
+@pytest.mark.parametrize("n", [1, 2, 3, 5, 9, 17, 32])
+def test_scu_system_chain_matches_enumerated_after_alignment(n):
+    fast = scu_system_chain(n)
+    reference = scu_system_chain_enumerated(n)
+    assert sorted(fast.states) == sorted(reference.states)
+    permutation = [fast.index_of(state) for state in reference.states]
+    aligned = fast.dense()[np.ix_(permutation, permutation)]
+    assert np.array_equal(aligned, reference.dense())
+
+
+def test_scu_system_chain_keeps_start_state_first():
+    # period() and the observation helpers anchor on states[0].
+    for n in (1, 4, 12):
+        assert scu_system_chain(n).states[0] == (n, 0)
+
+
+def test_stationary_solutions_agree_between_builds():
+    n = 20
+    fast_pi = stationary_distribution(scu_system_chain(n))
+    reference = scu_system_chain_enumerated(n)
+    reference_pi = stationary_distribution(reference)
+    fast = scu_system_chain(n)
+    by_label_fast = dict(zip(fast.states, fast_pi))
+    by_label_ref = dict(zip(reference.states, reference_pi))
+    for state, probability in by_label_ref.items():
+        assert by_label_fast[state] == pytest.approx(probability, abs=1e-12)
+
+
+def test_exact_latency_caches_are_bounded_and_clearable():
+    clear_exact_chain_caches()
+    assert scu_system_latency_exact.cache_info().maxsize == 128
+    assert scu_success_probability.cache_info().maxsize == 128
+
+    value = scu_system_latency_exact(6)
+    assert scu_system_latency_exact.cache_info().currsize >= 1
+    clear_exact_chain_caches()
+    assert scu_system_latency_exact.cache_info().currsize == 0
+    assert scu_success_probability.cache_info().currsize == 0
+    assert scu_system_latency_exact(6) == value

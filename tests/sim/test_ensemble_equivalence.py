@@ -272,14 +272,19 @@ def test_heterogeneous_ensemble_matches_batched_per_replicate():
 
 
 class TestEnsembleContract:
-    def test_rejects_crash_configs(self):
+    def test_rejects_unknown_crash_pids(self):
+        # Crash schedules over known pids are supported since PR 3 (see
+        # test_ensemble_crash_equivalence); what remains rejected is a
+        # crash map naming a pid the replicate does not have.
         replicate = EnsembleReplicate(
             CounterStepKernel(),
             4,
             UniformStochasticScheduler(),
-            crash_times={1: 50},
+            crash_times={9: 50},
         )
-        with pytest.raises(ValueError, match="crash-free.*run_batched"):
+        with pytest.raises(
+            ValueError, match=r"replicate 0:.*unknown process 9.*run_batched"
+        ):
             EnsembleSimulator([replicate])
 
     def test_rejects_empty_ensemble(self):

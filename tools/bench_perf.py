@@ -1,15 +1,20 @@
 """Performance harness for the three execution engines.
 
 Times the same seeded workloads on the serial, batched, and ensemble
-engines and writes a machine-readable JSON report (``BENCH_PR2.json`` by
-default).  Three workloads:
+engines and writes a machine-readable JSON report (``BENCH_PR3.json`` by
+default).  Five workloads:
 
 * ``fig5_sweep`` — a FIG5-style multi-replicate latency sweep (the
   ensemble engine's target shape: many replicates, one sweep),
 * ``thm4_cells`` — the nine heterogeneous THM4 ``(q, s, n)`` cells as
   one ensemble vs. per-cell batched/serial runs,
 * ``single_run_100k`` — one long single-replicate run (the shape where
-  the ensemble engine has the least to amortise).
+  the ensemble engine has the least to amortise),
+* ``cor2_crash_sweep`` — a COR2-style halting-failure sweep (crash all
+  but ``k`` of ``n`` early, several seeds per ``k``) on the segmented
+  crash-aware ensemble vs. per-replicate batched runs,
+* ``chain_assembly`` — exact-chain transition-matrix builds: the
+  vectorized COO assembly vs. the per-state BFS enumeration.
 
 Because the engines are bit-identical by construction (and the harness
 re-checks this on every run), the speedups are pure wall-clock: same
@@ -17,7 +22,7 @@ numbers, less time.
 
 Usage::
 
-    python tools/bench_perf.py                  # full run -> BENCH_PR2.json
+    python tools/bench_perf.py                  # full run -> BENCH_PR3.json
     python tools/bench_perf.py --quick          # CI-sized steps/repeats
     python tools/bench_perf.py --out perf.json
 """
@@ -37,6 +42,14 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 import numpy as np  # noqa: E402
 
 from repro.algorithms.counter import cas_counter, make_counter_memory  # noqa: E402
+from repro.chains.counter import (  # noqa: E402
+    counter_global_chain,
+    counter_global_chain_enumerated,
+)
+from repro.chains.scu import (  # noqa: E402
+    scu_system_chain,
+    scu_system_chain_enumerated,
+)
 from repro.core.latency import (  # noqa: E402
     measure_latencies,
     resolve_vector_kernel,
@@ -188,6 +201,116 @@ def bench_single_run(quick):
     }
 
 
+def bench_cor2_crash_sweep(quick):
+    """COR2-style halting-failure sweep: crash all but k of n early."""
+    n = 32
+    k_values = [4, 8, 16, 32]
+    steps = 20_000 if quick else 250_000
+    crash_at = 500 if quick else 2_000
+    repeats = 2 if quick else 4
+    combos = [(k, r) for k in k_values for r in range(repeats)]
+
+    def crash_map(k):
+        return {pid: crash_at for pid in range(k, n)}
+
+    def run_ensemble():
+        ensemble = EnsembleSimulator(
+            [
+                EnsembleReplicate(
+                    resolve_vector_kernel(cas_counter()),
+                    n,
+                    UniformStochasticScheduler(),
+                    make_counter_memory(),
+                    rng=(k, r),
+                    crash_times=crash_map(k),
+                )
+                for k, r in combos
+            ]
+        )
+        result = ensemble.run(steps)
+        return [
+            m.system_latency
+            for m in result.measurements(burn_in=crash_at * 10)
+        ]
+
+    def run_batched():
+        return [
+            measure_latencies(
+                cas_counter(),
+                UniformStochasticScheduler(),
+                n_processes=n,
+                steps=steps,
+                burn_in=crash_at * 10,
+                memory=make_counter_memory(),
+                crash_times=crash_map(k),
+                rng=(k, r),
+                batched=True,
+            ).system_latency
+            for k, r in combos
+        ]
+
+    seconds = {}
+    seconds["batched"], batched = timed(run_batched)
+    seconds["ensemble"], ensemble = timed(run_ensemble)
+    return {
+        "workload": "cor2_crash_sweep",
+        "params": {
+            "n": n,
+            "k_values": k_values,
+            "steps": steps,
+            "crash_at": crash_at,
+            "repeats": repeats,
+        },
+        "seconds": seconds,
+        "speedup_ensemble_vs_batched": seconds["batched"] / seconds["ensemble"],
+        "bit_identical": batched == ensemble,
+    }
+
+
+def bench_chain_assembly(quick):
+    """Exact-chain matrix assembly: vectorized COO vs. per-state BFS."""
+    n_scu = 192 if quick else 512
+    n_counter = 512 if quick else 2048
+
+    seconds = {}
+    seconds["scu_enumerated"], _ = timed(
+        lambda: scu_system_chain_enumerated(n_scu)
+    )
+    seconds["scu_vectorized"], _ = timed(lambda: scu_system_chain(n_scu))
+    seconds["counter_enumerated"], _ = timed(
+        lambda: counter_global_chain_enumerated(n_counter)
+    )
+    seconds["counter_vectorized"], _ = timed(
+        lambda: counter_global_chain(n_counter)
+    )
+
+    # Equality is checked at a small size so the check itself stays cheap:
+    # exact state order for the counter chain, label-aligned for SCU.
+    check_n = 24
+    counter_fast = counter_global_chain(check_n)
+    counter_ref = counter_global_chain_enumerated(check_n)
+    counter_equal = counter_fast.states == counter_ref.states and np.array_equal(
+        counter_fast.dense(), counter_ref.dense()
+    )
+    scu_fast = scu_system_chain(check_n)
+    scu_ref = scu_system_chain_enumerated(check_n)
+    permutation = [scu_fast.index_of(state) for state in scu_ref.states]
+    scu_equal = sorted(scu_fast.states) == sorted(scu_ref.states) and np.array_equal(
+        scu_fast.dense()[np.ix_(permutation, permutation)], scu_ref.dense()
+    )
+
+    return {
+        "workload": "chain_assembly",
+        "params": {"n_scu": n_scu, "n_counter": n_counter, "check_n": check_n},
+        "seconds": seconds,
+        "speedup_scu": seconds["scu_enumerated"] / seconds["scu_vectorized"],
+        "speedup_counter": (
+            seconds["counter_enumerated"] / seconds["counter_vectorized"]
+        ),
+        "bit_identical": counter_equal and scu_equal,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -198,20 +321,35 @@ def main(argv=None):
     parser.add_argument(
         "--out",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR2.json",
-        help="output JSON path (default: BENCH_PR2.json at the repo root)",
+        default=REPO_ROOT / "BENCH_PR3.json",
+        help="output JSON path (default: BENCH_PR3.json at the repo root)",
     )
     args = parser.parse_args(argv)
 
     results = []
-    for bench in (bench_fig5_sweep, bench_thm4_cells, bench_single_run):
+    benches = (
+        bench_fig5_sweep,
+        bench_thm4_cells,
+        bench_single_run,
+        bench_cor2_crash_sweep,
+        bench_chain_assembly,
+    )
+    for bench in benches:
         result = bench(args.quick)
         results.append(result)
-        speedup = result["speedup_ensemble_vs_batched"]
+        if "ensemble" in result["seconds"]:
+            summary = (
+                f"ensemble {result['seconds']['ensemble']:8.3f}s"
+                f"  batched {result['seconds']['batched']:8.3f}s"
+                f"  speedup {result['speedup_ensemble_vs_batched']:5.2f}x"
+            )
+        else:
+            summary = (
+                f"scu {result['speedup_scu']:5.2f}x"
+                f"  counter {result['speedup_counter']:5.2f}x"
+            )
         print(
-            f"{result['workload']:<16} ensemble {result['seconds']['ensemble']:8.3f}s"
-            f"  batched {result['seconds']['batched']:8.3f}s"
-            f"  speedup {speedup:5.2f}x"
+            f"{result['workload']:<16} {summary}"
             f"  bit_identical={result['bit_identical']}"
         )
         if not result["bit_identical"]:
