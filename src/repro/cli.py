@@ -249,20 +249,48 @@ def cmd_figure5(args: argparse.Namespace) -> int:
         completion_rate_prediction,
         worst_case_completion_rate,
     )
+    from repro.core.checkpoint import SweepCheckpoint, sweep_fingerprint
     from repro.core.latency import measure_latencies
 
     thread_counts = [2, 4, 8, 16, 32][: args.points]
-    measured = []
-    for n in thread_counts:
-        m = measure_latencies(
-            cas_counter(),
-            _make_scheduler(args.scheduler),
-            n_processes=n,
+    checkpoint = None
+    if args.checkpoint is not None:
+        # Each thread count is one deterministic measurement (seeded
+        # rng=n), so the sweep checkpoints per (n, replicate=0) and a
+        # resumed run re-measures only the missing thread counts.
+        fingerprint = sweep_fingerprint(
+            seed=0,
             steps=args.steps,
-            memory=make_counter_memory(),
-            rng=n,
+            engine=f"figure5-{args.scheduler}",
+            n_values=thread_counts,
+            repeats=1,
+            burn_in=None,
         )
-        measured.append(m.completion_rate)
+        checkpoint = SweepCheckpoint.open(
+            args.checkpoint, fingerprint, resume=args.resume
+        )
+    measured = []
+    try:
+        for n in thread_counts:
+            if checkpoint is not None and (n, 0) in checkpoint.completed:
+                measured.append(checkpoint.completed[(n, 0)][1])
+                continue
+            m = measure_latencies(
+                cas_counter(),
+                _make_scheduler(args.scheduler),
+                n_processes=n,
+                steps=args.steps,
+                memory=make_counter_memory(),
+                rng=n,
+            )
+            measured.append(m.completion_rate)
+            if checkpoint is not None:
+                checkpoint.record(
+                    n, 0, (m.system_latency, m.completion_rate, m.fairness_ratio)
+                )
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
     predicted = completion_rate_prediction(thread_counts, measured_first=measured[0])
     worst = worst_case_completion_rate(thread_counts)
     exact = [1 / scu_system_latency_exact(n) for n in thread_counts]
@@ -316,16 +344,41 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--points", type=int, default=5)
     p.add_argument("--steps", type=int, default=60_000)
     p.add_argument("--scheduler", choices=["uniform", "hardware"], default="uniform")
+    p.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        default=None,
+        help="append finished thread counts to this JSONL checkpoint",
+    )
+    p.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip thread counts already in --checkpoint "
+        "(parameters must match the stored fingerprint)",
+    )
     p.set_defaults(func=cmd_figure5)
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    Ctrl-C exits with the conventional code 130 after flushing any
+    active sweep checkpoint, so an interrupted long run can be resumed
+    instead of greeting the user with a traceback.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except KeyboardInterrupt:
+        from repro.core.checkpoint import flush_active_checkpoints
+
+        flushed = flush_active_checkpoints()
+        note = " (checkpoint flushed; rerun with --resume)" if flushed else ""
+        print(f"interrupted{note}", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -1,0 +1,320 @@
+"""Append-only JSONL checkpoints for long-running sweeps.
+
+A :class:`SweepCheckpoint` makes a sweep *resumable*: the first line of
+the file is a schema-versioned header carrying the sweep's full
+fingerprint (seed, steps, engine, ``n_values``, repeats, burn-in and a
+hash of the resolved crash configuration), and every completed
+``(n, replicate)`` triple is appended as its own JSON line.  Because
+every replicate is pure deterministic work keyed by
+``(seed, n, replicate)``, a resumed sweep that re-runs only the missing
+replicates is bit-identical to an uninterrupted one — the checkpoint
+never has to store partial simulator state, only finished numbers.
+
+Durability model: each record is written as one line and flushed
+immediately, with an ``fsync`` every ``fsync_every`` records (and on
+:meth:`SweepCheckpoint.flush`/:meth:`SweepCheckpoint.close`).  A crash
+can therefore lose at most the tail of the file, and a torn final line
+is tolerated on load; a corrupt line anywhere *else* is an error.
+Resuming against a header whose fingerprint does not match the
+requested sweep raises :class:`CheckpointMismatchError` naming every
+differing field — silently mixing results from two different sweeps is
+the one failure mode a checkpoint must never have.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import weakref
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+#: Bumped whenever the on-disk layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+Triple = Tuple[float, float, float]
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint file cannot be created, read, or appended to."""
+
+
+class CheckpointMismatchError(CheckpointError):
+    """Resume was attempted against a checkpoint of a *different* sweep."""
+
+
+def crash_config_hash(
+    crash_times: Union[Dict[int, int], Callable[[int], Dict[int, int]], None],
+    n_values: Sequence[int],
+) -> str:
+    """A stable digest of the *resolved* crash configuration.
+
+    Callable crash schedules cannot be fingerprinted by identity (the
+    function object changes between processes), so the schedule is
+    resolved at every sweep point and the canonical JSON of
+    ``{n: {pid: time}}`` is hashed instead — two schedules that crash
+    the same processes at the same times hash equal, however they were
+    spelled.  ``None`` hashes to ``"none"``.
+    """
+    if crash_times is None:
+        return "none"
+    resolved = {}
+    for n in n_values:
+        per_point = crash_times(n) if callable(crash_times) else crash_times
+        resolved[int(n)] = {int(pid): int(t) for pid, t in per_point.items()}
+    blob = json.dumps(resolved, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def sweep_fingerprint(
+    *,
+    seed: int,
+    steps: int,
+    engine: str,
+    n_values: Sequence[int],
+    repeats: int,
+    burn_in: Optional[int],
+    crash_times: Union[Dict[int, int], Callable[[int], Dict[int, int]], None] = None,
+) -> Dict[str, object]:
+    """The identity of one sweep, as stored in the checkpoint header.
+
+    Two sweeps with equal fingerprints produce bit-identical
+    ``(n, replicate)`` triples, so their checkpoints are interchangeable;
+    anything else must be rejected on resume.
+    """
+    return {
+        "seed": int(seed),
+        "steps": int(steps),
+        "engine": str(engine),
+        "n_values": [int(n) for n in n_values],
+        "repeats": int(repeats),
+        "burn_in": None if burn_in is None else int(burn_in),
+        "crash_hash": crash_config_hash(crash_times, n_values),
+    }
+
+
+#: Open checkpoints, so ``repro.cli`` can flush them on KeyboardInterrupt.
+_ACTIVE: "weakref.WeakSet[SweepCheckpoint]" = weakref.WeakSet()
+
+
+def flush_active_checkpoints() -> int:
+    """Flush every open checkpoint; returns how many were flushed."""
+    count = 0
+    for checkpoint in list(_ACTIVE):
+        if not checkpoint.closed:
+            checkpoint.flush()
+            count += 1
+    return count
+
+
+class SweepCheckpoint:
+    """Append-only record of the finished ``(n, replicate)`` triples.
+
+    Use :meth:`open` — it creates a fresh file (writing the header) or,
+    with ``resume=True``, validates the existing header against the
+    requested fingerprint and loads the completed triples into
+    :attr:`completed`.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        fingerprint: Dict[str, object],
+        completed: Dict[Tuple[int, int], Triple],
+        handle,
+        *,
+        fsync_every: int = 16,
+    ):
+        self.path = Path(path)
+        self.fingerprint = fingerprint
+        self.completed = completed
+        self._handle = handle
+        self._fsync_every = max(1, int(fsync_every))
+        self._since_sync = 0
+        _ACTIVE.add(self)
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        fingerprint: Dict[str, object],
+        *,
+        resume: bool = False,
+        fsync_every: int = 16,
+    ) -> "SweepCheckpoint":
+        """Create a fresh checkpoint, or resume an existing one.
+
+        ``resume=False`` refuses to touch an existing non-empty file —
+        clobbering a checkpoint silently would defeat its purpose.
+        ``resume=True`` accepts a missing file (starts fresh, so a
+        ``--resume`` invocation is idempotent) and otherwise validates
+        the stored fingerprint, raising :class:`CheckpointMismatchError`
+        on any difference.
+        """
+        path = Path(path)
+        exists = path.exists() and path.stat().st_size > 0
+        if exists and not resume:
+            raise CheckpointError(
+                f"checkpoint {path} already exists; pass resume=True to "
+                "continue it, or remove the file to start over"
+            )
+        if exists:
+            stored, completed = cls._read(path)
+            if stored != fingerprint:
+                differing = sorted(
+                    key
+                    for key in set(stored) | set(fingerprint)
+                    if stored.get(key) != fingerprint.get(key)
+                )
+                raise CheckpointMismatchError(
+                    f"checkpoint {path} belongs to a different sweep: "
+                    f"fields {differing} differ "
+                    f"(stored {[stored.get(k) for k in differing]}, "
+                    f"requested {[fingerprint.get(k) for k in differing]})"
+                )
+            handle = path.open("a", encoding="utf-8")
+            return cls(
+                path, fingerprint, completed, handle, fsync_every=fsync_every
+            )
+        path.parent.mkdir(parents=True, exist_ok=True)
+        handle = path.open("w", encoding="utf-8")
+        header = {
+            "kind": "header",
+            "version": SCHEMA_VERSION,
+            "fingerprint": fingerprint,
+        }
+        handle.write(json.dumps(header, sort_keys=True) + "\n")
+        handle.flush()
+        os.fsync(handle.fileno())
+        return cls(path, fingerprint, {}, handle, fsync_every=fsync_every)
+
+    @staticmethod
+    def _read(
+        path: Path,
+    ) -> Tuple[Dict[str, object], Dict[Tuple[int, int], Triple]]:
+        lines = path.read_text(encoding="utf-8").splitlines()
+        if not lines:
+            raise CheckpointError(f"checkpoint {path} is empty")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise CheckpointError(
+                f"checkpoint {path} has an unreadable header: {exc}"
+            ) from exc
+        if header.get("kind") != "header":
+            raise CheckpointError(
+                f"checkpoint {path} does not start with a header record"
+            )
+        if header.get("version") != SCHEMA_VERSION:
+            raise CheckpointError(
+                f"checkpoint {path} has schema version "
+                f"{header.get('version')!r}; this build reads "
+                f"version {SCHEMA_VERSION}"
+            )
+        fingerprint = header.get("fingerprint")
+        if not isinstance(fingerprint, dict):
+            raise CheckpointError(f"checkpoint {path} header has no fingerprint")
+        completed: Dict[Tuple[int, int], Triple] = {}
+        for index, line in enumerate(lines[1:], start=2):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if index == len(lines):
+                    # A torn final line is the expected shape of a crash
+                    # mid-append; everything before it is intact.
+                    break
+                raise CheckpointError(
+                    f"checkpoint {path} line {index} is corrupt "
+                    "(not the final line, so this is not a torn tail)"
+                )
+            if record.get("kind") != "point":
+                raise CheckpointError(
+                    f"checkpoint {path} line {index} has unknown kind "
+                    f"{record.get('kind')!r}"
+                )
+            values = record["v"]
+            completed[(int(record["n"]), int(record["r"]))] = (
+                float(values[0]),
+                float(values[1]),
+                float(values[2]),
+            )
+        return fingerprint, completed
+
+    @classmethod
+    def load_completed(
+        cls, path: Union[str, Path]
+    ) -> Dict[Tuple[int, int], Triple]:
+        """Read a checkpoint's completed triples without opening it."""
+        return cls._read(Path(path))[1]
+
+    @classmethod
+    def load_fingerprint(cls, path: Union[str, Path]) -> Dict[str, object]:
+        """Read a checkpoint's stored fingerprint without opening it."""
+        return cls._read(Path(path))[0]
+
+    # -- appending ---------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._handle is None
+
+    def record(self, n: int, replicate: int, triple: Sequence[float]) -> None:
+        """Append one finished ``(n, replicate)`` triple.
+
+        The line is written with a single ``write`` call and flushed so a
+        crash tears at most this line; an ``fsync`` lands every
+        ``fsync_every`` records.  Re-recording a key overwrites it on
+        load (last wins) — harmless, since retries re-run pure work.
+        """
+        if self._handle is None:
+            raise CheckpointError(f"checkpoint {self.path} is closed")
+        triple = (float(triple[0]), float(triple[1]), float(triple[2]))
+        line = json.dumps(
+            {"kind": "point", "n": int(n), "r": int(replicate), "v": list(triple)}
+        )
+        self._handle.write(line + "\n")
+        self._handle.flush()
+        self.completed[(int(n), int(replicate))] = triple
+        self._since_sync += 1
+        if self._since_sync >= self._fsync_every:
+            os.fsync(self._handle.fileno())
+            self._since_sync = 0
+
+    def flush(self) -> None:
+        """Flush and fsync everything recorded so far."""
+        if self._handle is None:
+            return
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        self._since_sync = 0
+
+    def close(self) -> None:
+        """Flush, fsync, and release the file handle (idempotent)."""
+        if self._handle is None:
+            return
+        self.flush()
+        self._handle.close()
+        self._handle = None
+        _ACTIVE.discard(self)
+
+    def missing(
+        self, n_values: Sequence[int], repeats: int
+    ) -> List[Tuple[int, int]]:
+        """The ``(n, replicate)`` pairs not yet recorded, in sweep order."""
+        return [
+            (n, r)
+            for n in n_values
+            for r in range(repeats)
+            if (n, r) not in self.completed
+        ]
+
+    def __enter__(self) -> "SweepCheckpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -93,6 +93,27 @@ def method_latencies(history, *, burn_in: int = 0) -> Dict[str, float]:
     return out
 
 
+def validate_burn_in(burn_in: Optional[int], steps: int) -> None:
+    """Reject a burn-in that cannot leave any completions to measure.
+
+    Called at every measurement entry point (``measure_latencies*``, the
+    sweeps) so the mistake fails loudly up front instead of surfacing as
+    a confusing "need >= 2 completions after burn_in" error at the end
+    of a long run.  ``None`` (the ``steps // 10`` default) is always
+    valid.
+    """
+    if burn_in is None:
+        return
+    if burn_in < 0:
+        raise ValueError(f"burn_in must be non-negative, got {burn_in}")
+    if burn_in >= steps:
+        raise ValueError(
+            f"burn_in={burn_in} must be < steps={steps}: every completion "
+            "would fall inside the burn-in window, leaving nothing to "
+            "measure"
+        )
+
+
 def _no_repeat_completion_error(
     n_processes: int, steps: int, burn_in: int
 ) -> ValueError:
@@ -177,6 +198,7 @@ def measure_latencies(
     """
     if memory is not None and memory_factory is not None:
         raise ValueError("pass memory or memory_factory, not both")
+    validate_burn_in(burn_in, steps)
     if burn_in is None:
         burn_in = steps // 10
     if memory_factory is not None:
@@ -256,6 +278,7 @@ def measure_latencies_ensemble(
     """
     from repro.sim.ensemble import EnsembleReplicate, EnsembleSimulator
 
+    validate_burn_in(burn_in, steps)
     kernel = resolve_vector_kernel(factory)
     replicates = [
         EnsembleReplicate(

@@ -1,0 +1,338 @@
+"""Fault-tolerant chunked execution for sweeps.
+
+:class:`ResilientExecutor` runs a worker function over a list of task
+keys on a process pool and absorbs the orchestration-level failures the
+pool itself does not: a worker raising, a worker killed (OOM, SIGKILL —
+surfacing as :class:`~concurrent.futures.process.BrokenProcessPool`), a
+worker hanging past a per-chunk deadline, and the pool refusing to come
+back up at all.  The recovery ladder, in order:
+
+1. **Retry with backoff** — a failed or timed-out chunk is re-submitted
+   up to ``max_retries`` times, after a capped exponential delay with
+   *deterministic* jitter (seeded from the chunk key and attempt, so two
+   runs of the same sweep back off identically and retrying chunks fan
+   out instead of stampeding — the bounded randomized backoff discipline
+   of the wait-free-locks line of work).
+2. **Poison isolation** — a chunk that exhausts its retries is split
+   into single-task units, each with a fresh retry budget, so one bad
+   task cannot take its chunk-mates down with it; a *single* task that
+   still fails raises :class:`TaskError` naming the task key.
+3. **Pool rebuild** — a broken or deadline-blown pool is terminated and
+   rebuilt; in-flight chunks are re-queued (the timed-out/broken ones
+   with a retry charged, innocent bystanders for free).
+4. **Graceful degradation** — after ``fallback_after`` *consecutive*
+   pool-level failures the executor stops fighting the pool and runs the
+   remaining work serially in-process (same retry/poison semantics,
+   minus preemption).
+
+None of this can change results: tasks are pure deterministic work, so
+a retry recomputes exactly the bytes the first attempt would have
+produced.  The hot path — replicate execution inside the workers — is
+untouched; only the coordination layer absorbs the faults.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import zlib
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+class TaskError(RuntimeError):
+    """A single task failed every retry; ``key`` names the poison task."""
+
+    def __init__(self, key: Hashable, cause: BaseException):
+        super().__init__(
+            f"task {key!r} failed after exhausting retries: "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.key = key
+        self.cause = cause
+
+
+def _stable_seed(key: Hashable, attempt: int) -> int:
+    """A process-stable seed for the backoff jitter (``hash()`` is salted
+    per interpreter; CRC32 of the repr is not)."""
+    return zlib.crc32(repr((key, attempt)).encode("utf-8"))
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Knobs for the recovery ladder (see the module docstring)."""
+
+    #: Re-submissions per unit before splitting (chunks) or giving up
+    #: (single tasks).
+    max_retries: int = 3
+    #: First backoff delay, seconds; attempt ``k`` waits up to
+    #: ``base_delay * 2**(k-1)``, capped at ``max_delay``.
+    base_delay: float = 0.05
+    max_delay: float = 2.0
+    #: Per-chunk wall-clock deadline, seconds; ``None`` disables hang
+    #: detection (a chunk may then run forever).
+    timeout: Optional[float] = None
+    #: Consecutive pool-level failures before degrading to in-process
+    #: serial execution for the remaining tasks.
+    fallback_after: int = 3
+
+    def backoff_delay(self, key: Hashable, attempt: int) -> float:
+        """Capped exponential backoff with deterministic jitter.
+
+        The delay for ``(key, attempt)`` is the same every time it is
+        computed — reruns of a sweep back off identically — while
+        different keys jitter apart within ``[cap/2, cap]``.
+        """
+        cap = min(self.max_delay, self.base_delay * 2 ** max(0, attempt - 1))
+        rng = np.random.default_rng(_stable_seed(key, attempt))
+        return cap / 2 + rng.uniform(0, cap / 2)
+
+
+@dataclass
+class RunStats:
+    """What the executor had to do to finish a run."""
+
+    retries: int = 0
+    splits: int = 0
+    timeouts: int = 0
+    pool_rebuilds: int = 0
+    fell_back_serial: bool = False
+
+
+def _terminate_pool(pool) -> None:
+    """Kill a pool that may contain hung or dying workers.
+
+    ``ProcessPoolExecutor`` has no public kill switch, so the worker
+    processes are terminated through the executor's process table when
+    it is available (best-effort — a missing attribute just means we
+    fall through to ``shutdown``, leaking the hung worker until it
+    finishes on its own).
+    """
+    processes = getattr(pool, "_processes", None)
+    if processes:
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        pass
+
+
+class ResilientExecutor:
+    """Run ``worker_fn(keys, *args) -> list`` over a pool, surviving faults.
+
+    ``worker_fn`` receives a list of task keys plus ``args`` and must
+    return one result per key, in order; it must be picklable
+    (module-level).  Results are collected into a ``{key: result}`` dict
+    — completion *order* is scheduling, never semantics, so retries and
+    rebuilds cannot affect what is returned.
+
+    ``pool_factory`` exists for fault injection (see
+    :mod:`repro.testing.chaos`); it must accept a ``max_workers``
+    keyword and return a ``ProcessPoolExecutor``-shaped object.
+    """
+
+    def __init__(
+        self,
+        worker_fn: Callable[..., List],
+        *,
+        max_workers: Optional[int] = None,
+        policy: Optional[RetryPolicy] = None,
+        pool_factory: Optional[Callable[..., ProcessPoolExecutor]] = None,
+        sleep: Callable[[float], None] = time.sleep,
+    ):
+        self._worker_fn = worker_fn
+        self.max_workers = max_workers if max_workers is not None else (
+            os.cpu_count() or 1
+        )
+        self.policy = policy if policy is not None else RetryPolicy()
+        self._pool_factory = (
+            pool_factory if pool_factory is not None else ProcessPoolExecutor
+        )
+        self._sleep = sleep
+        self.stats = RunStats()
+
+    def default_chunk_size(self, n_tasks: int) -> int:
+        """Roughly four chunks per worker, computed from public config
+        (never from pool internals)."""
+        return max(1, -(-n_tasks // (self.max_workers * 4)))
+
+    def run(
+        self,
+        tasks: Sequence[Hashable],
+        args: Tuple = (),
+        *,
+        chunk_size: Optional[int] = None,
+        on_result: Optional[Callable[[Hashable, object], None]] = None,
+    ) -> Dict[Hashable, object]:
+        """Execute every task, retrying/rebuilding/degrading as needed.
+
+        ``on_result(key, result)`` fires once per task as soon as its
+        chunk completes — the checkpoint hook.  Raises
+        :class:`TaskError` if a single task exhausts its retries.
+        """
+        keys = list(tasks)
+        if not keys:
+            return {}
+        if chunk_size is None:
+            chunk_size = self.default_chunk_size(len(keys))
+        units = deque(
+            tuple(keys[start : start + chunk_size])
+            for start in range(0, len(keys), chunk_size)
+        )
+        results: Dict[Hashable, object] = {}
+        attempts: Dict[Tuple, int] = {}
+        in_flight: Dict[object, Tuple[Tuple, float]] = {}
+        policy = self.policy
+        serial_mode = False
+        pool = None
+        pool_failures = 0
+
+        def finish(unit: Tuple, values: List) -> None:
+            if len(values) != len(unit):
+                raise TaskError(
+                    unit[0] if len(unit) == 1 else unit,
+                    ValueError(
+                        f"worker returned {len(values)} results for "
+                        f"{len(unit)} tasks"
+                    ),
+                )
+            for key, value in zip(unit, values):
+                results[key] = value
+                if on_result is not None:
+                    on_result(key, value)
+
+        def handle_failure(unit: Tuple, exc: BaseException, requeue) -> None:
+            """Retry, split, or raise — the first two rungs of the ladder."""
+            attempts[unit] = attempts.get(unit, 0) + 1
+            if attempts[unit] <= policy.max_retries:
+                self.stats.retries += 1
+                self._sleep(policy.backoff_delay(unit, attempts[unit]))
+                requeue.append(unit)
+            elif len(unit) > 1:
+                # Isolate the poison task: singles get a fresh budget.
+                self.stats.splits += 1
+                for key in unit:
+                    requeue.append((key,))
+            else:
+                raise TaskError(unit[0], exc)
+
+        def note_pool_failure() -> bool:
+            """Count a pool-level failure; True once it is time to degrade."""
+            nonlocal pool_failures
+            self.stats.pool_rebuilds += 1
+            pool_failures += 1
+            if pool_failures >= policy.fallback_after:
+                self.stats.fell_back_serial = True
+                return True
+            return False
+
+        try:
+            while units or in_flight:
+                if serial_mode:
+                    unit = units.popleft()
+                    try:
+                        finish(unit, self._worker_fn(list(unit), *args))
+                    except TaskError:
+                        raise
+                    except Exception as exc:
+                        handle_failure(unit, exc, units)
+                    continue
+
+                # Submit everything pending; a failure here (pool refuses
+                # to start, or is already broken) is a pool-level fault.
+                try:
+                    if pool is None:
+                        pool = self._pool_factory(max_workers=self.max_workers)
+                    while units:
+                        unit = units[0]
+                        future = pool.submit(self._worker_fn, list(unit), *args)
+                        units.popleft()
+                        in_flight[future] = (unit, time.monotonic())
+                except Exception:
+                    for _, (unit, _) in list(in_flight.items()):
+                        units.append(unit)
+                    in_flight.clear()
+                    if pool is not None:
+                        _terminate_pool(pool)
+                        pool = None
+                    if note_pool_failure():
+                        serial_mode = True
+                    continue
+
+                if policy.timeout is None:
+                    done, _ = wait(list(in_flight), return_when=FIRST_COMPLETED)
+                else:
+                    now = time.monotonic()
+                    earliest = min(start for _, start in in_flight.values())
+                    remaining = policy.timeout - (now - earliest)
+                    done, _ = wait(
+                        list(in_flight),
+                        timeout=max(0.0, remaining),
+                        return_when=FIRST_COMPLETED,
+                    )
+
+                requeue: deque = deque()
+                pool_poisoned = False
+                for future in done:
+                    unit, _ = in_flight.pop(future)
+                    try:
+                        values = future.result()
+                    except BrokenExecutor as exc:
+                        # The pool died under this chunk (worker killed,
+                        # OOM, ...).  Charge the chunk a retry — if it is
+                        # the poison, attempts accumulate toward
+                        # isolation; if not, the retry succeeds.
+                        pool_poisoned = True
+                        handle_failure(unit, exc, requeue)
+                    except Exception as exc:
+                        handle_failure(unit, exc, requeue)
+                    else:
+                        finish(unit, values)
+                        pool_failures = 0
+
+                if not pool_poisoned and policy.timeout is not None:
+                    now = time.monotonic()
+                    expired = [
+                        future
+                        for future, (_, start) in in_flight.items()
+                        if now - start > policy.timeout
+                    ]
+                    for future in expired:
+                        unit, start = in_flight.pop(future)
+                        self.stats.timeouts += 1
+                        pool_poisoned = True
+                        handle_failure(
+                            unit,
+                            TimeoutError(
+                                f"chunk {unit!r} exceeded the "
+                                f"{policy.timeout}s deadline"
+                            ),
+                            requeue,
+                        )
+
+                if pool_poisoned:
+                    # Hung/killed workers poison the whole pool: recover
+                    # the innocent in-flight chunks for free and rebuild.
+                    for _, (unit, _) in list(in_flight.items()):
+                        requeue.append(unit)
+                    in_flight.clear()
+                    _terminate_pool(pool)
+                    pool = None
+                    if note_pool_failure():
+                        serial_mode = True
+                units.extend(requeue)
+        finally:
+            if pool is not None:
+                if in_flight:
+                    _terminate_pool(pool)
+                else:
+                    pool.shutdown(wait=True)
+        return results

@@ -16,17 +16,34 @@ operations (:class:`repro.sim.EnsembleSimulator`) — the fastest path for
 multi-replicate work, available for SCU-shaped workloads whose factory
 exposes a ``vector_kernel``.  All three produce bit-identical numbers
 for the same seeds.
+
+Long sweeps are *fault-tolerant*: :func:`parallel_sweep` runs on a
+:class:`repro.core.runner.ResilientExecutor` (worker crashes, hangs and
+pool deaths are retried with backoff, isolated, or degraded to
+in-process execution — never silently dropped), and both sweeps accept
+``checkpoint=``/``resume=`` (an append-only
+:class:`repro.core.checkpoint.SweepCheckpoint`) so an interrupted sweep
+re-runs only the missing replicates.  None of this machinery can change
+results: every replicate is pure work keyed by ``(seed, n, replicate)``,
+so a retried or resumed replicate recomputes exactly the bytes the
+uninterrupted run would have produced.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
+import os
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.core.latency import measure_latencies, measure_latencies_ensemble
+from repro.core.checkpoint import SweepCheckpoint, sweep_fingerprint
+from repro.core.latency import (
+    measure_latencies,
+    measure_latencies_ensemble,
+    validate_burn_in,
+)
+from repro.core.runner import ResilientExecutor, RetryPolicy
 from repro.core.scheduler import Scheduler, UniformStochasticScheduler
 from repro.sim.memory import Memory
 from repro.sim.process import ProcessFactory
@@ -144,6 +161,62 @@ def _run_replicate_chunk(
     ]
 
 
+def _chunk_worker(
+    pairs: Sequence[Tuple[int, int]],
+    factory_builder: Callable[[], ProcessFactory],
+    memory_builder: Callable[[], Memory],
+    scheduler_builder: Callable[[], Scheduler],
+    steps: int,
+    seed: int,
+    batched: bool,
+    burn_in: Optional[int],
+    crash_times: CrashTimesLike,
+) -> List[Tuple[float, float, float]]:
+    """:func:`_run_replicate_chunk` with the task keys first — the
+    calling convention :class:`~repro.core.runner.ResilientExecutor`
+    (and the chaos harness wrapping it) uses."""
+    return _run_replicate_chunk(
+        factory_builder,
+        memory_builder,
+        scheduler_builder,
+        pairs,
+        steps,
+        seed,
+        batched,
+        burn_in,
+        crash_times,
+    )
+
+
+def _open_checkpoint(
+    checkpoint,
+    resume: bool,
+    *,
+    seed: int,
+    steps: int,
+    engine: str,
+    n_values: Sequence[int],
+    repeats: int,
+    burn_in: Optional[int],
+    crash_times: CrashTimesLike,
+) -> Optional[SweepCheckpoint]:
+    """Open/validate the sweep's checkpoint, if one was requested."""
+    if checkpoint is None:
+        if resume:
+            raise ValueError("resume=True requires checkpoint=<path>")
+        return None
+    fingerprint = sweep_fingerprint(
+        seed=seed,
+        steps=steps,
+        engine=engine,
+        n_values=n_values,
+        repeats=repeats,
+        burn_in=burn_in,
+        crash_times=crash_times,
+    )
+    return SweepCheckpoint.open(checkpoint, fingerprint, resume=resume)
+
+
 def _collect_points(
     n_values: Sequence[int],
     repeats: int,
@@ -181,6 +254,9 @@ def latency_sweep(
     engine: Optional[str] = None,
     burn_in: Optional[int] = None,
     crash_times: CrashTimesLike = None,
+    checkpoint=None,
+    resume: bool = False,
+    on_progress: Optional[Callable[[int, int, Tuple[int, int]], None]] = None,
 ) -> List[SweepPoint]:
     """Measure latencies across ``n_values`` with ``repeats`` replicates.
 
@@ -199,46 +275,90 @@ def latency_sweep(
     ``burn_in`` overrides the per-replicate burn-in (default
     ``steps // 10``) — crash sweeps usually want it past the crash
     transient.
+
+    ``checkpoint`` names a :class:`SweepCheckpoint` JSONL file; finished
+    replicates are appended as they land, and ``resume=True`` skips the
+    ones already recorded (after validating the checkpoint belongs to
+    *this* sweep).  ``on_progress(done, total, (n, replicate))`` fires
+    after each replicate.  Neither can change the numbers.
     """
     if repeats < 2:
         raise ValueError("repeats must be at least 2 for confidence intervals")
+    validate_burn_in(burn_in, steps)
     if scheduler_builder is None:
         scheduler_builder = UniformStochasticScheduler
     chosen = _resolve_engine(engine, batched)
+    ckpt = _open_checkpoint(
+        checkpoint,
+        resume,
+        seed=seed,
+        steps=steps,
+        engine=chosen,
+        n_values=n_values,
+        repeats=repeats,
+        burn_in=burn_in,
+        crash_times=crash_times,
+    )
     results: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
-    if chosen == "ensemble":
-        for n in n_values:
-            measurements = measure_latencies_ensemble(
-                factory_builder(),
-                scheduler_builder,
-                n,
-                steps,
-                [(seed, n, r) for r in range(repeats)],
-                burn_in=burn_in,
-                memory_factory=memory_builder,
-                crash_times=_resolve_crash_times(crash_times, n),
-            )
-            for r, measurement in enumerate(measurements):
-                results[(n, r)] = (
-                    measurement.system_latency,
-                    measurement.completion_rate,
-                    measurement.fairness_ratio,
-                )
-    else:
-        for n in n_values:
-            for r in range(repeats):
-                results[(n, r)] = _run_replicate(
-                    factory_builder,
-                    memory_builder,
+    if ckpt is not None:
+        results.update(ckpt.completed)
+    total = len(n_values) * repeats
+    done = len(results)
+
+    def note(key: Tuple[int, int], triple: Tuple[float, float, float]) -> None:
+        nonlocal done
+        done += 1
+        if ckpt is not None:
+            ckpt.record(key[0], key[1], triple)
+        if on_progress is not None:
+            on_progress(done, total, key)
+
+    try:
+        if chosen == "ensemble":
+            for n in n_values:
+                missing = [r for r in range(repeats) if (n, r) not in results]
+                if not missing:
+                    continue
+                measurements = measure_latencies_ensemble(
+                    factory_builder(),
                     scheduler_builder,
                     n,
                     steps,
-                    seed,
-                    r,
-                    chosen == "batched",
-                    burn_in,
-                    crash_times,
+                    [(seed, n, r) for r in missing],
+                    burn_in=burn_in,
+                    memory_factory=memory_builder,
+                    crash_times=_resolve_crash_times(crash_times, n),
                 )
+                for r, measurement in zip(missing, measurements):
+                    triple = (
+                        measurement.system_latency,
+                        measurement.completion_rate,
+                        measurement.fairness_ratio,
+                    )
+                    results[(n, r)] = triple
+                    note((n, r), triple)
+        else:
+            for n in n_values:
+                for r in range(repeats):
+                    if (n, r) in results:
+                        continue
+                    triple = _run_replicate(
+                        factory_builder,
+                        memory_builder,
+                        scheduler_builder,
+                        n,
+                        steps,
+                        seed,
+                        r,
+                        chosen == "batched",
+                        burn_in,
+                        crash_times,
+                    )
+                    results[(n, r)] = triple
+                    note((n, r), triple)
+    finally:
+        if ckpt is not None:
+            ckpt.close()
     return _collect_points(n_values, repeats, results, confidence)
 
 
@@ -257,8 +377,13 @@ def parallel_sweep(
     chunk_size: Optional[int] = None,
     burn_in: Optional[int] = None,
     crash_times: CrashTimesLike = None,
+    checkpoint=None,
+    resume: bool = False,
+    on_progress: Optional[Callable[[int, int, Tuple[int, int]], None]] = None,
+    retry: Optional[RetryPolicy] = None,
+    pool_factory: Optional[Callable] = None,
 ) -> List[SweepPoint]:
-    """:func:`latency_sweep` fanned out over a process pool.
+    """:func:`latency_sweep` fanned out over a fault-tolerant process pool.
 
     Every ``(n, replicate)`` pair is seeded with the same
     ``(seed, n, replicate)`` tuple the serial sweep uses, so the result
@@ -269,50 +394,101 @@ def parallel_sweep(
     Replicates are shipped to workers in chunks of ``chunk_size``
     consecutive tasks (one future per chunk, not per replicate), which
     cuts the pickling/dispatch overhead that dominates small replicates.
-    ``chunk_size=None`` picks roughly four chunks per worker; chunking
-    affects only scheduling, never results.
+    ``chunk_size=None`` picks roughly four chunks per worker, computed
+    from ``max_workers`` (or ``os.cpu_count()``); chunking affects only
+    scheduling, never results.
+
+    Execution rides a :class:`~repro.core.runner.ResilientExecutor`:
+    failed or timed-out chunks are retried with capped exponential
+    backoff and deterministic jitter, repeat offenders are split down to
+    single replicates to isolate the poison task (which is then named in
+    the raised :class:`~repro.core.runner.TaskError`), a broken pool is
+    rebuilt, and after ``retry.fallback_after`` consecutive pool
+    failures the remaining tasks degrade to in-process serial execution.
+    ``retry`` tunes all of this (default :class:`RetryPolicy`; its
+    ``timeout`` is the per-chunk deadline, ``None`` = no deadline).
+    Retries re-run pure deterministic work, so fault recovery cannot
+    change a single bit of the output.
+
+    ``checkpoint``/``resume``/``on_progress`` behave exactly as in
+    :func:`latency_sweep`; a checkpoint written by a (serial-engine)
+    ``latency_sweep`` with matching parameters is accepted here and vice
+    versa.  ``pool_factory`` swaps the process pool implementation — the
+    fault-injection hook :class:`repro.testing.chaos.ChaosPool` plugs in
+    there.
 
     The builders must be picklable (module-level functions or
     ``functools.partial`` over module-level functions; closures and
     lambdas are not).  The same goes for a callable ``crash_times`` —
     a dict always pickles.  ``batched`` defaults to True here: a sweep
     big enough to parallelise is big enough to want the fast path.
-    ``max_workers`` caps the pool size (``None`` = executor default).
+    ``max_workers`` caps the pool size (``None`` = one per CPU).
     """
     if repeats < 2:
         raise ValueError("repeats must be at least 2 for confidence intervals")
     if chunk_size is not None and chunk_size < 1:
         raise ValueError("chunk_size must be positive")
+    validate_burn_in(burn_in, steps)
     if scheduler_builder is None:
         scheduler_builder = UniformStochasticScheduler
-    tasks = [(n, r) for n in n_values for r in range(repeats)]
+    ckpt = _open_checkpoint(
+        checkpoint,
+        resume,
+        seed=seed,
+        steps=steps,
+        engine="batched" if batched else "serial",
+        n_values=n_values,
+        repeats=repeats,
+        burn_in=burn_in,
+        crash_times=crash_times,
+    )
     results: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
-    with ProcessPoolExecutor(max_workers=max_workers) as pool:
-        if chunk_size is None:
-            workers = pool._max_workers
-            chunk_size = max(1, -(-len(tasks) // (workers * 4)))
-        chunks = [
-            tasks[start : start + chunk_size]
-            for start in range(0, len(tasks), chunk_size)
-        ]
-        futures = [
-            pool.submit(
-                _run_replicate_chunk,
-                factory_builder,
-                memory_builder,
-                scheduler_builder,
-                chunk,
-                steps,
-                seed,
-                batched,
-                burn_in,
-                crash_times,
+    if ckpt is not None:
+        results.update(ckpt.completed)
+    total = len(n_values) * repeats
+    done = len(results)
+    tasks = [
+        (n, r) for n in n_values for r in range(repeats) if (n, r) not in results
+    ]
+
+    def note(key: Tuple[int, int], triple: Tuple[float, float, float]) -> None:
+        nonlocal done
+        done += 1
+        if ckpt is not None:
+            ckpt.record(key[0], key[1], triple)
+        if on_progress is not None:
+            on_progress(done, total, key)
+
+    try:
+        if tasks:
+            executor = ResilientExecutor(
+                _chunk_worker,
+                max_workers=(
+                    max_workers if max_workers is not None else os.cpu_count()
+                ),
+                policy=retry,
+                pool_factory=pool_factory,
             )
-            for chunk in chunks
-        ]
-        for chunk, future in zip(chunks, futures):
-            for key, triple in zip(chunk, future.result()):
-                results[key] = triple
+            results.update(
+                executor.run(
+                    tasks,
+                    args=(
+                        factory_builder,
+                        memory_builder,
+                        scheduler_builder,
+                        steps,
+                        seed,
+                        batched,
+                        burn_in,
+                        crash_times,
+                    ),
+                    chunk_size=chunk_size,
+                    on_result=note,
+                )
+            )
+    finally:
+        if ckpt is not None:
+            ckpt.close()
     return _collect_points(n_values, repeats, results, confidence)
 
 

@@ -1,0 +1,17 @@
+"""Fault-injection utilities for testing the resilient sweep layer."""
+
+from repro.testing.chaos import (
+    ChaosError,
+    ChaosPlan,
+    ChaosPool,
+    FlakyPoolFactory,
+    chaos_worker,
+)
+
+__all__ = [
+    "ChaosError",
+    "ChaosPlan",
+    "ChaosPool",
+    "FlakyPoolFactory",
+    "chaos_worker",
+]

@@ -1,0 +1,178 @@
+"""Deterministic fault injection for the resilient sweep layer.
+
+The chaos harness answers one question: *does the orchestration layer
+really survive the faults it claims to?*  A :class:`ChaosPlan` decides —
+deterministically — which tasks are sabotaged and how (``"raise"`` an
+exception, ``"kill"`` the worker process with SIGKILL, or ``"hang"`` it
+past its deadline); :class:`ChaosPool` is a drop-in
+``ProcessPoolExecutor`` that consults the plan inside each worker before
+running the real work.  Faults default to *fire-once* semantics, tracked
+by marker files in ``state_dir`` so they survive worker death and pool
+rebuilds: the first attempt at a sabotaged task hits the fault, the
+retry runs clean — exactly the transient-fault shape
+:class:`repro.core.runner.ResilientExecutor` is built to absorb.  Set
+``once=False`` for a *persistent* (poison) fault that fires on every
+attempt, which must end in a :class:`repro.core.runner.TaskError`
+naming the task.
+
+Everything here is picklable and seed-deterministic, so chaos tests are
+reproducible run-to-run — a flaky chaos suite would be a self-defeating
+way to test fault tolerance.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+import zlib
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Hashable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+#: Fault kinds a plan can inject, in increasing order of violence.
+FAULT_KINDS = ("raise", "hang", "kill")
+
+
+class ChaosError(RuntimeError):
+    """The exception an injected ``"raise"`` fault throws in a worker."""
+
+
+def _key_digest(key: Hashable) -> str:
+    return f"{zlib.crc32(repr(key).encode('utf-8')):08x}"
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """Which tasks fail, how, and how often.
+
+    ``faults`` maps task keys (for sweeps: ``(n, replicate)`` tuples) to
+    a fault kind; alternatively ``probability`` sabotages each task
+    independently with that chance, choosing among ``kinds`` with a
+    per-key deterministic RNG derived from ``seed`` — the same plan
+    sabotages the same tasks every run.  ``state_dir`` holds the
+    fire-once markers (any fresh temp directory); with ``once=False``
+    faults fire on every attempt instead.
+    """
+
+    state_dir: Union[str, Path]
+    faults: Dict[Hashable, str] = field(default_factory=dict)
+    probability: float = 0.0
+    kinds: Tuple[str, ...] = ("raise",)
+    seed: int = 0
+    hang_seconds: float = 30.0
+    once: bool = True
+
+    def fault_for(self, key: Hashable) -> Optional[str]:
+        """The fault kind planned for ``key``, or ``None``."""
+        key = tuple(key) if isinstance(key, (list, tuple)) else key
+        kind = self.faults.get(key)
+        if kind is not None:
+            if kind not in FAULT_KINDS:
+                raise ValueError(
+                    f"unknown fault kind {kind!r}; expected one of {FAULT_KINDS}"
+                )
+            return kind
+        if self.probability > 0:
+            rng = np.random.default_rng(
+                zlib.crc32(repr(("chaos", self.seed, key)).encode("utf-8"))
+            )
+            if rng.random() < self.probability:
+                return self.kinds[int(rng.integers(len(self.kinds)))]
+        return None
+
+    def arm(self, key: Hashable) -> bool:
+        """True when the fault for ``key`` should fire *now*.
+
+        Fire-once tracking uses an exclusive-create marker file, so it
+        is race-free across worker processes and survives pool rebuilds.
+        """
+        if not self.once:
+            return True
+        marker = Path(self.state_dir) / f"fired-{_key_digest(key)}"
+        try:
+            marker.touch(exist_ok=False)
+        except FileExistsError:
+            return False
+        return True
+
+    def reset(self) -> None:
+        """Forget every fired marker (faults become live again)."""
+        for marker in Path(self.state_dir).glob("fired-*"):
+            marker.unlink(missing_ok=True)
+
+
+def chaos_worker(plan: Optional[ChaosPlan], keys: Sequence[Hashable]) -> None:
+    """Inject the planned fault for the first armed key, if any.
+
+    Called inside a worker before the real work.  ``"raise"`` throws
+    :class:`ChaosError`; ``"hang"`` sleeps ``plan.hang_seconds`` (long
+    enough to blow any sane deadline) then returns; ``"kill"`` SIGKILLs
+    the worker process, which the parent sees as ``BrokenProcessPool``.
+    """
+    if plan is None:
+        return
+    for key in keys:
+        kind = plan.fault_for(key)
+        if kind is None or not plan.arm(key):
+            continue
+        if kind == "raise":
+            raise ChaosError(f"injected fault for task {key!r}")
+        if kind == "hang":
+            time.sleep(plan.hang_seconds)
+            return
+        if kind == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _chaos_call(plan: ChaosPlan, fn, keys, *args, **kwargs):
+    """Module-level (picklable) wrapper ChaosPool ships to workers."""
+    chaos_worker(plan, keys)
+    return fn(keys, *args, **kwargs)
+
+
+class ChaosPool(ProcessPoolExecutor):
+    """A ``ProcessPoolExecutor`` that sabotages submitted chunks.
+
+    Assumes the :class:`~repro.core.runner.ResilientExecutor` calling
+    convention — ``submit(fn, keys, *args)`` with ``keys`` a sequence of
+    task keys — and wraps ``fn`` so the plan is consulted inside the
+    worker, where kills and hangs have to happen to be real.
+    """
+
+    def __init__(self, max_workers=None, *, plan: Optional[ChaosPlan] = None, **kw):
+        super().__init__(max_workers=max_workers, **kw)
+        self.plan = plan
+
+    def submit(self, fn, /, *args, **kwargs):
+        if self.plan is not None and args:
+            return super().submit(_chaos_call, self.plan, fn, *args, **kwargs)
+        return super().submit(fn, *args, **kwargs)
+
+
+@dataclass
+class FlakyPoolFactory:
+    """A pool factory whose first ``fail_creations`` calls blow up.
+
+    Exercises the pool-rebuild and serial-fallback rungs without any
+    real process carnage: pass
+    ``pool_factory=FlakyPoolFactory(fail_creations=10**9)`` to force the
+    executor straight through ``fallback_after`` failures into
+    in-process serial mode.
+    """
+
+    fail_creations: int = 0
+    plan: Optional[ChaosPlan] = None
+    created: int = 0
+
+    def __call__(self, max_workers=None):
+        self.created += 1
+        if self.created <= self.fail_creations:
+            raise BrokenProcessPool(
+                f"injected pool-creation failure {self.created}"
+            )
+        return ChaosPool(max_workers=max_workers, plan=self.plan)

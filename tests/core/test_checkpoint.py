@@ -1,0 +1,175 @@
+"""Tests for sweep checkpoints (repro.core.checkpoint)."""
+
+import json
+
+import pytest
+
+from repro.core.checkpoint import (
+    SCHEMA_VERSION,
+    CheckpointError,
+    CheckpointMismatchError,
+    SweepCheckpoint,
+    crash_config_hash,
+    flush_active_checkpoints,
+    sweep_fingerprint,
+)
+
+
+def fingerprint(**overrides):
+    base = dict(
+        seed=7,
+        steps=10_000,
+        engine="batched",
+        n_values=[2, 4],
+        repeats=3,
+        burn_in=None,
+        crash_times=None,
+    )
+    base.update(overrides)
+    return sweep_fingerprint(**base)
+
+
+class TestCrashConfigHash:
+    def test_none_hashes_to_none(self):
+        assert crash_config_hash(None, [2, 4]) == "none"
+
+    def test_dict_and_equivalent_callable_hash_equal(self):
+        mapping = {0: 100, 1: 200}
+        assert crash_config_hash(mapping, [2, 4]) == crash_config_hash(
+            lambda n: mapping, [2, 4]
+        )
+
+    def test_different_schedules_hash_differently(self):
+        assert crash_config_hash({0: 100}, [2]) != crash_config_hash(
+            {0: 101}, [2]
+        )
+
+    def test_callable_resolved_per_sweep_point(self):
+        # A callable schedule that varies with n must hash differently
+        # from one that does not.
+        varying = crash_config_hash(lambda n: {0: n}, [2, 4])
+        constant = crash_config_hash(lambda n: {0: 2}, [2, 4])
+        assert varying != constant
+
+
+class TestOpenAndLoad:
+    def test_header_written_and_fingerprint_round_trips(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        cp = SweepCheckpoint.open(path, fingerprint())
+        cp.close()
+        assert SweepCheckpoint.load_fingerprint(path) == fingerprint()
+
+    def test_record_then_resume_restores_triples_exactly(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        cp = SweepCheckpoint.open(path, fingerprint())
+        cp.record(2, 0, (1.25, 0.5, 1.0))
+        cp.record(4, 2, (3.875, 0.125, 0.9999999999999999))
+        cp.close()
+        resumed = SweepCheckpoint.open(path, fingerprint(), resume=True)
+        assert resumed.completed == {
+            (2, 0): (1.25, 0.5, 1.0),
+            (4, 2): (3.875, 0.125, 0.9999999999999999),
+        }
+        resumed.close()
+
+    def test_existing_file_without_resume_refused(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        SweepCheckpoint.open(path, fingerprint()).close()
+        with pytest.raises(CheckpointError, match="resume=True"):
+            SweepCheckpoint.open(path, fingerprint())
+
+    def test_resume_on_missing_file_starts_fresh(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        cp = SweepCheckpoint.open(path, fingerprint(), resume=True)
+        assert cp.completed == {}
+        cp.close()
+        assert path.exists()
+
+    def test_fingerprint_mismatch_rejected_loudly(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        SweepCheckpoint.open(path, fingerprint()).close()
+        with pytest.raises(CheckpointMismatchError, match="steps"):
+            SweepCheckpoint.open(
+                path, fingerprint(steps=20_000), resume=True
+            )
+
+    def test_crash_schedule_change_is_a_mismatch(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        SweepCheckpoint.open(path, fingerprint()).close()
+        with pytest.raises(CheckpointMismatchError, match="crash_hash"):
+            SweepCheckpoint.open(
+                path,
+                fingerprint(crash_times={0: 50}),
+                resume=True,
+            )
+
+    def test_schema_version_checked(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        header = {
+            "kind": "header",
+            "version": SCHEMA_VERSION + 1,
+            "fingerprint": fingerprint(),
+        }
+        path.write_text(json.dumps(header) + "\n")
+        with pytest.raises(CheckpointError, match="schema version"):
+            SweepCheckpoint.open(path, fingerprint(), resume=True)
+
+    def test_torn_final_line_tolerated(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        cp = SweepCheckpoint.open(path, fingerprint())
+        cp.record(2, 0, (1.0, 2.0, 3.0))
+        cp.close()
+        with path.open("a") as handle:
+            handle.write('{"kind": "point", "n": 4, "r"')  # torn mid-append
+        resumed = SweepCheckpoint.open(path, fingerprint(), resume=True)
+        assert resumed.completed == {(2, 0): (1.0, 2.0, 3.0)}
+        resumed.close()
+
+    def test_corrupt_middle_line_is_an_error(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        cp = SweepCheckpoint.open(path, fingerprint())
+        cp.record(2, 0, (1.0, 2.0, 3.0))
+        cp.close()
+        lines = path.read_text().splitlines()
+        lines.insert(1, "not json")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(CheckpointError, match="corrupt"):
+            SweepCheckpoint.open(path, fingerprint(), resume=True)
+
+
+class TestRecording:
+    def test_missing_lists_unrecorded_pairs_in_sweep_order(self, tmp_path):
+        cp = SweepCheckpoint.open(tmp_path / "cp.jsonl", fingerprint())
+        cp.record(2, 1, (1.0, 1.0, 1.0))
+        assert cp.missing([2, 4], 2) == [(2, 0), (4, 0), (4, 1)]
+        cp.close()
+
+    def test_record_after_close_raises(self, tmp_path):
+        cp = SweepCheckpoint.open(tmp_path / "cp.jsonl", fingerprint())
+        cp.close()
+        with pytest.raises(CheckpointError, match="closed"):
+            cp.record(2, 0, (1.0, 1.0, 1.0))
+
+    def test_rerecorded_key_last_wins(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        cp = SweepCheckpoint.open(path, fingerprint())
+        cp.record(2, 0, (1.0, 1.0, 1.0))
+        cp.record(2, 0, (2.0, 2.0, 2.0))
+        cp.close()
+        assert SweepCheckpoint.load_completed(path)[(2, 0)] == (2.0, 2.0, 2.0)
+
+    def test_context_manager_closes(self, tmp_path):
+        with SweepCheckpoint.open(tmp_path / "cp.jsonl", fingerprint()) as cp:
+            cp.record(2, 0, (1.0, 1.0, 1.0))
+        assert cp.closed
+
+    def test_flush_active_reaches_open_checkpoints(self, tmp_path):
+        cp = SweepCheckpoint.open(tmp_path / "cp.jsonl", fingerprint())
+        cp.record(2, 0, (1.0, 1.0, 1.0))
+        assert flush_active_checkpoints() >= 1
+        # The record is durable on disk without close().
+        assert SweepCheckpoint.load_completed(cp.path) == {
+            (2, 0): (1.0, 1.0, 1.0)
+        }
+        cp.close()
+        assert flush_active_checkpoints() == 0

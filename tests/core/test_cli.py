@@ -87,3 +87,68 @@ class TestFigure5:
         assert code == 0
         out = capsys.readouterr().out
         assert "worst 1/n" in out
+
+    def test_checkpoint_resume_skips_measured_points(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.core.latency as latency_module
+
+        path = tmp_path / "fig5.jsonl"
+        args = ["figure5", "--points", "2", "--steps", "4000",
+                "--checkpoint", str(path)]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+
+        calls = []
+        real = latency_module.measure_latencies
+
+        def counting(*a, **kw):
+            calls.append(1)
+            return real(*a, **kw)
+
+        monkeypatch.setattr(latency_module, "measure_latencies", counting)
+        assert main(args + ["--resume"]) == 0
+        assert capsys.readouterr().out == first
+        assert calls == []  # every thread count came from the checkpoint
+
+    def test_checkpoint_mismatch_rejected(self, tmp_path):
+        from repro.core.checkpoint import CheckpointMismatchError
+
+        path = tmp_path / "fig5.jsonl"
+        assert main(["figure5", "--points", "2", "--steps", "4000",
+                     "--checkpoint", str(path)]) == 0
+        with pytest.raises(CheckpointMismatchError):
+            main(["figure5", "--points", "2", "--steps", "5000",
+                  "--checkpoint", str(path), "--resume"])
+
+
+class TestKeyboardInterrupt:
+    def test_exits_130_and_flushes_checkpoints(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import repro.cli as cli_module
+        from repro.core.checkpoint import SweepCheckpoint, sweep_fingerprint
+
+        checkpoint = SweepCheckpoint.open(
+            tmp_path / "cp.jsonl",
+            sweep_fingerprint(
+                seed=0, steps=100, engine="batched", n_values=[2],
+                repeats=2, burn_in=None,
+            ),
+        )
+        checkpoint.record(2, 0, (1.0, 1.0, 1.0))
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "cmd_ramanujan", interrupted)
+        code = main(["ramanujan", "--max-n", "4"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "resume" in err
+        # The in-flight record survived the interrupt.
+        checkpoint.close()
+        assert SweepCheckpoint.load_completed(tmp_path / "cp.jsonl") == {
+            (2, 0): (1.0, 1.0, 1.0)
+        }

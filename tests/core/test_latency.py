@@ -247,3 +247,50 @@ class TestEnsembleLatencies:
         kernel = CounterStepKernel()
         assert resolve_vector_kernel(kernel) is kernel
         assert resolve_vector_kernel(cas_counter()) == kernel
+
+
+class TestBurnInValidation:
+    def test_measure_latencies_rejects_burn_in_at_steps(self):
+        with pytest.raises(ValueError, match="burn_in=5000 must be < steps"):
+            measure_latencies(
+                cas_counter(),
+                UniformStochasticScheduler(),
+                n_processes=2,
+                steps=5_000,
+                burn_in=5_000,
+                memory=make_counter_memory(),
+                rng=0,
+            )
+
+    def test_measure_latencies_rejects_negative_burn_in(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            measure_latencies(
+                cas_counter(),
+                UniformStochasticScheduler(),
+                n_processes=2,
+                steps=5_000,
+                burn_in=-1,
+                memory=make_counter_memory(),
+                rng=0,
+            )
+
+    def test_measure_latencies_ensemble_rejects_burn_in_at_steps(self):
+        from repro.core.latency import measure_latencies_ensemble
+
+        with pytest.raises(ValueError, match="must be < steps"):
+            measure_latencies_ensemble(
+                cas_counter(),
+                UniformStochasticScheduler,
+                2,
+                5_000,
+                [(0, 2, 0)],
+                burn_in=6_000,
+                memory_factory=make_counter_memory,
+            )
+
+    def test_default_burn_in_still_valid(self):
+        # None (the steps // 10 default) is always accepted.
+        from repro.core.latency import validate_burn_in
+
+        validate_burn_in(None, 10)
+        validate_burn_in(0, 1)

@@ -1,0 +1,71 @@
+"""Property-based tests: checkpoint round-trips preserve triples exactly."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import SweepCheckpoint, sweep_fingerprint
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+
+triples = st.dictionaries(
+    keys=st.tuples(
+        st.integers(min_value=1, max_value=1024),
+        st.integers(min_value=0, max_value=255),
+    ),
+    values=st.tuples(finite, finite, finite),
+    max_size=40,
+)
+
+fingerprints = st.fixed_dictionaries(
+    {
+        "seed": st.integers(min_value=0, max_value=2**31 - 1),
+        "steps": st.integers(min_value=1, max_value=10**7),
+        "engine": st.sampled_from(["serial", "batched", "ensemble"]),
+        "repeats": st.integers(min_value=2, max_value=64),
+        "burn_in": st.one_of(
+            st.none(), st.integers(min_value=0, max_value=10**6)
+        ),
+        "n_values": st.lists(
+            st.integers(min_value=1, max_value=1024),
+            min_size=1,
+            max_size=8,
+            unique=True,
+        ),
+    }
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(triples, fingerprints)
+def test_round_trip_preserves_triples_exactly(tmp_path_factory, data, fields):
+    # Bit-exact floats through JSON: Python's json writes repr(float),
+    # which round-trips every finite double exactly.
+    path = tmp_path_factory.mktemp("ckpt") / "cp.jsonl"
+    fingerprint = sweep_fingerprint(crash_times=None, **fields)
+    with SweepCheckpoint.open(path, fingerprint) as checkpoint:
+        for (n, r), triple in data.items():
+            checkpoint.record(n, r, triple)
+    reopened = SweepCheckpoint.open(path, fingerprint, resume=True)
+    try:
+        assert reopened.completed == data
+        assert reopened.fingerprint == fingerprint
+    finally:
+        reopened.close()
+
+
+@settings(max_examples=50, deadline=None)
+@given(triples)
+def test_load_completed_matches_open(tmp_path_factory, data):
+    path = tmp_path_factory.mktemp("ckpt") / "cp.jsonl"
+    fingerprint = sweep_fingerprint(
+        seed=0,
+        steps=100,
+        engine="batched",
+        n_values=[2],
+        repeats=2,
+        burn_in=None,
+    )
+    with SweepCheckpoint.open(path, fingerprint) as checkpoint:
+        for (n, r), triple in data.items():
+            checkpoint.record(n, r, triple)
+    assert SweepCheckpoint.load_completed(path) == data

@@ -1,8 +1,8 @@
 """Performance harness for the three execution engines.
 
 Times the same seeded workloads on the serial, batched, and ensemble
-engines and writes a machine-readable JSON report (``BENCH_PR3.json`` by
-default).  Five workloads:
+engines and writes a machine-readable JSON report (``BENCH_PR4.json`` by
+default).  Six workloads:
 
 * ``fig5_sweep`` — a FIG5-style multi-replicate latency sweep (the
   ensemble engine's target shape: many replicates, one sweep),
@@ -14,7 +14,11 @@ default).  Five workloads:
   but ``k`` of ``n`` early, several seeds per ``k``) on the segmented
   crash-aware ensemble vs. per-replicate batched runs,
 * ``chain_assembly`` — exact-chain transition-matrix builds: the
-  vectorized COO assembly vs. the per-state BFS enumeration.
+  vectorized COO assembly vs. the per-state BFS enumeration,
+* ``chaos_sweep`` — the fault-tolerant ``parallel_sweep`` path
+  (ResilientExecutor + checkpoint) vs. a bare process pool at zero
+  injected faults (the resilience tax, target < 5%), plus one run with
+  injected worker kill/raise faults to price recovery.
 
 Because the engines are bit-identical by construction (and the harness
 re-checks this on every run), the speedups are pure wall-clock: same
@@ -22,7 +26,7 @@ numbers, less time.
 
 Usage::
 
-    python tools/bench_perf.py                  # full run -> BENCH_PR3.json
+    python tools/bench_perf.py                  # full run -> BENCH_PR4.json
     python tools/bench_perf.py --quick          # CI-sized steps/repeats
     python tools/bench_perf.py --out perf.json
 """
@@ -311,6 +315,107 @@ def bench_chain_assembly(quick):
     }
 
 
+def bench_chaos_sweep(quick):
+    """The resilience tax: resilient parallel_sweep vs. a bare pool."""
+    import functools
+    import tempfile
+    from concurrent.futures import ProcessPoolExecutor
+
+    from repro.core.runner import RetryPolicy
+    from repro.core.sweep import (
+        _collect_points,
+        _run_replicate_chunk,
+        parallel_sweep,
+    )
+    from repro.testing.chaos import ChaosPlan, ChaosPool
+
+    n_values = [4, 8]
+    steps = 8_000 if quick else 40_000
+    repeats = 4 if quick else 8
+    max_workers = 2
+    seed = 3
+
+    def bare_pool_sweep():
+        # The pre-resilience dispatch: one future per chunk, bare
+        # future.result() — any failure aborts the sweep.
+        tasks = [(n, r) for n in n_values for r in range(repeats)]
+        chunk_size = max(1, -(-len(tasks) // (max_workers * 4)))
+        chunks = [
+            tasks[start : start + chunk_size]
+            for start in range(0, len(tasks), chunk_size)
+        ]
+        results = {}
+        with ProcessPoolExecutor(max_workers=max_workers) as pool:
+            futures = [
+                pool.submit(
+                    _run_replicate_chunk,
+                    cas_counter,
+                    make_counter_memory,
+                    UniformStochasticScheduler,
+                    chunk,
+                    steps,
+                    seed,
+                    True,
+                    None,
+                    None,
+                )
+                for chunk in chunks
+            ]
+            for chunk, future in zip(chunks, futures):
+                for key, triple in zip(chunk, future.result()):
+                    results[key] = triple
+        return _collect_points(n_values, repeats, results, 0.95)
+
+    def resilient_sweep(pool_factory=None, retry=None):
+        return parallel_sweep(
+            cas_counter,
+            make_counter_memory,
+            n_values,
+            steps=steps,
+            repeats=repeats,
+            seed=seed,
+            max_workers=max_workers,
+            retry=retry,
+            pool_factory=pool_factory,
+        )
+
+    seconds = {}
+    seconds["bare_pool"], bare = timed(bare_pool_sweep)
+    seconds["resilient"], resilient = timed(resilient_sweep)
+
+    with tempfile.TemporaryDirectory() as state_dir:
+        plan = ChaosPlan(
+            state_dir=state_dir,
+            faults={(4, 1): "kill", (8, 2): "raise"},
+        )
+        seconds["resilient_faulted"], faulted = timed(
+            lambda: resilient_sweep(
+                pool_factory=functools.partial(ChaosPool, plan=plan),
+                retry=RetryPolicy(
+                    max_retries=3, base_delay=0.05, max_delay=0.5
+                ),
+            )
+        )
+
+    overhead = seconds["resilient"] / seconds["bare_pool"] - 1.0
+    return {
+        "workload": "chaos_sweep",
+        "params": {
+            "n_values": n_values,
+            "steps": steps,
+            "repeats": repeats,
+            "max_workers": max_workers,
+            "injected_faults": {"(4, 1)": "kill", "(8, 2)": "raise"},
+        },
+        "seconds": seconds,
+        "overhead_fraction_zero_faults": overhead,
+        "recovery_seconds_over_bare": (
+            seconds["resilient_faulted"] - seconds["bare_pool"]
+        ),
+        "bit_identical": bare == resilient == faulted,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -321,8 +426,8 @@ def main(argv=None):
     parser.add_argument(
         "--out",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR3.json",
-        help="output JSON path (default: BENCH_PR3.json at the repo root)",
+        default=REPO_ROOT / "BENCH_PR4.json",
+        help="output JSON path (default: BENCH_PR4.json at the repo root)",
     )
     args = parser.parse_args(argv)
 
@@ -333,11 +438,19 @@ def main(argv=None):
         bench_single_run,
         bench_cor2_crash_sweep,
         bench_chain_assembly,
+        bench_chaos_sweep,
     )
     for bench in benches:
         result = bench(args.quick)
         results.append(result)
-        if "ensemble" in result["seconds"]:
+        if "bare_pool" in result["seconds"]:
+            summary = (
+                f"resilient {result['seconds']['resilient']:8.3f}s"
+                f"  bare {result['seconds']['bare_pool']:8.3f}s"
+                f"  overhead {100 * result['overhead_fraction_zero_faults']:+5.1f}%"
+                f"  faulted {result['seconds']['resilient_faulted']:8.3f}s"
+            )
+        elif "ensemble" in result["seconds"]:
             summary = (
                 f"ensemble {result['seconds']['ensemble']:8.3f}s"
                 f"  batched {result['seconds']['batched']:8.3f}s"
