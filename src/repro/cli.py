@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -375,8 +376,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         from repro.core.checkpoint import flush_active_checkpoints
 
+        # Checkpoints opened by a sweep are usually already closed by the
+        # time the interrupt unwinds to here (the sweep's finally block
+        # runs first), so "nothing left to flush" does NOT mean "nothing
+        # was saved" — if the command was given a checkpoint path and the
+        # file exists, it is resumable.
         flushed = flush_active_checkpoints()
-        note = " (checkpoint flushed; rerun with --resume)" if flushed else ""
+        checkpoint = getattr(args, "checkpoint", None)
+        saved = flushed > 0 or (
+            checkpoint is not None and Path(checkpoint).exists()
+        )
+        note = " (checkpoint saved; rerun with --resume)" if saved else ""
         print(f"interrupted{note}", file=sys.stderr)
         return 130
 

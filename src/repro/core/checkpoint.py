@@ -14,7 +14,9 @@ Durability model: each record is written as one line and flushed
 immediately, with an ``fsync`` every ``fsync_every`` records (and on
 :meth:`SweepCheckpoint.flush`/:meth:`SweepCheckpoint.close`).  A crash
 can therefore lose at most the tail of the file, and a torn final line
-is tolerated on load; a corrupt line anywhere *else* is an error.
+is tolerated on load — and truncated before the resumed sweep appends,
+so the next record starts a fresh line rather than gluing onto the
+partial one; a corrupt line anywhere *else* is an error.
 Resuming against a header whose fingerprint does not match the
 requested sweep raises :class:`CheckpointMismatchError` naming every
 differing field — silently mixing results from two different sweeps is
@@ -175,6 +177,7 @@ class SweepCheckpoint:
                     f"(stored {[stored.get(k) for k in differing]}, "
                     f"requested {[fingerprint.get(k) for k in differing]})"
                 )
+            cls._repair_tail(path)
             handle = path.open("a", encoding="utf-8")
             return cls(
                 path, fingerprint, completed, handle, fsync_every=fsync_every
@@ -190,6 +193,34 @@ class SweepCheckpoint:
         handle.flush()
         os.fsync(handle.fileno())
         return cls(path, fingerprint, {}, handle, fsync_every=fsync_every)
+
+    @staticmethod
+    def _repair_tail(path: Path) -> None:
+        """Make the file end with a newline before appending to it.
+
+        A crash mid-append can leave an unterminated final line.  If the
+        bytes after the last newline parse as JSON, only the terminating
+        newline was lost — restore it, keeping the record.  Otherwise the
+        tail is torn garbage (already skipped by :meth:`_read`): drop it,
+        so the next append starts a fresh line instead of gluing onto the
+        partial one and corrupting both records.
+        """
+        data = path.read_bytes()
+        if not data or data.endswith(b"\n"):
+            return
+        cut = data.rfind(b"\n") + 1
+        tail = data[cut:]
+        with path.open("r+b") as handle:
+            try:
+                json.loads(tail.decode("utf-8"))
+            except (UnicodeDecodeError, ValueError):
+                handle.seek(cut)
+                handle.truncate()
+            else:
+                handle.seek(0, os.SEEK_END)
+                handle.write(b"\n")
+            handle.flush()
+            os.fsync(handle.fileno())
 
     @staticmethod
     def _read(

@@ -21,9 +21,12 @@ back up at all.  The recovery ladder, in order:
    rebuilt; in-flight chunks are re-queued (the timed-out/broken ones
    with a retry charged, innocent bystanders for free).
 4. **Graceful degradation** — after ``fallback_after`` *consecutive*
-   pool-level failures the executor stops fighting the pool and runs the
-   remaining work serially in-process (same retry/poison semantics,
-   minus preemption).
+   pool breakages (a broken pool, or one that refuses to start — *not*
+   deadline kills, which are self-inflicted terminations of a healthy
+   pool) the executor stops fighting the pool and runs the remaining
+   work serially in-process (same retry/poison semantics, minus
+   preemption — serial mode has no deadline, which is exactly why hangs
+   must never be what sends the executor there).
 
 None of this can change results: tasks are pure deterministic work, so
 a retry recomputes exactly the bytes the first attempt would have
@@ -74,10 +77,15 @@ class RetryPolicy:
     base_delay: float = 0.05
     max_delay: float = 2.0
     #: Per-chunk wall-clock deadline, seconds; ``None`` disables hang
-    #: detection (a chunk may then run forever).
+    #: detection (a chunk may then run forever).  The clock starts at
+    #: submission, but chunks are only submitted up to pool capacity,
+    #: so submission is (to within scheduling noise) execution start.
     timeout: Optional[float] = None
-    #: Consecutive pool-level failures before degrading to in-process
-    #: serial execution for the remaining tasks.
+    #: Consecutive pool *breakages* before degrading to in-process
+    #: serial execution for the remaining tasks.  Deadline-driven pool
+    #: kills do not count: serial mode cannot preempt a hang, so a
+    #: persistently hanging task must exhaust its retries and raise
+    #: :class:`TaskError` rather than fall back.
     fallback_after: int = 3
 
     def backoff_delay(self, key: Hashable, attempt: int) -> float:
@@ -194,6 +202,10 @@ class ResilientExecutor:
         serial_mode = False
         pool = None
         pool_failures = 0
+        # True while the current pool contains a worker whose chunk blew
+        # its deadline — that worker may still be hung, so the pool must
+        # be terminated, never awaited.
+        pool_hung = False
 
         def finish(unit: Tuple, values: List) -> None:
             if len(values) != len(unit):
@@ -246,12 +258,16 @@ class ResilientExecutor:
                         handle_failure(unit, exc, units)
                     continue
 
-                # Submit everything pending; a failure here (pool refuses
-                # to start, or is already broken) is a pool-level fault.
+                # Top the pool up to capacity — no deeper: the deadline
+                # clock starts at submit, so a chunk queued behind others
+                # would accrue deadline while waiting for a worker and
+                # time out spuriously.  A failure here (pool refuses to
+                # start, or is already broken) is a pool-level fault.
                 try:
                     if pool is None:
                         pool = self._pool_factory(max_workers=self.max_workers)
-                    while units:
+                        pool_hung = False
+                    while units and len(in_flight) < self.max_workers:
                         unit = units[0]
                         future = pool.submit(self._worker_fn, list(unit), *args)
                         units.popleft()
@@ -280,7 +296,8 @@ class ResilientExecutor:
                     )
 
                 requeue: deque = deque()
-                pool_poisoned = False
+                pool_broken = False
+                deadline_blown = False
                 for future in done:
                     unit, _ = in_flight.pop(future)
                     try:
@@ -290,7 +307,7 @@ class ResilientExecutor:
                         # OOM, ...).  Charge the chunk a retry — if it is
                         # the poison, attempts accumulate toward
                         # isolation; if not, the retry succeeds.
-                        pool_poisoned = True
+                        pool_broken = True
                         handle_failure(unit, exc, requeue)
                     except Exception as exc:
                         handle_failure(unit, exc, requeue)
@@ -298,7 +315,7 @@ class ResilientExecutor:
                         finish(unit, values)
                         pool_failures = 0
 
-                if not pool_poisoned and policy.timeout is not None:
+                if not pool_broken and policy.timeout is not None:
                     now = time.monotonic()
                     expired = [
                         future
@@ -308,7 +325,8 @@ class ResilientExecutor:
                     for future in expired:
                         unit, start = in_flight.pop(future)
                         self.stats.timeouts += 1
-                        pool_poisoned = True
+                        deadline_blown = True
+                        pool_hung = True
                         handle_failure(
                             unit,
                             TimeoutError(
@@ -318,7 +336,7 @@ class ResilientExecutor:
                             requeue,
                         )
 
-                if pool_poisoned:
+                if pool_broken or deadline_blown:
                     # Hung/killed workers poison the whole pool: recover
                     # the innocent in-flight chunks for free and rebuild.
                     for _, (unit, _) in list(in_flight.items()):
@@ -326,12 +344,22 @@ class ResilientExecutor:
                     in_flight.clear()
                     _terminate_pool(pool)
                     pool = None
-                    if note_pool_failure():
-                        serial_mode = True
+                    if pool_broken:
+                        if note_pool_failure():
+                            serial_mode = True
+                    else:
+                        # A blown deadline is a *self-inflicted* kill of a
+                        # healthy pool, not evidence the pool cannot run.
+                        # Counting it toward fallback_after would let a
+                        # persistently hanging task drive the executor
+                        # into deadline-free serial mode, where the hang
+                        # blocks forever instead of ending in TaskError
+                        # once its retries run out.
+                        self.stats.pool_rebuilds += 1
                 units.extend(requeue)
         finally:
             if pool is not None:
-                if in_flight:
+                if in_flight or pool_hung:
                     _terminate_pool(pool)
                 else:
                     pool.shutdown(wait=True)

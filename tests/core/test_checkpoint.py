@@ -125,6 +125,46 @@ class TestOpenAndLoad:
         assert resumed.completed == {(2, 0): (1.0, 2.0, 3.0)}
         resumed.close()
 
+    def test_resume_over_torn_tail_then_append_and_reload(self, tmp_path):
+        # The crash -> resume -> crash -> resume cycle: appending after a
+        # torn tail must start a fresh line, not glue onto the partial
+        # one and corrupt the journal.
+        path = tmp_path / "cp.jsonl"
+        cp = SweepCheckpoint.open(path, fingerprint())
+        cp.record(2, 0, (1.0, 2.0, 3.0))
+        cp.close()
+        with path.open("a") as handle:
+            handle.write('{"kind": "point", "n": 4, "r"')  # torn mid-append
+        resumed = SweepCheckpoint.open(path, fingerprint(), resume=True)
+        resumed.record(4, 0, (4.0, 5.0, 6.0))
+        resumed.record(4, 1, (7.0, 8.0, 9.0))
+        resumed.close()
+        # Nothing garbled, nothing dropped, and a second resume is clean.
+        assert SweepCheckpoint.load_completed(path) == {
+            (2, 0): (1.0, 2.0, 3.0),
+            (4, 0): (4.0, 5.0, 6.0),
+            (4, 1): (7.0, 8.0, 9.0),
+        }
+        again = SweepCheckpoint.open(path, fingerprint(), resume=True)
+        assert len(again.completed) == 3
+        again.close()
+
+    def test_missing_final_newline_repaired_without_data_loss(self, tmp_path):
+        # A whole record whose trailing newline was torn keeps the
+        # record: the repair restores the newline rather than truncating.
+        path = tmp_path / "cp.jsonl"
+        cp = SweepCheckpoint.open(path, fingerprint())
+        cp.record(2, 0, (1.0, 2.0, 3.0))
+        cp.close()
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+        resumed = SweepCheckpoint.open(path, fingerprint(), resume=True)
+        resumed.record(2, 1, (4.0, 5.0, 6.0))
+        resumed.close()
+        assert SweepCheckpoint.load_completed(path) == {
+            (2, 0): (1.0, 2.0, 3.0),
+            (2, 1): (4.0, 5.0, 6.0),
+        }
+
     def test_corrupt_middle_line_is_an_error(self, tmp_path):
         path = tmp_path / "cp.jsonl"
         cp = SweepCheckpoint.open(path, fingerprint())

@@ -152,3 +152,38 @@ class TestKeyboardInterrupt:
         assert SweepCheckpoint.load_completed(tmp_path / "cp.jsonl") == {
             (2, 0): (1.0, 1.0, 1.0)
         }
+
+    def test_resume_hint_survives_checkpoint_already_closed(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        # The common Ctrl-C shape: the sweep's finally block has already
+        # closed (and deregistered) the checkpoint before the interrupt
+        # reaches main, so nothing is left to flush — but the file on
+        # disk is resumable and the hint must still be printed.
+        import repro.cli as cli_module
+
+        path = tmp_path / "fig5.jsonl"
+
+        def interrupted(args):
+            path.write_text('{"kind": "header"}\n')
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "cmd_figure5", interrupted)
+        code = main(["figure5", "--checkpoint", str(path)])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "--resume" in err
+
+    def test_no_resume_hint_without_any_checkpoint(self, capsys, monkeypatch):
+        import repro.cli as cli_module
+
+        def interrupted(args):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli_module, "cmd_ramanujan", interrupted)
+        code = main(["ramanujan", "--max-n", "4"])
+        assert code == 130
+        err = capsys.readouterr().err
+        assert "interrupted" in err
+        assert "resume" not in err

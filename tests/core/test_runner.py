@@ -41,6 +41,13 @@ def poison_worker(keys, bad_key):
     return [key * key for key in keys]
 
 
+def slow_worker(keys, duration):
+    """Sleeps ``duration`` seconds, then squares — well under any sane
+    deadline, so timeouts in a test mean the clock started too early."""
+    time.sleep(duration)
+    return [key * key for key in keys]
+
+
 class TestBackoff:
     def test_deterministic_jitter(self):
         policy = RetryPolicy(base_delay=0.1, max_delay=1.0)
@@ -136,6 +143,54 @@ class TestRecovery:
         assert executor.stats.timeouts >= 1
         # Recovery means not waiting out the full 5s hang.
         assert time.monotonic() - start < 4.5
+
+    def test_queued_chunks_do_not_accrue_deadline(self):
+        # 8 chunks on 2 workers run in ~4 waves of 0.4s each.  If the
+        # deadline clock started when all chunks were submitted at once,
+        # the later waves would blow the 1.2s timeout while merely
+        # queued; with capacity-capped submission none of them should.
+        executor = ResilientExecutor(
+            slow_worker,
+            max_workers=2,
+            policy=RetryPolicy(
+                max_retries=1, base_delay=0.01, max_delay=0.02, timeout=1.2
+            ),
+        )
+        results = executor.run(list(range(8)), args=(0.4,), chunk_size=1)
+        assert results == {k: k * k for k in range(8)}
+        assert executor.stats.timeouts == 0
+        assert executor.stats.retries == 0
+
+    def test_persistent_hang_raises_task_error_not_serial_hang(self, tmp_path):
+        # A task that hangs on every attempt must end in TaskError once
+        # its retries run out — never in serial fallback, which has no
+        # deadline and would block on the hang forever.
+        plan = ChaosPlan(
+            state_dir=str(tmp_path),
+            faults={1: "hang"},
+            hang_seconds=30.0,
+            once=False,
+        )
+        executor = ResilientExecutor(
+            square_worker,
+            max_workers=2,
+            policy=RetryPolicy(
+                max_retries=1,
+                base_delay=0.01,
+                max_delay=0.02,
+                timeout=0.75,
+                fallback_after=1,
+            ),
+            pool_factory=functools.partial(ChaosPool, plan=plan),
+        )
+        start = time.monotonic()
+        with pytest.raises(TaskError) as excinfo:
+            executor.run([0, 1, 2], chunk_size=1)
+        assert excinfo.value.key == 1
+        assert not executor.stats.fell_back_serial
+        assert executor.stats.timeouts >= 2
+        # Failing fast is the point: nowhere near the 30s hang.
+        assert time.monotonic() - start < 20.0
 
     def test_serial_fallback_when_pool_never_comes_up(self):
         factory = FlakyPoolFactory(fail_creations=10**9)
