@@ -26,6 +26,36 @@ from typing import List, Optional
 
 import numpy as np
 
+#: The Figure 5 thread-count series; ``--points k`` takes the first k.
+FIGURE5_THREAD_COUNTS = [2, 4, 8, 16, 32]
+
+
+def _build_telemetry(path):
+    """Build the ``--telemetry`` plumbing for a command.
+
+    Returns ``(registry, finish)``: a :class:`MetricsRegistry` with a
+    :class:`SchedulerUniformityObserver` attached (or ``None`` when no
+    path was given — the zero-overhead default), and a ``finish(command)``
+    callable that writes the JSON run report.
+    """
+    if path is None:
+        return None, lambda command: None
+    from repro.core.telemetry import (
+        MetricsRegistry,
+        SchedulerUniformityObserver,
+        write_run_report,
+    )
+
+    registry = MetricsRegistry()
+    observer = SchedulerUniformityObserver()
+    observer.attach(registry)
+
+    def finish(command: str) -> None:
+        write_run_report(path, registry, command=command, observer=observer)
+        print(f"telemetry report written to {path}", file=sys.stderr)
+
+    return registry, finish
+
 
 def _make_scheduler(name: str):
     from repro.core.scheduler import (
@@ -45,12 +75,17 @@ def cmd_latency(args: argparse.Namespace) -> int:
     from repro.core.scu import SCU
 
     spec = SCU(q=args.q, s=args.s)
+    telemetry, finish_telemetry = _build_telemetry(
+        getattr(args, "telemetry", None)
+    )
     measured = spec.measure(
         args.n,
         args.steps,
         scheduler=_make_scheduler(args.scheduler),
         rng=args.seed,
+        telemetry=telemetry,
     )
+    finish_telemetry("latency")
     try:
         exact = spec.exact_system_latency(args.n)
     except (ValueError, MemoryError):
@@ -253,7 +288,19 @@ def cmd_figure5(args: argparse.Namespace) -> int:
     from repro.core.checkpoint import SweepCheckpoint, sweep_fingerprint
     from repro.core.latency import measure_latencies
 
-    thread_counts = [2, 4, 8, 16, 32][: args.points]
+    if not 1 <= args.points <= len(FIGURE5_THREAD_COUNTS):
+        print(
+            f"--points must be between 1 and {len(FIGURE5_THREAD_COUNTS)}: "
+            f"the Figure 5 series measures thread counts "
+            f"{FIGURE5_THREAD_COUNTS} and --points takes a prefix of them "
+            f"(got --points {args.points})",
+            file=sys.stderr,
+        )
+        return 2
+    thread_counts = FIGURE5_THREAD_COUNTS[: args.points]
+    telemetry, finish_telemetry = _build_telemetry(
+        getattr(args, "telemetry", None)
+    )
     checkpoint = None
     if args.checkpoint is not None:
         # Each thread count is one deterministic measurement (seeded
@@ -268,7 +315,7 @@ def cmd_figure5(args: argparse.Namespace) -> int:
             burn_in=None,
         )
         checkpoint = SweepCheckpoint.open(
-            args.checkpoint, fingerprint, resume=args.resume
+            args.checkpoint, fingerprint, resume=args.resume, telemetry=telemetry
         )
     measured = []
     try:
@@ -283,6 +330,7 @@ def cmd_figure5(args: argparse.Namespace) -> int:
                 steps=args.steps,
                 memory=make_counter_memory(),
                 rng=n,
+                telemetry=telemetry,
             )
             measured.append(m.completion_rate)
             if checkpoint is not None:
@@ -303,6 +351,7 @@ def cmd_figure5(args: argparse.Namespace) -> int:
             precision=4,
         )
     )
+    finish_telemetry("figure5")
     return 0
 
 
@@ -321,6 +370,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--steps", type=int, default=200_000)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--scheduler", choices=["uniform", "hardware"], default="uniform")
+    p.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="write a structured JSON run report (metrics + scheduler "
+        "uniformity) to this path",
+    )
     p.set_defaults(func=cmd_latency)
 
     p = sub.add_parser("classify", help="classify an algorithm's progress")
@@ -342,7 +398,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_gaps)
 
     p = sub.add_parser("figure5", help="reproduce Figure 5's series")
-    p.add_argument("--points", type=int, default=5)
+    p.add_argument(
+        "--points",
+        type=int,
+        default=len(FIGURE5_THREAD_COUNTS),
+        help=f"how many thread counts to measure, a prefix of "
+        f"{FIGURE5_THREAD_COUNTS} (1..{len(FIGURE5_THREAD_COUNTS)})",
+    )
     p.add_argument("--steps", type=int, default=60_000)
     p.add_argument("--scheduler", choices=["uniform", "hardware"], default="uniform")
     p.add_argument(
@@ -356,6 +418,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip thread counts already in --checkpoint "
         "(parameters must match the stored fingerprint)",
+    )
+    p.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="write a structured JSON run report (metrics + scheduler "
+        "uniformity) to this path",
     )
     p.set_defaults(func=cmd_figure5)
 

@@ -127,6 +127,7 @@ class SweepCheckpoint:
         handle,
         *,
         fsync_every: int = 16,
+        telemetry=None,
     ):
         self.path = Path(path)
         self.fingerprint = fingerprint
@@ -134,6 +135,7 @@ class SweepCheckpoint:
         self._handle = handle
         self._fsync_every = max(1, int(fsync_every))
         self._since_sync = 0
+        self.telemetry = telemetry
         _ACTIVE.add(self)
 
     # -- construction ------------------------------------------------------
@@ -146,6 +148,7 @@ class SweepCheckpoint:
         *,
         resume: bool = False,
         fsync_every: int = 16,
+        telemetry=None,
     ) -> "SweepCheckpoint":
         """Create a fresh checkpoint, or resume an existing one.
 
@@ -179,8 +182,15 @@ class SweepCheckpoint:
                 )
             cls._repair_tail(path)
             handle = path.open("a", encoding="utf-8")
+            if telemetry is not None and telemetry.enabled:
+                telemetry.inc("checkpoint.resume_hits", len(completed))
             return cls(
-                path, fingerprint, completed, handle, fsync_every=fsync_every
+                path,
+                fingerprint,
+                completed,
+                handle,
+                fsync_every=fsync_every,
+                telemetry=telemetry,
             )
         path.parent.mkdir(parents=True, exist_ok=True)
         handle = path.open("w", encoding="utf-8")
@@ -192,7 +202,14 @@ class SweepCheckpoint:
         handle.write(json.dumps(header, sort_keys=True) + "\n")
         handle.flush()
         os.fsync(handle.fileno())
-        return cls(path, fingerprint, {}, handle, fsync_every=fsync_every)
+        return cls(
+            path,
+            fingerprint,
+            {},
+            handle,
+            fsync_every=fsync_every,
+            telemetry=telemetry,
+        )
 
     @staticmethod
     def _repair_tail(path: Path) -> None:
@@ -312,9 +329,14 @@ class SweepCheckpoint:
         self._handle.flush()
         self.completed[(int(n), int(replicate))] = triple
         self._since_sync += 1
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.inc("checkpoint.records")
         if self._since_sync >= self._fsync_every:
             os.fsync(self._handle.fileno())
             self._since_sync = 0
+            if telemetry is not None and telemetry.enabled:
+                telemetry.inc("checkpoint.fsync_batches")
 
     def flush(self) -> None:
         """Flush and fsync everything recorded so far."""
@@ -323,6 +345,8 @@ class SweepCheckpoint:
         self._handle.flush()
         os.fsync(self._handle.fileno())
         self._since_sync = 0
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.inc("checkpoint.fsync_batches")
 
     def close(self) -> None:
         """Flush, fsync, and release the file handle (idempotent)."""

@@ -173,6 +173,7 @@ def measure_latencies(
     crash_times: Optional[Dict[int, int]] = None,
     rng: RngLike = None,
     batched: bool = False,
+    telemetry=None,
 ) -> LatencyMeasurement:
     """Run a fresh simulation and measure its latencies.
 
@@ -195,6 +196,10 @@ def measure_latencies(
         Drive the run through :meth:`Simulator.run_batched` (the
         trace-equivalent fast path) instead of the step-by-step executor.
         Same seed, same measurement — just faster.
+    telemetry:
+        Optional :class:`~repro.core.telemetry.MetricsRegistry`; the run
+        reports its counters there.  ``None`` (the default) adds no
+        overhead and never changes results.
     """
     if memory is not None and memory_factory is not None:
         raise ValueError("pass memory or memory_factory, not both")
@@ -210,6 +215,7 @@ def measure_latencies(
         memory=memory,
         crash_times=crash_times,
         rng=rng,
+        telemetry=telemetry,
     )
     result = simulator.run_batched(steps) if batched else simulator.run(steps)
     individual = individual_latencies(result.recorder, burn_in=burn_in)
@@ -259,6 +265,7 @@ def measure_latencies_ensemble(
     burn_in: Optional[int] = None,
     memory_factory: Optional[Callable[[], Memory]] = None,
     crash_times: Optional[Dict[int, int]] = None,
+    telemetry=None,
 ) -> "List[LatencyMeasurement]":
     """Measure many independent replicates on the ensemble engine.
 
@@ -291,5 +298,5 @@ def measure_latencies_ensemble(
         )
         for seed in seeds
     ]
-    result = EnsembleSimulator(replicates).run(steps)
+    result = EnsembleSimulator(replicates, telemetry=telemetry).run(steps)
     return result.measurements(burn_in=burn_in)

@@ -74,8 +74,14 @@ def empirical_maximal_progress_bound(history: History, end_time: int) -> int:
 
 def starved_processes(history: History, end_time: int, *, window: int) -> Set[int]:
     """Processes whose last ``window`` steps contain a pending invocation
-    and no response — the empirical signature of starvation."""
-    cutoff = end_time - window
+    and no response — the empirical signature of starvation.
+
+    ``window >= end_time`` means the window is the whole run: any
+    process with a never-answered invocation is starved.  The cutoff is
+    clamped to the first step (times are 1-based) so such invocations
+    are not pushed outside a non-positive cutoff and missed.
+    """
+    cutoff = max(end_time - window, 1)
     starved: Set[int] = set()
     last_response: Dict[int, int] = {}
     for response in history.responses:

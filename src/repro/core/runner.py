@@ -109,6 +109,8 @@ class RunStats:
     timeouts: int = 0
     pool_rebuilds: int = 0
     fell_back_serial: bool = False
+    #: Total seconds spent sleeping in retry backoff.
+    backoff_seconds: float = 0.0
 
 
 def _terminate_pool(pool) -> None:
@@ -155,6 +157,7 @@ class ResilientExecutor:
         policy: Optional[RetryPolicy] = None,
         pool_factory: Optional[Callable[..., ProcessPoolExecutor]] = None,
         sleep: Callable[[float], None] = time.sleep,
+        telemetry=None,
     ):
         self._worker_fn = worker_fn
         self.max_workers = max_workers if max_workers is not None else (
@@ -165,6 +168,7 @@ class ResilientExecutor:
             pool_factory if pool_factory is not None else ProcessPoolExecutor
         )
         self._sleep = sleep
+        self.telemetry = telemetry
         self.stats = RunStats()
 
     def default_chunk_size(self, n_tasks: int) -> int:
@@ -189,6 +193,17 @@ class ResilientExecutor:
         keys = list(tasks)
         if not keys:
             return {}
+        telemetry = self.telemetry
+        telemetry_on = telemetry is not None and telemetry.enabled
+        if telemetry_on:
+            stats_before = (
+                self.stats.retries,
+                self.stats.splits,
+                self.stats.timeouts,
+                self.stats.pool_rebuilds,
+                self.stats.backoff_seconds,
+                self.stats.fell_back_serial,
+            )
         if chunk_size is None:
             chunk_size = self.default_chunk_size(len(keys))
         units = deque(
@@ -226,7 +241,9 @@ class ResilientExecutor:
             attempts[unit] = attempts.get(unit, 0) + 1
             if attempts[unit] <= policy.max_retries:
                 self.stats.retries += 1
-                self._sleep(policy.backoff_delay(unit, attempts[unit]))
+                delay = policy.backoff_delay(unit, attempts[unit])
+                self.stats.backoff_seconds += delay
+                self._sleep(delay)
                 requeue.append(unit)
             elif len(unit) > 1:
                 # Isolate the poison task: singles get a fresh budget.
@@ -363,4 +380,23 @@ class ResilientExecutor:
                     _terminate_pool(pool)
                 else:
                     pool.shutdown(wait=True)
+            if telemetry_on:
+                self._settle_telemetry(stats_before, len(results))
         return results
+
+    def _settle_telemetry(self, before: Tuple, completed: int) -> None:
+        """Report this run's stats deltas — called once per :meth:`run`,
+        so the recovery ladder itself stays instrumentation-free."""
+        stats = self.stats
+        telemetry = self.telemetry
+        telemetry.inc("executor.runs")
+        telemetry.inc("executor.tasks_completed", completed)
+        telemetry.inc("executor.retries", stats.retries - before[0])
+        telemetry.inc("executor.splits", stats.splits - before[1])
+        telemetry.inc("executor.deadline_kills", stats.timeouts - before[2])
+        telemetry.inc("executor.pool_rebuilds", stats.pool_rebuilds - before[3])
+        backoff = stats.backoff_seconds - before[4]
+        if backoff > 0:
+            telemetry.observe("executor.backoff_seconds", backoff)
+        if stats.fell_back_serial and not before[5]:
+            telemetry.inc("executor.serial_fallbacks")

@@ -65,6 +65,7 @@ class SCU:
         burn_in: Optional[int] = None,
         rng: RngLike = None,
         batched: bool = False,
+        telemetry=None,
     ) -> LatencyMeasurement:
         """Simulate ``n`` processes for ``steps`` steps and measure latencies.
 
@@ -83,6 +84,7 @@ class SCU:
             memory=self.memory(),
             rng=rng,
             batched=batched,
+            telemetry=telemetry,
         )
 
     # -- predictions ---------------------------------------------------------------

@@ -32,6 +32,7 @@ uninterrupted run would have produced.
 from __future__ import annotations
 
 import os
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -82,11 +83,23 @@ class SweepPoint:
 
 def _resolve_engine(engine: Optional[str], batched: bool) -> str:
     """Engine name from the explicit ``engine`` argument or the legacy
-    ``batched`` flag (``engine`` wins when both are given)."""
+    ``batched`` flag.
+
+    Passing both is accepted only when they agree (``engine="batched"``
+    with ``batched=True``); a contradictory combination raises a
+    :class:`ValueError` naming both arguments rather than silently
+    letting one win.
+    """
     if engine is None:
         return "batched" if batched else "serial"
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
+    if batched and engine != "batched":
+        raise ValueError(
+            f"contradictory arguments: engine={engine!r} with batched=True "
+            "(the legacy batched flag means engine='batched'); pass one or "
+            "the other"
+        )
     return engine
 
 
@@ -101,13 +114,15 @@ def _run_replicate(
     batched: bool,
     burn_in: Optional[int] = None,
     crash_times: CrashTimesLike = None,
+    telemetry=None,
 ) -> Tuple[float, float, float]:
     """One independent replicate of one sweep point.
 
     Module-level (not a closure) so :func:`parallel_sweep` can ship it to
     worker processes; the ``(seed, n, replicate)`` seed tuple is the
     single source of randomness, which is what makes the serial and
-    parallel sweeps bit-identical.
+    parallel sweeps bit-identical.  ``telemetry`` is only ever non-None
+    in-process (registries are not shipped to workers).
     """
     measurement = measure_latencies(
         factory_builder(),
@@ -119,6 +134,7 @@ def _run_replicate(
         crash_times=_resolve_crash_times(crash_times, n),
         rng=(seed, n, replicate),
         batched=batched,
+        telemetry=telemetry,
     )
     return (
         measurement.system_latency,
@@ -199,6 +215,7 @@ def _open_checkpoint(
     repeats: int,
     burn_in: Optional[int],
     crash_times: CrashTimesLike,
+    telemetry=None,
 ) -> Optional[SweepCheckpoint]:
     """Open/validate the sweep's checkpoint, if one was requested."""
     if checkpoint is None:
@@ -214,7 +231,20 @@ def _open_checkpoint(
         burn_in=burn_in,
         crash_times=crash_times,
     )
-    return SweepCheckpoint.open(checkpoint, fingerprint, resume=resume)
+    return SweepCheckpoint.open(
+        checkpoint, fingerprint, resume=resume, telemetry=telemetry
+    )
+
+
+def _note_point_telemetry(telemetry, n: int, replicates: int, seconds: float) -> None:
+    """Settle one sweep point's wall time and replicate count."""
+    telemetry.inc("sweep.points")
+    telemetry.inc("sweep.replicates", replicates)
+    telemetry.observe("sweep.point_seconds", seconds)
+    telemetry.emit(
+        "sweep.point",
+        {"n": n, "replicates": replicates, "seconds": seconds},
+    )
 
 
 def _collect_points(
@@ -257,6 +287,7 @@ def latency_sweep(
     checkpoint=None,
     resume: bool = False,
     on_progress: Optional[Callable[[int, int, Tuple[int, int]], None]] = None,
+    telemetry=None,
 ) -> List[SweepPoint]:
     """Measure latencies across ``n_values`` with ``repeats`` replicates.
 
@@ -281,6 +312,12 @@ def latency_sweep(
     ones already recorded (after validating the checkpoint belongs to
     *this* sweep).  ``on_progress(done, total, (n, replicate))`` fires
     after each replicate.  Neither can change the numbers.
+
+    ``telemetry`` (a :class:`~repro.core.telemetry.MetricsRegistry`)
+    records per-point wall time, replicate counts and throughput, plus
+    every engine/checkpoint counter along the way.  Telemetry observes
+    the sweep and never feeds back into it — results are bit-identical
+    with it on or off.
     """
     if repeats < 2:
         raise ValueError("repeats must be at least 2 for confidence intervals")
@@ -288,6 +325,7 @@ def latency_sweep(
     if scheduler_builder is None:
         scheduler_builder = UniformStochasticScheduler
     chosen = _resolve_engine(engine, batched)
+    telemetry_on = telemetry is not None and telemetry.enabled
     ckpt = _open_checkpoint(
         checkpoint,
         resume,
@@ -298,12 +336,17 @@ def latency_sweep(
         repeats=repeats,
         burn_in=burn_in,
         crash_times=crash_times,
+        telemetry=telemetry,
     )
     results: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
     if ckpt is not None:
         results.update(ckpt.completed)
     total = len(n_values) * repeats
     done = len(results)
+    if telemetry_on and ckpt is not None and resume:
+        telemetry.inc("checkpoint.resume_misses", total - done)
+    sweep_started = time.perf_counter() if telemetry_on else 0.0
+    run_replicates = 0
 
     def note(key: Tuple[int, int], triple: Tuple[float, float, float]) -> None:
         nonlocal done
@@ -319,6 +362,7 @@ def latency_sweep(
                 missing = [r for r in range(repeats) if (n, r) not in results]
                 if not missing:
                     continue
+                point_started = time.perf_counter() if telemetry_on else 0.0
                 measurements = measure_latencies_ensemble(
                     factory_builder(),
                     scheduler_builder,
@@ -328,6 +372,7 @@ def latency_sweep(
                     burn_in=burn_in,
                     memory_factory=memory_builder,
                     crash_times=_resolve_crash_times(crash_times, n),
+                    telemetry=telemetry,
                 )
                 for r, measurement in zip(missing, measurements):
                     triple = (
@@ -337,8 +382,18 @@ def latency_sweep(
                     )
                     results[(n, r)] = triple
                     note((n, r), triple)
+                run_replicates += len(missing)
+                if telemetry_on:
+                    _note_point_telemetry(
+                        telemetry,
+                        n,
+                        len(missing),
+                        time.perf_counter() - point_started,
+                    )
         else:
             for n in n_values:
+                point_started = time.perf_counter() if telemetry_on else 0.0
+                point_replicates = 0
                 for r in range(repeats):
                     if (n, r) in results:
                         continue
@@ -353,12 +408,28 @@ def latency_sweep(
                         chosen == "batched",
                         burn_in,
                         crash_times,
+                        telemetry,
                     )
                     results[(n, r)] = triple
                     note((n, r), triple)
+                    point_replicates += 1
+                run_replicates += point_replicates
+                if telemetry_on and point_replicates:
+                    _note_point_telemetry(
+                        telemetry,
+                        n,
+                        point_replicates,
+                        time.perf_counter() - point_started,
+                    )
     finally:
         if ckpt is not None:
             ckpt.close()
+    if telemetry_on:
+        elapsed = time.perf_counter() - sweep_started
+        if run_replicates and elapsed > 0:
+            telemetry.set_gauge(
+                "sweep.replicates_per_sec", run_replicates / elapsed
+            )
     return _collect_points(n_values, repeats, results, confidence)
 
 
@@ -382,6 +453,7 @@ def parallel_sweep(
     on_progress: Optional[Callable[[int, int, Tuple[int, int]], None]] = None,
     retry: Optional[RetryPolicy] = None,
     pool_factory: Optional[Callable] = None,
+    telemetry=None,
 ) -> List[SweepPoint]:
     """:func:`latency_sweep` fanned out over a fault-tolerant process pool.
 
@@ -423,6 +495,12 @@ def parallel_sweep(
     a dict always pickles.  ``batched`` defaults to True here: a sweep
     big enough to parallelise is big enough to want the fast path.
     ``max_workers`` caps the pool size (``None`` = one per CPU).
+
+    ``telemetry`` stays in the *parent* process (registries are not
+    shipped to pickled workers): it records the executor's recovery
+    counters, checkpoint activity, total wall time and replicates/sec.
+    Per-replicate engine counters are only available from the in-process
+    engines — use :func:`latency_sweep` for those.
     """
     if repeats < 2:
         raise ValueError("repeats must be at least 2 for confidence intervals")
@@ -431,6 +509,7 @@ def parallel_sweep(
     validate_burn_in(burn_in, steps)
     if scheduler_builder is None:
         scheduler_builder = UniformStochasticScheduler
+    telemetry_on = telemetry is not None and telemetry.enabled
     ckpt = _open_checkpoint(
         checkpoint,
         resume,
@@ -441,6 +520,7 @@ def parallel_sweep(
         repeats=repeats,
         burn_in=burn_in,
         crash_times=crash_times,
+        telemetry=telemetry,
     )
     results: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
     if ckpt is not None:
@@ -450,6 +530,9 @@ def parallel_sweep(
     tasks = [
         (n, r) for n in n_values for r in range(repeats) if (n, r) not in results
     ]
+    if telemetry_on and ckpt is not None and resume:
+        telemetry.inc("checkpoint.resume_misses", len(tasks))
+    sweep_started = time.perf_counter() if telemetry_on else 0.0
 
     def note(key: Tuple[int, int], triple: Tuple[float, float, float]) -> None:
         nonlocal done
@@ -468,6 +551,7 @@ def parallel_sweep(
                 ),
                 policy=retry,
                 pool_factory=pool_factory,
+                telemetry=telemetry,
             )
             results.update(
                 executor.run(
@@ -489,6 +573,15 @@ def parallel_sweep(
     finally:
         if ckpt is not None:
             ckpt.close()
+    if telemetry_on:
+        elapsed = time.perf_counter() - sweep_started
+        telemetry.inc("sweep.points", len(n_values))
+        telemetry.inc("sweep.replicates", len(tasks))
+        telemetry.observe("sweep.parallel_seconds", elapsed)
+        if tasks and elapsed > 0:
+            telemetry.set_gauge(
+                "sweep.replicates_per_sec", len(tasks) / elapsed
+            )
     return _collect_points(n_values, repeats, results, confidence)
 
 

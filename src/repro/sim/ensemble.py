@@ -440,6 +440,12 @@ class EnsembleSimulator:
     record_schedule:
         Keep each replicate's full schedule (memory proportional to
         ``R * steps``).
+    telemetry:
+        Optional metrics registry (see :mod:`repro.core.telemetry`).
+        ``None`` (the default) keeps the engine entirely
+        telemetry-free; when given, per-replicate counters settle once
+        per replicate after resolution — the array passes never see it
+        and results are bit-identical either way.
 
     The engine is **one-shot**: :meth:`run` may be called once (the
     resolution consumes the drawn schedules; there is no incremental
@@ -454,6 +460,7 @@ class EnsembleSimulator:
         replicates: Sequence[EnsembleReplicate],
         *,
         record_schedule: bool = False,
+        telemetry: Optional[Any] = None,
         _resolver: str = "auto",
     ) -> None:
         members = list(replicates)
@@ -498,6 +505,7 @@ class EnsembleSimulator:
                 )
         self.replicates = members
         self.record_schedule = record_schedule
+        self.telemetry = telemetry
         self._resolver = _resolver
         self._ran = False
 
@@ -526,7 +534,7 @@ class EnsembleSimulator:
             if isinstance(member.rng, np.random.Generator)
             else np.random.default_rng(member.rng)
         )
-        schedule, stopped_early = self._draw_schedule(
+        schedule, stopped_early, segments = self._draw_schedule(
             member.scheduler, n, rng, max_steps, member.crash_times
         )
         executed = int(schedule.shape[0])
@@ -549,6 +557,31 @@ class EnsembleSimulator:
             success_seqs=succ_seqs,
         )
         memory.total_operations += executed
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            wins = int(succ_cols.shape[0])
+            crashes_fired = sum(
+                1
+                for crash_time in (member.crash_times or {}).values()
+                if 1 <= crash_time <= max_steps
+            )
+            telemetry.inc("ensemble.replicates")
+            telemetry.inc("ensemble.steps", executed)
+            telemetry.inc("ensemble.completions", wins)
+            telemetry.inc("ensemble.cas_wins", wins)
+            telemetry.inc("ensemble.cas_losses", int(seq.sum()) - wins)
+            telemetry.inc("ensemble.segments", segments)
+            telemetry.inc("ensemble.crashes", crashes_fired)
+            telemetry.emit(
+                "sim.run",
+                {
+                    "engine": "ensemble",
+                    "n_processes": n,
+                    "steps": executed,
+                    "completions": wins,
+                    "step_counts": counts.astype(np.int64).tolist(),
+                },
+            )
         return ReplicateOutcome(
             n_processes=n,
             steps_executed=executed,
@@ -568,7 +601,7 @@ class EnsembleSimulator:
         rng: np.random.Generator,
         max_steps: int,
         crash_times: Optional[Dict[int, int]] = None,
-    ) -> Tuple[np.ndarray, bool]:
+    ) -> Tuple[np.ndarray, bool, int]:
         """Draw the whole schedule through the ``select_batch`` protocol.
 
         Element ``k`` of a batch corresponds to absolute time ``start + k``,
@@ -580,11 +613,12 @@ class EnsembleSimulator:
         With crashes the horizon is split at the crash boundaries and each
         segment is drawn over its own active set — exactly the block
         structure ``run_batched`` uses, whose blocks never span a crash
-        time.  Returns the concatenated schedule plus a flag that is True
-        when the run ended early because every process crashed.
+        time.  Returns the concatenated schedule, a flag that is True
+        when the run ended early because every process crashed, and the
+        number of segments drawn.
         """
         if max_steps == 0:
-            return np.empty(0, dtype=np.int64), False
+            return np.empty(0, dtype=np.int64), False, 0
         select_batch = getattr(scheduler, "select_batch", None)
 
         def draw(start: int, active: List[int], length: int) -> np.ndarray:
@@ -624,7 +658,7 @@ class EnsembleSimulator:
             if 1 <= crash_time <= max_steps:
                 crashes.setdefault(crash_time, []).append(pid)
         if not crashes:
-            return draw(1, list(range(n)), max_steps), False
+            return draw(1, list(range(n)), max_steps), False, 1
 
         alive = set(range(n))
         active = sorted(alive)
@@ -646,5 +680,5 @@ class EnsembleSimulator:
         else:
             chunks.append(draw(time, active, max_steps - time + 1))
         if not chunks:
-            return np.empty(0, dtype=np.int64), stopped_early
-        return np.concatenate(chunks), stopped_early
+            return np.empty(0, dtype=np.int64), stopped_early, 0
+        return np.concatenate(chunks), stopped_early, len(chunks)

@@ -9,7 +9,7 @@ permanently (Definition 1: crash containment, ``A_{tau+1} subset of A_tau``).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -20,6 +20,21 @@ from repro.sim.process import Completion, Invoke, Process, ProcessFactory
 from repro.sim.trace import TraceRecorder
 
 RngLike = Union[int, np.random.Generator, None]
+
+
+def _cas_totals(memory: Memory) -> Tuple[int, int]:
+    """Total CAS ``(attempts, successes)`` across all registers.
+
+    The memory already maintains per-register CAS counters on its normal
+    path, so run-level CAS win/loss telemetry is a snapshot-and-diff —
+    no extra work per step.
+    """
+    attempts = 0
+    successes = 0
+    for register in memory._registers.values():
+        attempts += register.cas_attempts
+        successes += register.cas_successes
+    return attempts, successes
 
 
 def validate_crash_times(
@@ -122,6 +137,15 @@ class Simulator:
     rng:
         Seed or generator for the simulator; forwarded to the scheduler's
         ``select``.
+    telemetry:
+        Optional :class:`repro.core.telemetry.MetricsRegistry`.  Run
+        counters (``sim.steps``, ``sim.completions``, ``sim.cas_wins``,
+        ``sim.cas_losses``, ``sim.crashes``, ``sim.blocks``) settle once
+        per :meth:`run`/:meth:`run_batched` call — never per step — and
+        a ``sim.run`` event carries the per-process step counts.  The
+        default ``None`` disables all of it behind a single boolean
+        test; telemetry never consumes randomness or alters control
+        flow, so results are bit-identical either way.
     """
 
     def __init__(
@@ -136,6 +160,7 @@ class Simulator:
         record_completion_times: bool = True,
         record_history: bool = False,
         rng: RngLike = None,
+        telemetry=None,
     ) -> None:
         if callable(factories):
             if n_processes is None:
@@ -168,6 +193,8 @@ class Simulator:
         ]
         self.time = 0
         self._primed = False
+        self.telemetry = telemetry
+        self._crashes_fired = 0
         # Target of the single reusable marker callback; set just before
         # each refill so no per-step closure is allocated.
         self._cb_pid = 0
@@ -201,6 +228,56 @@ class Simulator:
         for pid, crash_time in self.crash_times.items():
             if crash_time == time:
                 self.processes[pid].crash()
+                self._crashes_fired += 1
+
+    def _record_run_telemetry(
+        self,
+        engine: str,
+        steps: int,
+        completions: int,
+        cas_before: Tuple[int, int],
+        crashes_before: int,
+        steps_before: List[int],
+        blocks: Optional[int] = None,
+    ) -> None:
+        """Settle one run call's counters and emit the ``sim.run`` event.
+
+        Called only when telemetry is enabled, after the run loop — the
+        per-step path never sees it.  All quantities are per-call deltas
+        so repeated ``run()`` calls report honestly.
+        """
+        telemetry = self.telemetry
+        attempts, successes = _cas_totals(self.memory)
+        wins = successes - cas_before[1]
+        telemetry.inc("sim.runs")
+        telemetry.inc("sim.steps", steps)
+        telemetry.inc("sim.completions", completions)
+        telemetry.inc("sim.cas_wins", wins)
+        telemetry.inc("sim.cas_losses", (attempts - cas_before[0]) - wins)
+        telemetry.inc("sim.crashes", self._crashes_fired - crashes_before)
+        if blocks is not None:
+            telemetry.inc("sim.blocks", blocks)
+        telemetry.emit(
+            "sim.run",
+            {
+                "engine": engine,
+                "n_processes": self.n_processes,
+                "steps": steps,
+                "completions": completions,
+                "step_counts": [
+                    self.recorder.steps[pid] - steps_before[pid]
+                    for pid in range(self.n_processes)
+                ],
+            },
+        )
+
+    def _telemetry_snapshot(self):
+        """Pre-run state needed to settle per-call telemetry deltas."""
+        return (
+            _cas_totals(self.memory),
+            self._crashes_fired,
+            [self.recorder.steps[pid] for pid in range(self.n_processes)],
+        )
 
     def active_pids(self) -> List[int]:
         """Processes currently eligible for scheduling (the set ``A_tau``)."""
@@ -254,6 +331,10 @@ class Simulator:
         """
         if max_steps < 0:
             raise ValueError("max_steps must be non-negative")
+        telemetry = self.telemetry
+        telemetry_on = telemetry is not None and telemetry.enabled
+        if telemetry_on:
+            telemetry_before = self._telemetry_snapshot()
         start_time = self.time
         start_completions = self.recorder.total_completions
         target_pid = stop_after_completions_by
@@ -288,6 +369,13 @@ class Simulator:
                 and self.recorder.completions[target_pid] > baseline
             ):
                 stopped_early = True
+        if telemetry_on:
+            self._record_run_telemetry(
+                "serial",
+                self.time - start_time,
+                self.recorder.total_completions - start_completions,
+                *telemetry_before,
+            )
         return SimulationResult(
             steps_executed=self.time,
             recorder=self.recorder,
@@ -333,6 +421,11 @@ class Simulator:
             raise ValueError("batch_size must be positive")
         if not self._primed:
             self._prime()
+        telemetry = self.telemetry
+        telemetry_on = telemetry is not None and telemetry.enabled
+        if telemetry_on:
+            telemetry_before = self._telemetry_snapshot()
+        blocks_executed = 0
 
         scheduler = self.scheduler
         rng = self.rng
@@ -515,6 +608,8 @@ class Simulator:
                     if schedule is not None:
                         schedule.extend(pids[:executed])
                 self.time = time
+            if executed:
+                blocks_executed += 1
             if executed < block:
                 # The block was cut short: rewind RNG and scheduler state,
                 # then replay exactly the consumed prefix so both end up
@@ -534,6 +629,14 @@ class Simulator:
                 and total_completions >= stop_after_completions
             ) or (target_pid is not None and target_count > baseline):
                 stopped_early = True
+        if telemetry_on:
+            self._record_run_telemetry(
+                "batched",
+                self.time - start_time,
+                total_completions - start_completions,
+                *telemetry_before,
+                blocks=blocks_executed,
+            )
         return SimulationResult(
             steps_executed=self.time,
             recorder=self.recorder,

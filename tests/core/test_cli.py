@@ -29,6 +29,18 @@ class TestLatency:
                      "--scheduler", "hardware"])
         assert code == 0
 
+    def test_telemetry_report_written(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "telemetry.json"
+        code = main(["latency", "-n", "4", "--steps", "20000",
+                     "--telemetry", str(path)])
+        assert code == 0
+        report = json.loads(path.read_text())
+        assert report["command"] == "latency"
+        assert report["metrics"]["counters"]["sim.steps"] == 20000
+        assert report["uniformity"]["per_n"]["4"]["steps"] == 20000
+
 
 class TestClassify:
     def test_cas_counter(self, capsys):
@@ -87,6 +99,51 @@ class TestFigure5:
         assert code == 0
         out = capsys.readouterr().out
         assert "worst 1/n" in out
+
+    def test_zero_points_rejected_with_thread_counts_named(self, capsys):
+        # --points 0 used to crash with IndexError at measured[0].
+        code = main(["figure5", "--points", "0", "--steps", "4000"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--points" in err
+        assert "[2, 4, 8, 16, 32]" in err
+
+    def test_too_many_points_rejected_with_thread_counts_named(self, capsys):
+        # --points 9 used to be silently capped at the 5-element series.
+        code = main(["figure5", "--points", "9", "--steps", "4000"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "between 1 and 5" in err
+        assert "[2, 4, 8, 16, 32]" in err
+        assert "9" in err
+
+    def test_negative_points_rejected(self, capsys):
+        assert main(["figure5", "--points", "-1", "--steps", "4000"]) == 2
+
+    def test_telemetry_report_written(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "telemetry.json"
+        code = main(["figure5", "--points", "2", "--steps", "4000",
+                     "--telemetry", str(path)])
+        assert code == 0
+        report = json.loads(path.read_text())
+        assert report["schema"] == 1
+        assert report["command"] == "figure5"
+        counters = report["metrics"]["counters"]
+        assert counters["sim.runs"] == 2
+        assert counters["sim.steps"] == 8000
+        uniformity = report["uniformity"]
+        assert set(uniformity["per_n"]) == {"2", "4"}
+        # The uniform scheduler drove both runs: TV distance near zero.
+        assert uniformity["max_tv_distance"] < 0.1
+
+    def test_telemetry_does_not_change_output(self, capsys, tmp_path):
+        args = ["figure5", "--points", "2", "--steps", "4000"]
+        assert main(args) == 0
+        plain = capsys.readouterr().out
+        assert main(args + ["--telemetry", str(tmp_path / "t.json")]) == 0
+        assert capsys.readouterr().out == plain
 
     def test_checkpoint_resume_skips_measured_points(
         self, capsys, tmp_path, monkeypatch

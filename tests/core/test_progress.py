@@ -81,6 +81,18 @@ class TestStarvation:
         history.invoke(95, 0)
         assert starved_processes(history, end_time=100, window=50) == set()
 
+    def test_window_spanning_whole_run_detects_starvation(self):
+        # Regression: window >= end_time used to drive the cutoff
+        # non-positive, so a process pending the *entire* run was
+        # reported as not starved.
+        history = history_with_starvation()
+        assert starved_processes(history, end_time=85, window=85) == {1}
+        assert starved_processes(history, end_time=85, window=1000) == {1}
+
+    def test_window_spanning_whole_run_without_starvation(self):
+        history = history_everyone_completes()
+        assert starved_processes(history, end_time=10, window=10) == set()
+
 
 class TestProgressReport:
     def test_wait_free_looking_run(self):

@@ -86,18 +86,34 @@ class TestLatencySweep:
                 engine="turbo",
             )
 
-    def test_explicit_engine_overrides_batched_flag(self):
+    def test_contradictory_engine_and_batched_flag_rejected(self):
+        # engine= used to silently win over a contradictory legacy
+        # batched=True; now the combination is an error naming both.
+        kwargs = dict(steps=10_000, repeats=2, seed=4)
+        with pytest.raises(ValueError, match="engine='serial' with batched=True"):
+            latency_sweep(
+                cas_counter,
+                make_counter_memory,
+                [3],
+                engine="serial",
+                batched=True,
+                **kwargs,
+            )
+
+    def test_agreeing_engine_and_batched_flag_accepted(self):
         kwargs = dict(steps=10_000, repeats=2, seed=4)
         explicit = latency_sweep(
             cas_counter,
             make_counter_memory,
             [3],
-            engine="serial",
+            engine="batched",
             batched=True,
             **kwargs,
         )
-        serial = latency_sweep(cas_counter, make_counter_memory, [3], **kwargs)
-        assert explicit == serial
+        batched = latency_sweep(
+            cas_counter, make_counter_memory, [3], batched=True, **kwargs
+        )
+        assert explicit == batched
 
 
 class TestParallelSweep:

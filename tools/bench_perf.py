@@ -1,8 +1,8 @@
 """Performance harness for the three execution engines.
 
 Times the same seeded workloads on the serial, batched, and ensemble
-engines and writes a machine-readable JSON report (``BENCH_PR4.json`` by
-default).  Six workloads:
+engines and writes a machine-readable JSON report (``BENCH_PR5.json`` by
+default).  Seven workloads:
 
 * ``fig5_sweep`` — a FIG5-style multi-replicate latency sweep (the
   ensemble engine's target shape: many replicates, one sweep),
@@ -18,7 +18,11 @@ default).  Six workloads:
 * ``chaos_sweep`` — the fault-tolerant ``parallel_sweep`` path
   (ResilientExecutor + checkpoint) vs. a bare process pool at zero
   injected faults (the resilience tax, target < 5%), plus one run with
-  injected worker kill/raise faults to price recovery.
+  injected worker kill/raise faults to price recovery,
+* ``telemetry_overhead`` — a FIG5-style batched sweep with telemetry
+  disabled (the default ``telemetry=None``) vs. a live
+  ``MetricsRegistry`` attached (the telemetry tax; disabled must stay
+  within 2% of the pre-telemetry baseline).
 
 Because the engines are bit-identical by construction (and the harness
 re-checks this on every run), the speedups are pure wall-clock: same
@@ -26,7 +30,7 @@ numbers, less time.
 
 Usage::
 
-    python tools/bench_perf.py                  # full run -> BENCH_PR4.json
+    python tools/bench_perf.py                  # full run -> BENCH_PR5.json
     python tools/bench_perf.py --quick          # CI-sized steps/repeats
     python tools/bench_perf.py --out perf.json
 """
@@ -416,6 +420,65 @@ def bench_chaos_sweep(quick):
     }
 
 
+def bench_telemetry_overhead(quick):
+    """The telemetry tax on a FIG5-style batched sweep.
+
+    The zero-overhead contract says instrumentation must be invisible
+    when disabled: every instrumented site guards on ``telemetry is not
+    None and telemetry.enabled`` and all settling happens at run/point
+    granularity, never per simulated step.  Timing the same seeded
+    sweep with telemetry off (the default) and with a live registry
+    prices both sides of that contract, and the bit-identity check
+    confirms the instrumentation never touches the numbers.
+    """
+    from repro.core.telemetry import MetricsRegistry
+
+    n_values = [4, 8] if quick else [4, 8, 16]
+    steps = 10_000 if quick else 60_000
+    repeats = 8 if quick else 32
+
+    def sweep(telemetry):
+        return lambda: latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            n_values,
+            steps=steps,
+            repeats=repeats,
+            seed=2,
+            engine="batched",
+            telemetry=telemetry,
+        )
+
+    # Interleave repeated timings and keep the per-mode minimum so a
+    # one-off scheduling hiccup cannot masquerade as telemetry cost.
+    rounds = 3
+    disabled_times, enabled_times = [], []
+    points = {}
+    for _ in range(rounds):
+        seconds, points["disabled"] = timed(sweep(None))
+        disabled_times.append(seconds)
+        seconds, points["enabled"] = timed(sweep(MetricsRegistry()))
+        enabled_times.append(seconds)
+    seconds = {
+        "disabled": min(disabled_times),
+        "enabled": min(enabled_times),
+    }
+    return {
+        "workload": "telemetry_overhead",
+        "params": {
+            "n_values": n_values,
+            "steps": steps,
+            "repeats": repeats,
+            "rounds": rounds,
+        },
+        "seconds": seconds,
+        "overhead_fraction_enabled": (
+            seconds["enabled"] / seconds["disabled"] - 1.0
+        ),
+        "bit_identical": points["disabled"] == points["enabled"],
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -426,8 +489,8 @@ def main(argv=None):
     parser.add_argument(
         "--out",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR4.json",
-        help="output JSON path (default: BENCH_PR4.json at the repo root)",
+        default=REPO_ROOT / "BENCH_PR5.json",
+        help="output JSON path (default: BENCH_PR5.json at the repo root)",
     )
     args = parser.parse_args(argv)
 
@@ -439,11 +502,18 @@ def main(argv=None):
         bench_cor2_crash_sweep,
         bench_chain_assembly,
         bench_chaos_sweep,
+        bench_telemetry_overhead,
     )
     for bench in benches:
         result = bench(args.quick)
         results.append(result)
-        if "bare_pool" in result["seconds"]:
+        if "disabled" in result["seconds"]:
+            summary = (
+                f"disabled {result['seconds']['disabled']:8.3f}s"
+                f"  enabled {result['seconds']['enabled']:8.3f}s"
+                f"  overhead {100 * result['overhead_fraction_enabled']:+5.1f}%"
+            )
+        elif "bare_pool" in result["seconds"]:
             summary = (
                 f"resilient {result['seconds']['resilient']:8.3f}s"
                 f"  bare {result['seconds']['bare_pool']:8.3f}s"
