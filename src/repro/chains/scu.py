@@ -48,12 +48,12 @@ not processes, and yields exact latencies for the full class.
 from __future__ import annotations
 
 import itertools
-from functools import lru_cache
 from typing import Dict, Iterable, List, Tuple
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.memo import clear_disk_entries, disk_memoized
 from repro.markov.chain import MarkovChain
 from repro.markov.lifting import Lifting
 from repro.markov.stationary import stationary_distribution
@@ -188,34 +188,47 @@ def scu_lifting(n: int) -> Lifting:
 
 # -- exact latencies ------------------------------------------------------------
 #
-# The float-returning solvers are memoized: benchmarks and sweeps re-solve
-# the same (n, q, s) chain many times (FIG5 asserts against the exact value
-# at every thread count, every replicate), and a stationary solve of the
-# n=512 system chain costs ~seconds.  The caches are bounded (LRU, 128
-# entries each) so long heterogeneous sweeps recycle the memory behind
-# dense solves instead of pinning every (n, q, s) ever touched;
-# scu_stationary_profile returns a mutable dict and stays uncached.
+# The float-returning solvers are memoized twice over: benchmarks and
+# sweeps re-solve the same (n, q, s) chain many times (FIG5 asserts
+# against the exact value at every thread count, every replicate), and a
+# stationary solve of the n=512 system chain costs ~seconds.  The
+# in-process layer is a bounded LRU (128 entries each) so long
+# heterogeneous sweeps recycle the memory behind dense solves instead of
+# pinning every (n, q, s) ever touched; the optional disk layer
+# (:mod:`repro.core.memo`, enabled via ``--memo-dir`` /
+# ``REPRO_MEMO_DIR``) persists each solution machine-wide, so an exact
+# chain is solved once per (n, q, s) ever and every later process warm
+# starts from disk.  scu_stationary_profile returns a mutable dict and
+# stays uncached.
 
 
 def clear_exact_chain_caches() -> None:
-    """Drop every memoized exact-latency solve in this module.
+    """Drop every memoized exact-latency solve in this module — both the
+    in-process LRU layer and, when a disk memo is configured, the
+    machine-wide on-disk entries.
 
-    The solvers keep up to 128 results each; a single large-``n`` solve can
-    hold megabytes of intermediate state alive through its closure of the
-    stationary solve, so memory-sensitive callers (long-running services,
-    benchmark harnesses between workloads) can reset them all at once.
+    The in-process caches keep up to 128 results each; a single
+    large-``n`` solve can hold megabytes of intermediate state alive
+    through its closure of the stationary solve, so memory-sensitive
+    callers (long-running services, benchmark harnesses between
+    workloads) can reset them all at once.  Clearing the disk layer is
+    the invalidation story for solver changes: entries carry no solver
+    version, so after editing the chain builders or solvers, clear (or
+    point ``--memo-dir`` at a fresh directory).
     """
-    for solver in (
+    solvers = (
         scu_success_probability,
         scu_system_latency_exact,
         scu_individual_latency_exact,
         scu_full_individual_latency_exact,
         scu_full_system_latency_exact,
-    ):
+    )
+    for solver in solvers:
         solver.cache_clear()
+    clear_disk_entries(solver.memo_name for solver in solvers)
 
 
-@lru_cache(maxsize=128)
+@disk_memoized("scu_success_probability")
 def scu_success_probability(n: int) -> float:
     """Stationary probability ``mu`` that a system step is a success.
 
@@ -223,14 +236,14 @@ def scu_success_probability(n: int) -> float:
     latency is ``W = 1 / mu`` (Lemma 7's argument).
     """
     chain = scu_system_chain(n)
-    pi = stationary_distribution(chain)
+    pi = stationary_distribution(chain, method="auto")
     mu = 0.0
     for (a, b), p in zip(chain.states, pi):
         mu += p * (n - a - b) / n
     return mu
 
 
-@lru_cache(maxsize=128)
+@disk_memoized("scu_system_latency_exact")
 def scu_system_latency_exact(n: int) -> float:
     """Exact stationary system latency ``W`` of ``SCU(0, 1)``.
 
@@ -264,7 +277,7 @@ def scu_stationary_profile(n: int) -> dict:
     }
 
 
-@lru_cache(maxsize=128)
+@disk_memoized("scu_individual_latency_exact")
 def scu_individual_latency_exact(n: int, pid: int = 0) -> float:
     """Exact stationary individual latency ``W_i`` from the individual chain.
 
@@ -273,7 +286,7 @@ def scu_individual_latency_exact(n: int, pid: int = 0) -> float:
     Exponential — keep ``n`` small.
     """
     chain = scu_individual_chain(n)
-    pi = stationary_distribution(chain)
+    pi = stationary_distribution(chain, method="auto")
     eta = 0.0
     for state, p in zip(chain.states, pi):
         if state[pid] == CCAS:
@@ -426,14 +439,14 @@ def scu_full_lifting(n: int, q: int, s: int):
     return Lifting(fine, coarse, mapping)
 
 
-@lru_cache(maxsize=128)
+@disk_memoized("scu_full_individual_latency_exact")
 def scu_full_individual_latency_exact(
     n: int, q: int, s: int, pid: int = 0
 ) -> float:
     """Exact individual latency of ``SCU(q, s)`` from the full individual
     chain — the direct (non-lifted) computation of Theorem 4's n x W."""
     chain = scu_full_individual_chain(n, q, s)
-    pi = stationary_distribution(chain)
+    pi = stationary_distribution(chain, method="auto")
     eta = 0.0
     for state, p in zip(chain.states, pi):
         if state[pid] == ("C", True):
@@ -443,7 +456,7 @@ def scu_full_individual_latency_exact(
     return 1.0 / eta
 
 
-@lru_cache(maxsize=128)
+@disk_memoized("scu_full_system_latency_exact")
 def scu_full_system_latency_exact(n: int, q: int, s: int) -> float:
     """Exact stationary system latency of ``SCU(q, s)`` from the full chain.
 
@@ -452,7 +465,7 @@ def scu_full_system_latency_exact(n: int, q: int, s: int) -> float:
     phases = scu_phases(q, s)
     cas_fresh = phases.index(("C", True))
     chain = scu_full_system_chain(n, q, s)
-    pi = stationary_distribution(chain)
+    pi = stationary_distribution(chain, method="auto")
     mu = 0.0
     for state, p in zip(chain.states, pi):
         mu += p * state[cas_fresh] / n

@@ -57,6 +57,20 @@ def _build_telemetry(path):
     return registry, finish
 
 
+def _configure_memo(args: argparse.Namespace, telemetry=None) -> None:
+    """Point the exact-chain disk memo at ``--memo-dir``, if given.
+
+    With the flag (or the ``REPRO_MEMO_DIR`` environment variable) set,
+    exact chain solves are computed once per ``(n, q, s)`` machine-wide
+    and warm-started from disk in every later run.
+    """
+    memo_dir = getattr(args, "memo_dir", None)
+    if memo_dir is not None:
+        from repro.core.memo import configure_memo
+
+        configure_memo(memo_dir, telemetry=telemetry)
+
+
 def _make_scheduler(name: str):
     from repro.core.scheduler import (
         HardwareLikeScheduler,
@@ -78,6 +92,7 @@ def cmd_latency(args: argparse.Namespace) -> int:
     telemetry, finish_telemetry = _build_telemetry(
         getattr(args, "telemetry", None)
     )
+    _configure_memo(args, telemetry)
     measured = spec.measure(
         args.n,
         args.steps,
@@ -301,8 +316,17 @@ def cmd_figure5(args: argparse.Namespace) -> int:
     telemetry, finish_telemetry = _build_telemetry(
         getattr(args, "telemetry", None)
     )
+    _configure_memo(args, telemetry)
+    store = getattr(args, "store", None)
+    if args.checkpoint is not None and store is not None:
+        print(
+            "--checkpoint and --store are two formats of the same result "
+            "log; pass one or the other",
+            file=sys.stderr,
+        )
+        return 2
     checkpoint = None
-    if args.checkpoint is not None:
+    if args.checkpoint is not None or store is not None:
         # Each thread count is one deterministic measurement (seeded
         # rng=n), so the sweep checkpoints per (n, replicate=0) and a
         # resumed run re-measures only the missing thread counts.
@@ -314,9 +338,19 @@ def cmd_figure5(args: argparse.Namespace) -> int:
             repeats=1,
             burn_in=None,
         )
-        checkpoint = SweepCheckpoint.open(
-            args.checkpoint, fingerprint, resume=args.resume, telemetry=telemetry
-        )
+        if store is not None:
+            from repro.core.store import ColumnarSweepStore
+
+            checkpoint = ColumnarSweepStore.open(
+                store, fingerprint, resume=args.resume, telemetry=telemetry
+            )
+        else:
+            checkpoint = SweepCheckpoint.open(
+                args.checkpoint,
+                fingerprint,
+                resume=args.resume,
+                telemetry=telemetry,
+            )
     measured = []
     try:
         for n in thread_counts:
@@ -377,6 +411,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a structured JSON run report (metrics + scheduler "
         "uniformity) to this path",
     )
+    p.add_argument(
+        "--memo-dir",
+        metavar="DIR",
+        default=None,
+        help="warm-start exact chain solves from this machine-wide "
+        "on-disk memo (also honoured via REPRO_MEMO_DIR)",
+    )
     p.set_defaults(func=cmd_latency)
 
     p = sub.add_parser("classify", help="classify an algorithm's progress")
@@ -414,10 +455,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="append finished thread counts to this JSONL checkpoint",
     )
     p.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="append finished thread counts to this columnar sweep "
+        "store directory (mutually exclusive with --checkpoint)",
+    )
+    p.add_argument(
         "--resume",
         action="store_true",
-        help="skip thread counts already in --checkpoint "
+        help="skip thread counts already in --checkpoint/--store "
         "(parameters must match the stored fingerprint)",
+    )
+    p.add_argument(
+        "--memo-dir",
+        metavar="DIR",
+        default=None,
+        help="warm-start exact chain solves from this machine-wide "
+        "on-disk memo (also honoured via REPRO_MEMO_DIR)",
     )
     p.add_argument(
         "--telemetry",
@@ -452,8 +507,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         # file exists, it is resumable.
         flushed = flush_active_checkpoints()
         checkpoint = getattr(args, "checkpoint", None)
-        saved = flushed > 0 or (
-            checkpoint is not None and Path(checkpoint).exists()
+        store = getattr(args, "store", None)
+        saved = (
+            flushed > 0
+            or (checkpoint is not None and Path(checkpoint).exists())
+            or (store is not None and Path(store).exists())
         )
         note = " (checkpoint saved; rerun with --resume)" if saved else ""
         print(f"interrupted{note}", file=sys.stderr)

@@ -29,6 +29,7 @@ import hashlib
 import json
 import os
 import weakref
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -46,25 +47,92 @@ class CheckpointMismatchError(CheckpointError):
     """Resume was attempted against a checkpoint of a *different* sweep."""
 
 
+@dataclass(frozen=True)
+class ResolvedCrashSchedule:
+    """A crash schedule resolved once, up front, for every sweep point.
+
+    Callable crash schedules used to be resolved *twice* — once by
+    :func:`crash_config_hash` at fingerprint time and once per point at
+    run time — so a stateful or nondeterministic callable silently
+    diverged the stored fingerprint from the executed crash
+    configuration.  :meth:`resolve` calls the schedule exactly once per
+    ``n`` and the resulting map feeds both the fingerprint and the
+    execution, so they cannot disagree.  The resolved form is a plain
+    dict of dicts, hence always picklable — callables shipped to
+    :func:`repro.core.sweep.parallel_sweep` workers no longer need to
+    be.
+    """
+
+    by_n: Dict[int, Dict[int, int]] = field(default_factory=dict)
+
+    @classmethod
+    def resolve(
+        cls,
+        crash_times: "CrashTimesLike",
+        n_values: Sequence[int],
+    ) -> Optional["ResolvedCrashSchedule"]:
+        """Resolve ``crash_times`` for every ``n`` in ``n_values``.
+
+        ``None`` stays ``None``; an already-resolved schedule is
+        returned unchanged after checking it covers ``n_values``.
+        """
+        if crash_times is None:
+            return None
+        if isinstance(crash_times, cls):
+            missing = [n for n in n_values if int(n) not in crash_times.by_n]
+            if missing:
+                raise ValueError(
+                    f"resolved crash schedule has no entry for n={missing}"
+                )
+            return crash_times
+        by_n = {}
+        for n in n_values:
+            per_point = crash_times(n) if callable(crash_times) else crash_times
+            by_n[int(n)] = {int(pid): int(t) for pid, t in per_point.items()}
+        return cls(by_n)
+
+    def for_n(self, n: int) -> Dict[int, int]:
+        """The ``{pid: time}`` crash map for one sweep point."""
+        try:
+            return self.by_n[int(n)]
+        except KeyError:
+            raise ValueError(
+                f"crash schedule was resolved for n in "
+                f"{sorted(self.by_n)}, not n={n}"
+            ) from None
+
+
+#: Crash schedules accepted by sweeps and fingerprints: one
+#: ``{pid: time}`` map for every point, a callable ``n -> {pid: time}``,
+#: a pre-resolved :class:`ResolvedCrashSchedule`, or ``None``.
+CrashTimesLike = Union[
+    Dict[int, int],
+    Callable[[int], Dict[int, int]],
+    ResolvedCrashSchedule,
+    None,
+]
+
+
 def crash_config_hash(
-    crash_times: Union[Dict[int, int], Callable[[int], Dict[int, int]], None],
+    crash_times: CrashTimesLike,
     n_values: Sequence[int],
 ) -> str:
     """A stable digest of the *resolved* crash configuration.
 
     Callable crash schedules cannot be fingerprinted by identity (the
     function object changes between processes), so the schedule is
-    resolved at every sweep point and the canonical JSON of
-    ``{n: {pid: time}}`` is hashed instead — two schedules that crash
-    the same processes at the same times hash equal, however they were
-    spelled.  ``None`` hashes to ``"none"``.
+    resolved via :meth:`ResolvedCrashSchedule.resolve` and the canonical
+    JSON of ``{n: {pid: time}}`` is hashed instead — two schedules that
+    crash the same processes at the same times hash equal, however they
+    were spelled.  ``None`` hashes to ``"none"``.  Pass an already
+    resolved schedule to guarantee the hash describes exactly the crash
+    maps that will execute (sweeps do this; see
+    :class:`ResolvedCrashSchedule`).
     """
-    if crash_times is None:
+    schedule = ResolvedCrashSchedule.resolve(crash_times, n_values)
+    if schedule is None:
         return "none"
-    resolved = {}
-    for n in n_values:
-        per_point = crash_times(n) if callable(crash_times) else crash_times
-        resolved[int(n)] = {int(pid): int(t) for pid, t in per_point.items()}
+    resolved = {int(n): schedule.for_n(n) for n in n_values}
     blob = json.dumps(resolved, sort_keys=True, separators=(",", ":"))
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
 
@@ -77,7 +145,7 @@ def sweep_fingerprint(
     n_values: Sequence[int],
     repeats: int,
     burn_in: Optional[int],
-    crash_times: Union[Dict[int, int], Callable[[int], Dict[int, int]], None] = None,
+    crash_times: CrashTimesLike = None,
 ) -> Dict[str, object]:
     """The identity of one sweep, as stored in the checkpoint header.
 
@@ -96,8 +164,86 @@ def sweep_fingerprint(
     }
 
 
-#: Open checkpoints, so ``repro.cli`` can flush them on KeyboardInterrupt.
-_ACTIVE: "weakref.WeakSet[SweepCheckpoint]" = weakref.WeakSet()
+#: Open checkpoints/stores, so ``repro.cli`` can flush them on
+#: KeyboardInterrupt.  :class:`repro.core.store.ColumnarSweepStore`
+#: registers here too — anything with ``closed``/``flush`` qualifies.
+_ACTIVE: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def parse_point_record(
+    record: object, path: Path, line_no: int
+) -> Tuple[Tuple[int, int], Triple]:
+    """Validate one JSON point record into ``((n, r), triple)``.
+
+    A record that parsed as JSON can still be structurally invalid — a
+    missing field, a short ``v`` list, a non-numeric entry.  Every such
+    shape raises :class:`CheckpointError` naming the line, consistent
+    with the other corruption paths; nothing escapes as a raw
+    ``KeyError``/``IndexError``/``TypeError``.  Shared by the JSONL
+    checkpoint and the columnar store's write-ahead tail.
+    """
+
+    def invalid(why: str) -> CheckpointError:
+        return CheckpointError(
+            f"checkpoint {path} line {line_no} is structurally invalid "
+            f"({why}); the record parsed as JSON but is not a point record"
+        )
+
+    if not isinstance(record, dict):
+        raise invalid(f"expected an object, got {type(record).__name__}")
+    if record.get("kind") != "point":
+        raise CheckpointError(
+            f"checkpoint {path} line {line_no} has unknown kind "
+            f"{record.get('kind')!r}"
+        )
+    for fld in ("n", "r", "v"):
+        if fld not in record:
+            raise invalid(f"missing field {fld!r}")
+    n, r, values = record["n"], record["r"], record["v"]
+    if isinstance(n, bool) or not isinstance(n, int):
+        raise invalid(f"field 'n' must be an integer, got {n!r}")
+    if isinstance(r, bool) or not isinstance(r, int):
+        raise invalid(f"field 'r' must be an integer, got {r!r}")
+    if not isinstance(values, list) or len(values) != 3:
+        raise invalid(
+            f"field 'v' must be a list of 3 numbers, got {values!r}"
+        )
+    for value in values:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise invalid(f"field 'v' has non-numeric entry {value!r}")
+    return (int(n), int(r)), (
+        float(values[0]),
+        float(values[1]),
+        float(values[2]),
+    )
+
+
+def repair_jsonl_tail(path: Path) -> None:
+    """Make a JSONL journal end with a newline before appending to it.
+
+    A crash mid-append can leave an unterminated final line.  If the
+    bytes after the last newline parse as JSON, only the terminating
+    newline was lost — restore it, keeping the record.  Otherwise the
+    tail is torn garbage (already skipped on load): drop it, so the
+    next append starts a fresh line instead of gluing onto the partial
+    one and corrupting both records.
+    """
+    data = path.read_bytes()
+    if not data or data.endswith(b"\n"):
+        return
+    cut = data.rfind(b"\n") + 1
+    tail = data[cut:]
+    with path.open("r+b") as handle:
+        try:
+            json.loads(tail.decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            handle.seek(cut)
+            handle.truncate()
+        else:
+            handle.seek(0, os.SEEK_END)
+            handle.write(b"\n")
+        handle.flush()
+        os.fsync(handle.fileno())
 
 
 def flush_active_checkpoints() -> int:
@@ -215,35 +361,21 @@ class SweepCheckpoint:
     def _repair_tail(path: Path) -> None:
         """Make the file end with a newline before appending to it.
 
-        A crash mid-append can leave an unterminated final line.  If the
-        bytes after the last newline parse as JSON, only the terminating
-        newline was lost — restore it, keeping the record.  Otherwise the
-        tail is torn garbage (already skipped by :meth:`_read`): drop it,
-        so the next append starts a fresh line instead of gluing onto the
-        partial one and corrupting both records.
+        See :func:`repair_jsonl_tail` (shared with the columnar store's
+        write-ahead tail).
         """
-        data = path.read_bytes()
-        if not data or data.endswith(b"\n"):
-            return
-        cut = data.rfind(b"\n") + 1
-        tail = data[cut:]
-        with path.open("r+b") as handle:
-            try:
-                json.loads(tail.decode("utf-8"))
-            except (UnicodeDecodeError, ValueError):
-                handle.seek(cut)
-                handle.truncate()
-            else:
-                handle.seek(0, os.SEEK_END)
-                handle.write(b"\n")
-            handle.flush()
-            os.fsync(handle.fileno())
+        repair_jsonl_tail(path)
 
     @staticmethod
     def _read(
         path: Path,
     ) -> Tuple[Dict[str, object], Dict[Tuple[int, int], Triple]]:
-        lines = path.read_text(encoding="utf-8").splitlines()
+        try:
+            lines = path.read_text(encoding="utf-8").splitlines()
+        except (OSError, UnicodeDecodeError) as exc:
+            raise CheckpointError(
+                f"checkpoint {path} is unreadable: {exc}"
+            ) from exc
         if not lines:
             raise CheckpointError(f"checkpoint {path} is empty")
         try:
@@ -252,7 +384,7 @@ class SweepCheckpoint:
             raise CheckpointError(
                 f"checkpoint {path} has an unreadable header: {exc}"
             ) from exc
-        if header.get("kind") != "header":
+        if not isinstance(header, dict) or header.get("kind") != "header":
             raise CheckpointError(
                 f"checkpoint {path} does not start with a header record"
             )
@@ -280,17 +412,8 @@ class SweepCheckpoint:
                     f"checkpoint {path} line {index} is corrupt "
                     "(not the final line, so this is not a torn tail)"
                 )
-            if record.get("kind") != "point":
-                raise CheckpointError(
-                    f"checkpoint {path} line {index} has unknown kind "
-                    f"{record.get('kind')!r}"
-                )
-            values = record["v"]
-            completed[(int(record["n"]), int(record["r"]))] = (
-                float(values[0]),
-                float(values[1]),
-                float(values[2]),
-            )
+            key, triple = parse_point_record(record, path, index)
+            completed[key] = triple
         return fingerprint, completed
 
     @classmethod

@@ -9,22 +9,30 @@ the ergodic-flow homomorphism numerically via
 
 from __future__ import annotations
 
-from repro.chains.counter import counter_lifting
-from repro.chains.parallel import parallel_lifting
-from repro.chains.scu import scu_lifting
 from repro.markov.lifting import LiftingReport
+
+# The chain builders are imported lazily inside each wrapper:
+# ``repro.chains.scu`` imports ``repro.core.memo`` (for its disk-memoized
+# exact solvers), so a module-level import here would close an import
+# cycle through ``repro.core.__init__``.
 
 
 def verify_scu_lifting(n: int, *, atol: float = 1e-9) -> LiftingReport:
     """Verify Lemma 5 for ``n`` processes (exponential; keep ``n <= 10``)."""
+    from repro.chains.scu import scu_lifting
+
     return scu_lifting(n).verify(atol=atol)
 
 
 def verify_parallel_lifting(n: int, q: int, *, atol: float = 1e-9) -> LiftingReport:
     """Verify Lemma 10 for ``n`` processes and preamble length ``q``."""
+    from repro.chains.parallel import parallel_lifting
+
     return parallel_lifting(n, q).verify(atol=atol)
 
 
 def verify_counter_lifting(n: int, *, atol: float = 1e-9) -> LiftingReport:
     """Verify Lemma 13 for ``n`` processes (exponential; keep ``n <= 14``)."""
+    from repro.chains.counter import counter_lifting
+
     return counter_lifting(n).verify(atol=atol)

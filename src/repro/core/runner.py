@@ -183,12 +183,18 @@ class ResilientExecutor:
         *,
         chunk_size: Optional[int] = None,
         on_result: Optional[Callable[[Hashable, object], None]] = None,
+        collect: bool = True,
     ) -> Dict[Hashable, object]:
         """Execute every task, retrying/rebuilding/degrading as needed.
 
         ``on_result(key, result)`` fires once per task as soon as its
         chunk completes — the checkpoint hook.  Raises
         :class:`TaskError` if a single task exhausts its retries.
+
+        ``collect=False`` returns an empty dict instead of accumulating
+        every result — for streaming callers (million-replicate sweeps)
+        whose ``on_result`` consumes results as they land, keeping the
+        executor's memory O(in-flight), not O(tasks).
         """
         keys = list(tasks)
         if not keys:
@@ -211,6 +217,7 @@ class ResilientExecutor:
             for start in range(0, len(keys), chunk_size)
         )
         results: Dict[Hashable, object] = {}
+        completed = 0
         attempts: Dict[Tuple, int] = {}
         in_flight: Dict[object, Tuple[Tuple, float]] = {}
         policy = self.policy
@@ -223,6 +230,7 @@ class ResilientExecutor:
         pool_hung = False
 
         def finish(unit: Tuple, values: List) -> None:
+            nonlocal completed
             if len(values) != len(unit):
                 raise TaskError(
                     unit[0] if len(unit) == 1 else unit,
@@ -232,7 +240,9 @@ class ResilientExecutor:
                     ),
                 )
             for key, value in zip(unit, values):
-                results[key] = value
+                if collect:
+                    results[key] = value
+                completed += 1
                 if on_result is not None:
                     on_result(key, value)
 
@@ -381,7 +391,7 @@ class ResilientExecutor:
                 else:
                     pool.shutdown(wait=True)
             if telemetry_on:
-                self._settle_telemetry(stats_before, len(results))
+                self._settle_telemetry(stats_before, completed)
         return results
 
     def _settle_telemetry(self, before: Tuple, completed: int) -> None:

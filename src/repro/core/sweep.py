@@ -22,11 +22,16 @@ Long sweeps are *fault-tolerant*: :func:`parallel_sweep` runs on a
 pool deaths are retried with backoff, isolated, or degraded to
 in-process execution — never silently dropped), and both sweeps accept
 ``checkpoint=``/``resume=`` (an append-only
-:class:`repro.core.checkpoint.SweepCheckpoint`) so an interrupted sweep
-re-runs only the missing replicates.  None of this machinery can change
-results: every replicate is pure work keyed by ``(seed, n, replicate)``,
-so a retried or resumed replicate recomputes exactly the bytes the
-uninterrupted run would have produced.
+:class:`repro.core.checkpoint.SweepCheckpoint`) or ``store=`` (a
+chunked columnar :class:`repro.core.store.ColumnarSweepStore`, the
+million-replicate format) so an interrupted sweep re-runs only the
+missing replicates.  Aggregation is streaming
+(:class:`StreamingSweepAggregator`): replicate triples fold into
+Welford accumulators as they land, so sweep memory is O(sweep points),
+not O(replicates).  None of this machinery can change results: every
+replicate is pure work keyed by ``(seed, n, replicate)``, so a retried
+or resumed replicate recomputes exactly the bytes the uninterrupted run
+would have produced.
 """
 
 from __future__ import annotations
@@ -34,11 +39,16 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.checkpoint import SweepCheckpoint, sweep_fingerprint
+from repro.core.checkpoint import (
+    CrashTimesLike,
+    ResolvedCrashSchedule,
+    SweepCheckpoint,
+    sweep_fingerprint,
+)
 from repro.core.latency import (
     measure_latencies,
     measure_latencies_ensemble,
@@ -48,16 +58,25 @@ from repro.core.runner import ResilientExecutor, RetryPolicy
 from repro.core.scheduler import Scheduler, UniformStochasticScheduler
 from repro.sim.memory import Memory
 from repro.sim.process import ProcessFactory
-from repro.stats.estimators import MeanEstimate, mean_confidence_interval
+from repro.core.store import ColumnarSweepStore
+from repro.stats.estimators import (
+    MeanEstimate,
+    StreamingMeanEstimator,
+)
 
 _ENGINES = ("serial", "batched", "ensemble")
 
-#: Crash schedules for sweeps: either one ``{pid: time}`` map applied at
-#: every process count, or a callable ``n -> {pid: time}`` so the crash
-#: set can scale with the sweep point (the Corollary 2 shape: crash all
-#: but ``k`` of ``n``).  Callables must be picklable for
-#: :func:`parallel_sweep` (module-level functions / ``functools.partial``).
-CrashTimesLike = Union[Dict[int, int], Callable[[int], Dict[int, int]], None]
+# Crash schedules for sweeps (``CrashTimesLike``): one ``{pid: time}``
+# map applied at every process count, a callable ``n -> {pid: time}`` so
+# the crash set can scale with the sweep point (the Corollary 2 shape:
+# crash all but ``k`` of ``n``), or an already-resolved
+# :class:`ResolvedCrashSchedule`.  Both sweeps resolve the schedule
+# exactly once, up front, and feed the *same* resolved map to the
+# fingerprint and to every replicate — a stateful or nondeterministic
+# callable can no longer diverge the stored fingerprint from the
+# executed crash config.  A side effect: the resolved schedule is a
+# plain frozen dataclass of dicts, so :func:`parallel_sweep` no longer
+# needs the callable itself to be picklable.
 
 
 def _resolve_crash_times(
@@ -66,6 +85,8 @@ def _resolve_crash_times(
     """The crash map for one sweep point."""
     if crash_times is None:
         return None
+    if isinstance(crash_times, ResolvedCrashSchedule):
+        return crash_times.for_n(n)
     if callable(crash_times):
         return crash_times(n)
     return crash_times
@@ -204,8 +225,9 @@ def _chunk_worker(
     )
 
 
-def _open_checkpoint(
+def _open_result_log(
     checkpoint,
+    store,
     resume: bool,
     *,
     seed: int,
@@ -216,11 +238,25 @@ def _open_checkpoint(
     burn_in: Optional[int],
     crash_times: CrashTimesLike,
     telemetry=None,
-) -> Optional[SweepCheckpoint]:
-    """Open/validate the sweep's checkpoint, if one was requested."""
-    if checkpoint is None:
+):
+    """Open/validate the sweep's result log, if one was requested.
+
+    ``checkpoint`` names a JSONL :class:`SweepCheckpoint` file,
+    ``store`` a :class:`ColumnarSweepStore` directory; at most one may
+    be given.  Both carry the same fingerprint and the same
+    ``record``/``completed``/``close`` interface, so the sweeps treat
+    them interchangeably.
+    """
+    if checkpoint is not None and store is not None:
+        raise ValueError(
+            "pass checkpoint=<file> or store=<dir>, not both — they are "
+            "two formats of the same result log"
+        )
+    if checkpoint is None and store is None:
         if resume:
-            raise ValueError("resume=True requires checkpoint=<path>")
+            raise ValueError(
+                "resume=True requires checkpoint=<path> or store=<dir>"
+            )
         return None
     fingerprint = sweep_fingerprint(
         seed=seed,
@@ -231,6 +267,10 @@ def _open_checkpoint(
         burn_in=burn_in,
         crash_times=crash_times,
     )
+    if store is not None:
+        return ColumnarSweepStore.open(
+            store, fingerprint, resume=resume, telemetry=telemetry
+        )
     return SweepCheckpoint.open(
         checkpoint, fingerprint, resume=resume, telemetry=telemetry
     )
@@ -247,27 +287,113 @@ def _note_point_telemetry(telemetry, n: int, replicates: int, seconds: float) ->
     )
 
 
+class StreamingSweepAggregator:
+    """Streaming per-``(n, metric)`` aggregation for sweep results.
+
+    Three :class:`StreamingMeanEstimator` accumulators per sweep point
+    (system latency, completion rate, fairness ratio), fed one replicate
+    triple at a time via :meth:`add` — memory is O(sweep points), not
+    O(replicates), which is what makes million-replicate sweeps fit.
+
+    Replicates may :meth:`add` in *any* order (parallel sweeps complete
+    out of order; resumed sweeps replay the log first), but the
+    accumulators are always folded in canonical ``replicate`` order:
+    out-of-order arrivals wait in a small pending buffer until the gap
+    before them fills.  Folding order is therefore a function of the
+    sweep's task set alone, never of scheduling — which is why serial,
+    batched, ensemble, parallel and resumed runs of the same sweep
+    produce bit-identical :class:`SweepPoint` lists.
+    """
+
+    def __init__(self, n_values: Sequence[int], repeats: int):
+        if repeats < 2:
+            raise ValueError("repeats must be at least 2 for confidence intervals")
+        self._n_values = list(n_values)
+        self._repeats = repeats
+        self._accumulators: Dict[int, Tuple[StreamingMeanEstimator, ...]] = {
+            n: tuple(StreamingMeanEstimator() for _ in range(3))
+            for n in self._n_values
+        }
+        self._pending: Dict[int, Dict[int, Tuple[float, float, float]]] = {
+            n: {} for n in self._n_values
+        }
+        self._cursor: Dict[int, int] = {n: 0 for n in self._n_values}
+
+    def add(self, key: Tuple[int, int], triple: Sequence[float]) -> None:
+        """Fold one replicate's ``(latency, rate, fairness)`` triple."""
+        n, r = key
+        if n not in self._accumulators:
+            raise KeyError(f"replicate key {key} has n outside the sweep")
+        if not 0 <= r < self._repeats:
+            raise KeyError(
+                f"replicate key {key} has replicate outside [0, {self._repeats})"
+            )
+        pending = self._pending[n]
+        if r < self._cursor[n] or r in pending:
+            raise ValueError(f"replicate {key} was already added")
+        pending[r] = (float(triple[0]), float(triple[1]), float(triple[2]))
+        cursor = self._cursor[n]
+        accumulators = self._accumulators[n]
+        while cursor in pending:
+            for accumulator, value in zip(accumulators, pending.pop(cursor)):
+                accumulator.add(value)
+            cursor += 1
+        self._cursor[n] = cursor
+
+    @property
+    def pending_count(self) -> int:
+        """Replicates buffered out-of-order, awaiting an earlier gap."""
+        return sum(len(pending) for pending in self._pending.values())
+
+    @property
+    def completed_count(self) -> int:
+        """Replicates already folded into the accumulators."""
+        return sum(self._cursor.values())
+
+    def points(self, confidence: float) -> List[SweepPoint]:
+        """The finished :class:`SweepPoint` list; every replicate must
+        have been added."""
+        missing = [
+            n
+            for n in self._n_values
+            if self._cursor[n] != self._repeats
+        ]
+        if missing:
+            raise ValueError(
+                f"sweep points n={missing} are missing replicates "
+                f"(expected {self._repeats} each)"
+            )
+        points: List[SweepPoint] = []
+        for n in self._n_values:
+            latency, rate, fairness = self._accumulators[n]
+            points.append(
+                SweepPoint(
+                    n=n,
+                    system_latency=latency.estimate(confidence),
+                    completion_rate=rate.estimate(confidence),
+                    fairness_ratio=fairness.estimate(confidence),
+                )
+            )
+        return points
+
+
 def _collect_points(
     n_values: Sequence[int],
     repeats: int,
     results: Dict[Tuple[int, int], Tuple[float, float, float]],
     confidence: float,
 ) -> List[SweepPoint]:
-    points: List[SweepPoint] = []
+    """Aggregate a completed results dict into sweep points.
+
+    Delegates to :class:`StreamingSweepAggregator` so batch and
+    streaming aggregation are a single code path producing identical
+    bits.
+    """
+    aggregator = StreamingSweepAggregator(n_values, repeats)
     for n in n_values:
-        replicates = [results[(n, r)] for r in range(repeats)]
-        latencies = [rep[0] for rep in replicates]
-        rates = [rep[1] for rep in replicates]
-        fairness = [rep[2] for rep in replicates]
-        points.append(
-            SweepPoint(
-                n=n,
-                system_latency=mean_confidence_interval(latencies, confidence),
-                completion_rate=mean_confidence_interval(rates, confidence),
-                fairness_ratio=mean_confidence_interval(fairness, confidence),
-            )
-        )
-    return points
+        for r in range(repeats):
+            aggregator.add((n, r), results[(n, r)])
+    return aggregator.points(confidence)
 
 
 def latency_sweep(
@@ -285,6 +411,7 @@ def latency_sweep(
     burn_in: Optional[int] = None,
     crash_times: CrashTimesLike = None,
     checkpoint=None,
+    store=None,
     resume: bool = False,
     on_progress: Optional[Callable[[int, int, Tuple[int, int]], None]] = None,
     telemetry=None,
@@ -300,18 +427,24 @@ def latency_sweep(
     ``engine="batched"``.
 
     ``crash_times`` turns the sweep into a halting-failure study
-    (Corollary 2): a ``{pid: time}`` map applied at every sweep point, or
-    a callable ``n -> {pid: time}`` when the crash set depends on the
-    process count.  All three engines accept it and stay bit-identical.
-    ``burn_in`` overrides the per-replicate burn-in (default
-    ``steps // 10``) — crash sweeps usually want it past the crash
-    transient.
+    (Corollary 2): a ``{pid: time}`` map applied at every sweep point, a
+    callable ``n -> {pid: time}`` when the crash set depends on the
+    process count, or a pre-resolved
+    :class:`~repro.core.checkpoint.ResolvedCrashSchedule`.  A callable
+    is resolved exactly once, up front; the fingerprint and every
+    replicate see the same resolved map.  All three engines accept it
+    and stay bit-identical.  ``burn_in`` overrides the per-replicate
+    burn-in (default ``steps // 10``) — crash sweeps usually want it
+    past the crash transient.
 
-    ``checkpoint`` names a :class:`SweepCheckpoint` JSONL file; finished
-    replicates are appended as they land, and ``resume=True`` skips the
-    ones already recorded (after validating the checkpoint belongs to
-    *this* sweep).  ``on_progress(done, total, (n, replicate))`` fires
-    after each replicate.  Neither can change the numbers.
+    ``checkpoint`` names a :class:`SweepCheckpoint` JSONL file and
+    ``store`` a :class:`~repro.core.store.ColumnarSweepStore` directory
+    (at most one of the two); finished replicates are appended as they
+    land, and ``resume=True`` skips the ones already recorded (after
+    validating the log belongs to *this* sweep).  Resuming from either
+    format is bit-identical to the uninterrupted run.
+    ``on_progress(done, total, (n, replicate))`` fires after each
+    replicate.  None of this can change the numbers.
 
     ``telemetry`` (a :class:`~repro.core.telemetry.MetricsRegistry`)
     records per-point wall time, replicate counts and throughput, plus
@@ -326,8 +459,10 @@ def latency_sweep(
         scheduler_builder = UniformStochasticScheduler
     chosen = _resolve_engine(engine, batched)
     telemetry_on = telemetry is not None and telemetry.enabled
-    ckpt = _open_checkpoint(
+    schedule = ResolvedCrashSchedule.resolve(crash_times, n_values)
+    log = _open_result_log(
         checkpoint,
+        store,
         resume,
         seed=seed,
         steps=steps,
@@ -335,15 +470,18 @@ def latency_sweep(
         n_values=n_values,
         repeats=repeats,
         burn_in=burn_in,
-        crash_times=crash_times,
+        crash_times=schedule,
         telemetry=telemetry,
     )
-    results: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
-    if ckpt is not None:
-        results.update(ckpt.completed)
+    aggregator = StreamingSweepAggregator(n_values, repeats)
+    recorded = set()
+    if log is not None:
+        for key, triple in log.completed.items():
+            aggregator.add(key, triple)
+            recorded.add(key)
     total = len(n_values) * repeats
-    done = len(results)
-    if telemetry_on and ckpt is not None and resume:
+    done = len(recorded)
+    if telemetry_on and log is not None and resume:
         telemetry.inc("checkpoint.resume_misses", total - done)
     sweep_started = time.perf_counter() if telemetry_on else 0.0
     run_replicates = 0
@@ -351,15 +489,16 @@ def latency_sweep(
     def note(key: Tuple[int, int], triple: Tuple[float, float, float]) -> None:
         nonlocal done
         done += 1
-        if ckpt is not None:
-            ckpt.record(key[0], key[1], triple)
+        aggregator.add(key, triple)
+        if log is not None:
+            log.record(key[0], key[1], triple)
         if on_progress is not None:
             on_progress(done, total, key)
 
     try:
         if chosen == "ensemble":
             for n in n_values:
-                missing = [r for r in range(repeats) if (n, r) not in results]
+                missing = [r for r in range(repeats) if (n, r) not in recorded]
                 if not missing:
                     continue
                 point_started = time.perf_counter() if telemetry_on else 0.0
@@ -371,7 +510,7 @@ def latency_sweep(
                     [(seed, n, r) for r in missing],
                     burn_in=burn_in,
                     memory_factory=memory_builder,
-                    crash_times=_resolve_crash_times(crash_times, n),
+                    crash_times=_resolve_crash_times(schedule, n),
                     telemetry=telemetry,
                 )
                 for r, measurement in zip(missing, measurements):
@@ -380,7 +519,6 @@ def latency_sweep(
                         measurement.completion_rate,
                         measurement.fairness_ratio,
                     )
-                    results[(n, r)] = triple
                     note((n, r), triple)
                 run_replicates += len(missing)
                 if telemetry_on:
@@ -395,7 +533,7 @@ def latency_sweep(
                 point_started = time.perf_counter() if telemetry_on else 0.0
                 point_replicates = 0
                 for r in range(repeats):
-                    if (n, r) in results:
+                    if (n, r) in recorded:
                         continue
                     triple = _run_replicate(
                         factory_builder,
@@ -407,10 +545,9 @@ def latency_sweep(
                         r,
                         chosen == "batched",
                         burn_in,
-                        crash_times,
+                        schedule,
                         telemetry,
                     )
-                    results[(n, r)] = triple
                     note((n, r), triple)
                     point_replicates += 1
                 run_replicates += point_replicates
@@ -422,15 +559,15 @@ def latency_sweep(
                         time.perf_counter() - point_started,
                     )
     finally:
-        if ckpt is not None:
-            ckpt.close()
+        if log is not None:
+            log.close()
     if telemetry_on:
         elapsed = time.perf_counter() - sweep_started
         if run_replicates and elapsed > 0:
             telemetry.set_gauge(
                 "sweep.replicates_per_sec", run_replicates / elapsed
             )
-    return _collect_points(n_values, repeats, results, confidence)
+    return aggregator.points(confidence)
 
 
 def parallel_sweep(
@@ -449,6 +586,7 @@ def parallel_sweep(
     burn_in: Optional[int] = None,
     crash_times: CrashTimesLike = None,
     checkpoint=None,
+    store=None,
     resume: bool = False,
     on_progress: Optional[Callable[[int, int, Tuple[int, int]], None]] = None,
     retry: Optional[RetryPolicy] = None,
@@ -482,19 +620,21 @@ def parallel_sweep(
     Retries re-run pure deterministic work, so fault recovery cannot
     change a single bit of the output.
 
-    ``checkpoint``/``resume``/``on_progress`` behave exactly as in
-    :func:`latency_sweep`; a checkpoint written by a (serial-engine)
-    ``latency_sweep`` with matching parameters is accepted here and vice
-    versa.  ``pool_factory`` swaps the process pool implementation — the
-    fault-injection hook :class:`repro.testing.chaos.ChaosPool` plugs in
-    there.
+    ``checkpoint``/``store``/``resume``/``on_progress`` behave exactly
+    as in :func:`latency_sweep`; a checkpoint written by a
+    (serial-engine) ``latency_sweep`` with matching parameters is
+    accepted here and vice versa.  ``pool_factory`` swaps the process
+    pool implementation — the fault-injection hook
+    :class:`repro.testing.chaos.ChaosPool` plugs in there.
 
     The builders must be picklable (module-level functions or
     ``functools.partial`` over module-level functions; closures and
-    lambdas are not).  The same goes for a callable ``crash_times`` —
-    a dict always pickles.  ``batched`` defaults to True here: a sweep
-    big enough to parallelise is big enough to want the fast path.
-    ``max_workers`` caps the pool size (``None`` = one per CPU).
+    lambdas are not).  A callable ``crash_times`` need not be: it is
+    resolved once in the parent and only the resolved schedule (a
+    frozen dataclass of dicts) ships to workers.  ``batched`` defaults
+    to True here: a sweep big enough to parallelise is big enough to
+    want the fast path.  ``max_workers`` caps the pool size (``None`` =
+    one per CPU).
 
     ``telemetry`` stays in the *parent* process (registries are not
     shipped to pickled workers): it records the executor's recovery
@@ -510,8 +650,10 @@ def parallel_sweep(
     if scheduler_builder is None:
         scheduler_builder = UniformStochasticScheduler
     telemetry_on = telemetry is not None and telemetry.enabled
-    ckpt = _open_checkpoint(
+    schedule = ResolvedCrashSchedule.resolve(crash_times, n_values)
+    log = _open_result_log(
         checkpoint,
+        store,
         resume,
         seed=seed,
         steps=steps,
@@ -519,26 +661,33 @@ def parallel_sweep(
         n_values=n_values,
         repeats=repeats,
         burn_in=burn_in,
-        crash_times=crash_times,
+        crash_times=schedule,
         telemetry=telemetry,
     )
-    results: Dict[Tuple[int, int], Tuple[float, float, float]] = {}
-    if ckpt is not None:
-        results.update(ckpt.completed)
+    aggregator = StreamingSweepAggregator(n_values, repeats)
+    recorded = set()
+    if log is not None:
+        for key, triple in log.completed.items():
+            aggregator.add(key, triple)
+            recorded.add(key)
     total = len(n_values) * repeats
-    done = len(results)
+    done = len(recorded)
     tasks = [
-        (n, r) for n in n_values for r in range(repeats) if (n, r) not in results
+        (n, r)
+        for n in n_values
+        for r in range(repeats)
+        if (n, r) not in recorded
     ]
-    if telemetry_on and ckpt is not None and resume:
+    if telemetry_on and log is not None and resume:
         telemetry.inc("checkpoint.resume_misses", len(tasks))
     sweep_started = time.perf_counter() if telemetry_on else 0.0
 
     def note(key: Tuple[int, int], triple: Tuple[float, float, float]) -> None:
         nonlocal done
         done += 1
-        if ckpt is not None:
-            ckpt.record(key[0], key[1], triple)
+        aggregator.add(key, triple)
+        if log is not None:
+            log.record(key[0], key[1], triple)
         if on_progress is not None:
             on_progress(done, total, key)
 
@@ -553,26 +702,28 @@ def parallel_sweep(
                 pool_factory=pool_factory,
                 telemetry=telemetry,
             )
-            results.update(
-                executor.run(
-                    tasks,
-                    args=(
-                        factory_builder,
-                        memory_builder,
-                        scheduler_builder,
-                        steps,
-                        seed,
-                        batched,
-                        burn_in,
-                        crash_times,
-                    ),
-                    chunk_size=chunk_size,
-                    on_result=note,
-                )
+            # ``on_result`` fires exactly once per task, so the
+            # aggregator sees every replicate; ``collect=False`` keeps
+            # the executor from building a second O(replicates) dict.
+            executor.run(
+                tasks,
+                args=(
+                    factory_builder,
+                    memory_builder,
+                    scheduler_builder,
+                    steps,
+                    seed,
+                    batched,
+                    burn_in,
+                    schedule,
+                ),
+                chunk_size=chunk_size,
+                on_result=note,
+                collect=False,
             )
     finally:
-        if ckpt is not None:
-            ckpt.close()
+        if log is not None:
+            log.close()
     if telemetry_on:
         elapsed = time.perf_counter() - sweep_started
         telemetry.inc("sweep.points", len(n_values))
@@ -582,7 +733,7 @@ def parallel_sweep(
             telemetry.set_gauge(
                 "sweep.replicates_per_sec", len(tasks) / elapsed
             )
-    return _collect_points(n_values, repeats, results, confidence)
+    return aggregator.points(confidence)
 
 
 def sweep_table(points: Sequence[SweepPoint], *, precision: int = 3) -> str:

@@ -370,12 +370,17 @@ def write_run_report(
     uniformity observer's verdict and free-form ``extra`` context (CLI
     arguments, workload names).  The schema is versioned so downstream
     dashboards can evolve with it.
+
+    Schema 2: ``extra`` lives under its own ``report["extra"]`` key.
+    Schema 1 merged it into the top level, where a caller-supplied key
+    could silently clobber ``schema``/``command`` and was in turn
+    silently clobbered by the reserved ``metrics``/``uniformity`` keys.
     """
-    report: Dict[str, Any] = {"schema": 1}
+    report: Dict[str, Any] = {"schema": 2}
     if command is not None:
         report["command"] = command
     if extra:
-        report.update(extra)
+        report["extra"] = dict(extra)
     report["metrics"] = registry.report()
     if observer is not None:
         report["uniformity"] = observer.report()

@@ -94,11 +94,20 @@ def fundamental_matrix(chain: MarkovChain, absorbing: Sequence[State]) -> np.nda
     ``j`` starting from transient state ``i`` before absorption.  Rows and
     columns are ordered by the chain's state order with absorbing states
     removed.
+
+    Sparse chains never densify the full transition matrix: ``I - Q`` is
+    restricted and factorised sparsely, and only the (inherently dense)
+    ``N`` itself is materialised.
     """
     absorbing_idx = {chain.index_of(s) for s in absorbing}
     others = [i for i in range(chain.n_states) if i not in absorbing_idx]
     if not others:
         raise ValueError("all states are absorbing; no transient part")
-    dense = chain.dense()
-    q = dense[np.ix_(others, others)]
-    return np.linalg.inv(np.eye(len(others)) - q)
+    m = len(others)
+    if chain.is_sparse:
+        q = chain.matrix.tocsr()[others, :][:, others]
+        a = sp.identity(m, format="csc") - q.tocsc()
+        lu = spla.splu(a)
+        return lu.solve(np.eye(m))
+    q = chain.matrix[np.ix_(others, others)]
+    return np.linalg.inv(np.eye(m) - q)

@@ -1,15 +1,28 @@
 """Stationary distributions of finite Markov chains.
 
 The stationary distribution pi satisfies ``pi = pi @ P`` (row vector
-convention, matching the paper).  Two solvers are provided:
+convention, matching the paper).  Three solvers are provided:
 
 ``solve``
     Direct sparse/dense linear solve of ``(P^T - I) pi^T = 0`` with the
     normalisation constraint folded in.  Exact up to floating point; the
-    default for chains that fit in memory.
+    default for chains that fit in memory.  Sparse chains stay sparse
+    end to end — the constrained system is assembled CSR-native, never
+    densified.
 ``power``
-    Power iteration ``pi <- pi @ P``; useful as an independent
-    cross-check and for very large sparse chains.
+    *Lazy* power iteration ``pi <- (pi @ P + pi) / 2``; useful as an
+    independent cross-check and for very large sparse chains.  The lazy
+    chain ``(P + I) / 2`` has exactly the stationary distribution of
+    ``P`` and is aperiodic whenever ``P`` is irreducible, so iteration
+    converges even for periodic chains — the paper's scan-validate
+    chains all have period 2 (every step flips the parity of the READ
+    count), where plain iteration would oscillate forever.
+``auto``
+    ``solve`` below :data:`AUTO_POWER_THRESHOLD` states, ``power``
+    (falling back to ``solve`` on non-convergence) for sparse chains at
+    or above it — the sparse-first policy the exact-latency solvers
+    use, so million-state chains never hit a superlinear direct solve
+    by default.
 """
 
 from __future__ import annotations
@@ -20,6 +33,10 @@ import scipy.sparse.linalg as spla
 
 from repro.markov.chain import MarkovChain
 
+#: ``method="auto"`` switches from the direct solve to power iteration
+#: for sparse chains with at least this many states.
+AUTO_POWER_THRESHOLD = 200_000
+
 
 def stationary_distribution(
     chain: MarkovChain,
@@ -28,16 +45,18 @@ def stationary_distribution(
     tol: float = 1e-12,
     max_iterations: int = 1_000_000,
 ) -> np.ndarray:
-    """Stationary distribution of an ergodic chain, as a row vector.
+    """Stationary distribution of an irreducible chain, as a row vector.
 
     Parameters
     ----------
     chain:
-        The chain; must be ergodic for the result to be the unique
-        limiting distribution (this is not re-checked here — use
+        The chain; must be irreducible for the result to be the unique
+        stationary distribution (this is not re-checked here — use
         :func:`repro.markov.properties.is_ergodic`).
     method:
-        ``"solve"`` (default) or ``"power"``.
+        ``"solve"`` (default), ``"power"``, or ``"auto"`` (sparse-first:
+        direct solve for small chains, power iteration with a solve
+        fallback for large sparse ones).
     tol:
         Convergence tolerance for power iteration (L1 change per sweep).
     max_iterations:
@@ -47,7 +66,18 @@ def stationary_distribution(
         return _solve_stationary(chain)
     if method == "power":
         return _power_stationary(chain, tol=tol, max_iterations=max_iterations)
-    raise ValueError(f"unknown method {method!r}; expected 'solve' or 'power'")
+    if method == "auto":
+        if sp.issparse(chain.matrix) and chain.n_states >= AUTO_POWER_THRESHOLD:
+            try:
+                return _power_stationary(
+                    chain, tol=tol, max_iterations=max_iterations
+                )
+            except ArithmeticError:
+                return _solve_stationary(chain)
+        return _solve_stationary(chain)
+    raise ValueError(
+        f"unknown method {method!r}; expected 'solve', 'power' or 'auto'"
+    )
 
 
 def _solve_stationary(chain: MarkovChain) -> np.ndarray:
@@ -57,11 +87,15 @@ def _solve_stationary(chain: MarkovChain) -> np.ndarray:
     matrix = chain.matrix
     if sp.issparse(matrix):
         # (P^T - I) x = 0 with sum(x) = 1: replace the last equation.
-        a = (matrix.T - sp.identity(k, format="csr")).tolil()
-        a[k - 1, :] = 1.0
+        # Assembled CSR-native (slice + vstack); a LIL round-trip here
+        # costs a dense-row materialisation per state at million-state
+        # scale.
+        a = (matrix.T - sp.identity(k, format="csr")).tocsr()
+        ones_row = sp.csr_matrix(np.ones((1, k)))
+        a = sp.vstack([a[: k - 1, :], ones_row], format="csr")
         b = np.zeros(k)
         b[k - 1] = 1.0
-        x = spla.spsolve(a.tocsr(), b)
+        x = spla.spsolve(a, b)
     else:
         a = matrix.T - np.eye(k)
         a[k - 1, :] = 1.0
@@ -83,7 +117,10 @@ def _power_stationary(
     k = chain.n_states
     pi = np.full(k, 1.0 / k)
     for _ in range(max_iterations):
-        nxt = chain.step_distribution(pi)
+        # Lazy step: iterate (P + I) / 2, which shares P's stationary
+        # distribution but is aperiodic, so periodic chains (period 2
+        # for every scan-validate chain) converge instead of cycling.
+        nxt = 0.5 * (chain.step_distribution(pi) + pi)
         if np.abs(nxt - pi).sum() < tol:
             return nxt / nxt.sum()
         pi = nxt

@@ -8,6 +8,7 @@ from repro.stats.compare import (
 )
 from repro.stats.estimators import (
     MeanEstimate,
+    StreamingMeanEstimator,
     autocorrelation,
     batch_means,
     effective_sample_size,
@@ -24,6 +25,7 @@ from repro.stats.ramanujan import (
 
 __all__ = [
     "MeanEstimate",
+    "StreamingMeanEstimator",
     "autocorrelation",
     "batch_means",
     "birthday_expected_collision",

@@ -44,6 +44,53 @@ def mean_confidence_interval(
     return MeanEstimate(mean, t_crit * sem, confidence, data.size)
 
 
+class StreamingMeanEstimator:
+    """Welford accumulator producing the same Student-t interval as
+    :func:`mean_confidence_interval` without holding the samples.
+
+    ``add`` is O(1) in time and memory, so a million-replicate sweep
+    point costs three floats of state instead of a million-entry list.
+    The running mean/variance recurrences differ from numpy's pairwise
+    summation only in floating-point association, so the resulting
+    estimate matches the batch path to float64 round-off (not bitwise)
+    — callers that need *bit*-identical results across execution paths
+    get them by feeding every path through this estimator in the same
+    order, which is what :class:`repro.core.sweep.StreamingSweepAggregator`
+    does.
+    """
+
+    __slots__ = ("count", "mean", "_m2")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.mean = 0.0
+        self._m2 = 0.0
+
+    def add(self, value: float) -> None:
+        """Fold one sample into the running mean and variance."""
+        self.count += 1
+        delta = float(value) - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (float(value) - self.mean)
+
+    @property
+    def variance(self) -> float:
+        """The unbiased sample variance of everything added so far."""
+        if self.count < 2:
+            raise ValueError("need at least two samples")
+        return self._m2 / (self.count - 1)
+
+    def estimate(self, confidence: float = 0.95) -> MeanEstimate:
+        """The Student-t interval over everything added so far."""
+        if self.count < 2:
+            raise ValueError("need at least two samples")
+        sem = float(np.sqrt(self.variance / self.count))
+        t_crit = float(
+            scipy.stats.t.ppf(0.5 + confidence / 2.0, self.count - 1)
+        )
+        return MeanEstimate(self.mean, t_crit * sem, confidence, self.count)
+
+
 def batch_means(samples: Sequence[float], batches: int = 20) -> np.ndarray:
     """Split a correlated series into batch means (for stationary series,
     batch means are approximately independent)."""

@@ -177,6 +177,52 @@ class TestOpenAndLoad:
             SweepCheckpoint.open(path, fingerprint(), resume=True)
 
 
+class TestMalformedRecords:
+    """JSON-valid but structurally broken point records must surface as
+    CheckpointError naming the line, never as raw KeyError/IndexError
+    (the _read bug: record["v"][2] was indexed without validation)."""
+
+    def _with_record(self, tmp_path, record) -> "SweepCheckpoint":
+        path = tmp_path / "cp.jsonl"
+        SweepCheckpoint.open(path, fingerprint()).close()
+        with path.open("a") as handle:
+            handle.write(json.dumps(record) + "\n")
+        return path
+
+    @pytest.mark.parametrize(
+        "record",
+        [
+            {"kind": "point", "n": 2, "r": 0},  # no v at all
+            {"kind": "point", "n": 2, "v": [1.0, 2.0, 3.0]},  # no r
+            {"kind": "point", "r": 0, "v": [1.0, 2.0, 3.0]},  # no n
+            {"kind": "point", "n": 2, "r": 0, "v": [1.0, 2.0]},  # short v
+            {"kind": "point", "n": 2, "r": 0, "v": [1.0, 2.0, 3.0, 4.0]},
+            {"kind": "point", "n": 2, "r": 0, "v": "nope"},
+            {"kind": "point", "n": 2, "r": 0, "v": [1.0, None, 3.0]},
+            {"kind": "point", "n": 2, "r": 0, "v": [1.0, True, 3.0]},
+            {"kind": "point", "n": "2", "r": 0, "v": [1.0, 2.0, 3.0]},
+            {"kind": "point", "n": 2, "r": True, "v": [1.0, 2.0, 3.0]},
+            ["kind", "point"],  # not even a dict
+        ],
+    )
+    def test_structurally_invalid_record_raises_checkpoint_error(
+        self, tmp_path, record
+    ):
+        path = self._with_record(tmp_path, record)
+        with pytest.raises(CheckpointError, match="line 2"):
+            SweepCheckpoint.open(path, fingerprint(), resume=True)
+
+    def test_valid_int_valued_triple_still_accepted(self, tmp_path):
+        # Structural validation must not tighten the accepted format:
+        # JSON integers in v are legal floats.
+        path = self._with_record(
+            tmp_path, {"kind": "point", "n": 2, "r": 0, "v": [1, 2, 3]}
+        )
+        assert SweepCheckpoint.load_completed(path) == {
+            (2, 0): (1.0, 2.0, 3.0)
+        }
+
+
 class TestRecording:
     def test_missing_lists_unrecorded_pairs_in_sweep_order(self, tmp_path):
         cp = SweepCheckpoint.open(tmp_path / "cp.jsonl", fingerprint())

@@ -128,7 +128,7 @@ class TestFigure5:
                      "--telemetry", str(path)])
         assert code == 0
         report = json.loads(path.read_text())
-        assert report["schema"] == 1
+        assert report["schema"] == 2
         assert report["command"] == "figure5"
         counters = report["metrics"]["counters"]
         assert counters["sim.runs"] == 2

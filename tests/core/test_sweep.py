@@ -1,10 +1,18 @@
 """Tests for the sweep helpers (repro.core.sweep)."""
 
+import random
+
 import pytest
 
 from repro.algorithms.counter import cas_counter, make_counter_memory
 from repro.chains.scu import scu_system_latency_exact
-from repro.core.sweep import latency_sweep, parallel_sweep, sweep_table
+from repro.core.sweep import (
+    StreamingSweepAggregator,
+    latency_sweep,
+    parallel_sweep,
+    sweep_table,
+)
+from repro.stats.estimators import mean_confidence_interval
 
 
 class TestLatencySweep:
@@ -174,3 +182,149 @@ class TestSweepTable:
         table = sweep_table(points)
         assert "+-" in table
         assert "system latency" in table
+
+
+class TestStreamingAggregator:
+    def triples(self, n_values, repeats, offset=0.0):
+        return {
+            (n, r): (
+                n + r / 7.0 + offset,
+                1.0 / (n + r + 1),
+                0.25 + 0.1 * r,
+            )
+            for n in n_values
+            for r in range(repeats)
+        }
+
+    def test_matches_batch_estimator_to_float64_tolerance(self):
+        n_values, repeats = [2, 4], 9
+        triples = self.triples(n_values, repeats)
+        aggregator = StreamingSweepAggregator(n_values, repeats)
+        for key, triple in triples.items():
+            aggregator.add(key, triple)
+        points = aggregator.points(0.95)
+        for point in points:
+            batch = [
+                mean_confidence_interval(
+                    [triples[(point.n, r)][i] for r in range(repeats)],
+                    confidence=0.95,
+                )
+                for i in range(3)
+            ]
+            streamed = (
+                point.system_latency,
+                point.completion_rate,
+                point.fairness_ratio,
+            )
+            for stream_est, batch_est in zip(streamed, batch):
+                assert stream_est.mean == pytest.approx(
+                    batch_est.mean, rel=1e-12, abs=1e-15
+                )
+                assert stream_est.half_width == pytest.approx(
+                    batch_est.half_width, rel=1e-12, abs=1e-15
+                )
+                assert stream_est.n_samples == batch_est.n_samples == repeats
+
+    def test_out_of_order_add_is_bit_identical_to_in_order(self):
+        # Parallel sweeps complete replicates in arbitrary order; the
+        # pending-buffer canonical folding makes the result a function
+        # of the task set alone.
+        n_values, repeats = [2, 4], 6
+        triples = self.triples(n_values, repeats)
+        in_order = StreamingSweepAggregator(n_values, repeats)
+        for key in sorted(triples):
+            in_order.add(key, triples[key])
+        shuffled = StreamingSweepAggregator(n_values, repeats)
+        keys = list(triples)
+        rng = random.Random(13)
+        rng.shuffle(keys)
+        for key in keys:
+            shuffled.add(key, triples[key])
+        assert shuffled.pending_count == 0
+        assert shuffled.points(0.95) == in_order.points(0.95)
+
+    def test_duplicate_replicate_rejected(self):
+        aggregator = StreamingSweepAggregator([2], 3)
+        aggregator.add((2, 0), (1.0, 1.0, 1.0))
+        with pytest.raises(ValueError, match="already added"):
+            aggregator.add((2, 0), (1.0, 1.0, 1.0))
+        # Out-of-order duplicates (still pending) are caught too.
+        aggregator.add((2, 2), (1.0, 1.0, 1.0))
+        with pytest.raises(ValueError, match="already added"):
+            aggregator.add((2, 2), (2.0, 2.0, 2.0))
+
+    def test_keys_outside_sweep_rejected(self):
+        aggregator = StreamingSweepAggregator([2], 3)
+        with pytest.raises(KeyError, match="outside the sweep"):
+            aggregator.add((8, 0), (1.0, 1.0, 1.0))
+        with pytest.raises(KeyError, match="outside"):
+            aggregator.add((2, 3), (1.0, 1.0, 1.0))
+
+    def test_points_with_missing_replicates_rejected(self):
+        aggregator = StreamingSweepAggregator([2, 4], 2)
+        aggregator.add((2, 0), (1.0, 1.0, 1.0))
+        aggregator.add((2, 1), (2.0, 2.0, 2.0))
+        with pytest.raises(ValueError, match=r"n=\[4\]"):
+            aggregator.points(0.95)
+
+
+class TestCrashScheduleResolution:
+    def test_callable_schedule_resolved_once_per_n(self):
+        # The resolve-once fix: the callable must be invoked exactly one
+        # time per sweep point, not once for the fingerprint and again
+        # per replicate (a nondeterministic callable used to crash
+        # different replicates than the fingerprint recorded).
+        calls = []
+
+        def schedule(n):
+            calls.append(n)
+            return {0: 50}
+
+        latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            [2, 4],
+            steps=5_000,
+            repeats=3,
+            crash_times=schedule,
+        )
+        assert calls == [2, 4]
+
+    def test_callable_and_equivalent_dict_schedules_agree(self):
+        kwargs = dict(steps=5_000, repeats=3, seed=3)
+        from_dict = latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            [2],
+            crash_times={0: 50},
+            **kwargs,
+        )
+        from_callable = latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            [2],
+            crash_times=lambda n: {0: 50},
+            **kwargs,
+        )
+        assert from_dict == from_callable
+
+    def test_parallel_sweep_accepts_unpicklable_callable(self):
+        # Resolution happens before dispatch, so lambdas (unpicklable
+        # by the stdlib pickler) are fine for parallel sweeps now.
+        kwargs = dict(steps=5_000, repeats=2, seed=3)
+        serial = latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            [2],
+            crash_times=lambda n: {0: 50},
+            **kwargs,
+        )
+        parallel = parallel_sweep(
+            cas_counter,
+            make_counter_memory,
+            [2],
+            max_workers=2,
+            crash_times=lambda n: {0: 50},
+            **kwargs,
+        )
+        assert serial == parallel

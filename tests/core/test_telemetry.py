@@ -544,11 +544,30 @@ class TestRunReport:
         )
         loaded = json.loads(path.read_text())
         assert loaded == written
-        assert loaded["schema"] == 1
+        assert loaded["schema"] == 2
         assert loaded["command"] == "test"
-        assert loaded["workload"] == "cas-counter"
+        assert loaded["extra"] == {"workload": "cas-counter"}
         assert loaded["metrics"] == registry.report()
         assert loaded["uniformity"]["runs"] == 1
+
+    def test_extras_cannot_clobber_reserved_keys(self, tmp_path):
+        # Schema 1 merged ``extra`` into the top level *before* setting
+        # metrics/uniformity: caller keys silently overwrote
+        # schema/command and were in turn overwritten by reserved keys.
+        # Schema 2 namespaces extras, preserving both sides verbatim.
+        registry = MetricsRegistry()
+        registry.inc("c")
+        path = tmp_path / "report.json"
+        extra = {"schema": "bogus", "command": "evil", "metrics": {"x": 1}}
+        written = write_run_report(
+            path, registry, command="real", extra=extra
+        )
+        loaded = json.loads(path.read_text())
+        assert loaded == written
+        assert loaded["schema"] == 2
+        assert loaded["command"] == "real"
+        assert loaded["metrics"] == registry.report()
+        assert loaded["extra"] == extra
 
     def test_observer_optional(self, tmp_path):
         registry = MetricsRegistry()

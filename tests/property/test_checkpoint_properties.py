@@ -69,3 +69,143 @@ def test_load_completed_matches_open(tmp_path_factory, data):
         for (n, r), triple in data.items():
             checkpoint.record(n, r, triple)
     assert SweepCheckpoint.load_completed(path) == data
+
+
+# -- corruption robustness -------------------------------------------------
+#
+# Whatever a crash, a flaky disk, or an editor does to the journal, a
+# resume either succeeds (torn-tail repair) or raises CheckpointError —
+# never an uncaught KeyError/IndexError/JSONDecodeError.  (That was the
+# _read bug: record["v"][2] was indexed before validation.)
+
+from repro.core.checkpoint import CheckpointError  # noqa: E402
+from repro.core.store import ColumnarSweepStore  # noqa: E402
+
+FINGERPRINT = sweep_fingerprint(
+    seed=0,
+    steps=100,
+    engine="batched",
+    n_values=[2, 4],
+    repeats=4,
+    burn_in=None,
+    crash_times=None,
+)
+
+
+def _journal_bytes(tmp_path_factory, data) -> tuple:
+    path = tmp_path_factory.mktemp("ckpt") / "cp.jsonl"
+    with SweepCheckpoint.open(path, FINGERPRINT) as checkpoint:
+        for (n, r), triple in data.items():
+            checkpoint.record(n, r, triple)
+    return path, path.read_bytes()
+
+
+def _assert_load_is_contained(path):
+    try:
+        completed = SweepCheckpoint.load_completed(path)
+    except CheckpointError:
+        return
+    assert isinstance(completed, dict)
+    # Resume-open agrees with the standalone loader on mutated input.
+    reopened = SweepCheckpoint.open(
+        path, SweepCheckpoint.load_fingerprint(path), resume=True
+    )
+    try:
+        assert reopened.completed == completed
+    finally:
+        reopened.close()
+
+
+@settings(max_examples=60, deadline=None)
+@given(triples, st.data())
+def test_truncated_journal_never_raises_uncaught(
+    tmp_path_factory, data, draw
+):
+    path, original = _journal_bytes(tmp_path_factory, data)
+    cut = draw.draw(st.integers(min_value=0, max_value=len(original)))
+    path.write_bytes(original[:cut])
+    _assert_load_is_contained(path)
+
+
+@settings(max_examples=60, deadline=None)
+@given(triples, st.data())
+def test_byte_flipped_journal_never_raises_uncaught(
+    tmp_path_factory, data, draw
+):
+    path, original = _journal_bytes(tmp_path_factory, data)
+    mutated = bytearray(original)
+    position = draw.draw(
+        st.integers(min_value=0, max_value=max(0, len(mutated) - 1))
+    )
+    flip = draw.draw(st.integers(min_value=1, max_value=255))
+    if mutated:
+        mutated[position] ^= flip
+    path.write_bytes(bytes(mutated))
+    _assert_load_is_contained(path)
+
+
+@settings(max_examples=60, deadline=None)
+@given(triples, st.data())
+def test_injected_lines_and_bytes_never_raise_uncaught(
+    tmp_path_factory, data, draw
+):
+    path, original = _journal_bytes(tmp_path_factory, data)
+    injected = draw.draw(
+        st.binary(min_size=1, max_size=64).map(
+            lambda b: b.replace(b"\r", b" ")
+        )
+    )
+    position = draw.draw(st.integers(min_value=0, max_value=len(original)))
+    as_line = draw.draw(st.booleans())
+    if as_line:
+        # Inject a whole garbage line at a line boundary.
+        lines = original.split(b"\n")
+        index = draw.draw(st.integers(min_value=0, max_value=len(lines)))
+        lines.insert(index, injected.replace(b"\n", b" "))
+        mutated = b"\n".join(lines)
+    else:
+        mutated = original[:position] + injected + original[position:]
+    path.write_bytes(mutated)
+    _assert_load_is_contained(path)
+
+
+@settings(max_examples=40, deadline=None)
+@given(triples, st.data())
+def test_store_tail_and_chunk_corruption_never_raises_uncaught(
+    tmp_path_factory, data, draw
+):
+    # The columnar store has three corruptible files: header.json, the
+    # npz chunks, and the write-ahead tail.  Mutate one at random.
+    root = tmp_path_factory.mktemp("store") / "store"
+    with ColumnarSweepStore.open(root, FINGERPRINT, compact_every=5) as store:
+        for (n, r), triple in data.items():
+            store.record(n, r, triple)
+    targets = sorted(p for p in root.iterdir() if p.is_file())
+    target = targets[
+        draw.draw(st.integers(min_value=0, max_value=len(targets) - 1))
+    ]
+    original = target.read_bytes()
+    mode = draw.draw(st.sampled_from(["truncate", "flip", "inject"]))
+    if mode == "truncate":
+        cut = draw.draw(st.integers(min_value=0, max_value=len(original)))
+        mutated = original[:cut]
+    elif mode == "flip" and original:
+        position = draw.draw(
+            st.integers(min_value=0, max_value=len(original) - 1)
+        )
+        flip = draw.draw(st.integers(min_value=1, max_value=255))
+        mutated = bytearray(original)
+        mutated[position] ^= flip
+        mutated = bytes(mutated)
+    else:
+        injected = draw.draw(st.binary(min_size=1, max_size=64))
+        position = draw.draw(
+            st.integers(min_value=0, max_value=len(original))
+        )
+        mutated = original[:position] + injected + original[position:]
+    target.write_bytes(mutated)
+    try:
+        completed = ColumnarSweepStore.load_completed(root)
+    except CheckpointError:
+        return
+    assert isinstance(completed, dict)

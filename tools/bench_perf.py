@@ -1,8 +1,8 @@
 """Performance harness for the three execution engines.
 
 Times the same seeded workloads on the serial, batched, and ensemble
-engines and writes a machine-readable JSON report (``BENCH_PR5.json`` by
-default).  Seven workloads:
+engines and writes a machine-readable JSON report (``BENCH_PR6.json`` by
+default).  Nine workloads:
 
 * ``fig5_sweep`` — a FIG5-style multi-replicate latency sweep (the
   ensemble engine's target shape: many replicates, one sweep),
@@ -22,7 +22,15 @@ default).  Seven workloads:
 * ``telemetry_overhead`` — a FIG5-style batched sweep with telemetry
   disabled (the default ``telemetry=None``) vs. a live
   ``MetricsRegistry`` attached (the telemetry tax; disabled must stay
-  within 2% of the pre-telemetry baseline).
+  within 2% of the pre-telemetry baseline),
+* ``store_compaction`` — the same sweep bare vs. JSONL-checkpointed
+  vs. columnar-store-backed (the journaling tax), plus a synthetic
+  many-record journal loaded back through both formats (the columnar
+  resume-load payoff),
+* ``memo_warm`` — exact chain solves cold vs. warm-started from the
+  on-disk memo with in-process caches cleared; the warm pass must run
+  zero solvers (checked via the memo compute counter) and return
+  bit-identical values.
 
 Because the engines are bit-identical by construction (and the harness
 re-checks this on every run), the speedups are pure wall-clock: same
@@ -30,7 +38,7 @@ numbers, less time.
 
 Usage::
 
-    python tools/bench_perf.py                  # full run -> BENCH_PR5.json
+    python tools/bench_perf.py                  # full run -> BENCH_PR6.json
     python tools/bench_perf.py --quick          # CI-sized steps/repeats
     python tools/bench_perf.py --out perf.json
 """
@@ -479,6 +487,172 @@ def bench_telemetry_overhead(quick):
     }
 
 
+def bench_store_compaction(quick):
+    """The columnar store's journaling tax and resume-load payoff.
+
+    Two measurements: (1) the same seeded FIG5-style sweep run bare,
+    against a JSONL checkpoint, and against a columnar store — the
+    store's write-path overhead must stay comparable to the JSONL
+    journal's; (2) a synthetic many-record journal loaded back through
+    both formats — the columnar chunks are where million-replicate
+    resume stops parsing a million JSON lines.
+    """
+    import tempfile
+
+    from repro.core.checkpoint import SweepCheckpoint, sweep_fingerprint
+    from repro.core.store import ColumnarSweepStore
+
+    n_values = [4, 8]
+    steps = 8_000 if quick else 40_000
+    repeats = 4 if quick else 16
+    journal_records = 20_000 if quick else 200_000
+
+    def sweep(**log):
+        return latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            n_values,
+            steps=steps,
+            repeats=repeats,
+            seed=2,
+            engine="batched",
+            **log,
+        )
+
+    seconds = {}
+    with tempfile.TemporaryDirectory() as tmp:
+        tmp = Path(tmp)
+        seconds["sweep_bare"], bare = timed(sweep)
+        seconds["sweep_checkpoint"], checkpointed = timed(
+            lambda: sweep(checkpoint=tmp / "cp.jsonl")
+        )
+        seconds["sweep_store"], stored = timed(
+            lambda: sweep(store=tmp / "store")
+        )
+
+        # Synthetic load comparison at resume scale.
+        fingerprint = sweep_fingerprint(
+            seed=0,
+            steps=steps,
+            engine="batched",
+            n_values=[64],
+            repeats=journal_records,
+            burn_in=None,
+            crash_times=None,
+        )
+        with SweepCheckpoint.open(tmp / "big.jsonl", fingerprint) as cp:
+            for r in range(journal_records):
+                cp.record(64, r, (float(r), 0.5, 1.0))
+        with ColumnarSweepStore.open(
+            tmp / "big-store", fingerprint, fsync_every=4096
+        ) as store:
+            for r in range(journal_records):
+                store.record(64, r, (float(r), 0.5, 1.0))
+        seconds["load_jsonl"], from_jsonl = timed(
+            lambda: SweepCheckpoint.load_completed(tmp / "big.jsonl")
+        )
+        seconds["load_store"], from_store = timed(
+            lambda: ColumnarSweepStore.load_completed(tmp / "big-store")
+        )
+
+    return {
+        "workload": "store_compaction",
+        "params": {
+            "n_values": n_values,
+            "steps": steps,
+            "repeats": repeats,
+            "journal_records": journal_records,
+        },
+        "seconds": seconds,
+        "overhead_fraction_store": (
+            seconds["sweep_store"] / seconds["sweep_bare"] - 1.0
+        ),
+        "overhead_fraction_checkpoint": (
+            seconds["sweep_checkpoint"] / seconds["sweep_bare"] - 1.0
+        ),
+        "speedup_load_store_vs_jsonl": (
+            seconds["load_jsonl"] / seconds["load_store"]
+        ),
+        "bit_identical": (
+            bare == checkpointed == stored and from_jsonl == from_store
+        ),
+    }
+
+
+def bench_memo_warm(quick):
+    """The disk memo's warm-start payoff on exact chain solves.
+
+    A cold pass computes every exact solve and writes the memo; a warm
+    pass (in-process caches cleared, same disk — a fresh process in
+    miniature) must re-run *zero* solvers, verified via the memo's
+    compute counter, and return bit-identical values.
+    """
+    import tempfile
+
+    from repro.chains.scu import (
+        clear_exact_chain_caches,
+        scu_full_system_latency_exact,
+        scu_success_probability,
+        scu_system_latency_exact,
+    )
+    from repro.core.memo import (
+        configure_memo,
+        memo_counters,
+        reset_memo_counters,
+    )
+
+    n_values = [8, 16, 32] if quick else [8, 16, 32, 64, 96]
+    # Full cells stay small: the aggregated SCU(q, s) chain has
+    # C(n + phases - 1, phases - 1) states, so (4, 2, n) explodes fast.
+    full_cells = [(2, 1, 8), (0, 2, 8)] if quick else [
+        (2, 1, 8),
+        (0, 2, 8),
+        (4, 2, 8),
+    ]
+
+    def solve_all():
+        return (
+            [scu_success_probability(n) for n in n_values]
+            + [scu_system_latency_exact(n) for n in n_values]
+            + [scu_full_system_latency_exact(n, q, s) for q, s, n in full_cells]
+        )
+
+    solvers = (
+        scu_success_probability,
+        scu_system_latency_exact,
+        scu_full_system_latency_exact,
+    )
+    seconds = {}
+    with tempfile.TemporaryDirectory() as memo_dir:
+        configure_memo(memo_dir)
+        try:
+            clear_exact_chain_caches()
+            reset_memo_counters()
+            seconds["cold"], cold = timed(solve_all)
+            cold_computes = memo_counters().get("computes", 0)
+
+            # A fresh process has empty lru_caches but the same disk.
+            for solver in solvers:
+                solver.cache_clear()
+            reset_memo_counters()
+            seconds["warm"], warm = timed(solve_all)
+            warm_computes = memo_counters().get("computes", 0)
+        finally:
+            configure_memo(None)
+            clear_exact_chain_caches()
+            reset_memo_counters()
+
+    return {
+        "workload": "memo_warm",
+        "params": {"n_values": n_values, "full_cells": full_cells},
+        "seconds": seconds,
+        "cold_computes": cold_computes,
+        "warm_computes": warm_computes,
+        "speedup_warm_vs_cold": seconds["cold"] / seconds["warm"],
+        "bit_identical": warm == cold and warm_computes == 0,
+    }
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -489,8 +663,8 @@ def main(argv=None):
     parser.add_argument(
         "--out",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR5.json",
-        help="output JSON path (default: BENCH_PR5.json at the repo root)",
+        default=REPO_ROOT / "BENCH_PR6.json",
+        help="output JSON path (default: BENCH_PR6.json at the repo root)",
     )
     args = parser.parse_args(argv)
 
@@ -503,11 +677,27 @@ def main(argv=None):
         bench_chain_assembly,
         bench_chaos_sweep,
         bench_telemetry_overhead,
+        bench_store_compaction,
+        bench_memo_warm,
     )
     for bench in benches:
         result = bench(args.quick)
         results.append(result)
-        if "disabled" in result["seconds"]:
+        if "sweep_store" in result["seconds"]:
+            summary = (
+                f"store {result['seconds']['sweep_store']:8.3f}s"
+                f"  bare {result['seconds']['sweep_bare']:8.3f}s"
+                f"  overhead {100 * result['overhead_fraction_store']:+5.1f}%"
+                f"  load {result['speedup_load_store_vs_jsonl']:5.2f}x"
+            )
+        elif "cold" in result["seconds"]:
+            summary = (
+                f"cold {result['seconds']['cold']:8.3f}s"
+                f"  warm {result['seconds']['warm']:8.3f}s"
+                f"  speedup {result['speedup_warm_vs_cold']:5.2f}x"
+                f"  warm_computes={result['warm_computes']}"
+            )
+        elif "disabled" in result["seconds"]:
             summary = (
                 f"disabled {result['seconds']['disabled']:8.3f}s"
                 f"  enabled {result['seconds']['enabled']:8.3f}s"

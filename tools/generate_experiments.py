@@ -114,6 +114,43 @@ name, rebuilds crashed pools, and falls back to in-process serial
 execution if pools keep dying — at under 5% overhead when nothing goes
 wrong (`tools/bench_perf.py`, `chaos_sweep` workload).
 
+## Million-replicate sweeps: the columnar store and the disk memo
+
+At millions of replicates the JSONL journal and in-memory aggregation
+both stop scaling: resume would parse a million JSON lines and the
+results dict would hold a million triples.  Swap `checkpoint=` for
+`store=` and both problems disappear — results journal through a small
+JSONL write-ahead tail that compacts into columnar npz chunks (one
+float64 column per metric), sweep aggregation streams through Welford
+accumulators (memory O(sweep points), not O(replicates)), and exact
+chain solves reused across runs warm start from an on-disk memo:
+
+```python
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.core.memo import configure_memo
+from repro.core.sweep import parallel_sweep
+
+configure_memo("~/.cache/repro-memo")   # or REPRO_MEMO_DIR=...
+points = parallel_sweep(
+    cas_counter, make_counter_memory, [8, 16, 32, 64],
+    steps=200_000, repeats=1_000_000, seed=0,
+    store="fig5.store",
+)
+```
+
+Kill it, rerun with `resume=True`, and the result is bit-identical to
+an uninterrupted run — and to the same sweep recorded through the JSONL
+checkpoint (`tests/core/test_store.py` pins both identities).  The
+store keeps every durability guarantee of the journal: the same
+fingerprint header (mismatched parameters are rejected loudly), a
+torn-tail repair on resume, atomic chunk writes, and last-wins
+deduplication if a crash lands between a chunk write and the tail
+truncate.  On the CLI it is `repro figure5 --store DIR --memo-dir DIR`.
+A warm memo skips every exact-chain solve — `tools/bench_perf.py`'s
+`memo_warm` workload verifies zero recomputes via the memo counters —
+and a corrupt memo entry can cost time, never correctness: unreadable
+entries read as misses and are recomputed and overwritten.
+
 ## Measuring scheduler uniformity
 
 The paper's model rests on the scheduler being (close to) uniformly
