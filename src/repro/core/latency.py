@@ -266,6 +266,8 @@ def measure_latencies_ensemble(
     memory_factory: Optional[Callable[[], Memory]] = None,
     crash_times: Optional[Dict[int, int]] = None,
     telemetry=None,
+    fuse: bool = True,
+    engine_kernel: str = "auto",
 ) -> "List[LatencyMeasurement]":
     """Measure many independent replicates on the ensemble engine.
 
@@ -281,7 +283,10 @@ def measure_latencies_ensemble(
     (stateful schedulers) and memory.  ``crash_times`` is the executor's
     ``{pid: time}`` halting-failure map, applied to every replicate
     (Corollary 2 experiments crash the same processes in each replicate
-    and vary only the seed).
+    and vary only the seed).  ``fuse`` and ``engine_kernel`` tune the
+    resolution path (fused replicate stacking, compiled inner loops —
+    see :class:`~repro.sim.EnsembleSimulator`); results are bit-identical
+    for every setting.
     """
     from repro.sim.ensemble import EnsembleReplicate, EnsembleSimulator
 
@@ -298,5 +303,7 @@ def measure_latencies_ensemble(
         )
         for seed in seeds
     ]
-    result = EnsembleSimulator(replicates, telemetry=telemetry).run(steps)
+    result = EnsembleSimulator(
+        replicates, telemetry=telemetry, fuse=fuse, engine_kernel=engine_kernel
+    ).run(steps)
     return result.measurements(burn_in=burn_in)

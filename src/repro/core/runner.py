@@ -59,6 +59,25 @@ class TaskError(RuntimeError):
         self.cause = cause
 
 
+def available_cpu_count() -> int:
+    """CPUs actually available to this process, not merely present.
+
+    ``os.cpu_count()`` reports the machine; in cgroup/affinity-limited
+    environments (CI runners, containers, ``taskset``) the process may
+    be pinned to far fewer cores, and sizing a pool from the machine
+    count oversubscribes them.  ``os.sched_getaffinity`` reports the
+    real allowance where the platform supports it (Linux); elsewhere
+    fall back to ``os.cpu_count()``.
+    """
+    getaffinity = getattr(os, "sched_getaffinity", None)
+    if getaffinity is not None:
+        try:
+            return len(getaffinity(0)) or 1
+        except OSError:
+            pass
+    return os.cpu_count() or 1
+
+
 def _stable_seed(key: Hashable, attempt: int) -> int:
     """A process-stable seed for the backoff jitter (``hash()`` is salted
     per interpreter; CRC32 of the repr is not)."""
@@ -160,8 +179,8 @@ class ResilientExecutor:
         telemetry=None,
     ):
         self._worker_fn = worker_fn
-        self.max_workers = max_workers if max_workers is not None else (
-            os.cpu_count() or 1
+        self.max_workers = (
+            max_workers if max_workers is not None else available_cpu_count()
         )
         self.policy = policy if policy is not None else RetryPolicy()
         self._pool_factory = (

@@ -36,7 +36,6 @@ would have produced.
 
 from __future__ import annotations
 
-import os
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -51,10 +50,10 @@ from repro.core.checkpoint import (
 )
 from repro.core.latency import (
     measure_latencies,
-    measure_latencies_ensemble,
+    resolve_vector_kernel,
     validate_burn_in,
 )
-from repro.core.runner import ResilientExecutor, RetryPolicy
+from repro.core.runner import ResilientExecutor, RetryPolicy, TaskError
 from repro.core.scheduler import Scheduler, UniformStochasticScheduler
 from repro.sim.memory import Memory
 from repro.sim.process import ProcessFactory
@@ -225,6 +224,59 @@ def _chunk_worker(
     )
 
 
+def _shm_chunk_worker(
+    rows: Sequence[int],
+    task_name: str,
+    result_name: str,
+    task_count: int,
+    factory_builder: Callable[[], ProcessFactory],
+    memory_builder: Callable[[], Memory],
+    scheduler_builder: Callable[[], Scheduler],
+    steps: int,
+    seed: int,
+    batched: bool,
+    burn_in: Optional[int],
+    crash_times: CrashTimesLike,
+) -> List[int]:
+    """The shared-memory twin of :func:`_chunk_worker`.
+
+    Task keys are *row indices* into the sweep's shared task segment;
+    the worker reads each row's ``(n, replicate)`` pair from shared
+    memory, runs the replicate, and writes the triple into the shared
+    result segment in place — nothing but the row indices ever crosses
+    the pickle pipe.  Returning the rows satisfies the executor's
+    one-result-per-key contract and tells the parent which result rows
+    are ready to read.  Retries rewrite identical bytes (replicates are
+    pure functions of ``(seed, n, replicate)``), so recovery is
+    idempotent.
+    """
+    from repro.core.shm import attach_array
+
+    tasks = attach_array(task_name, (task_count, 2), np.int64)
+    results = attach_array(result_name, (task_count, 3), np.float64)
+    out: List[int] = []
+    for row in rows:
+        n = int(tasks[row, 0])
+        replicate = int(tasks[row, 1])
+        triple = _run_replicate(
+            factory_builder,
+            memory_builder,
+            scheduler_builder,
+            n,
+            steps,
+            seed,
+            replicate,
+            batched,
+            burn_in,
+            crash_times,
+        )
+        results[row, 0] = triple[0]
+        results[row, 1] = triple[1]
+        results[row, 2] = triple[2]
+        out.append(row)
+    return out
+
+
 def _open_result_log(
     checkpoint,
     store,
@@ -377,6 +429,95 @@ class StreamingSweepAggregator:
         return points
 
 
+_GRID_FUSE_STEPS = 32_000_000  # upfront-drawn schedule budget per grid chunk
+
+
+def _run_ensemble_grid(
+    factory_builder: Callable[[], ProcessFactory],
+    memory_builder: Callable[[], Memory],
+    scheduler_builder: Callable[[], Scheduler],
+    n_values: Sequence[int],
+    repeats: int,
+    steps: int,
+    seed: int,
+    burn_in: Optional[int],
+    schedule: CrashTimesLike,
+    recorded: set,
+    note: Callable[[Tuple[int, int], Tuple[float, float, float]], None],
+    telemetry,
+    fuse: bool = True,
+    engine_kernel: str = "auto",
+) -> int:
+    """Resolve the whole sweep grid as fused ensembles.
+
+    Every missing ``(n, r)`` replicate across *all* sweep points joins
+    one ensemble (chunked so at most ``_GRID_FUSE_STEPS`` schedule steps
+    are drawn up front per chunk), and the fused resolver stacks
+    same-shape replicates regardless of ``n`` — one vectorized pass
+    covers the whole n-grid, not just one point's replicate block.
+    Replicates keep their ``(seed, n, r)`` seeds and dedicated
+    scheduler/memory instances, so results are bit-identical to the
+    per-point path.  ``note`` fires in canonical n-major order.
+
+    Per-point telemetry survives fusion: one ``sweep.point`` event per
+    ``n`` as before, with the grid's elapsed wall time apportioned by
+    the point's share of resolved replicates (per-point timing is no
+    longer individually observable once points share a pass).  Returns
+    the number of replicates run.
+    """
+    from repro.sim.ensemble import EnsembleReplicate, EnsembleSimulator
+
+    kernel = resolve_vector_kernel(factory_builder())
+    crash_of: Dict[int, Optional[Dict[int, int]]] = {}
+    missing_of: Dict[int, List[int]] = {}
+    pending: List[Tuple[int, int]] = []
+    for n in n_values:
+        missing = [r for r in range(repeats) if (n, r) not in recorded]
+        if not missing:
+            continue
+        missing_of[n] = missing
+        crash = _resolve_crash_times(schedule, n)
+        crash_of[n] = dict(crash) if crash else None
+        pending.extend((n, r) for r in missing)
+    if not pending:
+        return 0
+    grid_started = time.perf_counter() if telemetry is not None else 0.0
+    chunk = max(1, _GRID_FUSE_STEPS // max(steps, 1))
+    for start in range(0, len(pending), chunk):
+        block = pending[start : start + chunk]
+        members = [
+            EnsembleReplicate(
+                kernel=kernel,
+                n_processes=n,
+                scheduler=scheduler_builder(),
+                memory=memory_builder(),
+                rng=(seed, n, r),
+                crash_times=dict(crash_of[n]) if crash_of[n] else None,
+            )
+            for n, r in block
+        ]
+        result = EnsembleSimulator(
+            members, telemetry=telemetry, fuse=fuse, engine_kernel=engine_kernel
+        ).run(steps)
+        measurements = result.measurements(burn_in=burn_in)
+        for (n, r), measurement in zip(block, measurements):
+            note(
+                (n, r),
+                (
+                    measurement.system_latency,
+                    measurement.completion_rate,
+                    measurement.fairness_ratio,
+                ),
+            )
+    if telemetry is not None:
+        elapsed = time.perf_counter() - grid_started
+        for n, missing in missing_of.items():
+            _note_point_telemetry(
+                telemetry, n, len(missing), elapsed * len(missing) / len(pending)
+            )
+    return len(pending)
+
+
 def _collect_points(
     n_values: Sequence[int],
     repeats: int,
@@ -415,6 +556,8 @@ def latency_sweep(
     resume: bool = False,
     on_progress: Optional[Callable[[int, int, Tuple[int, int]], None]] = None,
     telemetry=None,
+    fuse: bool = True,
+    engine_kernel: str = "auto",
 ) -> List[SweepPoint]:
     """Measure latencies across ``n_values`` with ``repeats`` replicates.
 
@@ -424,7 +567,11 @@ def latency_sweep(
     ``engine="ensemble"`` resolves each sweep point's replicates together
     as array operations — same seeds, same numbers, least wall-clock.
     The legacy ``batched=True`` flag is shorthand for
-    ``engine="batched"``.
+    ``engine="batched"``.  ``fuse`` and ``engine_kernel`` tune the
+    ensemble engine only (fused same-shape replicate stacking across the
+    whole grid, and the compiled-kernel choice — see
+    :class:`~repro.sim.EnsembleSimulator`); every setting is
+    bit-identical, they trade wall-clock only.
 
     ``crash_times`` turns the sweep into a halting-failure study
     (Corollary 2): a ``{pid: time}`` map applied at every sweep point, a
@@ -497,37 +644,22 @@ def latency_sweep(
 
     try:
         if chosen == "ensemble":
-            for n in n_values:
-                missing = [r for r in range(repeats) if (n, r) not in recorded]
-                if not missing:
-                    continue
-                point_started = time.perf_counter() if telemetry_on else 0.0
-                measurements = measure_latencies_ensemble(
-                    factory_builder(),
-                    scheduler_builder,
-                    n,
-                    steps,
-                    [(seed, n, r) for r in missing],
-                    burn_in=burn_in,
-                    memory_factory=memory_builder,
-                    crash_times=_resolve_crash_times(schedule, n),
-                    telemetry=telemetry,
-                )
-                for r, measurement in zip(missing, measurements):
-                    triple = (
-                        measurement.system_latency,
-                        measurement.completion_rate,
-                        measurement.fairness_ratio,
-                    )
-                    note((n, r), triple)
-                run_replicates += len(missing)
-                if telemetry_on:
-                    _note_point_telemetry(
-                        telemetry,
-                        n,
-                        len(missing),
-                        time.perf_counter() - point_started,
-                    )
+            run_replicates += _run_ensemble_grid(
+                factory_builder,
+                memory_builder,
+                scheduler_builder,
+                n_values,
+                repeats,
+                steps,
+                seed,
+                burn_in,
+                schedule,
+                recorded,
+                note,
+                telemetry if telemetry_on else None,
+                fuse=fuse,
+                engine_kernel=engine_kernel,
+            )
         else:
             for n in n_values:
                 point_started = time.perf_counter() if telemetry_on else 0.0
@@ -591,6 +723,7 @@ def parallel_sweep(
     on_progress: Optional[Callable[[int, int, Tuple[int, int]], None]] = None,
     retry: Optional[RetryPolicy] = None,
     pool_factory: Optional[Callable] = None,
+    dispatch: str = "auto",
     telemetry=None,
 ) -> List[SweepPoint]:
     """:func:`latency_sweep` fanned out over a fault-tolerant process pool.
@@ -605,8 +738,9 @@ def parallel_sweep(
     consecutive tasks (one future per chunk, not per replicate), which
     cuts the pickling/dispatch overhead that dominates small replicates.
     ``chunk_size=None`` picks roughly four chunks per worker, computed
-    from ``max_workers`` (or ``os.cpu_count()``); chunking affects only
-    scheduling, never results.
+    from ``max_workers`` (or
+    :func:`~repro.core.runner.available_cpu_count`); chunking affects
+    only scheduling, never results.
 
     Execution rides a :class:`~repro.core.runner.ResilientExecutor`:
     failed or timed-out chunks are retried with capped exponential
@@ -620,12 +754,28 @@ def parallel_sweep(
     Retries re-run pure deterministic work, so fault recovery cannot
     change a single bit of the output.
 
+    ``dispatch`` picks how tasks and results move between parent and
+    workers.  ``"sharedmem"`` routes both through
+    ``multiprocessing.shared_memory`` segments
+    (:class:`repro.core.shm.SweepTaskBuffers`): task keys become row
+    indices into a shared task table and result triples are written in
+    place, so per-chunk pickle payloads shrink to a few ints and results
+    never cross the pipe.  ``"pickle"`` is the classic path;
+    ``"auto"`` (the default) tries shared memory and silently falls back
+    to pickle when the platform refuses (counted as ``shm.fallbacks``).
+    The segments are named off the sweep fingerprint and unlinked in
+    this function's ``finally`` — worker kills, poison tasks and parent
+    exceptions all leave zero orphaned ``/dev/shm`` entries (enforced
+    under chaos injection in ``tests/core/test_shm_dispatch.py``).
+    Dispatch affects transport only, never results.
+
     ``checkpoint``/``store``/``resume``/``on_progress`` behave exactly
     as in :func:`latency_sweep`; a checkpoint written by a
     (serial-engine) ``latency_sweep`` with matching parameters is
     accepted here and vice versa.  ``pool_factory`` swaps the process
     pool implementation — the fault-injection hook
-    :class:`repro.testing.chaos.ChaosPool` plugs in there.
+    :class:`repro.testing.chaos.ChaosPool` plugs in there (with
+    shared-memory dispatch, chaos plans key faults by row index).
 
     The builders must be picklable (module-level functions or
     ``functools.partial`` over module-level functions; closures and
@@ -634,7 +784,7 @@ def parallel_sweep(
     frozen dataclass of dicts) ships to workers.  ``batched`` defaults
     to True here: a sweep big enough to parallelise is big enough to
     want the fast path.  ``max_workers`` caps the pool size (``None`` =
-    one per CPU).
+    one per *available* CPU — cgroup/affinity limits respected).
 
     ``telemetry`` stays in the *parent* process (registries are not
     shipped to pickled workers): it records the executor's recovery
@@ -646,6 +796,11 @@ def parallel_sweep(
         raise ValueError("repeats must be at least 2 for confidence intervals")
     if chunk_size is not None and chunk_size < 1:
         raise ValueError("chunk_size must be positive")
+    if dispatch not in ("auto", "pickle", "sharedmem"):
+        raise ValueError(
+            f"unknown dispatch {dispatch!r}; expected 'auto', 'pickle' or "
+            "'sharedmem'"
+        )
     validate_burn_in(burn_in, steps)
     if scheduler_builder is None:
         scheduler_builder = UniformStochasticScheduler
@@ -691,37 +846,87 @@ def parallel_sweep(
         if on_progress is not None:
             on_progress(done, total, key)
 
+    buffers = None
+    if tasks and dispatch != "pickle":
+        try:
+            from repro.core.shm import SweepTaskBuffers, segment_digest
+
+            buffers = SweepTaskBuffers(
+                tasks,
+                segment_digest(
+                    sweep_fingerprint(
+                        seed=seed,
+                        steps=steps,
+                        engine="batched" if batched else "serial",
+                        n_values=n_values,
+                        repeats=repeats,
+                        burn_in=burn_in,
+                        crash_times=schedule,
+                    )
+                ),
+                telemetry=telemetry,
+            )
+        except Exception:
+            if dispatch == "sharedmem":
+                raise
+            # auto: the platform refused (no /dev/shm, tiny rlimits, ...)
+            # — dispatch is transport only, so degrade to pickle.
+            buffers = None
+            if telemetry_on:
+                telemetry.inc("shm.fallbacks")
+
+    def note_row(row: int, _ready) -> None:
+        note(buffers.key_of(row), buffers.triple(row))
+
     try:
         if tasks:
             executor = ResilientExecutor(
-                _chunk_worker,
-                max_workers=(
-                    max_workers if max_workers is not None else os.cpu_count()
-                ),
+                _shm_chunk_worker if buffers is not None else _chunk_worker,
+                max_workers=max_workers,  # None -> available_cpu_count()
                 policy=retry,
                 pool_factory=pool_factory,
                 telemetry=telemetry,
             )
+            if buffers is not None:
+                worker_args: Tuple = (
+                    buffers.task_name,
+                    buffers.result_name,
+                    buffers.task_count,
+                )
+                keys: Sequence = range(len(tasks))
+            else:
+                worker_args = ()
+                keys = tasks
             # ``on_result`` fires exactly once per task, so the
             # aggregator sees every replicate; ``collect=False`` keeps
             # the executor from building a second O(replicates) dict.
-            executor.run(
-                tasks,
-                args=(
-                    factory_builder,
-                    memory_builder,
-                    scheduler_builder,
-                    steps,
-                    seed,
-                    batched,
-                    burn_in,
-                    schedule,
-                ),
-                chunk_size=chunk_size,
-                on_result=note,
-                collect=False,
-            )
+            try:
+                executor.run(
+                    list(keys),
+                    args=worker_args
+                    + (
+                        factory_builder,
+                        memory_builder,
+                        scheduler_builder,
+                        steps,
+                        seed,
+                        batched,
+                        burn_in,
+                        schedule,
+                    ),
+                    chunk_size=chunk_size,
+                    on_result=note_row if buffers is not None else note,
+                    collect=False,
+                )
+            except TaskError as error:
+                # Under shared-memory dispatch the executor knows tasks
+                # only as row indices; name the real replicate.
+                if buffers is not None and isinstance(error.key, int):
+                    raise TaskError(tasks[error.key], error.cause) from error.cause
+                raise
     finally:
+        if buffers is not None:
+            buffers.close()
         if log is not None:
             log.close()
     if telemetry_on:

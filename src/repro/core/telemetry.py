@@ -33,11 +33,16 @@ control flow, which is what keeps the three execution engines
 bit-identical with telemetry enabled or disabled.
 
 Metric names are dotted strings grouped by component: ``sim.*`` (the
-serial/batched executor), ``ensemble.*`` (the ensemble engine),
-``executor.*`` (:class:`repro.core.runner.ResilientExecutor`),
-``checkpoint.*`` (:class:`repro.core.checkpoint.SweepCheckpoint`) and
-``sweep.*`` (:func:`repro.core.sweep.latency_sweep` /
-:func:`parallel_sweep`).
+serial/batched executor), ``ensemble.*`` (the ensemble engine —
+per-replicate counters plus ``ensemble.fused_blocks`` /
+``ensemble.fused_replicates`` / ``ensemble.fused_steps`` from the fused
+resolution path), ``executor.*``
+(:class:`repro.core.runner.ResilientExecutor`), ``checkpoint.*``
+(:class:`repro.core.checkpoint.SweepCheckpoint`), ``sweep.*``
+(:func:`repro.core.sweep.latency_sweep` / :func:`parallel_sweep`) and
+``shm.*`` (the zero-copy dispatch buffers of :mod:`repro.core.shm` —
+``shm.segments`` / ``shm.bytes`` created, ``shm.unlinked`` on cleanup,
+``shm.fallbacks`` when ``dispatch="auto"`` degrades to pickle).
 """
 
 from __future__ import annotations

@@ -40,6 +40,20 @@ replicate's schedule, completion times and final memory are **bit-identical**
 to what ``Simulator.run_batched`` produces for the same seed — enforced
 replicate-by-replicate in ``tests/sim/test_ensemble_equivalence.py``.
 
+Resolution runs **fused** by default: replicates with the same resolver
+shape (same ``q``, ``s``, resolver kind — process counts may differ) are
+stacked into one long schedule, with each replicate's pids offset into a
+private range and its steps occupying a private time window, and the
+whole stack is resolved in a single pass of the very same resolvers.
+Concatenation preserves the greedy semantics exactly — reads in a later
+replicate are strictly after every earlier CAS, so the successor chain
+(and the heap pop order) cross replicate boundaries precisely at each
+replicate's first success — making the fused outputs the per-replicate
+outputs concatenated, bit for bit (``tests/sim/test_ensemble_fused.py``).
+The two sequential inner loops (chain walk, heap scan) are delegated to
+pluggable kernels (:mod:`repro.sim.kernels`): a compiled C/numba backend
+when available, the pure-numpy oracle otherwise.
+
 Crash schedules (halting failures, Corollary 2) are handled by **segmented
 whole-schedule execution**: the horizon is split at the replicate's crash
 boundaries, each segment's schedule is drawn with one ``select_batch``
@@ -59,13 +73,13 @@ replicates — equivalence is enforced across every scheduler family in
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.sim.executor import SimulationResult, validate_crash_times
+from repro.sim.kernels import NumpyKernel, get_kernel, resolve_flat, resolve_heap
 from repro.sim.memory import Memory
 from repro.sim.trace import TraceRecorder
 
@@ -77,151 +91,18 @@ _EMPTY = np.empty(0, dtype=np.int64)
 def _resolve_flat(
     sched: np.ndarray, n: int, s: int
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Resolve a ``q == 0`` replicate from its schedule, fully vectorized.
-
-    With no preamble, process ``p``'s ``k``-th attempt always occupies its
-    local steps ``[k(s+1), k(s+1)+s]`` — read first, CAS last — so every
-    (read time, CAS time) pair is a gather from the schedule grouped by
-    pid.  The greedy success scan then reduces to following a precomputed
-    successor pointer (see the module docstring).
-
-    Returns ``(success_cols, success_pids, success_seqs, seq, phase,
-    counts)`` where columns are 0-based schedule positions, ``seq[p]`` is
-    the number of CAS attempts process ``p`` executed, ``phase[p]`` in
-    ``[0, s]`` is its position within the current attempt and ``counts[p]``
-    its local step count.
-    """
-    steps = sched.shape[0]
-    counts = np.bincount(sched, minlength=n)
-    attempts = counts // (s + 1)
-    total = int(attempts.sum())
-    seq = attempts.astype(np.int64)
-    phase = (counts - attempts * (s + 1)).astype(np.int64)
-    if total == 0:
-        return _EMPTY, _EMPTY, _EMPTY, seq, phase, counts
-    # Index dtypes: times/positions fit int32 for any practical run; the
-    # grouping key uses the narrowest dtype numpy's radix sort is fastest on.
-    idx = np.int32 if steps < 2**31 - 2 else np.int64
-    key_dtype = np.int16 if n <= np.iinfo(np.int16).max else np.int32
-    order = np.argsort(sched.astype(key_dtype), kind="stable").astype(idx)
-
-    offsets = np.concatenate(([0], np.cumsum(counts[:-1]))).astype(idx)
-    aoff = np.concatenate(([0], np.cumsum(attempts[:-1]))).astype(idx)
-    pid_of = np.repeat(np.arange(n, dtype=idx), attempts)
-    within = np.arange(total, dtype=idx) - np.repeat(aoff, attempts)
-    cas_rank = offsets[pid_of] + s + (s + 1) * within
-    c_times = order[cas_rank]
-    r_times = order[cas_rank - s]
-
-    # Counting sort of the attempts by read time (times are unique column
-    # indices): one scatter + cumsum instead of a comparison sort.  The
-    # same cumsum answers "how many reads happened at or before column t",
-    # which is exactly the successor-pointer index below.
-    mark = np.zeros(steps, idx)
-    mark[r_times] = 1
-    reads_before = np.cumsum(mark, dtype=idx)
-    rpos = reads_before[r_times] - 1  # each attempt's rank in read order
-    c_r = np.empty(total, idx)
-    c_r[rpos] = c_times
-    pid_r = np.empty(total, idx)
-    pid_r[rpos] = pid_of
-    seq_r = np.empty(total, idx)
-    seq_r[rpos] = within
-    succ_at = np.empty(total, idx)
-    succ_at[rpos] = reads_before[c_times]  # first read rank strictly after c
-
-    # Suffix argmin of CAS times in read order: position of the earliest
-    # CAS among attempts whose read is at or after a given read rank.
-    suffix_min = np.minimum.accumulate(c_r[::-1])[::-1]
-    candidate = np.where(c_r == suffix_min, np.arange(total, dtype=idx), total)
-    suffix_argmin = np.minimum.accumulate(candidate[::-1])[::-1]
-    successor = np.concatenate((suffix_argmin, np.asarray([-1], idx)))[succ_at]
-
-    # The first success is the earliest CAS overall; after a success at
-    # time L, the next is the earliest CAS among attempts that read after
-    # L.  Walking the successor pointers visits exactly the successes.
-    successor_list = successor.tolist()
-    chain: List[int] = []
-    append = chain.append
-    event = int(suffix_argmin[0])
-    while event != -1:
-        append(event)
-        event = successor_list[event]
-    events = np.asarray(chain, dtype=np.intp)
-    return (
-        c_r[events].astype(np.int64),
-        pid_r[events].astype(np.int64),
-        seq_r[events].astype(np.int64),
-        seq,
-        phase,
-        counts,
-    )
+    """Back-compat wrapper: :func:`repro.sim.kernels.resolve_flat` on the
+    numpy oracle kernel (the resolvers moved to :mod:`repro.sim.kernels`
+    so the fused path and the compiled backends can share them)."""
+    return resolve_flat(sched, n, s, NumpyKernel())
 
 
 def _resolve_heap(
     sched: np.ndarray, n: int, q: int, s: int
 ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Resolve a general ``SCU(q, s)`` replicate with a heap-driven scan.
-
-    Every call starts with ``q`` preamble steps, so a success shifts the
-    process's subsequent event times — attempts must be scheduled lazily.
-    The heap holds one pending CAS event per process, popped in time
-    order; the greedy success condition is identical to the ``q == 0``
-    path.  Return contract matches :func:`_resolve_flat` (``phase`` in
-    ``[0, q + s]``).
-    """
-    counts = np.bincount(sched, minlength=n)
-    key_dtype = np.int16 if n <= np.iinfo(np.int16).max else np.int32
-    order = np.argsort(sched.astype(key_dtype), kind="stable")
-
-    grouped: List[List[int]] = []
-    local_counts = counts.tolist()
-    offset = 0
-    for pid in range(n):
-        grouped.append(order[offset : offset + local_counts[pid]].tolist())
-        offset += local_counts[pid]
-
-    next_read = [q] * n  # local index of the pending attempt's first read
-    seq_list = [0] * n
-    heap: List[Tuple[int, int]] = []
-    for pid in range(n):
-        if q + s < local_counts[pid]:
-            heap.append((grouped[pid][q + s], pid))
-    heapq.heapify(heap)
-    push, pop = heapq.heappush, heapq.heappop
-
-    last = -1
-    succ_cols: List[int] = []
-    succ_pids: List[int] = []
-    succ_seqs: List[int] = []
-    while heap:
-        cas_col, pid = pop(heap)
-        steps_of = grouped[pid]
-        read_local = next_read[pid]
-        sequence = seq_list[pid]
-        seq_list[pid] = sequence + 1
-        if steps_of[read_local] > last:
-            last = cas_col
-            succ_cols.append(cas_col)
-            succ_pids.append(pid)
-            succ_seqs.append(sequence)
-            advanced = read_local + s + 1 + q  # completion: fresh preamble
-        else:
-            advanced = read_local + s + 1  # failed CAS: rescan immediately
-        next_read[pid] = advanced
-        if advanced + s < local_counts[pid]:
-            push(heap, (steps_of[advanced + s], pid))
-
-    seq = np.asarray(seq_list, dtype=np.int64)
-    phase = q + counts - np.asarray(next_read, dtype=np.int64)
-    return (
-        np.asarray(succ_cols, dtype=np.int64),
-        np.asarray(succ_pids, dtype=np.int64),
-        np.asarray(succ_seqs, dtype=np.int64),
-        seq,
-        phase,
-        counts,
-    )
+    """Back-compat wrapper: :func:`repro.sim.kernels.resolve_heap` on the
+    numpy oracle kernel."""
+    return resolve_heap(sched, n, q, s, NumpyKernel())
 
 
 @dataclass
@@ -318,6 +199,62 @@ class ReplicateOutcome:
             completions_this_run=self.total_completions,
         )
 
+    def measurement(self, *, burn_in: Optional[int] = None) -> Any:
+        """A :class:`~repro.core.latency.LatencyMeasurement` computed
+        straight from the outcome arrays — no recorder materialization.
+
+        Bit-identical to feeding :meth:`recorder` through the estimator
+        functions: completion times are ascending int64, so the
+        post-burn-in window is one ``searchsorted`` slice, per-pid
+        first/last completions are two scatter passes, and every latency
+        is the same ``int64 / int`` division the scalar estimators
+        perform.  Raises the same errors in the same cases.
+        """
+        from repro.core.latency import (
+            LatencyMeasurement,
+            _no_repeat_completion_error,
+        )
+
+        if burn_in is None:
+            # measure_latencies defaults its burn-in from the *requested*
+            # step budget, before knowing whether the run stops early.
+            requested = (
+                self.horizon if self.horizon is not None else self.steps_executed
+            )
+            drop = requested // 10
+        else:
+            drop = burn_in
+        times = self.completion_times
+        pids = self.completion_pids
+        cut = int(np.searchsorted(times, drop, side="right"))
+        times = times[cut:]
+        pids = pids[cut:]
+        n = self.n_processes
+        counts = np.bincount(pids, minlength=n)
+        first = np.zeros(n, dtype=np.int64)
+        last = np.zeros(n, dtype=np.int64)
+        # Reverse scatter: the earliest occurrence wins the `first` slot.
+        first[pids[::-1]] = times[::-1]
+        last[pids] = times
+        individual = {
+            pid: float((last[pid] - first[pid]) / (int(counts[pid]) - 1))
+            for pid in range(n)
+            if counts[pid] >= 2
+        }
+        if not individual:
+            raise _no_repeat_completion_error(n, self.steps_executed, drop)
+        return LatencyMeasurement(
+            n_processes=n,
+            steps=self.steps_executed,
+            burn_in=drop,
+            total_completions=self.total_completions,
+            system_latency=float(
+                (times[-1] - times[0]) / (times.shape[0] - 1)
+            ),
+            individual=individual,
+            completion_rate=self.total_completions / self.steps_executed,
+        )
+
 
 @dataclass
 class EnsembleResult:
@@ -383,48 +320,11 @@ class EnsembleResult:
         """One :class:`~repro.core.latency.LatencyMeasurement` per
         replicate, bit-identical to ``measure_latencies(..., batched=True)``
         with the same seed (``burn_in`` defaults to ``steps // 10``, as
-        there)."""
-        from repro.core.latency import (
-            LatencyMeasurement,
-            _no_repeat_completion_error,
-            completion_rate,
-            individual_latencies,
-            system_latency,
-        )
-
-        out = []
-        for outcome in self.replicates:
-            if burn_in is None:
-                # measure_latencies defaults its burn-in from the *requested*
-                # step budget, before knowing whether the run stops early.
-                requested = (
-                    outcome.horizon
-                    if outcome.horizon is not None
-                    else outcome.steps_executed
-                )
-                drop = requested // 10
-            else:
-                drop = burn_in
-            recorder = outcome.recorder()
-            individual = individual_latencies(recorder, burn_in=drop)
-            if not individual:
-                raise _no_repeat_completion_error(
-                    outcome.n_processes, outcome.steps_executed, drop
-                )
-            out.append(
-                LatencyMeasurement(
-                    n_processes=outcome.n_processes,
-                    steps=outcome.steps_executed,
-                    burn_in=drop,
-                    total_completions=recorder.total_completions,
-                    system_latency=system_latency(recorder, burn_in=drop),
-                    individual=individual,
-                    completion_rate=completion_rate(
-                        recorder, outcome.steps_executed
-                    ),
-                )
-            )
-        return out
+        there).  Computed array-side (:meth:`ReplicateOutcome.measurement`)
+        — no recorders are materialized."""
+        return [
+            outcome.measurement(burn_in=burn_in) for outcome in self.replicates
+        ]
 
 
 class EnsembleSimulator:
@@ -446,13 +346,35 @@ class EnsembleSimulator:
         telemetry-free; when given, per-replicate counters settle once
         per replicate after resolution — the array passes never see it
         and results are bit-identical either way.
+    fuse:
+        Stack same-shape replicates (same ``q``, ``s``, resolver kind)
+        into one schedule and resolve the whole block in a single pass
+        (the default).  ``False`` resolves replicates one at a time —
+        the pre-fusion behavior, kept as the comparison baseline.
+        Results are bit-identical either way (see the module docstring).
+    engine_kernel:
+        Backend for the sequential inner loops — one of ``"auto"``
+        (fastest available, the default), ``"compiled"`` (require
+        numba/C, warn and fall back to numpy when absent), ``"numpy"``,
+        ``"numba"`` or ``"cc"``.  See :mod:`repro.sim.kernels`.
+    fuse_block_steps:
+        Cap on the stacked schedule length per fused block.  It bounds
+        the resolver's working-set memory for very large ensembles, and
+        the default (1M steps) keeps a block's arrays inside the cache
+        sizes where the vectorized passes are fastest — larger blocks
+        amortize no further, they just stream more memory.  A single
+        replicate longer than the cap still resolves (in a block of its
+        own).
 
     The engine is **one-shot**: :meth:`run` may be called once (the
     resolution consumes the drawn schedules; there is no incremental
-    process state to resume, unlike ``Simulator.run``).  Crash schedules
-    are supported by segmented execution (see the module docstring);
-    crash maps naming unknown pids are rejected at construction, exactly
-    as :class:`repro.sim.Simulator` rejects them.
+    process state to resume, unlike ``Simulator.run``).  Validation and
+    planning errors inside :meth:`run` reset the guard — nothing has
+    consumed RNG yet, so a failed build does not poison a retried
+    ensemble.  Crash schedules are supported by segmented execution (see
+    the module docstring); crash maps naming unknown pids are rejected
+    at construction, exactly as :class:`repro.sim.Simulator` rejects
+    them.
     """
 
     def __init__(
@@ -461,6 +383,9 @@ class EnsembleSimulator:
         *,
         record_schedule: bool = False,
         telemetry: Optional[Any] = None,
+        fuse: bool = True,
+        engine_kernel: str = "auto",
+        fuse_block_steps: int = 1_000_000,
         _resolver: str = "auto",
     ) -> None:
         members = list(replicates)
@@ -468,6 +393,8 @@ class EnsembleSimulator:
             raise ValueError("at least one replicate is required")
         if _resolver not in ("auto", "flat", "heap"):
             raise ValueError(f"unknown resolver {_resolver!r}")
+        if fuse_block_steps < 1:
+            raise ValueError("fuse_block_steps must be positive")
         for index, member in enumerate(members):
             if member.crash_times:
                 # Crash schedules over known pids are fully supported (the
@@ -507,6 +434,9 @@ class EnsembleSimulator:
         self.record_schedule = record_schedule
         self.telemetry = telemetry
         self._resolver = _resolver
+        self._fuse = fuse
+        self._fuse_block_steps = fuse_block_steps
+        self._kernel = get_kernel(engine_kernel)
         self._ran = False
 
     def run(self, max_steps: int) -> EnsembleResult:
@@ -515,18 +445,53 @@ class EnsembleSimulator:
             raise ValueError("max_steps must be non-negative")
         if self._ran:
             raise RuntimeError(
-                "EnsembleSimulator.run is one-shot; build a new ensemble "
-                "(or use Simulator.run for incremental runs)"
+                f"EnsembleSimulator.run is one-shot and this "
+                f"{len(self.replicates)}-replicate ensemble has already "
+                "run; build a new EnsembleSimulator for another pass "
+                "(construction is cheap — the fused path resolves whole "
+                "replicate blocks in one vectorized pass) or use "
+                "Simulator.run for incremental runs"
             )
+        # Claim the guard before any RNG is consumed, but let pure
+        # planning/validation failures release it: a plan error leaves
+        # every replicate's RNG and scheduler state untouched, so
+        # retrying the same ensemble is safe.  Once schedule drawing
+        # starts, failures keep the guard — a partial draw has consumed
+        # RNG, and a silent retry would produce different replicates.
         self._ran = True
-        return EnsembleResult(
-            [self._run_replicate(member, max_steps) for member in self.replicates]
-        )
+        try:
+            plan = self._plan_resolvers()
+        except Exception:
+            self._ran = False
+            raise
+        if not self._fuse:
+            return EnsembleResult(
+                [
+                    self._run_replicate(member, max_steps, use_flat)
+                    for member, use_flat in zip(self.replicates, plan)
+                ]
+            )
+        return self._run_fused(plan, max_steps)
 
     # -- internals ---------------------------------------------------------------
 
+    def _plan_resolvers(self) -> List[bool]:
+        """Pick the resolver per replicate; pure validation, no RNG."""
+        plan = []
+        for member in self.replicates:
+            kernel = member.kernel
+            use_flat = (
+                kernel.q == 0
+                if self._resolver == "auto"
+                else self._resolver == "flat"
+            )
+            if use_flat and kernel.q != 0:
+                raise ValueError("the flat resolver requires q == 0")
+            plan.append(use_flat)
+        return plan
+
     def _run_replicate(
-        self, member: EnsembleReplicate, max_steps: int
+        self, member: EnsembleReplicate, max_steps: int, use_flat: bool
     ) -> ReplicateOutcome:
         n = member.n_processes
         rng = (
@@ -537,19 +502,143 @@ class EnsembleSimulator:
         schedule, stopped_early, segments = self._draw_schedule(
             member.scheduler, n, rng, max_steps, member.crash_times
         )
-        executed = int(schedule.shape[0])
         kernel = member.kernel
-        use_flat = kernel.q == 0 if self._resolver == "auto" else self._resolver == "flat"
-        if use_flat and kernel.q != 0:
-            raise ValueError("the flat resolver requires q == 0")
         if use_flat:
-            resolved = _resolve_flat(schedule, n, kernel.s)
+            resolved = resolve_flat(schedule, n, kernel.s, self._kernel)
         else:
-            resolved = _resolve_heap(schedule, n, kernel.q, kernel.s)
+            resolved = resolve_heap(schedule, n, kernel.q, kernel.s, self._kernel)
+        return self._finish_replicate(
+            member, max_steps, schedule, resolved, stopped_early, segments
+        )
+
+    def _run_fused(self, plan: List[bool], max_steps: int) -> EnsembleResult:
+        """Group same-shape replicates and resolve them block by block.
+
+        Schedules are drawn first, in replicate order — the identical
+        RNG/scheduler consumption as the per-replicate path (replicates
+        sharing a Generator instance stay bit-identical).  Resolution
+        then proceeds group-major: every replicate with the same
+        ``(resolver, q, s)`` shape lands in the same group, split into
+        blocks of at most ``fuse_block_steps`` stacked steps.
+        """
+        members = self.replicates
+        draws = [
+            self._draw_schedule(
+                member.scheduler,
+                member.n_processes,
+                (
+                    member.rng
+                    if isinstance(member.rng, np.random.Generator)
+                    else np.random.default_rng(member.rng)
+                ),
+                max_steps,
+                member.crash_times,
+            )
+            for member in members
+        ]
+        groups: Dict[Tuple[bool, int, int], List[int]] = {}
+        for index, (member, use_flat) in enumerate(zip(members, plan)):
+            key = (use_flat, int(member.kernel.q), int(member.kernel.s))
+            groups.setdefault(key, []).append(index)
+
+        outcomes: List[Optional[ReplicateOutcome]] = [None] * len(members)
+        for (use_flat, q, s), indices in groups.items():
+            start = 0
+            while start < len(indices):
+                stop = start + 1
+                block_steps = draws[indices[start]][0].shape[0]
+                while stop < len(indices) and (
+                    block_steps + draws[indices[stop]][0].shape[0]
+                    <= self._fuse_block_steps
+                ):
+                    block_steps += draws[indices[stop]][0].shape[0]
+                    stop += 1
+                self._resolve_block(
+                    indices[start:stop], draws, use_flat, q, s, max_steps, outcomes
+                )
+                start = stop
+        return EnsembleResult(outcomes)  # type: ignore[arg-type]
+
+    def _resolve_block(
+        self,
+        indices: List[int],
+        draws: List[Tuple[np.ndarray, bool, int]],
+        use_flat: bool,
+        q: int,
+        s: int,
+        max_steps: int,
+        outcomes: List[Optional[ReplicateOutcome]],
+    ) -> None:
+        """Stack one block of same-shape replicates, resolve, split back.
+
+        Replicate ``k`` of the block occupies pids ``[pid_base[k],
+        pid_base[k+1])`` and schedule positions ``[time_base[k],
+        time_base[k+1])`` of the stack.  Successes come out ordered by
+        (global) CAS position, so a ``searchsorted`` on the time bases
+        splits them back per replicate; per-pid end state splits by the
+        pid bases.
+        """
+        members = self.replicates
+        scheds = [draws[i][0] for i in indices]
+        n_values = [members[i].n_processes for i in indices]
+        pid_base = np.concatenate(([0], np.cumsum(n_values))).astype(np.int64)
+        time_base = np.concatenate(
+            ([0], np.cumsum([sched.shape[0] for sched in scheds]))
+        ).astype(np.int64)
+        total_n = int(pid_base[-1])
+        if len(indices) == 1:
+            stacked = scheds[0]
+        else:
+            stacked = np.concatenate(
+                [sched + base for sched, base in zip(scheds, pid_base[:-1])]
+            )
+        if use_flat:
+            resolved = resolve_flat(stacked, total_n, s, self._kernel)
+        else:
+            resolved = resolve_heap(stacked, total_n, q, s, self._kernel)
         succ_cols, succ_pids, succ_seqs, seq, phase, counts = resolved
 
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.enabled:
+            telemetry.inc("ensemble.fused_blocks")
+            telemetry.inc("ensemble.fused_replicates", len(indices))
+            telemetry.inc("ensemble.fused_steps", int(time_base[-1]))
+
+        bounds = np.searchsorted(succ_cols, time_base)
+        for k, index in enumerate(indices):
+            member = members[index]
+            span = slice(int(bounds[k]), int(bounds[k + 1]))
+            pids = slice(int(pid_base[k]), int(pid_base[k + 1]))
+            local = (
+                succ_cols[span] - time_base[k],
+                succ_pids[span] - pid_base[k],
+                succ_seqs[span],
+                seq[pids],
+                phase[pids],
+                counts[pids],
+            )
+            schedule, stopped_early, segments = draws[index]
+            outcomes[index] = self._finish_replicate(
+                member, max_steps, schedule, local, stopped_early, segments
+            )
+
+    def _finish_replicate(
+        self,
+        member: EnsembleReplicate,
+        max_steps: int,
+        schedule: np.ndarray,
+        resolved: Tuple[
+            np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray
+        ],
+        stopped_early: bool,
+        segments: int,
+    ) -> ReplicateOutcome:
+        """Commit a resolved replicate: memory, telemetry, outcome."""
+        n = member.n_processes
+        executed = int(schedule.shape[0])
+        succ_cols, succ_pids, succ_seqs, seq, phase, counts = resolved
         memory = member.memory if member.memory is not None else Memory()
-        kernel.commit(
+        member.kernel.commit(
             memory,
             seq=seq,
             phase=phase,
@@ -586,7 +675,7 @@ class EnsembleSimulator:
             n_processes=n,
             steps_executed=executed,
             completion_times=succ_cols + 1,  # executor time is 1-based
-            completion_pids=succ_pids,
+            completion_pids=np.ascontiguousarray(succ_pids, dtype=np.int64),
             step_counts=counts.astype(np.int64),
             memory=memory,
             schedule=schedule.astype(np.int32) if self.record_schedule else None,

@@ -39,6 +39,10 @@ class TestFaultsAreInvisible:
     def test_kill_hang_and_raise_leave_results_bit_identical(
         self, tmp_path, reference
     ):
+        # Faults here key the executor's pickle-transport task keys,
+        # the (n, replicate) tuples; the shared-memory transport names
+        # tasks by row index, and its chaos twin lives in
+        # tests/core/test_shm_dispatch.py.
         plan = ChaosPlan(
             state_dir=str(tmp_path),
             faults={(2, 1): "kill", (4, 0): "raise", (4, 2): "hang"},
@@ -50,6 +54,7 @@ class TestFaultsAreInvisible:
             N_VALUES,
             max_workers=2,
             chunk_size=1,
+            dispatch="pickle",
             retry=RetryPolicy(
                 max_retries=3, base_delay=0.01, max_delay=0.1, timeout=1.5
             ),
@@ -87,6 +92,7 @@ class TestPoisonIsolation:
                 make_counter_memory,
                 N_VALUES,
                 max_workers=2,
+                dispatch="pickle",
                 retry=RetryPolicy(max_retries=1, base_delay=0.01, max_delay=0.02),
                 pool_factory=functools.partial(ChaosPool, plan=plan),
                 **SWEEP,
@@ -154,6 +160,7 @@ class TestCheckpointResume:
                 N_VALUES,
                 max_workers=2,
                 chunk_size=1,
+                dispatch="pickle",
                 checkpoint=path,
                 retry=RetryPolicy(max_retries=1, base_delay=0.01, max_delay=0.02),
                 pool_factory=functools.partial(ChaosPool, plan=plan),

@@ -1,0 +1,231 @@
+"""Fused multi-replicate resolution must be invisible in results.
+
+The fused path stacks same-shape replicates into one schedule and
+resolves them in a single vectorized pass; this suite pins the contract
+that every observable of every replicate — schedule, completion stream,
+per-process accounting, final memory, derived measurements — is
+bit-identical to the per-replicate path (``fuse=False``), across
+resolver families, crash schedules, heterogeneous ensembles and block
+caps small enough to force multi-block packing.  It also covers the
+one-shot guard semantics around :meth:`EnsembleSimulator.run`.
+"""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.counter import (
+    CounterStepKernel,
+    cas_counter,
+    make_counter_memory,
+)
+from repro.algorithms.scu import ScuStepKernel, make_scu_memory
+from repro.core.scheduler import (
+    SkewedStochasticScheduler,
+    UniformStochasticScheduler,
+)
+from repro.sim import EnsembleReplicate, EnsembleSimulator
+
+KERNEL_CASES = {
+    "counter": (CounterStepKernel(), make_counter_memory),
+    "scu03": (ScuStepKernel(0, 3), lambda: make_scu_memory(3)),
+    "scu21": (ScuStepKernel(2, 1), lambda: make_scu_memory(1)),
+    "scu32": (ScuStepKernel(3, 2), lambda: make_scu_memory(2)),
+}
+
+CRASH_CASES = {
+    "crash_free": None,
+    "crashing": {0: 40, 2: 95},
+}
+
+
+def build_members(kernel, memory_builder, *, crash_times=None, seed=0):
+    """A small mixed-n ensemble of one kernel shape."""
+    return [
+        EnsembleReplicate(
+            kernel,
+            n,
+            UniformStochasticScheduler(),
+            memory_builder(),
+            rng=(seed, n, r),
+            crash_times=dict(crash_times) if crash_times else None,
+        )
+        for r, n in enumerate([3, 5, 3, 4])
+    ]
+
+
+def assert_outcomes_identical(left, right):
+    assert left.n_processes == right.n_processes
+    assert left.steps_executed == right.steps_executed
+    assert left.stopped_early == right.stopped_early
+    assert np.array_equal(left.completion_times, right.completion_times)
+    assert np.array_equal(left.completion_pids, right.completion_pids)
+    assert np.array_equal(left.step_counts, right.step_counts)
+    if left.schedule is not None or right.schedule is not None:
+        assert np.array_equal(left.schedule, right.schedule)
+    assert vars(left.memory) == vars(right.memory)
+
+
+def run_both(members_builder, steps, **fused_kwargs):
+    reference = EnsembleSimulator(
+        members_builder(), fuse=False, engine_kernel="numpy", record_schedule=True
+    ).run(steps)
+    fused = EnsembleSimulator(
+        members_builder(), record_schedule=True, **fused_kwargs
+    ).run(steps)
+    assert len(reference) == len(fused)
+    for left, right in zip(reference, fused):
+        assert_outcomes_identical(left, right)
+    return reference, fused
+
+
+@pytest.mark.parametrize("kernel_name", sorted(KERNEL_CASES))
+@pytest.mark.parametrize("crash_name", sorted(CRASH_CASES))
+def test_fused_matches_per_replicate(kernel_name, crash_name):
+    kernel, memory_builder = KERNEL_CASES[kernel_name]
+    crash_times = CRASH_CASES[crash_name]
+    run_both(
+        lambda: build_members(
+            kernel, memory_builder, crash_times=crash_times, seed=11
+        ),
+        600,
+    )
+
+
+@pytest.mark.parametrize("kernel_name", ["counter", "scu21"])
+def test_small_block_cap_forces_multi_block_packing(kernel_name):
+    kernel, memory_builder = KERNEL_CASES[kernel_name]
+    # Cap far below one replicate's steps: every replicate must land in
+    # its own (oversized) block and still resolve identically.
+    run_both(
+        lambda: build_members(kernel, memory_builder, seed=3),
+        500,
+        fuse_block_steps=200,
+    )
+
+
+def test_heterogeneous_shapes_fuse_by_group():
+    """Mixed (q, s) replicates group independently and all stay exact."""
+
+    def members():
+        out = []
+        for index, name in enumerate(
+            ("counter", "scu03", "scu21", "counter", "scu21")
+        ):
+            kernel, memory_builder = KERNEL_CASES[name]
+            out.append(
+                EnsembleReplicate(
+                    kernel,
+                    4,
+                    SkewedStochasticScheduler([0.4, 0.3, 0.2, 0.1]),
+                    memory_builder(),
+                    rng=(7, index),
+                )
+            )
+        return out
+
+    run_both(members, 400)
+
+
+def test_shared_generator_instance_preserves_draw_order():
+    """Replicates sharing one Generator must consume it in replicate
+    order on both paths — the fused path draws everything upfront."""
+
+    def members(rng):
+        return [
+            EnsembleReplicate(
+                CounterStepKernel(),
+                3,
+                UniformStochasticScheduler(),
+                make_counter_memory(),
+                rng=rng,
+            )
+            for _ in range(4)
+        ]
+
+    reference = EnsembleSimulator(
+        members(np.random.default_rng(19)), fuse=False, engine_kernel="numpy"
+    ).run(300)
+    fused = EnsembleSimulator(members(np.random.default_rng(19))).run(300)
+    for left, right in zip(reference, fused):
+        assert_outcomes_identical(left, right)
+
+
+def test_fused_telemetry_counters():
+    from repro.core.telemetry import MetricsRegistry
+
+    telemetry = MetricsRegistry()
+    kernel, memory_builder = KERNEL_CASES["counter"]
+    EnsembleSimulator(
+        build_members(kernel, memory_builder, seed=2), telemetry=telemetry
+    ).run(250)
+    counters = telemetry.counters
+    assert counters["ensemble.fused_replicates"] == 4
+    assert counters["ensemble.fused_blocks"] >= 1
+    assert counters["ensemble.fused_steps"] == 4 * 250
+    # Per-replicate accounting is unchanged by fusion.
+    assert counters["ensemble.replicates"] == 4
+
+
+def test_measurements_match_unfused():
+    kernel, memory_builder = KERNEL_CASES["scu21"]
+    reference = EnsembleSimulator(
+        build_members(kernel, memory_builder, seed=23), fuse=False,
+        engine_kernel="numpy",
+    ).run(800)
+    fused = EnsembleSimulator(build_members(kernel, memory_builder, seed=23)).run(800)
+    assert reference.measurements(burn_in=80) == fused.measurements(burn_in=80)
+
+
+# -- one-shot guard semantics --------------------------------------------------
+
+
+def one_member():
+    return [
+        EnsembleReplicate(
+            CounterStepKernel(),
+            2,
+            UniformStochasticScheduler(),
+            make_counter_memory(),
+            rng=1,
+        ),
+        EnsembleReplicate(
+            CounterStepKernel(),
+            2,
+            UniformStochasticScheduler(),
+            make_counter_memory(),
+            rng=2,
+        ),
+    ]
+
+
+def test_reuse_error_names_size_and_remedy():
+    simulator = EnsembleSimulator(one_member())
+    simulator.run(50)
+    with pytest.raises(RuntimeError, match=r"2-replicate.*build a new"):
+        simulator.run(50)
+
+
+def test_plan_error_releases_the_guard():
+    """A pure validation failure must not poison the simulator: the
+    same ValueError surfaces on every retry, never the one-shot error."""
+    simulator = EnsembleSimulator(one_member(), _resolver="flat")
+    simulator.replicates[0].kernel = ScuStepKernel(2, 1)
+    for _ in range(2):
+        with pytest.raises(ValueError, match="flat resolver requires q == 0"):
+            simulator.run(50)
+
+
+def test_guard_holds_after_drawing_starts():
+    """Failures past the planning stage keep the guard: RNG state has
+    been consumed, so a silent retry would differ."""
+    simulator = EnsembleSimulator(one_member())
+    simulator.replicates[1].scheduler = None  # draw will explode
+    with pytest.raises(Exception):
+        simulator.run(50)
+    with pytest.raises(RuntimeError, match="one-shot"):
+        simulator.run(50)
+
+
+def test_fuse_block_steps_validation():
+    with pytest.raises(ValueError):
+        EnsembleSimulator(one_member(), fuse_block_steps=0)

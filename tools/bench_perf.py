@@ -1,11 +1,22 @@
 """Performance harness for the three execution engines.
 
 Times the same seeded workloads on the serial, batched, and ensemble
-engines and writes a machine-readable JSON report (``BENCH_PR6.json`` by
-default).  Nine workloads:
+engines and writes a machine-readable JSON report (``BENCH_PR7.json`` by
+default).  Eleven workloads:
 
 * ``fig5_sweep`` — a FIG5-style multi-replicate latency sweep (the
-  ensemble engine's target shape: many replicates, one sweep),
+  ensemble engine's target shape: many replicates, one sweep), timed on
+  all three engines plus the pre-fusion per-replicate ensemble path
+  (per-replicate resolution, recorder-based measurement) as the
+  baseline the fused default must beat,
+* ``fused_sweep`` — the fused-resolution matrix on one ensemble sweep:
+  unfused vs. fused replicate stacking crossed with the numpy vs.
+  compiled inner-loop kernels (``engine_kernel``), all bit-identical,
+* ``sharedmem_dispatch`` — ``parallel_sweep`` with pickle vs.
+  zero-copy shared-memory transport: wall-clock parity on interleaved
+  rounds plus the deterministic per-chunk pipe payload (submit out,
+  results back) each transport pickles — the dispatch overhead the
+  segments remove — with a no-orphaned-segments check,
 * ``thm4_cells`` — the nine heterogeneous THM4 ``(q, s, n)`` cells as
   one ensemble vs. per-cell batched/serial runs,
 * ``single_run_100k`` — one long single-replicate run (the shape where
@@ -38,7 +49,7 @@ numbers, less time.
 
 Usage::
 
-    python tools/bench_perf.py                  # full run -> BENCH_PR6.json
+    python tools/bench_perf.py                  # full run -> BENCH_PR7.json
     python tools/bench_perf.py --quick          # CI-sized steps/repeats
     python tools/bench_perf.py --out perf.json
 """
@@ -82,8 +93,66 @@ def timed(fn):
     return time.perf_counter() - start, result
 
 
+def _per_replicate_ensemble_points(n_values, steps, repeats, seed, confidence=0.95):
+    """The pre-fusion ensemble path, reconstructed as a baseline.
+
+    Per-replicate resolution (``fuse=False``, numpy inner loops) and
+    recorder-based measurement — exactly what ``engine="ensemble"`` did
+    before fused resolution and the vectorized measurement fast path.
+    Returns the same :class:`SweepPoint` list as ``latency_sweep``.
+    """
+    from repro.core.latency import (
+        LatencyMeasurement,
+        completion_rate,
+        individual_latencies,
+        system_latency,
+    )
+    from repro.core.sweep import _collect_points
+
+    burn_in = steps // 10
+    ensemble = EnsembleSimulator(
+        [
+            EnsembleReplicate(
+                resolve_vector_kernel(cas_counter()),
+                n,
+                UniformStochasticScheduler(),
+                make_counter_memory(),
+                rng=(seed, n, r),
+            )
+            for n in n_values
+            for r in range(repeats)
+        ],
+        fuse=False,
+        engine_kernel="numpy",
+    )
+    results = {}
+    keys = [(n, r) for n in n_values for r in range(repeats)]
+    for key, outcome in zip(keys, ensemble.run(steps)):
+        recorder = outcome.recorder()
+        measurement = LatencyMeasurement(
+            n_processes=outcome.n_processes,
+            steps=outcome.steps_executed,
+            burn_in=burn_in,
+            total_completions=recorder.total_completions,
+            system_latency=system_latency(recorder, burn_in=burn_in),
+            individual=individual_latencies(recorder, burn_in=burn_in),
+            completion_rate=completion_rate(recorder, outcome.steps_executed),
+        )
+        results[key] = (
+            measurement.system_latency,
+            measurement.completion_rate,
+            measurement.fairness_ratio,
+        )
+    return _collect_points(n_values, repeats, results, confidence)
+
+
 def bench_fig5_sweep(quick):
-    """Multi-replicate latency sweep: the ensemble engine's home turf."""
+    """Multi-replicate latency sweep: the ensemble engine's home turf.
+
+    ``ensemble`` is the default path (fused resolution, compiled inner
+    loops when available); ``ensemble_per_replicate`` reconstructs the
+    pre-fusion path as the baseline the fused default is priced against.
+    """
     n_values = [4, 8] if quick else [4, 8, 16]
     steps = 10_000 if quick else 60_000
     repeats = 8 if quick else 32
@@ -103,14 +172,207 @@ def bench_fig5_sweep(quick):
     points = {}
     for engine in ("serial", "batched", "ensemble"):
         engines[engine], points[engine] = timed(sweep(engine))
+    engines["ensemble_per_replicate"], points["ensemble_per_replicate"] = timed(
+        lambda: _per_replicate_ensemble_points(n_values, steps, repeats, seed=2)
+    )
     return {
         "workload": "fig5_sweep",
         "params": {"n_values": n_values, "steps": steps, "repeats": repeats},
         "seconds": engines,
         "speedup_ensemble_vs_batched": engines["batched"] / engines["ensemble"],
         "speedup_ensemble_vs_serial": engines["serial"] / engines["ensemble"],
+        "speedup_fused_vs_per_replicate": (
+            engines["ensemble_per_replicate"] / engines["ensemble"]
+        ),
         "bit_identical": all(
             points[e] == points["batched"] for e in points
+        ),
+    }
+
+
+def bench_fused_sweep(quick):
+    """The fused-resolution matrix: replicate stacking x kernel backend.
+
+    One ensemble-engine sweep timed under every combination of ``fuse``
+    and ``engine_kernel`` that exists on this machine.  All arms share
+    the vectorized measurement path, so the deltas isolate fusion and
+    the compiled inner loops; ``fig5_sweep`` prices the full default
+    against the original per-replicate path.
+    """
+    from repro.sim.kernels import available_backends
+
+    n_values = [2, 4, 8]
+    steps = 5_000 if quick else 20_000
+    repeats = 8 if quick else 48
+
+    def sweep(fuse, engine_kernel):
+        return lambda: latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            n_values,
+            steps=steps,
+            repeats=repeats,
+            seed=4,
+            engine="ensemble",
+            fuse=fuse,
+            engine_kernel=engine_kernel,
+        )
+
+    arms = {
+        "unfused_numpy": (False, "numpy"),
+        "fused_numpy": (True, "numpy"),
+    }
+    compiled = [k for k in ("numba", "cc") if k in available_backends()]
+    for backend in compiled:
+        arms[f"unfused_{backend}"] = (False, backend)
+        arms[f"fused_{backend}"] = (True, backend)
+    arms["fused_auto"] = (True, "auto")
+
+    seconds = {}
+    points = {}
+    for label, (fuse, engine_kernel) in arms.items():
+        seconds[label], points[label] = timed(sweep(fuse, engine_kernel))
+    return {
+        "workload": "fused_sweep",
+        "params": {
+            "n_values": n_values,
+            "steps": steps,
+            "repeats": repeats,
+            "compiled_backends": compiled,
+        },
+        "seconds": seconds,
+        "speedup_fused_auto_vs_unfused_numpy": (
+            seconds["unfused_numpy"] / seconds["fused_auto"]
+        ),
+        "bit_identical": all(
+            p == points["unfused_numpy"] for p in points.values()
+        ),
+    }
+
+
+def bench_sharedmem_dispatch(quick):
+    """Pickle vs. zero-copy shared-memory transport in parallel_sweep.
+
+    Two measurements.  *Wall clock* interleaves repeated rounds of the
+    same sweep under each transport and keeps per-mode minima, like the
+    telemetry bench; on CPU-bound replicates the pool's pipe round-trip
+    and scheduling dominate both modes equally, so the honest headline
+    is parity — zero-copy costs nothing.  *Payload bytes* is the
+    deterministic measurement of what the transport itself moves: the
+    exact pickle stream one chunk sends through the pool pipe (submit
+    args out, worker return back), mirrored byte-for-byte from the
+    executor's ``pool.submit(worker_fn, keys, *args)`` call.  Pickle
+    dispatch ships ``(n, replicate)`` tuples out and result triples
+    back, so its payload grows with the chunk; shared-memory dispatch
+    ships bare row indices both ways and the triples never cross the
+    pipe.  Also asserts the no-orphaned-segments contract after the
+    rounds.
+    """
+    import glob
+    import os
+    import pickle
+
+    from repro.core.shm import sharedmem_available
+    from repro.core.sweep import _chunk_worker, _shm_chunk_worker
+
+    n_values = [2, 4]
+    steps = 500 if quick else 2_000
+    repeats = 16 if quick else 30
+    max_workers = 2
+    rounds = 2 if quick else 3
+    task_list = [(n, r) for n in n_values for r in range(repeats)]
+    # The executor's default chunking: about four chunks per worker.
+    chunk = max(1, -(-len(task_list) // (max_workers * 4)))
+    n_chunks = -(-len(task_list) // chunk)
+
+    def sweep(dispatch):
+        return lambda: parallel_sweep_for_bench(
+            dispatch, n_values, steps, repeats, max_workers
+        )
+
+    def parallel_sweep_for_bench(dispatch, n_values, steps, repeats, max_workers):
+        from repro.core.sweep import parallel_sweep
+
+        return parallel_sweep(
+            cas_counter,
+            make_counter_memory,
+            n_values,
+            steps=steps,
+            repeats=repeats,
+            seed=6,
+            max_workers=max_workers,
+            dispatch=dispatch,
+        )
+
+    if not sharedmem_available():  # pragma: no cover — non-POSIX
+        return {
+            "workload": "sharedmem_dispatch",
+            "params": {"skipped": "no multiprocessing.shared_memory"},
+            "seconds": {},
+            "bit_identical": True,
+        }
+
+    # The per-chunk pipe payload, byte-for-byte.  Shared args (builders,
+    # steps, seed, ...) mirror parallel_sweep's executor wiring; result
+    # triples are synthetic but distinct floats, which pickle at the
+    # same fixed width as real ones.
+    shared_args = (cas_counter, make_counter_memory, None, steps, 6, True, None, None)
+    pairs = task_list[:chunk]
+    rows = list(range(chunk))
+    task_name = f"repro-{'0' * 8}-{os.getpid()}-0-t"
+    bytes_per_chunk = {
+        "pickle": (
+            len(pickle.dumps((_chunk_worker, pairs) + shared_args))
+            + len(
+                pickle.dumps(
+                    [(1.0 + i, 0.9 - i * 1e-4, 0.8 + i * 1e-5) for i in range(chunk)]
+                )
+            )
+        ),
+        "sharedmem": (
+            len(
+                pickle.dumps(
+                    (_shm_chunk_worker, rows, task_name, task_name[:-1] + "r", len(task_list))
+                    + shared_args
+                )
+            )
+            + len(pickle.dumps(rows))
+        ),
+    }
+
+    pickle_times, shm_times = [], []
+    points = {}
+    for _ in range(rounds):
+        seconds, points["pickle"] = timed(sweep("pickle"))
+        pickle_times.append(seconds)
+        seconds, points["sharedmem"] = timed(sweep("sharedmem"))
+        shm_times.append(seconds)
+    orphans = glob.glob("/dev/shm/repro-*")
+    seconds = {"pickle": min(pickle_times), "sharedmem": min(shm_times)}
+    return {
+        "workload": "sharedmem_dispatch",
+        "params": {
+            "n_values": n_values,
+            "steps": steps,
+            "repeats": repeats,
+            "max_workers": max_workers,
+            "chunk_size": chunk,
+            "rounds": rounds,
+        },
+        "seconds": seconds,
+        "seconds_per_chunk": {
+            mode: secs / n_chunks for mode, secs in seconds.items()
+        },
+        "bytes_per_chunk": bytes_per_chunk,
+        "chunk_payload_reduction_fraction": (
+            1.0 - bytes_per_chunk["sharedmem"] / bytes_per_chunk["pickle"]
+        ),
+        "wall_clock_delta_fraction": (
+            1.0 - seconds["sharedmem"] / seconds["pickle"]
+        ),
+        "orphaned_segments": len(orphans),
+        "bit_identical": (
+            points["pickle"] == points["sharedmem"] and not orphans
         ),
     }
 
@@ -663,14 +925,16 @@ def main(argv=None):
     parser.add_argument(
         "--out",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR6.json",
-        help="output JSON path (default: BENCH_PR6.json at the repo root)",
+        default=REPO_ROOT / "BENCH_PR7.json",
+        help="output JSON path (default: BENCH_PR7.json at the repo root)",
     )
     args = parser.parse_args(argv)
 
     results = []
     benches = (
         bench_fig5_sweep,
+        bench_fused_sweep,
+        bench_sharedmem_dispatch,
         bench_thm4_cells,
         bench_single_run,
         bench_cor2_crash_sweep,
@@ -683,7 +947,22 @@ def main(argv=None):
     for bench in benches:
         result = bench(args.quick)
         results.append(result)
-        if "sweep_store" in result["seconds"]:
+        if "unfused_numpy" in result["seconds"]:
+            summary = (
+                f"fused_auto {result['seconds']['fused_auto']:8.3f}s"
+                f"  unfused_numpy {result['seconds']['unfused_numpy']:8.3f}s"
+                f"  speedup "
+                f"{result['speedup_fused_auto_vs_unfused_numpy']:5.2f}x"
+            )
+        elif "sharedmem" in result["seconds"]:
+            summary = (
+                f"sharedmem {result['seconds']['sharedmem']:8.3f}s"
+                f"  pickle {result['seconds']['pickle']:8.3f}s"
+                f"  per-chunk payload "
+                f"{100 * result['chunk_payload_reduction_fraction']:+5.1f}%"
+                f" smaller  orphans={result['orphaned_segments']}"
+            )
+        elif "sweep_store" in result["seconds"]:
             summary = (
                 f"store {result['seconds']['sweep_store']:8.3f}s"
                 f"  bare {result['seconds']['sweep_bare']:8.3f}s"
@@ -716,6 +995,11 @@ def main(argv=None):
                 f"  batched {result['seconds']['batched']:8.3f}s"
                 f"  speedup {result['speedup_ensemble_vs_batched']:5.2f}x"
             )
+            if "speedup_fused_vs_per_replicate" in result:
+                summary += (
+                    f"  fused-vs-per-replicate "
+                    f"{result['speedup_fused_vs_per_replicate']:5.2f}x"
+                )
         else:
             summary = (
                 f"scu {result['speedup_scu']:5.2f}x"

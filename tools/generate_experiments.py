@@ -114,6 +114,52 @@ name, rebuilds crashed pools, and falls back to in-process serial
 execution if pools keep dying — at under 5% overhead when nothing goes
 wrong (`tools/bench_perf.py`, `chaos_sweep` workload).
 
+## Fast large-ensemble sweeps: fused kernels and zero-copy dispatch
+
+The ensemble engine *fuses* same-shape replicates — same `(q, s)` and
+resolver kind, across a point's replicate block and across the grid's
+thread counts — into stacked schedules resolved in one vectorized
+pass, and delegates its two sequential inner loops (the successor
+chain walk and the heap-driven CAS scan) to pluggable kernels:
+`numpy` (always available, the bit-identity oracle), `cc` (a small C
+library compiled by the system compiler at first use), and `numba`
+(optional).  Both are on by default; `parallel_sweep` additionally
+moves tasks and results through zero-copy shared-memory segments
+instead of the pickle pipe:
+
+```python
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.core.sweep import latency_sweep, parallel_sweep
+
+# One process: fused resolution, fastest available kernel.
+points = latency_sweep(
+    cas_counter, make_counter_memory, [8, 16, 32, 64],
+    steps=200_000, repeats=32, seed=0,
+    engine="ensemble", fuse=True, engine_kernel="auto",
+)
+
+# Worker pool: zero-copy shared-memory dispatch.
+points = parallel_sweep(
+    cas_counter, make_counter_memory, [8, 16, 32, 64],
+    steps=200_000, repeats=32, seed=0,
+    dispatch="sharedmem",
+)
+```
+
+Every combination is bit-identical — `fuse=`, `engine_kernel=` and
+`dispatch=` trade wall clock only, which `tests/sim/test_ensemble_fused.py`,
+`tests/sim/test_kernels.py` and the benchmark harness re-check on
+every run.  Fused resolution is about 2.4x faster than the
+per-replicate ensemble path on the FIG5 sweep (`tools/bench_perf.py`,
+`fig5_sweep` and `fused_sweep` workloads); `engine_kernel="compiled"`
+requires a compiled backend and warns once before falling back to
+numpy.  Shared-memory dispatch ships bare row indices where pickle
+dispatch ships task tuples out and result triples back — per-chunk
+pipe payloads shrink by ~40% at default chunking (`sharedmem_dispatch`
+workload) — and the parent unlinks both segments in a `finally`, so
+worker kills, hangs and poison tasks leave zero orphaned `/dev/shm`
+entries (chaos-enforced by `tests/core/test_shm_dispatch.py`).
+
 ## Million-replicate sweeps: the columnar store and the disk memo
 
 At millions of replicates the JSONL journal and in-memory aggregation
