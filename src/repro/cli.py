@@ -357,15 +357,33 @@ def cmd_figure5(args: argparse.Namespace) -> int:
             if checkpoint is not None and (n, 0) in checkpoint.completed:
                 measured.append(checkpoint.completed[(n, 0)][1])
                 continue
-            m = measure_latencies(
-                cas_counter(),
-                _make_scheduler(args.scheduler),
-                n_processes=n,
-                steps=args.steps,
-                memory=make_counter_memory(),
-                rng=n,
-                telemetry=telemetry,
-            )
+            if args.engine == "ensemble":
+                # One replicate per thread count, same rng=n seed — the
+                # engine-equivalence contract keeps the table identical
+                # to the serial path; workers shard the fused blocks.
+                from repro.core.latency import measure_latencies_ensemble
+
+                m = measure_latencies_ensemble(
+                    cas_counter(),
+                    lambda: _make_scheduler(args.scheduler),
+                    n_processes=n,
+                    steps=args.steps,
+                    seeds=[n],
+                    memory_factory=make_counter_memory,
+                    telemetry=telemetry,
+                    max_workers=args.ensemble_workers,
+                )[0]
+            else:
+                m = measure_latencies(
+                    cas_counter(),
+                    _make_scheduler(args.scheduler),
+                    n_processes=n,
+                    steps=args.steps,
+                    memory=make_counter_memory(),
+                    rng=n,
+                    batched=args.engine == "batched",
+                    telemetry=telemetry,
+                )
             measured.append(m.completion_rate)
             if checkpoint is not None:
                 checkpoint.record(
@@ -448,6 +466,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument("--steps", type=int, default=60_000)
     p.add_argument("--scheduler", choices=["uniform", "hardware"], default="uniform")
+    p.add_argument(
+        "--engine",
+        choices=["serial", "batched", "ensemble"],
+        default="serial",
+        help="execution engine — all three produce identical numbers "
+        "(trace-equivalence contract); ensemble is fastest and can "
+        "shard across workers",
+    )
+    p.add_argument(
+        "--ensemble-workers",
+        metavar="N",
+        type=lambda value: value if value == "auto" else int(value),
+        default=None,
+        help="shard the ensemble engine's fused blocks across N worker "
+        "processes ('auto' = every available CPU); implies --engine "
+        "ensemble semantics only when that engine is selected",
+    )
     p.add_argument(
         "--checkpoint",
         metavar="PATH",

@@ -266,8 +266,9 @@ def measure_latencies_ensemble(
     memory_factory: Optional[Callable[[], Memory]] = None,
     crash_times: Optional[Dict[int, int]] = None,
     telemetry=None,
-    fuse: bool = True,
+    fuse="auto",
     engine_kernel: str = "auto",
+    max_workers=None,
 ) -> "List[LatencyMeasurement]":
     """Measure many independent replicates on the ensemble engine.
 
@@ -283,8 +284,9 @@ def measure_latencies_ensemble(
     (stateful schedulers) and memory.  ``crash_times`` is the executor's
     ``{pid: time}`` halting-failure map, applied to every replicate
     (Corollary 2 experiments crash the same processes in each replicate
-    and vary only the seed).  ``fuse`` and ``engine_kernel`` tune the
-    resolution path (fused replicate stacking, compiled inner loops —
+    and vary only the seed).  ``fuse``, ``engine_kernel`` and
+    ``max_workers`` tune the resolution path (fused replicate stacking,
+    compiled inner loops, sharding fused blocks across a worker pool —
     see :class:`~repro.sim.EnsembleSimulator`); results are bit-identical
     for every setting.
     """
@@ -304,6 +306,10 @@ def measure_latencies_ensemble(
         for seed in seeds
     ]
     result = EnsembleSimulator(
-        replicates, telemetry=telemetry, fuse=fuse, engine_kernel=engine_kernel
+        replicates,
+        telemetry=telemetry,
+        fuse=fuse,
+        engine_kernel=engine_kernel,
+        max_workers=max_workers,
     ).run(steps)
     return result.measurements(burn_in=burn_in)

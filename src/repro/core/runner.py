@@ -78,6 +78,23 @@ def available_cpu_count() -> int:
     return os.cpu_count() or 1
 
 
+def default_shard_workers() -> int:
+    """Worker count for sharded fused resolution, oversubscription-safe.
+
+    When fused resolution runs inside a pool worker — a
+    ``parallel_sweep`` point that itself builds an ensemble — spawning a
+    nested shard pool would multiply the outer pool's worker count by
+    the core count.  ``multiprocessing.parent_process()`` is non-None
+    exactly in child processes, so nested callers get 1 (resolve
+    in-process) and top-level callers get the real CPU allowance.
+    """
+    import multiprocessing
+
+    if multiprocessing.parent_process() is not None:
+        return 1
+    return available_cpu_count()
+
+
 def _stable_seed(key: Hashable, attempt: int) -> int:
     """A process-stable seed for the backoff jitter (``hash()`` is salted
     per interpreter; CRC32 of the repr is not)."""

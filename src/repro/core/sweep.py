@@ -445,8 +445,9 @@ def _run_ensemble_grid(
     recorded: set,
     note: Callable[[Tuple[int, int], Tuple[float, float, float]], None],
     telemetry,
-    fuse: bool = True,
+    fuse="auto",
     engine_kernel: str = "auto",
+    ensemble_workers=None,
 ) -> int:
     """Resolve the whole sweep grid as fused ensembles.
 
@@ -497,7 +498,11 @@ def _run_ensemble_grid(
             for n, r in block
         ]
         result = EnsembleSimulator(
-            members, telemetry=telemetry, fuse=fuse, engine_kernel=engine_kernel
+            members,
+            telemetry=telemetry,
+            fuse=fuse,
+            engine_kernel=engine_kernel,
+            max_workers=ensemble_workers,
         ).run(steps)
         measurements = result.measurements(burn_in=burn_in)
         for (n, r), measurement in zip(block, measurements):
@@ -556,8 +561,9 @@ def latency_sweep(
     resume: bool = False,
     on_progress: Optional[Callable[[int, int, Tuple[int, int]], None]] = None,
     telemetry=None,
-    fuse: bool = True,
+    fuse="auto",
     engine_kernel: str = "auto",
+    ensemble_workers=None,
 ) -> List[SweepPoint]:
     """Measure latencies across ``n_values`` with ``repeats`` replicates.
 
@@ -567,9 +573,11 @@ def latency_sweep(
     ``engine="ensemble"`` resolves each sweep point's replicates together
     as array operations — same seeds, same numbers, least wall-clock.
     The legacy ``batched=True`` flag is shorthand for
-    ``engine="batched"``.  ``fuse`` and ``engine_kernel`` tune the
-    ensemble engine only (fused same-shape replicate stacking across the
-    whole grid, and the compiled-kernel choice — see
+    ``engine="batched"``.  ``fuse``, ``engine_kernel`` and
+    ``ensemble_workers`` tune the ensemble engine only (fused same-shape
+    replicate stacking across the whole grid, the compiled-kernel
+    choice, and sharding the fused blocks across a worker pool over
+    shared memory — ``"auto"`` saturates every available CPU; see
     :class:`~repro.sim.EnsembleSimulator`); every setting is
     bit-identical, they trade wall-clock only.
 
@@ -659,6 +667,7 @@ def latency_sweep(
                 telemetry if telemetry_on else None,
                 fuse=fuse,
                 engine_kernel=engine_kernel,
+                ensemble_workers=ensemble_workers,
             )
         else:
             for n in n_values:

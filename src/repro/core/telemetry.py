@@ -36,7 +36,9 @@ Metric names are dotted strings grouped by component: ``sim.*`` (the
 serial/batched executor), ``ensemble.*`` (the ensemble engine —
 per-replicate counters plus ``ensemble.fused_blocks`` /
 ``ensemble.fused_replicates`` / ``ensemble.fused_steps`` from the fused
-resolution path), ``executor.*``
+resolution path and the ``ensemble.shard_*`` group from multicore
+sharding: ``shard_blocks`` / ``shard_replicates`` / ``shard_steps`` /
+``shard_bytes`` counters plus a ``shard_workers`` gauge), ``executor.*``
 (:class:`repro.core.runner.ResilientExecutor`), ``checkpoint.*``
 (:class:`repro.core.checkpoint.SweepCheckpoint`), ``sweep.*``
 (:func:`repro.core.sweep.latency_sweep` / :func:`parallel_sweep`) and

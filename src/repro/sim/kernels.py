@@ -26,6 +26,19 @@ interface so they can be swapped for compiled implementations:
     ``@njit``-compiled versions of the same loops, used when numba is
     importable (it is an optional dependency — CI has a dedicated job
     for it).
+``numba-parallel``
+    The numba loops plus ``parallel=True`` *stacked* entry points
+    (``chain_walk_stacked`` / ``heap_scan_stacked``): the fused
+    multi-replicate path hands them one independent walk/scan per
+    stacked replicate, resolved under ``numba.prange`` — every
+    replicate writes a disjoint output slice, so thread scheduling
+    cannot change a bit.
+
+The compiled heap scans (cc and both numba variants) store the heap as
+a *single* packed ``int64`` array — ``(CAS column << shift) | pid`` —
+instead of parallel key/pid arrays, and sift with a branchless child
+select.  CAS columns are unique, so packed comparisons order exactly
+like ``(key, pid)`` tuples and the numpy ``heapq`` oracle.
 
 Every backend implements the *same* greedy scan: CAS keys are unique
 schedule positions, so pop order — and therefore every output array —
@@ -38,13 +51,15 @@ Selection goes through :func:`get_kernel`:
 * ``"auto"`` — fastest available backend (numba, then cc, then numpy).
 * ``"compiled"`` — require a compiled backend; warn once and fall back
   to numpy when none can be built.
-* ``"numpy"`` / ``"numba"`` / ``"cc"`` — that backend exactly
-  (:class:`KernelUnavailable` when it cannot be provided).
+* ``"numpy"`` / ``"numba"`` / ``"cc"`` / ``"numba-parallel"`` — that
+  backend exactly (:class:`KernelUnavailable` when it cannot be
+  provided).
 
 The full resolvers (:func:`resolve_flat`, :func:`resolve_heap`) also
 live here — they are shared verbatim by the per-replicate path and the
-fused multi-replicate path, which simply calls them on stacked
-schedules (see ``EnsembleSimulator``).
+fused multi-replicate path, which calls their stacked variants
+(:func:`resolve_flat_stacked`, :func:`resolve_heap_stacked`) on
+concatenated schedules (see ``EnsembleSimulator``).
 """
 
 from __future__ import annotations
@@ -66,15 +81,21 @@ __all__ = [
     "NumpyKernel",
     "CcKernel",
     "NumbaKernel",
+    "NumbaParallelKernel",
     "KERNEL_NAMES",
     "get_kernel",
     "available_backends",
     "kernel_diagnostics",
     "resolve_flat",
     "resolve_heap",
+    "resolve_flat_stacked",
+    "resolve_heap_stacked",
 ]
 
-KERNEL_NAMES = ("auto", "compiled", "numpy", "numba", "cc")
+KERNEL_NAMES = ("auto", "compiled", "numpy", "numba", "cc", "numba-parallel")
+
+#: Explicitly selectable backends (everything but the meta names).
+_EXPLICIT_BACKENDS = ("numpy", "numba", "cc", "numba-parallel")
 
 _EMPTY = np.empty(0, dtype=np.int64)
 
@@ -175,55 +196,57 @@ int64_t repro_chain_walk(const int64_t *successor, int64_t start,
     return count;
 }
 
-/* Array binary min-heap over (key, pid); keys are unique schedule
- * positions, so pop order is deterministic and identical to any other
- * correct heap (Python's heapq included). */
-static void sift_down(int64_t *keys, int64_t *pids, int64_t size,
-                      int64_t pos) {
-    int64_t key = keys[pos], pid = pids[pos];
+/* Array binary min-heap over packed (key << shift) | pid entries — one
+ * contiguous int64 array instead of parallel key/pid arrays, so the
+ * sift touches a single cache stream.  Keys are unique schedule
+ * positions, so packed comparisons order exactly like (key, pid) and
+ * pop order matches any other correct heap (Python's heapq included).
+ * The child select is branchless: the buffer is sized size + 1, so
+ * heap[child + 1] is always a readable (if logically dead) slot and
+ * the comparison folds into an unpredictable-branch-free index bump. */
+static void sift_down(int64_t *heap, int64_t size, int64_t pos) {
+    int64_t item = heap[pos];
     for (;;) {
         int64_t child = 2 * pos + 1;
         if (child >= size)
             break;
-        if (child + 1 < size && keys[child + 1] < keys[child])
-            child++;
-        if (keys[child] >= key)
+        child += (int64_t)((child + 1 < size) & (heap[child + 1] < heap[child]));
+        if (heap[child] >= item)
             break;
-        keys[pos] = keys[child];
-        pids[pos] = pids[child];
+        heap[pos] = heap[child];
         pos = child;
     }
-    keys[pos] = key;
-    pids[pos] = pid;
+    heap[pos] = item;
 }
 
 /* Heap-driven greedy CAS resolution; mirrors the heapq reference loop
  * exactly (success iff the pending read position exceeds the last
- * success; a success costs q extra preamble steps).  Returns the number
- * of successes written. */
+ * success; a success costs q extra preamble steps).  `shift` is the
+ * pid bit width of the packed heap entries.  Returns the number of
+ * successes written. */
 int64_t repro_heap_scan(const int64_t *order, const int64_t *offsets,
-                        int64_t n, int64_t q, int64_t s, int64_t *succ_cols,
-                        int64_t *succ_pids, int64_t *succ_seqs, int64_t *seq,
-                        int64_t *next_read, int64_t *heap_keys,
-                        int64_t *heap_pids) {
+                        int64_t n, int64_t q, int64_t s, int64_t shift,
+                        int64_t *succ_cols, int64_t *succ_pids,
+                        int64_t *succ_seqs, int64_t *seq, int64_t *next_read,
+                        int64_t *heap) {
+    const int64_t mask = ((int64_t)1 << shift) - 1;
     int64_t size = 0;
     for (int64_t pid = 0; pid < n; pid++) {
         seq[pid] = 0;
         next_read[pid] = q;
         if (offsets[pid] + q + s < offsets[pid + 1]) {
-            heap_keys[size] = order[offsets[pid] + q + s];
-            heap_pids[size] = pid;
+            heap[size] = (order[offsets[pid] + q + s] << shift) | pid;
             size++;
         }
     }
     for (int64_t i = size / 2 - 1; i >= 0; i--)
-        sift_down(heap_keys, heap_pids, size, i);
+        sift_down(heap, size, i);
 
     int64_t last = -1;
     int64_t wins = 0;
     while (size > 0) {
-        int64_t cas_col = heap_keys[0];
-        int64_t pid = heap_pids[0];
+        int64_t cas_col = heap[0] >> shift;
+        int64_t pid = heap[0] & mask;
         int64_t base = offsets[pid];
         int64_t read_local = next_read[pid];
         int64_t sequence = seq[pid];
@@ -242,15 +265,13 @@ int64_t repro_heap_scan(const int64_t *order, const int64_t *offsets,
         next_read[pid] = advanced;
         if (base + advanced + s < offsets[pid + 1]) {
             /* pop + push fused: replace the root, sift down */
-            heap_keys[0] = order[base + advanced + s];
-            heap_pids[0] = pid;
-            sift_down(heap_keys, heap_pids, size, 0);
+            heap[0] = (order[base + advanced + s] << shift) | pid;
+            sift_down(heap, size, 0);
         } else {
             size--;
             if (size > 0) {
-                heap_keys[0] = heap_keys[size];
-                heap_pids[0] = heap_pids[size];
-                sift_down(heap_keys, heap_pids, size, 0);
+                heap[0] = heap[size];
+                sift_down(heap, size, 0);
             }
         }
     }
@@ -330,7 +351,7 @@ def _build_cc_library() -> ctypes.CDLL:
         ctypes.c_int64,
         ctypes.c_int64,
         ctypes.c_int64,
-        _I64,
+        ctypes.c_int64,
         _I64,
         _I64,
         _I64,
@@ -340,6 +361,23 @@ def _build_cc_library() -> ctypes.CDLL:
     ]
     library.repro_heap_scan.restype = ctypes.c_int64
     return library
+
+
+def _pid_shift(n_pids: int, max_key: int) -> int:
+    """Bit width reserved for the pid in a packed ``(key << shift) | pid``
+    heap entry, validated against int64 overflow.
+
+    Keys are schedule columns, so ``max_key`` is the stacked schedule
+    length; overflow would need ``steps * pids`` beyond ``2**62`` —
+    unreachable for any storable schedule, but checked loudly anyway.
+    """
+    shift = max(1, (n_pids - 1).bit_length()) if n_pids > 1 else 1
+    if max_key > 0 and max_key.bit_length() + shift > 62:
+        raise ValueError(
+            f"schedule of {max_key} steps over {n_pids} processes cannot "
+            "pack into int64 heap entries"
+        )
+    return shift
 
 
 class _CompiledKernelBase:
@@ -372,8 +410,10 @@ class _CompiledKernelBase:
         succ_seqs = np.empty(cap, dtype=np.int64)
         seq = np.empty(n, dtype=np.int64)
         next_read = np.empty(n, dtype=np.int64)
-        heap_keys = np.empty(n + 1, dtype=np.int64)
-        heap_pids = np.empty(n + 1, dtype=np.int64)
+        # One packed entry per pid, plus a readable slot past the end for
+        # the branchless child select.
+        heap = np.empty(n + 1, dtype=np.int64)
+        shift = _pid_shift(n, int(order.shape[0]))
         wins = int(
             self._heap_scan_impl(
                 order,
@@ -381,13 +421,13 @@ class _CompiledKernelBase:
                 n,
                 q,
                 s,
+                shift,
                 succ_cols,
                 succ_pids,
                 succ_seqs,
                 seq,
                 next_read,
-                heap_keys,
-                heap_pids,
+                heap,
             )
         )
         return (
@@ -436,45 +476,45 @@ def _build_numba_impls() -> Tuple[Any, Any]:
         n,
         q,
         s,
+        shift,
         succ_cols,
         succ_pids,
         succ_seqs,
         seq,
         next_read,
-        heap_keys,
-        heap_pids,
+        heap,
     ):  # pragma: no cover — needs numba
+        # Packed (key << shift) | pid heap with a branchless child
+        # select — mirrors the C implementation entry for entry.  The
+        # heap buffer holds n + 1 slots, so heap[child + 1] is always a
+        # readable (if logically dead) slot.
+        mask = (np.int64(1) << shift) - 1
         size = 0
         for pid in range(n):
             seq[pid] = 0
             next_read[pid] = q
             if offsets[pid] + q + s < offsets[pid + 1]:
-                heap_keys[size] = order[offsets[pid] + q + s]
-                heap_pids[size] = pid
+                heap[size] = (order[offsets[pid] + q + s] << shift) | pid
                 size += 1
-        for start_pos in range(size // 2 - 1, -1, -1):
-            pos = start_pos
-            key = heap_keys[pos]
-            pid = heap_pids[pos]
+        for root in range(size // 2 - 1, -1, -1):
+            pos = root
+            item = heap[pos]
             while True:
                 child = 2 * pos + 1
                 if child >= size:
                     break
-                if child + 1 < size and heap_keys[child + 1] < heap_keys[child]:
-                    child += 1
-                if heap_keys[child] >= key:
+                child += 1 * ((child + 1 < size) & (heap[child + 1] < heap[child]))
+                if heap[child] >= item:
                     break
-                heap_keys[pos] = heap_keys[child]
-                heap_pids[pos] = heap_pids[child]
+                heap[pos] = heap[child]
                 pos = child
-            heap_keys[pos] = key
-            heap_pids[pos] = pid
+            heap[pos] = item
 
-        last = -1
+        last = np.int64(-1)
         wins = 0
         while size > 0:
-            cas_col = heap_keys[0]
-            pid = heap_pids[0]
+            cas_col = heap[0] >> shift
+            pid = heap[0] & mask
             base = offsets[pid]
             read_local = next_read[pid]
             sequence = seq[pid]
@@ -490,34 +530,147 @@ def _build_numba_impls() -> Tuple[Any, Any]:
                 advanced = read_local + s + 1
             next_read[pid] = advanced
             if base + advanced + s < offsets[pid + 1]:
-                heap_keys[0] = order[base + advanced + s]
-                heap_pids[0] = pid
+                heap[0] = (order[base + advanced + s] << shift) | pid
             else:
                 size -= 1
                 if size > 0:
-                    heap_keys[0] = heap_keys[size]
-                    heap_pids[0] = heap_pids[size]
+                    heap[0] = heap[size]
                 else:
                     continue
             pos = 0
-            key = heap_keys[0]
-            hpid = heap_pids[0]
+            item = heap[0]
             while True:
                 child = 2 * pos + 1
                 if child >= size:
                     break
-                if child + 1 < size and heap_keys[child + 1] < heap_keys[child]:
-                    child += 1
-                if heap_keys[child] >= key:
+                child += 1 * ((child + 1 < size) & (heap[child + 1] < heap[child]))
+                if heap[child] >= item:
                     break
-                heap_keys[pos] = heap_keys[child]
-                heap_pids[pos] = heap_pids[child]
+                heap[pos] = heap[child]
                 pos = child
-            heap_keys[pos] = key
-            heap_pids[pos] = hpid
+            heap[pos] = item
         return wins
 
     return chain_walk, heap_scan
+
+
+def _build_numba_parallel_impls() -> Tuple[Any, Any]:
+    """The ``parallel=True`` stacked variants: one prange iteration per
+    stacked replicate, each running the very same scalar loop over its
+    own pid/rank range and writing a disjoint output slice."""
+    import numba  # noqa: F401 — optional dependency
+
+    @numba.njit(parallel=True, cache=False)
+    def chain_walk_many(
+        successor, starts, rank_base, out, counts_out
+    ):  # pragma: no cover — needs numba
+        for k in numba.prange(starts.shape[0]):
+            count = 0
+            event = starts[k]
+            stop = rank_base[k + 1]
+            base = rank_base[k]
+            while event != -1 and event < stop:
+                out[base + count] = event
+                count += 1
+                event = successor[event]
+            counts_out[k] = count
+
+    @numba.njit(parallel=True, cache=False)
+    def heap_scan_many(
+        order,
+        offsets,
+        pid_base,
+        q,
+        s,
+        shift,
+        succ_cols,
+        succ_pids,
+        succ_seqs,
+        seq,
+        next_read,
+        cap_base,
+        wins_out,
+    ):  # pragma: no cover — needs numba
+        mask = (np.int64(1) << shift) - 1
+        for k in numba.prange(pid_base.shape[0] - 1):
+            lo = pid_base[k]
+            hi = pid_base[k + 1]
+            # Replicates are time-partitioned, so a per-replicate scan
+            # starting from last = -1 pops exactly this replicate's
+            # slice of the fused pop sequence (see resolve_heap's
+            # docstring); pids pack relative to lo so `shift` only needs
+            # the widest replicate, not the whole stack.
+            heap = np.empty(hi - lo + 1, dtype=np.int64)
+            size = 0
+            for pid in range(lo, hi):
+                seq[pid] = 0
+                next_read[pid] = q
+                if offsets[pid] + q + s < offsets[pid + 1]:
+                    heap[size] = (order[offsets[pid] + q + s] << shift) | (
+                        pid - lo
+                    )
+                    size += 1
+            for root in range(size // 2 - 1, -1, -1):
+                pos = root
+                item = heap[pos]
+                while True:
+                    child = 2 * pos + 1
+                    if child >= size:
+                        break
+                    child += 1 * (
+                        (child + 1 < size) & (heap[child + 1] < heap[child])
+                    )
+                    if heap[child] >= item:
+                        break
+                    heap[pos] = heap[child]
+                    pos = child
+                heap[pos] = item
+
+            last = np.int64(-1)
+            wins = 0
+            out = cap_base[k]
+            while size > 0:
+                cas_col = heap[0] >> shift
+                pid = lo + (heap[0] & mask)
+                base = offsets[pid]
+                read_local = next_read[pid]
+                sequence = seq[pid]
+                seq[pid] = sequence + 1
+                if order[base + read_local] > last:
+                    last = cas_col
+                    succ_cols[out + wins] = cas_col
+                    succ_pids[out + wins] = pid
+                    succ_seqs[out + wins] = sequence
+                    wins += 1
+                    advanced = read_local + s + 1 + q
+                else:
+                    advanced = read_local + s + 1
+                next_read[pid] = advanced
+                if base + advanced + s < offsets[pid + 1]:
+                    heap[0] = (order[base + advanced + s] << shift) | (pid - lo)
+                else:
+                    size -= 1
+                    if size > 0:
+                        heap[0] = heap[size]
+                    else:
+                        continue
+                pos = 0
+                item = heap[0]
+                while True:
+                    child = 2 * pos + 1
+                    if child >= size:
+                        break
+                    child += 1 * (
+                        (child + 1 < size) & (heap[child + 1] < heap[child])
+                    )
+                    if heap[child] >= item:
+                        break
+                    heap[pos] = heap[child]
+                    pos = child
+                heap[pos] = item
+            wins_out[k] = wins
+
+    return chain_walk_many, heap_scan_many
 
 
 class NumbaKernel(_CompiledKernelBase):
@@ -542,6 +695,106 @@ class NumbaKernel(_CompiledKernelBase):
         return self._heap_scan_jit(*args)
 
 
+class NumbaParallelKernel(NumbaKernel):
+    """Numba backend with ``parallel=True`` stacked entry points.
+
+    The scalar ``chain_walk`` / ``heap_scan`` are inherited (the unfused
+    and single-replicate paths), while the fused resolvers detect the
+    ``*_stacked`` methods and hand over one independent walk/scan per
+    stacked replicate, executed under ``numba.prange``.  Every replicate
+    writes a disjoint slice of the preallocated outputs, so thread
+    scheduling cannot change a bit — results stay identical to the
+    sequential fused pass, which tests enforce against the numpy oracle.
+    """
+
+    name = "numba-parallel"
+
+    def __init__(self) -> None:
+        super().__init__()
+        chain_walk_many, heap_scan_many = _build_numba_parallel_impls()
+        self._chain_walk_many_jit = chain_walk_many
+        self._heap_scan_many_jit = heap_scan_many
+
+    def chain_walk_stacked(
+        self, successor: np.ndarray, starts: np.ndarray, rank_base: np.ndarray
+    ) -> np.ndarray:
+        """Per-replicate chain walks over a fused successor array.
+
+        ``starts[k]`` is replicate ``k``'s first success (or -1), and its
+        walk is cut at ``rank_base[k + 1]`` — exactly where the global
+        fused chain crosses into replicate ``k + 1`` — so concatenating
+        the per-replicate walks reproduces the global walk bit for bit.
+        """
+        successor = np.ascontiguousarray(successor, dtype=np.int64)
+        starts = np.ascontiguousarray(starts, dtype=np.int64)
+        rank_base = np.ascontiguousarray(rank_base, dtype=np.int64)
+        out = np.empty(max(1, successor.shape[0]), dtype=np.int64)
+        counts = np.empty(starts.shape[0], dtype=np.int64)
+        self._chain_walk_many_jit(successor, starts, rank_base, out, counts)
+        lengths = rank_base[1:] - rank_base[:-1]
+        total = int(rank_base[-1])
+        within = np.arange(total, dtype=np.int64) - np.repeat(
+            rank_base[:-1], lengths
+        )
+        return out[:total][within < np.repeat(counts, lengths)]
+
+    def heap_scan_stacked(
+        self,
+        order: np.ndarray,
+        offsets: np.ndarray,
+        pid_base: np.ndarray,
+        q: int,
+        s: int,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-replicate heap scans over a fused stack, prange-parallel.
+
+        Output contract matches ``heap_scan`` on the whole stack: the
+        per-replicate success slices concatenate in replicate (= time)
+        order, which is exactly the global pop order.
+        """
+        order = np.ascontiguousarray(order, dtype=np.int64)
+        offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        pid_base = np.ascontiguousarray(pid_base, dtype=np.int64)
+        n = int(pid_base[-1])
+        n_of = pid_base[1:] - pid_base[:-1]
+        steps_of = offsets[pid_base[1:]] - offsets[pid_base[:-1]]
+        caps = steps_of // (q + s + 1) + n_of + 1
+        cap_base = np.concatenate(([0], np.cumsum(caps))).astype(np.int64)
+        shift = _pid_shift(int(n_of.max()), int(order.shape[0]))
+        succ_cols = np.empty(int(cap_base[-1]), dtype=np.int64)
+        succ_pids = np.empty(int(cap_base[-1]), dtype=np.int64)
+        succ_seqs = np.empty(int(cap_base[-1]), dtype=np.int64)
+        seq = np.empty(n, dtype=np.int64)
+        next_read = np.empty(n, dtype=np.int64)
+        wins = np.empty(pid_base.shape[0] - 1, dtype=np.int64)
+        self._heap_scan_many_jit(
+            order,
+            offsets,
+            pid_base,
+            q,
+            s,
+            shift,
+            succ_cols,
+            succ_pids,
+            succ_seqs,
+            seq,
+            next_read,
+            cap_base,
+            wins,
+        )
+        within = np.arange(int(cap_base[-1]), dtype=np.int64) - np.repeat(
+            cap_base[:-1], caps
+        )
+        keep = within < np.repeat(wins, caps)
+        return (
+            succ_cols[keep],
+            succ_pids[keep],
+            succ_seqs[keep],
+            seq,
+            next_read,
+        )
+
+
 # ---------------------------------------------------------------------------
 # backend selection
 # ---------------------------------------------------------------------------
@@ -563,6 +816,8 @@ def _try_backend(name: str) -> Optional[Any]:
             kernel = CcKernel()
         elif name == "numba":
             kernel = NumbaKernel()
+        elif name == "numba-parallel":
+            kernel = NumbaParallelKernel()
         else:  # pragma: no cover — guarded by get_kernel
             raise ValueError(f"unknown backend {name!r}")
     except KernelUnavailable as error:
@@ -585,7 +840,7 @@ def get_kernel(name: str = "auto") -> Any:
         raise ValueError(
             f"unknown engine kernel {name!r}; expected one of {KERNEL_NAMES}"
         )
-    if name in ("numpy", "numba", "cc"):
+    if name in _EXPLICIT_BACKENDS:
         kernel = _try_backend(name)
         if kernel is None:
             raise KernelUnavailable(
@@ -613,14 +868,16 @@ def get_kernel(name: str = "auto") -> Any:
 def available_backends() -> Tuple[str, ...]:
     """Names of backends that can actually be provided on this machine."""
     return tuple(
-        name for name in ("numpy", "cc", "numba") if _try_backend(name) is not None
+        name
+        for name in ("numpy", "cc", "numba", "numba-parallel")
+        if _try_backend(name) is not None
     )
 
 
 def kernel_diagnostics() -> Dict[str, str]:
     """Per-backend availability map (``"available"`` or the failure)."""
     report = {}
-    for name in ("numpy", "cc", "numba"):
+    for name in ("numpy", "cc", "numba", "numba-parallel"):
         report[name] = (
             "available" if _try_backend(name) is not None else _FAILURES[name]
         )
@@ -632,31 +889,16 @@ def kernel_diagnostics() -> Dict[str, str]:
 # ---------------------------------------------------------------------------
 
 
-def resolve_flat(
-    sched: np.ndarray, n: int, s: int, kernel: Optional[Any] = None
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Resolve a ``q == 0`` schedule, fully vectorized.
+def _flat_prep(sched: np.ndarray, n: int, s: int):
+    """Shared vectorized preparation for the ``q == 0`` resolvers.
 
-    With no preamble, process ``p``'s ``k``-th attempt always occupies its
-    local steps ``[k(s+1), k(s+1)+s]`` — read first, CAS last — so every
-    (read time, CAS time) pair is a gather from the schedule grouped by
-    pid.  The greedy success scan then reduces to following a precomputed
-    successor pointer (the only sequential part — delegated to
-    ``kernel.chain_walk``).
-
-    Returns ``(success_cols, success_pids, success_seqs, seq, phase,
-    counts)`` where columns are 0-based schedule positions, ``seq[p]`` is
-    the number of CAS attempts process ``p`` executed, ``phase[p]`` in
-    ``[0, s]`` is its position within the current attempt and ``counts[p]``
-    its local step count.  The same function resolves a *fused* stack of
-    replicates: concatenating schedules in time with per-replicate pid
-    offsets makes the successor chain cross replicate boundaries exactly
-    at each replicate's first success (reads in later replicates are
-    strictly after every earlier CAS), so the output is the per-replicate
-    outputs concatenated.
+    Returns ``(seq, phase, counts, pairs)`` where ``pairs`` is ``None``
+    when the schedule admits no attempts, else ``(c_r, pid_r, seq_r,
+    successor, suffix_argmin, attempt_base)`` — the attempt tables in
+    read order, the successor pointers, and the per-pid attempt offsets
+    (``(n + 1,)``, int64) that locate each pid's attempts in read-rank
+    space.
     """
-    if kernel is None:
-        kernel = NumpyKernel()
     steps = sched.shape[0]
     counts = np.bincount(sched, minlength=n)
     attempts = counts // (s + 1)
@@ -664,7 +906,7 @@ def resolve_flat(
     seq = attempts.astype(np.int64)
     phase = (counts - attempts * (s + 1)).astype(np.int64)
     if total == 0:
-        return _EMPTY, _EMPTY, _EMPTY, seq, phase, counts
+        return seq, phase, counts, None
     # Index dtypes: times/positions fit int32 for any practical run; the
     # grouping key uses the narrowest dtype numpy's radix sort is fastest on.
     idx = np.int32 if steps < 2**31 - 2 else np.int64
@@ -703,10 +945,96 @@ def resolve_flat(
     suffix_argmin = np.minimum.accumulate(candidate[::-1])[::-1]
     successor = np.concatenate((suffix_argmin, np.asarray([-1], idx)))[succ_at]
 
+    attempt_base = np.concatenate(
+        (aoff.astype(np.int64), np.asarray([total], dtype=np.int64))
+    )
+    return seq, phase, counts, (c_r, pid_r, seq_r, successor, suffix_argmin, attempt_base)
+
+
+def resolve_flat(
+    sched: np.ndarray, n: int, s: int, kernel: Optional[Any] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Resolve a ``q == 0`` schedule, fully vectorized.
+
+    With no preamble, process ``p``'s ``k``-th attempt always occupies its
+    local steps ``[k(s+1), k(s+1)+s]`` — read first, CAS last — so every
+    (read time, CAS time) pair is a gather from the schedule grouped by
+    pid.  The greedy success scan then reduces to following a precomputed
+    successor pointer (the only sequential part — delegated to
+    ``kernel.chain_walk``).
+
+    Returns ``(success_cols, success_pids, success_seqs, seq, phase,
+    counts)`` where columns are 0-based schedule positions, ``seq[p]`` is
+    the number of CAS attempts process ``p`` executed, ``phase[p]`` in
+    ``[0, s]`` is its position within the current attempt and ``counts[p]``
+    its local step count.  The same function resolves a *fused* stack of
+    replicates: concatenating schedules in time with per-replicate pid
+    offsets makes the successor chain cross replicate boundaries exactly
+    at each replicate's first success (reads in later replicates are
+    strictly after every earlier CAS), so the output is the per-replicate
+    outputs concatenated.
+    """
+    if kernel is None:
+        kernel = NumpyKernel()
+    seq, phase, counts, pairs = _flat_prep(sched, n, s)
+    if pairs is None:
+        return _EMPTY, _EMPTY, _EMPTY, seq, phase, counts
+    c_r, pid_r, seq_r, successor, suffix_argmin, _ = pairs
+
     # The first success is the earliest CAS overall; after a success at
     # time L, the next is the earliest CAS among attempts that read after
     # L.  Walking the successor pointers visits exactly the successes.
     events = kernel.chain_walk(successor, int(suffix_argmin[0]))
+    return (
+        c_r[events].astype(np.int64),
+        pid_r[events].astype(np.int64),
+        seq_r[events].astype(np.int64),
+        seq,
+        phase,
+        counts,
+    )
+
+
+def resolve_flat_stacked(
+    sched: np.ndarray,
+    pid_base: np.ndarray,
+    s: int,
+    kernel: Optional[Any] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`resolve_flat` on a fused replicate stack.
+
+    ``pid_base`` is the ``(R + 1,)`` per-replicate pid offset table the
+    fused path builds (replicate ``k`` owns pids ``[pid_base[k],
+    pid_base[k + 1])``).  Bit-identical to ``resolve_flat(sched,
+    pid_base[-1], s, kernel)`` — the global successor chain is exactly
+    the per-replicate chains concatenated — but kernels exposing
+    ``chain_walk_stacked`` (the ``numba-parallel`` backend) get one
+    independent walk per replicate: replicate ``k``'s chain starts at
+    the suffix argmin of its first read rank and is cut at its rank
+    bound, where the global chain crosses into replicate ``k + 1``.
+    """
+    if kernel is None:
+        kernel = NumpyKernel()
+    pid_base = np.ascontiguousarray(pid_base, dtype=np.int64)
+    n = int(pid_base[-1])
+    seq, phase, counts, pairs = _flat_prep(sched, n, s)
+    if pairs is None:
+        return _EMPTY, _EMPTY, _EMPTY, seq, phase, counts
+    c_r, pid_r, seq_r, successor, suffix_argmin, attempt_base = pairs
+
+    walk_many = getattr(kernel, "chain_walk_stacked", None)
+    if walk_many is None or pid_base.shape[0] <= 2:
+        events = kernel.chain_walk(successor, int(suffix_argmin[0]))
+    else:
+        total = int(attempt_base[-1])
+        rank_base = attempt_base[pid_base]
+        padded = np.concatenate(
+            (suffix_argmin.astype(np.int64), np.asarray([-1], dtype=np.int64))
+        )
+        starts = np.where(
+            rank_base[:-1] < rank_base[1:], padded[rank_base[:-1]], -1
+        )
+        events = walk_many(successor, starts, rank_base)
     return (
         c_r[events].astype(np.int64),
         pid_r[events].astype(np.int64),
@@ -742,5 +1070,43 @@ def resolve_heap(
     succ_cols, succ_pids, succ_seqs, seq, next_read = kernel.heap_scan(
         order, offsets, n, q, s
     )
+    phase = q + counts - next_read
+    return (succ_cols, succ_pids, succ_seqs, seq, phase, counts)
+
+
+def resolve_heap_stacked(
+    sched: np.ndarray,
+    pid_base: np.ndarray,
+    q: int,
+    s: int,
+    kernel: Optional[Any] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """:func:`resolve_heap` on a fused replicate stack.
+
+    ``pid_base`` is the ``(R + 1,)`` per-replicate pid offset table.
+    Bit-identical to ``resolve_heap(sched, pid_base[-1], q, s, kernel)``
+    — replicates are time-partitioned, so the global pop sequence is the
+    per-replicate pop sequences concatenated — but kernels exposing
+    ``heap_scan_stacked`` (the ``numba-parallel`` backend) scan each
+    replicate's pid slice independently with a local heap.
+    """
+    if kernel is None:
+        kernel = NumpyKernel()
+    pid_base = np.ascontiguousarray(pid_base, dtype=np.int64)
+    n = int(pid_base[-1])
+    counts = np.bincount(sched, minlength=n)
+    key_dtype = np.int16 if n <= np.iinfo(np.int16).max else np.int32
+    order = np.argsort(sched.astype(key_dtype), kind="stable")
+    offsets = np.concatenate(([0], np.cumsum(counts, dtype=np.int64)))
+
+    scan_many = getattr(kernel, "heap_scan_stacked", None)
+    if scan_many is None or pid_base.shape[0] <= 2:
+        succ_cols, succ_pids, succ_seqs, seq, next_read = kernel.heap_scan(
+            order, offsets, n, q, s
+        )
+    else:
+        succ_cols, succ_pids, succ_seqs, seq, next_read = scan_many(
+            order, offsets, pid_base, q, s
+        )
     phase = q + counts - next_read
     return (succ_cols, succ_pids, succ_seqs, seq, phase, counts)

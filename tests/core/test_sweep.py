@@ -83,6 +83,23 @@ class TestLatencySweep:
         )
         assert batched == ensemble
 
+    def test_sharded_ensemble_sweep_matches_single_core(self):
+        # ensemble_workers shards the fused blocks across a process
+        # pool over shared memory; the sweep points must stay
+        # bit-identical to the in-process fused path.
+        kwargs = dict(steps=3_000, repeats=4, seed=11, engine="ensemble")
+        single = latency_sweep(
+            cas_counter, make_counter_memory, [2, 4], **kwargs
+        )
+        sharded = latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            [2, 4],
+            ensemble_workers=2,
+            **kwargs,
+        )
+        assert single == sharded
+
     def test_engine_names_validated(self):
         with pytest.raises(ValueError, match="unknown engine"):
             latency_sweep(

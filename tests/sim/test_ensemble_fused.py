@@ -229,3 +229,63 @@ def test_guard_holds_after_drawing_starts():
 def test_fuse_block_steps_validation():
     with pytest.raises(ValueError):
         EnsembleSimulator(one_member(), fuse_block_steps=0)
+
+
+# -- fuse="auto" decision boundary ---------------------------------------------
+
+
+def fused_blocks_run(fuse, steps, engine_kernel):
+    """How many fused blocks a run of ``one_member()`` resolved —
+    0 means the per-replicate path was taken."""
+    from repro.core.telemetry import MetricsRegistry
+
+    telemetry = MetricsRegistry()
+    EnsembleSimulator(
+        one_member(), fuse=fuse, engine_kernel=engine_kernel, telemetry=telemetry
+    ).run(steps)
+    return telemetry.counters.get("ensemble.fused_blocks", 0)
+
+
+def test_auto_fuse_decision_boundary_pinned():
+    """The per-backend crossover is part of the contract: numpy fuses
+    strictly below ``_AUTO_FUSE_NUMPY_MAX_STEPS`` steps, compiled
+    backends always fuse."""
+    from repro.sim.ensemble import _AUTO_FUSE_NUMPY_MAX_STEPS
+
+    assert _AUTO_FUSE_NUMPY_MAX_STEPS == 4096
+    auto = EnsembleSimulator._auto_fuse
+    assert auto("numpy", _AUTO_FUSE_NUMPY_MAX_STEPS - 1) is True
+    assert auto("numpy", _AUTO_FUSE_NUMPY_MAX_STEPS) is False
+    for backend in ("cc", "numba", "numba-parallel"):
+        assert auto(backend, 10**9) is True
+
+
+def test_auto_fuse_numpy_observed_through_telemetry():
+    from repro.sim.ensemble import _AUTO_FUSE_NUMPY_MAX_STEPS
+
+    below = _AUTO_FUSE_NUMPY_MAX_STEPS - 1
+    assert fused_blocks_run("auto", below, "numpy") >= 1
+    assert fused_blocks_run("auto", _AUTO_FUSE_NUMPY_MAX_STEPS, "numpy") == 0
+    # Explicit fuse=True overrides the crossover.
+    assert fused_blocks_run(True, _AUTO_FUSE_NUMPY_MAX_STEPS, "numpy") >= 1
+
+
+def test_auto_fuse_results_identical_across_the_boundary():
+    """The auto decision trades wall-clock only — outcomes at the
+    boundary match the always-fused path bit for bit."""
+    from repro.sim.ensemble import _AUTO_FUSE_NUMPY_MAX_STEPS
+
+    steps = _AUTO_FUSE_NUMPY_MAX_STEPS
+    auto = EnsembleSimulator(
+        one_member(), fuse="auto", engine_kernel="numpy"
+    ).run(steps)
+    fused = EnsembleSimulator(
+        one_member(), fuse=True, engine_kernel="numpy"
+    ).run(steps)
+    for a, b in zip(auto, fused):
+        assert_outcomes_identical(a, b)
+
+
+def test_fuse_validation():
+    with pytest.raises(ValueError, match="fuse must be"):
+        EnsembleSimulator(one_member(), fuse="sometimes")

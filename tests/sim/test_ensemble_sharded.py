@@ -1,0 +1,243 @@
+"""Multicore sharded fused resolution must be invisible in results.
+
+``EnsembleSimulator(max_workers=N)`` fans the fused schedule blocks out
+across a process pool through shared-memory segments; this suite pins
+the contract that sharding changes wall-clock only:
+
+* worker-count invariance — ``max_workers`` 1/2/4 produce bit-identical
+  outcomes, with and without crash schedules, across resolver families;
+* chaos — injected worker kill/hang/raise faults are absorbed by the
+  executor's recovery ladder without changing a bit, persistent poison
+  ends in :class:`~repro.core.runner.TaskError`, and in every case the
+  block-shard ``/dev/shm`` segments are unlinked (autouse assertion);
+* the nested-pool guard — shard workers default to 1 inside an existing
+  pool worker, so ensembles nested under ``parallel_sweep`` cannot
+  oversubscribe the machine;
+* the ``ensemble.shard_*`` telemetry group and the construction-time
+  validation of ``max_workers`` / ``fuse`` combinations.
+"""
+
+import glob
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro.algorithms.counter import CounterStepKernel, make_counter_memory
+from repro.algorithms.scu import ScuStepKernel, make_scu_memory
+from repro.core import shm
+from repro.core.runner import (
+    RetryPolicy,
+    TaskError,
+    available_cpu_count,
+    default_shard_workers,
+)
+from repro.core.scheduler import UniformStochasticScheduler
+from repro.core.telemetry import MetricsRegistry
+from repro.sim import EnsembleReplicate, EnsembleSimulator
+from repro.testing.chaos import ChaosPlan, ChaosPool, FlakyPoolFactory
+
+STEPS = 400
+FAST_RETRY = RetryPolicy(max_retries=3, base_delay=0.01, max_delay=0.1)
+
+pytestmark = pytest.mark.skipif(
+    not shm.sharedmem_available(), reason="no multiprocessing.shared_memory"
+)
+
+
+def leaked_segments():
+    if not os.path.isdir("/dev/shm"):  # pragma: no cover — non-Linux
+        return []
+    return glob.glob("/dev/shm/repro-*")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test in this file ends with a clean /dev/shm — worker
+    kills, hangs and poison blocks included."""
+    assert leaked_segments() == []
+    yield
+    assert leaked_segments() == []
+
+
+def build_members(*, crashes=False, seed=5):
+    """A mixed ensemble: flat and heap resolver groups, varying n,
+    optionally a sprinkling of crash schedules."""
+    members = []
+    for r in range(10):
+        if r % 2:
+            kernel, memory = ScuStepKernel(2, 1), make_scu_memory(1)
+        else:
+            kernel, memory = CounterStepKernel(), make_counter_memory()
+        n = 3 + (r % 3)
+        crash = {0: 40 + r, 1: 90} if (crashes and r % 3 == 0) else None
+        members.append(
+            EnsembleReplicate(
+                kernel,
+                n,
+                UniformStochasticScheduler(),
+                memory,
+                rng=(seed, n, r),
+                crash_times=crash,
+            )
+        )
+    return members
+
+
+def run_sharded(workers=None, *, crashes=False, **kwargs):
+    return EnsembleSimulator(
+        build_members(crashes=crashes),
+        fuse=True,
+        fuse_block_steps=600,  # force many blocks at STEPS=400
+        max_workers=workers,
+        **kwargs,
+    ).run(STEPS)
+
+
+def assert_results_identical(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        assert a.n_processes == b.n_processes
+        assert a.steps_executed == b.steps_executed
+        assert a.stopped_early == b.stopped_early
+        assert np.array_equal(a.completion_times, b.completion_times)
+        assert np.array_equal(a.completion_pids, b.completion_pids)
+        assert np.array_equal(a.step_counts, b.step_counts)
+        assert vars(a.memory) == vars(b.memory)
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("crashes", [False, True], ids=["clean", "crashing"])
+    def test_1_2_4_workers_bit_identical(self, crashes):
+        reference = run_sharded(None, crashes=crashes)
+        for workers in (1, 2, 4):
+            assert_results_identical(
+                reference,
+                run_sharded(workers, crashes=crashes, shard_retry=FAST_RETRY),
+            )
+
+    def test_single_block_stays_in_process(self):
+        """One block (huge cap) resolves without any shard segments —
+        and still matches the many-block sharded run."""
+        reference = run_sharded(None)
+        one_block = EnsembleSimulator(
+            build_members(),
+            fuse=True,
+            fuse_block_steps=10**9,
+            max_workers=2,
+        ).run(STEPS)
+        assert_results_identical(reference, one_block)
+
+
+class TestChaos:
+    def test_kill_hang_and_raise_leave_results_bit_identical(self, tmp_path):
+        reference = run_sharded(None)
+        plan = ChaosPlan(
+            state_dir=tmp_path,
+            faults={0: "kill", 2: "raise", 5: "hang"},
+            hang_seconds=5.0,
+        )
+        chaotic = EnsembleSimulator(
+            build_members(),
+            fuse=True,
+            fuse_block_steps=600,
+            max_workers=2,
+            shard_pool_factory=lambda max_workers=None: ChaosPool(
+                max_workers=max_workers, plan=plan
+            ),
+            shard_retry=RetryPolicy(
+                max_retries=3, base_delay=0.01, max_delay=0.1, timeout=1.5
+            ),
+        ).run(STEPS)
+        assert_results_identical(reference, chaotic)
+
+    def test_persistent_poison_block_raises_task_error(self, tmp_path):
+        plan = ChaosPlan(state_dir=tmp_path, faults={1: "raise"}, once=False)
+        with pytest.raises(TaskError) as excinfo:
+            EnsembleSimulator(
+                build_members(),
+                fuse=True,
+                fuse_block_steps=600,
+                max_workers=2,
+                shard_pool_factory=lambda max_workers=None: ChaosPool(
+                    max_workers=max_workers, plan=plan
+                ),
+                shard_retry=RetryPolicy(
+                    max_retries=1, base_delay=0.01, max_delay=0.02
+                ),
+            ).run(STEPS)
+        assert excinfo.value.key == 1
+        # The autouse fixture re-checks, but the leak-free contract
+        # under poison is the point of this test.
+        assert leaked_segments() == []
+
+    def test_serial_fallback_reuses_the_segments(self):
+        """Pool creation failing forever degrades to in-parent serial
+        resolution through the same shared buffers — bit-identical."""
+        reference = run_sharded(None)
+        fallback = EnsembleSimulator(
+            build_members(),
+            fuse=True,
+            fuse_block_steps=600,
+            max_workers=2,
+            shard_pool_factory=FlakyPoolFactory(fail_creations=10**9),
+            shard_retry=FAST_RETRY,
+        ).run(STEPS)
+        assert_results_identical(reference, fallback)
+
+
+def _nested_probe(_):
+    return default_shard_workers()
+
+
+class TestNestedPoolGuard:
+    def test_defaults_to_one_inside_a_pool_worker(self):
+        with ProcessPoolExecutor(max_workers=1) as pool:
+            assert pool.submit(_nested_probe, None).result() == 1
+
+    def test_defaults_to_cpu_allowance_at_top_level(self):
+        assert default_shard_workers() == available_cpu_count()
+
+    def test_auto_resolves_through_the_guard(self):
+        simulator = EnsembleSimulator(build_members(), max_workers="auto")
+        assert simulator._workers == default_shard_workers()
+
+
+class TestValidationAndTelemetry:
+    def test_fuse_false_with_workers_rejected(self):
+        with pytest.raises(ValueError, match="shards fused schedule blocks"):
+            EnsembleSimulator(build_members(), fuse=False, max_workers=2)
+
+    @pytest.mark.parametrize("bad", [0, -1, 2.5, "three", True])
+    def test_bad_max_workers_rejected(self, bad):
+        with pytest.raises(ValueError, match="max_workers"):
+            EnsembleSimulator(build_members(), max_workers=bad)
+
+    def test_shard_metric_group(self):
+        telemetry = MetricsRegistry()
+        EnsembleSimulator(
+            build_members(),
+            fuse=True,
+            fuse_block_steps=600,
+            max_workers=2,
+            shard_retry=FAST_RETRY,
+            telemetry=telemetry,
+        ).run(STEPS)
+        assert telemetry.gauges["ensemble.shard_workers"] == 2
+        assert telemetry.counters["ensemble.shard_blocks"] > 1
+        assert telemetry.counters["ensemble.shard_replicates"] == 10
+        assert telemetry.counters["ensemble.shard_steps"] > 0
+        assert telemetry.counters["ensemble.shard_bytes"] > 0
+        # The shared segments were created and unlinked through the
+        # shm.* group as well.
+        assert telemetry.counters["shm.segments"] == 2
+        assert telemetry.counters["shm.unlinked"] == 2
+
+    def test_in_process_run_emits_no_shard_metrics(self):
+        telemetry = MetricsRegistry()
+        EnsembleSimulator(
+            build_members(), fuse=True, telemetry=telemetry
+        ).run(STEPS)
+        assert "ensemble.shard_blocks" not in telemetry.counters
+        assert "ensemble.shard_workers" not in telemetry.gauges

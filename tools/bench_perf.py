@@ -1,8 +1,8 @@
 """Performance harness for the three execution engines.
 
 Times the same seeded workloads on the serial, batched, and ensemble
-engines and writes a machine-readable JSON report (``BENCH_PR7.json`` by
-default).  Eleven workloads:
+engines and writes a machine-readable JSON report (``BENCH_PR8.json`` by
+default).  Twelve workloads:
 
 * ``fig5_sweep`` — a FIG5-style multi-replicate latency sweep (the
   ensemble engine's target shape: many replicates, one sweep), timed on
@@ -11,7 +11,15 @@ default).  Eleven workloads:
   baseline the fused default must beat,
 * ``fused_sweep`` — the fused-resolution matrix on one ensemble sweep:
   unfused vs. fused replicate stacking crossed with the numpy vs.
-  compiled inner-loop kernels (``engine_kernel``), all bit-identical,
+  compiled inner-loop kernels (``engine_kernel``), plus the
+  ``fuse="auto"`` crossover arm that skips fusion for the numpy kernel
+  above the measured per-backend boundary, all bit-identical,
+* ``sharded_fused`` — multicore fused resolution: the same ensemble
+  sweep with the fused schedule blocks kept in-process
+  (``ensemble_workers=1``) vs. sharded across a worker pool through
+  shared-memory segments, bit-identical with the CPU allowance
+  recorded so a single-core container's numbers read as sharding
+  overhead, not a multicore verdict,
 * ``sharedmem_dispatch`` — ``parallel_sweep`` with pickle vs.
   zero-copy shared-memory transport: wall-clock parity on interleaved
   rounds plus the deterministic per-chunk pipe payload (submit out,
@@ -49,7 +57,7 @@ numbers, less time.
 
 Usage::
 
-    python tools/bench_perf.py                  # full run -> BENCH_PR7.json
+    python tools/bench_perf.py                  # full run -> BENCH_PR8.json
     python tools/bench_perf.py --quick          # CI-sized steps/repeats
     python tools/bench_perf.py --out perf.json
 """
@@ -197,7 +205,10 @@ def bench_fused_sweep(quick):
     and ``engine_kernel`` that exists on this machine.  All arms share
     the vectorized measurement path, so the deltas isolate fusion and
     the compiled inner loops; ``fig5_sweep`` prices the full default
-    against the original per-replicate path.
+    against the original per-replicate path.  The ``auto_fuse_numpy``
+    arm shows the ``fuse="auto"`` crossover: at this workload's step
+    count the numpy kernel is faster unfused, so auto must match the
+    unfused arm rather than pay ``fused_numpy``'s stacking tax.
     """
     from repro.sim.kernels import available_backends
 
@@ -227,6 +238,7 @@ def bench_fused_sweep(quick):
         arms[f"unfused_{backend}"] = (False, backend)
         arms[f"fused_{backend}"] = (True, backend)
     arms["fused_auto"] = (True, "auto")
+    arms["auto_fuse_numpy"] = ("auto", "numpy")
 
     seconds = {}
     points = {}
@@ -244,8 +256,88 @@ def bench_fused_sweep(quick):
         "speedup_fused_auto_vs_unfused_numpy": (
             seconds["unfused_numpy"] / seconds["fused_auto"]
         ),
+        "speedup_auto_fuse_vs_fused_numpy": (
+            seconds["fused_numpy"] / seconds["auto_fuse_numpy"]
+        ),
         "bit_identical": all(
             p == points["unfused_numpy"] for p in points.values()
+        ),
+    }
+
+
+def bench_sharded_fused(quick):
+    """Multicore sharded fused resolution vs. the single-core fused path.
+
+    The same ensemble-engine sweep with the fused schedule blocks
+    resolved in-process (``ensemble_workers=1``) vs. sharded across a
+    process pool through shared-memory segments (2 workers, plus the
+    full CPU allowance when that is more).  Sharding must change
+    wall-clock only — every pool arm is bit-identity-checked against
+    the single-core points and /dev/shm must end clean — and the
+    report records the CPU allowance: with one usable core the pool
+    arms price pure sharding overhead, not a multicore speedup.
+    """
+    import glob
+
+    from repro.core.runner import available_cpu_count
+    from repro.core.shm import sharedmem_available
+
+    if not sharedmem_available():  # pragma: no cover — non-POSIX
+        return {
+            "workload": "sharded_fused",
+            "params": {"skipped": "no multiprocessing.shared_memory"},
+            "seconds": {"workers_1": 1.0},
+            "speedup_sharded_vs_single_core": 1.0,
+            "orphaned_segments": 0,
+            "bit_identical": True,
+        }
+
+    n_values = [4, 8]
+    steps = 2_000 if quick else 3_500
+    repeats = 16 if quick else 64
+    cpus = available_cpu_count()
+
+    def sweep(workers):
+        return lambda: latency_sweep(
+            cas_counter,
+            make_counter_memory,
+            n_values,
+            steps=steps,
+            repeats=repeats,
+            seed=9,
+            engine="ensemble",
+            fuse=True,
+            ensemble_workers=workers,
+        )
+
+    worker_arms = [1, 2]
+    if cpus > 2:
+        worker_arms.append(cpus)
+
+    seconds = {}
+    points = {}
+    for workers in worker_arms:
+        label = f"workers_{workers}"
+        seconds[label], points[label] = timed(sweep(workers))
+    orphans = glob.glob("/dev/shm/repro-*")
+    widest = max(worker_arms)
+    return {
+        "workload": "sharded_fused",
+        "params": {
+            "n_values": n_values,
+            "steps": steps,
+            "repeats": repeats,
+            "worker_arms": worker_arms,
+            "cpu_allowance": cpus,
+        },
+        "seconds": seconds,
+        "speedup_sharded_vs_single_core": (
+            seconds["workers_1"] / seconds[f"workers_{widest}"]
+        ),
+        "orphaned_segments": len(orphans),
+        "bit_identical": (
+            all(p == points["workers_1"] for p in points.values())
+            and not orphans
         ),
     }
 
@@ -925,8 +1017,8 @@ def main(argv=None):
     parser.add_argument(
         "--out",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR7.json",
-        help="output JSON path (default: BENCH_PR7.json at the repo root)",
+        default=REPO_ROOT / "BENCH_PR8.json",
+        help="output JSON path (default: BENCH_PR8.json at the repo root)",
     )
     args = parser.parse_args(argv)
 
@@ -934,6 +1026,7 @@ def main(argv=None):
     benches = (
         bench_fig5_sweep,
         bench_fused_sweep,
+        bench_sharded_fused,
         bench_sharedmem_dispatch,
         bench_thm4_cells,
         bench_single_run,
@@ -953,6 +1046,19 @@ def main(argv=None):
                 f"  unfused_numpy {result['seconds']['unfused_numpy']:8.3f}s"
                 f"  speedup "
                 f"{result['speedup_fused_auto_vs_unfused_numpy']:5.2f}x"
+            )
+        elif "workers_1" in result["seconds"]:
+            widest = max(
+                int(key.rsplit("_", 1)[1]) for key in result["seconds"]
+            )
+            summary = (
+                f"workers_1 {result['seconds']['workers_1']:8.3f}s"
+                f"  workers_{widest}"
+                f" {result['seconds'][f'workers_{widest}']:8.3f}s"
+                f"  speedup"
+                f" {result['speedup_sharded_vs_single_core']:5.2f}x"
+                f"  cpus={result['params'].get('cpu_allowance', '?')}"
+                f"  orphans={result['orphaned_segments']}"
             )
         elif "sharedmem" in result["seconds"]:
             summary = (

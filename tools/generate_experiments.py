@@ -122,8 +122,12 @@ thread counts — into stacked schedules resolved in one vectorized
 pass, and delegates its two sequential inner loops (the successor
 chain walk and the heap-driven CAS scan) to pluggable kernels:
 `numpy` (always available, the bit-identity oracle), `cc` (a small C
-library compiled by the system compiler at first use), and `numba`
-(optional).  Both are on by default; `parallel_sweep` additionally
+library compiled by the system compiler at first use), `numba`
+(optional), and the opt-in `numba-parallel` (a prange over the stacked
+replicates' chain walks and heap scans).  Both are on by default —
+`fuse="auto"` skips fusion only where the stacked pass would lose to
+per-replicate resolution (the numpy kernel above its measured
+step-count crossover); `parallel_sweep` additionally
 moves tasks and results through zero-copy shared-memory segments
 instead of the pickle pipe:
 
@@ -159,6 +163,42 @@ pipe payloads shrink by ~40% at default chunking (`sharedmem_dispatch`
 workload) — and the parent unlinks both segments in a `finally`, so
 worker kills, hangs and poison tasks leave zero orphaned `/dev/shm`
 entries (chaos-enforced by `tests/core/test_shm_dispatch.py`).
+
+## Saturating all cores: sharded fused resolution
+
+Fused resolution itself goes multicore: `max_workers=` on
+`EnsembleSimulator` (`ensemble_workers=` on `latency_sweep` and the
+CLI's `--ensemble-workers`) shards the stacked schedule blocks across
+a `ResilientExecutor` process pool through fingerprint-named
+shared-memory segments — the parent writes each block's schedule once,
+workers resolve in place and write outcome slabs back, and no array
+payload ever crosses the pickle pipe:
+
+```python
+from repro.algorithms.counter import cas_counter, make_counter_memory
+from repro.core.sweep import latency_sweep
+
+# Every core: fused schedule blocks sharded across a process pool.
+points = latency_sweep(
+    cas_counter, make_counter_memory, [8, 16, 32, 64],
+    steps=200_000, repeats=32, seed=0,
+    engine="ensemble", ensemble_workers="auto",
+)
+```
+
+`ensemble_workers="auto"` takes the available-CPU allowance
+(`os.sched_getaffinity`) but defaults to 1 inside an existing pool
+worker, so an ensemble nested under `parallel_sweep` cannot
+oversubscribe the machine.  Outcomes reassemble in canonical replicate
+order and are bit-identical to the single-core fused path at every
+worker count, crash schedules included; worker kills, hangs and poison
+blocks are absorbed by the same recovery ladder as `parallel_sweep`,
+and the parent unlinks the segments in a `finally`, so chaos leaves
+zero orphaned `/dev/shm` entries
+(`tests/sim/test_ensemble_sharded.py`; `tools/bench_perf.py`,
+`sharded_fused` workload — which also records the machine's CPU
+allowance, so numbers from a single-core container read as sharding
+overhead rather than a multicore verdict).
 
 ## Million-replicate sweeps: the columnar store and the disk memo
 
