@@ -15,12 +15,23 @@ Commands
     Build and verify the paper's three Markov chain liftings.
 ``figure5``
     Reproduce Figure 5's completion-rate series.
+``serve``
+    Run the durable sweep job daemon (crash-safe queue, lease-based
+    recovery, content-addressed dedupe) behind a local HTTP or
+    unix-socket API.
+
+Every command treats ``SIGTERM`` like Ctrl-C: active checkpoints are
+flushed and the process exits with the conventional code 143 (``serve``
+instead drains and exits 0 — its shutdown *is* the graceful path), so
+``kill <pid>`` never drops the fsync batch of a long sweep.
 """
 
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
+import threading
 from pathlib import Path
 from typing import List, Optional
 
@@ -407,6 +418,96 @@ def cmd_figure5(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    import json
+    import os
+
+    from repro.core.checkpoint import flush_active_checkpoints
+    from repro.core.runner import RetryPolicy
+    from repro.core.telemetry import MetricsRegistry
+    from repro.service import SweepService, make_server
+
+    telemetry, finish_telemetry = _build_telemetry(
+        getattr(args, "telemetry", None)
+    )
+    # The /metrics endpoint is part of the API, so the daemon always
+    # runs with a live registry; --telemetry only adds the JSON report.
+    registry = telemetry if telemetry is not None else MetricsRegistry()
+    _configure_memo(args, registry)
+    root = Path(args.root)
+    service = SweepService(
+        root,
+        workers=args.workers,
+        max_queue=args.max_queue,
+        lease_ttl=args.lease_ttl,
+        heartbeat_interval=args.heartbeat_interval,
+        retry_policy=RetryPolicy(max_retries=args.max_retries),
+        telemetry=registry,
+    )
+    service.start()
+    try:
+        server = make_server(
+            service,
+            host=args.host,
+            port=args.port,
+            socket_path=args.socket,
+        )
+    except OSError:
+        service.shutdown()
+        raise
+    endpoint: dict = {"pid": os.getpid()}
+    if args.socket is not None:
+        endpoint["socket"] = str(args.socket)
+        where = f"unix socket {args.socket}"
+    else:
+        endpoint["host"] = server.server_address[0]
+        endpoint["port"] = server.server_address[1]
+        where = f"http://{endpoint['host']}:{endpoint['port']}"
+    endpoint_path = root / "endpoint.json"
+    endpoint_path.write_text(json.dumps(endpoint, sort_keys=True))
+
+    # serve_forever() runs on a background thread so the *main* thread
+    # is free to take SIGTERM/SIGINT and drive the shutdown sequence —
+    # a handler cannot call server.shutdown() from the serving thread.
+    stop = threading.Event()
+    previous = {
+        sig: signal.signal(sig, lambda *_: stop.set())
+        for sig in (signal.SIGTERM, signal.SIGINT)
+    }
+    serving = threading.Thread(
+        target=server.serve_forever, name="sweep-service-http", daemon=True
+    )
+    serving.start()
+    print(
+        f"sweep service on {where} (root {root}, {args.workers} workers, "
+        f"queue limit {args.max_queue}); SIGTERM/Ctrl-C to drain and exit",
+        file=sys.stderr,
+    )
+    try:
+        stop.wait()
+        print("draining sweep service...", file=sys.stderr)
+    finally:
+        server.shutdown()
+        serving.join(timeout=10)
+        server.server_close()
+        service.shutdown(drain=True)
+        flush_active_checkpoints()
+        try:
+            endpoint_path.unlink()
+        except FileNotFoundError:
+            pass
+        if args.socket is not None:
+            try:
+                Path(args.socket).unlink()
+            except FileNotFoundError:
+                pass
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+        finish_telemetry("serve")
+    print("sweep service stopped cleanly", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -518,21 +619,112 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.set_defaults(func=cmd_figure5)
 
+    p = sub.add_parser(
+        "serve",
+        help="run the durable sweep job daemon (HTTP or unix-socket API)",
+    )
+    p.add_argument(
+        "--root",
+        metavar="DIR",
+        required=True,
+        help="service root: the job ledger, per-job stores, the point "
+        "memo and endpoint.json all live here",
+    )
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        help="TCP port (0 = pick a free one; read it from "
+        "<root>/endpoint.json)",
+    )
+    p.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="serve on this unix socket instead of TCP",
+    )
+    p.add_argument(
+        "--workers",
+        type=int,
+        default=2,
+        help="worker threads running jobs (each job is one sweep)",
+    )
+    p.add_argument(
+        "--max-queue",
+        type=int,
+        default=16,
+        help="admission limit: queued jobs beyond this are rejected "
+        "with a structured 429",
+    )
+    p.add_argument(
+        "--lease-ttl",
+        type=float,
+        default=30.0,
+        help="seconds a worker may go without heartbeating before its "
+        "job is re-leased",
+    )
+    p.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        help="seconds between lease renewals (default: lease-ttl / 3)",
+    )
+    p.add_argument(
+        "--max-retries",
+        type=int,
+        default=2,
+        help="failed-job retries before quarantining it as poisoned",
+    )
+    p.add_argument(
+        "--memo-dir",
+        metavar="DIR",
+        default=None,
+        help="warm-start exact chain solves from this machine-wide "
+        "on-disk memo (also honoured via REPRO_MEMO_DIR)",
+    )
+    p.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="additionally write a JSON run report on shutdown "
+        "(/metrics serves the live registry regardless)",
+    )
+    p.set_defaults(func=cmd_serve)
+
     return parser
+
+
+class _Terminated(Exception):
+    """Raised by the ``SIGTERM`` handler to unwind like Ctrl-C does."""
+
+
+def _raise_terminated(signum, frame):
+    raise _Terminated()
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code.
 
-    Ctrl-C exits with the conventional code 130 after flushing any
-    active sweep checkpoint, so an interrupted long run can be resumed
-    instead of greeting the user with a traceback.
+    Ctrl-C exits with the conventional code 130, ``SIGTERM`` (a plain
+    ``kill <pid>``) with 143 — both after flushing any active sweep
+    checkpoint, so an interrupted long run can be resumed instead of
+    losing its fsync batch to a traceback.  ``serve`` installs its own
+    graceful-drain handlers and exits 0.
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    # SIGTERM parity with KeyboardInterrupt (signal handlers can only
+    # be installed from the main thread; embedded callers keep theirs).
+    previous_term = None
+    if threading.current_thread() is threading.main_thread():
+        try:
+            previous_term = signal.signal(signal.SIGTERM, _raise_terminated)
+        except (ValueError, OSError):  # pragma: no cover - exotic hosts
+            previous_term = None
     try:
         return args.func(args)
-    except KeyboardInterrupt:
+    except (KeyboardInterrupt, _Terminated) as exc:
         from repro.core.checkpoint import flush_active_checkpoints
 
         # Checkpoints opened by a sweep are usually already closed by the
@@ -549,8 +741,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             or (store is not None and Path(store).exists())
         )
         note = " (checkpoint saved; rerun with --resume)" if saved else ""
+        if isinstance(exc, _Terminated):
+            print(f"terminated{note}", file=sys.stderr)
+            return 143
         print(f"interrupted{note}", file=sys.stderr)
         return 130
+    finally:
+        if previous_term is not None:
+            signal.signal(signal.SIGTERM, previous_term)
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -33,6 +33,11 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+try:  # advisory file locking is POSIX-only; degrade gracefully elsewhere
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
 #: Bumped whenever the on-disk layout changes incompatibly.
 SCHEMA_VERSION = 1
 
@@ -246,6 +251,105 @@ def repair_jsonl_tail(path: Path) -> None:
         os.fsync(handle.fileno())
 
 
+class WriterLock:
+    """An advisory single-writer lock on a sidecar lockfile.
+
+    Obtained via :func:`acquire_writer_lock`; hold it for as long as the
+    journal is open for append, then :meth:`release`.  The lock is an
+    OS-level ``flock``, so it evaporates automatically if the holding
+    process dies — a crashed writer can never wedge the file shut — and
+    the sidecar carries the holder's PID so the loser of a race gets an
+    error *naming its competitor* instead of a silent corruption.
+    """
+
+    def __init__(self, path: Path, handle):
+        self.path = Path(path)
+        self._handle = handle
+
+    @property
+    def held(self) -> bool:
+        return self._handle is not None
+
+    def release(self) -> None:
+        """Unlink the sidecar and drop the lock (idempotent).
+
+        The unlink happens *while still holding* the flock, so a waiter
+        that opened the old inode sees the path/inode mismatch when it
+        finally acquires and retries on a fresh file — the classic
+        unlink-vs-lock race cannot hand the lock to two holders.
+        """
+        if self._handle is None:
+            return
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+        try:
+            self._handle.close()
+        finally:
+            self._handle = None
+
+
+def acquire_writer_lock(target: Union[str, Path]) -> Optional[WriterLock]:
+    """Take the single-writer advisory lock for journal ``target``.
+
+    The lock lives on a sidecar ``<target>.lock`` file (never on the
+    journal itself, whose handle lifecycle belongs to the journal
+    code).  A second concurrent open-for-append fails loudly with a
+    :class:`CheckpointError` naming the holder's PID — two writers
+    interleaving appends on one journal is unrecoverable corruption, so
+    it must be impossible to do silently.
+
+    Returns ``None`` on platforms without ``fcntl`` (the lock is
+    advisory protection, not a correctness dependency of single-process
+    use).  Never blocks: contention is an immediate error.
+    """
+    if fcntl is None:  # pragma: no cover - non-POSIX platforms
+        return None
+    lock_path = Path(f"{target}.lock")
+    lock_path.parent.mkdir(parents=True, exist_ok=True)
+    for _ in range(5):
+        handle = open(lock_path, "a+b")
+        try:
+            try:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+            except OSError:
+                try:
+                    handle.seek(0)
+                    holder = handle.read(64).decode("ascii", "replace").strip()
+                except OSError:
+                    holder = ""
+                handle.close()
+                raise CheckpointError(
+                    f"{target} is already open for writing by "
+                    f"PID {holder or 'unknown'} (lockfile {lock_path}); "
+                    "a journal admits one writer at a time"
+                ) from None
+            # A released lock unlinks its sidecar while holding the
+            # flock; if we locked a now-unlinked inode, retry on the
+            # fresh path.
+            try:
+                if os.fstat(handle.fileno()).st_ino != os.stat(lock_path).st_ino:
+                    raise FileNotFoundError
+            except (FileNotFoundError, OSError):
+                handle.close()
+                continue
+            handle.seek(0)
+            handle.truncate()
+            handle.write(f"{os.getpid()}\n".encode("ascii"))
+            handle.flush()
+            return WriterLock(lock_path, handle)
+        except CheckpointError:
+            raise
+        except BaseException:
+            handle.close()
+            raise
+    raise CheckpointError(
+        f"could not acquire the writer lock for {target}: the lockfile "
+        f"{lock_path} kept being replaced under us"
+    )
+
+
 def flush_active_checkpoints() -> int:
     """Flush every open checkpoint; returns how many were flushed."""
     count = 0
@@ -274,6 +378,7 @@ class SweepCheckpoint:
         *,
         fsync_every: int = 16,
         telemetry=None,
+        lock: Optional[WriterLock] = None,
     ):
         self.path = Path(path)
         self.fingerprint = fingerprint
@@ -282,6 +387,7 @@ class SweepCheckpoint:
         self._fsync_every = max(1, int(fsync_every))
         self._since_sync = 0
         self.telemetry = telemetry
+        self._lock = lock
         _ACTIVE.add(self)
 
     # -- construction ------------------------------------------------------
@@ -304,6 +410,12 @@ class SweepCheckpoint:
         ``--resume`` invocation is idempotent) and otherwise validates
         the stored fingerprint, raising :class:`CheckpointMismatchError`
         on any difference.
+
+        Opening takes the advisory single-writer lock (a sidecar
+        ``<path>.lock``): a second concurrent open fails loudly with a
+        :class:`CheckpointError` naming the holder's PID instead of
+        silently interleaving appends.  The lock is released by
+        :meth:`close` and evaporates with the process on a crash.
         """
         path = Path(path)
         exists = path.exists() and path.stat().st_size > 0
@@ -312,50 +424,58 @@ class SweepCheckpoint:
                 f"checkpoint {path} already exists; pass resume=True to "
                 "continue it, or remove the file to start over"
             )
-        if exists:
-            stored, completed = cls._read(path)
-            if stored != fingerprint:
-                differing = sorted(
-                    key
-                    for key in set(stored) | set(fingerprint)
-                    if stored.get(key) != fingerprint.get(key)
+        lock = acquire_writer_lock(path)
+        try:
+            if exists:
+                stored, completed = cls._read(path)
+                if stored != fingerprint:
+                    differing = sorted(
+                        key
+                        for key in set(stored) | set(fingerprint)
+                        if stored.get(key) != fingerprint.get(key)
+                    )
+                    raise CheckpointMismatchError(
+                        f"checkpoint {path} belongs to a different sweep: "
+                        f"fields {differing} differ "
+                        f"(stored {[stored.get(k) for k in differing]}, "
+                        f"requested {[fingerprint.get(k) for k in differing]})"
+                    )
+                cls._repair_tail(path)
+                handle = path.open("a", encoding="utf-8")
+                if telemetry is not None and telemetry.enabled:
+                    telemetry.inc("checkpoint.resume_hits", len(completed))
+                return cls(
+                    path,
+                    fingerprint,
+                    completed,
+                    handle,
+                    fsync_every=fsync_every,
+                    telemetry=telemetry,
+                    lock=lock,
                 )
-                raise CheckpointMismatchError(
-                    f"checkpoint {path} belongs to a different sweep: "
-                    f"fields {differing} differ "
-                    f"(stored {[stored.get(k) for k in differing]}, "
-                    f"requested {[fingerprint.get(k) for k in differing]})"
-                )
-            cls._repair_tail(path)
-            handle = path.open("a", encoding="utf-8")
-            if telemetry is not None and telemetry.enabled:
-                telemetry.inc("checkpoint.resume_hits", len(completed))
+            path.parent.mkdir(parents=True, exist_ok=True)
+            handle = path.open("w", encoding="utf-8")
+            header = {
+                "kind": "header",
+                "version": SCHEMA_VERSION,
+                "fingerprint": fingerprint,
+            }
+            handle.write(json.dumps(header, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
             return cls(
                 path,
                 fingerprint,
-                completed,
+                {},
                 handle,
                 fsync_every=fsync_every,
                 telemetry=telemetry,
+                lock=lock,
             )
-        path.parent.mkdir(parents=True, exist_ok=True)
-        handle = path.open("w", encoding="utf-8")
-        header = {
-            "kind": "header",
-            "version": SCHEMA_VERSION,
-            "fingerprint": fingerprint,
-        }
-        handle.write(json.dumps(header, sort_keys=True) + "\n")
-        handle.flush()
-        os.fsync(handle.fileno())
-        return cls(
-            path,
-            fingerprint,
-            {},
-            handle,
-            fsync_every=fsync_every,
-            telemetry=telemetry,
-        )
+        except BaseException:
+            if lock is not None:
+                lock.release()
+            raise
 
     @staticmethod
     def _repair_tail(path: Path) -> None:
@@ -478,6 +598,9 @@ class SweepCheckpoint:
         self.flush()
         self._handle.close()
         self._handle = None
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
         _ACTIVE.discard(self)
 
     def missing(

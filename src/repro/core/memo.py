@@ -35,6 +35,7 @@ import hashlib
 import json
 import os
 import tempfile
+import warnings
 from functools import lru_cache, update_wrapper
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple, Union
@@ -54,6 +55,30 @@ _MISS = object()
 _COUNTERS: Dict[str, int] = {}
 
 
+#: Warn-once flag for degraded memo writes (ENOSPC, EPERM, ...): the
+#: first refused :meth:`DiskMemo.put` is loud, later ones are silent —
+#: a cache must never take down the sweep it accelerates.
+_warned_put_failure = False
+
+
+def _is_number(value: Any) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def _valid_value(value: Any) -> bool:
+    """Whether a decoded entry value is well-formed.
+
+    Scalars (the exact solvers' floats) and flat lists of numbers (the
+    service's per-point latency triples) are both admitted; anything
+    else is treated as corruption.
+    """
+    if _is_number(value):
+        return True
+    if isinstance(value, list) and value:
+        return all(_is_number(item) for item in value)
+    return False
+
+
 def _count(name: str, telemetry=None) -> None:
     _COUNTERS[name] = _COUNTERS.get(name, 0) + 1
     if telemetry is not None and telemetry.enabled:
@@ -65,7 +90,8 @@ def memo_counters() -> Dict[str, int]:
 
     Keys: ``computes`` (solver actually ran), ``disk_hits``,
     ``disk_misses``, ``disk_writes``, ``disk_corrupt`` (entry unreadable
-    and recomputed).  Missing keys mean zero events.
+    and recomputed), ``put_failures`` (write refused by the filesystem;
+    degraded to cache-off).  Missing keys mean zero events.
     """
     return dict(_COUNTERS)
 
@@ -124,28 +150,37 @@ class DiskMemo:
             not isinstance(payload, dict)
             or payload.get("schema") != MEMO_SCHEMA_VERSION
             or payload.get("key") != self._canonical_key(name, args)
-            or isinstance(payload.get("value"), bool)
-            or not isinstance(payload.get("value"), (int, float))
+            or not _valid_value(payload.get("value"))
         ):
             _count("disk_corrupt", self.telemetry)
             return _MISS
         _count("disk_hits", self.telemetry)
-        return float(payload["value"])
+        value = payload["value"]
+        if isinstance(value, list):
+            return [float(item) for item in value]
+        return float(value)
 
-    def put(self, name: str, args: Tuple, value: float) -> None:
+    def put(self, name: str, args: Tuple, value) -> None:
         """Atomically store ``value`` for ``(name, args)``.
 
-        Written to a temp file in the target directory, fsynced, then
-        renamed into place — readers see either the old entry or the
-        complete new one, never a torn write.  Storage failures are
-        swallowed (a read-only or full memo disables warm starts, it
-        does not break solves).
+        ``value`` is a number or a flat sequence of numbers.  Written to
+        a temp file in the target directory, fsynced, then renamed into
+        place — readers see either the old entry or the complete new
+        one, never a torn write.  Storage failures (ENOSPC, EPERM, a
+        read-only memo) degrade instead of raising: the first is warned
+        once and counted (``memo.put_failures``), then the memo simply
+        stops warming future starts — it never breaks the solve.
         """
+        global _warned_put_failure
+        if isinstance(value, (list, tuple)):
+            encoded: Any = [float(item) for item in value]
+        else:
+            encoded = float(value)
         path = self.entry_path(name, args)
         payload = {
             "schema": MEMO_SCHEMA_VERSION,
             "key": self._canonical_key(name, args),
-            "value": float(value),
+            "value": encoded,
         }
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
@@ -164,7 +199,17 @@ class DiskMemo:
                 except OSError:
                     pass
                 raise
-        except OSError:
+        except OSError as exc:
+            if not _warned_put_failure:
+                _warned_put_failure = True
+                warnings.warn(
+                    f"disk memo write failed ({exc}); continuing without "
+                    f"the cache — entries under {self.root} will be "
+                    "recomputed instead of warm-started",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+            _count("put_failures", self.telemetry)
             return
         _count("disk_writes", self.telemetry)
 

@@ -135,6 +135,33 @@ class RetryPolicy:
         rng = np.random.default_rng(_stable_seed(key, attempt))
         return cap / 2 + rng.uniform(0, cap / 2)
 
+    def to_dict(self) -> Dict[str, Optional[float]]:
+        """A JSON-safe snapshot (the sweep service journals its policy)."""
+        return {
+            "max_retries": self.max_retries,
+            "base_delay": self.base_delay,
+            "max_delay": self.max_delay,
+            "timeout": self.timeout,
+            "fallback_after": self.fallback_after,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Optional[float]]) -> "RetryPolicy":
+        """Rebuild a policy from :meth:`to_dict` output (strict keys)."""
+        known = {
+            "max_retries",
+            "base_delay",
+            "max_delay",
+            "timeout",
+            "fallback_after",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown RetryPolicy fields: {sorted(unknown)}"
+            )
+        return cls(**payload)
+
 
 @dataclass
 class RunStats:

@@ -43,6 +43,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import warnings
 from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Union
 
@@ -53,9 +54,14 @@ from repro.core.checkpoint import (
     CheckpointError,
     CheckpointMismatchError,
     Triple,
+    WriterLock,
+    acquire_writer_lock,
     parse_point_record,
     repair_jsonl_tail,
 )
+
+#: Warn-once flag for degraded compaction (see :meth:`ColumnarSweepStore.compact`).
+_warned_compact_failure = False
 
 #: Bumped whenever the on-disk layout changes incompatibly.
 STORE_SCHEMA_VERSION = 1
@@ -108,9 +114,11 @@ class ColumnarSweepStore:
         compact_every: int = 4096,
         fsync_every: int = 16,
         telemetry=None,
+        lock: Optional[WriterLock] = None,
     ):
         self.path = Path(path)
         self.fingerprint = fingerprint
+        self._lock = lock
         #: Triples loaded at open time (the resume state).  Records
         #: appended later are *not* added here — see ``keys``.
         self.completed = completed
@@ -145,6 +153,12 @@ class ColumnarSweepStore:
         missing directory (starts fresh) and otherwise validates the
         stored fingerprint, raising :class:`CheckpointMismatchError`
         naming every differing field.
+
+        Opening takes the advisory single-writer lock (``<dir>/writer.lock``):
+        a second concurrent open fails loudly with a
+        :class:`CheckpointError` naming the holder's PID instead of
+        silently interleaving tail appends.  Released by :meth:`close`;
+        evaporates with the process on a crash.
         """
         path = Path(path)
         header_path = path / _HEADER_NAME
@@ -154,59 +168,67 @@ class ColumnarSweepStore:
                 f"store {path} already exists; pass resume=True to "
                 "continue it, or remove the directory to start over"
             )
-        if exists:
-            stored, completed, tail_records, next_chunk = cls._load(path)
-            if stored != fingerprint:
-                differing = sorted(
-                    key
-                    for key in set(stored) | set(fingerprint)
-                    if stored.get(key) != fingerprint.get(key)
+        path.mkdir(parents=True, exist_ok=True)
+        lock = acquire_writer_lock(path / "writer")
+        try:
+            if exists:
+                stored, completed, tail_records, next_chunk = cls._load(path)
+                if stored != fingerprint:
+                    differing = sorted(
+                        key
+                        for key in set(stored) | set(fingerprint)
+                        if stored.get(key) != fingerprint.get(key)
+                    )
+                    raise CheckpointMismatchError(
+                        f"store {path} belongs to a different sweep: "
+                        f"fields {differing} differ "
+                        f"(stored {[stored.get(k) for k in differing]}, "
+                        f"requested {[fingerprint.get(k) for k in differing]})"
+                    )
+                repair_jsonl_tail(path / _TAIL_NAME)
+                handle = (path / _TAIL_NAME).open("a", encoding="utf-8")
+                if telemetry is not None and telemetry.enabled:
+                    telemetry.inc(
+                        "store.resume_hits", len(completed)
+                    )
+                return cls(
+                    path,
+                    fingerprint,
+                    completed,
+                    tail_records,
+                    handle,
+                    next_chunk,
+                    compact_every=compact_every,
+                    fsync_every=fsync_every,
+                    telemetry=telemetry,
+                    lock=lock,
                 )
-                raise CheckpointMismatchError(
-                    f"store {path} belongs to a different sweep: "
-                    f"fields {differing} differ "
-                    f"(stored {[stored.get(k) for k in differing]}, "
-                    f"requested {[fingerprint.get(k) for k in differing]})"
-                )
-            repair_jsonl_tail(path / _TAIL_NAME)
-            handle = (path / _TAIL_NAME).open("a", encoding="utf-8")
-            if telemetry is not None and telemetry.enabled:
-                telemetry.inc(
-                    "store.resume_hits", len(completed)
-                )
+            _atomic_write_json(
+                header_path,
+                {
+                    "kind": "header",
+                    "version": STORE_SCHEMA_VERSION,
+                    "fingerprint": fingerprint,
+                    "metrics": list(METRIC_COLUMNS),
+                },
+            )
+            handle = (path / _TAIL_NAME).open("w", encoding="utf-8")
             return cls(
                 path,
                 fingerprint,
-                completed,
-                tail_records,
+                {},
+                [],
                 handle,
-                next_chunk,
+                0,
                 compact_every=compact_every,
                 fsync_every=fsync_every,
                 telemetry=telemetry,
+                lock=lock,
             )
-        path.mkdir(parents=True, exist_ok=True)
-        _atomic_write_json(
-            header_path,
-            {
-                "kind": "header",
-                "version": STORE_SCHEMA_VERSION,
-                "fingerprint": fingerprint,
-                "metrics": list(METRIC_COLUMNS),
-            },
-        )
-        handle = (path / _TAIL_NAME).open("w", encoding="utf-8")
-        return cls(
-            path,
-            fingerprint,
-            {},
-            [],
-            handle,
-            0,
-            compact_every=compact_every,
-            fsync_every=fsync_every,
-            telemetry=telemetry,
-        )
+        except BaseException:
+            if lock is not None:
+                lock.release()
+            raise
 
     # -- loading -----------------------------------------------------------
 
@@ -393,6 +415,14 @@ class ColumnarSweepStore:
         renamed before the tail is truncated, so no crash window loses
         a record (at worst a record exists in both chunk and tail until
         the truncate lands — deduplicated on load).
+
+        Compaction is an *optimisation* of already-durable records, so
+        a chunk write refused by the filesystem (ENOSPC, EPERM, ...)
+        degrades instead of killing the sweep: the failure is warned
+        once (and counted as ``store.compaction_failures``), the
+        records stay in the JSONL tail, and recording continues — the
+        store just runs slower and loads like a plain journal until the
+        disk recovers.
         """
         if self._handle is None:
             raise CheckpointError(f"store {self.path} is closed")
@@ -409,15 +439,26 @@ class ColumnarSweepStore:
                 dtype=np.float64,
             )
         chunk_path = self.path / f"{_CHUNK_PREFIX}{self._next_chunk:05d}.npz"
-        fd, tmp_name = tempfile.mkstemp(
-            dir=self.path, prefix=chunk_path.name, suffix=".tmp"
-        )
+        try:
+            fd, tmp_name = tempfile.mkstemp(
+                dir=self.path, prefix=chunk_path.name, suffix=".tmp"
+            )
+        except OSError as exc:
+            self._note_compact_failure(exc)
+            return 0
         try:
             with os.fdopen(fd, "wb") as handle:
                 np.savez(handle, **columns)
                 handle.flush()
                 os.fsync(handle.fileno())
             os.replace(tmp_name, chunk_path)
+        except OSError as exc:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            self._note_compact_failure(exc)
+            return 0
         except BaseException:
             try:
                 os.unlink(tmp_name)
@@ -437,6 +478,27 @@ class ColumnarSweepStore:
             self.telemetry.inc("store.compacted_records", count)
         return count
 
+    def _note_compact_failure(self, exc: OSError) -> None:
+        """Record a degraded (skipped) compaction without raising.
+
+        The records involved are already durable in the JSONL tail, so
+        the only consequence is slower loads until the disk recovers.
+        Warned once per process to avoid drowning a long sweep in
+        repeats of the same ENOSPC.
+        """
+        global _warned_compact_failure
+        if not _warned_compact_failure:
+            _warned_compact_failure = True
+            warnings.warn(
+                f"store compaction failed ({exc}); records remain durable "
+                f"in the JSONL tail of {self.path} and the sweep continues "
+                "uncompacted",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+        if self.telemetry is not None and self.telemetry.enabled:
+            self.telemetry.inc("store.compaction_failures")
+
     def flush(self) -> None:
         """Flush and fsync the write-ahead tail."""
         if self._handle is None:
@@ -455,6 +517,9 @@ class ColumnarSweepStore:
         self.flush()
         self._handle.close()
         self._handle = None
+        if self._lock is not None:
+            self._lock.release()
+            self._lock = None
         _ACTIVE.discard(self)
 
     def missing(

@@ -41,10 +41,20 @@ sharding: ``shard_blocks`` / ``shard_replicates`` / ``shard_steps`` /
 ``shard_bytes`` counters plus a ``shard_workers`` gauge), ``executor.*``
 (:class:`repro.core.runner.ResilientExecutor`), ``checkpoint.*``
 (:class:`repro.core.checkpoint.SweepCheckpoint`), ``sweep.*``
-(:func:`repro.core.sweep.latency_sweep` / :func:`parallel_sweep`) and
+(:func:`repro.core.sweep.latency_sweep` / :func:`parallel_sweep`),
 ``shm.*`` (the zero-copy dispatch buffers of :mod:`repro.core.shm` —
 ``shm.segments`` / ``shm.bytes`` created, ``shm.unlinked`` on cleanup,
-``shm.fallbacks`` when ``dispatch="auto"`` degrades to pickle).
+``shm.fallbacks`` when ``dispatch="auto"`` degrades to pickle), and
+``service.*`` (the sweep job daemon of :mod:`repro.service` —
+``service.submitted`` / ``completed`` / ``failed`` / ``poisoned`` /
+``cancelled`` job outcomes, ``service.dedupe_hits`` for submissions
+answered by an existing job, ``service.memo_warm_points`` /
+``service.recomputed_points`` for the point-level cache split,
+``service.rejected`` admissions shed at the bounded queue,
+``service.recovered_jobs`` re-queued after crash recovery, the
+``service.ledger_*`` event counters, and ``service.queue_depth`` /
+``service.jobs_running`` gauges; the daemon serves this registry's
+:meth:`MetricsRegistry.report` at ``/metrics``).
 """
 
 from __future__ import annotations

@@ -1,0 +1,54 @@
+"""The durable sweep job service: queue, leases, dedupe, admission.
+
+The PODC'14 measurement stack as a *service*: jobs are sweep specs,
+their ids are content hashes, every state transition is journaled
+crash-safely, workers hold TTL leases renewed by heartbeats, and
+results served by the daemon are bit-identical to calling
+:func:`repro.core.sweep.latency_sweep` directly.  See
+:mod:`repro.service.daemon` for the architecture overview.
+"""
+
+from .client import AdmissionRejected, ServiceClient, ServiceClientError
+from .daemon import (
+    AdmissionError,
+    ServiceError,
+    SweepService,
+    UnknownJobError,
+    job_digest,
+    run_sweep_job,
+    validate_spec,
+)
+from .api import make_server
+from .ledger import JOB_STATES, TERMINAL_STATES, JobLedger, JobRecord
+from .leases import (
+    DEFAULT_LEASE_TTL,
+    Lease,
+    LeaseTable,
+    make_owner,
+    owner_alive,
+    owner_pid,
+)
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionRejected",
+    "DEFAULT_LEASE_TTL",
+    "JOB_STATES",
+    "JobLedger",
+    "JobRecord",
+    "Lease",
+    "LeaseTable",
+    "ServiceClient",
+    "ServiceClientError",
+    "ServiceError",
+    "SweepService",
+    "TERMINAL_STATES",
+    "UnknownJobError",
+    "job_digest",
+    "make_owner",
+    "make_server",
+    "owner_alive",
+    "owner_pid",
+    "run_sweep_job",
+    "validate_spec",
+]

@@ -1,0 +1,178 @@
+"""The daemon's local HTTP front-end (TCP or unix socket), stdlib only.
+
+A thin JSON shim over :class:`~repro.service.daemon.SweepService` — the
+service owns all semantics; this layer translates requests and maps the
+service's exceptions onto status codes:
+
+=======================  ======  =========================================
+endpoint                 method  meaning
+=======================  ======  =========================================
+``/submit``              POST    body = job spec JSON; 200 status snapshot
+                                 (``dedupe`` marks an existing job),
+                                 400 invalid spec, **429** queue full with
+                                 the structured rejection payload
+``/status?job=<id>``     GET     job snapshot; 404 unknown
+``/result?job=<id>``     GET     completed result; 409 if not completed
+``/cancel?job=<id>``     POST    cancel (idempotent); 404 unknown
+``/jobs``                GET     every job, submission order
+``/metrics``             GET     the ``MetricsRegistry`` report
+                                 (``service.*`` plus everything below it)
+``/healthz``             GET     liveness probe
+=======================  ======  =========================================
+
+``ThreadingHTTPServer`` handles each request on its own thread, which
+is safe because every ``SweepService`` entry point takes its own lock.
+The unix-socket variant binds ``AF_UNIX`` (one daemon per socket path,
+no port juggling, filesystem permissions as access control).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+from urllib.parse import parse_qs, urlparse
+
+from .daemon import AdmissionError, ServiceError, SweepService, UnknownJobError
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests into the service; one instance per request."""
+
+    # Set by make_server(); class attribute so the stdlib handler
+    # factory (which we don't control) can reach the service.
+    service: SweepService = None  # type: ignore[assignment]
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # the ledger is the log of record; stderr chatter helps no one
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _send(self, code: int, payload: Dict[str, Any]) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, message: str, **extra: Any) -> None:
+        payload = {"error": message}
+        payload.update(extra)
+        self._send(code, payload)
+
+    def _job_param(self) -> Optional[str]:
+        query = parse_qs(urlparse(self.path).query)
+        values = query.get("job")
+        return values[0] if values else None
+
+    def _read_json(self) -> Any:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise ValueError("request body is empty; expected a JSON object")
+        return json.loads(raw.decode("utf-8"))
+
+    # -- routes -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        route = urlparse(self.path).path
+        try:
+            if route == "/healthz":
+                self._send(200, {"ok": True})
+            elif route == "/metrics":
+                telemetry = self.service.telemetry
+                report = telemetry.report() if telemetry is not None else {}
+                self._send(200, report)
+            elif route == "/jobs":
+                self._send(200, {"jobs": self.service.jobs()})
+            elif route == "/status":
+                job_id = self._job_param()
+                if not job_id:
+                    return self._error(400, "missing ?job=<id>")
+                self._send(200, self.service.status(job_id))
+            elif route == "/result":
+                job_id = self._job_param()
+                if not job_id:
+                    return self._error(400, "missing ?job=<id>")
+                self._send(200, self.service.result(job_id))
+            else:
+                self._error(404, f"unknown endpoint {route}")
+        except UnknownJobError as exc:
+            self._error(404, f"unknown job {exc.args[0]}")
+        except ServiceError as exc:
+            self._error(409, str(exc))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        route = urlparse(self.path).path
+        try:
+            if route == "/submit":
+                try:
+                    spec = self._read_json()
+                except ValueError as exc:
+                    return self._error(400, f"invalid JSON body: {exc}")
+                try:
+                    self._send(200, self.service.submit(spec))
+                except AdmissionError as exc:
+                    self._send(429, exc.payload)
+                except ValueError as exc:
+                    self._error(400, str(exc))
+            elif route == "/cancel":
+                job_id = self._job_param()
+                if not job_id:
+                    return self._error(400, "missing ?job=<id>")
+                self._send(200, self.service.cancel(job_id))
+            else:
+                self._error(404, f"unknown endpoint {route}")
+        except UnknownJobError as exc:
+            self._error(404, f"unknown job {exc.args[0]}")
+        except ServiceError as exc:
+            self._error(409, str(exc))
+
+
+class _UnixHTTPServer(ThreadingHTTPServer):
+    """``ThreadingHTTPServer`` over an ``AF_UNIX`` socket."""
+
+    address_family = socket.AF_UNIX
+
+    def server_bind(self) -> None:
+        Path(self.server_address).parent.mkdir(parents=True, exist_ok=True)
+        try:
+            Path(self.server_address).unlink()
+        except FileNotFoundError:
+            pass
+        self.socket.bind(self.server_address)
+        # The stdlib sets these from getsockname(); a unix path has no
+        # host/port, so pin placeholders for anything that formats them.
+        self.server_name = "unix"
+        self.server_port = 0
+
+    def get_request(self) -> Tuple[socket.socket, Tuple[str, int]]:
+        request, _ = self.socket.accept()
+        # The stdlib handler formats client_address[0]; a unix peer has
+        # none, so give it a stable placeholder.
+        return request, ("unix-socket", 0)
+
+
+def make_server(
+    service: SweepService,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    socket_path: Optional[Union[str, Path]] = None,
+) -> ThreadingHTTPServer:
+    """Build the HTTP server bound to TCP ``host:port`` or a unix socket.
+
+    ``port=0`` asks the OS for a free port (read it back from
+    ``server.server_address``).  The caller owns the serve loop —
+    typically ``serve_forever()`` on a background thread, shut down via
+    ``server.shutdown()`` from the signal-handling main thread (see
+    ``repro serve``).
+    """
+    handler = type("BoundHandler", (_Handler,), {"service": service})
+    if socket_path is not None:
+        return _UnixHTTPServer(str(socket_path), handler)
+    return ThreadingHTTPServer((host, port), handler)

@@ -1,0 +1,179 @@
+"""A small stdlib client for the sweep daemon's HTTP API.
+
+:class:`ServiceClient` speaks to a ``repro serve`` daemon over TCP or
+its unix socket and converts the wire back into Python:
+``submit``/``status``/``result``/``cancel``/``jobs``/``metrics``
+mirror the endpoints one-to-one, and :meth:`ServiceClient.wait` polls a
+job to a terminal state.  A 429 rejection surfaces as
+:class:`AdmissionRejected` carrying the daemon's structured payload
+(limit, depth, retriable) — callers decide whether to back off and
+retry, the client never retries silently.
+
+:meth:`ServiceClient.from_root` reads the daemon's ``endpoint.json``
+(written by ``repro serve`` next to the ledger), so tests and scripts
+need only the service root to find the live endpoint.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from .ledger import TERMINAL_STATES
+
+
+class ServiceClientError(RuntimeError):
+    """An API call failed; ``status`` and ``payload`` say how."""
+
+    def __init__(self, status: int, payload: Dict[str, Any]):
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', payload)}"
+        )
+        self.status = status
+        self.payload = payload
+
+
+class AdmissionRejected(ServiceClientError):
+    """The daemon's bounded queue shed this submission (HTTP 429)."""
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """``HTTPConnection`` over an ``AF_UNIX`` stream socket."""
+
+    def __init__(self, socket_path: str, timeout: Optional[float] = None):
+        super().__init__("localhost", timeout=timeout)
+        self._socket_path = socket_path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            sock.settimeout(self.timeout)
+        sock.connect(self._socket_path)
+        self.sock = sock
+
+
+class ServiceClient:
+    """One daemon endpoint; a fresh connection per call (no state)."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: Optional[int] = None,
+        socket_path: Optional[Union[str, Path]] = None,
+        timeout: float = 30.0,
+    ):
+        if (port is None) == (socket_path is None):
+            raise ValueError("pass exactly one of port= or socket_path=")
+        self.host = host
+        self.port = port
+        self.socket_path = str(socket_path) if socket_path else None
+        self.timeout = timeout
+
+    @classmethod
+    def from_root(
+        cls, root: Union[str, Path], *, timeout: float = 30.0
+    ) -> "ServiceClient":
+        """Connect to the daemon serving ``root`` via its endpoint file."""
+        endpoint_path = Path(root) / "endpoint.json"
+        try:
+            endpoint = json.loads(endpoint_path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise ServiceClientError(
+                0,
+                {
+                    "error": (
+                        f"no daemon endpoint at {endpoint_path}; is "
+                        "'repro serve' running against this root?"
+                    )
+                },
+            )
+        if endpoint.get("socket"):
+            return cls(socket_path=endpoint["socket"], timeout=timeout)
+        return cls(
+            host=endpoint.get("host", "127.0.0.1"),
+            port=int(endpoint["port"]),
+            timeout=timeout,
+        )
+
+    # -- wire ---------------------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self.socket_path is not None:
+            return _UnixHTTPConnection(self.socket_path, timeout=self.timeout)
+        return http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+
+    def _request(
+        self, method: str, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        connection = self._connection()
+        try:
+            encoded = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            headers = {"Content-Type": "application/json"} if encoded else {}
+            connection.request(method, path, body=encoded, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                payload = json.loads(raw.decode("utf-8")) if raw else {}
+            except ValueError:
+                payload = {"error": raw.decode("utf-8", "replace")}
+            if response.status == 429:
+                raise AdmissionRejected(response.status, payload)
+            if response.status >= 400:
+                raise ServiceClientError(response.status, payload)
+            return payload
+        finally:
+            connection.close()
+
+    # -- API ----------------------------------------------------------------
+
+    def submit(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        return self._request("POST", "/submit", body=spec)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/status?job={job_id}")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        return self._request("GET", f"/result?job={job_id}")
+
+    def cancel(self, job_id: str) -> Dict[str, Any]:
+        return self._request("POST", f"/cancel?job={job_id}")
+
+    def jobs(self) -> List[Dict[str, Any]]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def metrics(self) -> Dict[str, Any]:
+        return self._request("GET", "/metrics")
+
+    def healthy(self) -> bool:
+        try:
+            return bool(self._request("GET", "/healthz").get("ok"))
+        except (ServiceClientError, OSError):
+            return False
+
+    def wait(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 120.0,
+        poll: float = 0.05,
+    ) -> Dict[str, Any]:
+        """Poll ``status`` until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in TERMINAL_STATES:
+                return status
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {status['state']} after {timeout}s"
+                )
+            time.sleep(poll)

@@ -1,0 +1,160 @@
+"""Lease bookkeeping for the sweep job service.
+
+A *lease* is the service's unit of failure detection: when a worker
+claims a job it receives a lease with a TTL, and every heartbeat renews
+it.  A worker (or the whole daemon) that dies or hangs simply stops
+heartbeating, so the job's lease expires and the job can be granted to
+someone else — the arbitrary delay-or-crash failure model the wait-free
+locks literature formalizes, applied to our own orchestration layer.
+Nothing here blocks on the failed holder: expiry is detected by reading
+a clock, never by waiting on the dead.
+
+Owners are ``"<pid>:<worker-name>"`` strings, so a restarted daemon can
+additionally recognise leases held by processes that no longer exist
+(:func:`owner_alive`) and reclaim them immediately instead of waiting
+out the TTL — a crashed daemon's jobs are back in the queue the moment
+it replays its ledger.
+
+The clock is injectable everywhere (``clock=time.time`` by default), so
+the lease tests drive expiry deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional
+
+#: Default lease time-to-live, seconds.  Heartbeats renew well inside
+#: this window (see ``SweepService``); a holder silent for a full TTL is
+#: presumed dead.
+DEFAULT_LEASE_TTL = 30.0
+
+
+def make_owner(worker: str, pid: Optional[int] = None) -> str:
+    """The canonical owner string for a worker of this process."""
+    return f"{os.getpid() if pid is None else int(pid)}:{worker}"
+
+
+def owner_pid(owner: str) -> Optional[int]:
+    """The PID encoded in an owner string, or ``None`` if unparseable."""
+    head, _, _ = owner.partition(":")
+    try:
+        return int(head)
+    except ValueError:
+        return None
+
+
+def owner_alive(owner: str) -> bool:
+    """Whether the process that granted itself ``owner`` still exists.
+
+    Unparseable owners are conservatively reported alive (the TTL still
+    bounds how long they can hold a lease).  ``os.kill(pid, 0)`` probes
+    existence without signalling; ``EPERM`` means the process exists but
+    belongs to someone else — alive for our purposes.
+    """
+    pid = owner_pid(owner)
+    if pid is None:
+        return True
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    except OSError:
+        return True
+    return True
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One job's claim: who holds it and until when."""
+
+    job_id: str
+    owner: str
+    granted_at: float
+    expires_at: float
+    ttl: float
+
+    def expired(self, now: float) -> bool:
+        """Whether the holder has been silent past its TTL."""
+        return now >= self.expires_at
+
+    def renewed(self, now: float) -> "Lease":
+        """The same lease with its expiry pushed out by one TTL."""
+        return replace(self, expires_at=now + self.ttl)
+
+
+class LeaseTable:
+    """The in-memory view of every live lease, keyed by job id.
+
+    The table is bookkeeping only — durability lives in the job ledger,
+    which records every grant/renew/release as an event.  The daemon
+    keeps the two in sync by routing all lease changes through
+    :class:`~repro.service.ledger.JobLedger`.
+    """
+
+    def __init__(self, *, clock: Callable[[], float] = time.time):
+        self._clock = clock
+        self._leases: Dict[str, Lease] = {}
+
+    def __len__(self) -> int:
+        return len(self._leases)
+
+    def __contains__(self, job_id: str) -> bool:
+        return job_id in self._leases
+
+    def get(self, job_id: str) -> Optional[Lease]:
+        return self._leases.get(job_id)
+
+    def grant(self, job_id: str, owner: str, ttl: float) -> Lease:
+        """Grant a fresh lease; the job must not already be leased."""
+        if job_id in self._leases:
+            raise ValueError(
+                f"job {job_id} is already leased by "
+                f"{self._leases[job_id].owner}"
+            )
+        if ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        now = self._clock()
+        lease = Lease(
+            job_id=job_id,
+            owner=owner,
+            granted_at=now,
+            expires_at=now + ttl,
+            ttl=float(ttl),
+        )
+        self._leases[job_id] = lease
+        return lease
+
+    def renew(self, job_id: str, owner: str) -> Lease:
+        """Renew a held lease; the owner must match the holder."""
+        lease = self._leases.get(job_id)
+        if lease is None:
+            raise ValueError(f"job {job_id} holds no lease to renew")
+        if lease.owner != owner:
+            raise ValueError(
+                f"lease on {job_id} is held by {lease.owner}, not {owner}"
+            )
+        renewed = lease.renewed(self._clock())
+        self._leases[job_id] = renewed
+        return renewed
+
+    def release(self, job_id: str) -> Optional[Lease]:
+        """Drop a lease (idempotent); returns what was released."""
+        return self._leases.pop(job_id, None)
+
+    def expired(self, *, check_owner: bool = True) -> Dict[str, Lease]:
+        """Every lease past its TTL — plus, with ``check_owner``, leases
+        whose holder process no longer exists (prompt recovery after a
+        daemon crash, without waiting out the TTL)."""
+        now = self._clock()
+        dead = {}
+        for job_id, lease in self._leases.items():
+            if lease.expired(now):
+                dead[job_id] = lease
+            elif check_owner and not owner_alive(lease.owner):
+                dead[job_id] = lease
+        return dead

@@ -176,3 +176,135 @@ class FlakyPoolFactory:
                 f"injected pool-creation failure {self.created}"
             )
         return ChaosPool(max_workers=max_workers, plan=self.plan)
+
+
+class ServiceHarness:
+    """Drive a real ``repro serve`` daemon subprocess for chaos tests.
+
+    The recovery tests need the genuine article — a separate process
+    whose SIGKILL leaves leases orphaned in the ledger — not an
+    in-process service.  The harness spawns ``python -m repro serve``
+    against a root directory, waits for its endpoint file, and offers
+    the two chaos verbs the tests use: :meth:`sigkill` (no cleanup of
+    any kind runs) and :meth:`terminate` (graceful drain).  ``env``
+    extras let a test arm the daemon's chaos hooks, e.g.
+    ``REPRO_SERVICE_CHAOS_LEASE_PAUSE`` to hold workers inside the
+    lease-granted-but-never-heartbeat window.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        *,
+        workers: int = 1,
+        max_queue: int = 16,
+        lease_ttl: float = 30.0,
+        env: Optional[Dict[str, str]] = None,
+        startup_timeout: float = 30.0,
+    ):
+        import subprocess
+        import sys
+
+        self.root = Path(root)
+        self.proc = None
+        full_env = dict(os.environ)
+        src = Path(__file__).resolve().parents[2]
+        existing = full_env.get("PYTHONPATH")
+        full_env["PYTHONPATH"] = (
+            f"{src}{os.pathsep}{existing}" if existing else str(src)
+        )
+        if env:
+            full_env.update(env)
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro",
+                "serve",
+                "--root",
+                str(self.root),
+                "--workers",
+                str(workers),
+                "--max-queue",
+                str(max_queue),
+                "--lease-ttl",
+                str(lease_ttl),
+            ],
+            env=full_env,
+            stdout=subprocess.DEVNULL,
+            stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + startup_timeout
+        endpoint = self.root / "endpoint.json"
+        while True:
+            # A SIGKILLed daemon leaves a stale endpoint file behind, so
+            # "exists" is not enough — wait for one naming *this* PID.
+            try:
+                import json
+
+                if (
+                    json.loads(endpoint.read_text()).get("pid")
+                    == self.proc.pid
+                ):
+                    break
+            except (FileNotFoundError, ValueError):
+                pass
+            if self.proc.poll() is not None:
+                raise ChaosError(
+                    f"serve daemon exited {self.proc.returncode} before "
+                    "writing its endpoint file"
+                )
+            if time.monotonic() > deadline:
+                self.proc.kill()
+                raise ChaosError("serve daemon never wrote endpoint.json")
+            time.sleep(0.02)
+
+    def client(self, *, timeout: float = 30.0):
+        from repro.service import ServiceClient
+
+        return ServiceClient.from_root(self.root, timeout=timeout)
+
+    def ledger_events(self, event: Optional[str] = None):
+        """The daemon's ledger events (optionally one kind), replayed
+        from disk — the durable record the recovery assertions read."""
+        from repro.service import JobLedger
+
+        records = JobLedger.read_events(self.root / "ledger.jsonl")
+        if event is None:
+            return records
+        return [record for record in records if record["event"] == event]
+
+    def wait_for_event(
+        self, event: str, *, count: int = 1, timeout: float = 30.0
+    ):
+        """Block until the ledger holds ``count`` events of this kind."""
+        deadline = time.monotonic() + timeout
+        while True:
+            found = self.ledger_events(event)
+            if len(found) >= count:
+                return found
+            if time.monotonic() > deadline:
+                raise ChaosError(
+                    f"ledger never reached {count} {event!r} events "
+                    f"(saw {len(found)})"
+                )
+            time.sleep(0.01)
+
+    def sigkill(self) -> None:
+        """SIGKILL the daemon — nothing flushes, nothing releases."""
+        self.proc.kill()
+        self.proc.wait(timeout=30)
+
+    def terminate(self, timeout: float = 30.0) -> int:
+        """SIGTERM the daemon and return its (expected 0) exit code."""
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGTERM)
+        return self.proc.wait(timeout=timeout)
+
+    def __enter__(self) -> "ServiceHarness":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.kill()
+            self.proc.wait(timeout=30)

@@ -259,3 +259,37 @@ class TestRecording:
         }
         cp.close()
         assert flush_active_checkpoints() == 0
+
+
+class TestWriterLock:
+    """Advisory single-writer locking on the checkpoint journal."""
+
+    def test_second_writer_fails_loudly_with_pid(self, tmp_path):
+        import os
+
+        path = tmp_path / "cp.jsonl"
+        first = SweepCheckpoint.open(path, fingerprint())
+        try:
+            with pytest.raises(CheckpointError) as info:
+                SweepCheckpoint.open(path, fingerprint(), resume=True)
+            assert str(os.getpid()) in str(info.value)
+            assert "one writer" in str(info.value)
+        finally:
+            first.close()
+
+    def test_close_releases_the_lock(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        SweepCheckpoint.open(path, fingerprint()).close()
+        # A second sequential writer succeeds and no sidecar remains.
+        SweepCheckpoint.open(path, fingerprint(), resume=True).close()
+        assert not (tmp_path / "cp.jsonl.lock").exists()
+
+    def test_failed_open_releases_the_lock(self, tmp_path):
+        path = tmp_path / "cp.jsonl"
+        with SweepCheckpoint.open(path, fingerprint()) as cp:
+            cp.record(2, 0, (1.0, 1.0, 1.0))
+        with pytest.raises(CheckpointMismatchError):
+            SweepCheckpoint.open(path, fingerprint(seed=99), resume=True)
+        # The mismatch rejection did not leave the lock held.
+        SweepCheckpoint.open(path, fingerprint(), resume=True).close()
+        assert not (tmp_path / "cp.jsonl.lock").exists()

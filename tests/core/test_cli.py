@@ -244,3 +244,59 @@ class TestKeyboardInterrupt:
         err = capsys.readouterr().err
         assert "interrupted" in err
         assert "resume" not in err
+
+
+class TestSigtermParity:
+    """SIGTERM gets the same flush-and-exit treatment as Ctrl-C (exit 143)."""
+
+    def test_exits_143_and_flushes_checkpoints(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        import os
+        import signal
+
+        import repro.cli as cli_module
+        from repro.core.checkpoint import SweepCheckpoint, sweep_fingerprint
+
+        checkpoint = SweepCheckpoint.open(
+            tmp_path / "cp.jsonl",
+            sweep_fingerprint(
+                seed=0, steps=100, engine="batched", n_values=[2],
+                repeats=2, burn_in=None,
+            ),
+        )
+        checkpoint.record(2, 0, (1.0, 1.0, 1.0))
+
+        def terminated(args):
+            # Deliver a real SIGTERM to ourselves; main's handler turns
+            # it into the orderly shutdown path.
+            os.kill(os.getpid(), signal.SIGTERM)
+            signal.sigtimedwait([], 5)  # give the signal time to land
+            raise AssertionError("SIGTERM handler never fired")
+
+        monkeypatch.setattr(cli_module, "cmd_ramanujan", terminated)
+        code = main(["ramanujan", "--max-n", "4"])
+        assert code == 143
+        err = capsys.readouterr().err
+        assert "terminated" in err
+        assert "resume" in err
+        checkpoint.close()
+        assert SweepCheckpoint.load_completed(tmp_path / "cp.jsonl") == {
+            (2, 0): (1.0, 1.0, 1.0)
+        }
+
+    def test_previous_sigterm_handler_restored(self, monkeypatch):
+        import signal
+
+        import repro.cli as cli_module
+
+        sentinel = lambda signum, frame: None  # noqa: E731
+        previous = signal.signal(signal.SIGTERM, sentinel)
+        try:
+            monkeypatch.setattr(
+                cli_module, "cmd_ramanujan", lambda args: 0
+            )
+            assert main(["ramanujan", "--max-n", "4"]) == 0
+            assert signal.getsignal(signal.SIGTERM) is sentinel
+        finally:
+            signal.signal(signal.SIGTERM, previous)

@@ -206,3 +206,86 @@ class TestScuIntegration:
         # Both layers were cleared, so the solver really ran again.
         assert computes() == 1
         assert memo_counters().get("disk_hits", 0) == 0
+
+
+class TestListValues:
+    """Flat lists of numbers (the service's point triples) round-trip."""
+
+    def test_list_value_roundtrip(self, tmp_path):
+        memo = DiskMemo(tmp_path)
+        memo.put("triples", (2, 0), [1.5, 2.5, 3.5])
+        assert memo.get("triples", (2, 0)) == [1.5, 2.5, 3.5]
+
+    def test_tuple_value_stored_as_list(self, tmp_path):
+        memo = DiskMemo(tmp_path)
+        memo.put("triples", (2, 1), (1.0, 2.0, 3.0))
+        assert memo.get("triples", (2, 1)) == [1.0, 2.0, 3.0]
+
+    def test_non_numeric_list_is_corruption(self, tmp_path):
+        memo = DiskMemo(tmp_path)
+        memo.put("triples", (4, 0), [1.0, 2.0, 3.0])
+        path = memo.entry_path("triples", (4, 0))
+        payload = json.loads(path.read_text())
+        payload["value"] = [1.0, "oops", 3.0]
+        path.write_text(json.dumps(payload))
+        reset_memo_counters()
+        assert memo.get("triples", (4, 0)) is memo_module._MISS
+        assert memo_counters()["disk_corrupt"] == 1
+
+    def test_empty_list_is_corruption(self, tmp_path):
+        memo = DiskMemo(tmp_path)
+        memo.put("triples", (4, 1), [1.0])
+        path = memo.entry_path("triples", (4, 1))
+        payload = json.loads(path.read_text())
+        payload["value"] = []
+        path.write_text(json.dumps(payload))
+        assert memo.get("triples", (4, 1)) is memo_module._MISS
+
+
+class TestDegradedPut:
+    """A full or read-only disk degrades the memo, never the solve."""
+
+    @pytest.fixture(autouse=True)
+    def reset_warn_flag(self):
+        memo_module._warned_put_failure = False
+        yield
+        memo_module._warned_put_failure = False
+
+    def test_put_failure_warns_once_and_counts(self, tmp_path, monkeypatch):
+        import errno
+        import warnings as warnings_module
+
+        def refuse(*args, **kwargs):
+            raise OSError(errno.ENOSPC, "no space left on device")
+
+        memo = DiskMemo(tmp_path)
+        monkeypatch.setattr(memo_module.tempfile, "mkstemp", refuse)
+        reset_memo_counters()
+        with pytest.warns(RuntimeWarning, match="memo write failed"):
+            memo.put("solve", (1,), 2.0)
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            memo.put("solve", (2,), 3.0)  # silent after the first warning
+        counters = memo_counters()
+        assert counters["put_failures"] == 2
+        assert "disk_writes" not in counters
+        # nothing was stored; reads are misses, not errors
+        assert memo.get("solve", (1,)) is memo_module._MISS
+
+    def test_memoized_function_survives_put_failure(
+        self, tmp_path, monkeypatch
+    ):
+        import errno
+
+        def refuse(*args, **kwargs):
+            raise OSError(errno.EPERM, "read-only")
+
+        configure_memo(tmp_path)
+        monkeypatch.setattr(memo_module.tempfile, "mkstemp", refuse)
+
+        @disk_memoized("flaky-disk")
+        def double(x):
+            return 2.0 * x
+
+        with pytest.warns(RuntimeWarning, match="memo write failed"):
+            assert double(3) == 6.0

@@ -1,0 +1,172 @@
+"""Tests for the HTTP API and client (repro.service.api / .client)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.telemetry import MetricsRegistry
+from repro.service import (
+    AdmissionRejected,
+    ServiceClient,
+    ServiceClientError,
+    SweepService,
+    make_server,
+)
+
+SPEC = {"n_values": [2], "steps": 150, "repeats": 2, "seed": 3}
+
+
+def _freeze_workers(service):
+    """Stop the worker pool so submitted jobs stay queued forever.
+
+    Lets the admission/409/cancel paths be tested deterministically —
+    the teardown's ``shutdown`` re-queues whatever is left, durably.
+    """
+    service._stopping.set()
+    for thread in service._threads:
+        thread.join(timeout=10)
+
+
+@pytest.fixture()
+def fake_runner():
+    def runner(spec, store_dir, *, on_point, telemetry):
+        on_point(1, 1)
+        return {"triples": [[2, 0, [1.0, 2.0, 3.0]]], "recomputed": 1}
+
+    return runner
+
+
+@pytest.fixture(params=["tcp", "unix"])
+def served(request, tmp_path, fake_runner):
+    """A running daemon + HTTP server + client, both transports."""
+    service = SweepService(
+        tmp_path,
+        workers=1,
+        max_queue=2,
+        telemetry=MetricsRegistry(),
+        job_runner=fake_runner,
+    ).start()
+    if request.param == "tcp":
+        server = make_server(service, port=0)
+        client = ServiceClient(port=server.server_address[1])
+    else:
+        socket_path = str(tmp_path / "api.sock")
+        server = make_server(service, socket_path=socket_path)
+        client = ServiceClient(socket_path=socket_path)
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield service, client
+    finally:
+        server.shutdown()
+        thread.join(timeout=10)
+        server.server_close()
+        service.shutdown()
+
+
+class TestEndpoints:
+    def test_healthz(self, served):
+        _, client = served
+        assert client.healthy()
+
+    def test_submit_wait_result(self, served):
+        _, client = served
+        snap = client.submit(SPEC)
+        assert snap["dedupe"] is False
+        status = client.wait(snap["job_id"], timeout=30)
+        assert status["state"] == "completed"
+        result = client.result(snap["job_id"])
+        assert result["triples"] == [[2, 0, [1.0, 2.0, 3.0]]]
+
+    def test_invalid_spec_is_400(self, served):
+        _, client = served
+        with pytest.raises(ServiceClientError) as info:
+            client.submit({"n_values": []})
+        assert info.value.status == 400
+        assert "n_values" in info.value.payload["error"]
+
+    def test_unknown_job_is_404(self, served):
+        _, client = served
+        with pytest.raises(ServiceClientError) as info:
+            client.status("no-such")
+        assert info.value.status == 404
+
+    def test_result_before_completion_is_409(self, served):
+        service, client = served
+        _freeze_workers(service)
+        job_id = client.submit(dict(SPEC, seed=4))["job_id"]
+        with pytest.raises(ServiceClientError) as info:
+            client.result(job_id)
+        assert info.value.status == 409
+        assert "not completed" in info.value.payload["error"]
+
+    def test_queue_full_is_429_with_payload(self, served):
+        service, client = served
+        _freeze_workers(service)
+        payload = None
+        codes = []
+        for seed in range(10, 20):
+            try:
+                client.submit(dict(SPEC, seed=seed))
+                codes.append(200)
+            except AdmissionRejected as exc:
+                codes.append(429)
+                payload = exc.payload
+                break
+        assert codes[-1] == 429
+        assert payload["error"] == "queue-full"
+        assert payload["retriable"] is True
+        assert payload["limit"] == 2
+
+    def test_cancel_over_http(self, served):
+        service, client = served
+        _freeze_workers(service)
+        job_id = client.submit(dict(SPEC, seed=30))["job_id"]
+        snap = client.cancel(job_id)
+        assert snap["state"] == "cancelled"
+        assert client.status(job_id)["state"] == "cancelled"
+
+    def test_jobs_listing(self, served):
+        _, client = served
+        job_id = client.submit(dict(SPEC, seed=40))["job_id"]
+        client.wait(job_id, timeout=30)
+        assert any(job["job_id"] == job_id for job in client.jobs())
+
+    def test_metrics_endpoint_serves_service_group(self, served):
+        _, client = served
+        job_id = client.submit(dict(SPEC, seed=50))["job_id"]
+        client.wait(job_id, timeout=30)
+        report = client.metrics()
+        assert report["counters"]["service.submitted"] >= 1
+        assert report["counters"]["service.completed"] >= 1
+
+    def test_unknown_endpoint_is_404(self, served):
+        _, client = served
+        with pytest.raises(ServiceClientError) as info:
+            client._request("GET", "/teapot")
+        assert info.value.status == 404
+
+
+class TestClientConstruction:
+    def test_exactly_one_transport_required(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            ServiceClient()
+        with pytest.raises(ValueError, match="exactly one"):
+            ServiceClient(port=1, socket_path="/tmp/x")
+
+    def test_from_root_without_daemon_is_loud(self, tmp_path):
+        with pytest.raises(ServiceClientError, match="repro serve"):
+            ServiceClient.from_root(tmp_path)
+
+    def test_from_root_reads_endpoint(self, tmp_path):
+        (tmp_path / "endpoint.json").write_text(
+            json.dumps({"host": "127.0.0.1", "port": 12345})
+        )
+        client = ServiceClient.from_root(tmp_path)
+        assert client.port == 12345
+        (tmp_path / "endpoint.json").write_text(
+            json.dumps({"socket": str(tmp_path / "api.sock")})
+        )
+        client = ServiceClient.from_root(tmp_path)
+        assert client.socket_path == str(tmp_path / "api.sock")

@@ -1,0 +1,124 @@
+"""Tests for lease bookkeeping (repro.service.leases)."""
+
+import os
+
+import pytest
+
+from repro.service.leases import (
+    Lease,
+    LeaseTable,
+    make_owner,
+    owner_alive,
+    owner_pid,
+)
+
+
+class FakeClock:
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, by):
+        self.now += by
+
+
+class TestOwners:
+    def test_make_owner_encodes_this_pid(self):
+        assert make_owner("w0") == f"{os.getpid()}:w0"
+
+    def test_owner_pid_roundtrip(self):
+        assert owner_pid(make_owner("w1")) == os.getpid()
+
+    def test_owner_pid_unparseable_is_none(self):
+        assert owner_pid("not-a-pid:w") is None
+
+    def test_owner_alive_for_this_process(self):
+        assert owner_alive(make_owner("w0")) is True
+
+    def test_owner_alive_false_for_dead_pid(self):
+        # Fork a child that exits immediately; its PID is then dead
+        # (reaped), so the probe must say so.
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        assert owner_alive(f"{pid}:ghost") is False
+
+    def test_unparseable_owner_conservatively_alive(self):
+        assert owner_alive("mystery") is True
+
+
+class TestLeaseTable:
+    def test_grant_renew_release(self):
+        clock = FakeClock()
+        table = LeaseTable(clock=clock)
+        lease = table.grant("job", "1:w", 10.0)
+        assert lease.expires_at == 10.0
+        clock.advance(5)
+        renewed = table.renew("job", "1:w")
+        assert renewed.expires_at == 15.0
+        assert table.release("job").owner == "1:w"
+        assert "job" not in table
+
+    def test_double_grant_rejected(self):
+        table = LeaseTable(clock=FakeClock())
+        table.grant("job", "1:a", 10.0)
+        with pytest.raises(ValueError, match="already leased by 1:a"):
+            table.grant("job", "2:b", 10.0)
+
+    def test_renew_wrong_owner_rejected(self):
+        table = LeaseTable(clock=FakeClock())
+        table.grant("job", "1:a", 10.0)
+        with pytest.raises(ValueError, match="held by 1:a, not 2:b"):
+            table.renew("job", "2:b")
+
+    def test_renew_unleased_rejected(self):
+        table = LeaseTable(clock=FakeClock())
+        with pytest.raises(ValueError, match="no lease"):
+            table.renew("job", "1:a")
+
+    def test_release_is_idempotent(self):
+        table = LeaseTable(clock=FakeClock())
+        assert table.release("never-granted") is None
+
+    def test_nonpositive_ttl_rejected(self):
+        table = LeaseTable(clock=FakeClock())
+        with pytest.raises(ValueError, match="ttl must be positive"):
+            table.grant("job", "1:a", 0.0)
+
+    def test_expiry_is_clock_driven(self):
+        clock = FakeClock()
+        table = LeaseTable(clock=clock)
+        owner = make_owner("w")  # live PID: only TTL can expire it
+        table.grant("job", owner, 10.0)
+        assert table.expired() == {}
+        clock.advance(10.0)
+        assert list(table.expired()) == ["job"]
+
+    def test_dead_owner_expires_immediately(self):
+        clock = FakeClock()
+        table = LeaseTable(clock=clock)
+        pid = os.fork()
+        if pid == 0:
+            os._exit(0)
+        os.waitpid(pid, 0)
+        table.grant("job", f"{pid}:w", 1000.0)
+        assert list(table.expired()) == ["job"]
+        assert table.expired(check_owner=False) == {}
+
+    def test_renewed_lease_outlives_original_ttl(self):
+        clock = FakeClock()
+        table = LeaseTable(clock=clock)
+        owner = make_owner("w")
+        table.grant("job", owner, 10.0)
+        clock.advance(8)
+        table.renew("job", owner)
+        clock.advance(8)  # t=16 < 8+10
+        assert table.expired() == {}
+
+    def test_lease_renewed_is_pure(self):
+        lease = Lease("j", "1:w", 0.0, 10.0, 10.0)
+        assert lease.renewed(50.0).expires_at == 60.0
+        assert lease.expires_at == 10.0

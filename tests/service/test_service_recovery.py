@@ -1,0 +1,163 @@
+"""Chaos tests: SIGKILL the daemon, restart, assert nothing was lost.
+
+The satellite scenario from the issue: kill the daemon *between lease
+grant and first heartbeat* (armed via ``REPRO_SERVICE_CHAOS_LEASE_PAUSE``),
+restart it, and prove the job is re-leased exactly once and the final
+store is bit-identical to an uninterrupted run — no lost points, no
+duplicated points.  A second arm kills the daemon mid-job (after points
+have started landing) and asserts the resumed run converges to the same
+bytes.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.store import METRIC_COLUMNS
+from repro.service import SweepService
+from repro.testing.chaos import ServiceHarness
+
+SPEC = {"n_values": [2, 3], "steps": 400, "repeats": 2, "seed": 11}
+
+
+def store_point_records(store_dir):
+    """Every ``(n, r)`` record in the store, duplicates included."""
+    records = []
+    for chunk in sorted(store_dir.glob("chunk-*.npz")):
+        with np.load(chunk) as data:
+            records.extend(
+                (int(n), int(r)) for n, r in zip(data["n"], data["r"])
+            )
+    tail = store_dir / "tail.jsonl"
+    if tail.exists():
+        for line in tail.read_text().splitlines():
+            if line.strip():
+                record = json.loads(line)
+                records.append((record["n"], record["r"]))
+    return records
+
+
+def store_triples(store_dir):
+    """The ``{(n, r): triple}`` mapping a loader would see (last wins)."""
+    triples = {}
+    for chunk in sorted(store_dir.glob("chunk-*.npz")):
+        with np.load(chunk) as data:
+            for index in range(len(data["n"])):
+                key = (int(data["n"][index]), int(data["r"][index]))
+                triples[key] = tuple(
+                    float(data[metric][index]) for metric in METRIC_COLUMNS
+                )
+    tail = store_dir / "tail.jsonl"
+    if tail.exists():
+        for line in tail.read_text().splitlines():
+            if line.strip():
+                record = json.loads(line)
+                triples[(record["n"], record["r"])] = tuple(
+                    float(v) for v in record["v"]
+                )
+    return triples
+
+
+@pytest.fixture()
+def reference_triples(tmp_path_factory):
+    """Triples from an uninterrupted in-process run of the same spec."""
+    root = tmp_path_factory.mktemp("reference")
+    with SweepService(root, workers=1) as service:
+        job_id = service.submit(SPEC)["job_id"]
+        import time
+
+        deadline = time.monotonic() + 120
+        while service.status(job_id)["state"] != "completed":
+            assert time.monotonic() < deadline, service.status(job_id)
+            time.sleep(0.02)
+        result = service.result(job_id)
+    return {tuple(t[:2]): tuple(t[2]) for t in result["triples"]}
+
+
+class TestLeaseWindowKill:
+    def test_sigkill_between_lease_and_heartbeat_recovers_bit_identical(
+        self, tmp_path, reference_triples
+    ):
+        root = tmp_path / "service"
+        # Arm the chaos hook: the worker holds for 60s between the
+        # durable "leased" event and its first heartbeat.
+        with ServiceHarness(
+            root, env={"REPRO_SERVICE_CHAOS_LEASE_PAUSE": "60"}
+        ) as harness:
+            client = harness.client()
+            job_id = client.submit(SPEC)["job_id"]
+            harness.wait_for_event("leased", count=1)
+            # The kill window: leased, durably journaled, zero
+            # heartbeats, zero points computed.
+            assert harness.ledger_events("heartbeat") == []
+            harness.sigkill()
+
+        # Restart clean (no chaos hook): recovery re-leases and runs.
+        with ServiceHarness(root) as harness:
+            client = harness.client()
+            status = client.wait(job_id, timeout=120)
+            assert status["state"] == "completed", status
+            leased = harness.ledger_events("leased")
+            requeued = harness.ledger_events("requeued")
+            assert len(leased) == 2  # original grant + exactly one re-lease
+            assert len(requeued) == 1
+            assert requeued[0]["reason"] == "owner-dead"
+            assert leased[1]["attempt"] == 2
+            result = client.result(job_id)
+            assert harness.terminate() == 0
+
+        store_dir = root / "stores" / job_id
+        assert store_triples(store_dir) == reference_triples
+        records = store_point_records(store_dir)
+        assert sorted(records) == sorted(set(records))  # no duplicates
+        assert {tuple(t[:2]): tuple(t[2]) for t in result["triples"]} == (
+            reference_triples
+        )
+
+    def test_no_lock_or_endpoint_leftovers_after_recovery_cycle(
+        self, tmp_path
+    ):
+        root = tmp_path / "service"
+        with ServiceHarness(
+            root, env={"REPRO_SERVICE_CHAOS_LEASE_PAUSE": "60"}
+        ) as harness:
+            client = harness.client()
+            client.submit(SPEC)
+            harness.wait_for_event("leased", count=1)
+            harness.sigkill()
+        # The SIGKILLed daemon leaks its lockfile (flock itself died
+        # with the process); the restart must take over regardless...
+        with ServiceHarness(root) as harness:
+            assert harness.client().healthy()
+            assert harness.terminate() == 0
+        # ...and a graceful exit leaves no lock or endpoint debris.
+        assert list(root.rglob("*.lock")) == []
+        assert not (root / "endpoint.json").exists()
+
+
+class TestMidJobKill:
+    def test_sigkill_mid_job_converges_to_uninterrupted_bytes(
+        self, tmp_path, reference_triples
+    ):
+        root = tmp_path / "service"
+        with ServiceHarness(root) as harness:
+            client = harness.client()
+            job_id = client.submit(SPEC)["job_id"]
+            harness.wait_for_event("running", count=1)
+            harness.sigkill()
+
+        with ServiceHarness(root) as harness:
+            client = harness.client()
+            status = client.wait(job_id, timeout=120)
+            assert status["state"] == "completed", status
+            result = client.result(job_id)
+            assert harness.terminate() == 0
+
+        store_dir = root / "stores" / job_id
+        assert store_triples(store_dir) == reference_triples
+        records = store_point_records(store_dir)
+        assert sorted(records) == sorted(set(records))
+        assert {tuple(t[:2]): tuple(t[2]) for t in result["triples"]} == (
+            reference_triples
+        )

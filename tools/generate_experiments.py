@@ -274,6 +274,52 @@ ends).  The same report — engine counters, checkpoint and executor
 stats, per-point timings, uniformity — comes out of the CLI via
 `repro figure5 --telemetry report.json`, and telemetry never changes
 the numbers: all three engines are bit-identical with it on or off.
+
+## Running the sweep service
+
+For long campaigns — overnight grids, shared machines, sweeps submitted
+from scripts — run the sweeps through a daemon instead of a foreground
+process.  `repro serve` hosts a durable job queue: every state change
+(queued, leased, running, heartbeat, completed, failed, poisoned)
+journals to an append-only ledger with the same torn-tail repair as the
+checkpoints, so the daemon can be SIGKILLed at any instant and a
+restart replays the ledger, detects orphaned leases (dead owner PID or
+lapsed TTL), and resumes each interrupted job from its columnar store —
+recomputing only the missing points:
+
+```console
+$ repro serve --root ~/sweeps --workers 4 &
+$ python - <<'PY'
+from repro.service import ServiceClient
+
+client = ServiceClient.from_root("~/sweeps")
+job = client.submit({
+    "n_values": [8, 16, 32, 64],
+    "steps": 200_000, "repeats": 32, "seed": 0,
+})
+print(client.wait(job["job_id"])["state"])    # completed
+print(client.result(job["job_id"])["points"])
+PY
+$ kill -TERM %1    # graceful: drain, flush, release leases, exit 0
+```
+
+Jobs are content-addressed by their sweep fingerprint: resubmitting the
+same spec returns the finished job (`service.dedupe_hits` counts it),
+and an *overlapping* grid warm-starts every already-computed `(n, r)`
+point from the shared disk memo, recomputing only the novel points —
+the result is bit-identical to a direct `latency_sweep` either way.
+Failed jobs retry with deterministic backoff and are quarantined as
+`poisoned` after the retry budget; a full queue rejects loudly with a
+structured `queue-full` payload (HTTP 429, `retriable: true`) instead
+of buffering unboundedly.  The API is plain HTTP over TCP or a unix
+socket (`--socket`): `/submit`, `/status`, `/result`, `/cancel`,
+`/jobs`, `/healthz`, and `/metrics` serving the `service.*` telemetry
+group.  SIGTERM anywhere in the CLI now matches Ctrl-C: checkpoints
+flush and the exit code is 143 (the daemon itself drains and exits 0).
+The chaos suite (`tests/service/test_service_recovery.py`) SIGKILLs a
+real daemon between lease grant and first heartbeat and proves the
+restart re-leases exactly once and converges to the uninterrupted
+bytes.
 """
 
 
