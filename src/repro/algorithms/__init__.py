@@ -25,6 +25,12 @@ the paper's pseudocode:
   (deadlock-free) and ticket lock (starvation-free, reference [15]).
 * :mod:`repro.algorithms.obstruction` — a collision-abort counter that
   is obstruction-free but not lock-free.
+* :mod:`repro.algorithms.randomized_lock` — a randomized TAS-lock
+  counter (Ben-David & Blelloch flavour), the fairness baseline of the
+  contention zoo.
+* :mod:`repro.algorithms.registry` — the :class:`Workload` registry that
+  makes every algorithm above a first-class measured workload for
+  ``measure_latencies`` / ``latency_sweep`` / the CLI.
 """
 
 from repro.algorithms.augmented_counter import augmented_cas_counter
@@ -35,6 +41,17 @@ from repro.algorithms.locks import tas_lock_counter, ticket_lock_counter
 from repro.algorithms.msqueue import MSQueueWorkload, ms_queue_workload
 from repro.algorithms.obstruction import obstruction_free_counter
 from repro.algorithms.parallel import parallel_code
+from repro.algorithms.randomized_lock import (
+    RandomizedLockWorkload,
+    randomized_tas_counter,
+)
+from repro.algorithms.registry import (
+    Workload,
+    get_workload,
+    iter_workloads,
+    register_workload,
+    workload_names,
+)
 from repro.algorithms.scu import scu_algorithm, scu_method
 from repro.algorithms.treiber import TreiberWorkload, treiber_workload
 from repro.algorithms.unbounded import unbounded_lockfree
@@ -42,17 +59,23 @@ from repro.algorithms.universal import UniversalObject, universal_workload
 
 __all__ = [
     "MSQueueWorkload",
+    "RandomizedLockWorkload",
     "SetWorkload",
     "TreiberWorkload",
     "UniversalObject",
+    "Workload",
     "augmented_cas_counter",
     "backoff_counter",
     "cas_counter",
     "cas_counter_method",
+    "get_workload",
     "harris_set_workload",
+    "iter_workloads",
     "ms_queue_workload",
     "obstruction_free_counter",
     "parallel_code",
+    "randomized_tas_counter",
+    "register_workload",
     "scu_algorithm",
     "scu_method",
     "tas_lock_counter",
@@ -60,4 +83,5 @@ __all__ = [
     "treiber_workload",
     "unbounded_lockfree",
     "universal_workload",
+    "workload_names",
 ]

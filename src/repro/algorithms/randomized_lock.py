@@ -1,0 +1,113 @@
+"""A randomized test-and-set lock counter (Ben-David & Blelloch flavour).
+
+Ben-David & Blelloch (arXiv:2108.04520) show that *randomization* turns
+blocking locks into a fairness story: when contenders randomize their
+acquisition attempts, no fixed adversary can starve a particular process
+cheaply, and expected acquisition times concentrate.  This module is the
+simulator's rendition of that idea as a baseline for the contention-zoo
+benchmarks: a test-and-set spin lock where a loser waits a uniformly
+random number of no-op steps (drawn from a doubling window) before
+retrying, so contenders decorrelate instead of hammering the lock word
+in lockstep.
+
+The randomness is *process-local* — each process derives its stream from
+``(seed, pid)`` exactly like the queue/stack/set workloads — so the
+scheduler's RNG stream is untouched and all engine bit-identity
+contracts hold unchanged.
+
+Measured against Theorem 4's ``n × system-latency`` fairness law, this
+lock is the "fair blocking" corner of the zoo: still blocking (crash the
+holder and everyone spins), but with individual latencies far closer to
+``n ×`` the system latency than the bare TAS lock's unbounded skew.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Generator, Optional
+
+import numpy as np
+
+from repro.sim.memory import Memory
+from repro.sim.ops import CAS, Nop, Read, Write
+from repro.sim.process import Completion, Invoke, ProcessFactory, ProcessGenerator
+
+LOCK = "rtas_lock"
+COUNTER = "rtas_counter"
+
+
+def randomized_tas_method(
+    pid: int,
+    rng: np.random.Generator,
+    max_window: int = 8,
+) -> Generator[Any, Any, int]:
+    """Acquire the randomized TAS lock, increment, release; returns the
+    pre-increment value.
+
+    After each failed acquisition CAS the process waits ``wait`` no-op
+    steps with ``wait`` drawn uniformly from ``[0, window]``; the window
+    doubles (capped at ``max_window``) while the lock stays contended.
+    In the paper's step-counting model the waits are real steps, so the
+    fairness gain is priced honestly against throughput.
+    """
+    if max_window < 0:
+        raise ValueError("max_window must be non-negative")
+    window = 1
+    while True:
+        acquired = yield CAS(LOCK, False, True)
+        if acquired:
+            break
+        wait = int(rng.integers(min(window, max_window) + 1))
+        for _ in range(wait):
+            yield Nop()
+        window = min(2 * window, max_window) if max_window else 0
+    value = yield Read(COUNTER)
+    yield Write(COUNTER, value + 1)
+    yield Write(LOCK, False)
+    return value
+
+
+@dataclass(frozen=True)
+class RandomizedLockWorkload:
+    """Parameters of the randomized-lock counter workload."""
+
+    max_window: int = 8
+    seed: int = 0
+
+
+def randomized_tas_counter(
+    workload: Optional[RandomizedLockWorkload] = None,
+    *,
+    calls: Optional[int] = None,
+) -> ProcessFactory:
+    """Process factory for the randomized TAS-lock counter.
+
+    ``max_window = 0`` degenerates to the plain (unfair) TAS lock of
+    :func:`repro.algorithms.locks.tas_lock_counter`, modulo register
+    names.
+    """
+    if workload is None:
+        workload = RandomizedLockWorkload()
+    if workload.max_window < 0:
+        raise ValueError("max_window must be non-negative")
+
+    def factory(pid: int) -> ProcessGenerator:
+        rng = np.random.default_rng((workload.seed, pid))
+        completed = 0
+        while calls is None or completed < calls:
+            yield Invoke("locked_inc")
+            value = yield from randomized_tas_method(
+                pid, rng, workload.max_window
+            )
+            yield Completion(value, "locked_inc")
+            completed += 1
+
+    return factory
+
+
+def make_randomized_lock_memory() -> Memory:
+    """Memory with the lock free and the counter at 0."""
+    memory = Memory()
+    memory.register(LOCK, False)
+    memory.register(COUNTER, 0)
+    return memory

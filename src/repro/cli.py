@@ -14,7 +14,11 @@ Commands
 ``lifting``
     Build and verify the paper's three Markov chain liftings.
 ``figure5``
-    Reproduce Figure 5's completion-rate series.
+    Reproduce Figure 5's completion-rate series (any zoo workload via
+    ``--workload``).
+``zoo``
+    Measure latency vs. departure-from-uniform for every registered
+    workload under the epsilon and contention scheduler dials.
 ``serve``
     Run the durable sweep job daemon (crash-safe queue, lease-based
     recovery, content-addressed dedupe) behind a local HTTP or
@@ -82,8 +86,18 @@ def _configure_memo(args: argparse.Namespace, telemetry=None) -> None:
         configure_memo(memo_dir, telemetry=telemetry)
 
 
+#: ``--scheduler`` grammar shared by ``latency`` / ``figure5`` / ``zoo``.
+SCHEDULER_HELP = (
+    "'uniform', 'hardware', 'contention[:FOCUS]' (contention adversary, "
+    "default focus 4), or 'epsilon:EPS' (the (1-eps)*uniform + "
+    "eps*point-mass departure dial)"
+)
+
+
 def _make_scheduler(name: str):
     from repro.core.scheduler import (
+        ContentionScheduler,
+        EpsilonUniformScheduler,
         HardwareLikeScheduler,
         UniformStochasticScheduler,
     )
@@ -92,13 +106,21 @@ def _make_scheduler(name: str):
         return UniformStochasticScheduler()
     if name == "hardware":
         return HardwareLikeScheduler()
-    raise ValueError(f"unknown scheduler {name!r}")
+    if name == "contention":
+        return ContentionScheduler()
+    if name.startswith("contention:"):
+        return ContentionScheduler(focus=float(name.split(":", 1)[1]))
+    if name.startswith("epsilon:"):
+        return EpsilonUniformScheduler(float(name.split(":", 1)[1]))
+    raise ValueError(f"unknown scheduler {name!r}; expected {SCHEDULER_HELP}")
 
 
 def cmd_latency(args: argparse.Namespace) -> int:
     from repro.bench.formats import format_table
     from repro.core.scu import SCU
 
+    if getattr(args, "workload", None) is not None:
+        return _latency_workload(args)
     spec = SCU(q=args.q, s=args.s)
     telemetry, finish_telemetry = _build_telemetry(
         getattr(args, "telemetry", None)
@@ -123,6 +145,78 @@ def cmd_latency(args: argparse.Namespace) -> int:
             measured.system_latency,
             exact,
             spec.predicted_system_latency(args.n),
+            measured.max_individual_latency,
+            measured.fairness_ratio,
+        )
+    ]
+    print(
+        format_table(
+            [
+                "algorithm",
+                "n",
+                "measured W",
+                "exact W",
+                "bound",
+                "max W_i",
+                "Wi/(nW)",
+            ],
+            rows,
+        )
+    )
+    return 0
+
+
+def _latency_workload(args: argparse.Namespace) -> int:
+    """``repro latency --workload NAME``: measure a registry workload.
+
+    Any zoo member runs here — the exact-chain and bound columns are
+    only populated when the workload is a strict SCU(q, s) member (the
+    paper's analysis does not speak to the others).
+    """
+    from repro.algorithms.registry import get_workload, workload_names
+    from repro.bench.formats import format_table
+    from repro.core.latency import measure_latencies
+    from repro.core.scu import SCU
+
+    try:
+        workload = get_workload(args.workload)
+    except KeyError:
+        print(
+            f"unknown workload {args.workload!r}; choose from "
+            f"{list(workload_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    telemetry, finish_telemetry = _build_telemetry(
+        getattr(args, "telemetry", None)
+    )
+    _configure_memo(args, telemetry)
+    measured = measure_latencies(
+        workload.factory_builder(),
+        _make_scheduler(args.scheduler),
+        n_processes=args.n,
+        steps=args.steps,
+        memory=workload.memory_builder(),
+        rng=args.seed,
+        batched=args.engine == "batched",
+        telemetry=telemetry,
+    )
+    finish_telemetry("latency")
+    exact = bound = float("nan")
+    if workload.scu_shape is not None:
+        spec = SCU(*workload.scu_shape)
+        try:
+            exact = spec.exact_system_latency(args.n)
+        except (ValueError, MemoryError):
+            pass
+        bound = spec.predicted_system_latency(args.n)
+    rows = [
+        (
+            workload.name,
+            args.n,
+            measured.system_latency,
+            exact,
+            bound,
             measured.max_individual_latency,
             measured.fairness_ratio,
         )
@@ -304,7 +398,7 @@ def cmd_gaps(args: argparse.Namespace) -> int:
 
 
 def cmd_figure5(args: argparse.Namespace) -> int:
-    from repro.algorithms.counter import cas_counter, make_counter_memory
+    from repro.algorithms.registry import get_workload, workload_names
     from repro.bench.formats import format_table
     from repro.chains.scu import scu_system_latency_exact
     from repro.core.analysis import (
@@ -314,6 +408,23 @@ def cmd_figure5(args: argparse.Namespace) -> int:
     from repro.core.checkpoint import SweepCheckpoint, sweep_fingerprint
     from repro.core.latency import measure_latencies
 
+    try:
+        workload = get_workload(args.workload)
+    except KeyError:
+        print(
+            f"unknown workload {args.workload!r}; choose from "
+            f"{list(workload_names())}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.engine == "ensemble" and args.workload != "cas-counter":
+        print(
+            "--engine ensemble resolves the CAS counter's vector kernel "
+            f"only; run --workload {args.workload} on the serial or "
+            "batched engine",
+            file=sys.stderr,
+        )
+        return 2
     if not 1 <= args.points <= len(FIGURE5_THREAD_COUNTS):
         print(
             f"--points must be between 1 and {len(FIGURE5_THREAD_COUNTS)}: "
@@ -348,6 +459,7 @@ def cmd_figure5(args: argparse.Namespace) -> int:
             n_values=thread_counts,
             repeats=1,
             burn_in=None,
+            workload=workload.fingerprint,
         )
         if store is not None:
             from repro.core.store import ColumnarSweepStore
@@ -375,22 +487,22 @@ def cmd_figure5(args: argparse.Namespace) -> int:
                 from repro.core.latency import measure_latencies_ensemble
 
                 m = measure_latencies_ensemble(
-                    cas_counter(),
+                    workload.factory_builder(),
                     lambda: _make_scheduler(args.scheduler),
                     n_processes=n,
                     steps=args.steps,
                     seeds=[n],
-                    memory_factory=make_counter_memory,
+                    memory_factory=workload.memory_builder,
                     telemetry=telemetry,
                     max_workers=args.ensemble_workers,
                 )[0]
             else:
                 m = measure_latencies(
-                    cas_counter(),
+                    workload.factory_builder(),
                     _make_scheduler(args.scheduler),
                     n_processes=n,
                     steps=args.steps,
-                    memory=make_counter_memory(),
+                    memory=workload.memory_builder(),
                     rng=n,
                     batched=args.engine == "batched",
                     telemetry=telemetry,
@@ -405,7 +517,11 @@ def cmd_figure5(args: argparse.Namespace) -> int:
             checkpoint.close()
     predicted = completion_rate_prediction(thread_counts, measured_first=measured[0])
     worst = worst_case_completion_rate(thread_counts)
-    exact = [1 / scu_system_latency_exact(n) for n in thread_counts]
+    # The exact chain models SCU(0,1); other zoo members get NaN here.
+    if workload.scu_shape == (0, 1):
+        exact = [1 / scu_system_latency_exact(n) for n in thread_counts]
+    else:
+        exact = [float("nan")] * len(thread_counts)
     rows = list(zip(thread_counts, measured, predicted, exact, worst))
     print(
         format_table(
@@ -415,6 +531,68 @@ def cmd_figure5(args: argparse.Namespace) -> int:
         )
     )
     finish_telemetry("figure5")
+    return 0
+
+
+def cmd_zoo(args: argparse.Namespace) -> int:
+    """Latency vs. departure-from-uniform across the workload zoo."""
+    import json
+
+    from repro.algorithms.registry import workload_names
+    from repro.bench.formats import format_table
+    from repro.core.uniformity import (
+        contention_family,
+        epsilon_family,
+        zoo_departure_table,
+    )
+    from repro.core.scheduler import UniformStochasticScheduler
+
+    names = args.workload if args.workload else None
+    if names is not None:
+        unknown = sorted(set(names) - set(workload_names()))
+        if unknown:
+            print(
+                f"unknown workload(s) {unknown}; choose from "
+                f"{list(workload_names())}",
+                file=sys.stderr,
+            )
+            return 2
+    schedulers = [("uniform", UniformStochasticScheduler)]
+    schedulers.extend(epsilon_family(args.epsilons))
+    schedulers.extend(contention_family(args.focuses))
+    table = zoo_departure_table(
+        names,
+        schedulers,
+        n_processes=args.n,
+        steps=args.steps,
+        seed=args.seed,
+        burn_in=args.burn_in,
+        batched=args.engine == "batched",
+    )
+    for name, points in table["workloads"].items():
+        print(f"\n{name} (n={args.n}, steps={args.steps}):")
+        rows = [
+            (
+                p["scheduler"],
+                p["tv_distance"],
+                p["p50_latency"],
+                p["p99_latency"],
+                p["system_latency"],
+                p["completion_rate"],
+                p["fairness_ratio"],
+            )
+            for p in points
+        ]
+        print(
+            format_table(
+                ["scheduler", "TV", "p50", "p99", "W", "rate", "Wi/(nW)"],
+                rows,
+                precision=4,
+            )
+        )
+    if args.out is not None:
+        Path(args.out).write_text(json.dumps(table, indent=2, sort_keys=True))
+        print(f"\nzoo table written to {args.out}", file=sys.stderr)
     return 0
 
 
@@ -522,7 +700,21 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-n", type=int, default=16)
     p.add_argument("--steps", type=int, default=200_000)
     p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--scheduler", choices=["uniform", "hardware"], default="uniform")
+    p.add_argument("--scheduler", default="uniform", help=SCHEDULER_HELP)
+    p.add_argument(
+        "--workload",
+        metavar="NAME",
+        default=None,
+        help="measure a registered zoo workload instead of the SCU(q, s) "
+        "spec (see repro.algorithms.registry; overrides --q/--s)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=["serial", "batched"],
+        default="serial",
+        help="execution engine for --workload runs (bit-identical by the "
+        "trace-equivalence contract)",
+    )
     p.add_argument(
         "--telemetry",
         metavar="PATH",
@@ -566,7 +758,14 @@ def build_parser() -> argparse.ArgumentParser:
         f"{FIGURE5_THREAD_COUNTS} (1..{len(FIGURE5_THREAD_COUNTS)})",
     )
     p.add_argument("--steps", type=int, default=60_000)
-    p.add_argument("--scheduler", choices=["uniform", "hardware"], default="uniform")
+    p.add_argument("--scheduler", default="uniform", help=SCHEDULER_HELP)
+    p.add_argument(
+        "--workload",
+        metavar="NAME",
+        default="cas-counter",
+        help="which registered zoo workload to sweep (the workload name "
+        "is folded into the checkpoint fingerprint)",
+    )
     p.add_argument(
         "--engine",
         choices=["serial", "batched", "ensemble"],
@@ -618,6 +817,59 @@ def build_parser() -> argparse.ArgumentParser:
         "uniformity) to this path",
     )
     p.set_defaults(func=cmd_figure5)
+
+    def _float_list(text: str) -> List[float]:
+        return [float(part) for part in text.split(",") if part.strip()]
+
+    p = sub.add_parser(
+        "zoo",
+        help="latency vs departure-from-uniform across the workload zoo",
+    )
+    p.add_argument(
+        "--workload",
+        metavar="NAME",
+        action="append",
+        default=None,
+        help="zoo member to measure (repeatable; default: every "
+        "registered workload)",
+    )
+    p.add_argument("-n", type=int, default=8)
+    p.add_argument("--steps", type=int, default=20_000)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--burn-in",
+        type=int,
+        default=None,
+        help="steps discarded before latency percentiles (default steps/10)",
+    )
+    p.add_argument(
+        "--engine",
+        choices=["serial", "batched"],
+        default="batched",
+        help="execution engine (bit-identical by the trace-equivalence "
+        "contract; contention schedulers clamp the batch internally)",
+    )
+    p.add_argument(
+        "--epsilons",
+        type=_float_list,
+        default=[0.0, 0.2, 0.4, 0.6, 0.8],
+        metavar="E1,E2,...",
+        help="epsilon-from-uniform departure dial",
+    )
+    p.add_argument(
+        "--focuses",
+        type=_float_list,
+        default=[2.0, 4.0, 8.0],
+        metavar="F1,F2,...",
+        help="contention-adversary focus dial",
+    )
+    p.add_argument(
+        "--out",
+        metavar="PATH",
+        default=None,
+        help="also write the JSON zoo table here",
+    )
+    p.set_defaults(func=cmd_zoo)
 
     p = sub.add_parser(
         "serve",

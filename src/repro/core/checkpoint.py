@@ -151,12 +151,18 @@ def sweep_fingerprint(
     repeats: int,
     burn_in: Optional[int],
     crash_times: CrashTimesLike = None,
+    workload: Optional[str] = None,
 ) -> Dict[str, object]:
     """The identity of one sweep, as stored in the checkpoint header.
 
     Two sweeps with equal fingerprints produce bit-identical
     ``(n, replicate)`` triples, so their checkpoints are interchangeable;
     anything else must be rejected on resume.
+
+    ``workload`` names the registered workload being swept
+    (:mod:`repro.algorithms.registry`); ``None`` is the historical CAS
+    counter default.  Folding the name in means a msqueue sweep can
+    never resume from (or dedupe against) a counter checkpoint.
     """
     return {
         "seed": int(seed),
@@ -166,6 +172,7 @@ def sweep_fingerprint(
         "repeats": int(repeats),
         "burn_in": None if burn_in is None else int(burn_in),
         "crash_hash": crash_config_hash(crash_times, n_values),
+        "workload": None if workload is None else str(workload),
     }
 
 

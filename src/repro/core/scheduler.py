@@ -47,6 +47,13 @@ Schedulers provided:
 * :class:`HardwareLikeScheduler` — the synthetic stand-in for the paper's
   hardware recordings (Appendix A): quantum-based runs with per-process
   speed jitter, near-uniform over long executions.
+* :class:`EpsilonUniformScheduler` — a parameterized departure from
+  uniform: ``(1 - epsilon) * uniform + epsilon * point mass``, giving a
+  dial whose TV-distance from uniform is exactly ``epsilon * (1 - 1/n)``.
+* :class:`ContentionScheduler` — a contention adversary (Bender et al.,
+  arXiv:2604.14530 flavour): reweights toward processes whose pending
+  operations target the same shared location, fed by the executor's
+  :meth:`ContentionScheduler.observe_pending` hook.
 """
 
 from __future__ import annotations
@@ -196,8 +203,16 @@ class SkewedStochasticScheduler(Scheduler):
         return {pid: float(p) for pid, p in zip(active, probs)}
 
     def threshold(self, n_processes: int) -> float:
-        w = self.weights[:n_processes]
-        return float(w.min() / w.sum())
+        if n_processes != self.weights.size:
+            # Silently truncating weights[:n] used to report a theta for a
+            # scheduler that select() would later IndexError on (or one
+            # that ignores the surplus weights); both are configuration
+            # errors and must be named, not papered over.
+            raise ValueError(
+                f"{type(self).__name__} has {self.weights.size} weights "
+                f"but threshold() was asked about {n_processes} processes"
+            )
+        return float(self.weights.min() / self.weights.sum())
 
 
 class LotteryScheduler(SkewedStochasticScheduler):
@@ -334,6 +349,48 @@ class _RotationStrategy:
         return pid
 
 
+class _SpoilerStrategy:
+    """The alternating-spoiler schedule with pid-stable spoiler rotation.
+
+    Two victim steps (read + CAS attempt), then one spoiler step drawn
+    from a pid-stable rotation over the other processes.  When the victim
+    has crashed, the *same* rotation keeps cycling the survivors — the
+    previous closure pinned ``others[0]`` for the victim's two slots,
+    monopolising one survivor and (because ``others`` reindexes on every
+    crash) changing which pid that was whenever the active set shrank.
+    """
+
+    def __init__(self, victim: int) -> None:
+        self.victim = victim
+        self._rotation = _RotationStrategy(avoid=victim)
+
+    def _is_victim_slot(self, time: int, active: Sequence[int]) -> bool:
+        return (time - 1) % 3 < 2 and self.victim in active
+
+    def peek(self, time: int, active: Sequence[int]) -> int:
+        """The pid :meth:`__call__` would return, without advancing."""
+        others = [pid for pid in active if pid != self.victim]
+        if not others:
+            return self.victim
+        if self._is_victim_slot(time, active):
+            return self.victim
+        return self._rotation.peek(time, active)
+
+    def state_snapshot(self) -> int:
+        return self._rotation.state_snapshot()
+
+    def state_restore(self, snapshot: int) -> None:
+        self._rotation.state_restore(snapshot)
+
+    def __call__(self, time: int, active: Sequence[int]) -> int:
+        others = [pid for pid in active if pid != self.victim]
+        if not others:
+            return self.victim
+        if self._is_victim_slot(time, active):
+            return self.victim
+        return self._rotation(time, active)
+
+
 class AdversarialScheduler(Scheduler):
     """A worst-case adversary encoded as a degenerate distribution.
 
@@ -373,7 +430,17 @@ class AdversarialScheduler(Scheduler):
 
     def distribution(self, time: int, active: Sequence[int]) -> Dict[int, float]:
         peek = getattr(self._strategy, "peek", None)
-        pid = peek(time, active) if peek is not None else self._strategy(time, active)
+        if peek is not None:
+            pid = peek(time, active)
+        elif getattr(self._strategy, "state_snapshot", None) is not None:
+            # Calling a stateful strategy here would advance its rotation
+            # state mid-query, desyncing the batched executor's rewinds.
+            raise NotImplementedError(
+                f"stateful strategy {type(self._strategy).__name__} lacks "
+                "peek(); distribution() would advance its state"
+            )
+        else:
+            pid = self._strategy(time, active)
         return {p: (1.0 if p == pid else 0.0) for p in active}
 
     @classmethod
@@ -407,18 +474,7 @@ class AdversarialScheduler(Scheduler):
         failing.  Exact spoiling (state-aware) is provided by tests that
         drive the simulator step by step.
         """
-
-        def strategy(time: int, active: Sequence[int]) -> int:
-            others = [pid for pid in active if pid != victim]
-            if not others:
-                return victim
-            # Two victim steps (read + CAS attempt), then one spoiler step.
-            phase = (time - 1) % 3
-            if phase < 2:
-                return victim if victim in active else others[0]
-            return others[(time - 1) // 3 % len(others)]
-
-        return cls(strategy)
+        return cls(_SpoilerStrategy(victim))
 
 
 class MarkovModulatedScheduler(Scheduler):
@@ -432,7 +488,8 @@ class MarkovModulatedScheduler(Scheduler):
     ``mean_dwell``); regimes switch to a uniformly random one.
 
     The scheduler stays stochastic — every process keeps probability at
-    least ``theta = 1 / (n - 1 + slowdown)`` each step — but its choices
+    least ``theta = 1 / (slowdown * (n - 1) + 1)`` each step (the slowed
+    process's share ``(1/slowdown) / (n - 1 + 1/slowdown)``) — but its choices
     are correlated across time, unlike every Pi_tau model the paper
     analyses.  The tests check the paper's *long-run* predictions
     survive this (latency within a modest factor of the uniform model,
@@ -600,6 +657,161 @@ class HardwareLikeScheduler(Scheduler):
         self._current = current
         self._remaining = remaining
         self._weights = dict(weights)
+
+
+class EpsilonUniformScheduler(Scheduler):
+    """Controlled departure from uniform: ``(1-eps)·uniform + eps·point mass``.
+
+    The dial for the "where does practically-wait-free break?" sweeps: at
+    ``epsilon = 0`` this is exactly :class:`UniformStochasticScheduler`;
+    at ``epsilon = 1`` it is a monopolising adversary.  With every process
+    active, its total-variation distance from uniform is exactly
+    ``epsilon * (1 - 1/n)``, so a sweep over ``epsilon`` produces a
+    controlled, closed-form departure curve to plot latency against.
+
+    The extra mass lands on ``favored``; when that process has crashed it
+    falls back pid-stably to the smallest active pid (never an index into
+    the shrinking active list).
+    """
+
+    def __init__(self, epsilon: float, *, favored: int = 0) -> None:
+        if not 0.0 <= epsilon <= 1.0:
+            raise ValueError("epsilon must lie in [0, 1]")
+        if favored < 0:
+            raise ValueError("favored must be a valid pid (>= 0)")
+        self.epsilon = float(epsilon)
+        self.favored = int(favored)
+
+    def _favored_in(self, active: Sequence[int]) -> int:
+        return self.favored if self.favored in active else min(active)
+
+    def _probabilities(self, active: Sequence[int]) -> np.ndarray:
+        n = len(active)
+        probs = np.full(n, (1.0 - self.epsilon) / n)
+        target = self._favored_in(active)
+        for position, pid in enumerate(active):
+            if pid == target:
+                probs[position] += self.epsilon
+                break
+        return probs
+
+    def select(
+        self, time: int, active: Sequence[int], rng: np.random.Generator
+    ) -> int:
+        probs = self._probabilities(active)
+        return int(active[rng.choice(len(active), p=probs)])
+
+    def select_batch(
+        self,
+        time: int,
+        active: Sequence[int],
+        rng: np.random.Generator,
+        size: int,
+    ) -> np.ndarray:
+        # Same cdf-inversion equivalence as SkewedStochasticScheduler:
+        # stateless, so a fixed active set fixes the cdf for the block.
+        probs = self._probabilities(active)
+        cdf = probs.cumsum()
+        cdf /= cdf[-1]
+        indices = cdf.searchsorted(rng.random(size), side="right")
+        return np.asarray(active, dtype=np.int64)[indices]
+
+    def distribution(self, time: int, active: Sequence[int]) -> Dict[int, float]:
+        probs = self._probabilities(active)
+        return {pid: float(p) for pid, p in zip(active, probs)}
+
+    def threshold(self, n_processes: int) -> float:
+        return (1.0 - self.epsilon) / n_processes
+
+
+class ContentionScheduler(Scheduler):
+    """A contention adversary: extra mass on processes fighting over one spot.
+
+    Bender et al. (arXiv:2604.14530) motivate adversaries that concentrate
+    scheduling mass on *conflicting* processes — exactly the schedules
+    that make lock-free retry loops spin.  This scheduler weights each
+    active process ``focus`` when its pending operation targets a shared
+    memory location that at least one other pending operation also
+    targets, and ``1.0`` otherwise, renormalised over the active set.
+
+    Contention state is fed **only** through :meth:`observe_pending` — an
+    executor hook called before a scheduling decision — never from inside
+    :meth:`select`.  That split is what keeps the batched contract
+    trivially true: for a fixed active set and a fixed contending set,
+    :meth:`select_batch` consumes the identical RNG stream as sequential
+    :meth:`select` calls.  (The executor runs this scheduler with block
+    size 1 so the hook fires before every step on both engines.)
+
+    The scheduler remains stochastic: every active process keeps share at
+    least ``theta = 1 / (1 + focus * (n - 1))``.  Crash containment is
+    pid-stable — contending membership is a set of pids, so a crash
+    removes exactly its own pid from consideration (a stale contending
+    pid outside the active set is simply never weighted).
+    """
+
+    def __init__(self, *, focus: float = 4.0) -> None:
+        if focus < 1.0:
+            raise ValueError("focus must be >= 1 (1.0 degenerates to uniform)")
+        self.focus = float(focus)
+        self._contending: frozenset = frozenset()
+
+    def observe_pending(self, pending: Mapping[int, Optional[str]]) -> None:
+        """Executor hook: ``pending`` maps pid -> register of its pending op.
+
+        A ``None`` register (no pending operation, or a zero-cost marker)
+        never contends.  Processes sharing a register with at least one
+        other process form the contending set until the next observation.
+        """
+        groups: Dict[str, List[int]] = {}
+        for pid, register in pending.items():
+            if register is not None:
+                groups.setdefault(register, []).append(pid)
+        self._contending = frozenset(
+            pid
+            for pids in groups.values()
+            if len(pids) >= 2
+            for pid in pids
+        )
+
+    def _probabilities(self, active: Sequence[int]) -> np.ndarray:
+        weights = np.array(
+            [self.focus if pid in self._contending else 1.0 for pid in active]
+        )
+        return weights / weights.sum()
+
+    def select(
+        self, time: int, active: Sequence[int], rng: np.random.Generator
+    ) -> int:
+        probs = self._probabilities(active)
+        return int(active[rng.choice(len(active), p=probs)])
+
+    def select_batch(
+        self,
+        time: int,
+        active: Sequence[int],
+        rng: np.random.Generator,
+        size: int,
+    ) -> np.ndarray:
+        # Valid because the contending set can only change through
+        # observe_pending, which the executor calls between blocks.
+        probs = self._probabilities(active)
+        cdf = probs.cumsum()
+        cdf /= cdf[-1]
+        indices = cdf.searchsorted(rng.random(size), side="right")
+        return np.asarray(active, dtype=np.int64)[indices]
+
+    def distribution(self, time: int, active: Sequence[int]) -> Dict[int, float]:
+        probs = self._probabilities(active)
+        return {pid: float(p) for pid, p in zip(active, probs)}
+
+    def state_snapshot(self):
+        return self._contending
+
+    def state_restore(self, snapshot) -> None:
+        self._contending = snapshot
+
+    def threshold(self, n_processes: int) -> float:
+        return 1.0 / (1.0 + self.focus * (n_processes - 1))
 
 
 def scheduler_chain_distribution(

@@ -290,6 +290,7 @@ def _open_result_log(
     burn_in: Optional[int],
     crash_times: CrashTimesLike,
     telemetry=None,
+    workload: Optional[str] = None,
 ):
     """Open/validate the sweep's result log, if one was requested.
 
@@ -318,6 +319,7 @@ def _open_result_log(
         repeats=repeats,
         burn_in=burn_in,
         crash_times=crash_times,
+        workload=workload,
     )
     if store is not None:
         return ColumnarSweepStore.open(
@@ -564,6 +566,7 @@ def latency_sweep(
     fuse="auto",
     engine_kernel: str = "auto",
     ensemble_workers=None,
+    workload: Optional[str] = None,
 ) -> List[SweepPoint]:
     """Measure latencies across ``n_values`` with ``repeats`` replicates.
 
@@ -606,6 +609,12 @@ def latency_sweep(
     every engine/checkpoint counter along the way.  Telemetry observes
     the sweep and never feeds back into it — results are bit-identical
     with it on or off.
+
+    ``workload`` names the registered workload the builders came from
+    (:mod:`repro.algorithms.registry`); it is folded into the checkpoint
+    fingerprint so logs from different workloads can never be confused,
+    and is otherwise inert.  ``None`` keeps the historical CAS-counter
+    fingerprints valid.
     """
     if repeats < 2:
         raise ValueError("repeats must be at least 2 for confidence intervals")
@@ -627,6 +636,7 @@ def latency_sweep(
         burn_in=burn_in,
         crash_times=schedule,
         telemetry=telemetry,
+        workload=workload,
     )
     aggregator = StreamingSweepAggregator(n_values, repeats)
     recorded = set()
@@ -734,6 +744,7 @@ def parallel_sweep(
     pool_factory: Optional[Callable] = None,
     dispatch: str = "auto",
     telemetry=None,
+    workload: Optional[str] = None,
 ) -> List[SweepPoint]:
     """:func:`latency_sweep` fanned out over a fault-tolerant process pool.
 
@@ -827,6 +838,7 @@ def parallel_sweep(
         burn_in=burn_in,
         crash_times=schedule,
         telemetry=telemetry,
+        workload=workload,
     )
     aggregator = StreamingSweepAggregator(n_values, repeats)
     recorded = set()
@@ -871,6 +883,7 @@ def parallel_sweep(
                         repeats=repeats,
                         burn_in=burn_in,
                         crash_times=schedule,
+                        workload=workload,
                     )
                 ),
                 telemetry=telemetry,

@@ -64,8 +64,38 @@ CHAOS_LEASE_PAUSE_ENV = "REPRO_SERVICE_CHAOS_LEASE_PAUSE"
 #: Memo namespace for per-point write-through entries.
 POINT_MEMO_NAME = "service-point"
 
-_SCHEDULERS = ("uniform", "hardware")
 _ENGINES = ("serial", "batched", "ensemble")
+
+
+def _normalize_scheduler(name: Any) -> str:
+    """Validate and canonicalize a spec's scheduler name.
+
+    Accepts ``uniform``, ``hardware``, ``contention[:FOCUS]`` and
+    ``epsilon:EPS``; parameterized names normalize their float (so
+    ``epsilon:0.40`` and ``epsilon:.4`` digest to the same job id).
+    """
+    if name in ("uniform", "hardware"):
+        return name
+    if isinstance(name, str):
+        if name == "contention":
+            return "contention:4"
+        head, sep, tail = name.partition(":")
+        if sep and head in ("contention", "epsilon"):
+            try:
+                value = float(tail)
+            except ValueError:
+                raise ValueError(
+                    f"scheduler {name!r} has a non-numeric parameter"
+                ) from None
+            if head == "contention" and value < 1.0:
+                raise ValueError(f"contention focus must be >= 1, got {value}")
+            if head == "epsilon" and not 0.0 <= value <= 1.0:
+                raise ValueError(f"epsilon must lie in [0, 1], got {value}")
+            return f"{head}:{value:g}"
+    raise ValueError(
+        f"unknown scheduler {name!r}; expected 'uniform', 'hardware', "
+        "'contention[:FOCUS]' or 'epsilon:EPS'"
+    )
 
 
 class ServiceError(RuntimeError):
@@ -102,10 +132,13 @@ def validate_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
     """
     if not isinstance(spec, dict):
         raise ValueError(f"job spec must be an object, got {type(spec).__name__}")
+    from ..algorithms.registry import workload_names
+
     workload = spec.get("workload", "cas-counter")
-    if workload not in ("cas-counter", "scu"):
+    if workload != "scu" and workload not in workload_names():
         raise ValueError(
-            f"unknown workload {workload!r}; expected 'cas-counter' or 'scu'"
+            f"unknown workload {workload!r}; expected 'scu' or one of "
+            f"{list(workload_names())}"
         )
     out: Dict[str, Any] = {"workload": workload}
     if workload == "scu":
@@ -157,12 +190,21 @@ def validate_spec(spec: Dict[str, Any]) -> Dict[str, Any]:
     if engine not in _ENGINES:
         raise ValueError(f"unknown engine {engine!r}; expected one of {_ENGINES}")
     out["engine"] = engine
-    scheduler = spec.get("scheduler", "uniform")
-    if scheduler not in _SCHEDULERS:
-        raise ValueError(
-            f"unknown scheduler {scheduler!r}; expected one of {_SCHEDULERS}"
-        )
-    out["scheduler"] = scheduler
+    out["scheduler"] = _normalize_scheduler(spec.get("scheduler", "uniform"))
+    if out["engine"] == "ensemble":
+        # The ensemble engine resolves the CAS counter's vector kernel
+        # and draws whole schedules upfront — neither generic registry
+        # workloads nor per-step contention state fit that shape.
+        if workload not in ("scu", "cas-counter"):
+            raise ValueError(
+                f"engine 'ensemble' only supports the 'scu' and "
+                f"'cas-counter' workloads, not {workload!r}"
+            )
+        if out["scheduler"].startswith("contention"):
+            raise ValueError(
+                "engine 'ensemble' cannot honour the contention "
+                "scheduler's per-step state; use 'serial' or 'batched'"
+            )
     crash = spec.get("crash")
     if crash is not None:
         if not isinstance(crash, dict):
@@ -199,20 +241,32 @@ def build_workload(spec: Dict[str, Any]) -> Tuple[Callable, Callable]:
 
         member = SCU(spec["q"], spec["s"])
         return (lambda: member.factory()), (lambda: member.memory())
-    from ..algorithms.counter import cas_counter, make_counter_memory
+    from ..algorithms.registry import get_workload
 
-    return cas_counter, make_counter_memory
+    workload = get_workload(spec["workload"])
+    return workload.factory_builder, workload.memory_builder
 
 
 def build_scheduler(name: str) -> Callable:
     from ..core.scheduler import (
+        ContentionScheduler,
+        EpsilonUniformScheduler,
         HardwareLikeScheduler,
         UniformStochasticScheduler,
     )
 
-    return (
-        UniformStochasticScheduler if name == "uniform" else HardwareLikeScheduler
-    )
+    if name == "uniform":
+        return UniformStochasticScheduler
+    if name == "hardware":
+        return HardwareLikeScheduler
+    head, _, tail = name.partition(":")
+    if head == "contention":
+        focus = float(tail)
+        return lambda: ContentionScheduler(focus=focus)
+    if head == "epsilon":
+        eps = float(tail)
+        return lambda: EpsilonUniformScheduler(eps)
+    raise ValueError(f"unknown scheduler {name!r}")
 
 
 def _crash_times(spec: Dict[str, Any]) -> Optional[Dict[int, float]]:
@@ -224,6 +278,12 @@ def _crash_times(spec: Dict[str, Any]) -> Optional[Dict[int, float]]:
 
 def spec_fingerprint(spec: Dict[str, Any]) -> Dict[str, Any]:
     """The sweep fingerprint this spec's store/checkpoint carries."""
+    if spec["workload"] == "scu":
+        workload = f"scu({spec['q']},{spec['s']})"
+    elif spec["workload"] == "cas-counter":
+        workload = None  # the historical default, kept fingerprint-stable
+    else:
+        workload = spec["workload"]
     return sweep_fingerprint(
         seed=spec["seed"],
         steps=spec["steps"],
@@ -232,6 +292,7 @@ def spec_fingerprint(spec: Dict[str, Any]) -> Dict[str, Any]:
         repeats=spec["repeats"],
         burn_in=spec["burn_in"],
         crash_times=_crash_times(spec),
+        workload=workload,
     )
 
 
@@ -345,6 +406,9 @@ def run_sweep_job(
         resume=True,
         on_progress=progress,
         telemetry=telemetry,
+        # Must match spec_fingerprint: the sweep re-opens the store and
+        # validates its fingerprint, workload key included.
+        workload=fingerprint["workload"],
     )
     if telemetry_on and missing:
         telemetry.inc("service.recomputed_points", len(missing))

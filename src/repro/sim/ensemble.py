@@ -1016,6 +1016,12 @@ class EnsembleSimulator:
         """
         if max_steps == 0:
             return np.empty(0, dtype=np.int64), False, 0
+        if getattr(scheduler, "observe_pending", None) is not None:
+            raise ValueError(
+                f"{type(scheduler).__name__} consumes per-step contention "
+                "state (observe_pending); a whole-schedule draw cannot "
+                "honour it — use the serial or batched engine"
+            )
         select_batch = getattr(scheduler, "select_batch", None)
 
         def draw(start: int, active: List[int], length: int) -> np.ndarray:

@@ -193,6 +193,10 @@ class Simulator:
         ]
         self.time = 0
         self._primed = False
+        # Contention hook (ContentionScheduler): when the scheduler wants
+        # to see which registers the pending operations target, it is fed
+        # before every scheduling decision on both engines.
+        self._observe_pending = getattr(scheduler, "observe_pending", None)
         self.telemetry = telemetry
         self._crashes_fired = 0
         # Target of the single reusable marker callback; set just before
@@ -295,6 +299,13 @@ class Simulator:
         active = self.active_pids()
         if not active:
             return None
+        if self._observe_pending is not None:
+            self._observe_pending(
+                {
+                    pid: getattr(self.processes[pid].pending, "register", None)
+                    for pid in active
+                }
+            )
         pid = self.scheduler.select(time, active, self.rng)
         if pid not in active:
             raise RuntimeError(
@@ -498,6 +509,17 @@ class Simulator:
                 if boundary > next_t:
                     block = min(block, boundary - next_t)
                     break
+            if self._observe_pending is not None:
+                # Contention state must be observed before *every*
+                # decision, exactly as the serial path does; clamping the
+                # block to one step keeps the two engines bit-identical.
+                block = 1
+                self._observe_pending(
+                    {
+                        pid: getattr(pendings[pid], "register", None)
+                        for pid in active
+                    }
+                )
             rng_state = bit_generator.state
             scheduler_state = (
                 snapshot_state() if snapshot_state is not None else None

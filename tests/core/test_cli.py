@@ -178,6 +178,102 @@ class TestFigure5:
             main(["figure5", "--points", "2", "--steps", "5000",
                   "--checkpoint", str(path), "--resume"])
 
+    def test_workload_flag_runs_zoo_member(self, capsys):
+        code = main(["figure5", "--workload", "msqueue", "--points", "2",
+                     "--steps", "3000", "--engine", "batched"])
+        assert code == 0
+        out = capsys.readouterr().out
+        # Non-SCU(0,1) members have no exact chain column.
+        assert "nan" in out
+
+    def test_workload_folds_into_checkpoint_fingerprint(self, tmp_path):
+        from repro.core.checkpoint import CheckpointMismatchError
+
+        path = tmp_path / "fig5.jsonl"
+        assert main(["figure5", "--workload", "treiber", "--points", "2",
+                     "--steps", "3000", "--checkpoint", str(path)]) == 0
+        with pytest.raises(CheckpointMismatchError, match="workload"):
+            main(["figure5", "--workload", "msqueue", "--points", "2",
+                  "--steps", "3000", "--checkpoint", str(path), "--resume"])
+
+    def test_unknown_workload_rejected(self, capsys):
+        code = main(["figure5", "--workload", "nope", "--points", "1",
+                     "--steps", "1000"])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_ensemble_engine_restricted_to_cas_counter(self, capsys):
+        code = main(["figure5", "--workload", "treiber", "--points", "1",
+                     "--steps", "1000", "--engine", "ensemble"])
+        assert code == 2
+        assert "ensemble" in capsys.readouterr().err
+
+
+class TestLatencyWorkload:
+    def test_zoo_member_measured(self, capsys):
+        code = main(["latency", "--workload", "msqueue", "-n", "4",
+                     "--steps", "8000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "msqueue" in out
+        assert "measured W" in out
+
+    def test_contention_scheduler_accepted(self, capsys):
+        code = main(["latency", "--workload", "rtas-lock", "-n", "4",
+                     "--steps", "8000", "--scheduler", "contention:4",
+                     "--engine", "batched"])
+        assert code == 0
+        assert "rtas-lock" in capsys.readouterr().out
+
+    def test_scu_member_keeps_exact_columns(self, capsys):
+        code = main(["latency", "--workload", "cas-counter", "-n", "4",
+                     "--steps", "8000"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cas-counter" in out
+        assert "nan" not in out
+
+    def test_unknown_workload_rejected(self, capsys):
+        code = main(["latency", "--workload", "nope", "--steps", "100"])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
+    def test_epsilon_scheduler_parses(self, capsys):
+        code = main(["latency", "-n", "4", "--steps", "8000",
+                     "--scheduler", "epsilon:0.3"])
+        assert code == 0
+
+    def test_bad_scheduler_named(self):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            main(["latency", "-n", "2", "--steps", "100",
+                  "--scheduler", "frobnicate"])
+
+
+class TestZoo:
+    def test_table_and_json(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "zoo.json"
+        code = main(["zoo", "--workload", "cas-counter",
+                     "--workload", "rtas-lock", "-n", "4",
+                     "--steps", "2000", "--epsilons", "0,0.5",
+                     "--focuses", "4", "--out", str(out_path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "cas-counter" in out
+        assert "rtas-lock" in out
+        assert "TV" in out
+        table = json.loads(out_path.read_text())
+        assert set(table["workloads"]) == {"cas-counter", "rtas-lock"}
+        labels = {p["scheduler"] for p in table["workloads"]["rtas-lock"]}
+        assert labels == {"uniform", "epsilon(0)", "epsilon(0.5)",
+                          "contention(4)"}
+
+    def test_unknown_workload_rejected(self, capsys):
+        code = main(["zoo", "--workload", "nope", "--steps", "100"])
+        assert code == 2
+        assert "unknown workload" in capsys.readouterr().err
+
 
 class TestKeyboardInterrupt:
     def test_exits_130_and_flushes_checkpoints(

@@ -67,6 +67,59 @@ class TestValidateSpec:
         with pytest.raises(ValueError, match="burn_in"):
             validate_spec({"n_values": [2], "steps": 100, "burn_in": 100})
 
+    def test_registry_workloads_accepted(self):
+        spec = validate_spec({"workload": "msqueue", "n_values": [2]})
+        assert spec["workload"] == "msqueue"
+
+    def test_parameterized_schedulers_normalize(self):
+        a = validate_spec({"n_values": [2], "scheduler": "epsilon:0.40"})
+        b = validate_spec({"n_values": [2], "scheduler": "epsilon:.4"})
+        assert a["scheduler"] == b["scheduler"] == "epsilon:0.4"
+        assert job_digest(a) == job_digest(b)
+        assert (
+            validate_spec({"n_values": [2], "scheduler": "contention"})[
+                "scheduler"
+            ]
+            == "contention:4"
+        )
+
+    def test_scheduler_parameter_ranges_checked(self):
+        with pytest.raises(ValueError, match="focus"):
+            validate_spec({"n_values": [2], "scheduler": "contention:0.5"})
+        with pytest.raises(ValueError, match="epsilon"):
+            validate_spec({"n_values": [2], "scheduler": "epsilon:1.5"})
+
+    def test_ensemble_engine_restricted_to_scu_shapes(self):
+        with pytest.raises(ValueError, match="ensemble"):
+            validate_spec(
+                {"workload": "treiber", "n_values": [2], "engine": "ensemble"}
+            )
+        with pytest.raises(ValueError, match="contention"):
+            validate_spec(
+                {
+                    "n_values": [2],
+                    "engine": "ensemble",
+                    "scheduler": "contention:2",
+                }
+            )
+
+    def test_workload_folds_into_spec_fingerprint(self):
+        from repro.service.daemon import spec_fingerprint
+
+        base = validate_spec({"n_values": [2], "steps": 100, "repeats": 2})
+        named = validate_spec(
+            {
+                "workload": "msqueue",
+                "n_values": [2],
+                "steps": 100,
+                "repeats": 2,
+            }
+        )
+        # cas-counter keeps the historical None fingerprint; every other
+        # zoo member folds its registry name.
+        assert spec_fingerprint(base)["workload"] is None
+        assert spec_fingerprint(named)["workload"] == "msqueue"
+
 
 class TestFakeRunnerService:
     """Daemon mechanics with an injected (instant) job runner."""

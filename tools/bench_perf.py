@@ -1,8 +1,8 @@
 """Performance harness for the three execution engines.
 
 Times the same seeded workloads on the serial, batched, and ensemble
-engines and writes a machine-readable JSON report (``BENCH_PR8.json`` by
-default).  Twelve workloads:
+engines and writes a machine-readable JSON report (``BENCH_PR10.json``
+by default).  Thirteen workloads:
 
 * ``fig5_sweep`` — a FIG5-style multi-replicate latency sweep (the
   ensemble engine's target shape: many replicates, one sweep), timed on
@@ -49,7 +49,12 @@ default).  Twelve workloads:
 * ``memo_warm`` — exact chain solves cold vs. warm-started from the
   on-disk memo with in-process caches cleared; the warm pass must run
   zero solvers (checked via the memo compute counter) and return
-  bit-identical values.
+  bit-identical values,
+* ``zoo_uniformity`` — the contention zoo's latency vs.
+  departure-from-uniform table (SCU counter, Michael-Scott queue,
+  Treiber stack, randomized TAS-lock baseline under the epsilon and
+  contention scheduler dials), with serial-vs-batched bit-identity
+  checked on a contention-scheduler run.
 
 Because the engines are bit-identical by construction (and the harness
 re-checks this on every run), the speedups are pure wall-clock: same
@@ -57,9 +62,9 @@ numbers, less time.
 
 Usage::
 
-    python tools/bench_perf.py                  # full run -> BENCH_PR8.json
+    python tools/bench_perf.py                  # full run -> BENCH_PR10.json
     python tools/bench_perf.py --quick          # CI-sized steps/repeats
-    python tools/bench_perf.py --out perf.json
+    python tools/bench_perf.py --only zoo_uniformity --out perf.json
 """
 
 from __future__ import annotations
@@ -1007,6 +1012,75 @@ def bench_memo_warm(quick):
     }
 
 
+def bench_zoo_uniformity(quick):
+    """The contention zoo: latency vs. departure-from-uniform per workload.
+
+    Runs the SCU counter, two non-SCU structures (Michael-Scott queue,
+    Treiber stack) and the randomized TAS-lock fairness baseline under
+    the uniform anchor plus the epsilon and contention departure dials,
+    and embeds the full latency-vs-TV-distance table in the report (the
+    deliverable figure's data).  Bit-identity here is the serial vs.
+    batched engines agreeing on a contention-scheduler run — the
+    observe_pending hook must not break the trace-equivalence contract.
+    """
+    from repro.algorithms.registry import get_workload
+    from repro.core.scheduler import ContentionScheduler
+    from repro.core.uniformity import (
+        measure_departure_point,
+        zoo_departure_table,
+    )
+
+    names = ["cas-counter", "msqueue", "treiber", "rtas-lock"]
+    n = 8
+    steps = 4_000 if quick else 40_000
+
+    seconds = {}
+    seconds["zoo_batched"], table = timed(
+        lambda: zoo_departure_table(names, n_processes=n, steps=steps, seed=0)
+    )
+
+    def engine_check(batched):
+        return lambda: [
+            measure_departure_point(
+                get_workload(name),
+                lambda: ContentionScheduler(focus=4.0),
+                label="contention(4)",
+                n_processes=n,
+                steps=steps,
+                seed=0,
+                batched=batched,
+            )
+            for name in names
+        ]
+
+    seconds["contention_serial"], serial_points = timed(engine_check(False))
+    seconds["contention_batched"], batched_points = timed(engine_check(True))
+    return {
+        "workload": "zoo_uniformity",
+        "params": {"workloads": names, "n": n, "steps": steps},
+        "seconds": seconds,
+        "table": table,
+        "bit_identical": serial_points == batched_points,
+    }
+
+
+BENCHES = {
+    "fig5_sweep": bench_fig5_sweep,
+    "fused_sweep": bench_fused_sweep,
+    "sharded_fused": bench_sharded_fused,
+    "sharedmem_dispatch": bench_sharedmem_dispatch,
+    "thm4_cells": bench_thm4_cells,
+    "single_run_100k": bench_single_run,
+    "cor2_crash_sweep": bench_cor2_crash_sweep,
+    "chain_assembly": bench_chain_assembly,
+    "chaos_sweep": bench_chaos_sweep,
+    "telemetry_overhead": bench_telemetry_overhead,
+    "store_compaction": bench_store_compaction,
+    "memo_warm": bench_memo_warm,
+    "zoo_uniformity": bench_zoo_uniformity,
+}
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -1017,30 +1091,43 @@ def main(argv=None):
     parser.add_argument(
         "--out",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR8.json",
-        help="output JSON path (default: BENCH_PR8.json at the repo root)",
+        default=REPO_ROOT / "BENCH_PR10.json",
+        help="output JSON path (default: BENCH_PR10.json at the repo root)",
+    )
+    parser.add_argument(
+        "--only",
+        action="append",
+        choices=sorted(BENCHES),
+        default=None,
+        metavar="WORKLOAD",
+        help="run only this benchmark workload (repeatable; default all)",
     )
     args = parser.parse_args(argv)
 
     results = []
-    benches = (
-        bench_fig5_sweep,
-        bench_fused_sweep,
-        bench_sharded_fused,
-        bench_sharedmem_dispatch,
-        bench_thm4_cells,
-        bench_single_run,
-        bench_cor2_crash_sweep,
-        bench_chain_assembly,
-        bench_chaos_sweep,
-        bench_telemetry_overhead,
-        bench_store_compaction,
-        bench_memo_warm,
+    benches = tuple(
+        BENCHES[name]
+        for name in (args.only if args.only else BENCHES)
     )
     for bench in benches:
         result = bench(args.quick)
         results.append(result)
-        if "unfused_numpy" in result["seconds"]:
+        if "zoo_batched" in result["seconds"]:
+            worst = max(
+                (
+                    point
+                    for points in result["table"]["workloads"].values()
+                    for point in points
+                    if point["p99_latency"] != float("inf")
+                ),
+                key=lambda point: point["p99_latency"],
+            )
+            summary = (
+                f"zoo {result['seconds']['zoo_batched']:8.3f}s"
+                f"  worst p99 {worst['p99_latency']:8.1f}"
+                f" @ TV {worst['tv_distance']:.3f}"
+            )
+        elif "unfused_numpy" in result["seconds"]:
             summary = (
                 f"fused_auto {result['seconds']['fused_auto']:8.3f}s"
                 f"  unfused_numpy {result['seconds']['unfused_numpy']:8.3f}s"
